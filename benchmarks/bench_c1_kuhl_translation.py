@@ -1,0 +1,147 @@
+"""Experiment C1 — claim vs. Kühl'01: translation blows up the model.
+
+The paper: translating the dataflow diagram into UML capsules means
+"lots of objects and classes may be generated, and some information may
+be lost".  We translate PID loops padded to N blocks and count what the
+translation creates (capsules, protocols, ports, connectors) and sends
+(queued messages per simulated second) against the streamer original
+(zero capsules, zero protocols, zero messages), plus the per-feature
+information-loss table.
+
+Expected shape: element counts grow ~linearly in N on the Kühl side and
+stay flat on the streamer side; message volume is > 100x; information
+loss is strictly positive.
+"""
+
+import pytest
+
+from benchmarks.conftest import pid_plant_diagram
+from repro.baselines import KuhlTranslation, information_loss, model_size
+from repro.core.model import HybridModel
+
+SIZES = [0, 4, 16, 48]  # padding blocks -> 4, 8, 20, 52 total blocks
+
+
+def test_c1_model_size_explosion(benchmark, report):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for pad in SIZES:
+            translation = KuhlTranslation(pid_plant_diagram(pad), h=0.01)
+            kuhl = translation.size_metrics()
+            original = model_size(pid_plant_diagram(pad))
+            rows.append((pad + 4, kuhl, original))
+        return rows
+
+    benchmark(sweep)
+
+    lines = [
+        f"{'blocks':>7} | {'kuhl capsules':>13} {'protocols':>9} "
+        f"{'ports':>6} {'connectors':>10} | {'streamer capsules':>17} "
+        f"{'protocols':>9}",
+    ]
+    for blocks, kuhl, original in rows:
+        lines.append(
+            f"{blocks:>7} | {kuhl['capsule_instances']:>13} "
+            f"{kuhl['protocols']:>9} {kuhl['ports']:>6} "
+            f"{kuhl['connectors']:>10} | "
+            f"{original['capsule_instances']:>17} "
+            f"{original['protocols']:>9}"
+        )
+    report("C1: model-size explosion (Kuhl translation vs streamers)",
+           lines)
+
+    # shape assertions: linear growth vs flat zero
+    first, last = rows[0], rows[-1]
+    assert last[1]["capsule_instances"] > 10 * first[1]["capsule_instances"] / 5
+    assert last[1]["capsule_instances"] == last[0] + 1
+    for __, kuhl, original in rows:
+        assert original["capsule_instances"] == 0
+        assert original["protocols"] == 0
+        assert kuhl["ports"] > kuhl["capsule_instances"]
+
+
+def test_c1_message_volume(benchmark, report):
+    """Messages per simulated second: translation vs streamer original."""
+    results = {}
+
+    def run_both():
+        translation = KuhlTranslation(
+            pid_plant_diagram(4), h=0.01, probe="plant.out"
+        )
+        translation.run(1.0)
+        results["kuhl"] = translation.message_metrics(1.0)
+
+        diagram = pid_plant_diagram(4)
+        diagram.finalise()
+        model = HybridModel("orig")
+        model.default_thread.h = 0.01
+        model.add_streamer(diagram)
+        model.run(until=1.0, sync_interval=0.01)
+        results["streamer"] = {
+            "messages_total": model.stats()["messages_dispatched"],
+        }
+
+    benchmark(run_both)
+    kuhl_msgs = results["kuhl"]["messages_total"]
+    streamer_msgs = results["streamer"]["messages_total"]
+    report("C1: message volume per simulated second", [
+        f"Kuhl translation : {kuhl_msgs} queued messages",
+        f"streamer original: {streamer_msgs} queued messages",
+        f"ratio            : {kuhl_msgs / max(1, streamer_msgs):.0f}x "
+        "(paper: translation generates 'lots of objects')",
+    ])
+    assert streamer_msgs == 0
+    assert kuhl_msgs > 1000
+
+
+def test_c1_information_loss(benchmark, report):
+    losses = {}
+
+    def compute():
+        for pad in (0, 16):
+            losses[pad + 4] = information_loss(pid_plant_diagram(pad))
+
+    benchmark(compute)
+    lines = []
+    for blocks, loss in losses.items():
+        total = sum(loss.values())
+        lines.append(f"{blocks} blocks: total loss {total}  {loss}")
+    report("C1: information lost by the translation", lines)
+    for loss in losses.values():
+        assert sum(loss.values()) > 0  # "some information may be lost"
+        assert loss["solver_choice_lost"] == 1
+
+
+def test_c1_translation_fidelity(benchmark, report):
+    """The translation is behaviour-preserving to Euler accuracy — the
+    explosion is pure overhead, not extra fidelity."""
+    results = {}
+
+    def run():
+        translation = KuhlTranslation(
+            pid_plant_diagram(0), h=0.002, probe="plant.out"
+        )
+        translation.run(3.0)
+        results["kuhl_final"] = translation.trajectory.y_final[0]
+
+        diagram = pid_plant_diagram(0)
+        diagram.finalise()
+        model = HybridModel("ref")
+        model.default_thread.binding.rebind("euler")
+        model.default_thread.h = 0.002
+        model.add_streamer(diagram)
+        model.add_probe("y", diagram.port_at("plant.out"))
+        model.run(until=3.0, sync_interval=0.05)
+        results["streamer_final"] = model.probe("y").y_final[0]
+
+    benchmark(run)
+    assert results["kuhl_final"] == pytest.approx(
+        results["streamer_final"], abs=0.02
+    )
+    report("C1: translation fidelity", [
+        f"kuhl final      = {results['kuhl_final']:.5f}",
+        f"streamer final  = {results['streamer_final']:.5f}",
+        "behaviour preserved; cost paid in objects and messages",
+    ])

@@ -1,0 +1,88 @@
+"""Experiment F1 — Figure 1: the State + Strategy class diagram, live.
+
+Figure 1 is the paper's architectural argument: capsule behaviour via the
+State pattern, streamer behaviour via the Strategy pattern (pluggable
+solvers).  This bench (a) rebuilds the figure from the metamodel and
+verifies it against the real library classes, (b) measures the cost of
+the two patterns where they matter at run time — a state-machine RTC
+dispatch and a solver hot swap mid-integration.
+"""
+
+import numpy as np
+
+from repro.core.solverbinding import SolverBinding
+from repro.metamodel import figure1_package, render_class_diagram, to_xmi
+from repro.metamodel.classdiagram import check_figure1_against_library
+from repro.umlrt.signal import Message
+from repro.umlrt.statemachine import StateMachine
+
+
+class _Ctx:
+    pass
+
+
+class _Port:
+    name = "p"
+
+
+def _toggle_machine():
+    sm = StateMachine("toggle")
+    sm.add_state("a")
+    sm.add_state("b")
+    sm.initial("a")
+    sm.add_transition("a", "b", trigger=("p", "go"))
+    sm.add_transition("b", "a", trigger=("p", "go"))
+    sm.start(_Ctx())
+    return sm
+
+
+def test_figure1_structure(benchmark, report):
+    def build():
+        pkg = figure1_package()
+        problems = check_figure1_against_library()
+        return pkg, problems, render_class_diagram(pkg)
+
+    pkg, problems, rendered = benchmark(build)
+    assert problems == []
+    assert pkg.children_of("Strategy") == [
+        "ConcreteStrategyA", "ConcreteStrategyB", "ConcreteStrategyC"
+    ]
+    xmi = to_xmi(pkg)
+    report("F1: Figure 1 (State + Strategy patterns)", [
+        rendered,
+        f"XMI serialisation: {len(xmi)} bytes",
+        "library check: all classifiers map to implemented classes",
+    ])
+
+
+def test_figure1_state_pattern_dispatch_cost(benchmark):
+    """One RTC dispatch of the capsule-side State pattern."""
+    sm = _toggle_machine()
+    message = Message("go", port=_Port())
+    context = _Ctx()
+
+    benchmark(lambda: sm.dispatch(context, message))
+    assert sm.rtc_steps > 0
+
+
+def test_figure1_strategy_hot_swap_cost(benchmark, report):
+    """Swap the concrete solver strategy between steps (Figure 1's whole
+    point: ConcreteStrategyA/B/C are interchangeable mid-run)."""
+    binding = SolverBinding("euler")
+    f = lambda t, y: -y  # noqa: E731
+    state = {"y": np.array([1.0]), "t": 0.0, "next": "rk4"}
+
+    def swap_and_step():
+        binding.rebind(state["next"])
+        state["next"] = "euler" if state["next"] == "rk4" else "rk4"
+        result = binding.step(f, state["t"], state["y"], 1e-3)
+        state["t"], state["y"] = result.t, result.y
+
+    benchmark(swap_and_step)
+    assert binding.swaps > 0
+    assert state["y"][0] < 1.0  # integration progressed across swaps
+    report("F1: strategy hot-swap", [
+        f"swaps performed: {binding.swaps}",
+        f"steps across swaps: {binding.steps_taken}",
+        f"state decayed to {state['y'][0]:.6f} (continuity preserved)",
+    ])

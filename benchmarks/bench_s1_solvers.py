@@ -1,0 +1,163 @@
+"""Experiment S1 — solver strategy sweep (the ``solver`` stereotype).
+
+Accuracy-versus-cost of every registered solver strategy on a smooth
+plant and a stiff plant, plus zero-crossing localisation accuracy as a
+function of step size.  Expected shapes: error ratios follow declared
+convergence orders; implicit solvers alone remain stable on the stiff
+plant at coarse steps; event localisation error is far below the step.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    EventSpec,
+    RK4,
+    SolverError,
+    available_solvers,
+    integrate,
+    make_solver,
+)
+
+
+def test_s1_accuracy_sweep(benchmark, report):
+    """All solvers on y' = -2y over [0, 1], h = 0.01."""
+    results = {}
+
+    def sweep():
+        for name in available_solvers():
+            solver = make_solver(name)
+            outcome = integrate(
+                lambda t, y: -2.0 * y, [1.0], 0.0, 1.0, solver, h=0.01
+            )
+            results[name] = {
+                "error": abs(outcome.y_final[0] - math.exp(-2.0)),
+                "steps": outcome.steps,
+                "order": solver.order,
+            }
+
+    benchmark(sweep)
+    lines = [f"{'solver':<16}{'order':>6}{'steps':>7}{'final error':>14}"]
+    for name, row in sorted(results.items(),
+                            key=lambda kv: kv[1]["error"], reverse=True):
+        lines.append(
+            f"{name:<16}{row['order']:>6}{row['steps']:>7}"
+            f"{row['error']:>14.2e}"
+        )
+    report("S1: solver accuracy on y' = -2y (h = 0.01)", lines)
+
+    # shape: higher order -> smaller error (within explicit family)
+    assert results["euler"]["error"] > results["heun"]["error"]
+    assert results["heun"]["error"] > results["rk4"]["error"]
+    assert results["backward_euler"]["error"] > \
+        results["trapezoidal"]["error"]
+    assert results["rk45"]["error"] < 1e-6
+
+
+def test_s1_convergence_orders(benchmark, report):
+    """Error ratio when halving h must be ~2^order."""
+    ratios = {}
+
+    def sweep():
+        for name in ("euler", "heun", "rk4", "backward_euler",
+                     "trapezoidal"):
+            errors = []
+            for h in (0.02, 0.01):
+                solver = make_solver(name)
+                outcome = integrate(
+                    lambda t, y: -y, [1.0], 0.0, 1.0, solver, h=h
+                )
+                errors.append(abs(outcome.y_final[0] - math.exp(-1.0)))
+            ratios[name] = (
+                errors[0] / errors[1], make_solver(name).order
+            )
+
+    benchmark(sweep)
+    lines = [f"{'solver':<16}{'order':>6}{'measured ratio':>15}"
+             f"{'expected 2^p':>13}"]
+    for name, (ratio, order) in ratios.items():
+        lines.append(f"{name:<16}{order:>6}{ratio:>15.2f}{2**order:>13}")
+        assert 2 ** order * 0.6 < ratio < 2 ** order * 1.6, name
+    report("S1: convergence orders (halving h)", lines)
+
+
+def test_s1_stiff_stability(benchmark, report):
+    """lambda = -1000, h = 0.05: explicit explodes, implicit decays."""
+    outcomes = {}
+
+    def sweep():
+        for name in available_solvers():
+            solver = make_solver(name)
+            try:
+                with np.errstate(over="ignore", invalid="ignore"):
+                    result = integrate(
+                        lambda t, y: -1000.0 * y, [1.0], 0.0, 1.0,
+                        solver, h=0.05,
+                    )
+                final = abs(result.y_final[0])
+                outcomes[name] = (
+                    "stable" if final < 1.0 else f"unstable ({final:.1e})"
+                )
+            except SolverError as exc:
+                outcomes[name] = f"failed ({type(exc).__name__})"
+
+    benchmark(sweep)
+    report("S1: stiff plant (lambda=-1000) at h=0.05", [
+        f"{name:<16}{status}" for name, status in outcomes.items()
+    ])
+    assert outcomes["backward_euler"] == "stable"
+    assert outcomes["trapezoidal"] == "stable"
+    assert "stable" != outcomes["euler"][:6]
+    assert outcomes["rk45"] == "stable"  # adaptive shrinks its way through
+
+
+def test_s1_event_localisation_accuracy(benchmark, report):
+    """Falling-ball impact time error vs integration step size."""
+    g = 9.81
+    t_hit = math.sqrt(2.0 * 10.0 / g)
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for h in (0.1, 0.02, 0.004):
+            ground = EventSpec("ground", lambda t, y: y[0],
+                               direction=-1, terminal=True)
+            result = integrate(
+                lambda t, y: np.array([y[1], -g]), [10.0, 0.0],
+                0.0, 5.0, RK4(), h=h, events=[ground],
+            )
+            rows.append((h, abs(result.t_final - t_hit)))
+
+    benchmark(sweep)
+    report("S1: zero-crossing localisation (falling ball)", [
+        f"h = {h:<8} impact-time error = {err:.2e}" for h, err in rows
+    ])
+    for h, err in rows:
+        assert err < h / 10  # localisation beats the step by >= 10x
+    assert rows[-1][1] < rows[0][1]
+
+
+def test_s1_adaptive_tolerance_response(benchmark, report):
+    """RK45: tightening rtol buys accuracy with sub-linear extra steps."""
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for rtol in (1e-3, 1e-6, 1e-9):
+            solver = make_solver("rk45", rtol=rtol, atol=rtol * 1e-3)
+            result = integrate(
+                lambda t, y: np.array([math.cos(3.0 * t)]), [0.0],
+                0.0, 10.0, solver, h=0.1,
+            )
+            error = abs(result.y_final[0] - math.sin(30.0) / 3.0)
+            rows.append((rtol, result.steps, error))
+
+    benchmark(sweep)
+    report("S1: RK45 tolerance sweep (y' = cos 3t)", [
+        f"rtol = {rtol:<8} steps = {steps:<6} error = {err:.2e}"
+        for rtol, steps, err in rows
+    ])
+    assert rows[2][2] < rows[0][2]
+    assert rows[2][1] < rows[0][1] * 40

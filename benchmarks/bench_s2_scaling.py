@@ -1,0 +1,246 @@
+"""Experiment S2 — end-to-end hybrid simulation scaling and ablations.
+
+Scaling of the hybrid scheduler with (a) streamer count, (b) state-machine
+size, and the two design-decision ablations DESIGN.md §6 calls out:
+(c) the major-step (sync) interval, and (d) event-restart on/off accuracy.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.flowtype import SCALAR
+from repro.core.model import HybridModel
+from repro.core.streamer import Streamer
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.statemachine import StateMachine
+
+
+class _Decay(Streamer):
+    state_size = 1
+
+    def __init__(self, name, lam=1.0):
+        super().__init__(name)
+        self.add_out("y", SCALAR)
+        self.params["lam"] = lam
+
+    def initial_state(self):
+        return np.array([1.0])
+
+    def derivatives(self, t, state):
+        return np.array([-self.params["lam"] * state[0]])
+
+    def compute_outputs(self, t, state):
+        self.out_scalar("y", state[0])
+
+
+def _chain_model(n):
+    model = HybridModel(f"chain{n}")
+    model.default_thread.h = 0.01
+    for index in range(n):
+        model.add_streamer(_Decay(f"d{index}", lam=1.0 + 0.01 * index))
+    return model
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_s2_streamer_count_scaling(benchmark, n):
+    def run():
+        model = _chain_model(n)
+        model.run(until=0.5, sync_interval=0.05)
+        return model
+
+    model = benchmark(run)
+    assert model.scheduler().network.stats()["leaves"] == n
+
+
+def test_s2_streamer_scaling_summary(benchmark, report):
+    import time
+
+    lines = []
+    walls = []
+
+    def sweep():
+        lines.clear()
+        walls.clear()
+        lines.append(f"{'streamers':>10}{'wall s / sim s':>16}")
+        for n in (4, 16, 64):
+            start = time.perf_counter()
+            model = _chain_model(n)
+            model.run(until=0.5, sync_interval=0.05)
+            wall = (time.perf_counter() - start) / 0.5
+            walls.append(wall)
+            lines.append(f"{n:>10}{wall:>16.3f}")
+
+    benchmark.pedantic(sweep, rounds=2, iterations=1)
+    report("S2: scaling with streamer count (h=0.01, sync=0.05)", lines)
+    # shape: roughly linear; 16x more streamers << 100x slower
+    assert walls[2] < walls[0] * 60
+
+
+class _BigMachine(Capsule):
+    def __init__(self, name, states):
+        self._n = states
+        self.visits = 0
+        super().__init__(name)
+
+    def build_behaviour(self):
+        sm = StateMachine("big")
+        for index in range(self._n):
+            sm.add_state(f"s{index}")
+        sm.initial("s0")
+        for index in range(self._n):
+            sm.add_transition(
+                f"s{index}", f"s{(index + 1) % self._n}",
+                trigger=("timer", "timeout"),
+                action=lambda c, m: setattr(c, "visits", c.visits + 1),
+            )
+        return sm
+
+    def on_start(self):
+        self.inform_every(0.01)
+
+
+@pytest.mark.parametrize("states", [4, 64])
+def test_s2_statemachine_size(benchmark, states):
+    """RTC dispatch cost as the machine grows (flat machines: O(1)-ish)."""
+
+    def run():
+        from repro.umlrt.runtime import RTSystem
+
+        rts = RTSystem("sm")
+        capsule = rts.add_top(_BigMachine("big", states))
+        rts.start()
+        rts.run(until=2.0)
+        return capsule
+
+    capsule = benchmark(run)
+    # 2.0 / 0.01 = 200 expiries, +-1 for float drift on the last tick
+    assert 199 <= capsule.visits <= 201
+
+
+def test_s2_sync_interval_ablation(benchmark, report):
+    """Cross-thread coupling error vs the major-step interval."""
+    rows = []
+
+    def sweep():
+        from tests.conftest import ConstLeaf, IntegratorLeaf
+
+        rows.clear()
+        for sync in (0.1, 0.02, 0.004):
+            model = HybridModel("sync")
+            fast = model.create_thread("fast", h=1e-3)
+            slow = model.create_thread("slow", h=1e-3)
+            source = model.add_streamer(ConstLeaf("c", 1.0), fast)
+            a = model.add_streamer(IntegratorLeaf("a"), fast)
+            b = model.add_streamer(IntegratorLeaf("b"), slow)
+            model.add_flow(source.dport("y"), a.dport("u"))
+            model.add_flow(a.dport("y"), b.dport("u"))  # crosses threads
+            model.add_probe("b", b.dport("y"))
+            model.run(until=1.0, sync_interval=sync)
+            error = abs(model.probe("b").y_final[0] - 0.5)
+            rows.append((sync, error))
+
+    benchmark(sweep)
+    report("S2: sync-interval ablation (cross-thread hold error)", [
+        f"sync = {sync:<8} |b(1) - 0.5| = {err:.2e}"
+        for sync, err in rows
+    ])
+    # shape: first-order in the sync interval
+    assert rows[2][1] < rows[0][1]
+
+
+def test_s2_event_restart_ablation(benchmark, report):
+    """Reaction delay with and without truncating the major step at the
+    first zero crossing."""
+
+    class Tripwire(Streamer):
+        state_size = 1
+        zero_crossing_names = ("level",)
+
+        def __init__(self, name):
+            super().__init__(name)
+            self.add_out("y", SCALAR)
+            self.trip_time = None
+
+        def derivatives(self, t, state):
+            return np.array([1.0])
+
+        def compute_outputs(self, t, state):
+            self.out_scalar("y", state[0])
+
+        def zero_crossings(self, t, state):
+            return (state[0] - 0.731,)  # off-grid crossing point
+
+        def on_zero_crossing(self, name, t, direction):
+            if self.trip_time is None:
+                self.trip_time = t
+
+    rows = {}
+
+    def run_both():
+        for restart in (True, False):
+            model = HybridModel(f"er{restart}")
+            wire = model.add_streamer(Tripwire("wire"))
+            model.run(until=1.0, sync_interval=0.05,
+                      event_restart=restart)
+            rows[restart] = abs(wire.trip_time - 0.731)
+
+    benchmark(run_both)
+    report("S2: event-restart ablation (localisation error)", [
+        f"event_restart=True : {rows[True]:.2e}",
+        f"event_restart=False: {rows[False]:.2e}",
+        "(both localise by interpolation; restart also realigns the "
+        "continuous state and discrete reaction to the crossing)",
+    ])
+    assert rows[True] < 1e-6
+    assert rows[False] < 1e-6  # localisation itself is interpolation-exact
+
+
+def test_s2_dense_events_ablation(benchmark, report):
+    """Secant vs cubic-Hermite event localisation on a curved trajectory
+    (falling ball, coarse 0.25 s sync interval)."""
+    import math
+
+    class Ball(Streamer):
+        state_size = 2
+        zero_crossing_names = ("ground",)
+
+        def __init__(self, name):
+            super().__init__(name)
+            self.add_out("h", SCALAR)
+            self.impact = None
+
+        def initial_state(self):
+            return np.array([10.0, 0.0])
+
+        def derivatives(self, t, state):
+            return np.array([state[1], -9.81])
+
+        def compute_outputs(self, t, state):
+            self.out_scalar("h", state[0])
+
+        def zero_crossings(self, t, state):
+            return (state[0],)
+
+        def on_zero_crossing(self, name, t, direction):
+            if self.impact is None:
+                self.impact = t
+
+    exact = math.sqrt(2.0 * 10.0 / 9.81)
+    errors = {}
+
+    def run_both():
+        for dense in (False, True):
+            model = HybridModel(f"ball{dense}")
+            ball = model.add_streamer(Ball("ball"))
+            model.run(until=2.0, sync_interval=0.25, dense_events=dense)
+            errors[dense] = abs(ball.impact - exact)
+
+    benchmark(run_both)
+    report("S2: dense-events ablation (impact-time error, sync=0.25)", [
+        f"secant (dense_events=False): {errors[False]:.2e}",
+        f"Hermite (dense_events=True): {errors[True]:.2e}",
+        f"improvement: {errors[False] / max(errors[True], 1e-16):.0f}x",
+    ])
+    assert errors[True] < errors[False]

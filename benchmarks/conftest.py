@@ -1,0 +1,57 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints the table/series it reproduces (run with ``-s`` to
+see them inline); the same summaries are appended to
+``benchmarks/results.txt`` so EXPERIMENTS.md can cite a stable artefact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS.write_text("")
+    yield
+
+
+@pytest.fixture
+def report():
+    """Print a block and append it to benchmarks/results.txt."""
+
+    def emit(title: str, lines) -> None:
+        block = [f"== {title} =="]
+        block.extend(str(line) for line in lines)
+        text = "\n".join(block)
+        print("\n" + text)
+        with RESULTS.open("a") as handle:
+            handle.write(text + "\n\n")
+
+    return emit
+
+
+def pid_plant_diagram(blocks: int = 0):
+    """The canonical closed loop used across C1/C2/S3, optionally padded
+    with a chain of extra unity-gain blocks to scale model size."""
+    from repro.dataflow import Diagram, FirstOrderLag, Gain, PID, Step, Sum
+
+    d = Diagram(f"loop{blocks}")
+    d.add(Step("ref", amplitude=1.0))
+    d.add(Sum("err", signs="+-"))
+    d.add(PID("pid", kp=3.0, ki=1.5, tf=0.5))
+    d.add(FirstOrderLag("plant", tau=0.4))
+    d.connect("ref.out", "err.in1")
+    d.connect("err.out", "pid.in")
+    previous = "pid.out"
+    for index in range(blocks):
+        d.add(Gain(f"pad{index}", k=1.0))
+        d.connect(previous, f"pad{index}.in")
+        previous = f"pad{index}.out"
+    d.connect(previous, "plant.in")
+    d.connect("plant.out", "err.in2")
+    return d

@@ -1,0 +1,158 @@
+"""Multi-rate streamer threads, solver strategies and schedulability.
+
+"In the model, we can use any number of streamers, which are assigned to
+one or several threads during implementation" (paper §2).  This example
+exercises exactly that freedom:
+
+* a *fast* electrical subsystem (motor current loop, time constant 2 ms)
+  runs on its own thread with a 0.2 ms RK4 step;
+* a *slow* thermal subsystem (time constant 30 s) runs on a second
+  thread with a 20 ms backward-Euler step (it is stiff relative to the
+  fast world's rates);
+* the flows crossing the two threads are sampled at sync points only —
+  the deliberate design decision of the paper's architecture;
+* the resulting thread set is checked for schedulability with
+  rate-monotonic analysis, and the same model is run once more on real
+  OS threads to show the mapping is direct.
+
+Run:  python examples/multirate_threads.py
+"""
+
+import time as wallclock
+
+import numpy as np
+
+from repro import HybridModel, Streamer
+from repro.analysis import (
+    liu_layland_bound,
+    response_time_analysis,
+    taskset_from_model,
+)
+from repro.core.flowtype import SCALAR
+
+
+class MotorElectrical(Streamer):
+    """di/dt = (V - R i - Ke w) / L   — fast dynamics (L/R = 2 ms)."""
+
+    state_size = 1
+
+    def __init__(self, name: str = "electrical") -> None:
+        super().__init__(name)
+        self.add_in("voltage", SCALAR)
+        self.add_out("current", SCALAR)
+        self.params.update(R=1.0, L=2e-3, Ke=0.01)
+
+    def derivatives(self, t, state):
+        p = self.params
+        v = self.in_scalar("voltage")
+        return np.array([(v - p["R"] * state[0]) / p["L"]])
+
+    def compute_outputs(self, t, state):
+        self.out_scalar("current", state[0])
+
+
+class VoltageSource(Streamer):
+    """A 50 Hz drive voltage."""
+
+    def __init__(self, name: str = "drive") -> None:
+        super().__init__(name)
+        self.add_out("voltage", SCALAR)
+
+    def compute_outputs(self, t, state):
+        self.out_scalar("voltage", 12.0 * (1.0 + 0.2 * np.sin(
+            2.0 * np.pi * 50.0 * t
+        )))
+
+
+class MotorThermal(Streamer):
+    """dT/dt = (R i^2 - (T - T_amb)/R_th) / C_th — slow and stiff
+    relative to the electrical rates."""
+
+    state_size = 1
+
+    def __init__(self, name: str = "thermal") -> None:
+        super().__init__(name)
+        self.add_in("current", SCALAR)
+        self.add_out("temp", SCALAR)
+        self.params.update(R=1.0, R_th=3.0, C_th=10.0, T_amb=25.0)
+
+    def initial_state(self):
+        return np.array([25.0])
+
+    def derivatives(self, t, state):
+        p = self.params
+        i = self.in_scalar("current")
+        heating = p["R"] * i * i
+        cooling = (state[0] - p["T_amb"]) / p["R_th"]
+        return np.array([(heating - cooling) / p["C_th"]])
+
+    def compute_outputs(self, t, state):
+        self.out_scalar("temp", state[0])
+
+
+def build_model(real_threads: bool = False) -> HybridModel:
+    model = HybridModel("motor")
+    fast = model.create_thread("fast", solver="rk4", h=2e-4)
+    slow = model.create_thread("slow", solver="backward_euler", h=2e-2)
+    drive = model.add_streamer(VoltageSource("drive"), fast)
+    electrical = model.add_streamer(MotorElectrical("electrical"), fast)
+    thermal = model.add_streamer(MotorThermal("thermal"), slow)
+    model.add_flow(drive.dport("voltage"), electrical.dport("voltage"))
+    # this flow crosses threads: sampled only at sync points
+    model.add_flow(electrical.dport("current"), thermal.dport("current"))
+    model.add_probe("current", electrical.dport("current"))
+    model.add_probe("temp", thermal.dport("temp"))
+    return model
+
+
+def main() -> None:
+    model = build_model()
+    t0 = wallclock.perf_counter()
+    model.run(until=5.0, sync_interval=0.02)
+    cooperative_wall = wallclock.perf_counter() - t0
+
+    current = model.probe("current").component(0)
+    temp = model.probe("temp").component(0)
+    print("multi-rate motor model, 5 s simulated")
+    # probes sample at sync points (20 ms), which aliases the 50 Hz
+    # ripple onto a constant phase -- the mean sits near, not at, 12 A
+    print(f"  current mean (t>1s): "
+          f"{current[len(current) // 5:].mean():6.3f} A (~12 A nominal)")
+    print(f"  winding temp rise  : {temp[-1] - 25.0:6.2f} K")
+    print(f"  fast thread minor steps: {model.threads[1].minor_steps}")
+    print(f"  slow thread minor steps: {model.threads[2].minor_steps}")
+    assert 10.0 < current[len(current) // 5:].mean() < 14.0
+    assert temp[-1] > 25.5, "no thermal response"
+
+    # ------------------------------------------------------------------
+    # schedulability of the thread set
+    # ------------------------------------------------------------------
+    taskset = taskset_from_model(model, sync_interval=0.02)
+    print("\nrate-monotonic analysis of the implementation threads:")
+    print(f"  utilisation: {taskset.utilisation:.3f} "
+          f"(Liu-Layland bound for {len(taskset.tasks)} tasks: "
+          f"{liu_layland_bound(len(taskset.tasks)):.3f})")
+    for name, result in response_time_analysis(taskset).items():
+        verdict = "ok" if result["schedulable"] else "MISS"
+        print(f"  {name:<24} R={result['response_time']:.4f} "
+              f"D={result['deadline']:.4f}  {verdict}")
+
+    # ------------------------------------------------------------------
+    # the same model on real OS threads
+    # ------------------------------------------------------------------
+    real = build_model()
+    t0 = wallclock.perf_counter()
+    real.run(until=5.0, sync_interval=0.02, real_threads=True)
+    real_wall = wallclock.perf_counter() - t0
+    real_temp = real.probe("temp").component(0)
+    drift = abs(real_temp[-1] - temp[-1])
+    print(f"\nreal-thread backend: temp drift vs cooperative = "
+          f"{drift:.2e} K (expect 0: slices are data-disjoint)")
+    print(f"  cooperative wall: {cooperative_wall:.2f} s, "
+          f"real threads wall: {real_wall:.2f} s")
+    assert drift < 1e-9
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,201 @@
+"""The paper's whole pitch in one script: requirement analysis -> model
+design -> validation -> simulation -> analysis -> UML export -> code
+generation, all on one platform.
+
+System under design: a tank level controller.
+
+* continuous: tank level ODE (in/out flow balance) as a dataflow diagram;
+* discrete: a supervisor capsule that opens/closes the drain valve and
+  trips a safety state on overflow (zero-crossing event);
+* requirements: functional (level reaches setpoint), timing (within a
+  bound), safety (never overflows) — all with executable acceptance
+  checks traced against the model;
+* outputs: validated model, trace report, UML package + XMI, generated
+  Python for the continuous part, generated C + Python skeletons for the
+  supervisor's state machine, and state-machine coverage of the run.
+
+Run:  python examples/unified_workflow.py
+"""
+
+import numpy as np
+
+from repro import Capsule, HybridModel, Protocol, StateMachine, Streamer
+from repro.analysis import render_coverage, step_metrics
+from repro.codegen import (
+    generate_python,
+    generate_statemachine_c,
+    generate_statemachine_python,
+)
+from repro.core.flowtype import SCALAR
+from repro.dataflow import Diagram, FirstOrderLag, PID, Step, Sum
+from repro.metamodel import model_to_package, to_xmi
+from repro.metamodel.export import model_stereotype_census
+from repro.requirements import RequirementSet, trace_report
+from repro.requirements.core import Kind, render_trace
+
+SAFETY = Protocol.define(
+    "TankSafety", outgoing=("acknowledge",), incoming=("overflow",)
+)
+
+
+# ----------------------------------------------------------------------
+# 1. requirement analysis
+# ----------------------------------------------------------------------
+def capture_requirements() -> RequirementSet:
+    reqs = RequirementSet("tank")
+    reqs.add(
+        "REQ-F1", "The level shall settle at the 1.0 m setpoint.",
+        kind=Kind.FUNCTIONAL,
+        check=lambda m: abs(m.probe("level").y_final[0] - 1.0) < 0.02,
+    )
+    reqs.add(
+        "REQ-T1", "The level shall settle within 60 s (2% band).",
+        kind=Kind.TIMING,
+        check=lambda m: (
+            m.probe("level").settling_time(0, 1.0, 0.02) or 1e9
+        ) < 60.0,
+    )
+    reqs.add(
+        "REQ-S1", "The level shall never exceed 1.5 m (overflow).",
+        kind=Kind.SAFETY,
+        check=lambda m: float(
+            m.probe("level").component(0).max()
+        ) < 1.5,
+    )
+    return reqs
+
+
+# ----------------------------------------------------------------------
+# 2. model design
+# ----------------------------------------------------------------------
+class TankMonitor(Streamer):
+    """Watches the level flow and raises the overflow event."""
+
+    zero_crossing_names = ("overflow",)
+    direct_feedthrough = False
+
+    def __init__(self, name: str = "monitor", limit: float = 1.5) -> None:
+        super().__init__(name)
+        self.add_in("level", SCALAR)
+        self.add_sport("safety", SAFETY.conjugate())
+        self.params["limit"] = limit
+
+    def zero_crossings(self, t, state):
+        return (self.in_scalar("level") - self.params["limit"],)
+
+    def on_zero_crossing(self, name, t, direction):
+        if direction > 0:
+            self.sport("safety").send("overflow", t)
+
+
+class TankSupervisor(Capsule):
+    """normal -> tripped on overflow; acknowledges the alarm."""
+
+    def build_structure(self):
+        self.create_port("alarm", SAFETY.base())
+
+    def build_behaviour(self):
+        sm = StateMachine("supervisor")
+        sm.trace_enabled = True
+        sm.add_state("normal")
+        sm.add_state(
+            "tripped",
+            entry=lambda c, m: c.send("alarm", "acknowledge"),
+        )
+        sm.initial("normal")
+        sm.add_transition("normal", "tripped",
+                          trigger=("alarm", "overflow"))
+        return sm
+
+
+def design_model() -> HybridModel:
+    diagram = Diagram("tank")
+    diagram.add(Step("setpoint", amplitude=1.0))
+    diagram.add(Sum("err", signs="+-"))
+    diagram.add(PID("pid", kp=3.0, ki=0.4, tf=0.5, u_min=0.0, u_max=2.0))
+    # tank: A dh/dt = q_in - k*h  ->  first-order lag
+    diagram.add(FirstOrderLag("tank", tau=10.0, k=1.0))
+    diagram.connect("setpoint.out", "err.in1")
+    diagram.connect("tank.out", "err.in2")
+    diagram.connect("err.out", "pid.in")
+    diagram.connect("pid.out", "tank.in")
+    diagram.expose("level", "tank.out")
+    diagram.finalise()
+
+    model = HybridModel("tank_system")
+    model.default_thread.h = 0.01
+    model.add_streamer(diagram)
+    monitor = model.add_streamer(TankMonitor("monitor"))
+    model.add_flow(diagram.dport("level"), monitor.dport("level"))
+    supervisor = model.add_capsule(TankSupervisor("supervisor"))
+    model.connect_sport(supervisor.port("alarm"), monitor.sport("safety"))
+    model.add_probe("level", diagram.port_at("tank.out"))
+    return model
+
+
+def main() -> None:
+    reqs = capture_requirements()
+    model = design_model()
+    reqs.link("REQ-F1", "level")
+    reqs.link("REQ-T1", "level")
+    reqs.link("REQ-S1", "monitor")
+    reqs.link("REQ-S1", "supervisor")
+
+    # 3. validation (W-rules)
+    violations = model.validate(strict=True)
+    print(f"validation: {len(violations)} warnings, 0 errors")
+
+    # 4. simulation
+    model.run(until=80.0, sync_interval=0.1)
+    metrics = step_metrics(model.probe("level"), target=1.0)
+    print(f"level final={metrics.final_value:.3f} m, "
+          f"settling={metrics.settling_time:.1f} s, "
+          f"overshoot={metrics.overshoot:.1%}")
+
+    # 5. requirements trace
+    entries = trace_report(reqs, model)
+    print("\ntraceability:")
+    print(render_trace(entries))
+    assert all(entry.satisfied for entry in entries)
+
+    # 6. UML export
+    package = model_to_package(model)
+    xmi = to_xmi(package)
+    census = model_stereotype_census(package)
+    print(f"\nUML export: {len(package.classifiers)} classes, "
+          f"{len(package.associations)} associations, "
+          f"{len(xmi)} bytes of XMI")
+    print(f"stereotype census: {census}")
+
+    # 7. code generation: continuous part + supervisor skeletons
+    continuous = generate_python(
+        design_model().streamers[0], records=["tank.out"]
+    )
+    supervisor_sm = model.rts.tops[0].behaviour
+    py_skeleton = generate_statemachine_python(supervisor_sm)
+    c_skeleton = generate_statemachine_c(supervisor_sm)
+    print(f"\ngenerated: {len(continuous.splitlines())} lines plant "
+          f"Python, {len(py_skeleton.splitlines())} lines SM Python, "
+          f"{len(c_skeleton.splitlines())} lines SM C")
+
+    # generated plant module reproduces the closed loop
+    namespace: dict = {}
+    exec(compile(continuous, "<tank>", "exec"), namespace)
+    generated_level = namespace["simulate"](80.0, h=0.01,
+                                            record_every=100)
+    gen_final = generated_level["tank.out"][-1]
+    assert abs(gen_final - metrics.final_value) < 1e-6
+    print(f"generated plant final level: {gen_final:.3f} m (matches)")
+
+    # 8. model-coverage of the supervisor after this run
+    print()
+    print(render_coverage(supervisor_sm))
+    # the overflow path never fired in the nominal run — coverage says so
+    from repro.analysis import coverage_of
+
+    assert coverage_of(supervisor_sm).state_coverage < 1.0
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline environment ships setuptools 65 but no ``wheel``, so PEP-517
+editable installs fail with "invalid command 'bdist_wheel'".  This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .``, which pip falls back to) use the legacy develop
+path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""repro: unified modeling of complex real-time control systems.
+
+A from-scratch reproduction of He Hai, Zhong Yi-fang, Cai Chi-lan,
+*Unified Modeling of Complex Real-Time Control Systems* (DATE 2005): a
+UML-RT runtime extended with **streamers** so hybrid discrete/continuous
+control systems can be modelled, validated, simulated and code-generated
+on one platform.
+
+Package map
+-----------
+- :mod:`repro.umlrt` — UML-RT substrate: capsules, ports, protocols,
+  hierarchical state machines, controllers, timing and frame services.
+- :mod:`repro.core` — the paper's extension: streamers, DPorts/SPorts,
+  flows/relays, flow types, solver bindings, the continuous Time service,
+  channels, streamer threads and the hybrid scheduler.
+- :mod:`repro.solvers` — ODE solver strategies plus zero-crossing events.
+- :mod:`repro.dataflow` — a Simulink-like continuous/discrete block
+  library built on streamers.
+- :mod:`repro.metamodel` — a small UML metamodel, the UML-RT profile, the
+  paper's extension profile (Table 1) and diagram renderers (Figures 1-3).
+- :mod:`repro.baselines` — the two prior approaches the paper argues
+  against: Kühl-style dataflow→capsule translation and Bichler-style
+  equations-in-states.
+- :mod:`repro.codegen` — Python and C code generation from hybrid models.
+- :mod:`repro.analysis` — trace metrics and schedulability analysis.
+
+Quick start
+-----------
+>>> from repro import HybridModel, Streamer
+>>> # see examples/quickstart.py for a complete runnable model
+"""
+
+from repro.core import (
+    Channel,
+    ChannelPolicy,
+    ContinuousTime,
+    DPort,
+    DataKind,
+    Direction,
+    Flow,
+    FlowType,
+    HybridModel,
+    HybridScheduler,
+    ModelBuilder,
+    Relay,
+    SPort,
+    SolverBinding,
+    Streamer,
+    StreamerThread,
+    validate_model,
+)
+from repro.umlrt import (
+    Capsule,
+    Controller,
+    Message,
+    Port,
+    PortKind,
+    Priority,
+    Protocol,
+    RTSystem,
+    Signal,
+    State,
+    StateMachine,
+    Transition,
+)
+from repro.solvers import available_solvers, integrate, make_solver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Capsule",
+    "Channel",
+    "ChannelPolicy",
+    "ContinuousTime",
+    "Controller",
+    "DPort",
+    "DataKind",
+    "Direction",
+    "Flow",
+    "FlowType",
+    "HybridModel",
+    "HybridScheduler",
+    "Message",
+    "ModelBuilder",
+    "Port",
+    "PortKind",
+    "Priority",
+    "Protocol",
+    "RTSystem",
+    "Relay",
+    "SPort",
+    "Signal",
+    "SolverBinding",
+    "State",
+    "StateMachine",
+    "Streamer",
+    "StreamerThread",
+    "Transition",
+    "available_solvers",
+    "integrate",
+    "make_solver",
+    "validate_model",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""Analysis utilities: control metrics, message traces, schedulability.
+
+* :mod:`repro.analysis.metrics` — step-response and trajectory-comparison
+  metrics used throughout EXPERIMENTS.md;
+* :mod:`repro.analysis.trace` — message-dispatch traces of the discrete
+  world (who received what, when, with what latency from send);
+* :mod:`repro.analysis.schedulability` — classic fixed-priority real-time
+  analysis (Liu–Layland utilisation bound and exact response-time
+  analysis) applied to the thread sets the paper's architecture produces.
+"""
+
+from repro.analysis.metrics import (
+    StepMetrics,
+    compare_trajectories,
+    iae,
+    ise,
+    itae,
+    step_metrics,
+)
+from repro.analysis.coverage import (
+    CoverageReport,
+    coverage_of,
+    render_coverage,
+)
+from repro.analysis.experiments import (
+    SweepRun,
+    best_run,
+    grid_points,
+    render_sweep,
+    sweep,
+)
+from repro.analysis.trace import DispatchRecord, MessageTrace
+from repro.analysis.schedulability import (
+    Task,
+    TaskSet,
+    liu_layland_bound,
+    response_time_analysis,
+    taskset_from_model,
+)
+
+__all__ = [
+    "CoverageReport",
+    "DispatchRecord",
+    "MessageTrace",
+    "coverage_of",
+    "render_coverage",
+    "StepMetrics",
+    "SweepRun",
+    "Task",
+    "TaskSet",
+    "best_run",
+    "grid_points",
+    "render_sweep",
+    "sweep",
+    "compare_trajectories",
+    "iae",
+    "ise",
+    "itae",
+    "liu_layland_bound",
+    "response_time_analysis",
+    "step_metrics",
+    "taskset_from_model",
+]

@@ -1,0 +1,91 @@
+"""State-machine coverage from execution traces.
+
+Model-based testing support: enable tracing on a capsule's machine
+(``sm.trace_enabled = True``), exercise the system, then ask which states
+were entered and which transitions fired.  The metrics mirror the classic
+model-coverage criteria (all-states, all-transitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.umlrt.statemachine import StateMachine
+
+
+class CoverageError(Exception):
+    """Raised when coverage is requested without tracing enabled."""
+
+
+@dataclass
+class CoverageReport:
+    """Coverage of one machine after a traced run."""
+
+    states_total: int
+    states_visited: Set[str]
+    transitions_total: int
+    transitions_fired: Set[Tuple[str, str]]
+    internal_fired: Set[str]
+
+    @property
+    def state_coverage(self) -> float:
+        if not self.states_total:
+            return 1.0
+        return len(self.states_visited) / self.states_total
+
+    @property
+    def transition_coverage(self) -> float:
+        if not self.transitions_total:
+            return 1.0
+        fired = len(self.transitions_fired) + len(self.internal_fired)
+        return min(1.0, fired / self.transitions_total)
+
+    def unvisited_states(self, machine: StateMachine) -> List[str]:
+        return sorted(
+            set(machine.all_states()) - self.states_visited
+        )
+
+
+def coverage_of(machine: StateMachine) -> CoverageReport:
+    """Compute coverage from the machine's trace."""
+    if not machine.trace_enabled:
+        raise CoverageError(
+            "enable tracing before the run: machine.trace_enabled = True"
+        )
+    visited: Set[str] = set()
+    fired: Set[Tuple[str, str]] = set()
+    internal: Set[str] = set()
+    for kind, detail in machine.trace:
+        if kind == "enter":
+            visited.add(detail)
+        elif kind == "fire":
+            source, __, target = detail.partition(" -> ")
+            fired.add((source, target))
+        elif kind == "internal":
+            internal.add(detail)
+    return CoverageReport(
+        states_total=len(machine.all_states()),
+        states_visited=visited,
+        transitions_total=machine.transition_count(),
+        transitions_fired=fired,
+        internal_fired=internal,
+    )
+
+
+def render_coverage(machine: StateMachine) -> str:
+    """A printable coverage summary."""
+    report = coverage_of(machine)
+    lines = [
+        f"state machine {machine.name!r} coverage:",
+        f"  states      : {len(report.states_visited)}/"
+        f"{report.states_total} ({report.state_coverage:.0%})",
+        f"  transitions : "
+        f"{len(report.transitions_fired) + len(report.internal_fired)}/"
+        f"{report.transitions_total} "
+        f"({report.transition_coverage:.0%})",
+    ]
+    unvisited = report.unvisited_states(machine)
+    if unvisited:
+        lines.append(f"  never entered: {', '.join(unvisited)}")
+    return "\n".join(lines)

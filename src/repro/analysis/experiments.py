@@ -1,0 +1,144 @@
+"""Batch experiment runner: parameter sweeps over model factories.
+
+Benchmarks and EXPERIMENTS.md-style studies share a shape: build a model
+from parameters, simulate, extract metrics, tabulate.  ``sweep`` runs
+that loop over a parameter grid; each run gets a *fresh* model from the
+factory, so runs are independent and order-insensitive.
+
+    grid = {"kp": [1.0, 2.0, 4.0], "ki": [0.5, 1.0]}
+    results = sweep(
+        factory=make_model,              # (kp=..., ki=...) -> HybridModel
+        grid=grid,
+        until=10.0,
+        metrics={"settle": lambda m: step_metrics(
+            m.probe("y"), 1.0).settling_time},
+    )
+    print(render_sweep(results))
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.core.model import HybridModel
+
+ModelFactory = Callable[..., HybridModel]
+Metric = Callable[[HybridModel], Any]
+
+
+class ExperimentError(Exception):
+    """Raised for empty grids or misbehaving factories."""
+
+
+@dataclass
+class SweepRun:
+    """One grid point: its parameters, metrics and outcome."""
+
+    params: Dict[str, Any]
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def grid_points(grid: Mapping[str, Iterable[Any]]) -> List[Dict[str, Any]]:
+    """The cartesian product of a parameter grid, as dicts."""
+    if not grid:
+        raise ExperimentError("empty parameter grid")
+    names = list(grid)
+    values = [list(grid[name]) for name in names]
+    for name, column in zip(names, values):
+        if not column:
+            raise ExperimentError(f"grid axis {name!r} has no values")
+    return [
+        dict(zip(names, combo)) for combo in itertools.product(*values)
+    ]
+
+
+def sweep(
+    factory: ModelFactory,
+    grid: Mapping[str, Iterable[Any]],
+    until: float,
+    metrics: Mapping[str, Metric],
+    sync_interval: float = 0.01,
+    keep_going: bool = True,
+    **run_kwargs: Any,
+) -> List[SweepRun]:
+    """Run ``factory(**params)`` for every grid point and collect metrics.
+
+    With ``keep_going`` (default) a failing run records its error and the
+    sweep continues; otherwise the first failure raises.
+    """
+    runs: List[SweepRun] = []
+    for params in grid_points(grid):
+        run = SweepRun(params=dict(params))
+        runs.append(run)
+        try:
+            model = factory(**params)
+            model.run(until=until, sync_interval=sync_interval,
+                      **run_kwargs)
+            for name, metric in metrics.items():
+                run.metrics[name] = metric(model)
+        except Exception as exc:  # noqa: BLE001 - reported per-run
+            if not keep_going:
+                raise
+            run.error = f"{type(exc).__name__}: {exc}"
+    return runs
+
+
+def best_run(
+    runs: List[SweepRun],
+    metric: str,
+    minimise: bool = True,
+) -> SweepRun:
+    """The successful run with the best value of ``metric``.
+
+    Runs whose metric is ``None`` (e.g. a settling time that never
+    settled) are skipped.
+    """
+    candidates = [
+        run for run in runs
+        if run.ok and run.metrics.get(metric) is not None
+    ]
+    if not candidates:
+        raise ExperimentError(
+            f"no successful runs carry metric {metric!r}"
+        )
+    return (min if minimise else max)(
+        candidates, key=lambda run: run.metrics[metric]
+    )
+
+
+def render_sweep(runs: List[SweepRun]) -> str:
+    """A printable table: one row per grid point."""
+    if not runs:
+        return "(empty sweep)"
+    param_names = list(runs[0].params)
+    metric_names = sorted({
+        name for run in runs for name in run.metrics
+    })
+    header = param_names + metric_names + ["status"]
+    widths = [max(10, len(name) + 2) for name in header]
+    lines = ["".join(
+        name.rjust(width) for name, width in zip(header, widths)
+    )]
+    for run in runs:
+        cells = [str(run.params[name]) for name in param_names]
+        for name in metric_names:
+            value = run.metrics.get(name)
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        cells.append("ok" if run.ok else "FAILED")
+        lines.append("".join(
+            cell.rjust(width) for cell, width in zip(cells, widths)
+        ))
+    failed = [run for run in runs if not run.ok]
+    for run in failed:
+        lines.append(f"  {run.params}: {run.error}")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Control-engineering metrics over trajectories.
+
+Step-response metrics (rise time, settling time, overshoot, steady-state
+error) and the integral criteria IAE/ISE/ITAE, plus trajectory-to-
+trajectory comparison on a common grid — the quantitative vocabulary of
+EXPERIMENTS.md and the example applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.solvers.history import Trajectory
+
+# numpy 2 renamed trapz -> trapezoid; support both
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+@dataclass
+class StepMetrics:
+    """Classic step-response characterisation."""
+
+    final_value: float
+    steady_state_error: float
+    rise_time: Optional[float]      # 10% -> 90% of target
+    settling_time: Optional[float]  # stays within +-band of target
+    overshoot: float                # fraction of target
+    peak: float
+    peak_time: float
+
+
+def step_metrics(
+    trajectory: Trajectory,
+    target: float,
+    component: Union[int, str] = 0,
+    band: float = 0.02,
+) -> StepMetrics:
+    """Compute step metrics for a response toward ``target``.
+
+    ``band`` is the settling band as a fraction of ``target`` (2% default)
+    when target is non-zero, absolute otherwise.
+    """
+    values = trajectory.component(component)
+    times = trajectory.times
+    final = float(values[-1])
+    abs_band = abs(target) * band if target != 0 else band
+
+    peak_idx = int(np.argmax(values)) if target >= values[0] else int(
+        np.argmin(values)
+    )
+    peak = float(values[peak_idx])
+    overshoot = 0.0
+    if target != values[0]:
+        excursion = (peak - target) / (target - values[0])
+        overshoot = max(0.0, float(excursion))
+
+    rise_time = _rise_time(times, values, values[0], target)
+    settling = trajectory.settling_time(component, target, abs_band)
+    return StepMetrics(
+        final_value=final,
+        steady_state_error=float(target - final),
+        rise_time=rise_time,
+        settling_time=settling,
+        overshoot=overshoot,
+        peak=peak,
+        peak_time=float(times[peak_idx]),
+    )
+
+
+def _rise_time(
+    times: np.ndarray, values: np.ndarray, start: float, target: float
+) -> Optional[float]:
+    span = target - start
+    if span == 0:
+        return 0.0
+    lo_level = start + 0.1 * span
+    hi_level = start + 0.9 * span
+    progress = (values - start) / span
+    t_lo = _first_crossing(times, progress, 0.1)
+    t_hi = _first_crossing(times, progress, 0.9)
+    if t_lo is None or t_hi is None or t_hi < t_lo:
+        return None
+    return float(t_hi - t_lo)
+
+
+def _first_crossing(
+    times: np.ndarray, values: np.ndarray, level: float
+) -> Optional[float]:
+    above = values >= level
+    if not above.any():
+        return None
+    idx = int(np.argmax(above))
+    if idx == 0:
+        return float(times[0])
+    # linear interpolation within the crossing interval
+    v0, v1 = values[idx - 1], values[idx]
+    if v1 == v0:
+        return float(times[idx])
+    alpha = (level - v0) / (v1 - v0)
+    return float(times[idx - 1] + alpha * (times[idx] - times[idx - 1]))
+
+
+# ----------------------------------------------------------------------
+# integral criteria
+# ----------------------------------------------------------------------
+def _error_series(
+    trajectory: Trajectory, target: float, component: Union[int, str]
+) -> tuple:
+    values = trajectory.component(component)
+    times = trajectory.times
+    return times, np.abs(target - values)
+
+
+def iae(trajectory: Trajectory, target: float,
+        component: Union[int, str] = 0) -> float:
+    """Integral of absolute error (trapezoidal)."""
+    times, err = _error_series(trajectory, target, component)
+    return float(_trapezoid(err, times))
+
+
+def ise(trajectory: Trajectory, target: float,
+        component: Union[int, str] = 0) -> float:
+    """Integral of squared error."""
+    times, err = _error_series(trajectory, target, component)
+    return float(_trapezoid(err ** 2, times))
+
+
+def itae(trajectory: Trajectory, target: float,
+         component: Union[int, str] = 0) -> float:
+    """Time-weighted integral of absolute error."""
+    times, err = _error_series(trajectory, target, component)
+    return float(_trapezoid(times * err, times))
+
+
+# ----------------------------------------------------------------------
+# trajectory comparison
+# ----------------------------------------------------------------------
+def compare_trajectories(
+    a: Trajectory,
+    b: Trajectory,
+    samples: int = 200,
+    component: Union[int, str] = 0,
+) -> dict:
+    """Max and RMS difference of two trajectories on a shared grid.
+
+    The grid spans the overlap of the two time ranges; each trajectory is
+    linearly interpolated onto it.
+    """
+    t0 = max(a.times[0], b.times[0])
+    t1 = min(a.t_final, b.t_final)
+    if t1 <= t0:
+        raise ValueError("trajectories do not overlap in time")
+    grid = np.linspace(t0, t1, samples)
+    if isinstance(component, str):
+        idx_a = a.labels.index(component) if a.labels else 0
+        idx_b = b.labels.index(component) if b.labels else 0
+    else:
+        idx_a = idx_b = component
+    va = np.array([a.sample(t)[idx_a] for t in grid])
+    vb = np.array([b.sample(t)[idx_b] for t in grid])
+    diff = va - vb
+    return {
+        "max_diff": float(np.max(np.abs(diff))),
+        "rms_diff": float(np.sqrt(np.mean(diff ** 2))),
+        "grid_points": samples,
+        "t0": float(t0),
+        "t1": float(t1),
+    }

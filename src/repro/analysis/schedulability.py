@@ -1,0 +1,177 @@
+"""Fixed-priority schedulability analysis.
+
+"During implementation, capsules and streamers are assigned to different
+threads" (paper §2) — which immediately raises the real-time question: is
+that thread set schedulable?  This module provides the classic answers
+for rate-monotonic fixed-priority scheduling:
+
+* :func:`liu_layland_bound` — the sufficient utilisation test
+  ``U <= n(2^(1/n) - 1)``;
+* :func:`response_time_analysis` — the exact (necessary & sufficient)
+  iterative response-time test for constrained-deadline task sets;
+* :func:`taskset_from_model` — derive a periodic task per streamer thread
+  (period = sync interval, cost = measured or estimated integration
+  slice) plus one per capsule controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.model import HybridModel
+
+
+class SchedulabilityError(Exception):
+    """Raised on malformed task sets."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """A periodic task: worst-case cost, period, deadline (= period if
+    omitted)."""
+
+    name: str
+    wcet: float
+    period: float
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0:
+            raise SchedulabilityError(f"{self.name}: non-positive WCET")
+        if self.period <= 0:
+            raise SchedulabilityError(f"{self.name}: non-positive period")
+        if self.effective_deadline < self.wcet:
+            raise SchedulabilityError(
+                f"{self.name}: deadline {self.effective_deadline} < WCET "
+                f"{self.wcet}"
+            )
+
+    @property
+    def effective_deadline(self) -> float:
+        return self.period if self.deadline is None else self.deadline
+
+    @property
+    def utilisation(self) -> float:
+        return self.wcet / self.period
+
+
+@dataclass
+class TaskSet:
+    """A set of periodic tasks under rate-monotonic priorities."""
+
+    tasks: List[Task] = field(default_factory=list)
+
+    def add(self, task: Task) -> "TaskSet":
+        self.tasks.append(task)
+        return self
+
+    @property
+    def utilisation(self) -> float:
+        return sum(task.utilisation for task in self.tasks)
+
+    def rate_monotonic_order(self) -> List[Task]:
+        """Shorter period = higher priority; name breaks ties."""
+        return sorted(self.tasks, key=lambda t: (t.period, t.name))
+
+
+def liu_layland_bound(n: int) -> float:
+    """The Liu & Layland utilisation bound for ``n`` tasks."""
+    if n <= 0:
+        raise SchedulabilityError(f"need n >= 1 tasks, got {n}")
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def utilisation_test(taskset: TaskSet) -> Dict[str, float]:
+    """Sufficient test: schedulable if U <= bound(n)."""
+    n = len(taskset.tasks)
+    bound = liu_layland_bound(n)
+    u = taskset.utilisation
+    return {
+        "tasks": n,
+        "utilisation": u,
+        "bound": bound,
+        "passes": float(u <= bound),
+    }
+
+
+def response_time_analysis(
+    taskset: TaskSet, max_iterations: int = 10_000
+) -> Dict[str, Dict[str, float]]:
+    """Exact RTA: fixed-point ``R = C + Σ ceil(R/T_j)·C_j`` over higher-
+    priority tasks.  Returns per-task response time and schedulability."""
+    import math
+
+    ordered = taskset.rate_monotonic_order()
+    results: Dict[str, Dict[str, float]] = {}
+    for index, task in enumerate(ordered):
+        higher = ordered[:index]
+        response = task.wcet
+        for __ in range(max_iterations):
+            interference = sum(
+                math.ceil(response / other.period) * other.wcet
+                for other in higher
+            )
+            next_response = task.wcet + interference
+            if next_response == response:
+                break
+            response = next_response
+            if response > task.effective_deadline:
+                break
+        results[task.name] = {
+            "response_time": response,
+            "deadline": task.effective_deadline,
+            "schedulable": float(response <= task.effective_deadline),
+        }
+    return results
+
+
+def taskset_schedulable(taskset: TaskSet) -> bool:
+    """True iff every task meets its deadline under exact RTA."""
+    return all(
+        entry["schedulable"] == 1.0
+        for entry in response_time_analysis(taskset).values()
+    )
+
+
+def taskset_from_model(
+    model: "HybridModel",
+    sync_interval: float,
+    streamer_wcet: Optional[Dict[str, float]] = None,
+    controller_wcet: float = 1e-4,
+    controller_period: Optional[float] = None,
+) -> TaskSet:
+    """Derive a rate-monotonic task set from a hybrid model.
+
+    Each streamer thread becomes a periodic task with period equal to the
+    sync interval and WCET either measured (``streamer_wcet[thread
+    name]``) or estimated as ``minor steps per slice × 10µs`` per leaf.
+    Each controller becomes a task at ``controller_period`` (default: the
+    sync interval) with ``controller_wcet``.
+    """
+    taskset = TaskSet()
+    for thread in model.threads:
+        if not thread.streamers and not thread.leaves:
+            continue
+        if streamer_wcet and thread.name in streamer_wcet:
+            wcet = streamer_wcet[thread.name]
+        else:
+            leaves = thread.leaves or [
+                leaf for top in thread.streamers for leaf in top.leaves()
+            ]
+            minor_steps = max(1, int(round(sync_interval / thread.h)))
+            wcet = max(1e-9, minor_steps * len(leaves) * 1e-5)
+        taskset.add(Task(
+            f"streamer:{thread.name}", wcet=wcet, period=sync_interval
+        ))
+    period = controller_period or sync_interval
+    for controller in model.rts.controllers:
+        if not controller.capsules:
+            continue
+        taskset.add(Task(
+            f"controller:{controller.name}",
+            wcet=controller_wcet,
+            period=period,
+        ))
+    return taskset

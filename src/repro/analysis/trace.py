@@ -1,0 +1,100 @@
+"""Message-dispatch traces of the discrete world.
+
+Attach a :class:`MessageTrace` to a running system and it records every
+dispatched message: logical dispatch time, send-to-dispatch latency (the
+paper's "unpredictable timing" made visible), receiving capsule, signal
+and priority.  Bench C3 uses the latency distribution of ``timeout``
+messages to quantify UML-RT timer jitter under load against the
+extension's continuous Time service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.umlrt.runtime import RTSystem
+from repro.umlrt.signal import Message
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """One dispatched message."""
+
+    time: float          # logical time at dispatch
+    sent_at: float       # message timestamp (when it entered the queue)
+    capsule: str
+    signal: str
+    priority: int
+
+    @property
+    def latency(self) -> float:
+        return self.time - self.sent_at
+
+
+class MessageTrace:
+    """Recorder of all dispatches in an RTSystem."""
+
+    def __init__(self, rts: RTSystem) -> None:
+        self.rts = rts
+        self.records: List[DispatchRecord] = []
+        self._attached = False
+
+    def attach(self) -> "MessageTrace":
+        """Install dispatch hooks on every controller."""
+        if self._attached:
+            return self
+        self._attached = True
+        for controller in self.rts.controllers:
+            previous = controller.on_dispatch
+
+            def hook(message: Message, capsule, _prev=previous) -> None:
+                if _prev is not None:
+                    _prev(message, capsule)
+                self.records.append(DispatchRecord(
+                    time=self.rts.now,
+                    sent_at=message.timestamp,
+                    capsule=capsule.instance_name,
+                    signal=message.signal,
+                    priority=int(message.priority),
+                ))
+
+            controller.on_dispatch = hook
+        return self
+
+    # ------------------------------------------------------------------
+    def by_signal(self, signal: str) -> List[DispatchRecord]:
+        return [r for r in self.records if r.signal == signal]
+
+    def by_capsule(self, capsule_name: str) -> List[DispatchRecord]:
+        return [r for r in self.records if r.capsule == capsule_name]
+
+    def latencies(self, signal: Optional[str] = None) -> np.ndarray:
+        records = self.records if signal is None else self.by_signal(signal)
+        return np.array([r.latency for r in records], dtype=float)
+
+    def latency_stats(self, signal: Optional[str] = None) -> Dict[str, float]:
+        """min/mean/max/p99 of dispatch latency (timer jitter for
+        ``signal="timeout"``)."""
+        lat = self.latencies(signal)
+        if lat.size == 0:
+            return {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0,
+                    "p99": 0.0}
+        return {
+            "count": int(lat.size),
+            "min": float(lat.min()),
+            "mean": float(lat.mean()),
+            "max": float(lat.max()),
+            "p99": float(np.percentile(lat, 99)),
+        }
+
+    def counts_by_signal(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.signal] = out.get(record.signal, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,41 @@
+"""Code generation from hybrid models.
+
+The paper's pitch is a single platform "from requirement analysis, model
+design, simulation, until generation code".  This package closes the last
+step for the continuous (streamer) half of a model:
+
+* :mod:`repro.codegen.pygen` — a standalone Python module (no ``repro``
+  import) with an RK4 integration loop; round-trip tested against the
+  library simulation in bench S3;
+* :mod:`repro.codegen.cgen` — equivalent C99 (single translation unit,
+  CSV output), validated structurally (the offline CI has no compiler);
+* :mod:`repro.codegen.common` — the shared lowering: flatten the diagram,
+  name signals/states, and emit per-block output/derivative expressions.
+
+Supported blocks: every continuous block of :mod:`repro.dataflow` plus
+ZOH/UnitDelay/DiscretePID sampled blocks.  Custom streamers raise
+:class:`~repro.codegen.common.UnsupportedBlockError` — generate from
+library blocks or extend the emitter registry.
+"""
+
+from repro.codegen.common import CodegenError, UnsupportedBlockError, lower
+from repro.codegen.pygen import generate_python
+from repro.codegen.cgen import generate_c
+from repro.codegen.smgen import (
+    SMGenError,
+    flatten_machine,
+    generate_statemachine_c,
+    generate_statemachine_python,
+)
+
+__all__ = [
+    "CodegenError",
+    "SMGenError",
+    "UnsupportedBlockError",
+    "flatten_machine",
+    "generate_c",
+    "generate_python",
+    "generate_statemachine_c",
+    "generate_statemachine_python",
+    "lower",
+]

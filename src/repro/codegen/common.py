@@ -1,0 +1,629 @@
+"""Shared lowering and per-block emitters for code generation.
+
+``lower(diagram)`` flattens a dataflow diagram (reusing the exact network
+resolution the simulator uses, so generated code and simulation agree on
+evaluation order) and produces a :class:`LoweredModel`: named signals,
+state layout, and per-block emitted code.
+
+Emitters build *portable expressions* through a :class:`Lang` object, so
+one emitter serves both the Python and the C backend.  Every block type of
+:mod:`repro.dataflow` that can be expressed without dynamic containers is
+supported; anything else raises :class:`UnsupportedBlockError` naming the
+block, which is the documented extension point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.network import FlatNetwork
+from repro.core.streamer import Streamer
+from repro.dataflow.diagram import Diagram
+
+
+class CodegenError(Exception):
+    """Raised on unlowerable models."""
+
+
+class UnsupportedBlockError(CodegenError):
+    """Raised when a block type has no emitter."""
+
+
+# ----------------------------------------------------------------------
+# target-language abstraction
+# ----------------------------------------------------------------------
+class Lang:
+    """Portable expression construction; subclassed per target."""
+
+    name = "abstract"
+
+    def num(self, value: float) -> str:
+        return repr(float(value))
+
+    def min(self, a: str, b: str) -> str:
+        raise NotImplementedError
+
+    def max(self, a: str, b: str) -> str:
+        raise NotImplementedError
+
+    def abs(self, a: str) -> str:
+        raise NotImplementedError
+
+    def sin(self, a: str) -> str:
+        raise NotImplementedError
+
+    def floor(self, a: str) -> str:
+        raise NotImplementedError
+
+    def fmod(self, a: str, b: str) -> str:
+        raise NotImplementedError
+
+    def if_expr(self, cond: str, then: str, otherwise: str) -> str:
+        raise NotImplementedError
+
+
+class PyLang(Lang):
+    name = "python"
+
+    def min(self, a, b):
+        return f"min({a}, {b})"
+
+    def max(self, a, b):
+        return f"max({a}, {b})"
+
+    def abs(self, a):
+        return f"abs({a})"
+
+    def sin(self, a):
+        return f"math.sin({a})"
+
+    def floor(self, a):
+        return f"math.floor({a})"
+
+    def fmod(self, a, b):
+        return f"math.fmod({a}, {b})"
+
+    def if_expr(self, cond, then, otherwise):
+        return f"(({then}) if ({cond}) else ({otherwise}))"
+
+
+class CLang(Lang):
+    name = "c"
+
+    def min(self, a, b):
+        return f"fmin({a}, {b})"
+
+    def max(self, a, b):
+        return f"fmax({a}, {b})"
+
+    def abs(self, a):
+        return f"fabs({a})"
+
+    def sin(self, a):
+        return f"sin({a})"
+
+    def floor(self, a):
+        return f"floor({a})"
+
+    def fmod(self, a, b):
+        return f"fmod({a}, {b})"
+
+    def if_expr(self, cond, then, otherwise):
+        return f"(({cond}) ? ({then}) : ({otherwise}))"
+
+
+# ----------------------------------------------------------------------
+# lowered model
+# ----------------------------------------------------------------------
+@dataclass
+class BlockCode:
+    """Emitted code fragments for one block."""
+
+    #: assignments computing the block's output signals (topological slot)
+    output_lines: List[str] = field(default_factory=list)
+    #: one expression per continuous state component (dstate/dt)
+    deriv_exprs: List[str] = field(default_factory=list)
+    #: held-variable names and initial values (sampled blocks)
+    held_vars: List[Tuple[str, float]] = field(default_factory=list)
+    #: statements run once per major step, after integration
+    sync_lines: List[str] = field(default_factory=list)
+
+
+@dataclass
+class LoweredModel:
+    """Everything a backend needs to emit a complete program."""
+
+    name: str
+    order: List[Streamer]
+    state_names: List[str]
+    initial_state: List[float]
+    signal_names: List[str]
+    code: Dict[int, BlockCode]
+    records: List[Tuple[str, str]]  # (label, signal var)
+    state_slice: Dict[int, Tuple[int, int]]
+
+
+def _san(name: str) -> str:
+    out = "".join(ch if ch.isalnum() else "_" for ch in name)
+    return out if not out[:1].isdigit() else f"b_{out}"
+
+
+class _Ctx:
+    """Naming context handed to emitters."""
+
+    def __init__(self, network: FlatNetwork, lang: Lang) -> None:
+        self.network = network
+        self.lang = lang
+        self._input_of: Dict[Tuple[int, str], str] = {}
+        for edge in network.edges:
+            self._input_of[(id(edge.dst_leaf), edge.dst_port.name)] = (
+                self.signal(edge.src_leaf, edge.src_port.name)
+            )
+
+    @staticmethod
+    def signal(leaf: Streamer, port: str) -> str:
+        return f"v_{_san(leaf.name)}_{_san(port)}"
+
+    def input(self, leaf: Streamer, port: str) -> str:
+        """Signal var feeding an IN port ('0.0' if unconnected)."""
+        return self._input_of.get((id(leaf), port), "0.0")
+
+    def state(self, leaf: Streamer, index: int) -> str:
+        lo, hi = self.network.state_slice(leaf)
+        if index >= hi - lo:
+            raise CodegenError(
+                f"{leaf.path()}: state index {index} out of range"
+            )
+        return f"x[{lo + index}]"
+
+    def held(self, leaf: Streamer, suffix: str = "held") -> str:
+        return f"h_{_san(leaf.name)}_{suffix}"
+
+
+Emitter = Callable[[Streamer, _Ctx], BlockCode]
+_EMITTERS: Dict[str, Emitter] = {}
+
+
+def register_emitter(class_name: str):
+    """Register an emitter for a block class (extension point)."""
+
+    def deco(fn: Emitter) -> Emitter:
+        _EMITTERS[class_name] = fn
+        return fn
+
+    return deco
+
+
+# ----------------------------------------------------------------------
+# emitters: sources
+# ----------------------------------------------------------------------
+@register_emitter("Constant")
+def _emit_constant(block, ctx):
+    out = ctx.signal(block, "out")
+    return BlockCode(
+        output_lines=[f"{out} = {ctx.lang.num(block.params['value'])}"]
+    )
+
+
+@register_emitter("Step")
+def _emit_step(block, ctx):
+    lang = ctx.lang
+    p = block.params
+    out = ctx.signal(block, "out")
+    expr = lang.if_expr(
+        f"t >= {lang.num(p['t_step'])}",
+        f"{lang.num(p['offset'])} + {lang.num(p['amplitude'])}",
+        lang.num(p["offset"]),
+    )
+    return BlockCode(output_lines=[f"{out} = {expr}"])
+
+
+@register_emitter("Ramp")
+def _emit_ramp(block, ctx):
+    lang = ctx.lang
+    p = block.params
+    out = ctx.signal(block, "out")
+    shifted = f"(t - {lang.num(p['t_start'])})"
+    expr = f"{lang.num(p['slope'])} * {lang.max(shifted, '0.0')}"
+    return BlockCode(output_lines=[f"{out} = {expr}"])
+
+
+@register_emitter("Sine")
+def _emit_sine(block, ctx):
+    lang = ctx.lang
+    p = block.params
+    out = ctx.signal(block, "out")
+    two_pi_f = 2.0 * 3.141592653589793 * p["freq"]
+    angle = f"{lang.num(two_pi_f)} * t + {lang.num(p['phase'])}"
+    expr = (
+        f"{lang.num(p['amplitude'])} * {lang.sin(angle)}"
+        f" + {lang.num(p['offset'])}"
+    )
+    return BlockCode(output_lines=[f"{out} = {expr}"])
+
+
+@register_emitter("Pulse")
+def _emit_pulse(block, ctx):
+    lang = ctx.lang
+    p = block.params
+    out = ctx.signal(block, "out")
+    phase = f"{lang.fmod('t', lang.num(p['period']))} / {lang.num(p['period'])}"
+    expr = lang.if_expr(
+        f"({phase}) < {lang.num(p['duty'])}", lang.num(p["amplitude"]), "0.0"
+    )
+    return BlockCode(output_lines=[f"{out} = {expr}"])
+
+
+@register_emitter("TimeSource")
+def _emit_timesource(block, ctx):
+    out = ctx.signal(block, "out")
+    return BlockCode(
+        output_lines=[f"{out} = t * {ctx.lang.num(block.params['scale'])}"]
+    )
+
+
+# ----------------------------------------------------------------------
+# emitters: arithmetic
+# ----------------------------------------------------------------------
+@register_emitter("Gain")
+def _emit_gain(block, ctx):
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    return BlockCode(
+        output_lines=[f"{out} = {ctx.lang.num(block.params['k'])} * {u}"]
+    )
+
+
+@register_emitter("Bias")
+def _emit_bias(block, ctx):
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    return BlockCode(
+        output_lines=[f"{out} = {u} + {ctx.lang.num(block.params['bias'])}"]
+    )
+
+
+@register_emitter("Sum")
+def _emit_sum(block, ctx):
+    out = ctx.signal(block, "out")
+    terms = []
+    for index, sign in enumerate(block.params["signs"]):
+        u = ctx.input(block, f"in{index + 1}")
+        terms.append(f"{'+' if sign == '+' else '-'} {u}")
+    return BlockCode(output_lines=[f"{out} = {' '.join(terms)}"])
+
+
+@register_emitter("Product")
+def _emit_product(block, ctx):
+    out = ctx.signal(block, "out")
+    factors = " * ".join(
+        ctx.input(block, f"in{i + 1}") for i in range(block.params["n"])
+    )
+    return BlockCode(output_lines=[f"{out} = {factors}"])
+
+
+@register_emitter("Abs")
+def _emit_abs(block, ctx):
+    out = ctx.signal(block, "out")
+    return BlockCode(
+        output_lines=[f"{out} = {ctx.lang.abs(ctx.input(block, 'in'))}"]
+    )
+
+
+# ----------------------------------------------------------------------
+# emitters: nonlinearities
+# ----------------------------------------------------------------------
+@register_emitter("Saturation")
+def _emit_saturation(block, ctx):
+    lang = ctx.lang
+    p = block.params
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    expr = lang.min(
+        lang.num(p["upper"]), lang.max(lang.num(p["lower"]), u)
+    )
+    return BlockCode(output_lines=[f"{out} = {expr}"])
+
+
+@register_emitter("DeadZone")
+def _emit_deadzone(block, ctx):
+    lang = ctx.lang
+    w = lang.num(block.params["width"])
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    expr = lang.if_expr(
+        f"{u} > {w}", f"{u} - {w}",
+        lang.if_expr(f"{u} < -{w}", f"{u} + {w}", "0.0"),
+    )
+    return BlockCode(output_lines=[f"{out} = {expr}"])
+
+
+@register_emitter("Quantizer")
+def _emit_quantizer(block, ctx):
+    lang = ctx.lang
+    step = lang.num(block.params["step"])
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    expr = f"{step} * {lang.floor(f'{u} / {step} + 0.5')}"
+    return BlockCode(output_lines=[f"{out} = {expr}"])
+
+
+# ----------------------------------------------------------------------
+# emitters: dynamics
+# ----------------------------------------------------------------------
+@register_emitter("Integrator")
+def _emit_integrator(block, ctx):
+    lang = ctx.lang
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    x = ctx.state(block, 0)
+    y = x
+    deriv = u
+    if block.upper is not None:
+        y = lang.min(lang.num(block.upper), y)
+        deriv = lang.if_expr(
+            f"{x} >= {lang.num(block.upper)} and {u} > 0.0"
+            if lang.name == "python"
+            else f"{x} >= {lang.num(block.upper)} && {u} > 0.0",
+            "0.0", deriv,
+        )
+    if block.lower is not None:
+        y = lang.max(lang.num(block.lower), y)
+        deriv = lang.if_expr(
+            f"{x} <= {lang.num(block.lower)} and {u} < 0.0"
+            if lang.name == "python"
+            else f"{x} <= {lang.num(block.lower)} && {u} < 0.0",
+            "0.0", deriv,
+        )
+    return BlockCode(
+        output_lines=[f"{out} = {y}"], deriv_exprs=[deriv]
+    )
+
+
+@register_emitter("FirstOrderLag")
+def _emit_lag(block, ctx):
+    lang = ctx.lang
+    p = block.params
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    x = ctx.state(block, 0)
+    return BlockCode(
+        output_lines=[f"{out} = {x}"],
+        deriv_exprs=[
+            f"({lang.num(p['k'])} * {u} - {x}) / {lang.num(p['tau'])}"
+        ],
+    )
+
+
+@register_emitter("SecondOrderSystem")
+def _emit_pt2(block, ctx):
+    lang = ctx.lang
+    p = block.params
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    x0, x1 = ctx.state(block, 0), ctx.state(block, 1)
+    omega2 = lang.num(p["omega"] ** 2)
+    damp = lang.num(2.0 * p["zeta"] * p["omega"])
+    return BlockCode(
+        output_lines=[f"{out} = {x0}"],
+        deriv_exprs=[
+            x1,
+            f"{omega2} * ({lang.num(p['k'])} * {u} - {x0}) - {damp} * {x1}",
+        ],
+    )
+
+
+@register_emitter("PID")
+def _emit_pid(block, ctx):
+    lang = ctx.lang
+    p = block.params
+    out = ctx.signal(block, "out")
+    e = ctx.input(block, "in")
+    integral, e_filt = ctx.state(block, 0), ctx.state(block, 1)
+    de = f"(({e}) - {e_filt}) / {lang.num(p['tf'])}"
+    raw = (
+        f"{lang.num(p['kp'])} * ({e}) + {lang.num(p['ki'])} * {integral} "
+        f"+ {lang.num(p['kd'])} * ({de})"
+    )
+    saturated = raw
+    if block.u_max is not None:
+        saturated = lang.min(lang.num(block.u_max), saturated)
+    if block.u_min is not None:
+        saturated = lang.max(lang.num(block.u_min), saturated)
+    d_integral = e
+    if block.u_max is not None or block.u_min is not None:
+        cond_and = " and " if lang.name == "python" else " && "
+        d_integral = lang.if_expr(
+            f"({raw}) != ({saturated}){cond_and}({raw}) * ({e}) > 0.0",
+            "0.0", e,
+        )
+    return BlockCode(
+        output_lines=[f"{out} = {saturated}"],
+        deriv_exprs=[d_integral, de],
+    )
+
+
+@register_emitter("TransferFunction")
+def _emit_tf(block, ctx):
+    lang = ctx.lang
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    n = block.n
+    states = [ctx.state(block, i) for i in range(n)]
+    y_terms = [f"{lang.num(block.d)} * {u}"] if block.d else []
+    for i, coeff in enumerate(block.c[::-1]):
+        if coeff:
+            y_terms.append(f"{lang.num(coeff)} * {states[i]}")
+    y_expr = " + ".join(y_terms) if y_terms else "0.0"
+    derivs = [states[i + 1] for i in range(n - 1)] if n > 1 else []
+    last_terms = [u]
+    for i, coeff in enumerate(block.a[::-1]):
+        if coeff:
+            last_terms.append(f"- {lang.num(coeff)} * {states[i]}")
+    if n >= 1:
+        derivs.append(" ".join(last_terms))
+    return BlockCode(output_lines=[f"{out} = {y_expr}"], deriv_exprs=derivs)
+
+
+@register_emitter("StateSpace")
+def _emit_ss(block, ctx):
+    lang = ctx.lang
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    n = block.a.shape[0]
+    states = [ctx.state(block, i) for i in range(n)]
+    y_terms = [
+        f"{lang.num(block.c[i])} * {states[i]}"
+        for i in range(n) if block.c[i]
+    ]
+    if block.d:
+        y_terms.append(f"{lang.num(block.d)} * {u}")
+    derivs = []
+    for i in range(n):
+        terms = [
+            f"{lang.num(block.a[i, j])} * {states[j]}"
+            for j in range(n) if block.a[i, j]
+        ]
+        if block.b[i]:
+            terms.append(f"{lang.num(block.b[i])} * {u}")
+        derivs.append(" + ".join(terms) if terms else "0.0")
+    return BlockCode(
+        output_lines=[
+            f"{out} = {' + '.join(y_terms) if y_terms else '0.0'}"
+        ],
+        deriv_exprs=derivs,
+    )
+
+
+# ----------------------------------------------------------------------
+# emitters: sampled blocks (held state + sync updates)
+# ----------------------------------------------------------------------
+def _next_sample_expr(lang: Lang, ts: str) -> str:
+    # round t to the nearest grid index before advancing, so a time a few
+    # ulps below a grid point does not cause a double sample
+    ratio = f"t / {ts} + 0.5"
+    return f"({lang.floor(ratio)} + 1.0) * {ts}"
+
+
+@register_emitter("ZeroOrderHold")
+def _emit_zoh(block, ctx):
+    lang = ctx.lang
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    held = ctx.held(block)
+    nxt = ctx.held(block, "next")
+    ts = lang.num(block.params["ts"])
+    cond = f"t + 1e-12 >= {nxt}"
+    advance = _next_sample_expr(lang, ts)
+    return BlockCode(
+        output_lines=[f"{out} = {held}"],
+        held_vars=[(held, 0.0), (nxt, 0.0)],
+        sync_lines=[
+            f"{held} = {lang.if_expr(cond, u, held)}",
+            f"{nxt} = {lang.if_expr(cond, advance, nxt)}",
+        ],
+    )
+
+
+@register_emitter("UnitDelay")
+def _emit_unit_delay(block, ctx):
+    lang = ctx.lang
+    out = ctx.signal(block, "out")
+    u = ctx.input(block, "in")
+    held = ctx.held(block)
+    store = ctx.held(block, "store")
+    nxt = ctx.held(block, "next")
+    ts = lang.num(block.params["ts"])
+    cond = f"t + 1e-12 >= {nxt}"
+    advance = _next_sample_expr(lang, ts)
+    return BlockCode(
+        output_lines=[f"{out} = {held}"],
+        held_vars=[(held, 0.0), (store, block._store), (nxt, 0.0)],
+        sync_lines=[
+            f"{held} = {lang.if_expr(cond, store, held)}",
+            f"{store} = {lang.if_expr(cond, u, store)}",
+            f"{nxt} = {lang.if_expr(cond, advance, nxt)}",
+        ],
+    )
+
+
+@register_emitter("Scope")
+def _emit_scope(block, ctx):
+    return BlockCode()  # recording handled by the backend
+
+
+@register_emitter("Terminator")
+def _emit_terminator(block, ctx):
+    return BlockCode()
+
+
+# ----------------------------------------------------------------------
+# lowering
+# ----------------------------------------------------------------------
+def lower(
+    diagram: Diagram,
+    lang: Lang,
+    records: Optional[List[str]] = None,
+) -> LoweredModel:
+    """Flatten ``diagram`` and emit per-block code for ``lang``.
+
+    ``records`` is a list of ``"block.port"`` paths to record each step;
+    defaults to every Scope input and every dangling leaf OUT port.
+    """
+    diagram.finalise()
+    network = FlatNetwork([diagram])
+    ctx = _Ctx(network, lang)
+    code: Dict[int, BlockCode] = {}
+    for leaf in network.order:
+        emitter = _EMITTERS.get(type(leaf).__name__)
+        if emitter is None:
+            raise UnsupportedBlockError(
+                f"no code emitter for block type "
+                f"{type(leaf).__name__!r} ({leaf.path()}); supported: "
+                f"{sorted(_EMITTERS)}"
+            )
+        code[id(leaf)] = emitter(leaf, ctx)
+
+    state_names: List[str] = []
+    slice_of: Dict[int, Tuple[int, int]] = {}
+    for leaf in network.order:
+        lo, hi = network.state_slice(leaf)
+        slice_of[id(leaf)] = (lo, hi)
+        for i in range(hi - lo):
+            state_names.append(f"{_san(leaf.name)}_{i}")
+
+    signal_names = sorted({
+        ctx.signal(leaf, port.name)
+        for leaf in network.order
+        for port in leaf.dports.values()
+        if port.is_out
+    })
+
+    record_pairs: List[Tuple[str, str]] = []
+    if records:
+        for path in records:
+            port = diagram.port_at(path)
+            if port.is_out:
+                record_pairs.append((path, ctx.signal(port.owner, port.name)))
+            else:
+                record_pairs.append((path, ctx.input(port.owner, port.name)))
+    else:
+        for leaf in network.order:
+            if type(leaf).__name__ == "Scope":
+                for port in leaf.dports.values():
+                    record_pairs.append((
+                        f"{leaf.name}.{port.name}",
+                        ctx.input(leaf, port.name),
+                    ))
+
+    return LoweredModel(
+        name=diagram.name,
+        order=list(network.order),
+        state_names=state_names,
+        initial_state=[float(v) for v in network.initial_state()],
+        signal_names=signal_names,
+        code=code,
+        records=record_pairs,
+        state_slice=slice_of,
+    )

@@ -1,0 +1,290 @@
+"""State-machine code generation (Rose-RT style skeletons).
+
+Capsule behaviour is defined with Python callables (guards, actions), so
+unlike the dataflow generators this one emits *skeletons*: the complete
+static structure — states, the flattened transition table, entry/exit
+chains, initial drilling — with actions as overridable hooks:
+
+* Python backend: a table-driven ``class <Name>StateMachine`` whose
+  ``on_enter_<state>`` / ``on_exit_<state>`` / ``action_<src>__<dst>``
+  methods the user overrides;
+* C backend: a state enum, a flattened transition table and a
+  ``dispatch`` function calling ``extern`` action hooks.
+
+The flattening is computed from the live machine: for every leaf state
+and trigger, the fired transition (inner shadows outer), the exact exit
+chain up to the LCA, the entry chain down, and the final leaf after
+following initial transitions.  Dynamic features that cannot be
+statically flattened — guards, choice points, history — raise
+:class:`SMGenError` naming the offending element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.common import CodegenError
+from repro.umlrt.statemachine import State, StateMachine
+
+
+class SMGenError(CodegenError):
+    """Raised for machines with features the generator cannot flatten."""
+
+
+@dataclass(frozen=True)
+class FlatTransition:
+    """One row of the flattened transition table."""
+
+    source: str                 # leaf state path
+    port: Optional[str]         # None = any port
+    signal: str
+    exits: Tuple[str, ...]      # state paths, innermost first
+    action: str                 # canonical action hook name
+    entries: Tuple[str, ...]    # state paths, outermost first
+    target: str                 # final leaf after initial drilling
+
+
+def flatten_machine(machine: StateMachine) -> List[FlatTransition]:
+    """Compute the static transition table of a hierarchical machine."""
+    _reject_dynamic_features(machine)
+    leaves = [
+        machine.state(path) for path in machine.all_states()
+        if not machine.state(path).is_composite
+    ]
+    rows: List[FlatTransition] = []
+    for leaf in leaves:
+        taken: set = set()
+        node: Optional[State] = leaf
+        while node is not None and node.parent is not None:
+            for transition in node.transitions:
+                for port, signal in transition.triggers:
+                    key = (port, signal)
+                    shadowed = key in taken or (None, signal) in taken
+                    if shadowed:
+                        continue
+                    taken.add(key)
+                    rows.append(_flatten_one(
+                        machine, leaf, node, transition, port, signal
+                    ))
+            node = node.parent
+    return rows
+
+
+def _reject_dynamic_features(machine: StateMachine) -> None:
+    if machine.choice_points:
+        raise SMGenError(
+            f"machine {machine.name!r}: choice points "
+            f"{sorted(machine.choice_points)} cannot be statically "
+            "flattened"
+        )
+    for path in machine.all_states():
+        state = machine.state(path)
+        if state.history is not None:
+            raise SMGenError(
+                f"machine {machine.name!r}: state {path!r} uses history"
+            )
+        for transition in state.transitions:
+            if transition.guard is not None:
+                raise SMGenError(
+                    f"machine {machine.name!r}: transition from {path!r} "
+                    "has a guard"
+                )
+
+
+def _flatten_one(machine, leaf, source_holder, transition, port, signal):
+    if transition.internal:
+        return FlatTransition(
+            source=leaf.path(), port=port, signal=signal,
+            exits=(), entries=(),
+            action=_action_name(leaf.path(), leaf.path()),
+            target=leaf.path(),
+        )
+    target = machine.state(transition.target)
+    lca = machine._lowest_common_ancestor(leaf, target)
+    exits: List[str] = []
+    node = leaf
+    while node is not None and node is not lca:
+        exits.append(node.path())
+        node = node.parent
+    entries: List[str] = []
+    node = target
+    while node is not None and node is not lca and node.parent is not None:
+        entries.append(node.path())
+        node = node.parent
+    entries.reverse()
+    # drill through initial transitions to the final leaf
+    final = target
+    while final.is_composite:
+        if final.initial_target is None:
+            raise SMGenError(
+                f"composite {final.path()!r} has no initial transition"
+            )
+        final = machine.state(final.initial_target)
+        entries.append(final.path())
+    return FlatTransition(
+        source=leaf.path(), port=port, signal=signal,
+        exits=tuple(exits),
+        action=_action_name(leaf.path(), final.path()),
+        entries=tuple(entries),
+        target=final.path(),
+    )
+
+
+def _san(text: str) -> str:
+    return text.replace(".", "_")
+
+
+def _action_name(source: str, target: str) -> str:
+    return f"action_{_san(source)}__{_san(target)}"
+
+
+def _initial_chain(machine: StateMachine) -> Tuple[List[str], str]:
+    if machine.root.initial_target is None:
+        raise SMGenError(f"machine {machine.name!r} has no initial state")
+    state = machine.state(machine.root.initial_target)
+    chain = [s.path() for s in reversed([state] + state.ancestors())]
+    while state.is_composite:
+        if state.initial_target is None:
+            raise SMGenError(
+                f"composite {state.path()!r} has no initial transition"
+            )
+        state = machine.state(state.initial_target)
+        chain.append(state.path())
+    return chain, state.path()
+
+
+# ----------------------------------------------------------------------
+# Python backend
+# ----------------------------------------------------------------------
+def generate_statemachine_python(machine: StateMachine) -> str:
+    """Generate a standalone table-driven Python state machine class."""
+    rows = flatten_machine(machine)
+    initial_entries, initial_leaf = _initial_chain(machine)
+    class_name = f"{_san(machine.name).title().replace('_', '')}StateMachine"
+    hooks = sorted({row.action for row in rows})
+    states = sorted({row.source for row in rows}
+                    | {row.target for row in rows} | {initial_leaf})
+
+    out: List[str] = []
+    out.append('"""Auto-generated by repro.codegen.smgen -- do not edit.')
+    out.append("")
+    out.append(f"Source machine: {machine.name}")
+    out.append('Override on_enter_*/on_exit_*/action_* hooks as needed."""')
+    out.append("")
+    out.append("")
+    out.append(f"class {class_name}:")
+    out.append(f"    STATES = {states!r}")
+    out.append(f"    INITIAL = {initial_leaf!r}")
+    out.append("")
+    out.append("    #: (state, port, signal) -> (exits, action, entries,"
+               " target); port None = any")
+    out.append("    TRANSITIONS = {")
+    for row in rows:
+        key = (row.source, row.port, row.signal)
+        value = (row.exits, row.action, row.entries, row.target)
+        out.append(f"        {key!r}: {value!r},")
+    out.append("    }")
+    out.append("")
+    out.append("    def __init__(self):")
+    out.append("        self.state = None")
+    out.append("        self.dropped = 0")
+    out.append("")
+    out.append("    def start(self):")
+    for path in initial_entries:
+        out.append(f"        self._hook('on_enter_{_san(path)}')")
+    out.append(f"        self.state = {initial_leaf!r}")
+    out.append("")
+    out.append("    def dispatch(self, port, signal, data=None):")
+    out.append("        key = (self.state, port, signal)")
+    out.append("        row = self.TRANSITIONS.get(key)")
+    out.append("        if row is None:")
+    out.append("            row = self.TRANSITIONS.get("
+               "(self.state, None, signal))")
+    out.append("        if row is None:")
+    out.append("            self.dropped += 1")
+    out.append("            return False")
+    out.append("        exits, action, entries, target = row")
+    out.append("        for path in exits:")
+    out.append("            self._hook('on_exit_' + path.replace('.', '_'))")
+    out.append("        self._hook(action, data)")
+    out.append("        for path in entries:")
+    out.append("            self._hook('on_enter_' + path.replace('.', '_'))")
+    out.append("        self.state = target")
+    out.append("        return True")
+    out.append("")
+    out.append("    def _hook(self, name, data=None):")
+    out.append("        handler = getattr(self, name, None)")
+    out.append("        if handler is not None:")
+    out.append("            handler() if data is None else handler(data)")
+    out.append("")
+    out.append("    # --- override points "
+               "--------------------------------------")
+    for hook in hooks:
+        out.append(f"    def {hook}(self, data=None):")
+        out.append("        pass")
+        out.append("")
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# C backend
+# ----------------------------------------------------------------------
+def generate_statemachine_c(machine: StateMachine) -> str:
+    """Generate a C skeleton: enum, transition table, dispatch()."""
+    rows = flatten_machine(machine)
+    __, initial_leaf = _initial_chain(machine)
+    states = sorted({row.source for row in rows}
+                    | {row.target for row in rows} | {initial_leaf})
+    state_enum = {path: f"STATE_{_san(path).upper()}" for path in states}
+    hooks = sorted({row.action for row in rows})
+    signals = sorted({row.signal for row in rows})
+    signal_enum = {sig: f"SIG_{sig.upper()}" for sig in signals}
+
+    out: List[str] = []
+    out.append(f"/* Auto-generated by repro.codegen.smgen -- do not edit.")
+    out.append(f" * Source machine: {machine.name}")
+    out.append(" * Provide the extern action hooks in user code. */")
+    out.append("#include <stddef.h>")
+    out.append("")
+    out.append("typedef enum {")
+    for path in states:
+        out.append(f"    {state_enum[path]},")
+    out.append("} sm_state_t;")
+    out.append("")
+    out.append("typedef enum {")
+    for sig in signals:
+        out.append(f"    {signal_enum[sig]},")
+    out.append("} sm_signal_t;")
+    out.append("")
+    for hook in hooks:
+        out.append(f"extern void {hook}(void *ctx);")
+    out.append("")
+    out.append(f"static sm_state_t sm_state = {state_enum[initial_leaf]};")
+    out.append("")
+    out.append("int sm_dispatch(sm_signal_t sig, void *ctx)")
+    out.append("{")
+    out.append("    switch (sm_state) {")
+    by_source: Dict[str, List[FlatTransition]] = {}
+    for row in rows:
+        by_source.setdefault(row.source, []).append(row)
+    for source in sorted(by_source):
+        out.append(f"    case {state_enum[source]}:")
+        out.append("        switch (sig) {")
+        emitted = set()
+        for row in by_source[source]:
+            if row.signal in emitted:
+                continue  # port-specific rows collapse in the C skeleton
+            emitted.add(row.signal)
+            out.append(f"        case {signal_enum[row.signal]}:")
+            out.append(f"            {row.action}(ctx);")
+            out.append(f"            sm_state = {state_enum[row.target]};")
+            out.append("            return 1;")
+        out.append("        default:")
+        out.append("            return 0;")
+        out.append("        }")
+    out.append("    default:")
+    out.append("        return 0;")
+    out.append("    }")
+    out.append("}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,71 @@
+"""The paper's contribution: UML-RT extended with time-continuous streamers.
+
+This package implements the eight new stereotypes of Table 1 on top of the
+:mod:`repro.umlrt` substrate:
+
+========================  =====================================================
+Stereotype                Implementation
+========================  =====================================================
+``streamer``              :class:`repro.core.streamer.Streamer`
+``DPort``                 :class:`repro.core.dport.DPort`
+``SPort``                 :class:`repro.core.sport.SPort`
+``flow``                  :class:`repro.core.flow.Flow`
+``relay``                 :class:`repro.core.flow.Relay`
+``flow type``             :class:`repro.core.flowtype.FlowType`
+``solver`` / ``strategy`` :class:`repro.core.solverbinding.SolverBinding`
+``Time``                  :class:`repro.core.timeservice.ContinuousTime`
+========================  =====================================================
+
+Architecture (paper §2): event-driven capsules and continuous streamers run
+on *different threads*; capsules keep hierarchical state machines under RTC
+semantics, streamers compute differential equations through a pluggable
+solver; the two worlds exchange signal messages over bounded channels
+(:mod:`repro.core.channel`) through SPorts.  The hybrid scheduler
+(:mod:`repro.core.hybrid`) interleaves the two worlds deterministically.
+
+Public entry point: :class:`repro.core.model.HybridModel` (or the fluent
+:class:`repro.core.builder.ModelBuilder`).
+"""
+
+from repro.core.flowtype import DataKind, FlowType, FlowTypeError
+from repro.core.dport import Direction, DPort, DPortError
+from repro.core.sport import SPort, SPortError
+from repro.core.flow import Flow, FlowError, Relay
+from repro.core.channel import Channel, ChannelError, ChannelPolicy
+from repro.core.timeservice import ContinuousTime, TimeError
+from repro.core.streamer import Streamer, StreamerError
+from repro.core.solverbinding import SolverBinding
+from repro.core.thread import StreamerThread
+from repro.core.hybrid import HybridScheduler
+from repro.core.model import HybridModel
+from repro.core.builder import ModelBuilder
+from repro.core.validation import ValidationError, Violation, validate_model
+
+__all__ = [
+    "Channel",
+    "ChannelError",
+    "ChannelPolicy",
+    "ContinuousTime",
+    "DPort",
+    "DPortError",
+    "DataKind",
+    "Direction",
+    "Flow",
+    "FlowError",
+    "FlowType",
+    "FlowTypeError",
+    "HybridModel",
+    "HybridScheduler",
+    "ModelBuilder",
+    "Relay",
+    "SPort",
+    "SPortError",
+    "SolverBinding",
+    "Streamer",
+    "StreamerError",
+    "StreamerThread",
+    "TimeError",
+    "ValidationError",
+    "Violation",
+    "validate_model",
+]

@@ -1,0 +1,199 @@
+"""ModelBuilder: a fluent, path-addressed front end over HybridModel.
+
+The builder lets scripts (and generated code) wire models with dotted path
+strings instead of object references::
+
+    model = (
+        ModelBuilder("thermo")
+        .thread("plant_thread", solver="rk45", h=1e-3)
+        .streamer(RoomThermal("room"), thread="plant_thread")
+        .capsule(Thermostat("stat"))
+        .sport_link("stat.env", "room.ctrl")
+        .probe("temperature", "room.temp")
+        .build()
+    )
+
+Paths: ``"top.sub.leaf.port"`` for DPorts/SPorts inside the streamer
+hierarchy; ``"capsuleInstance.port"`` for capsule ports.  ``build()``
+validates and returns the finished :class:`~repro.core.model.HybridModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.dport import DPort
+from repro.core.flowtype import FlowType
+from repro.core.model import HybridModel
+from repro.core.sport import SPort
+from repro.core.streamer import Streamer, StreamerError
+from repro.core.channel import ChannelPolicy
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.port import Port
+
+
+class BuilderError(Exception):
+    """Raised on unresolvable paths or misuse of the builder."""
+
+
+class ModelBuilder:
+    """Fluent construction of hybrid models by dotted paths."""
+
+    def __init__(self, name: str = "model", t0: float = 0.0) -> None:
+        self.model = HybridModel(name, t0)
+        self._capsules: Dict[str, Capsule] = {}
+
+    # ------------------------------------------------------------------
+    def thread(
+        self, name: str, solver: Any = "rk4", h: float = 1e-3, **kw: Any
+    ) -> "ModelBuilder":
+        self.model.create_thread(name, solver, h, **kw)
+        return self
+
+    def controller(self, name: str) -> "ModelBuilder":
+        self.model.create_controller(name)
+        return self
+
+    def streamer(
+        self, streamer: Streamer, thread: Optional[str] = None
+    ) -> "ModelBuilder":
+        chosen = None
+        if thread is not None:
+            chosen = self._find_thread(thread)
+        self.model.add_streamer(streamer, chosen)
+        return self
+
+    def capsule(
+        self, capsule: Capsule, controller: Optional[str] = None
+    ) -> "ModelBuilder":
+        chosen = None
+        if controller is not None:
+            matches = [
+                c for c in self.model.rts.controllers if c.name == controller
+            ]
+            if not matches:
+                raise BuilderError(f"unknown controller {controller!r}")
+            chosen = matches[0]
+        self.model.add_capsule(capsule, chosen)
+        self._capsules[capsule.instance_name] = capsule
+        return self
+
+    # ------------------------------------------------------------------
+    def flow(self, source_path: str, target_path: str) -> "ModelBuilder":
+        """Model-level flow between two DPorts addressed by path."""
+        self.model.add_flow(
+            self.dport(source_path), self.dport(target_path)
+        )
+        return self
+
+    def relay(self, name: str, flow_type: FlowType) -> "ModelBuilder":
+        self.model.add_relay(name, flow_type)
+        return self
+
+    def sport_link(
+        self,
+        capsule_port_path: str,
+        sport_path: str,
+        capacity: int = 64,
+        policy: ChannelPolicy = ChannelPolicy.OVERWRITE,
+    ) -> "ModelBuilder":
+        """Bridge ``"capsule.port"`` to ``"streamer...sport"``."""
+        self.model.connect_sport(
+            self.capsule_port(capsule_port_path),
+            self.sport(sport_path),
+            capacity=capacity,
+            policy=policy,
+        )
+        return self
+
+    def probe(self, name: str, dport_path: str) -> "ModelBuilder":
+        self.model.add_probe(name, self.dport(dport_path))
+        return self
+
+    def build(self, strict: bool = True) -> HybridModel:
+        """Validate and hand over the model."""
+        self.model.validate(strict=strict)
+        return self.model
+
+    # ------------------------------------------------------------------
+    # path resolution
+    # ------------------------------------------------------------------
+    def find_streamer(self, path: str) -> Streamer:
+        parts = path.split(".")
+        node: Optional[Streamer] = None
+        for top in self.model.streamers:
+            if top.name == parts[0]:
+                node = top
+                break
+        if node is None:
+            raise BuilderError(f"unknown top streamer {parts[0]!r}")
+        for part in parts[1:]:
+            try:
+                node = node.sub(part)
+            except StreamerError:
+                raise BuilderError(
+                    f"no sub-streamer {part!r} under {node.path()}"
+                ) from None
+        return node
+
+    def dport(self, path: str) -> DPort:
+        streamer_path, __, port_name = path.rpartition(".")
+        if not streamer_path:
+            raise BuilderError(f"DPort path needs at least 'streamer.port': {path!r}")
+        # relay pads: "<relay>.in/out_a/out_b" at model level
+        relay = self.model.relays.get(streamer_path)
+        if relay is not None:
+            pads = {"in": relay.input, "out_a": relay.out_a,
+                    "out_b": relay.out_b}
+            if port_name not in pads:
+                raise BuilderError(
+                    f"relay {streamer_path!r} has no pad {port_name!r}"
+                )
+            return pads[port_name]
+        # capsule relay DPorts: "capsule.dport"
+        key = (streamer_path, port_name)
+        if key in self.model.capsule_dports:
+            return self.model.capsule_dports[key]
+        streamer = self.find_streamer(streamer_path)
+        try:
+            return streamer.dport(port_name)
+        except StreamerError:
+            raise BuilderError(
+                f"streamer {streamer.path()} has no DPort {port_name!r}"
+            ) from None
+
+    def sport(self, path: str) -> SPort:
+        streamer_path, __, port_name = path.rpartition(".")
+        if not streamer_path:
+            raise BuilderError(f"SPort path needs 'streamer.sport': {path!r}")
+        streamer = self.find_streamer(streamer_path)
+        try:
+            return streamer.sport(port_name)
+        except StreamerError:
+            raise BuilderError(
+                f"streamer {streamer.path()} has no SPort {port_name!r}"
+            ) from None
+
+    def capsule_port(self, path: str) -> Port:
+        capsule_name, __, port_name = path.rpartition(".")
+        if not capsule_name:
+            raise BuilderError(f"port path needs 'capsule.port': {path!r}")
+        capsule = self._capsules.get(capsule_name)
+        if capsule is None:
+            # search parts of registered capsules by full instance name
+            for top in self._capsules.values():
+                for descendant in top.descendants():
+                    if descendant.instance_name == capsule_name:
+                        capsule = descendant
+                        break
+                if capsule is not None:
+                    break
+        if capsule is None:
+            raise BuilderError(f"unknown capsule {capsule_name!r}")
+        return capsule.port(port_name)
+
+    def _find_thread(self, name: str):
+        for thread in self.model.threads:
+            if thread.name == name:
+                return thread
+        raise BuilderError(f"unknown streamer thread {name!r}")

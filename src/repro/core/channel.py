@@ -1,0 +1,117 @@
+"""Bounded channels: the thread communication mechanism of the paper.
+
+Capsule threads and streamer threads never share state; they exchange
+messages over bounded channels.  Three overflow policies cover the design
+space ablated in bench C3:
+
+* ``BLOCK`` — refuse the push; the producer must retry (in the
+  deterministic scheduler a refused push raises, surfacing the overflow
+  instead of silently stalling).
+* ``OVERWRITE`` — drop the *oldest* entry (control loops usually want the
+  freshest data; bounded memory, bounded staleness).
+* ``LATEST`` — keep only the newest entry (a 1-deep mailbox; the classic
+  sample-and-hold register between a controller and a plant model).
+
+Channels are lock-protected so the optional real-thread backend
+(:mod:`repro.core.thread`) can share them safely.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+
+class ChannelError(Exception):
+    """Raised when a BLOCK-policy channel overflows."""
+
+
+class ChannelPolicy(enum.Enum):
+    BLOCK = "block"
+    OVERWRITE = "overwrite"
+    LATEST = "latest"
+
+
+class Channel:
+    """A bounded, thread-safe FIFO with a configurable overflow policy."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 64,
+        policy: ChannelPolicy = ChannelPolicy.OVERWRITE,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"channel capacity must be >= 1: {capacity}")
+        self.name = name
+        self.capacity = 1 if policy is ChannelPolicy.LATEST else capacity
+        self.policy = policy
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self.pushed = 0
+        self.dropped = 0
+        self.popped = 0
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------
+    def push(self, item: Any) -> bool:
+        """Push an item; returns False only if a BLOCK channel was full."""
+        with self._lock:
+            self.pushed += 1
+            if len(self._items) >= self.capacity:
+                if self.policy is ChannelPolicy.BLOCK:
+                    self.dropped += 1
+                    raise ChannelError(
+                        f"channel {self.name!r} full "
+                        f"(capacity {self.capacity}, policy BLOCK)"
+                    )
+                # OVERWRITE and LATEST both evict the oldest
+                self._items.popleft()
+                self.dropped += 1
+            self._items.append(item)
+            self.max_depth = max(self.max_depth, len(self._items))
+            return True
+
+    def try_push(self, item: Any) -> bool:
+        """Like :meth:`push` but returns False instead of raising on BLOCK."""
+        try:
+            return self.push(item)
+        except ChannelError:
+            return False
+
+    def pop(self) -> Optional[Any]:
+        """Pop the oldest item, or None if empty."""
+        with self._lock:
+            if not self._items:
+                return None
+            self.popped += 1
+            return self._items.popleft()
+
+    def drain(self) -> List[Any]:
+        """Pop everything, oldest first."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self.popped += len(items)
+            return items
+
+    def peek_latest(self) -> Optional[Any]:
+        """The newest item without removing it, or None."""
+        with self._lock:
+            return self._items[-1] if self._items else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Channel({self.name!r}, {self.policy.value}, "
+            f"depth={len(self)}/{self.capacity})"
+        )

@@ -1,0 +1,163 @@
+"""DPorts: typed dataflow ports (circle notation in the paper).
+
+A DPort carries a continuously updated record value of some
+:class:`~repro.core.flowtype.FlowType`.  DPorts live on streamers — and,
+per the paper's capsule extension, on capsules, where they are **relay
+only**: a capsule DPort forwards a flow across the capsule boundary but
+the capsule never reads or writes the data (rule W5).
+
+Directionality:
+
+* ``OUT`` ports are written by their owner's solver each minor step;
+* ``IN`` ports are read by the owner; their value is pulled from the
+  driving ``OUT`` port through the flow network at evaluation time.
+
+For composite streamers a *boundary* DPort appears with its declared
+direction on the outside and the opposite role on the inside (an IN
+boundary port drives inner flows; an OUT boundary port is driven by an
+inner flow), exactly like UML-RT relay ports but for data.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.core.flowtype import FlowType, FlowTypeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.streamer import Streamer
+
+
+class DPortError(Exception):
+    """Raised on illegal DPort usage."""
+
+
+class Direction(enum.Enum):
+    IN = "in"
+    OUT = "out"
+
+
+class DPort:
+    """A typed dataflow port.
+
+    Parameters
+    ----------
+    name:
+        Port name, unique among the owner's DPorts.
+    direction:
+        :attr:`Direction.IN` or :attr:`Direction.OUT` as seen from outside
+        the owner.
+    flow_type:
+        The record type carried (W3 requires one).
+    owner:
+        Owning streamer, relay, or capsule adapter.
+    relay_only:
+        True for capsule DPorts (W5) and composite-boundary ports: the
+        owner must not process the data.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        direction: Direction,
+        flow_type: FlowType,
+        owner: Optional[Any] = None,
+        relay_only: bool = False,
+    ) -> None:
+        if flow_type is None:
+            raise DPortError(f"DPort {name!r} needs a flow type (rule W3)")
+        self.name = name
+        self.direction = direction
+        self.flow_type = flow_type
+        self.owner = owner
+        self.relay_only = relay_only
+        #: fast path: scalar flows store a bare float, no dict churn
+        self._is_scalar = flow_type.is_scalar
+        self._scalar_value = 0.0
+        self._value: Dict[str, object] = flow_type.default_value()
+        self.writes = 0
+        self.reads = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def qualified_name(self) -> str:
+        owner = getattr(self.owner, "name", None) or getattr(
+            self.owner, "instance_name", "<unowned>"
+        )
+        return f"{owner}.{self.name}"
+
+    @property
+    def is_in(self) -> bool:
+        return self.direction is Direction.IN
+
+    @property
+    def is_out(self) -> bool:
+        return self.direction is Direction.OUT
+
+    # ------------------------------------------------------------------
+    # values
+    # ------------------------------------------------------------------
+    def write(self, value: Any) -> None:
+        """Write a record (or bare float, for scalar flow types)."""
+        if self.relay_only:
+            raise DPortError(
+                f"DPort {self.qualified_name} is relay-only (rule W5); "
+                "it cannot be written by its owner"
+            )
+        self._store(value)
+
+    def _store(self, value: Any) -> None:
+        """Internal write used by the flow engine (bypasses the W5 guard)."""
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if not self._is_scalar:
+                raise FlowTypeError(
+                    f"DPort {self.qualified_name} carries record flow type "
+                    f"{self.flow_type.name!r}; write a mapping"
+                )
+            self._scalar_value = float(value)
+        else:
+            self.flow_type.validate_value(value)
+            if self._is_scalar:
+                self._scalar_value = float(value["value"])
+            else:
+                self._value = dict(value)
+        self.writes += 1
+
+    def _store_scalar(self, value: float) -> None:
+        """Hot-path write for the flow engine: scalar ports only."""
+        self._scalar_value = value
+        self.writes += 1
+
+    def read(self) -> Dict[str, object]:
+        """The current record value."""
+        self.reads += 1
+        if self._is_scalar:
+            return {"value": self._scalar_value}
+        return dict(self._value)
+
+    def read_scalar(self) -> float:
+        """The ``value`` field (scalar flows), as float."""
+        self.reads += 1
+        if self._is_scalar:
+            return self._scalar_value
+        try:
+            return float(self._value["value"])  # type: ignore[arg-type]
+        except KeyError:
+            raise DPortError(
+                f"DPort {self.qualified_name} has no 'value' field; "
+                "use read() for record flows"
+            ) from None
+
+    def peek(self) -> Dict[str, object]:
+        """Read without counting (for diagnostics)."""
+        if self._is_scalar:
+            return {"value": self._scalar_value}
+        return dict(self._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        relay = ", relay" if self.relay_only else ""
+        return (
+            f"DPort({self.qualified_name}, {self.direction.value}, "
+            f"{self.flow_type.name}{relay})"
+        )

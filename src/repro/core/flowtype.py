@@ -1,0 +1,182 @@
+"""Flow types: the ``protocol`` analogue for dataflow (Table 1).
+
+A flow type describes the record carried by a dataflow connection: a set
+of named, kinded (and optionally unit-annotated) fields.  The paper's
+connection rule (W1) reads:
+
+    "To connect two DPorts, the output DPort's flow type must be a
+    **subset** of the input DPort's flow type."
+
+i.e. the receiver declares the largest record it understands and any
+producer of a sub-record may drive it.  :meth:`FlowType.subset_of`
+implements exactly that check (field names, kinds and units all match).
+
+Scalar flows — the overwhelmingly common case in control diagrams — are
+record flows with the single field ``"value"``; :meth:`FlowType.scalar`
+builds them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+
+class FlowTypeError(Exception):
+    """Raised for ill-formed flow types or values that don't conform."""
+
+
+class DataKind(enum.Enum):
+    """Primitive kind of one flow field."""
+
+    FLOAT = "float"
+    INT = "int"
+    BOOL = "bool"
+
+    def validate(self, value: object) -> bool:
+        if self is DataKind.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            )
+        if self is DataKind.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        return isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class FlowField:
+    """One field of a flow record."""
+
+    name: str
+    kind: DataKind = DataKind.FLOAT
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise FlowTypeError(f"invalid field name {self.name!r}")
+
+
+class FlowType:
+    """An immutable record type for dataflow connections."""
+
+    def __init__(self, name: str, fields: Iterable[FlowField]) -> None:
+        self.name = name
+        field_list = list(fields)
+        names = [f.name for f in field_list]
+        if len(set(names)) != len(names):
+            raise FlowTypeError(f"duplicate fields in flow type {name!r}")
+        if not field_list:
+            raise FlowTypeError(f"flow type {name!r} has no fields")
+        self._fields: Dict[str, FlowField] = {f.name: f for f in field_list}
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def scalar(name: str = "signal", unit: str = "") -> "FlowType":
+        """A single-field FLOAT flow type (the common control signal)."""
+        return FlowType(name, [FlowField("value", DataKind.FLOAT, unit)])
+
+    @staticmethod
+    def record(
+        name: str,
+        fields: Mapping[str, Union[DataKind, Tuple[DataKind, str]]],
+    ) -> "FlowType":
+        """Build from a mapping ``{"field": kind}`` or ``{"field": (kind, unit)}``."""
+        built = []
+        for field_name, spec in fields.items():
+            if isinstance(spec, tuple):
+                kind, unit = spec
+            else:
+                kind, unit = spec, ""
+            built.append(FlowField(field_name, kind, unit))
+        return FlowType(name, built)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def fields(self) -> Tuple[FlowField, ...]:
+        return tuple(self._fields.values())
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(self._fields)
+
+    @property
+    def is_scalar(self) -> bool:
+        return len(self._fields) == 1 and "value" in self._fields
+
+    def field(self, name: str) -> FlowField:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise FlowTypeError(
+                f"flow type {self.name!r} has no field {name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # the paper's W1 rule
+    # ------------------------------------------------------------------
+    def subset_of(self, other: "FlowType") -> bool:
+        """True if every field of self exists in ``other`` with the same
+        kind and unit — the DPort connection rule (W1)."""
+        for name, mine in self._fields.items():
+            theirs = other._fields.get(name)
+            if theirs is None:
+                return False
+            if mine.kind is not theirs.kind or mine.unit != theirs.unit:
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowType):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._fields.items()))
+
+    # ------------------------------------------------------------------
+    # values
+    # ------------------------------------------------------------------
+    def default_value(self) -> Dict[str, object]:
+        """A zero-initialised record conforming to this type."""
+        zeros = {DataKind.FLOAT: 0.0, DataKind.INT: 0, DataKind.BOOL: False}
+        return {f.name: zeros[f.kind] for f in self.fields}
+
+    def validate_value(self, value: Mapping[str, object]) -> None:
+        """Raise unless ``value`` is a conforming record."""
+        for field_obj in self.fields:
+            if field_obj.name not in value:
+                raise FlowTypeError(
+                    f"value missing field {field_obj.name!r} of flow type "
+                    f"{self.name!r}"
+                )
+            if not field_obj.kind.validate(value[field_obj.name]):
+                raise FlowTypeError(
+                    f"field {field_obj.name!r} of {self.name!r} expects "
+                    f"{field_obj.kind.value}, got "
+                    f"{type(value[field_obj.name]).__name__}"
+                )
+
+    def project(self, value: Mapping[str, object]) -> Dict[str, object]:
+        """Restrict a (super-)record to this type's fields."""
+        try:
+            return {f.name: value[f.name] for f in self.fields}
+        except KeyError as exc:
+            raise FlowTypeError(
+                f"cannot project value onto {self.name!r}: missing {exc}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{f.name}:{f.kind.value}" + (f"[{f.unit}]" if f.unit else "")
+            for f in self.fields
+        )
+        return f"FlowType({self.name!r}, {{{inner}}})"
+
+
+#: The default scalar flow type shared by the dataflow block library.
+SCALAR = FlowType.scalar("signal")

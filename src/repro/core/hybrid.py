@@ -1,0 +1,296 @@
+"""The hybrid scheduler: interleaving capsule and streamer threads.
+
+This is the runtime realisation of the paper's architecture: event-driven
+capsules and time-continuous streamers live on different threads and meet
+only at *synchronisation points*, every ``sync_interval`` time units (the
+major step).  One major step proceeds as:
+
+1. **Continuous phase** — every streamer thread integrates its partition
+   of the flat network from ``t`` to ``t + sync`` with its own solver and
+   minor step; cross-thread dataflow pads stay frozen.
+2. **Zero-crossing scan** — guards are compared before/after the slice;
+   crossings are localised on linearly interpolated states.  With
+   ``event_restart=True`` (default) the major step is truncated at the
+   first crossing so the discrete world reacts at the right time; with
+   ``False`` events are reported but integration keeps the full slice
+   (cheaper, coarser — ablated in bench S2).
+3. **Discrete phase** — the UML-RT runtime catches up to the sync time:
+   due timers fire, queued messages dispatch under RTC.  Streamer signals
+   queued via SPorts are injected (streamer → capsule), then capsule
+   messages that arrived on SPort bridges are drained into
+   ``handle_signal`` (capsule → streamer).
+4. **Sync hooks** — discrete-time blocks run ``on_sync``; parameter
+   changes take effect; probes record.
+
+Determinism: with the default cooperative backend, everything above is
+sequential and ordered; with ``real_threads=True`` only phase 1 runs on OS
+threads, and its writes are data-disjoint by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.network import FlatNetwork, NetworkGuard, ResolvedEdge
+from repro.core.thread import RealThreadPool, StreamerThread
+from repro.solvers.events import EventSpec, ZeroCrossingDetector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.model import HybridModel
+
+
+class HybridError(Exception):
+    """Raised on scheduler misconfiguration."""
+
+
+class HybridScheduler:
+    """Coordinates the discrete and continuous worlds of a HybridModel."""
+
+    def __init__(
+        self,
+        model: "HybridModel",
+        sync_interval: float = 0.01,
+        event_restart: bool = True,
+        real_threads: bool = False,
+        dense_events: bool = True,
+    ) -> None:
+        if sync_interval <= 0:
+            raise HybridError(
+                f"non-positive sync interval: {sync_interval}"
+            )
+        self.model = model
+        self.sync_interval = sync_interval
+        self.event_restart = event_restart
+        self.real_threads = real_threads
+        #: localise crossings on a cubic Hermite interpolant (two extra
+        #: RHS evaluations per event-bearing slice) instead of a secant
+        self.dense_events = dense_events
+        self.network: Optional[FlatNetwork] = None
+        self.state: Optional[np.ndarray] = None
+        self._detector: Optional[ZeroCrossingDetector] = None
+        self._guards: List[NetworkGuard] = []
+        self._pool: Optional[RealThreadPool] = None
+        self._leaf_thread: Dict[int, StreamerThread] = {}
+        self._thread_plans: Dict[int, object] = {}
+        self.major_steps = 0
+        self.events_fired = 0
+        self.signals_to_streamers = 0
+        self.signals_to_capsules = 0
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """Flatten the streamer world and prime both runtimes."""
+        if self._built:
+            return
+        self._built = True
+        model = self.model
+        if model.streamers:
+            self.network = FlatNetwork(model.streamers, model.flows)
+            for thread in model.threads:
+                thread.leaves = []
+            for leaf in self.network.leaves:
+                thread = self._thread_of(leaf)
+                thread.leaves.append(leaf)
+                self._leaf_thread[id(leaf)] = thread
+            self.state = self.network.initial_state()
+            self._guards = list(self.network.guards)
+            if self._guards:
+                specs = [
+                    EventSpec(guard.qualified_name, self._guard_fn(guard))
+                    for guard in self._guards
+                ]
+                self._detector = ZeroCrossingDetector(specs)
+            for thread in model.threads:
+                self._thread_plans[id(thread)] = self.network.make_plan(
+                    thread.leaves, self._edge_in_thread
+                )
+            if self.real_threads:
+                self._pool = RealThreadPool(model.threads)
+        if not model.rts.started:
+            model.rts.start()
+
+    def _thread_of(self, leaf) -> StreamerThread:
+        node = leaf
+        while node.parent is not None:
+            node = node.parent
+        if node.thread is None:
+            self.model.default_thread.assign(node)
+        return node.thread
+
+    def _guard_fn(self, guard: NetworkGuard) -> Callable:
+        network = self.network
+
+        def fn(t: float, y: np.ndarray) -> float:
+            # guards may read DPorts fed by time-varying sources, so the
+            # network must be evaluated at the probe point — otherwise
+            # bisection sees port values frozen at the slice end and
+            # mislocalises input-driven crossings to the slice start
+            network.evaluate_plan(t, y, network.full_plan())
+            return network.guard_values(t, y, [guard])[0]
+
+        return fn
+
+    def _edge_in_thread(self, edge: ResolvedEdge) -> bool:
+        src = self._leaf_thread.get(id(edge.src_leaf))
+        dst = self._leaf_thread.get(id(edge.dst_leaf))
+        return src is dst
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def initialise(self) -> None:
+        """Run the t=0 discrete phase so capsules can configure streamers."""
+        self.build()
+        if self.network is not None:
+            self.network.evaluate(self.model.time.raw, self.state)
+            if self._detector is not None:
+                self._detector.reset(self.model.time.raw, self.state)
+        self._discrete_phase(self.model.time.raw)
+        self._sync_hooks(self.model.time.raw)
+        self.model.record(self.model.time.now)
+
+    def run(self, t_end: float) -> None:
+        """Advance the whole model to continuous time ``t_end``."""
+        if not self._built:
+            self.initialise()
+        time = self.model.time
+        guard_eps = 1e-12
+        while time.raw < t_end - guard_eps:
+            t0 = time.raw
+            t1 = min(t0 + self.sync_interval, t_end)
+            t_reached = self._continuous_phase(t0, t1)
+            time.advance_to(t_reached)
+            self._discrete_phase(t_reached)
+            self._sync_hooks(t_reached)
+            self.model.record(time.now)
+            self.major_steps += 1
+
+    # -- phase 1: continuous -------------------------------------------
+    def _continuous_phase(self, t0: float, t1: float) -> float:
+        if self.network is None:
+            return t1
+        y0 = self.state.copy()
+        if self._pool is not None:
+            self._pool.run_slices(
+                self.network, self.state, t0, t1, self._thread_plans
+            )
+        else:
+            for thread in self.model.threads:
+                thread.integrate_slice(
+                    self.network, self.state, t0, t1,
+                    self._thread_plans[id(thread)],
+                )
+        self.network.evaluate(t1, self.state)
+        if self._detector is None:
+            return t1
+
+        interp_box = {}
+
+        def make_interpolator():
+            if not self.dense_events:
+                return None
+            if "interp" not in interp_box:
+                from repro.solvers.interpolate import CubicHermite
+
+                plan = self.network.full_plan()
+                f0 = self.network.rhs_plan(t0, y0, plan)
+                y1 = self.state.copy()
+                f1 = self.network.rhs_plan(t1, y1, plan)
+                try:
+                    interp_box["interp"] = CubicHermite(
+                        t0, y0, f0, t1, y1, f1
+                    )
+                except ValueError:
+                    interp_box["interp"] = None
+            return interp_box["interp"]
+
+        occurrences = self._detector.check_step(
+            t0, y0, t1, self.state, make_interpolator=make_interpolator
+        )
+        if not occurrences:
+            # guard probing may have evaluated the network at interior
+            # points; restore the slice-end view
+            self.network.evaluate(t1, self.state)
+            return t1
+        if self.event_restart:
+            first = occurrences[0]
+            if first.t - t0 <= 1e-12 * max(1.0, abs(t0)):
+                # crossing pinned at the slice start: deliver without
+                # truncating, otherwise the major step could never advance
+                self._deliver_events(occurrences)
+                return t1
+            # roll the state back to the interpolated event point
+            interp = interp_box.get("interp")
+            if interp is not None:
+                self.state[:] = interp(first.t)
+            else:
+                span = t1 - t0
+                alpha = 0.0 if span <= 0 else (first.t - t0) / span
+                self.state[:] = (1.0 - alpha) * y0 + alpha * self.state
+            self.network.evaluate(first.t, self.state)
+            self._detector.reset(first.t, self.state)
+            fired = [occ for occ in occurrences if occ.t <= first.t]
+            self._deliver_events(fired)
+            return first.t
+        self._deliver_events(occurrences)
+        self.network.evaluate(t1, self.state)  # undo bisection probing
+        return t1
+
+    def _deliver_events(self, occurrences) -> None:
+        for occ in occurrences:
+            self.events_fired += 1
+            guard = next(
+                g for g in self._guards
+                if g.qualified_name == occ.spec.name
+            )
+            guard.leaf.on_zero_crossing(guard.name, occ.t, occ.direction)
+
+    # -- phase 3: discrete ----------------------------------------------
+    def _discrete_phase(self, t: float) -> None:
+        rts = self.model.rts
+        rts.advance_to(t)
+        # streamer -> capsule: flush SPort outbound queues through bridges
+        for bridge in self.model.bridges:
+            self.signals_to_capsules += bridge.flush_outbound()
+        rts.drain()
+        # capsule -> streamer: drain bridge channels into handle_signal
+        for streamer, sport in self.model.all_sports():
+            for message in sport.drain_inbound():
+                self.signals_to_streamers += 1
+                streamer.handle_signal(sport.name, message)
+
+    # -- phase 4: sync hooks ---------------------------------------------
+    def _sync_hooks(self, t: float) -> None:
+        if self.network is None:
+            return
+        for leaf in self.network.order:
+            reset = leaf.consume_state_reset()
+            if reset is not None:
+                lo, hi = self.network.state_slice(leaf)
+                self.state[lo:hi] = reset
+            leaf.on_sync(t)
+        # parameter/discrete-state changes take effect immediately
+        self.network.evaluate(t, self.state)
+        if self._detector is not None:
+            self._detector.reset(t, self.state)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "major_steps": self.major_steps,
+            "events_fired": self.events_fired,
+            "signals_to_streamers": self.signals_to_streamers,
+            "signals_to_capsules": self.signals_to_capsules,
+            "messages_dispatched": self.model.rts.total_dispatched,
+        }
+        if self.network is not None:
+            out["rhs_evaluations"] = self.network.rhs_evaluations
+            out["minor_steps"] = sum(
+                thread.minor_steps for thread in self.model.threads
+            )
+        return out

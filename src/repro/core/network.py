@@ -1,0 +1,459 @@
+"""Flattening the streamer hierarchy into an executable dataflow network.
+
+The hybrid scheduler does not interpret the streamer tree directly.  At
+build time it flattens:
+
+1. every *leaf* streamer becomes a network node with a continuous-state
+   slice in one global state vector;
+2. every chain ``leaf OUT → (flows / relays / boundary DPorts / capsule
+   relay DPorts)* → leaf IN`` is resolved into one :class:`ResolvedEdge`
+   remembering the full pad path (so per-flow statistics stay live);
+3. leaves are topologically ordered; only *direct-feedthrough* consumers
+   impose ordering constraints, and a feedthrough cycle is rejected as an
+   algebraic loop (rule W12);
+4. each leaf's zero-crossing guards are lifted into network-level guards.
+
+The network exposes the combined right-hand side ``rhs(t, Y)`` any solver
+from :mod:`repro.solvers` can integrate — this is precisely where the
+paper's "solver ... computing equations" plugs in.
+
+Multi-thread execution: each leaf belongs to the :class:`~repro.core.thread.
+StreamerThread` of its top-level streamer.  Edges within one thread are
+propagated at every solver stage; edges crossing threads are sampled only
+at synchronisation points (the receiving pad holds the last sampled value),
+which reproduces the paper's threads-plus-channels architecture for data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.dport import DPort
+from repro.core.flow import Flow, Relay
+from repro.core.streamer import Streamer
+
+
+class NetworkError(Exception):
+    """Raised for unresolvable or ill-formed dataflow networks."""
+
+
+class ResolvedEdge:
+    """A leaf-to-leaf dataflow dependency with its original pad path."""
+
+    def __init__(
+        self,
+        src_leaf: Streamer,
+        src_port: DPort,
+        dst_leaf: Streamer,
+        dst_port: DPort,
+        path: Sequence[object],
+    ) -> None:
+        self.src_leaf = src_leaf
+        self.src_port = src_port
+        self.dst_leaf = dst_leaf
+        self.dst_port = dst_port
+        #: alternating Flow/Relay objects along the chain, in order
+        self.path = list(path)
+
+    def propagate(self) -> None:
+        """Push the current source value down the whole pad chain."""
+        for hop in self.path:
+            hop.propagate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResolvedEdge({self.src_port.qualified_name} => "
+            f"{self.dst_port.qualified_name}, hops={len(self.path)})"
+        )
+
+
+class NetworkGuard:
+    """A lifted zero-crossing guard of one leaf."""
+
+    def __init__(self, leaf: Streamer, index: int, name: str) -> None:
+        self.leaf = leaf
+        self.index = index
+        self.name = name
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.leaf.path()}:{self.name}"
+
+
+class EvalPlan:
+    """A precomputed propagation/evaluation schedule (see make_plan)."""
+
+    __slots__ = ("steps", "feedback", "observers", "stateful", "state_size")
+
+    def __init__(self, steps, feedback, observers, stateful, state_size):
+        self.steps = steps          # [(leaf, in_edges, lo, hi)] in order
+        self.feedback = feedback    # edges needing a second pass
+        self.observers = observers  # edges ending at observer pads
+        self.stateful = stateful    # [(leaf, lo, hi)] with states
+        self.state_size = state_size
+
+
+class FlatNetwork:
+    """The flattened, executable form of a set of top-level streamers."""
+
+    def __init__(
+        self,
+        tops: Sequence[Streamer],
+        extra_flows: Sequence[Flow] = (),
+    ) -> None:
+        if not tops:
+            raise NetworkError("no streamers to flatten")
+        self.tops = list(tops)
+        self.extra_flows = list(extra_flows)
+        self.leaves: List[Streamer] = []
+        for top in self.tops:
+            self.leaves.extend(top.leaves())
+        self._leaf_ids = {id(leaf) for leaf in self.leaves}
+        self.edges: List[ResolvedEdge] = []
+        #: edges ending at observer pads (boundary OUT DPorts, dangling
+        #: relay pads): no consumer leaf, but kept fresh for probes
+        self.observer_edges: List[ResolvedEdge] = []
+        self._in_edges: Dict[int, List[ResolvedEdge]] = {}
+        self.unconnected_inputs: List[DPort] = []
+        self.order: List[Streamer] = []
+        self.guards: List[NetworkGuard] = []
+        self._offsets: Dict[int, Tuple[int, int]] = {}
+        self.state_size = 0
+        self._full_plan: Optional["EvalPlan"] = None
+        self._resolve_edges()
+        self._topological_order()
+        self._assign_state_slices()
+        self._collect_guards()
+        self.rhs_evaluations = 0
+
+    # ------------------------------------------------------------------
+    # flattening
+    # ------------------------------------------------------------------
+    def _resolve_edges(self) -> None:
+        flows: List[Flow] = list(self.extra_flows)
+        for top in self.tops:
+            flows.extend(top.all_flows())
+        # index flows by their source pad for forward walking
+        by_source: Dict[int, List[Flow]] = {}
+        for flow in flows:
+            by_source.setdefault(id(flow.source), []).append(flow)
+
+        drivers: Dict[int, ResolvedEdge] = {}
+        for leaf in self.leaves:
+            for port in leaf.dports.values():
+                if port.is_out and not port.relay_only:
+                    self._walk_from(leaf, port, port, [], by_source, drivers,
+                                    set())
+        # record driver edges and detect unconnected leaf inputs (W8 info)
+        for leaf in self.leaves:
+            for port in leaf.dports.values():
+                if port.is_in and not port.relay_only:
+                    edge = drivers.get(id(port))
+                    if edge is None:
+                        self.unconnected_inputs.append(port)
+                    else:
+                        self.edges.append(edge)
+                        self._in_edges.setdefault(id(leaf), []).append(edge)
+
+    def _walk_from(
+        self,
+        src_leaf: Streamer,
+        src_port: DPort,
+        pad: DPort,
+        path: List[object],
+        by_source: Dict[int, List[Flow]],
+        drivers: Dict[int, ResolvedEdge],
+        visited: Set[int],
+    ) -> None:
+        """DFS from a leaf OUT pad through flows/relays/boundaries."""
+        if id(pad) in visited:
+            raise NetworkError(
+                f"flow cycle through pad {pad.qualified_name} "
+                "(relay or boundary loop)"
+            )
+        visited = visited | {id(pad)}
+        for flow in by_source.get(id(pad), []):
+            target = flow.target
+            new_path = path + [flow]
+            owner = target.owner
+            if isinstance(owner, Relay):
+                relay = owner
+                relay_path = new_path + [relay]
+                for out_pad in (relay.out_a, relay.out_b):
+                    self._walk_from(
+                        src_leaf, src_port, out_pad, relay_path,
+                        by_source, drivers, visited,
+                    )
+            elif isinstance(owner, Streamer) and id(owner) in self._leaf_ids \
+                    and target.is_in and not target.relay_only:
+                existing = drivers.get(id(target))
+                if existing is not None and existing.src_port is not src_port:
+                    raise NetworkError(
+                        f"DPort {target.qualified_name} has two drivers "
+                        f"(W8): {existing.src_port.qualified_name} and "
+                        f"{src_port.qualified_name}"
+                    )
+                drivers[id(target)] = ResolvedEdge(
+                    src_leaf, src_port, owner, target, new_path
+                )
+            else:
+                # boundary DPort of a composite, or a capsule relay DPort:
+                # transparent pad, keep walking.
+                if not by_source.get(id(target)):
+                    # dead end: an observer pad (e.g. an exposed boundary
+                    # OUT read by a probe) — keep it refreshed anyway
+                    self.observer_edges.append(ResolvedEdge(
+                        src_leaf, src_port, src_leaf, target, new_path
+                    ))
+                else:
+                    self._walk_from(
+                        src_leaf, src_port, target, new_path,
+                        by_source, drivers, visited,
+                    )
+
+    # ------------------------------------------------------------------
+    # ordering (W12)
+    # ------------------------------------------------------------------
+    def _topological_order(self) -> None:
+        indegree: Dict[int, int] = {id(leaf): 0 for leaf in self.leaves}
+        successors: Dict[int, List[Streamer]] = {
+            id(leaf): [] for leaf in self.leaves
+        }
+        constrained = set()
+        for edge in self.edges:
+            if not edge.dst_leaf.direct_feedthrough:
+                continue
+            key = (id(edge.src_leaf), id(edge.dst_leaf))
+            if key in constrained or edge.src_leaf is edge.dst_leaf:
+                if edge.src_leaf is edge.dst_leaf:
+                    raise NetworkError(
+                        f"algebraic self-loop (W12) at "
+                        f"{edge.dst_leaf.path()}"
+                    )
+                continue
+            constrained.add(key)
+            indegree[id(edge.dst_leaf)] += 1
+            successors[id(edge.src_leaf)].append(edge.dst_leaf)
+
+        # deterministic Kahn: stable by construction order of self.leaves
+        ready = [leaf for leaf in self.leaves if indegree[id(leaf)] == 0]
+        order: List[Streamer] = []
+        while ready:
+            leaf = ready.pop(0)
+            order.append(leaf)
+            for nxt in successors[id(leaf)]:
+                indegree[id(nxt)] -= 1
+                if indegree[id(nxt)] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self.leaves):
+            stuck = sorted(
+                leaf.path()
+                for leaf in self.leaves
+                if indegree[id(leaf)] > 0
+            )
+            raise NetworkError(
+                f"algebraic loop (W12) among direct-feedthrough streamers: "
+                f"{', '.join(stuck)}"
+            )
+        self.order = order
+
+    # ------------------------------------------------------------------
+    # state vector layout
+    # ------------------------------------------------------------------
+    def _assign_state_slices(self) -> None:
+        offset = 0
+        for leaf in self.order:
+            n = int(leaf.state_size)
+            if n < 0:
+                raise NetworkError(
+                    f"negative state_size on {leaf.path()}"
+                )
+            self._offsets[id(leaf)] = (offset, offset + n)
+            offset += n
+        self.state_size = offset
+
+    def _collect_guards(self) -> None:
+        for leaf in self.order:
+            for index, name in enumerate(leaf.zero_crossing_names):
+                self.guards.append(NetworkGuard(leaf, index, name))
+
+    def state_slice(self, leaf: Streamer) -> Tuple[int, int]:
+        return self._offsets[id(leaf)]
+
+    def initial_state(self) -> np.ndarray:
+        y0 = np.zeros(self.state_size, dtype=float)
+        for leaf in self.order:
+            lo, hi = self._offsets[id(leaf)]
+            if hi > lo:
+                init = np.asarray(leaf.initial_state(), dtype=float)
+                if init.shape != (hi - lo,):
+                    raise NetworkError(
+                        f"{leaf.path()}.initial_state() returned shape "
+                        f"{init.shape}, expected ({hi - lo},)"
+                    )
+                y0[lo:hi] = init
+        return y0
+
+    # ------------------------------------------------------------------
+    # evaluation plans
+    # ------------------------------------------------------------------
+    def make_plan(
+        self,
+        leaves: Optional[Sequence[Streamer]] = None,
+        edges_filter: Optional[Callable[[ResolvedEdge], bool]] = None,
+    ) -> "EvalPlan":
+        """Precompute the propagation/evaluation schedule for a subset.
+
+        The hot loop (one call per solver stage) then only walks flat
+        lists.  Forward edges (producer evaluated before consumer) are
+        fresh after the in-order pass; only *feedback* edges (producer at
+        or after the consumer in evaluation order) need the second pass.
+        """
+        chosen = self.order if leaves is None else [
+            leaf for leaf in self.order
+            if any(leaf is candidate for candidate in leaves)
+        ]
+        chosen_ids = {id(leaf) for leaf in chosen}
+        order_index = {id(leaf): i for i, leaf in enumerate(chosen)}
+
+        steps: List[Tuple[Streamer, List[ResolvedEdge], int, int]] = []
+        feedback: List[ResolvedEdge] = []
+        for leaf in chosen:
+            edges: List[ResolvedEdge] = []
+            for edge in self._in_edges.get(id(leaf), []):
+                if edges_filter is not None and not edges_filter(edge):
+                    continue
+                if id(edge.src_leaf) not in chosen_ids:
+                    continue
+                edges.append(edge)
+                if order_index[id(edge.src_leaf)] >= order_index[id(leaf)]:
+                    feedback.append(edge)
+            lo, hi = self._offsets[id(leaf)]
+            steps.append((leaf, edges, lo, hi))
+        observers = [
+            edge for edge in self.observer_edges
+            if id(edge.src_leaf) in chosen_ids
+        ]
+        stateful = [
+            (leaf, lo, hi) for leaf, __, lo, hi in steps if hi > lo
+        ]
+        return EvalPlan(steps, feedback, observers, stateful,
+                        self.state_size)
+
+    def full_plan(self) -> "EvalPlan":
+        """The cached whole-network plan."""
+        if self._full_plan is None:
+            self._full_plan = self.make_plan()
+        return self._full_plan
+
+    def evaluate_plan(
+        self, t: float, state: np.ndarray, plan: "EvalPlan"
+    ) -> None:
+        """Refresh all DPort values covered by ``plan`` at ``(t, state)``."""
+        self.rhs_evaluations += 1
+        for leaf, edges, lo, hi in plan.steps:
+            for edge in edges:
+                edge.propagate()
+            leaf.compute_outputs(t, state[lo:hi])
+        for edge in plan.feedback:
+            edge.propagate()
+        for edge in plan.observers:
+            edge.propagate()
+
+    def rhs_plan(
+        self, t: float, state: np.ndarray, plan: "EvalPlan"
+    ) -> np.ndarray:
+        """Combined ODE right-hand side for the plan's leaves."""
+        self.evaluate_plan(t, state, plan)
+        dstate = np.zeros(self.state_size, dtype=float)
+        for leaf, lo, hi in plan.stateful:
+            deriv = np.asarray(
+                leaf.derivatives(t, state[lo:hi]), dtype=float
+            )
+            if deriv.shape != (hi - lo,):
+                raise NetworkError(
+                    f"{leaf.path()}.derivatives() returned shape "
+                    f"{deriv.shape}, expected ({hi - lo},)"
+                )
+            dstate[lo:hi] = deriv
+        return dstate
+
+    # ------------------------------------------------------------------
+    # evaluation (compatibility wrappers over plans)
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        t: float,
+        state: np.ndarray,
+        leaves: Optional[Sequence[Streamer]] = None,
+        edges_filter: Optional[Callable[[ResolvedEdge], bool]] = None,
+    ) -> None:
+        """Refresh all DPort values for the given global state vector.
+
+        ``leaves`` restricts evaluation to a subset (a thread's leaves) in
+        network order; ``edges_filter`` restricts which edges propagate
+        (used to hold cross-thread edges between sync points).  Callers on
+        the hot path should build a plan once via :meth:`make_plan` and
+        use :meth:`evaluate_plan` instead.
+        """
+        if leaves is None and edges_filter is None:
+            self.evaluate_plan(t, state, self.full_plan())
+        else:
+            self.evaluate_plan(
+                t, state, self.make_plan(leaves, edges_filter)
+            )
+
+    def rhs(
+        self,
+        t: float,
+        state: np.ndarray,
+        leaves: Optional[Sequence[Streamer]] = None,
+        edges_filter: Optional[Callable[[ResolvedEdge], bool]] = None,
+    ) -> np.ndarray:
+        """The combined ODE right-hand side over the global state vector."""
+        if leaves is None and edges_filter is None:
+            return self.rhs_plan(t, state, self.full_plan())
+        return self.rhs_plan(t, state, self.make_plan(leaves, edges_filter))
+
+    def guard_values(
+        self, t: float, state: np.ndarray, guards: Sequence[NetworkGuard]
+    ) -> List[float]:
+        """Evaluate the given guards at ``(t, state)`` (ports assumed fresh)."""
+        values: List[float] = []
+        cache: Dict[int, Sequence[float]] = {}
+        for guard in guards:
+            if id(guard.leaf) not in cache:
+                lo, hi = self._offsets[id(guard.leaf)]
+                cache[id(guard.leaf)] = list(
+                    guard.leaf.zero_crossings(t, state[lo:hi])
+                )
+            leaf_values = cache[id(guard.leaf)]
+            if guard.index >= len(leaf_values):
+                raise NetworkError(
+                    f"{guard.leaf.path()} declared "
+                    f"{len(guard.leaf.zero_crossing_names)} guard names but "
+                    f"zero_crossings() returned {len(leaf_values)} values"
+                )
+            values.append(float(leaf_values[guard.index]))
+        return values
+
+    # ------------------------------------------------------------------
+    # statistics (benchmark C1 inputs)
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "leaves": len(self.leaves),
+            "edges": len(self.edges),
+            "states": self.state_size,
+            "guards": len(self.guards),
+            "unconnected_inputs": len(self.unconnected_inputs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"FlatNetwork(leaves={s['leaves']}, edges={s['edges']}, "
+            f"states={s['states']})"
+        )

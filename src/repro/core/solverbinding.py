@@ -1,0 +1,75 @@
+"""Solver bindings: the Strategy pattern of Figure 1.
+
+Figure 1 of the paper shows the two behavioural attachments side by side:
+a Capsule holds *State* objects (the State pattern — its behaviour), and a
+Streamer holds a *Strategy* (the solver — its algorithm), with concrete
+strategies ``ConcreteStrategyA/B/C`` being interchangeable solvers.
+
+:class:`SolverBinding` is that strategy slot.  It wraps any
+:class:`~repro.solvers.base.SolverBase`, can be *hot-swapped* between
+major steps (``rebind``), and keeps per-binding statistics so benchmarks
+can attribute numeric work to streamer threads.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.solvers.base import RHS, SolverBase, StepResult
+from repro.solvers.registry import make_solver
+
+
+class SolverBinding:
+    """A swappable solver strategy attached to a streamer thread."""
+
+    def __init__(self, solver: Any = "rk4", **solver_kwargs: Any) -> None:
+        self._solver = self._coerce(solver, solver_kwargs)
+        self.steps_taken = 0
+        self.time_integrated = 0.0
+        self.swaps = 0
+
+    @staticmethod
+    def _coerce(solver: Any, kwargs: dict) -> SolverBase:
+        if isinstance(solver, SolverBase):
+            if kwargs:
+                raise ValueError(
+                    "solver kwargs only apply when passing a solver name"
+                )
+            return solver
+        return make_solver(str(solver), **kwargs)
+
+    @property
+    def solver(self) -> SolverBase:
+        return self._solver
+
+    @property
+    def strategy_name(self) -> str:
+        return self._solver.name
+
+    def rebind(self, solver: Any, **solver_kwargs: Any) -> SolverBase:
+        """Swap the concrete strategy; returns the previous solver.
+
+        Safe between major steps: solver-internal caches are per-strategy
+        and the continuous state lives in the network, not in the solver.
+        """
+        previous = self._solver
+        self._solver = self._coerce(solver, solver_kwargs)
+        self.swaps += 1
+        return previous
+
+    def step(self, f: RHS, t: float, y: np.ndarray, h: float) -> StepResult:
+        result = self._solver.step(f, t, y, h)
+        self.steps_taken += 1
+        self.time_integrated += result.h_taken
+        return result
+
+    def reset(self) -> None:
+        self._solver.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolverBinding({self.strategy_name!r}, "
+            f"steps={self.steps_taken})"
+        )

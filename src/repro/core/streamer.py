@@ -1,0 +1,283 @@
+"""Streamers: capsule-like actors with continuous behaviour (Table 1, Fig 2).
+
+A streamer "has some same characteristics as capsules": it has ports
+(DPorts and SPorts), and it can contain any number of sub-streamers.  It is
+distinguished from a capsule by its behaviour, "implemented by a solver
+through computing equations" — there is no state machine.
+
+Two kinds of streamers exist:
+
+* **Leaf (behavioural) streamers** override the numeric hooks below; they
+  hold continuous state and equations.
+* **Composite streamers** contain sub-streamers, relays and internal flows
+  and expose *boundary* DPorts (relay-only pads, like UML-RT relay ports).
+
+Rule W6 is enforced structurally: the API offers no way to put a capsule
+inside a streamer, and validation double-checks by type.
+
+Numeric hooks of a leaf streamer (all optional; defaults model a stateless
+source):
+
+``state_size``
+    Number of continuous states.
+``initial_state()``
+    Initial state vector.
+``derivatives(t, state)``
+    dstate/dt; IN DPorts are guaranteed fresh when called.
+``compute_outputs(t, state)``
+    Write OUT DPorts from state/inputs; called in dataflow order.
+``direct_feedthrough``
+    True if outputs depend on current inputs (drives the topological
+    evaluation order and algebraic-loop detection, rule W12).
+``zero_crossing_names`` / ``zero_crossings(t, state)``
+    Continuous guards; crossings are localised by the solver layer.
+``on_zero_crossing(name, t, direction)``
+    React to a localised crossing — typically ``self.sport(...).send(...)``.
+``handle_signal(sport_name, message)``
+    React to a capsule signal at a sync point — typically modify
+    parameters ("receiving signal from SPorts ... modifying parameters").
+``on_sync(t)``
+    Called once per major step; discrete-time blocks update here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dport import Direction, DPort
+from repro.core.flow import Flow, Relay
+from repro.core.flowtype import FlowType
+from repro.core.sport import SPort
+from repro.umlrt.protocol import ProtocolRole
+from repro.umlrt.signal import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.thread import StreamerThread
+
+
+class StreamerError(Exception):
+    """Raised on ill-formed streamer structure or usage."""
+
+
+class Streamer:
+    """Base class for both leaf and composite streamers."""
+
+    #: number of continuous states of a leaf streamer
+    state_size: int = 0
+    #: True if outputs depend on current inputs (W12 ordering)
+    direct_feedthrough: bool = False
+    #: names for the zero-crossing guards, in order
+    zero_crossing_names: Sequence[str] = ()
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise StreamerError("streamer needs a non-empty name")
+        self.name = name
+        self.parent: Optional["Streamer"] = None
+        self.dports: Dict[str, DPort] = {}
+        self.sports: Dict[str, SPort] = {}
+        self.subs: Dict[str, "Streamer"] = {}
+        self.relays: Dict[str, Relay] = {}
+        self.flows: List[Flow] = []
+        self.thread: Optional["StreamerThread"] = None
+        #: tunable parameters, typically modified via handle_signal
+        self.params: Dict[str, Any] = {}
+        self._state_reset: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # structure construction
+    # ------------------------------------------------------------------
+    def add_dport(
+        self,
+        name: str,
+        direction: Direction,
+        flow_type: FlowType,
+        relay_only: bool = False,
+    ) -> DPort:
+        if name in self.dports:
+            raise StreamerError(
+                f"duplicate DPort {name!r} on streamer {self.path()}"
+            )
+        port = DPort(name, direction, flow_type, owner=self,
+                     relay_only=relay_only)
+        self.dports[name] = port
+        return port
+
+    def add_in(self, name: str, flow_type: FlowType) -> DPort:
+        """Shorthand for an IN DPort."""
+        return self.add_dport(name, Direction.IN, flow_type)
+
+    def add_out(self, name: str, flow_type: FlowType) -> DPort:
+        """Shorthand for an OUT DPort."""
+        return self.add_dport(name, Direction.OUT, flow_type)
+
+    def add_boundary(
+        self, name: str, direction: Direction, flow_type: FlowType
+    ) -> DPort:
+        """A relay-only boundary DPort on a composite streamer."""
+        return self.add_dport(name, direction, flow_type, relay_only=True)
+
+    def add_sport(self, name: str, role: ProtocolRole) -> SPort:
+        if name in self.sports:
+            raise StreamerError(
+                f"duplicate SPort {name!r} on streamer {self.path()}"
+            )
+        sport = SPort(name, role, owner=self)
+        self.sports[name] = sport
+        return sport
+
+    def add_sub(self, streamer: "Streamer") -> "Streamer":
+        """Contain a sub-streamer (streamers nest arbitrarily, Fig 2)."""
+        if not isinstance(streamer, Streamer):
+            raise StreamerError(
+                f"streamers may only contain streamers (W6); got "
+                f"{type(streamer).__name__}"
+            )
+        if streamer.name in self.subs:
+            raise StreamerError(
+                f"duplicate sub-streamer {streamer.name!r} in {self.path()}"
+            )
+        if streamer.parent is not None:
+            raise StreamerError(
+                f"streamer {streamer.path()} already has a parent"
+            )
+        streamer.parent = self
+        self.subs[streamer.name] = streamer
+        return streamer
+
+    def add_relay(self, name: str, flow_type: FlowType) -> Relay:
+        """A relay fan-out point inside this composite (W2)."""
+        if name in self.relays:
+            raise StreamerError(
+                f"duplicate relay {name!r} in streamer {self.path()}"
+            )
+        relay = Relay(name, flow_type)
+        self.relays[name] = relay
+        return relay
+
+    def add_flow(self, source: DPort, target: DPort) -> Flow:
+        """An internal flow between pads visible in this composite."""
+        flow = Flow(source, target)
+        self.flows.append(flow)
+        return flow
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def dport(self, name: str) -> DPort:
+        try:
+            return self.dports[name]
+        except KeyError:
+            raise StreamerError(
+                f"streamer {self.path()} has no DPort {name!r}"
+            ) from None
+
+    def sport(self, name: str) -> SPort:
+        try:
+            return self.sports[name]
+        except KeyError:
+            raise StreamerError(
+                f"streamer {self.path()} has no SPort {name!r}"
+            ) from None
+
+    def sub(self, name: str) -> "Streamer":
+        try:
+            return self.subs[name]
+        except KeyError:
+            raise StreamerError(
+                f"streamer {self.path()} has no sub-streamer {name!r}"
+            ) from None
+
+    def path(self) -> str:
+        parts = [self.name]
+        node = self.parent
+        while node is not None:
+            parts.append(node.name)
+            node = node.parent
+        return ".".join(reversed(parts))
+
+    @property
+    def is_composite(self) -> bool:
+        return bool(self.subs)
+
+    def leaves(self) -> List["Streamer"]:
+        """All behavioural leaf streamers under (and including) self."""
+        if not self.is_composite:
+            return [self]
+        out: List[Streamer] = []
+        for sub_streamer in self.subs.values():
+            out.extend(sub_streamer.leaves())
+        return out
+
+    def all_flows(self) -> List[Flow]:
+        """Flows declared at this level and in all descendants."""
+        out = list(self.flows)
+        for sub_streamer in self.subs.values():
+            out.extend(sub_streamer.all_flows())
+        return out
+
+    def all_relays(self) -> List[Relay]:
+        out = list(self.relays.values())
+        for sub_streamer in self.subs.values():
+            out.extend(sub_streamer.all_relays())
+        return out
+
+    # ------------------------------------------------------------------
+    # numeric hooks (leaf streamers override)
+    # ------------------------------------------------------------------
+    def initial_state(self) -> np.ndarray:
+        return np.zeros(self.state_size, dtype=float)
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        if self.state_size:
+            raise StreamerError(
+                f"streamer {self.path()} declares state_size="
+                f"{self.state_size} but does not implement derivatives()"
+            )
+        return np.empty(0, dtype=float)
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        """Write OUT DPorts.  Default: leave values unchanged."""
+
+    def zero_crossings(self, t: float, state: np.ndarray) -> Sequence[float]:
+        return ()
+
+    def on_zero_crossing(self, name: str, t: float, direction: int) -> None:
+        """React to a localised zero crossing.  Default: nothing."""
+
+    def handle_signal(self, sport_name: str, message: Message) -> None:
+        """React to a capsule signal delivered at a sync point."""
+
+    def on_sync(self, t: float) -> None:
+        """Hook run once per major step (discrete-time blocks update here)."""
+
+    def request_state_reset(self, new_state: Sequence[float]) -> None:
+        """Ask the scheduler to overwrite this leaf's continuous state at
+        the next sync point (used e.g. by resettable integrators)."""
+        arr = np.asarray(new_state, dtype=float).reshape(-1)
+        if arr.shape != (self.state_size,):
+            raise StreamerError(
+                f"state reset for {self.path()} has shape {arr.shape}, "
+                f"expected ({self.state_size},)"
+            )
+        self._state_reset = arr
+
+    def consume_state_reset(self) -> Optional[np.ndarray]:
+        """Internal: fetch-and-clear a pending state reset."""
+        reset, self._state_reset = self._state_reset, None
+        return reset
+
+    # convenience for hooks ------------------------------------------------
+    def in_scalar(self, name: str) -> float:
+        """Read a scalar IN DPort value."""
+        return self.dport(name).read_scalar()
+
+    def out_scalar(self, name: str, value: float) -> None:
+        """Write a scalar OUT DPort value."""
+        self.dport(name).write(float(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "composite" if self.is_composite else "leaf"
+        return f"{type(self).__name__}({self.path()!r}, {kind})"

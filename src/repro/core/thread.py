@@ -1,0 +1,177 @@
+"""Streamer threads.
+
+"In the model, we can use any number of streamers, which are assigned to
+one or several threads during implementation" (paper §2).  A
+:class:`StreamerThread` is such an implementation thread: it owns a set of
+top-level streamers, a solver binding (the Figure-1 strategy slot) and a
+minor step size.  The hybrid scheduler asks each thread to integrate its
+partition of the flat network between synchronisation points.
+
+Two backends exist:
+
+* the default **cooperative** backend integrates inline when the scheduler
+  asks — deterministic, reproducible, and what all tests use;
+* the **real-thread** backend (:class:`RealThreadPool`) runs each thread's
+  integration slice on an actual OS thread, demonstrating claim C3 on real
+  primitives.  Determinism is preserved because threads only read/write
+  their own partition and cross-thread pads are frozen during a slice.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.solverbinding import SolverBinding
+from repro.core.streamer import Streamer, StreamerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import FlatNetwork, ResolvedEdge
+
+
+class StreamerThread:
+    """A logical thread executing streamers via a solver strategy.
+
+    Parameters
+    ----------
+    name:
+        Thread name (unique within a model).
+    solver:
+        Solver name or instance for the :class:`SolverBinding`.
+    h:
+        Minor (integration) step size used between sync points.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        solver: Any = "rk4",
+        h: float = 1e-3,
+        **solver_kwargs: Any,
+    ) -> None:
+        if h <= 0:
+            raise StreamerError(f"thread {name!r}: non-positive step {h}")
+        self.name = name
+        self.binding = SolverBinding(solver, **solver_kwargs)
+        self.h = h
+        self.streamers: List[Streamer] = []
+        #: filled by the hybrid scheduler at build time
+        self.leaves: List[Streamer] = []
+        self.minor_steps = 0
+
+    def assign(self, streamer: Streamer) -> Streamer:
+        """Assign a top-level streamer (and hence all its leaves) here."""
+        if streamer.thread is not None and streamer.thread is not self:
+            raise StreamerError(
+                f"streamer {streamer.path()} already assigned to thread "
+                f"{streamer.thread.name!r}"
+            )
+        if streamer.parent is not None:
+            raise StreamerError(
+                "only top-level streamers are assigned to threads; "
+                f"{streamer.path()} is nested"
+            )
+        streamer.thread = self
+        if streamer not in self.streamers:
+            self.streamers.append(streamer)
+        return streamer
+
+    # ------------------------------------------------------------------
+    # integration slice (called by the hybrid scheduler)
+    # ------------------------------------------------------------------
+    def integrate_slice(
+        self,
+        network: "FlatNetwork",
+        state: np.ndarray,
+        t0: float,
+        t1: float,
+        plan,
+    ) -> np.ndarray:
+        """Advance this thread's leaves from ``t0`` to ``t1`` in-place.
+
+        ``plan`` is this thread's precomputed
+        :class:`~repro.core.network.EvalPlan` (own leaves, in-thread
+        edges only — cross-thread pads stay frozen during the slice).
+        The global ``state`` vector is shared, but this thread only
+        writes its own leaves' slices, so slices may run on real threads
+        safely.
+        """
+        if not self.leaves:
+            return state
+
+        def rhs(t: float, y: np.ndarray) -> np.ndarray:
+            return network.rhs_plan(t, y, plan)
+
+        # Work on a private copy: the RHS only reads this thread's slices
+        # (other leaves are filtered out and cross-thread pads are frozen),
+        # so concurrent threads never observe each other's intermediates.
+        y = state.copy()
+        t = t0
+        while t < t1 - 1e-14 * max(1.0, abs(t1)):
+            step_h = min(self.h, t1 - t)
+            result = self.binding.step(rhs, t, y, step_h)
+            self.minor_steps += 1
+            y = result.y
+            t = result.t
+            if self.binding.solver.adaptive:
+                self.h = min(result.h_next, self.h * 5.0)
+        # publish only this thread's slices back into the shared vector
+        for leaf in self.leaves:
+            lo, hi = network.state_slice(leaf)
+            state[lo:hi] = y[lo:hi]
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamerThread({self.name!r}, solver="
+            f"{self.binding.strategy_name}, h={self.h}, "
+            f"streamers={len(self.streamers)})"
+        )
+
+
+class RealThreadPool:
+    """Run each thread's integration slice on an actual OS thread.
+
+    Used by bench C3 to show the architecture maps directly onto OS
+    threads ("easy to realize on existing UML-RT platforms"): slices are
+    data-disjoint, so the pool simply launches one ``threading.Thread``
+    per streamer thread and joins them at the sync point barrier.
+    """
+
+    def __init__(self, threads: Sequence[StreamerThread]) -> None:
+        self.threads = list(threads)
+        self.slices_run = 0
+
+    def run_slices(
+        self,
+        network: "FlatNetwork",
+        state: np.ndarray,
+        t0: float,
+        t1: float,
+        plans,
+    ) -> None:
+        """``plans`` maps ``id(thread)`` to the thread's EvalPlan."""
+        errors: List[BaseException] = []
+
+        def work(thread: StreamerThread) -> None:
+            try:
+                thread.integrate_slice(
+                    network, state, t0, t1, plans[id(thread)]
+                )
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=work, args=(thread,), daemon=True)
+            for thread in self.threads
+            if thread.leaves
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        self.slices_run += 1
+        if errors:
+            raise errors[0]

@@ -1,0 +1,75 @@
+"""Block: the common base of all library blocks.
+
+A block is a leaf streamer with scalar DPorts and a parameter dictionary.
+The base class adds:
+
+* uniform construction of scalar IN/OUT ports (``inputs=…``/``outputs=…``);
+* a default ``handle_signal`` implementing a tiny parameter-tuning
+  protocol: any signal named ``set_<param>`` with a float payload updates
+  ``params[<param>]``, so capsules can retune blocks at run time without
+  bespoke glue (the paper's "modifying parameters" solver duty);
+* bookkeeping used by the C1 baseline comparison (block/port counts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.flowtype import SCALAR, FlowType
+from repro.core.streamer import Streamer
+from repro.umlrt.signal import Message
+
+
+class BlockError(Exception):
+    """Raised on invalid block parameters or wiring."""
+
+
+class Block(Streamer):
+    """A leaf streamer with scalar ports and tunable parameters."""
+
+    #: default port names; subclasses may override or pass at init
+    default_inputs: Sequence[str] = ()
+    default_outputs: Sequence[str] = ("out",)
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Optional[Sequence[str]] = None,
+        outputs: Optional[Sequence[str]] = None,
+        flow_type: FlowType = SCALAR,
+        **params: Any,
+    ) -> None:
+        super().__init__(name)
+        for port_name in (inputs if inputs is not None
+                          else self.default_inputs):
+            self.add_in(port_name, flow_type)
+        for port_name in (outputs if outputs is not None
+                          else self.default_outputs):
+            self.add_out(port_name, flow_type)
+        self.params.update(params)
+
+    # ------------------------------------------------------------------
+    def param(self, key: str) -> Any:
+        try:
+            return self.params[key]
+        except KeyError:
+            raise BlockError(
+                f"block {self.path()} has no parameter {key!r}"
+            ) from None
+
+    def handle_signal(self, sport_name: str, message: Message) -> None:
+        """Default tuning protocol: ``set_<param>`` updates ``params``."""
+        if message.signal.startswith("set_"):
+            key = message.signal[len("set_"):]
+            if key in self.params:
+                self.params[key] = message.data
+                return
+        super().handle_signal(sport_name, message)
+
+    @property
+    def in_names(self) -> Sequence[str]:
+        return [p.name for p in self.dports.values() if p.is_in]
+
+    @property
+    def out_names(self) -> Sequence[str]:
+        return [p.name for p in self.dports.values() if p.is_out]

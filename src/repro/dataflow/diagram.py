@@ -1,0 +1,143 @@
+"""Diagram: a composite streamer with convenient name-based wiring.
+
+``Diagram`` wraps the raw composite-streamer API in the style block
+diagrams are usually described::
+
+    d = Diagram("loop")
+    d.add(Step("ref", amplitude=1.0))
+    d.add(Sum("err", signs="+-"))
+    d.add(PID("pid", kp=2.0, ki=1.0))
+    d.add(FirstOrderLag("plant", tau=1.0))
+    d.connect("ref.out", "err.in1")
+    d.connect("plant.out", "err.in2")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "plant.in")
+    d.expose("y", "plant.out")          # boundary OUT DPort
+
+``connect`` inserts relays automatically when one source feeds several
+destinations (the paper's relay stereotype, W2), so diagram authors never
+build fan-out chains by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.dport import Direction, DPort
+from repro.core.streamer import Streamer, StreamerError
+
+
+class DiagramError(Exception):
+    """Raised on bad diagram wiring."""
+
+
+class Diagram(Streamer):
+    """A composite streamer with path-addressed connect/expose helpers."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._pending: Dict[int, List[DPort]] = {}  # src pad -> dst pads
+        self._pad_of: Dict[int, DPort] = {}
+        self._relay_count = 0
+        self._finalised = False
+
+    # ------------------------------------------------------------------
+    def add(self, streamer: Streamer) -> Streamer:
+        """Add a block or sub-diagram."""
+        return self.add_sub(streamer)
+
+    def port_at(self, path: str) -> DPort:
+        """Resolve ``"block.port"`` (or nested ``"sub.block.port"``)."""
+        parts = path.split(".")
+        if len(parts) < 2:
+            raise DiagramError(
+                f"port path needs at least 'block.port': {path!r}"
+            )
+        node: Streamer = self
+        for name in parts[:-1]:
+            try:
+                node = node.sub(name)
+            except StreamerError:
+                raise DiagramError(
+                    f"no block {name!r} under {node.path()}"
+                ) from None
+        try:
+            return node.dport(parts[-1])
+        except StreamerError:
+            raise DiagramError(
+                f"block {node.path()} has no DPort {parts[-1]!r}"
+            ) from None
+
+    def connect(self, source_path: str, target_path: str) -> None:
+        """Queue a connection; fan-out relays materialise in finalise()."""
+        if self._finalised:
+            raise DiagramError(
+                f"diagram {self.name!r} already finalised"
+            )
+        src = self.port_at(source_path)
+        dst = self.port_at(target_path)
+        self._pad_of[id(src)] = src
+        self._pending.setdefault(id(src), []).append(dst)
+
+    def expose(
+        self, name: str, inner_path: str, direction: Optional[Direction] = None
+    ) -> DPort:
+        """Create a boundary DPort wired to an inner port.
+
+        Direction defaults to the inner port's own direction: exposing an
+        inner OUT makes a boundary OUT, an inner IN a boundary IN.
+        """
+        inner = self.port_at(inner_path)
+        chosen = direction or inner.direction
+        boundary = self.add_boundary(name, chosen, inner.flow_type)
+        if chosen is Direction.OUT:
+            self._pad_of[id(inner)] = inner
+            self._pending.setdefault(id(inner), []).append(boundary)
+        else:
+            self._pad_of[id(boundary)] = boundary
+            self._pending.setdefault(id(boundary), []).append(inner)
+        return boundary
+
+    # ------------------------------------------------------------------
+    def finalise(self) -> "Diagram":
+        """Materialise flows, inserting relay chains for fan-out (W2)."""
+        if self._finalised:
+            return self
+        self._finalised = True
+        for src_id, dsts in self._pending.items():
+            src = self._pad_of[src_id]
+            self._wire(src, dsts)
+        self._pending.clear()
+        return self
+
+    def _wire(self, src: DPort, dsts: List[DPort]) -> None:
+        if len(dsts) == 1:
+            self.add_flow(src, dsts[0])
+            return
+        # fan-out: a chain of relays, each providing one tap plus the tail
+        current = src
+        remaining = list(dsts)
+        while len(remaining) > 2:
+            relay = self.add_relay(
+                f"__relay{self._relay_count}", src.flow_type
+            )
+            self._relay_count += 1
+            self.add_flow(current, relay.input)
+            self.add_flow(relay.out_a, remaining.pop(0))
+            current = relay.out_b
+        relay = self.add_relay(f"__relay{self._relay_count}", src.flow_type)
+        self._relay_count += 1
+        self.add_flow(current, relay.input)
+        self.add_flow(relay.out_a, remaining[0])
+        self.add_flow(relay.out_b, remaining[1])
+
+    # convenience: leaves() et al. require finalisation first
+    def leaves(self):  # type: ignore[override]
+        if not self._finalised:
+            self.finalise()
+        return super().leaves()
+
+    def all_flows(self):  # type: ignore[override]
+        if not self._finalised:
+            self.finalise()
+        return super().all_flows()

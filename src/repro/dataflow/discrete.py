@@ -1,0 +1,181 @@
+"""Discrete-time blocks: the difference-equation world.
+
+The paper: "difference equations can be integrated into capsule's actions"
+— but inside a *dataflow* diagram difference equations are more naturally
+discrete-time blocks sampling at their own period.  Each block here keeps
+its discrete state in plain attributes and updates it in ``on_sync`` when
+its sample time has elapsed; between samples the output is held (ZOH
+semantics).  Choose the scheduler's ``sync_interval`` to divide the block
+sample times, or the block samples at the first sync point after its
+nominal instant (the jitter every real RTOS also exhibits).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Sequence
+
+import numpy as np
+
+from repro.dataflow.block import Block, BlockError
+
+
+class SampledBlock(Block):
+    """Base for blocks with a sample period ``ts``.
+
+    Subclasses implement :meth:`sample(t, u) -> y`; the base handles the
+    sample clock and output holding.  Outputs are *not* direct
+    feedthrough at the continuous level (they change only at sync
+    points), which conveniently breaks algebraic loops in sampled control
+    loops, exactly as a physical ADC/DAC pair would.
+    """
+
+    default_inputs = ("in",)
+    direct_feedthrough = False
+
+    def __init__(self, name: str, ts: float, **params) -> None:
+        if ts <= 0:
+            raise BlockError(f"block {name!r}: non-positive sample time {ts}")
+        super().__init__(name, ts=float(ts), **params)
+        self._next_sample = 0.0
+        self._held = 0.0
+        self.samples_taken = 0
+
+    def sample(self, t: float, u: float) -> float:
+        raise NotImplementedError
+
+    def on_sync(self, t: float) -> None:
+        ts = self.params["ts"]
+        eps = 1e-9 * ts  # tolerate float accumulation in major-step times
+        if t + eps >= self._next_sample:
+            u = self.in_scalar("in")
+            self._held = float(self.sample(t, u))
+            self.samples_taken += 1
+            # walk the nominal grid forward (drift-free, double-sample
+            # safe even when t sits a few ulps below a grid point)
+            nxt = self._next_sample
+            while nxt <= t + eps:
+                nxt += ts
+            self._next_sample = nxt
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", self._held)
+
+
+class ZeroOrderHold(SampledBlock):
+    """Sample the input every ``ts`` and hold it."""
+
+    def sample(self, t: float, u: float) -> float:
+        return u
+
+
+class UnitDelay(SampledBlock):
+    """``y[k] = u[k-1]`` at period ``ts``."""
+
+    def __init__(self, name: str, ts: float, y0: float = 0.0) -> None:
+        super().__init__(name, ts)
+        self._store = float(y0)
+
+    def sample(self, t: float, u: float) -> float:
+        out, self._store = self._store, u
+        return out
+
+
+class MovingAverage(SampledBlock):
+    """Mean of the last ``window`` samples."""
+
+    def __init__(self, name: str, ts: float, window: int = 4) -> None:
+        if window < 1:
+            raise BlockError(
+                f"moving average {name!r}: window must be >= 1"
+            )
+        super().__init__(name, ts, window=int(window))
+        self._buffer: Deque[float] = deque(maxlen=int(window))
+
+    def sample(self, t: float, u: float) -> float:
+        self._buffer.append(u)
+        return sum(self._buffer) / len(self._buffer)
+
+
+class DiscreteTransferFunction(SampledBlock):
+    """SISO z-domain transfer function ``num(z⁻¹)/den(z⁻¹)`` at period
+    ``ts`` — the general difference equation
+
+    ``a0·y[k] = b0·u[k] + b1·u[k-1] + ... - a1·y[k-1] - ...``
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num: Sequence[float],
+        den: Sequence[float],
+        ts: float = 0.1,
+    ) -> None:
+        num = [float(c) for c in num]
+        den = [float(c) for c in den]
+        if not den or den[0] == 0.0:
+            raise BlockError(
+                f"dtf {name!r}: denominator must start with a non-zero "
+                "coefficient"
+            )
+        super().__init__(name, ts)
+        self.num = num
+        self.den = den
+        self._u_hist: Deque[float] = deque([0.0] * len(num), maxlen=len(num))
+        self._y_hist: Deque[float] = deque(
+            [0.0] * (len(den) - 1), maxlen=max(1, len(den) - 1)
+        )
+
+    def sample(self, t: float, u: float) -> float:
+        self._u_hist.appendleft(u)
+        acc = sum(b * uu for b, uu in zip(self.num, self._u_hist))
+        acc -= sum(a * yy for a, yy in zip(self.den[1:], self._y_hist))
+        y = acc / self.den[0]
+        if len(self.den) > 1:
+            self._y_hist.appendleft(y)
+        return y
+
+
+class DiscretePID(SampledBlock):
+    """Velocity-form discrete PID at period ``ts``.
+
+    ``Δu[k] = kp·(e[k]-e[k-1]) + ki·ts·e[k] + kd/ts·(e[k]-2e[k-1]+e[k-2])``
+
+    with output clamping.  The velocity form needs no anti-windup logic:
+    clamping Δu accumulates no windup by construction.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kp: float = 1.0,
+        ki: float = 0.0,
+        kd: float = 0.0,
+        ts: float = 0.1,
+        u_min: Optional[float] = None,
+        u_max: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            name, ts, kp=float(kp), ki=float(ki), kd=float(kd)
+        )
+        self.u_min = u_min
+        self.u_max = u_max
+        self._e1 = 0.0
+        self._e2 = 0.0
+        self._u = 0.0
+
+    def sample(self, t: float, e: float) -> float:
+        p = self.params
+        ts = p["ts"]
+        du = (
+            p["kp"] * (e - self._e1)
+            + p["ki"] * ts * e
+            + p["kd"] / ts * (e - 2.0 * self._e1 + self._e2)
+        )
+        u = self._u + du
+        if self.u_max is not None:
+            u = min(u, self.u_max)
+        if self.u_min is not None:
+            u = max(u, self.u_min)
+        self._e2, self._e1, self._u = self._e1, e, u
+        return u

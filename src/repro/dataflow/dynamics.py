@@ -1,0 +1,315 @@
+"""Continuous dynamic blocks: the differential-equation carriers.
+
+These blocks own the continuous state the paper's solvers integrate:
+integrators, first/second-order lags, rational transfer functions
+(realised in controllable canonical form), general state-space systems and
+a PID controller with filtered derivative.
+
+None of them is direct-feedthrough except where D ≠ 0 (StateSpace decides
+at construction; PID and TransferFunction with equal degree are
+feedthrough), so pure-feedback diagrams remain algebraic-loop free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dataflow.block import Block, BlockError
+
+
+class Integrator(Block):
+    """``dy/dt = in`` with optional output saturation and reset.
+
+    With ``lower``/``upper`` limits the integrator *clamps in the
+    derivative* (anti-windup style): at a saturated bound, inflow pointing
+    further out is zeroed.  A capsule can reset the state by sending the
+    ``reset`` tuning signal with the new value as payload.
+    """
+
+    default_inputs = ("in",)
+    state_size = 1
+
+    def __init__(
+        self,
+        name: str,
+        y0: float = 0.0,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+    ) -> None:
+        if lower is not None and upper is not None and lower >= upper:
+            raise BlockError(
+                f"integrator {name!r}: lower {lower} >= upper {upper}"
+            )
+        super().__init__(name, y0=float(y0))
+        self.lower = lower
+        self.upper = upper
+
+    def initial_state(self) -> np.ndarray:
+        return np.array([self.params["y0"]], dtype=float)
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        u = self.in_scalar("in")
+        y = state[0]
+        if self.upper is not None and y >= self.upper and u > 0.0:
+            u = 0.0
+        if self.lower is not None and y <= self.lower and u < 0.0:
+            u = 0.0
+        return np.array([u])
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        y = state[0]
+        if self.upper is not None:
+            y = min(y, self.upper)
+        if self.lower is not None:
+            y = max(y, self.lower)
+        self.out_scalar("out", y)
+
+    def handle_signal(self, sport_name: str, message) -> None:
+        if message.signal == "reset":
+            value = float(message.data or 0.0)
+            self.params["y0"] = value
+            self.request_state_reset([value])
+            return
+        super().handle_signal(sport_name, message)
+
+
+class FirstOrderLag(Block):
+    """``tau * dy/dt + y = k * u`` — the ubiquitous PT1 element."""
+
+    default_inputs = ("in",)
+    state_size = 1
+
+    def __init__(
+        self, name: str, tau: float = 1.0, k: float = 1.0, y0: float = 0.0
+    ) -> None:
+        if tau <= 0:
+            raise BlockError(f"lag {name!r}: non-positive tau {tau}")
+        super().__init__(name, tau=float(tau), k=float(k), y0=float(y0))
+
+    def initial_state(self) -> np.ndarray:
+        return np.array([self.params["y0"]], dtype=float)
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        p = self.params
+        u = self.in_scalar("in")
+        return np.array([(p["k"] * u - state[0]) / p["tau"]])
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", state[0])
+
+
+class SecondOrderSystem(Block):
+    """``y'' + 2ζω y' + ω² y = ω² k u`` — canonical oscillator/PT2."""
+
+    default_inputs = ("in",)
+    state_size = 2
+
+    def __init__(
+        self,
+        name: str,
+        omega: float = 1.0,
+        zeta: float = 0.7,
+        k: float = 1.0,
+        y0: float = 0.0,
+        v0: float = 0.0,
+    ) -> None:
+        if omega <= 0:
+            raise BlockError(f"pt2 {name!r}: non-positive omega {omega}")
+        if zeta < 0:
+            raise BlockError(f"pt2 {name!r}: negative zeta {zeta}")
+        super().__init__(
+            name, omega=float(omega), zeta=float(zeta), k=float(k),
+            y0=float(y0), v0=float(v0),
+        )
+
+    def initial_state(self) -> np.ndarray:
+        return np.array([self.params["y0"], self.params["v0"]], dtype=float)
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        p = self.params
+        y, v = state
+        u = self.in_scalar("in")
+        acc = p["omega"] ** 2 * (p["k"] * u - y) - 2.0 * p["zeta"] * p["omega"] * v
+        return np.array([v, acc])
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", state[0])
+
+
+class TransferFunction(Block):
+    """SISO rational transfer function ``num(s)/den(s)``.
+
+    Realised in controllable canonical form.  ``deg(num) <= deg(den)``;
+    equal degrees introduce direct feedthrough (D ≠ 0), which the block
+    reports so loop detection stays sound.
+    """
+
+    default_inputs = ("in",)
+
+    def __init__(
+        self, name: str, num: Sequence[float], den: Sequence[float]
+    ) -> None:
+        num = [float(c) for c in num]
+        den = [float(c) for c in den]
+        while num and num[0] == 0.0:
+            num = num[1:]
+        while den and den[0] == 0.0:
+            den = den[1:]
+        if not den:
+            raise BlockError(f"tf {name!r}: zero denominator")
+        if len(num) > len(den):
+            raise BlockError(
+                f"tf {name!r}: improper transfer function "
+                f"(deg num {len(num) - 1} > deg den {len(den) - 1})"
+            )
+        super().__init__(name)
+        n = len(den) - 1
+        self.n = n
+        a0 = den[0]
+        den_norm = [c / a0 for c in den]
+        num_norm = [c / a0 for c in num]
+        # pad numerator to same length as denominator
+        num_padded = [0.0] * (len(den_norm) - len(num_norm)) + num_norm
+        self.d = num_padded[0]
+        # controllable canonical form
+        self.a = np.array(den_norm[1:], dtype=float)       # a1..an
+        b = np.array(num_padded[1:], dtype=float)           # b1..bn
+        self.c = b - self.d * self.a
+        self.direct_feedthrough = self.d != 0.0
+
+    @property
+    def state_size(self) -> int:  # type: ignore[override]
+        return self.n
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        u = self.in_scalar("in")
+        if self.n == 0:
+            return np.empty(0)
+        dstate = np.empty(self.n)
+        dstate[:-1] = state[1:]
+        dstate[-1] = u - float(self.a[::-1] @ state)
+        return dstate
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        u = self.in_scalar("in")
+        y = self.d * u
+        if self.n:
+            y += float(self.c[::-1] @ state)
+        self.out_scalar("out", y)
+
+
+class StateSpace(Block):
+    """General LTI system ``x' = Ax + Bu, y = Cx + Du`` (SISO ports).
+
+    ``u`` and ``y`` are scalars; A is ``n×n``, B ``n×1``, C ``1×n``,
+    D scalar.  ``direct_feedthrough`` is D ≠ 0.
+    """
+
+    default_inputs = ("in",)
+
+    def __init__(
+        self,
+        name: str,
+        a: Sequence[Sequence[float]],
+        b: Sequence[float],
+        c: Sequence[float],
+        d: float = 0.0,
+        x0: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name)
+        self.a = np.atleast_2d(np.asarray(a, dtype=float))
+        self.b = np.asarray(b, dtype=float).reshape(-1)
+        self.c = np.asarray(c, dtype=float).reshape(-1)
+        self.d = float(d)
+        n = self.a.shape[0]
+        if self.a.shape != (n, n):
+            raise BlockError(f"ss {name!r}: A must be square")
+        if self.b.shape != (n,) or self.c.shape != (n,):
+            raise BlockError(
+                f"ss {name!r}: B/C dimensions must match A ({n})"
+            )
+        self._n = n
+        self.x0 = (
+            np.zeros(n) if x0 is None else np.asarray(x0, dtype=float)
+        )
+        if self.x0.shape != (n,):
+            raise BlockError(f"ss {name!r}: x0 must have {n} entries")
+        self.direct_feedthrough = self.d != 0.0
+
+    @property
+    def state_size(self) -> int:  # type: ignore[override]
+        return self._n
+
+    def initial_state(self) -> np.ndarray:
+        return self.x0.copy()
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        u = self.in_scalar("in")
+        return self.a @ state + self.b * u
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        u = self.in_scalar("in")
+        self.out_scalar("out", float(self.c @ state) + self.d * u)
+
+
+class PID(Block):
+    """Continuous PID with filtered derivative and anti-windup clamping.
+
+    ``u = kp·e + ki·∫e + kd·ė_f`` where ``ė_f`` comes from a first-order
+    filter of time constant ``tf`` (states: integral, filtered error).
+    When ``u_min``/``u_max`` are set, the command saturates and the
+    integrator conditionally freezes (clamping anti-windup).
+    """
+
+    default_inputs = ("in",)  # the error signal
+    state_size = 2
+    direct_feedthrough = True
+
+    def __init__(
+        self,
+        name: str,
+        kp: float = 1.0,
+        ki: float = 0.0,
+        kd: float = 0.0,
+        tf: float = 0.01,
+        u_min: Optional[float] = None,
+        u_max: Optional[float] = None,
+    ) -> None:
+        if tf <= 0:
+            raise BlockError(f"pid {name!r}: non-positive filter tf {tf}")
+        super().__init__(
+            name, kp=float(kp), ki=float(ki), kd=float(kd), tf=float(tf)
+        )
+        self.u_min = u_min
+        self.u_max = u_max
+
+    def _raw_command(self, state: np.ndarray, e: float) -> float:
+        p = self.params
+        integral, e_filt = state
+        de = (e - e_filt) / p["tf"]
+        return p["kp"] * e + p["ki"] * integral + p["kd"] * de
+
+    def _saturate(self, u: float) -> float:
+        if self.u_max is not None:
+            u = min(u, self.u_max)
+        if self.u_min is not None:
+            u = max(u, self.u_min)
+        return u
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        p = self.params
+        e = self.in_scalar("in")
+        raw = self._raw_command(state, e)
+        saturated = self._saturate(raw)
+        # clamping anti-windup: freeze integral while pushing past limits
+        d_integral = e
+        if raw != saturated and raw * e > 0:
+            d_integral = 0.0
+        d_filt = (e - state[1]) / p["tf"]
+        return np.array([d_integral, d_filt])
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        e = self.in_scalar("in")
+        self.out_scalar("out", self._saturate(self._raw_command(state, e)))

@@ -1,0 +1,97 @@
+"""Stateless arithmetic blocks.
+
+All of these are direct-feedthrough: their outputs depend on current
+inputs, so they impose evaluation-order constraints and participate in
+algebraic-loop detection (W12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.block import Block, BlockError
+
+
+class Gain(Block):
+    """``out = k * in``."""
+
+    default_inputs = ("in",)
+    direct_feedthrough = True
+
+    def __init__(self, name: str, k: float = 1.0) -> None:
+        super().__init__(name, k=float(k))
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", self.params["k"] * self.in_scalar("in"))
+
+
+class Bias(Block):
+    """``out = in + bias``."""
+
+    default_inputs = ("in",)
+    direct_feedthrough = True
+
+    def __init__(self, name: str, bias: float = 0.0) -> None:
+        super().__init__(name, bias=float(bias))
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", self.in_scalar("in") + self.params["bias"])
+
+
+class Sum(Block):
+    """Signed sum of N inputs.
+
+    ``signs`` is a string like ``"+-"`` or ``"++-"``; input ports are
+    named ``in1..inN``.  The classic feedback comparator is
+    ``Sum("err", signs="+-")`` with ``in1`` = reference, ``in2`` =
+    measurement.
+    """
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str, signs: str = "++") -> None:
+        if not signs or any(c not in "+-" for c in signs):
+            raise BlockError(
+                f"sum {name!r}: signs must be a non-empty +/- string, "
+                f"got {signs!r}"
+            )
+        inputs = [f"in{i + 1}" for i in range(len(signs))]
+        super().__init__(name, inputs=inputs, signs=signs)
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        total = 0.0
+        for index, sign in enumerate(self.params["signs"]):
+            value = self.in_scalar(f"in{index + 1}")
+            total += value if sign == "+" else -value
+        self.out_scalar("out", total)
+
+
+class Product(Block):
+    """Product of N inputs (ports ``in1..inN``)."""
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str, n: int = 2) -> None:
+        if n < 1:
+            raise BlockError(f"product {name!r}: need n >= 1, got {n}")
+        inputs = [f"in{i + 1}" for i in range(n)]
+        super().__init__(name, inputs=inputs, n=n)
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        value = 1.0
+        for index in range(self.params["n"]):
+            value *= self.in_scalar(f"in{index + 1}")
+        self.out_scalar("out", value)
+
+
+class Abs(Block):
+    """``out = |in|``."""
+
+    default_inputs = ("in",)
+    direct_feedthrough = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", abs(self.in_scalar("in")))

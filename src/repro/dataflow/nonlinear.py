@@ -1,0 +1,168 @@
+"""Static nonlinearities.
+
+All stateless and direct-feedthrough except :class:`RelayHysteresis`,
+which keeps a one-bit discrete memory (the relay state) updated at sync
+points — and doubles as a clean example of a block publishing a
+zero-crossing guard so the discrete world can observe switching.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.dataflow.block import Block, BlockError
+
+
+class Saturation(Block):
+    """Clamp the input into ``[lower, upper]``."""
+
+    default_inputs = ("in",)
+    direct_feedthrough = True
+
+    def __init__(
+        self, name: str, lower: float = -1.0, upper: float = 1.0
+    ) -> None:
+        if lower >= upper:
+            raise BlockError(
+                f"saturation {name!r}: lower {lower} >= upper {upper}"
+            )
+        super().__init__(name, lower=float(lower), upper=float(upper))
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        p = self.params
+        self.out_scalar(
+            "out", min(p["upper"], max(p["lower"], self.in_scalar("in")))
+        )
+
+
+class DeadZone(Block):
+    """Zero inside ``[-width, width]``, shifted linear outside."""
+
+    default_inputs = ("in",)
+    direct_feedthrough = True
+
+    def __init__(self, name: str, width: float = 0.5) -> None:
+        if width < 0:
+            raise BlockError(f"deadzone {name!r}: negative width {width}")
+        super().__init__(name, width=float(width))
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        u = self.in_scalar("in")
+        w = self.params["width"]
+        if u > w:
+            y = u - w
+        elif u < -w:
+            y = u + w
+        else:
+            y = 0.0
+        self.out_scalar("out", y)
+
+
+class RelayHysteresis(Block):
+    """Two-level relay with hysteresis (bang-bang element).
+
+    Output is ``on_value`` once the input exceeds ``upper`` and stays
+    until it falls below ``lower``.  The relay bit updates at sync points
+    (it is discrete state); the crossing instants are also published as
+    zero-crossing guards ``up``/``down`` so capsules can subscribe.
+    """
+
+    default_inputs = ("in",)
+    direct_feedthrough = True
+    zero_crossing_names = ("up", "down")
+
+    def __init__(
+        self,
+        name: str,
+        lower: float = -0.5,
+        upper: float = 0.5,
+        on_value: float = 1.0,
+        off_value: float = 0.0,
+        initially_on: bool = False,
+    ) -> None:
+        if lower >= upper:
+            raise BlockError(
+                f"relay {name!r}: lower {lower} >= upper {upper}"
+            )
+        super().__init__(
+            name, lower=float(lower), upper=float(upper),
+            on_value=float(on_value), off_value=float(off_value),
+        )
+        self.on = bool(initially_on)
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        u = self.in_scalar("in")
+        # the relay switches as soon as the threshold is passed; the bit
+        # below only memorises it between evaluations
+        if self.on and u < self.params["lower"]:
+            self.on = False
+        elif not self.on and u > self.params["upper"]:
+            self.on = True
+        self.out_scalar(
+            "out",
+            self.params["on_value"] if self.on else self.params["off_value"],
+        )
+
+    def zero_crossings(self, t: float, state: np.ndarray) -> Tuple[float, float]:
+        u = self.in_scalar("in")
+        return (u - self.params["upper"], self.params["lower"] - u)
+
+
+class Quantizer(Block):
+    """Round the input to multiples of ``step``."""
+
+    default_inputs = ("in",)
+    direct_feedthrough = True
+
+    def __init__(self, name: str, step: float = 0.1) -> None:
+        if step <= 0:
+            raise BlockError(f"quantizer {name!r}: non-positive step {step}")
+        super().__init__(name, step=float(step))
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        step = self.params["step"]
+        self.out_scalar(
+            "out", step * round(self.in_scalar("in") / step)
+        )
+
+
+class LookupTable1D(Block):
+    """Piecewise-linear interpolation through ``(x, y)`` breakpoints.
+
+    Inputs outside the table are linearly extrapolated from the end
+    segments, matching common CACSD tool behaviour.
+    """
+
+    default_inputs = ("in",)
+    direct_feedthrough = True
+
+    def __init__(
+        self, name: str, xs: Sequence[float], ys: Sequence[float]
+    ) -> None:
+        xs = [float(x) for x in xs]
+        ys = [float(y) for y in ys]
+        if len(xs) != len(ys) or len(xs) < 2:
+            raise BlockError(
+                f"lookup {name!r}: need >= 2 matching breakpoints"
+            )
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise BlockError(
+                f"lookup {name!r}: x breakpoints must strictly increase"
+            )
+        super().__init__(name)
+        self.xs = np.asarray(xs)
+        self.ys = np.asarray(ys)
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        u = self.in_scalar("in")
+        xs, ys = self.xs, self.ys
+        if u <= xs[0]:
+            idx = 0
+        elif u >= xs[-1]:
+            idx = len(xs) - 2
+        else:
+            idx = int(np.searchsorted(xs, u)) - 1
+        slope = (ys[idx + 1] - ys[idx]) / (xs[idx + 1] - xs[idx])
+        self.out_scalar("out", float(ys[idx] + slope * (u - xs[idx])))

@@ -1,0 +1,160 @@
+"""Signal routing and rate-shaping blocks.
+
+Additions beyond the paper's minimal set, covering the remaining
+primitives real control diagrams need:
+
+* :class:`Switch` — select between two inputs on a threshold control;
+* :class:`RateLimiter` — bound the slew rate of a signal (sampled);
+* :class:`TransportDelay` — pure time delay via an interpolating history
+  buffer (the classic dead-time element);
+* :class:`FilteredDerivative` — band-limited differentiator
+  ``s / (tf*s + 1)`` as a proper 1-state block.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+import numpy as np
+
+from repro.dataflow.block import Block, BlockError
+from repro.dataflow.discrete import SampledBlock
+
+
+class Switch(Block):
+    """``out = in1 if ctrl >= threshold else in2``.
+
+    Ports: ``in1``, ``in2`` (data) and ``ctrl`` (the deciding signal).
+    Publishes a zero-crossing guard at the threshold so the discrete
+    world can observe switching instants.
+    """
+
+    direct_feedthrough = True
+    zero_crossing_names = ("switch",)
+
+    def __init__(self, name: str, threshold: float = 0.0) -> None:
+        super().__init__(name, inputs=("in1", "in2", "ctrl"),
+                         threshold=float(threshold))
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        chosen = (
+            "in1"
+            if self.in_scalar("ctrl") >= self.params["threshold"]
+            else "in2"
+        )
+        self.out_scalar("out", self.in_scalar(chosen))
+
+    def zero_crossings(self, t: float, state: np.ndarray):
+        return (self.in_scalar("ctrl") - self.params["threshold"],)
+
+
+class RateLimiter(SampledBlock):
+    """Limit the slew rate to ``rising``/``falling`` units per second.
+
+    Sampled semantics (period ``ts``): each sample moves the output
+    toward the input by at most ``rate * ts``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rising: float = 1.0,
+        falling: float = -1.0,
+        ts: float = 0.01,
+        y0: float = 0.0,
+    ) -> None:
+        if rising <= 0 or falling >= 0:
+            raise BlockError(
+                f"rate limiter {name!r}: need rising > 0 and falling < 0"
+            )
+        super().__init__(name, ts, rising=float(rising),
+                         falling=float(falling))
+        self._held = float(y0)
+
+    def sample(self, t: float, u: float) -> float:
+        ts = self.params["ts"]
+        step_up = self.params["rising"] * ts
+        step_down = self.params["falling"] * ts
+        delta = u - self._held
+        if delta > step_up:
+            delta = step_up
+        elif delta < step_down:
+            delta = step_down
+        return self._held + delta
+
+
+class TransportDelay(Block):
+    """Pure dead time: ``out(t) = in(t - delay)``.
+
+    Implemented with an interpolating ring buffer filled at sync points,
+    so accuracy is bounded by the scheduler's sync interval (the buffer
+    is the discretised memory a real dead-time element carries).  Before
+    ``delay`` has elapsed, the output is ``initial``.
+    """
+
+    direct_feedthrough = False
+
+    def __init__(
+        self, name: str, delay: float = 1.0, initial: float = 0.0
+    ) -> None:
+        if delay <= 0:
+            raise BlockError(
+                f"transport delay {name!r}: non-positive delay {delay}"
+            )
+        super().__init__(name, inputs=("in",), delay=float(delay),
+                         initial=float(initial))
+        self._history: Deque[Tuple[float, float]] = deque()
+        self._out_value = float(initial)
+
+    def on_sync(self, t: float) -> None:
+        self._history.append((t, self.in_scalar("in")))
+        target = t - self.params["delay"]
+        self._out_value = self._lookup(target)
+        # drop history older than needed (keep one sample before target)
+        while len(self._history) > 2 and self._history[1][0] <= target:
+            self._history.popleft()
+
+    def _lookup(self, target: float) -> float:
+        if not self._history or target < self._history[0][0]:
+            return self.params["initial"]
+        previous = self._history[0]
+        for sample in self._history:
+            if sample[0] >= target:
+                t0, v0 = previous
+                t1, v1 = sample
+                if t1 == t0:
+                    return v1
+                alpha = (target - t0) / (t1 - t0)
+                return (1.0 - alpha) * v0 + alpha * v1
+            previous = sample
+        return self._history[-1][1]
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", self._out_value)
+
+
+class FilteredDerivative(Block):
+    """Band-limited differentiator ``y = s·u / (tf·s + 1)``.
+
+    Realised with one state ``x`` (the filtered input):
+    ``tf·x' = u - x``, ``y = (u - x) / tf``.  Direct feedthrough.
+    """
+
+    state_size = 1
+    direct_feedthrough = True
+
+    def __init__(self, name: str, tf: float = 0.01) -> None:
+        if tf <= 0:
+            raise BlockError(
+                f"derivative {name!r}: non-positive filter tf {tf}"
+            )
+        super().__init__(name, inputs=("in",), tf=float(tf))
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        u = self.in_scalar("in")
+        return np.array([(u - state[0]) / self.params["tf"]])
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        u = self.in_scalar("in")
+        self.out_scalar("out", (u - state[0]) / self.params["tf"])

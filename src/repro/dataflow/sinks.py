@@ -1,0 +1,52 @@
+"""Sink blocks: observation and termination.
+
+A :class:`Scope` records its inputs at every sync point into a
+:class:`~repro.solvers.history.Trajectory` — the in-diagram alternative to
+model-level probes.  :class:`Terminator` absorbs a flow whose value nobody
+needs, silencing the W8 unconnected-input warning for symmetric reuse of
+composite diagrams.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataflow.block import Block
+from repro.solvers.history import Trajectory
+
+
+class Scope(Block):
+    """Record N input channels (``in1..inN``) at every sync point."""
+
+    default_outputs = ()
+
+    def __init__(self, name: str, channels: int = 1,
+                 labels: Sequence[str] = ()) -> None:
+        inputs = [f"in{i + 1}" for i in range(max(1, channels))]
+        super().__init__(name, inputs=inputs, outputs=())
+        self.channels = max(1, channels)
+        self.trajectory = Trajectory(
+            labels=list(labels) if labels else inputs
+        )
+
+    def on_sync(self, t: float) -> None:
+        values = [self.in_scalar(f"in{i + 1}") for i in range(self.channels)]
+        self.trajectory.append(t, np.asarray(values))
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        pass
+
+
+class Terminator(Block):
+    """Absorb and ignore one input flow."""
+
+    default_inputs = ("in",)
+    default_outputs = ()
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        pass

@@ -1,0 +1,167 @@
+"""Source blocks: signal generators with no inputs.
+
+All sources are stateless (``state_size == 0``) and not direct-feedthrough
+(they have no inputs), so they sit first in any evaluation order.
+``WhiteNoise`` uses a counter-based deterministic generator so repeated
+runs — and the paper's reproducibility story — are preserved even though
+noise is "random".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dataflow.block import Block, BlockError
+
+
+class Constant(Block):
+    """Emit ``value`` forever."""
+
+    default_inputs = ()
+    default_outputs = ("out",)
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        super().__init__(name, value=float(value))
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", self.params["value"])
+
+
+class Step(Block):
+    """0 before ``t_step``, ``amplitude`` after (plus ``offset``)."""
+
+    def __init__(
+        self,
+        name: str,
+        t_step: float = 0.0,
+        amplitude: float = 1.0,
+        offset: float = 0.0,
+    ) -> None:
+        super().__init__(
+            name, t_step=float(t_step), amplitude=float(amplitude),
+            offset=float(offset),
+        )
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        p = self.params
+        value = p["offset"] + (p["amplitude"] if t >= p["t_step"] else 0.0)
+        self.out_scalar("out", value)
+
+
+class Ramp(Block):
+    """``slope * (t - t_start)`` after ``t_start``, 0 before."""
+
+    def __init__(
+        self, name: str, slope: float = 1.0, t_start: float = 0.0
+    ) -> None:
+        super().__init__(name, slope=float(slope), t_start=float(t_start))
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        p = self.params
+        self.out_scalar(
+            "out", p["slope"] * max(0.0, t - p["t_start"])
+        )
+
+
+class Sine(Block):
+    """``amplitude * sin(2π·freq·t + phase) + offset``."""
+
+    def __init__(
+        self,
+        name: str,
+        amplitude: float = 1.0,
+        freq: float = 1.0,
+        phase: float = 0.0,
+        offset: float = 0.0,
+    ) -> None:
+        super().__init__(
+            name, amplitude=float(amplitude), freq=float(freq),
+            phase=float(phase), offset=float(offset),
+        )
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        p = self.params
+        self.out_scalar(
+            "out",
+            p["amplitude"] * math.sin(
+                2.0 * math.pi * p["freq"] * t + p["phase"]
+            ) + p["offset"],
+        )
+
+
+class Pulse(Block):
+    """Periodic rectangular pulse with ``duty`` in (0, 1)."""
+
+    def __init__(
+        self,
+        name: str,
+        period: float = 1.0,
+        duty: float = 0.5,
+        amplitude: float = 1.0,
+    ) -> None:
+        if period <= 0:
+            raise BlockError(f"pulse {name!r}: non-positive period {period}")
+        if not 0.0 < duty < 1.0:
+            raise BlockError(f"pulse {name!r}: duty must be in (0,1): {duty}")
+        super().__init__(
+            name, period=float(period), duty=float(duty),
+            amplitude=float(amplitude),
+        )
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        p = self.params
+        phase = (t % p["period"]) / p["period"]
+        self.out_scalar(
+            "out", p["amplitude"] if phase < p["duty"] else 0.0
+        )
+
+
+class WhiteNoise(Block):
+    """Deterministic pseudo-random noise, uniform in ±``amplitude``.
+
+    Uses a splitmix64-style hash of ``(seed, sample_index)`` so the stream
+    is reproducible and independent of solver step pattern: the noise is
+    sampled and held per major step (``on_sync``), like a real DAC-driven
+    disturbance injector.
+    """
+
+    def __init__(
+        self, name: str, amplitude: float = 1.0, seed: int = 1
+    ) -> None:
+        super().__init__(name, amplitude=float(amplitude), seed=int(seed))
+        self._index = 0
+        self._held = 0.0
+
+    @staticmethod
+    def _hash(x: int) -> int:
+        x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        z = x
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        return z ^ (z >> 31)
+
+    def on_sync(self, t: float) -> None:
+        raw = self._hash(self.params["seed"] * 0x10001 + self._index)
+        self._index += 1
+        uniform = raw / float(2 ** 64)  # [0, 1)
+        self._held = (2.0 * uniform - 1.0) * self.params["amplitude"]
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", self._held)
+
+
+class TimeSource(Block):
+    """Expose continuous time as a flow — the ``Time`` stereotype as data.
+
+    Streamer networks that need the simulation clock as a signal (sweep
+    generators, time-varying gains) read it from this block instead of
+    keeping private clocks, guaranteeing a single monotone time base.
+    """
+
+    def __init__(self, name: str, scale: float = 1.0) -> None:
+        super().__init__(name, scale=float(scale))
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", t * self.params["scale"])

@@ -1,0 +1,173 @@
+"""Class-diagram rendering and the live Figure-1 package.
+
+Figure 1 of the paper is the design-pattern heart of the extension: the
+**State** pattern on the capsule side (a Capsule holds State objects and
+delegates behaviour) and the **Strategy** pattern on the streamer side (a
+Streamer holds a Strategy — the solver — with concrete strategies A/B/C
+interchangeable), with a ``Capsule 1 -- * Streamer`` containment
+association between the two halves.
+
+:func:`figure1_package` builds that diagram *from the live library*: each
+classifier is checked against the actual implementation class (does
+``Capsule`` really hold states? is ``SolverBinding`` really swappable?),
+so the figure cannot drift from the code.  :func:`render_class_diagram`
+draws any package as ASCII boxes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metamodel.elements import (
+    Association,
+    AssociationEnd,
+    Attribute,
+    Classifier,
+    Multiplicity,
+    Operation,
+    Package,
+)
+
+#: the library classes realising each Figure-1 classifier
+FIGURE1_IMPLEMENTATIONS: Dict[str, str] = {
+    "Capsule": "repro.umlrt.capsule.Capsule",
+    "State": "repro.umlrt.statemachine.State",
+    "Streamer": "repro.core.streamer.Streamer",
+    "Strategy": "repro.core.solverbinding.SolverBinding",
+    "ConcreteStrategyA": "repro.solvers.fixed.Euler",
+    "ConcreteStrategyB": "repro.solvers.fixed.RK4",
+    "ConcreteStrategyC": "repro.solvers.adaptive.DormandPrince45",
+}
+
+
+def figure1_package() -> Package:
+    """Build the Figure-1 class diagram as a metamodel package."""
+    pkg = Package("Figure1")
+
+    state = Classifier("State", stereotypes=("state",))
+    state.add_operation(Operation("AlgorithmInterface"))
+    pkg.add_class(state)
+
+    strategy = Classifier("Strategy", abstract=True,
+                          stereotypes=("strategy",))
+    strategy.add_operation(Operation("AlgorithmInterface", abstract=True))
+    pkg.add_class(strategy)
+
+    for suffix in ("A", "B", "C"):
+        concrete = Classifier(f"ConcreteStrategy{suffix}")
+        concrete.add_operation(Operation("AlgorithmInterface"))
+        pkg.add_class(concrete)
+        # generalizations added after all classes exist
+
+    capsule = Classifier("Capsule", stereotypes=("capsule",))
+    capsule.add_attribute(
+        Attribute("state", "State", "-", Multiplicity(0, None))
+    )
+    pkg.add_class(capsule)
+
+    streamer = Classifier("Streamer", stereotypes=("streamer",))
+    streamer.add_attribute(
+        Attribute("strategy", "Strategy", "-", Multiplicity(0, None))
+    )
+    pkg.add_class(streamer)
+
+    for suffix in ("A", "B", "C"):
+        pkg.add_generalization(f"ConcreteStrategy{suffix}", "Strategy")
+
+    pkg.add_association(Association(
+        "capsuleStates",
+        AssociationEnd("Capsule", multiplicity=Multiplicity(1, 1)),
+        AssociationEnd("State", role="state",
+                       multiplicity=Multiplicity(0, None)),
+    ))
+    pkg.add_association(Association(
+        "streamerStrategies",
+        AssociationEnd("Streamer", multiplicity=Multiplicity(1, 1)),
+        AssociationEnd("Strategy", role="strategy",
+                       multiplicity=Multiplicity(0, None)),
+    ))
+    pkg.add_association(Association(
+        "capsuleStreamers",
+        AssociationEnd("Capsule", multiplicity=Multiplicity(1, 1),
+                       aggregation="composite"),
+        AssociationEnd("Streamer", multiplicity=Multiplicity(0, None)),
+    ))
+    return pkg
+
+
+def _box(classifier: Classifier) -> List[str]:
+    """Render one classifier as a UML box (list of lines)."""
+    header = classifier.name
+    if classifier.abstract:
+        header = f"/{header}/"
+    stereo = (
+        "«" + ", ".join(classifier.stereotypes) + "»"
+        if classifier.stereotypes
+        else ""
+    )
+    attrs = [a.render() for a in classifier.attributes]
+    ops = [o.render() for o in classifier.operations]
+    body_lines = ([stereo] if stereo else []) + [header]
+    width = max(
+        (len(line) for line in body_lines + attrs + ops), default=4
+    )
+    top = "+" + "-" * (width + 2) + "+"
+    out = [top]
+    for line in body_lines:
+        out.append(f"| {line.center(width)} |")
+    out.append(top)
+    for line in attrs:
+        out.append(f"| {line.ljust(width)} |")
+    if attrs:
+        out.append(top)
+    for line in ops:
+        out.append(f"| {line.ljust(width)} |")
+    out.append(top)
+    return out
+
+
+def render_class_diagram(package: Package) -> str:
+    """Render a package as ASCII: boxes, then relations as arrow lines."""
+    lines: List[str] = [f"package {package.name}", ""]
+    for classifier in package.classifiers.values():
+        lines.extend(_box(classifier))
+        lines.append("")
+    for generalization in package.generalizations:
+        lines.append(
+            f"  {generalization.child} --|> {generalization.parent}"
+        )
+    for association in package.associations:
+        e1, e2 = association.end1, association.end2
+        role = f" ({e2.role})" if e2.role else ""
+        diamond = "◆" if e1.aggregation == "composite" else ""
+        lines.append(
+            f"  {e1.classifier} {diamond}[{e1.multiplicity}] --- "
+            f"[{e2.multiplicity}]{role} {e2.classifier}"
+        )
+    return "\n".join(lines)
+
+
+def check_figure1_against_library() -> List[str]:
+    """Verify that every Figure-1 classifier maps to a real library class
+    with the behaviour the figure claims.  Returns a list of problems
+    (empty = the figure is faithfully implemented)."""
+    import importlib
+
+    problems: List[str] = []
+    for classifier, dotted in FIGURE1_IMPLEMENTATIONS.items():
+        module_name, __, class_name = dotted.rpartition(".")
+        try:
+            module = importlib.import_module(module_name)
+            cls = getattr(module, class_name)
+        except (ImportError, AttributeError) as exc:
+            problems.append(f"{classifier}: cannot import {dotted}: {exc}")
+            continue
+        if classifier == "Capsule" and not hasattr(cls, "build_behaviour"):
+            problems.append("Capsule lacks a behaviour hook")
+        if classifier == "Strategy" and not hasattr(cls, "rebind"):
+            problems.append("Strategy binding lacks rebind (hot swap)")
+        if classifier.startswith("ConcreteStrategy") and not hasattr(
+            cls, "step"
+        ):
+            problems.append(f"{classifier} ({dotted}) lacks step()")
+    return problems

@@ -1,0 +1,218 @@
+"""Minimal UML metamodel elements.
+
+Just enough UML to state Figure 1 precisely and serialise models: packages
+of classifiers with attributes and operations, binary associations with
+role names and multiplicities, and generalisations.  Stereotype
+application lives in :mod:`repro.metamodel.profile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class MetamodelError(Exception):
+    """Raised for ill-formed metamodel structures."""
+
+
+@dataclass(frozen=True)
+class Multiplicity:
+    """A UML multiplicity: lower bound and (possibly unbounded) upper."""
+
+    lower: int = 1
+    upper: Optional[int] = 1  # None = *
+
+    def __post_init__(self) -> None:
+        if self.lower < 0:
+            raise MetamodelError(f"negative lower bound {self.lower}")
+        if self.upper is not None and self.upper < self.lower:
+            raise MetamodelError(
+                f"upper bound {self.upper} < lower bound {self.lower}"
+            )
+
+    @staticmethod
+    def parse(text: str) -> "Multiplicity":
+        """Parse "1", "*", "0..1", "1..*" style strings."""
+        text = text.strip()
+        if text == "*":
+            return Multiplicity(0, None)
+        if ".." in text:
+            lo, hi = text.split("..", 1)
+            return Multiplicity(
+                int(lo), None if hi.strip() == "*" else int(hi)
+            )
+        value = int(text)
+        return Multiplicity(value, value)
+
+    def __str__(self) -> str:
+        if self.upper is None:
+            return "*" if self.lower == 0 else f"{self.lower}..*"
+        if self.lower == self.upper:
+            return str(self.lower)
+        return f"{self.lower}..{self.upper}"
+
+
+@dataclass
+class Attribute:
+    """A class attribute, e.g. ``-state: State [*]``."""
+
+    name: str
+    type_name: str = ""
+    visibility: str = "-"
+    multiplicity: Multiplicity = field(default_factory=Multiplicity)
+
+    def render(self) -> str:
+        type_part = f": {self.type_name}" if self.type_name else ""
+        mult = (
+            f" [{self.multiplicity}]"
+            if str(self.multiplicity) != "1"
+            else ""
+        )
+        return f"{self.visibility}{self.name}{type_part}{mult}"
+
+
+@dataclass
+class Operation:
+    """A class operation, e.g. ``+AlgorithmInterface()``."""
+
+    name: str
+    visibility: str = "+"
+    parameters: Tuple[str, ...] = ()
+    return_type: str = ""
+    abstract: bool = False
+
+    def render(self) -> str:
+        params = ", ".join(self.parameters)
+        ret = f": {self.return_type}" if self.return_type else ""
+        return f"{self.visibility}{self.name}({params}){ret}"
+
+
+class Classifier:
+    """A UML class (or interface) with stereotypes."""
+
+    def __init__(
+        self,
+        name: str,
+        abstract: bool = False,
+        stereotypes: Tuple[str, ...] = (),
+    ) -> None:
+        self.name = name
+        self.abstract = abstract
+        self.stereotypes: List[str] = list(stereotypes)
+        self.attributes: List[Attribute] = []
+        self.operations: List[Operation] = []
+        self.tagged_values: Dict[str, str] = {}
+
+    def add_attribute(self, attribute: Attribute) -> "Classifier":
+        self.attributes.append(attribute)
+        return self
+
+    def add_operation(self, operation: Operation) -> "Classifier":
+        self.operations.append(operation)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Classifier({self.name!r})"
+
+
+@dataclass
+class AssociationEnd:
+    """One end of a binary association."""
+
+    classifier: str
+    role: str = ""
+    multiplicity: Multiplicity = field(default_factory=Multiplicity)
+    navigable: bool = True
+    aggregation: str = "none"  # none | shared | composite
+
+
+class Association:
+    """A binary association between two classifiers (by name)."""
+
+    def __init__(
+        self,
+        name: str,
+        end1: AssociationEnd,
+        end2: AssociationEnd,
+    ) -> None:
+        self.name = name
+        self.end1 = end1
+        self.end2 = end2
+
+    def involves(self, classifier_name: str) -> bool:
+        return classifier_name in (
+            self.end1.classifier, self.end2.classifier
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Association({self.end1.classifier}[{self.end1.multiplicity}]"
+            f" -- {self.end2.classifier}[{self.end2.multiplicity}])"
+        )
+
+
+@dataclass(frozen=True)
+class Generalization:
+    """``child`` specialises ``parent``."""
+
+    child: str
+    parent: str
+
+
+class Package:
+    """A namespace of classifiers, associations and generalisations."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.classifiers: Dict[str, Classifier] = {}
+        self.associations: List[Association] = []
+        self.generalizations: List[Generalization] = []
+
+    def add_class(self, classifier: Classifier) -> Classifier:
+        if classifier.name in self.classifiers:
+            raise MetamodelError(
+                f"duplicate classifier {classifier.name!r} in package "
+                f"{self.name!r}"
+            )
+        self.classifiers[classifier.name] = classifier
+        return classifier
+
+    def classifier(self, name: str) -> Classifier:
+        try:
+            return self.classifiers[name]
+        except KeyError:
+            raise MetamodelError(
+                f"package {self.name!r} has no classifier {name!r}"
+            ) from None
+
+    def add_association(self, association: Association) -> Association:
+        for end in (association.end1, association.end2):
+            if end.classifier not in self.classifiers:
+                raise MetamodelError(
+                    f"association references unknown classifier "
+                    f"{end.classifier!r}"
+                )
+        self.associations.append(association)
+        return association
+
+    def add_generalization(self, child: str, parent: str) -> Generalization:
+        for name in (child, parent):
+            if name not in self.classifiers:
+                raise MetamodelError(
+                    f"generalization references unknown classifier {name!r}"
+                )
+        gen = Generalization(child, parent)
+        self.generalizations.append(gen)
+        return gen
+
+    def children_of(self, parent: str) -> List[str]:
+        return sorted(
+            g.child for g in self.generalizations if g.parent == parent
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Package({self.name!r}, classes={len(self.classifiers)}, "
+            f"assocs={len(self.associations)})"
+        )

@@ -1,0 +1,171 @@
+"""Export a built HybridModel as a stereotyped UML package.
+
+The paper's pitch is *unified* modelling: the executable model and the
+UML model are one artefact.  This module closes that loop in the
+reproduction — any :class:`~repro.core.model.HybridModel` can be lifted
+into the metamodel (classes stereotyped per Table 1, containment as
+composite associations, flows/connectors as associations) and serialised
+with :func:`repro.metamodel.xmi.to_xmi`, giving a CASE-tool-shaped view
+of the running system.
+
+The export is structural (classes and relations), not behavioural: state
+machines appear as a tagged value with their state count, equations stay
+in code — see DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.metamodel.elements import (
+    Association,
+    AssociationEnd,
+    Attribute,
+    Classifier,
+    Multiplicity,
+    Operation,
+    Package,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.model import HybridModel
+    from repro.core.streamer import Streamer
+    from repro.umlrt.capsule import Capsule
+
+
+def model_to_package(model: "HybridModel") -> Package:
+    """Lift a hybrid model into a UML package with Table-1 stereotypes."""
+    package = Package(model.name)
+
+    for top in model.rts.tops:
+        _export_capsule(package, top)
+    for streamer in model.streamers:
+        _export_streamer(package, streamer)
+    _export_flows(package, model)
+    _export_bridges(package, model)
+    return package
+
+
+# ----------------------------------------------------------------------
+def _class_name(instance_name: str) -> str:
+    return instance_name.replace(".", "_")
+
+
+def _export_capsule(package: Package, capsule: "Capsule") -> Classifier:
+    cls = Classifier(_class_name(capsule.instance_name),
+                     stereotypes=("capsule",))
+    for port in capsule.ports.values():
+        cls.add_attribute(Attribute(
+            port.name, port.role.name, "+",
+        ))
+    if capsule.behaviour is not None:
+        cls.tagged_values["stateMachine"] = capsule.behaviour.name
+        cls.tagged_values["states"] = str(
+            len(capsule.behaviour.all_states())
+        )
+    package.add_class(cls)
+    for part in capsule.parts.values():
+        if part.instance is None:
+            continue
+        child = _export_capsule(package, part.instance)
+        package.add_association(Association(
+            f"{cls.name}_owns_{child.name}",
+            AssociationEnd(cls.name, multiplicity=Multiplicity(1, 1),
+                           aggregation="composite"),
+            AssociationEnd(child.name, role=part.name),
+        ))
+    return cls
+
+
+def _export_streamer(package: Package, streamer: "Streamer") -> Classifier:
+    cls = Classifier(_class_name(streamer.path()),
+                     stereotypes=("streamer",))
+    for dport in streamer.dports.values():
+        cls.add_attribute(Attribute(
+            dport.name,
+            f"DPort<{dport.flow_type.name}>",
+            "+",
+        ))
+    for sport in streamer.sports.values():
+        cls.add_attribute(Attribute(
+            sport.name, f"SPort<{sport.role.name}>", "+",
+        ))
+    if not streamer.is_composite:
+        cls.tagged_values["states"] = str(streamer.state_size)
+        solver = (
+            streamer.thread.binding.strategy_name
+            if streamer.thread is not None else "unbound"
+        )
+        cls.tagged_values["solver"] = solver
+        cls.add_operation(Operation("AlgorithmInterface"))
+    package.add_class(cls)
+    for sub in streamer.subs.values():
+        child = _export_streamer(package, sub)
+        package.add_association(Association(
+            f"{cls.name}_contains_{child.name}",
+            AssociationEnd(cls.name, multiplicity=Multiplicity(1, 1),
+                           aggregation="composite"),
+            AssociationEnd(child.name),
+        ))
+    return cls
+
+
+def _owner_class(package: Package, owner) -> str:
+    from repro.core.streamer import Streamer
+
+    if isinstance(owner, Streamer):
+        return _class_name(owner.path())
+    name = getattr(owner, "instance_name", None)
+    if name is not None:
+        return _class_name(name)
+    return _class_name(getattr(owner, "name", "unknown"))
+
+
+def _export_flows(package: Package, model: "HybridModel") -> None:
+    flows = list(model.flows)
+    for top in model.streamers:
+        flows.extend(top.all_flows())
+    seen: Dict[str, int] = {}
+    for flow in flows:
+        src_owner = _owner_class(package, flow.source.owner)
+        dst_owner = _owner_class(package, flow.target.owner)
+        if src_owner not in package.classifiers or \
+                dst_owner not in package.classifiers:
+            continue  # relay pads live inside composites; skip raw pads
+        base = f"flow_{src_owner}_{dst_owner}"
+        seen[base] = seen.get(base, 0) + 1
+        name = base if seen[base] == 1 else f"{base}_{seen[base]}"
+        assoc = Association(
+            name,
+            AssociationEnd(src_owner, role=flow.source.name),
+            AssociationEnd(dst_owner, role=flow.target.name),
+        )
+        package.add_association(assoc)
+
+
+def _export_bridges(package: Package, model: "HybridModel") -> None:
+    for bridge in model.bridges:
+        sport = bridge._sport
+        streamer_cls = _owner_class(package, sport.owner)
+        # the user capsule on the far side of the bridge's boundary port
+        endpoints = bridge.port("boundary").resolve_endpoints()
+        if not endpoints or streamer_cls not in package.classifiers:
+            continue
+        capsule = endpoints[0].owner
+        capsule_cls = _class_name(capsule.instance_name)
+        if capsule_cls not in package.classifiers:
+            continue
+        package.add_association(Association(
+            f"sport_{capsule_cls}_{streamer_cls}_{sport.name}",
+            AssociationEnd(capsule_cls, role=endpoints[0].name),
+            AssociationEnd(streamer_cls, role=sport.name),
+        ))
+
+
+def model_stereotype_census(package: Package) -> Dict[str, int]:
+    """Count applied stereotypes — the Table-1 vocabulary in use."""
+    census: Dict[str, int] = {}
+    for cls in package.classifiers.values():
+        for stereotype in cls.stereotypes:
+            census[stereotype] = census.get(stereotype, 0) + 1
+    return census

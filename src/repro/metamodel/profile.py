@@ -1,0 +1,80 @@
+"""Profiles: named stereotype sets applied to metamodel elements.
+
+A :class:`Profile` bundles stereotype definitions and applies them to
+:class:`~repro.metamodel.elements.Classifier` objects with base-metaclass
+checking (a ``Port``-based stereotype cannot be applied to a class, etc.).
+The two built-in profiles mirror :mod:`repro.metamodel.stereotypes`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.metamodel.elements import Classifier
+from repro.metamodel.stereotypes import (
+    EXTENSION_PROFILE,
+    UMLRT_PROFILE,
+    StereotypeDef,
+)
+
+
+class ProfileError(Exception):
+    """Raised on illegal stereotype application."""
+
+
+#: which element kinds may carry which base metaclass
+_CLASS_LIKE = {"Class", "DataType", "StateMachine", "Collaboration"}
+
+
+class Profile:
+    """A named set of stereotypes."""
+
+    def __init__(self, name: str, stereotypes: Iterable[StereotypeDef]) -> None:
+        self.name = name
+        self.stereotypes: Dict[str, StereotypeDef] = {}
+        for stereotype in stereotypes:
+            if stereotype.name in self.stereotypes:
+                raise ProfileError(
+                    f"duplicate stereotype {stereotype.name!r} in profile "
+                    f"{name!r}"
+                )
+            self.stereotypes[stereotype.name] = stereotype
+
+    def get(self, name: str) -> StereotypeDef:
+        try:
+            return self.stereotypes[name]
+        except KeyError:
+            raise ProfileError(
+                f"profile {self.name!r} has no stereotype {name!r}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.stereotypes))
+
+    def apply(self, classifier: Classifier, stereotype_name: str) -> None:
+        """Apply a class-like stereotype to a classifier."""
+        stereotype = self.get(stereotype_name)
+        if stereotype.base_metaclass not in _CLASS_LIKE:
+            raise ProfileError(
+                f"stereotype {stereotype_name!r} extends "
+                f"{stereotype.base_metaclass}, not a class-like element"
+            )
+        if stereotype_name not in classifier.stereotypes:
+            classifier.stereotypes.append(stereotype_name)
+
+    def applied_to(self, classifier: Classifier) -> List[StereotypeDef]:
+        return [
+            self.stereotypes[name]
+            for name in classifier.stereotypes
+            if name in self.stereotypes
+        ]
+
+
+def umlrt_profile() -> Profile:
+    """The UML-RT profile as a Profile object."""
+    return Profile("UML-RT", UMLRT_PROFILE)
+
+
+def extension_profile() -> Profile:
+    """The paper's extension profile as a Profile object."""
+    return Profile("Extension", EXTENSION_PROFILE)

@@ -1,0 +1,214 @@
+"""Stereotype definitions and the Table-1 registry.
+
+Table 1 of the paper maps UML-RT concepts to the extension's new
+stereotypes:
+
+==============  =====================
+UML-RT          Extension
+==============  =====================
+capsule         streamer
+port            DPort, SPort
+connect         flow, relay
+protocol        flow type
+state machine   solver, strategy
+Time service    Time
+==============  =====================
+
+(eight new stereotypes: streamer, DPort, SPort, flow, relay, flow type,
+solver, strategy — the paper counts ``Time`` with the services.)
+
+This module states both profiles declaratively and, crucially, ties every
+stereotype to its *implementation class* in this library, so bench T1 can
+machine-check that the whole table is realised, not just documented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dport import DPort
+from repro.core.flow import Flow, Relay
+from repro.core.flowtype import FlowType
+from repro.core.solverbinding import SolverBinding
+from repro.core.sport import SPort
+from repro.core.streamer import Streamer
+from repro.core.timeservice import ContinuousTime
+from repro.solvers.base import SolverBase
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.connector import Connector
+from repro.umlrt.port import Port
+from repro.umlrt.protocol import Protocol
+from repro.umlrt.statemachine import StateMachine
+from repro.umlrt.timing import TimingService
+
+
+@dataclass(frozen=True)
+class StereotypeDef:
+    """One stereotype: its name, UML base metaclass, and implementation."""
+
+    name: str
+    base_metaclass: str
+    profile: str
+    description: str = ""
+    implementation: Optional[type] = None
+    notation: str = ""
+
+    def implemented(self) -> bool:
+        return self.implementation is not None
+
+
+#: the UML-RT profile (the substrate the paper extends)
+UMLRT_PROFILE: Tuple[StereotypeDef, ...] = (
+    StereotypeDef(
+        "capsule", "Class", "UML-RT",
+        "active object; behaviour is a hierarchical state machine under "
+        "run-to-completion semantics",
+        Capsule,
+    ),
+    StereotypeDef(
+        "port", "Port", "UML-RT",
+        "typed boundary object; end ports terminate messages, relay "
+        "ports forward them",
+        Port,
+    ),
+    StereotypeDef(
+        "connect", "Connector", "UML-RT",
+        "checked wiring between two protocol-compatible ports",
+        Connector,
+    ),
+    StereotypeDef(
+        "protocol", "Collaboration", "UML-RT",
+        "named contract of incoming/outgoing signals with base and "
+        "conjugate roles",
+        Protocol,
+    ),
+    StereotypeDef(
+        "state machine", "StateMachine", "UML-RT",
+        "hierarchical statechart: the behaviour of a capsule",
+        StateMachine,
+    ),
+    StereotypeDef(
+        "Time service", "Class", "UML-RT",
+        "message-based timing: timeout messages queued like any other "
+        "message (hence 'unpredictable' timing)",
+        TimingService,
+    ),
+)
+
+#: the paper's extension profile (Table 1, right column)
+EXTENSION_PROFILE: Tuple[StereotypeDef, ...] = (
+    StereotypeDef(
+        "streamer", "Class", "Extension",
+        "capsule-like actor whose behaviour is a solver computing "
+        "equations over dataflow; may contain sub-streamers",
+        Streamer,
+    ),
+    StereotypeDef(
+        "DPort", "Port", "Extension",
+        "data port carrying a typed dataflow; circle notation",
+        DPort, notation="circle",
+    ),
+    StereotypeDef(
+        "SPort", "Port", "Extension",
+        "signal port conveying protocol messages between streamers and "
+        "capsules; square notation",
+        SPort, notation="square",
+    ),
+    StereotypeDef(
+        "flow", "Connector", "Extension",
+        "directed dataflow connection; legal iff the source flow type is "
+        "a subset of the target flow type (W1)",
+        Flow,
+    ),
+    StereotypeDef(
+        "relay", "Connector", "Extension",
+        "fan-out point generating two similar flows from a flow (W2)",
+        Relay,
+    ),
+    StereotypeDef(
+        "flow type", "DataType", "Extension",
+        "record type of a dataflow connection; plays the role protocols "
+        "play for signal ports",
+        FlowType,
+    ),
+    StereotypeDef(
+        "solver", "Class", "Extension",
+        "numeric integrator computing a streamer's equations",
+        SolverBase,
+    ),
+    StereotypeDef(
+        "strategy", "Class", "Extension",
+        "the pluggable binding slot through which concrete solvers are "
+        "attached and hot-swapped (Figure 1)",
+        SolverBinding,
+    ),
+    StereotypeDef(
+        "Time", "Class", "Extension",
+        "continuous, monotone simulation clock usable by both worlds",
+        ContinuousTime,
+    ),
+)
+
+#: Table 1 rows: (UML-RT concept, extension stereotype names)
+TABLE1: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("capsule", ("streamer",)),
+    ("port", ("DPort", "SPort")),
+    ("connect", ("flow", "relay")),
+    ("protocol", ("flow type",)),
+    ("state machine", ("solver", "strategy")),
+    ("Time service", ("Time",)),
+)
+
+
+def _by_name() -> Dict[str, StereotypeDef]:
+    return {s.name: s for s in UMLRT_PROFILE + EXTENSION_PROFILE}
+
+
+def implementation_of(stereotype_name: str) -> type:
+    """The library class implementing a stereotype (raises if unknown)."""
+    defs = _by_name()
+    if stereotype_name not in defs:
+        raise KeyError(f"unknown stereotype {stereotype_name!r}")
+    impl = defs[stereotype_name].implementation
+    if impl is None:
+        raise KeyError(f"stereotype {stereotype_name!r} not implemented")
+    return impl
+
+
+def table1_rows() -> List[Tuple[str, str]]:
+    """Table 1 as printable (UML-RT, Extension) string pairs."""
+    return [
+        (umlrt, ", ".join(extensions)) for umlrt, extensions in TABLE1
+    ]
+
+
+def render_table1() -> str:
+    """Render Table 1 exactly in the paper's two-column layout."""
+    rows = table1_rows()
+    left_width = max(len("UML-RT"), *(len(a) for a, __ in rows))
+    right_width = max(len("Extension"), *(len(b) for __, b in rows))
+    sep = f"+-{'-' * left_width}-+-{'-' * right_width}-+"
+    lines = [
+        "Table 1. New stereotypes comparing with UML-RT",
+        sep,
+        f"| {'UML-RT'.ljust(left_width)} | "
+        f"{'Extension'.ljust(right_width)} |",
+        sep,
+    ]
+    for left, right in rows:
+        lines.append(
+            f"| {left.ljust(left_width)} | {right.ljust(right_width)} |"
+        )
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def new_stereotype_count() -> int:
+    """The paper says "eight new stereotypes" — count the extension column
+    entries excluding ``Time`` (introduced as a service, like the Time
+    service row it replaces)."""
+    names = [
+        name for __, extensions in TABLE1 for name in extensions
+    ]
+    return len([n for n in names if n != "Time"])

@@ -1,0 +1,279 @@
+"""Structure diagrams: Figures 2 and 3 as live, rendered models.
+
+* **Figure 2** ("abstract syntax of streamers"): a top streamer containing
+  three sub-streamers and a solver, with DPorts (circle, drawn ``(o)``),
+  one SPort (square, drawn ``[#]``), internal flows and one relay.
+* **Figure 3** ("structure of extensions"): a top capsule containing a
+  sub-capsule and two streamers.
+
+Both builders return *executable* models — the Figure-2 streamer network
+actually integrates, and the Figure-3 model runs under the hybrid
+scheduler — so the figures double as integration tests and benchmarks
+(F2/F3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.dport import Direction
+from repro.core.flowtype import SCALAR
+from repro.core.model import HybridModel
+from repro.core.streamer import Streamer
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.protocol import Protocol
+from repro.umlrt.statemachine import StateMachine
+
+
+# ----------------------------------------------------------------------
+# Figure 2: abstract syntax of streamers
+# ----------------------------------------------------------------------
+FIGURE2_PROTOCOL = Protocol.define(
+    "StreamerCtrl", outgoing=("status",), incoming=("setGain",)
+)
+
+
+class _SourceSub(Streamer):
+    """Sub-streamer 1: a unit-amplitude source (sin t)."""
+
+    def __init__(self, name: str = "sub1") -> None:
+        super().__init__(name)
+        self.add_out("out", SCALAR)
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", float(np.sin(t)))
+
+
+class _GainSub(Streamer):
+    """Sub-streamer 2: gain, tunable over the top streamer's SPort."""
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str = "sub2") -> None:
+        super().__init__(name)
+        self.add_in("in", SCALAR)
+        self.add_out("out", SCALAR)
+        self.params["k"] = 1.0
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", self.params["k"] * self.in_scalar("in"))
+
+
+class _IntegratorSub(Streamer):
+    """Sub-streamer 3: an integrator (the solver has real work to do)."""
+
+    state_size = 1
+
+    def __init__(self, name: str = "sub3") -> None:
+        super().__init__(name)
+        self.add_in("in", SCALAR)
+        self.add_out("out", SCALAR)
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        return np.array([self.in_scalar("in")])
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("out", state[0])
+
+
+class Figure2Streamer(Streamer):
+    """The top streamer of Figure 2.
+
+    Structure (paper Figure 2): a top streamer with an input DPort and an
+    SPort on its boundary, three sub-streamers inside, flows between them
+    and one relay splitting sub2's output towards both sub3 and the top
+    streamer's output DPort.
+    """
+
+    def __init__(self, name: str = "top") -> None:
+        super().__init__(name)
+        # boundary ports
+        self.add_boundary("din", Direction.IN, SCALAR)
+        self.add_boundary("dout", Direction.OUT, SCALAR)
+        self.add_sport("sctrl", FIGURE2_PROTOCOL.base())
+        # sub-streamers
+        sub1 = self.add_sub(_SourceSub("sub1"))
+        sub2 = self.add_sub(_GainSub("sub2"))
+        sub3 = self.add_sub(_IntegratorSub("sub3"))
+        # flows + relay (W2: one flow in, two similar flows out)
+        self.add_flow(sub1.dport("out"), sub2.dport("in"))
+        relay = self.add_relay("split", SCALAR)
+        self.add_flow(sub2.dport("out"), relay.input)
+        self.add_flow(relay.out_a, sub3.dport("in"))
+        self.add_flow(relay.out_b, self.dport("dout"))
+
+    def handle_signal(self, sport_name: str, message) -> None:
+        if message.signal == "setGain":
+            self.sub("sub2").params["k"] = float(message.data)
+            self.sport("sctrl").send("status", self.sub("sub2").params["k"])
+
+
+def figure2_streamer() -> Figure2Streamer:
+    """The exact Figure-2 example structure, ready to simulate."""
+    return Figure2Streamer("top")
+
+
+# ----------------------------------------------------------------------
+# Figure 3: structure of extensions
+# ----------------------------------------------------------------------
+FIGURE3_PROTOCOL = Protocol.define(
+    "SupCtrl", outgoing=("start", "stop"), incoming=("done",)
+)
+
+
+class _Fig3SubCapsule(Capsule):
+    """The sub-capsule of Figure 3: a trivial timed supervisor."""
+
+    def build_behaviour(self) -> StateMachine:
+        sm = StateMachine("sub")
+        sm.add_state("idle")
+        sm.add_state("running")
+        sm.initial("idle")
+        sm.add_transition("idle", "running", trigger=("timer", "timeout"))
+        return sm
+
+    def on_start(self) -> None:
+        self.inform_in(0.5)
+
+
+class _Fig3Streamer(Streamer):
+    """One of the two streamers inside the Figure-3 top capsule."""
+
+    state_size = 1
+    direct_feedthrough = False
+
+    def __init__(self, name: str, rate: float) -> None:
+        super().__init__(name)
+        self.add_out("y", SCALAR)
+        self.add_in("u", SCALAR)
+        self.params["rate"] = rate
+        self.params["running"] = 0.0
+        self.add_sport("ctrl", FIGURE3_PROTOCOL.conjugate())
+
+    def derivatives(self, t: float, state: np.ndarray) -> np.ndarray:
+        return np.array([
+            self.params["running"]
+            * (self.params["rate"] - state[0] + self.in_scalar("u"))
+        ])
+
+    def compute_outputs(self, t: float, state: np.ndarray) -> None:
+        self.out_scalar("y", state[0])
+
+    def handle_signal(self, sport_name: str, message) -> None:
+        if message.signal == "start":
+            self.params["running"] = 1.0
+            self.sport("ctrl").send("done")
+        elif message.signal == "stop":
+            self.params["running"] = 0.0
+
+
+class Figure3TopCapsule(Capsule):
+    """The top capsule of Figure 3: one sub-capsule, two streamers.
+
+    Capsules cannot *own* streamers directly in the implementation (they
+    live on streamer threads); ownership is expressed at the model level,
+    which :func:`figure3_capsule_model` assembles: the top capsule, its
+    sub-capsule part, the two streamers, and the SPort bridges between
+    them — exactly the containment picture of Figure 3.
+    """
+
+    def build_structure(self) -> None:
+        self.create_part("sub", _Fig3SubCapsule)
+        self.create_port("toS1", FIGURE3_PROTOCOL.base())
+        self.create_port("toS2", FIGURE3_PROTOCOL.base())
+
+    def build_behaviour(self) -> StateMachine:
+        sm = StateMachine("top")
+        sm.add_state("supervising")
+        sm.initial("supervising")
+        sm.add_transition(
+            "supervising", trigger=("toS1", "done"), internal=True,
+            action=lambda c, m: c.acks.__setitem__("s1", True),
+        )
+        sm.add_transition(
+            "supervising", trigger=("toS2", "done"), internal=True,
+            action=lambda c, m: c.acks.__setitem__("s2", True),
+        )
+        return sm
+
+    def __init__(self, instance_name: str = "topCapsule") -> None:
+        super().__init__(instance_name)
+        self.acks = {"s1": False, "s2": False}
+
+    def on_start(self) -> None:
+        self.send("toS1", "start")
+        self.send("toS2", "start")
+
+
+def figure3_capsule_model() -> Tuple[HybridModel, Figure3TopCapsule]:
+    """Assemble the complete Figure-3 model (capsule + 2 streamers)."""
+    model = HybridModel("figure3")
+    top = Figure3TopCapsule("topCapsule")
+    model.add_capsule(top)
+    s1 = model.add_streamer(_Fig3Streamer("streamer1", rate=1.0))
+    s2 = model.add_streamer(_Fig3Streamer("streamer2", rate=2.0))
+    model.add_flow(s1.dport("y"), s2.dport("u"))
+    model.connect_sport(top.port("toS1"), s1.sport("ctrl"))
+    model.connect_sport(top.port("toS2"), s2.sport("ctrl"))
+    model.add_probe("y1", s1.dport("y"))
+    model.add_probe("y2", s2.dport("y"))
+    return model, top
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def render_streamer_structure(streamer: Streamer, indent: int = 0) -> str:
+    """ASCII structure of a streamer: DPorts ``(o)``, SPorts ``[#]``."""
+    pad = "  " * indent
+    lines: List[str] = []
+    ports = " ".join(
+        f"(o {p.name}:{p.direction.value})" for p in streamer.dports.values()
+    )
+    sports = " ".join(f"[# {s.name}]" for s in streamer.sports.values())
+    kind = "streamer" if streamer.subs or not indent else "sub-streamer"
+    lines.append(
+        f"{pad}+-- {kind} {streamer.name} {ports} {sports}".rstrip()
+    )
+    for relay in streamer.relays.values():
+        lines.append(f"{pad}    >- relay {relay.name}")
+    for flow in streamer.flows:
+        lines.append(
+            f"{pad}    -> flow {flow.source.qualified_name} => "
+            f"{flow.target.qualified_name}"
+        )
+    for sub in streamer.subs.values():
+        lines.append(render_streamer_structure(sub, indent + 1))
+    if not streamer.subs:
+        solver = (
+            streamer.thread.binding.strategy_name
+            if streamer.thread is not None
+            else "<unbound>"
+        )
+        lines.append(f"{pad}    :: solver {solver}")
+    return "\n".join(lines)
+
+
+def render_capsule_structure(capsule: Capsule, indent: int = 0) -> str:
+    """ASCII structure of a capsule tree with its ports and parts."""
+    pad = "  " * indent
+    ports = " ".join(
+        f"[{p.name}:{p.role.name}]" for p in capsule.ports.values()
+    )
+    lines = [f"{pad}+== capsule {capsule.instance_name} {ports}".rstrip()]
+    behaviour = capsule.behaviour
+    if behaviour is not None:
+        lines.append(
+            f"{pad}    :: state machine {behaviour.name} "
+            f"({len(behaviour.all_states())} states)"
+        )
+    for part in capsule.parts.values():
+        if part.instance is not None:
+            lines.append(render_capsule_structure(part.instance, indent + 1))
+        else:
+            lines.append(
+                f"{pad}  +-- part {part.name} <{part.kind.value}, empty>"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""XMI-flavoured XML serialisation of metamodel packages.
+
+Good enough for round-tripping the models this library builds (Figure 1,
+generated documentation); not a full OMG XMI implementation — see
+DESIGN.md §7.  The element vocabulary follows XMI conventions
+(``uml:Class``, ``ownedAttribute``, ``generalization`` ...) so the output
+is recognisable to UML tooling and diffs cleanly.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from repro.metamodel.elements import (
+    Association,
+    AssociationEnd,
+    Attribute,
+    Classifier,
+    Multiplicity,
+    Operation,
+    Package,
+)
+
+_NS = "http://schema.omg.org/spec/XMI/2.1-flavoured"
+_NS_UML = "http://schema.omg.org/spec/UML/2.1-flavoured"
+
+
+class XMIError(Exception):
+    """Raised on unparseable XMI documents."""
+
+
+def to_xmi(package: Package) -> str:
+    """Serialise a package to an XMI-flavoured XML string."""
+    root = ET.Element("xmi:XMI", {
+        "xmlns:xmi": _NS,
+        "xmlns:uml": _NS_UML,
+        "xmi:version": "2.1",
+    })
+    pkg = ET.SubElement(
+        root, "uml:Package", {"name": package.name}
+    )
+    for classifier in package.classifiers.values():
+        elem = ET.SubElement(pkg, "packagedElement", {
+            "xmi:type": "uml:Class",
+            "name": classifier.name,
+            "isAbstract": str(classifier.abstract).lower(),
+        })
+        for stereotype in classifier.stereotypes:
+            ET.SubElement(elem, "appliedStereotype", {"name": stereotype})
+        for attribute in classifier.attributes:
+            ET.SubElement(elem, "ownedAttribute", {
+                "name": attribute.name,
+                "type": attribute.type_name,
+                "visibility": attribute.visibility,
+                "multiplicity": str(attribute.multiplicity),
+            })
+        for operation in classifier.operations:
+            ET.SubElement(elem, "ownedOperation", {
+                "name": operation.name,
+                "visibility": operation.visibility,
+                "parameters": ",".join(operation.parameters),
+                "returnType": operation.return_type,
+                "isAbstract": str(operation.abstract).lower(),
+            })
+    for association in package.associations:
+        elem = ET.SubElement(pkg, "packagedElement", {
+            "xmi:type": "uml:Association",
+            "name": association.name,
+        })
+        for end in (association.end1, association.end2):
+            ET.SubElement(elem, "ownedEnd", {
+                "type": end.classifier,
+                "role": end.role,
+                "multiplicity": str(end.multiplicity),
+                "navigable": str(end.navigable).lower(),
+                "aggregation": end.aggregation,
+            })
+    for generalization in package.generalizations:
+        ET.SubElement(pkg, "generalization", {
+            "child": generalization.child,
+            "parent": generalization.parent,
+        })
+    return ET.tostring(root, encoding="unicode")
+
+
+def from_xmi(text: str) -> Package:
+    """Parse a document produced by :func:`to_xmi` back into a Package."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMIError(f"malformed XMI: {exc}") from exc
+    pkg_elem = None
+    for child in root:
+        if child.tag.endswith("Package"):
+            pkg_elem = child
+            break
+    if pkg_elem is None:
+        raise XMIError("no uml:Package element found")
+    package = Package(pkg_elem.get("name", "package"))
+    pending_associations = []
+    for elem in pkg_elem:
+        if elem.tag == "packagedElement":
+            xmi_type = (
+                elem.get(f"{{{_NS}}}type") or elem.get("xmi:type") or ""
+            )
+            if xmi_type.endswith("Class"):
+                classifier = Classifier(
+                    elem.get("name", ""),
+                    abstract=elem.get("isAbstract") == "true",
+                )
+                for child in elem:
+                    if child.tag == "appliedStereotype":
+                        classifier.stereotypes.append(child.get("name", ""))
+                    elif child.tag == "ownedAttribute":
+                        classifier.add_attribute(Attribute(
+                            child.get("name", ""),
+                            child.get("type", ""),
+                            child.get("visibility", "-"),
+                            Multiplicity.parse(
+                                child.get("multiplicity", "1")
+                            ),
+                        ))
+                    elif child.tag == "ownedOperation":
+                        params = child.get("parameters", "")
+                        classifier.add_operation(Operation(
+                            child.get("name", ""),
+                            child.get("visibility", "+"),
+                            tuple(p for p in params.split(",") if p),
+                            child.get("returnType", ""),
+                            child.get("isAbstract") == "true",
+                        ))
+                package.add_class(classifier)
+            elif xmi_type.endswith("Association"):
+                ends = []
+                for child in elem:
+                    if child.tag == "ownedEnd":
+                        ends.append(AssociationEnd(
+                            child.get("type", ""),
+                            child.get("role", ""),
+                            Multiplicity.parse(
+                                child.get("multiplicity", "1")
+                            ),
+                            child.get("navigable") != "false",
+                            child.get("aggregation", "none"),
+                        ))
+                if len(ends) != 2:
+                    raise XMIError(
+                        f"association {elem.get('name')!r} needs 2 ends"
+                    )
+                pending_associations.append(
+                    Association(elem.get("name", ""), ends[0], ends[1])
+                )
+        elif elem.tag == "generalization":
+            pending_associations.append(
+                ("gen", elem.get("child", ""), elem.get("parent", ""))
+            )
+    for item in pending_associations:
+        if isinstance(item, Association):
+            package.add_association(item)
+        else:
+            __, child, parent = item
+            package.add_generalization(child, parent)
+    return package

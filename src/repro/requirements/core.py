@@ -1,0 +1,162 @@
+"""Requirement objects, linking, and trace reports."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.model import HybridModel
+
+
+class RequirementError(Exception):
+    """Raised for duplicate ids, unknown links and malformed sets."""
+
+
+class Kind(enum.Enum):
+    FUNCTIONAL = "functional"
+    TIMING = "timing"
+    SAFETY = "safety"
+
+
+@dataclass
+class Requirement:
+    """One requirement with an optional executable acceptance check.
+
+    The check receives the *simulated* model and returns True when the
+    requirement is met — e.g. a settling-time bound over a probe.
+    """
+
+    rid: str
+    text: str
+    kind: Kind = Kind.FUNCTIONAL
+    check: Optional[Callable[["HybridModel"], bool]] = None
+    links: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.rid:
+            raise RequirementError("requirement needs a non-empty id")
+
+
+@dataclass
+class TraceEntry:
+    """Trace status of one requirement."""
+
+    rid: str
+    linked: bool
+    missing_elements: List[str]
+    check_result: Optional[bool]  # None = no check defined / not run
+
+    @property
+    def satisfied(self) -> bool:
+        return (
+            self.linked
+            and not self.missing_elements
+            and self.check_result is not False
+        )
+
+
+class RequirementSet:
+    """A registry of requirements with model-element links."""
+
+    def __init__(self, name: str = "requirements") -> None:
+        self.name = name
+        self._requirements: Dict[str, Requirement] = {}
+
+    def add(
+        self,
+        rid: str,
+        text: str,
+        kind: Kind = Kind.FUNCTIONAL,
+        check: Optional[Callable[["HybridModel"], bool]] = None,
+    ) -> Requirement:
+        if rid in self._requirements:
+            raise RequirementError(f"duplicate requirement id {rid!r}")
+        requirement = Requirement(rid, text, kind, check)
+        self._requirements[rid] = requirement
+        return requirement
+
+    def link(self, rid: str, element_name: str) -> None:
+        """Link a requirement to a model element by name.
+
+        Element names: capsule instance names, streamer paths, probe
+        names, thread names, controller names.
+        """
+        self.get(rid).links.add(element_name)
+
+    def get(self, rid: str) -> Requirement:
+        try:
+            return self._requirements[rid]
+        except KeyError:
+            raise RequirementError(f"unknown requirement {rid!r}") from None
+
+    def __iter__(self):
+        return iter(self._requirements.values())
+
+    def __len__(self) -> int:
+        return len(self._requirements)
+
+    def by_kind(self, kind: Kind) -> List[Requirement]:
+        return [r for r in self if r.kind is kind]
+
+
+def _model_element_names(model: "HybridModel") -> Set[str]:
+    names: Set[str] = set()
+    for top in model.rts.tops:
+        names.add(top.instance_name)
+        for descendant in top.descendants():
+            names.add(descendant.instance_name)
+
+    def walk(streamer):
+        names.add(streamer.path())
+        for sub in streamer.subs.values():
+            walk(sub)
+
+    for top in model.streamers:
+        walk(top)
+    names.update(model.probes)
+    names.update(thread.name for thread in model.threads)
+    names.update(controller.name for controller in model.rts.controllers)
+    return names
+
+
+def trace_report(
+    requirements: RequirementSet,
+    model: "HybridModel",
+    run_checks: bool = True,
+) -> List[TraceEntry]:
+    """Compute the traceability matrix of a requirement set over a model.
+
+    For meaningful acceptance checks, call after ``model.run(...)``.
+    """
+    known = _model_element_names(model)
+    entries: List[TraceEntry] = []
+    for requirement in requirements:
+        missing = sorted(
+            link for link in requirement.links if link not in known
+        )
+        result: Optional[bool] = None
+        if run_checks and requirement.check is not None:
+            result = bool(requirement.check(model))
+        entries.append(TraceEntry(
+            rid=requirement.rid,
+            linked=bool(requirement.links),
+            missing_elements=missing,
+            check_result=result,
+        ))
+    return entries
+
+
+def render_trace(entries: List[TraceEntry]) -> str:
+    """A printable traceability table."""
+    lines = [f"{'id':<12}{'linked':>7}{'missing':>9}{'check':>7}{'ok':>5}"]
+    for entry in entries:
+        check = ("-" if entry.check_result is None
+                 else "pass" if entry.check_result else "FAIL")
+        lines.append(
+            f"{entry.rid:<12}{str(entry.linked):>7}"
+            f"{len(entry.missing_elements):>9}{check:>7}"
+            f"{'yes' if entry.satisfied else 'NO':>5}"
+        )
+    return "\n".join(lines)

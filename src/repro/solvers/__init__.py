@@ -1,0 +1,48 @@
+"""Numerical solvers for the ``solver`` stereotype.
+
+The paper's streamers compute differential equations through a *solver*
+attached via the Strategy pattern (Figure 1).  This package supplies that
+strategy family:
+
+* fixed-step explicit methods (:mod:`repro.solvers.fixed`):
+  forward Euler, Heun, classic RK4;
+* adaptive explicit methods (:mod:`repro.solvers.adaptive`):
+  Dormand–Prince RK45 with PI step-size control;
+* implicit methods for stiff systems (:mod:`repro.solvers.implicit`):
+  backward Euler and trapezoidal rule with damped Newton iteration;
+* zero-crossing event detection (:mod:`repro.solvers.events`) used to turn
+  continuous conditions into discrete signals for capsules;
+* trajectory recording (:mod:`repro.solvers.history`);
+* a high-level :func:`repro.solvers.ivp.integrate` driver.
+
+All solvers share the ODE right-hand-side convention ``f(t, y) -> dy/dt``
+with ``y`` a 1-D ``numpy`` array.
+"""
+
+from repro.solvers.base import FixedStepSolver, SolverError, StepResult
+from repro.solvers.fixed import Euler, Heun, RK4
+from repro.solvers.adaptive import DormandPrince45
+from repro.solvers.implicit import BackwardEuler, Trapezoidal
+from repro.solvers.events import EventSpec, ZeroCrossingDetector
+from repro.solvers.history import Trajectory
+from repro.solvers.ivp import IntegrationResult, integrate
+from repro.solvers.registry import available_solvers, make_solver
+
+__all__ = [
+    "BackwardEuler",
+    "DormandPrince45",
+    "Euler",
+    "EventSpec",
+    "FixedStepSolver",
+    "Heun",
+    "IntegrationResult",
+    "RK4",
+    "SolverError",
+    "StepResult",
+    "Trajectory",
+    "Trapezoidal",
+    "ZeroCrossingDetector",
+    "available_solvers",
+    "integrate",
+    "make_solver",
+]

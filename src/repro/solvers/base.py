@@ -1,0 +1,96 @@
+"""Solver base classes and shared numerics helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+#: ODE right-hand side: f(t, y) -> dy/dt
+RHS = Callable[[float, np.ndarray], np.ndarray]
+
+
+class SolverError(Exception):
+    """Raised on numerical failure (divergence, NaN, step underflow)."""
+
+
+@dataclass
+class StepResult:
+    """Outcome of one solver step.
+
+    Attributes
+    ----------
+    t:
+        Time reached (``t0 + h_taken``).
+    y:
+        State at ``t``.
+    h_taken:
+        Step actually taken (adaptive solvers may shrink it).
+    h_next:
+        Suggested next step (fixed-step solvers echo ``h_taken``).
+    error_estimate:
+        Scaled local error norm if the method provides one, else ``None``.
+    """
+
+    t: float
+    y: np.ndarray
+    h_taken: float
+    h_next: float
+    error_estimate: Optional[float] = None
+
+
+class SolverBase:
+    """Common interface of all solvers.
+
+    Subclasses implement :meth:`step`; :attr:`order` is the classical
+    convergence order used in accuracy benchmarks (bench S1) and by the
+    adaptive step controller.
+    """
+
+    name: str = "solver"
+    order: int = 1
+    #: True if the method solves an implicit stage equation each step.
+    implicit: bool = False
+    #: True if the step size adapts to a local error estimate.
+    adaptive: bool = False
+
+    def step(self, f: RHS, t: float, y: np.ndarray, h: float) -> StepResult:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any per-integration internal state (step controller etc.)."""
+
+    @staticmethod
+    def _check_finite(y: np.ndarray, t: float, name: str) -> None:
+        if not np.all(np.isfinite(y)):
+            raise SolverError(
+                f"{name}: non-finite state at t={t:.6g} "
+                "(diverged or step too large)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class FixedStepSolver(SolverBase):
+    """Base for methods that take exactly the step they are given."""
+
+    def step(self, f: RHS, t: float, y: np.ndarray, h: float) -> StepResult:
+        if h <= 0:
+            raise SolverError(f"{self.name}: non-positive step {h}")
+        y_new = self._advance(f, t, np.asarray(y, dtype=float), h)
+        self._check_finite(y_new, t + h, self.name)
+        return StepResult(t=t + h, y=y_new, h_taken=h, h_next=h)
+
+    def _advance(self, f: RHS, t: float, y: np.ndarray, h: float) -> np.ndarray:
+        raise NotImplementedError
+
+
+def error_norm(error: np.ndarray, y_old: np.ndarray, y_new: np.ndarray,
+               rtol: float, atol: float) -> float:
+    """Hairer-style scaled RMS norm of a local error estimate."""
+    scale = atol + rtol * np.maximum(np.abs(y_old), np.abs(y_new))
+    if error.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((error / scale) ** 2)))

@@ -1,0 +1,167 @@
+"""Zero-crossing detection.
+
+Hybrid models turn continuous conditions (level exceeded, angle through
+zero, temperature past a threshold) into discrete signals for capsules.
+After every solver step the detector inspects each registered event
+function ``g(t, y)``; a sign change within the step is localised by
+bisection on linearly interpolated states.  Localisation accuracy is
+bounded by ``t_tol`` and interpolation error, which is adequate for the
+major-step sizes the hybrid scheduler uses (and is itself ablated in
+bench S1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+#: Event function: g(t, y) -> float; the event fires when g crosses zero.
+EventFunction = Callable[[float, np.ndarray], float]
+
+
+@dataclass
+class EventSpec:
+    """A registered zero-crossing event.
+
+    Parameters
+    ----------
+    name:
+        Event name, used as the signal name sent to capsules.
+    function:
+        The guard function ``g(t, y)``.
+    direction:
+        ``+1`` fire on rising crossings only, ``-1`` falling only,
+        ``0`` both.
+    terminal:
+        If True, integration in :func:`repro.solvers.ivp.integrate`
+        stops at this event.
+    """
+
+    name: str
+    function: EventFunction
+    direction: int = 0
+    terminal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.direction not in (-1, 0, 1):
+            raise ValueError(f"direction must be -1, 0 or 1: {self.direction}")
+
+
+@dataclass
+class EventOccurrence:
+    """A localised zero crossing."""
+
+    spec: EventSpec
+    t: float
+    y: np.ndarray
+    direction: int  # +1 rising, -1 falling
+
+
+class ZeroCrossingDetector:
+    """Detects and localises sign changes of event functions over steps."""
+
+    def __init__(self, specs: List[EventSpec], t_tol: float = 1e-9) -> None:
+        self.specs = list(specs)
+        self.t_tol = t_tol
+        self._last_values: Optional[List[float]] = None
+        self._last_t: Optional[float] = None
+        self.detected = 0
+
+    def reset(self, t0: float, y0: np.ndarray) -> None:
+        """Prime the detector with the initial state."""
+        self._last_t = t0
+        self._last_values = [
+            float(spec.function(t0, np.asarray(y0, dtype=float)))
+            for spec in self.specs
+        ]
+
+    def check_step(
+        self,
+        t0: float,
+        y0: np.ndarray,
+        t1: float,
+        y1: np.ndarray,
+        make_interpolator=None,
+    ) -> List[EventOccurrence]:
+        """Return events occurring in ``(t0, t1]``, ordered by time.
+
+        States inside the step are interpolated: linearly between ``y0``
+        and ``y1`` by default, or through the dense interpolant returned
+        by ``make_interpolator()`` (built lazily, only when a sign change
+        actually needs localising).  Each crossing is bisected to within
+        ``t_tol``.
+        """
+        if self._last_values is None or self._last_t != t0:
+            self.reset(t0, y0)
+        y0 = np.asarray(y0, dtype=float)
+        y1 = np.asarray(y1, dtype=float)
+        occurrences: List[EventOccurrence] = []
+        new_values: List[float] = []
+        interpolator = None
+        for idx, spec in enumerate(self.specs):
+            g0 = self._last_values[idx]
+            g1 = float(spec.function(t1, y1))
+            new_values.append(g1)
+            crossing = self._crossing_direction(g0, g1)
+            if crossing == 0:
+                continue
+            if spec.direction != 0 and crossing != spec.direction:
+                continue
+            if interpolator is None and make_interpolator is not None:
+                interpolator = make_interpolator()
+            t_event, y_event = self._bisect(
+                spec.function, t0, y0, t1, y1, g0, interpolator
+            )
+            occurrences.append(
+                EventOccurrence(spec, t_event, y_event, crossing)
+            )
+            self.detected += 1
+        self._last_t = t1
+        self._last_values = new_values
+        occurrences.sort(key=lambda occ: occ.t)
+        return occurrences
+
+    @staticmethod
+    def _crossing_direction(g0: float, g1: float) -> int:
+        if g0 < 0.0 <= g1:
+            return 1
+        if g0 > 0.0 >= g1:
+            return -1
+        return 0
+
+    def _bisect(
+        self,
+        g: EventFunction,
+        t0: float,
+        y0: np.ndarray,
+        t1: float,
+        y1: np.ndarray,
+        g0: float,
+        interpolator=None,
+    ) -> Tuple[float, np.ndarray]:
+        lo, hi = t0, t1
+        g_lo = g0
+        span = t1 - t0
+        if span <= 0:
+            return t1, y1
+
+        if interpolator is not None:
+            state_at = interpolator
+        else:
+            def state_at(t: float) -> np.ndarray:
+                alpha = (t - t0) / span
+                return (1.0 - alpha) * y0 + alpha * y1
+
+        for __ in range(200):
+            if hi - lo <= self.t_tol:
+                break
+            mid = 0.5 * (lo + hi)
+            g_mid = float(g(mid, state_at(mid)))
+            if (g_lo < 0.0) == (g_mid < 0.0) and g_mid != 0.0:
+                lo, g_lo = mid, g_mid
+            else:
+                hi = mid
+        t_event = hi
+        return t_event, state_at(t_event)

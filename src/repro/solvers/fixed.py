@@ -1,0 +1,49 @@
+"""Fixed-step explicit Runge-Kutta methods.
+
+These are the workhorse solvers for streamer threads running at a fixed
+rate (the common case in real-time control, where the solver must finish
+within the control period).  Orders 1, 2 and 4 cover the classic
+cost/accuracy trade-off measured in bench S1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.base import RHS, FixedStepSolver
+
+
+class Euler(FixedStepSolver):
+    """Forward Euler: first order, one RHS evaluation per step."""
+
+    name = "euler"
+    order = 1
+
+    def _advance(self, f: RHS, t: float, y: np.ndarray, h: float) -> np.ndarray:
+        return y + h * np.asarray(f(t, y), dtype=float)
+
+
+class Heun(FixedStepSolver):
+    """Heun's method (explicit trapezoidal): second order, two evaluations."""
+
+    name = "heun"
+    order = 2
+
+    def _advance(self, f: RHS, t: float, y: np.ndarray, h: float) -> np.ndarray:
+        k1 = np.asarray(f(t, y), dtype=float)
+        k2 = np.asarray(f(t + h, y + h * k1), dtype=float)
+        return y + (h / 2.0) * (k1 + k2)
+
+
+class RK4(FixedStepSolver):
+    """Classic fourth-order Runge-Kutta: four evaluations per step."""
+
+    name = "rk4"
+    order = 4
+
+    def _advance(self, f: RHS, t: float, y: np.ndarray, h: float) -> np.ndarray:
+        k1 = np.asarray(f(t, y), dtype=float)
+        k2 = np.asarray(f(t + h / 2.0, y + (h / 2.0) * k1), dtype=float)
+        k3 = np.asarray(f(t + h / 2.0, y + (h / 2.0) * k2), dtype=float)
+        k4 = np.asarray(f(t + h, y + h * k3), dtype=float)
+        return y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)

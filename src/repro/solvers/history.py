@@ -1,0 +1,186 @@
+"""Trajectory recording.
+
+A :class:`Trajectory` accumulates ``(t, y)`` samples during integration and
+offers interpolation, slicing and error metrics against a reference — the
+plumbing behind scopes (:mod:`repro.dataflow.sinks`), EXPERIMENTS.md
+numbers and the solver-accuracy bench (S1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+
+class TrajectoryError(Exception):
+    """Raised on malformed trajectory operations."""
+
+
+class Trajectory:
+    """A time-ordered record of state samples."""
+
+    def __init__(self, labels: Optional[Sequence[str]] = None) -> None:
+        self._times: List[float] = []
+        self._states: List[np.ndarray] = []
+        self.labels = list(labels) if labels is not None else None
+
+    # ------------------------------------------------------------------
+    def append(self, t: float, y: Union[np.ndarray, Sequence[float], float]) -> None:
+        y_arr = np.atleast_1d(np.asarray(y, dtype=float)).copy()
+        if self._times:
+            if t < self._times[-1]:
+                raise TrajectoryError(
+                    f"non-monotone time: {t} after {self._times[-1]}"
+                )
+            if y_arr.shape != self._states[-1].shape:
+                raise TrajectoryError(
+                    f"state dimension changed: {y_arr.shape} vs "
+                    f"{self._states[-1].shape}"
+                )
+        self._times.append(float(t))
+        self._states.append(y_arr)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def empty(self) -> bool:
+        return not self._times
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def states(self) -> np.ndarray:
+        """Samples as a ``(n_samples, n_states)`` array."""
+        if not self._states:
+            return np.empty((0, 0))
+        return np.vstack(self._states)
+
+    @property
+    def t_final(self) -> float:
+        if not self._times:
+            raise TrajectoryError("empty trajectory")
+        return self._times[-1]
+
+    @property
+    def y_final(self) -> np.ndarray:
+        if not self._states:
+            raise TrajectoryError("empty trajectory")
+        return self._states[-1]
+
+    # ------------------------------------------------------------------
+    def component(self, index_or_label: Union[int, str]) -> np.ndarray:
+        """One state component over time."""
+        if isinstance(index_or_label, str):
+            if self.labels is None or index_or_label not in self.labels:
+                raise TrajectoryError(f"unknown label {index_or_label!r}")
+            index = self.labels.index(index_or_label)
+        else:
+            index = index_or_label
+        return self.states[:, index]
+
+    def sample(self, t: float) -> np.ndarray:
+        """Linearly interpolated state at time ``t`` (clamped to range)."""
+        times = self.times
+        if times.size == 0:
+            raise TrajectoryError("empty trajectory")
+        states = self.states
+        if t <= times[0]:
+            return states[0].copy()
+        if t >= times[-1]:
+            return states[-1].copy()
+        idx = int(np.searchsorted(times, t))
+        t0, t1 = times[idx - 1], times[idx]
+        if t1 == t0:
+            return states[idx].copy()
+        alpha = (t - t0) / (t1 - t0)
+        return (1.0 - alpha) * states[idx - 1] + alpha * states[idx]
+
+    def resample(self, grid: Sequence[float]) -> "Trajectory":
+        """A new trajectory sampled on ``grid`` by linear interpolation."""
+        out = Trajectory(labels=self.labels)
+        for t in grid:
+            out.append(float(t), self.sample(float(t)))
+        return out
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def max_error_against(
+        self, reference: Callable[[float], Union[np.ndarray, float]]
+    ) -> float:
+        """Max-norm error vs. an analytic reference function of time."""
+        worst = 0.0
+        for t, y in zip(self._times, self._states):
+            ref = np.atleast_1d(np.asarray(reference(t), dtype=float))
+            worst = max(worst, float(np.max(np.abs(y - ref))))
+        return worst
+
+    def rms_error_against(
+        self, reference: Callable[[float], Union[np.ndarray, float]]
+    ) -> float:
+        """RMS error over all samples and components."""
+        if not self._times:
+            raise TrajectoryError("empty trajectory")
+        total = 0.0
+        count = 0
+        for t, y in zip(self._times, self._states):
+            ref = np.atleast_1d(np.asarray(reference(t), dtype=float))
+            diff = y - ref
+            total += float(np.sum(diff * diff))
+            count += diff.size
+        return float(np.sqrt(total / count))
+
+    def final_error_against(
+        self, reference: Callable[[float], Union[np.ndarray, float]]
+    ) -> float:
+        ref = np.atleast_1d(
+            np.asarray(reference(self.t_final), dtype=float)
+        )
+        return float(np.max(np.abs(self.y_final - ref)))
+
+    def settling_time(
+        self,
+        component: Union[int, str],
+        target: float,
+        band: float,
+    ) -> Optional[float]:
+        """First time after which the component stays within ``target±band``.
+
+        Returns ``None`` if it never settles.  A standard control metric
+        used by the examples and benches.
+        """
+        values = self.component(component)
+        times = self.times
+        inside = np.abs(values - target) <= band
+        if not inside[-1]:
+            return None
+        # last index where we were outside the band
+        outside_idx = np.where(~inside)[0]
+        if outside_idx.size == 0:
+            return float(times[0])
+        last_outside = int(outside_idx[-1])
+        if last_outside + 1 >= times.size:
+            return None
+        return float(times[last_outside + 1])
+
+    def overshoot(
+        self, component: Union[int, str], target: float
+    ) -> float:
+        """Peak excursion beyond ``target`` relative to ``target`` (ratio)."""
+        values = self.component(component)
+        if target == 0:
+            return float(np.max(values))
+        peak = float(np.max(values)) if target > 0 else float(np.min(values))
+        return max(0.0, (peak - target) / abs(target))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.empty:
+            return "Trajectory(empty)"
+        return (
+            f"Trajectory(n={len(self)}, t=[{self._times[0]:.4g}, "
+            f"{self._times[-1]:.4g}], dim={self._states[0].size})"
+        )

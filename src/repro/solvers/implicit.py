@@ -1,0 +1,114 @@
+"""Implicit fixed-step methods for stiff plants.
+
+Real control plants (e.g. electrical subsystems with fast parasitics) are
+often stiff; explicit solvers then need absurdly small steps.  Backward
+Euler (L-stable, order 1) and the trapezoidal rule (A-stable, order 2)
+solve the stage equation with a damped Newton iteration using a finite-
+difference Jacobian, falling back to more damping when the residual grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.base import RHS, FixedStepSolver, SolverError
+
+
+def _numerical_jacobian(f: RHS, t: float, y: np.ndarray) -> np.ndarray:
+    """Forward-difference Jacobian of ``f`` with per-component scaling."""
+    n = y.size
+    f0 = np.asarray(f(t, y), dtype=float)
+    jac = np.empty((n, n), dtype=float)
+    for j in range(n):
+        eps = 1e-8 * max(1.0, abs(y[j]))
+        y_pert = y.copy()
+        y_pert[j] += eps
+        jac[:, j] = (np.asarray(f(t, y_pert), dtype=float) - f0) / eps
+    return jac
+
+
+class _NewtonImplicitSolver(FixedStepSolver):
+    """Shared Newton machinery for one-stage implicit methods.
+
+    Subclasses define the residual ``r(y_new) = y_new - y - h*phi(...)``
+    via :meth:`_residual` and its Jacobian structure via
+    :meth:`_residual_jacobian`.
+    """
+
+    implicit = True
+
+    def __init__(self, newton_tol: float = 1e-10, max_newton: int = 25) -> None:
+        self.newton_tol = newton_tol
+        self.max_newton = max_newton
+        self.newton_iterations = 0
+
+    def _advance(self, f: RHS, t: float, y: np.ndarray, h: float) -> np.ndarray:
+        # Predictor: explicit Euler gives a decent starting point.
+        y_new = y + h * np.asarray(f(t, y), dtype=float)
+        scale = 1.0 + np.abs(y)
+        for iteration in range(self.max_newton):
+            residual = self._residual(f, t, y, y_new, h)
+            norm = float(np.max(np.abs(residual) / scale))
+            if norm < self.newton_tol:
+                return y_new
+            jac = self._residual_jacobian(f, t, y_new, h)
+            try:
+                delta = np.linalg.solve(jac, -residual)
+            except np.linalg.LinAlgError as exc:
+                raise SolverError(
+                    f"{self.name}: singular Newton matrix at t={t:.6g}"
+                ) from exc
+            # Damped update: halve until the residual does not blow up.
+            damping = 1.0
+            for __ in range(8):
+                candidate = y_new + damping * delta
+                cand_res = self._residual(f, t, y, candidate, h)
+                if float(np.max(np.abs(cand_res) / scale)) <= norm * 1.5:
+                    break
+                damping *= 0.5
+            y_new = y_new + damping * delta
+            self.newton_iterations += 1
+        raise SolverError(
+            f"{self.name}: Newton failed to converge at t={t:.6g} "
+            f"(h={h:.3g})"
+        )
+
+    def _residual(
+        self, f: RHS, t: float, y: np.ndarray, y_new: np.ndarray, h: float
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def _residual_jacobian(
+        self, f: RHS, t: float, y_new: np.ndarray, h: float
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class BackwardEuler(_NewtonImplicitSolver):
+    """Backward Euler: y' taken at the step end.  L-stable, order 1."""
+
+    name = "backward_euler"
+    order = 1
+
+    def _residual(self, f, t, y, y_new, h):
+        return y_new - y - h * np.asarray(f(t + h, y_new), dtype=float)
+
+    def _residual_jacobian(self, f, t, y_new, h):
+        n = y_new.size
+        return np.eye(n) - h * _numerical_jacobian(f, t + h, y_new)
+
+
+class Trapezoidal(_NewtonImplicitSolver):
+    """Trapezoidal rule (implicit): A-stable, order 2."""
+
+    name = "trapezoidal"
+    order = 2
+
+    def _residual(self, f, t, y, y_new, h):
+        f0 = np.asarray(f(t, y), dtype=float)
+        f1 = np.asarray(f(t + h, y_new), dtype=float)
+        return y_new - y - (h / 2.0) * (f0 + f1)
+
+    def _residual_jacobian(self, f, t, y_new, h):
+        n = y_new.size
+        return np.eye(n) - (h / 2.0) * _numerical_jacobian(f, t + h, y_new)

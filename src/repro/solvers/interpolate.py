@@ -1,0 +1,71 @@
+"""Dense-output interpolants.
+
+:class:`CubicHermite` interpolates a solution segment from the states
+*and derivatives* at both ends — third-order accurate, against the
+first-order secant the raw zero-crossing detector falls back to.  The
+hybrid scheduler builds one lazily per event-bearing major step, so the
+two extra RHS evaluations are only paid when a crossing actually needs
+localising.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+
+class CubicHermite:
+    """Cubic Hermite interpolant over one step ``[t0, t1]``."""
+
+    def __init__(
+        self,
+        t0: float,
+        y0: np.ndarray,
+        f0: np.ndarray,
+        t1: float,
+        y1: np.ndarray,
+        f1: np.ndarray,
+    ) -> None:
+        if t1 <= t0:
+            raise ValueError(f"degenerate interval [{t0}, {t1}]")
+        self.t0 = float(t0)
+        self.t1 = float(t1)
+        self._h = self.t1 - self.t0
+        self._y0 = np.asarray(y0, dtype=float)
+        self._y1 = np.asarray(y1, dtype=float)
+        self._f0 = np.asarray(f0, dtype=float)
+        self._f1 = np.asarray(f1, dtype=float)
+
+    def __call__(self, t: float) -> np.ndarray:
+        """State at ``t`` (clamped into the segment)."""
+        t = min(max(t, self.t0), self.t1)
+        s = (t - self.t0) / self._h
+        s2 = s * s
+        s3 = s2 * s
+        h00 = 2.0 * s3 - 3.0 * s2 + 1.0
+        h10 = s3 - 2.0 * s2 + s
+        h01 = -2.0 * s3 + 3.0 * s2
+        h11 = s3 - s2
+        return (
+            h00 * self._y0
+            + h10 * self._h * self._f0
+            + h01 * self._y1
+            + h11 * self._h * self._f1
+        )
+
+    def derivative(self, t: float) -> np.ndarray:
+        """dy/dt of the interpolant at ``t``."""
+        t = min(max(t, self.t0), self.t1)
+        s = (t - self.t0) / self._h
+        s2 = s * s
+        dh00 = (6.0 * s2 - 6.0 * s) / self._h
+        dh10 = 3.0 * s2 - 4.0 * s + 1.0
+        dh01 = (-6.0 * s2 + 6.0 * s) / self._h
+        dh11 = 3.0 * s2 - 2.0 * s
+        return (
+            dh00 * self._y0
+            + dh10 * self._f0
+            + dh01 * self._y1
+            + dh11 * self._f1
+        )

@@ -1,0 +1,47 @@
+"""Solver registry: name -> constructor.
+
+The registry backs the ``solver`` stereotype's string-based configuration
+(models and generated code refer to solvers by name) and the Strategy-
+pattern hot swap measured in bench F1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.solvers.adaptive import DormandPrince45
+from repro.solvers.base import SolverBase, SolverError
+from repro.solvers.fixed import RK4, Euler, Heun
+from repro.solvers.implicit import BackwardEuler, Trapezoidal
+
+_REGISTRY: Dict[str, Callable[..., SolverBase]] = {
+    "euler": Euler,
+    "heun": Heun,
+    "rk4": RK4,
+    "rk45": DormandPrince45,
+    "backward_euler": BackwardEuler,
+    "trapezoidal": Trapezoidal,
+}
+
+
+def available_solvers() -> Tuple[str, ...]:
+    """Names of all registered solvers, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_solver(name: str, **kwargs: Any) -> SolverBase:
+    """Instantiate a solver by registry name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver {name!r}; available: {available_solvers()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_solver(name: str, factory: Callable[..., SolverBase]) -> None:
+    """Register a custom solver strategy (extension point)."""
+    if name in _REGISTRY:
+        raise SolverError(f"solver {name!r} already registered")
+    _REGISTRY[name] = factory

@@ -1,0 +1,266 @@
+"""Capsules: the active objects of UML-RT.
+
+A capsule owns ports, optional sub-capsule *parts*, and a hierarchical
+state machine as its behaviour.  Capsules never share memory; they interact
+exclusively by sending signals through ports.  Users subclass
+:class:`Capsule` and override the three hooks:
+
+* :meth:`Capsule.build_structure` — create ports, parts and connectors;
+* :meth:`Capsule.build_behaviour` — return the capsule's state machine
+  (or ``None`` for a purely structural capsule);
+* :meth:`Capsule.on_start` — run once when the system starts the capsule.
+
+Every capsule automatically owns an end port named ``"timer"`` wired to the
+timing service, so transitions can be triggered by ``("timer", "timeout")``.
+
+The paper's extension (§2, Figure 3) additionally lets capsules *contain
+streamers* and carry relay-only DPorts; that lives in :mod:`repro.core` and
+attaches to this class via :class:`repro.core.model.HybridModel`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Type
+
+from repro.umlrt.connector import Connector
+from repro.umlrt.port import Port, PortKind
+from repro.umlrt.protocol import Protocol, ProtocolRole
+from repro.umlrt.signal import Message, Priority
+from repro.umlrt.statemachine import StateMachine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.umlrt.runtime import RTSystem
+    from repro.umlrt.controller import Controller
+
+
+class CapsuleError(Exception):
+    """Raised on ill-formed capsule structure or illegal operations."""
+
+
+class PartKind(enum.Enum):
+    """Lifecycle category of a sub-capsule part (ROOM terminology)."""
+
+    FIXED = "fixed"        #: created with the parent, lives as long
+    OPTIONAL = "optional"  #: incarnated/destroyed via the frame service
+    PLUGIN = "plugin"      #: an externally supplied capsule plugged in
+
+
+#: Protocol of the implicit per-capsule timing port.
+TIMING_PROTOCOL = Protocol.define("Timing", outgoing=(), incoming=("timeout",))
+
+
+class CapsulePart:
+    """A named slot in a parent capsule that holds sub-capsule instances."""
+
+    def __init__(
+        self,
+        name: str,
+        capsule_class: Type["Capsule"],
+        kind: PartKind = PartKind.FIXED,
+        factory_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.capsule_class = capsule_class
+        self.kind = kind
+        self.factory_kwargs = dict(factory_kwargs or {})
+        self.instance: Optional["Capsule"] = None
+
+    @property
+    def occupied(self) -> bool:
+        return self.instance is not None
+
+
+class Capsule:
+    """Base class for all capsules.
+
+    Parameters
+    ----------
+    instance_name:
+        Name of this capsule instance; part instances get
+        ``"<parent>.<part>"`` automatically.
+    """
+
+    def __init__(self, instance_name: str = "") -> None:
+        self.instance_name = instance_name or type(self).__name__
+        self.ports: Dict[str, Port] = {}
+        self.parts: Dict[str, CapsulePart] = {}
+        self.behaviour: Optional[StateMachine] = None
+        self.parent: Optional["Capsule"] = None
+        self.runtime: Optional["RTSystem"] = None
+        self.controller: Optional["Controller"] = None
+        self._structure_built = False
+        # implicit timing port, present on every capsule
+        self.create_port("timer", TIMING_PROTOCOL.base())
+
+    # ------------------------------------------------------------------
+    # hooks for subclasses
+    # ------------------------------------------------------------------
+    def build_structure(self) -> None:
+        """Create ports, parts and internal connectors.  Override me."""
+
+    def build_behaviour(self) -> Optional[StateMachine]:
+        """Return this capsule's state machine, or None.  Override me."""
+        return None
+
+    def on_start(self) -> None:
+        """Called once when the runtime starts this capsule.  Override me."""
+
+    def on_message(self, message: Message) -> None:
+        """Called for every dispatched message *before* the state machine.
+
+        Override for message-level bookkeeping; the default does nothing.
+        """
+
+    # ------------------------------------------------------------------
+    # structure construction API (used inside build_structure)
+    # ------------------------------------------------------------------
+    def create_port(
+        self,
+        name: str,
+        role: ProtocolRole,
+        kind: PortKind = PortKind.END,
+        replication: int = 1,
+    ) -> Port:
+        if name in self.ports:
+            raise CapsuleError(
+                f"duplicate port {name!r} on capsule {self.instance_name}"
+            )
+        port = Port(name, role, kind, owner=self, replication=replication)
+        self.ports[name] = port
+        return port
+
+    def create_part(
+        self,
+        name: str,
+        capsule_class: Type["Capsule"],
+        kind: PartKind = PartKind.FIXED,
+        **factory_kwargs: Any,
+    ) -> CapsulePart:
+        if name in self.parts:
+            raise CapsuleError(
+                f"duplicate part {name!r} on capsule {self.instance_name}"
+            )
+        part = CapsulePart(name, capsule_class, kind, factory_kwargs)
+        self.parts[name] = part
+        return part
+
+    def connect(self, a: Port, b: Port) -> Connector:
+        """Create a connector between two ports (checks role compatibility)."""
+        return Connector(a, b)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def port(self, name: str) -> Port:
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise CapsuleError(
+                f"capsule {self.instance_name} has no port {name!r}"
+            ) from None
+
+    def part(self, name: str) -> CapsulePart:
+        try:
+            return self.parts[name]
+        except KeyError:
+            raise CapsuleError(
+                f"capsule {self.instance_name} has no part {name!r}"
+            ) from None
+
+    def part_instance(self, name: str) -> "Capsule":
+        part = self.part(name)
+        if part.instance is None:
+            raise CapsuleError(
+                f"part {name!r} of {self.instance_name} is not incarnated"
+            )
+        return part.instance
+
+    def send(
+        self,
+        port_name: str,
+        signal: str,
+        data: Any = None,
+        priority: Priority = Priority.GENERAL,
+        index: Optional[int] = None,
+    ) -> int:
+        """Send ``signal`` out of the named port (``index`` selects one
+        peer of a replicated port; None broadcasts)."""
+        return self.port(port_name).send(signal, data, priority, index)
+
+    @property
+    def timer(self):
+        """The runtime timing service, bound for convenience."""
+        if self.runtime is None:
+            raise CapsuleError(
+                f"capsule {self.instance_name} is not attached to a runtime"
+            )
+        return self.runtime.timing
+
+    def inform_in(self, delay: float, data: Any = None):
+        """Schedule a one-shot timeout delivered to this capsule's timer port."""
+        return self.timer.inform_in(self, delay, data)
+
+    def inform_every(self, period: float, data: Any = None):
+        """Schedule a periodic timeout delivered to this capsule's timer port."""
+        return self.timer.inform_every(self, period, data)
+
+    # ------------------------------------------------------------------
+    # lifecycle (driven by the runtime / frame service)
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        if self._structure_built:
+            return
+        self._structure_built = True
+        self.build_structure()
+        self.behaviour = self.build_behaviour()
+        for part in self.parts.values():
+            if part.kind is PartKind.FIXED:
+                self._incarnate_part(part)
+
+    def _incarnate_part(self, part: CapsulePart, **extra: Any) -> "Capsule":
+        if part.occupied:
+            raise CapsuleError(
+                f"part {part.name!r} of {self.instance_name} already occupied"
+            )
+        kwargs = dict(part.factory_kwargs)
+        kwargs.update(extra)
+        instance = part.capsule_class(
+            f"{self.instance_name}.{part.name}", **kwargs
+        )
+        instance.parent = self
+        part.instance = instance
+        instance._build()
+        return instance
+
+    def _start(self) -> None:
+        if self.behaviour is not None and not self.behaviour.started:
+            self.behaviour.start(self)
+        self.on_start()
+        for part in self.parts.values():
+            if part.instance is not None:
+                part.instance._start()
+
+    def _dispatch(self, message: Message) -> bool:
+        self.on_message(message)
+        if self.behaviour is None:
+            return False
+        fired = self.behaviour.dispatch(self, message)
+        if fired:
+            # re-enqueue messages the state change recalled (ROOM defer)
+            for recalled in self.behaviour.take_recalled():
+                if self.runtime is not None and recalled.port is not None:
+                    self.runtime.deliver(recalled.port, recalled)
+        return fired
+
+    def descendants(self) -> List["Capsule"]:
+        """All transitively contained capsule instances, depth-first."""
+        out: List[Capsule] = []
+        for part in self.parts.values():
+            if part.instance is not None:
+                out.append(part.instance)
+                out.extend(part.instance.descendants())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.instance_name!r})"

@@ -1,0 +1,57 @@
+"""Connectors: explicit wiring objects between two ports.
+
+A connector validates protocol-role compatibility at creation time
+(UML-RT's static wiring check) and supports disconnection, which the frame
+service uses when destroying optional parts.
+"""
+
+from __future__ import annotations
+
+from repro.umlrt.port import Port, PortError
+
+
+class ConnectorError(Exception):
+    """Raised when two ports cannot legally be wired."""
+
+
+class Connector:
+    """A checked, reversible link between two ports.
+
+    Compatibility rule: each side's send set must be a subset of the peer's
+    receive set (base/conjugate pairs of the same protocol always satisfy
+    this).  Relay-to-relay, relay-to-end and end-to-end wirings are all
+    legal; relay ports accept up to two links (outer + inner side).
+    """
+
+    def __init__(self, a: Port, b: Port) -> None:
+        if not a.role.compatible_with(b.role):
+            raise ConnectorError(
+                f"incompatible roles: {a.qualified_name} ({a.role.name}) "
+                f"sends {sorted(a.role.sends)} / receives "
+                f"{sorted(a.role.receives)}; {b.qualified_name} "
+                f"({b.role.name}) sends {sorted(b.role.sends)} / receives "
+                f"{sorted(b.role.receives)}"
+            )
+        try:
+            a.link(b)
+        except PortError as exc:
+            raise ConnectorError(str(exc)) from exc
+        self.a = a
+        self.b = b
+        self.connected = True
+
+    def disconnect(self) -> None:
+        if not self.connected:
+            raise ConnectorError("connector already disconnected")
+        self.a.unlink(self.b)
+        self.connected = False
+
+    def involves(self, port: Port) -> bool:
+        return port is self.a or port is self.b
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "" if self.connected else " (disconnected)"
+        return (
+            f"Connector({self.a.qualified_name} <-> "
+            f"{self.b.qualified_name}{state})"
+        )

@@ -1,0 +1,90 @@
+"""Controllers: logical threads of the UML-RT runtime.
+
+A controller owns a set of capsules and a priority message queue.  All
+capsules on one controller share a thread of control, so their RTC steps
+never overlap; capsules on different controllers conceptually run
+concurrently.  The deterministic runtime (:mod:`repro.umlrt.runtime`)
+serialises controllers by global message order, which preserves UML-RT's
+observable semantics while making every run reproducible.
+
+The paper's architectural claim is precisely about controller assignment:
+event-driven capsules go on (one or more) controllers, while streamers run
+on separate *streamer threads* (:mod:`repro.core.thread`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.umlrt.signal import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.umlrt.capsule import Capsule
+
+
+class Controller:
+    """A logical thread: message queue + the capsules it serves."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.capsules: List["Capsule"] = []
+        self._queue: List[Tuple[tuple, Message, "Capsule"]] = []
+        self.dispatched = 0
+        self.enqueued = 0
+        #: messages dropped because their capsule was destroyed while
+        #: they sat in the queue
+        self.stale_dropped = 0
+        #: optional hook (message, capsule) -> None, called on dispatch
+        self.on_dispatch = None
+
+    # ------------------------------------------------------------------
+    def assign(self, capsule: "Capsule") -> None:
+        """Put ``capsule`` (and by convention its parts) on this controller."""
+        if capsule.controller is not None and capsule.controller is not self:
+            raise ValueError(
+                f"capsule {capsule.instance_name} already assigned to "
+                f"controller {capsule.controller.name}"
+            )
+        capsule.controller = self
+        if capsule not in self.capsules:
+            self.capsules.append(capsule)
+
+    def enqueue(self, capsule: "Capsule", message: Message) -> None:
+        heapq.heappush(self._queue, (message.sort_key(), message, capsule))
+        self.enqueued += 1
+
+    def peek_key(self) -> Optional[tuple]:
+        """Sort key of the most urgent pending message, or None if idle."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def dispatch_one(self) -> bool:
+        """Pop and dispatch the most urgent message.  True if one existed."""
+        if not self._queue:
+            return False
+        __, message, capsule = heapq.heappop(self._queue)
+        if capsule.runtime is None:
+            # destroyed while the message was queued (frame service)
+            self.stale_dropped += 1
+            return True
+        self.dispatched += 1
+        if self.on_dispatch is not None:
+            self.on_dispatch(message, capsule)
+        capsule._dispatch(message)
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Controller({self.name!r}, capsules={len(self.capsules)}, "
+            f"pending={self.pending})"
+        )

@@ -1,0 +1,96 @@
+"""Frame service: dynamic structure.
+
+UML-RT's frame service lets a running capsule incarnate capsules into
+``OPTIONAL`` parts, plug externally created capsules into ``PLUGIN`` parts,
+and destroy them again.  Destruction recursively tears down sub-parts,
+cancels nothing by itself (timers owned by destroyed capsules are cancelled
+by the runtime) and unlinks every port so later sends fail loudly instead
+of delivering to a dead capsule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.umlrt.capsule import Capsule, PartKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.umlrt.runtime import RTSystem
+
+
+class FrameError(Exception):
+    """Raised on illegal incarnate/destroy operations."""
+
+
+class FrameService:
+    """Runtime facade for dynamic capsule structure."""
+
+    def __init__(self, runtime: "RTSystem") -> None:
+        self._runtime = runtime
+        self.incarnated = 0
+        self.destroyed = 0
+
+    def incarnate(
+        self, parent: Capsule, part_name: str, **factory_kwargs: Any
+    ) -> Capsule:
+        """Create a capsule in an OPTIONAL part and start it immediately."""
+        part = parent.part(part_name)
+        if part.kind is not PartKind.OPTIONAL:
+            raise FrameError(
+                f"part {part_name!r} of {parent.instance_name} is "
+                f"{part.kind.value}, only optional parts can be incarnated"
+            )
+        if part.occupied:
+            raise FrameError(
+                f"part {part_name!r} of {parent.instance_name} is occupied"
+            )
+        instance = parent._incarnate_part(part, **factory_kwargs)
+        self._runtime.adopt(instance, parent.controller)
+        instance._start()
+        self.incarnated += 1
+        return instance
+
+    def plug_in(self, parent: Capsule, part_name: str, capsule: Capsule) -> None:
+        """Plug an externally created capsule into a PLUGIN part."""
+        part = parent.part(part_name)
+        if part.kind is not PartKind.PLUGIN:
+            raise FrameError(
+                f"part {part_name!r} of {parent.instance_name} is "
+                f"{part.kind.value}, only plugin parts accept plug_in"
+            )
+        if part.occupied:
+            raise FrameError(
+                f"part {part_name!r} of {parent.instance_name} is occupied"
+            )
+        if not isinstance(capsule, part.capsule_class):
+            raise FrameError(
+                f"plugin capsule must be a {part.capsule_class.__name__}, "
+                f"got {type(capsule).__name__}"
+            )
+        capsule.parent = parent
+        part.instance = capsule
+        capsule._build()
+        self._runtime.adopt(capsule, parent.controller)
+        capsule._start()
+        self.incarnated += 1
+
+    def destroy(self, parent: Capsule, part_name: str) -> None:
+        """Destroy the capsule occupying a part (recursively)."""
+        part = parent.part(part_name)
+        if part.instance is None:
+            raise FrameError(
+                f"part {part_name!r} of {parent.instance_name} is empty"
+            )
+        self._teardown(part.instance)
+        part.instance = None
+        self.destroyed += 1
+
+    def _teardown(self, capsule: Capsule) -> None:
+        for sub in capsule.parts.values():
+            if sub.instance is not None:
+                self._teardown(sub.instance)
+                sub.instance = None
+        for port in capsule.ports.values():
+            for peer in list(port.links):
+                port.unlink(peer)
+        self._runtime.abandon(capsule)

@@ -1,0 +1,214 @@
+"""Capsule ports.
+
+Ports are the only communication interface of a capsule.  An **end port**
+terminates message traffic: signals arriving at it are queued on the owning
+capsule's controller and eventually dispatched to the capsule's state
+machine.  A **relay port** merely forwards traffic between the outside of a
+capsule and one of its internal parts; it never touches the payload.
+
+A port is typed by a :class:`~repro.umlrt.protocol.ProtocolRole`; sending a
+signal the role does not declare raises :class:`PortError` at send time, and
+wiring two roles whose signal sets do not match raises at connect time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, List, Optional, Set
+
+from repro.umlrt.protocol import ProtocolRole
+from repro.umlrt.signal import Message, Priority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.umlrt.capsule import Capsule
+
+
+class PortError(Exception):
+    """Raised on illegal port usage (unknown signal, unwired send, ...)."""
+
+
+class PortKind(enum.Enum):
+    """How a port treats message traffic."""
+
+    END = "end"      #: terminates traffic at the owning capsule
+    RELAY = "relay"  #: forwards traffic between capsule boundary and a part
+
+
+class Port:
+    """One communication endpoint of a capsule instance.
+
+    Parameters
+    ----------
+    name:
+        Port name, unique within the owning capsule.
+    role:
+        The protocol role governing which signals may be sent/received.
+    kind:
+        End or relay behaviour.
+    owner:
+        The capsule instance the port belongs to (set by the capsule).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        role: ProtocolRole,
+        kind: PortKind = PortKind.END,
+        owner: Optional["Capsule"] = None,
+        replication: int = 1,
+    ) -> None:
+        if replication < 1:
+            raise PortError(
+                f"port {name!r}: replication must be >= 1, "
+                f"got {replication}"
+            )
+        self.name = name
+        self.role = role
+        self.kind = kind
+        self.owner = owner
+        #: UML-RT port multiplicity: an END port with replication N may
+        #: be wired to N peers; send() broadcasts or targets one index
+        self.replication = replication
+        self.links: List["Port"] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def link(self, other: "Port") -> None:
+        """Create a raw bidirectional link (used by Connector; not public)."""
+        if other is self:
+            raise PortError(f"cannot link port {self.qualified_name} to itself")
+        if other in self.links:
+            raise PortError(
+                f"ports {self.qualified_name} and {other.qualified_name} "
+                "are already linked"
+            )
+        max_links = (
+            2 if self.kind is PortKind.RELAY else self.replication
+        )
+        if len(self.links) >= max_links:
+            raise PortError(
+                f"port {self.qualified_name} already fully wired "
+                f"({len(self.links)} link(s))"
+            )
+        other_max = (
+            2 if other.kind is PortKind.RELAY else other.replication
+        )
+        if len(other.links) >= other_max:
+            raise PortError(
+                f"port {other.qualified_name} already fully wired "
+                f"({len(other.links)} link(s))"
+            )
+        self.links.append(other)
+        other.links.append(self)
+
+    def unlink(self, other: "Port") -> None:
+        """Remove a previously created link (frame service destroy path)."""
+        try:
+            self.links.remove(other)
+            other.links.remove(self)
+        except ValueError:
+            raise PortError(
+                f"ports {self.qualified_name} and {other.qualified_name} "
+                "are not linked"
+            ) from None
+
+    @property
+    def wired(self) -> bool:
+        return bool(self.links)
+
+    @property
+    def qualified_name(self) -> str:
+        owner = self.owner.instance_name if self.owner is not None else "<unowned>"
+        return f"{owner}.{self.name}"
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def resolve_endpoints(
+        self, from_link: Optional["Port"] = None
+    ) -> List["Port"]:
+        """Walk the relay chain from this port to the far end port(s).
+
+        Relay ports are transparent: traffic entering one side leaves the
+        other.  The walk is a BFS that never revisits a port, so relay
+        cycles terminate (and yield no endpoints).  ``from_link``
+        restricts the walk to one wired peer (indexed send on a
+        replicated port).
+        """
+        endpoints: List[Port] = []
+        seen: Set[int] = {id(self)}
+        frontier: List[Port] = (
+            list(self.links) if from_link is None else [from_link]
+        )
+        while frontier:
+            port = frontier.pop(0)
+            if id(port) in seen:
+                continue
+            seen.add(id(port))
+            if port.kind is PortKind.END:
+                endpoints.append(port)
+            else:
+                frontier.extend(
+                    nxt for nxt in port.links if id(nxt) not in seen
+                )
+        return endpoints
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        signal: str,
+        data: Any = None,
+        priority: Priority = Priority.GENERAL,
+        index: Optional[int] = None,
+    ) -> int:
+        """Send ``signal`` out of this port.
+
+        On a replicated port, ``index`` targets one wired peer (by link
+        order); ``None`` broadcasts to every resolved end port.  Returns
+        the number of end ports the message was delivered to (normally
+        1).  Sending a signal the port's role does not declare, or
+        sending from an unwired end port, raises :class:`PortError`.
+        """
+        if signal not in self.role.sends:
+            raise PortError(
+                f"port {self.qualified_name} (role {self.role.name}) cannot "
+                f"send signal {signal!r}; allowed: {sorted(self.role.sends)}"
+            )
+        if self.owner is None or self.owner.runtime is None:
+            raise PortError(
+                f"port {self.qualified_name} is not attached to a running "
+                "system"
+            )
+        if index is None:
+            endpoints = self.resolve_endpoints()
+        else:
+            if not 0 <= index < len(self.links):
+                raise PortError(
+                    f"port {self.qualified_name}: link index {index} out "
+                    f"of range (wired: {len(self.links)})"
+                )
+            endpoints = self.resolve_endpoints(self.links[index])
+        if not endpoints:
+            raise PortError(
+                f"port {self.qualified_name} is not wired to any end port"
+            )
+        runtime = self.owner.runtime
+        for endpoint in endpoints:
+            message = Message(
+                signal=signal,
+                data=data,
+                priority=priority,
+                timestamp=runtime.now,
+                port=endpoint,
+            )
+            runtime.deliver(endpoint, message)
+        return len(endpoints)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Port({self.qualified_name}, role={self.role.name}, "
+            f"kind={self.kind.value})"
+        )

@@ -1,0 +1,147 @@
+"""Protocols and protocol roles.
+
+A UML-RT *protocol* names the set of signals that may travel between two
+connected ports.  The *base* role lists signals from the point of view of
+one side (``outgoing`` are sent, ``incoming`` received); the *conjugate*
+role swaps the two sets.  A connector is well-formed only if it joins a
+base role to a conjugate role of the same protocol (or two symmetric
+protocols, where ``incoming == outgoing``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.umlrt.signal import Signal
+
+
+class ProtocolError(Exception):
+    """Raised for ill-formed protocol declarations or incompatible roles."""
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """A named, directed signal contract.
+
+    Parameters
+    ----------
+    name:
+        Protocol name; unique within a model.
+    outgoing:
+        Signals the base role sends.
+    incoming:
+        Signals the base role receives.
+    """
+
+    name: str
+    outgoing: FrozenSet[Signal] = frozenset()
+    incoming: FrozenSet[Signal] = frozenset()
+
+    @staticmethod
+    def define(
+        name: str,
+        outgoing: Iterable[str] = (),
+        incoming: Iterable[str] = (),
+    ) -> "Protocol":
+        """Convenience constructor from plain signal-name strings."""
+        out_names = list(outgoing)
+        in_names = list(incoming)
+        if len(set(out_names)) != len(out_names):
+            raise ProtocolError(f"duplicate outgoing signals in {name}")
+        if len(set(in_names)) != len(in_names):
+            raise ProtocolError(f"duplicate incoming signals in {name}")
+        return Protocol(
+            name=name,
+            outgoing=frozenset(Signal(n) for n in out_names),
+            incoming=frozenset(Signal(n) for n in in_names),
+        )
+
+    @property
+    def outgoing_names(self) -> FrozenSet[str]:
+        return frozenset(s.name for s in self.outgoing)
+
+    @property
+    def incoming_names(self) -> FrozenSet[str]:
+        return frozenset(s.name for s in self.incoming)
+
+    def is_symmetric(self) -> bool:
+        """A symmetric protocol is its own conjugate."""
+        return self.outgoing == self.incoming
+
+    def base(self) -> "ProtocolRole":
+        return ProtocolRole(self, conjugated=False)
+
+    def conjugate(self) -> "ProtocolRole":
+        return ProtocolRole(self, conjugated=True)
+
+
+@dataclass(frozen=True)
+class ProtocolRole:
+    """A protocol viewed from one end: base or conjugate."""
+
+    protocol: Protocol
+    conjugated: bool = False
+
+    @property
+    def name(self) -> str:
+        suffix = "~" if self.conjugated else ""
+        return f"{self.protocol.name}{suffix}"
+
+    @property
+    def sends(self) -> FrozenSet[str]:
+        """Signal names this role is allowed to send."""
+        if self.conjugated:
+            return self.protocol.incoming_names
+        return self.protocol.outgoing_names
+
+    @property
+    def receives(self) -> FrozenSet[str]:
+        """Signal names this role is allowed to receive."""
+        if self.conjugated:
+            return self.protocol.outgoing_names
+        return self.protocol.incoming_names
+
+    def conjugate(self) -> "ProtocolRole":
+        return ProtocolRole(self.protocol, conjugated=not self.conjugated)
+
+    def compatible_with(self, other: "ProtocolRole") -> bool:
+        """Two roles may be wired iff each side's sends ⊆ the peer's receives.
+
+        The usual case is base↔conjugate of the same protocol; the subset
+        formulation additionally admits structurally compatible protocols,
+        which the paper's flow-type rule (W1) mirrors on the dataflow side.
+        """
+        return self.sends <= other.receives and other.sends <= self.receives
+
+
+class ProtocolRegistry:
+    """A model-wide registry enforcing unique protocol names."""
+
+    def __init__(self) -> None:
+        self._protocols: Dict[str, Protocol] = {}
+
+    def register(self, protocol: Protocol) -> Protocol:
+        existing = self._protocols.get(protocol.name)
+        if existing is not None and existing != protocol:
+            raise ProtocolError(
+                f"protocol {protocol.name!r} already registered with a "
+                "different signature"
+            )
+        self._protocols[protocol.name] = protocol
+        return protocol
+
+    def get(self, name: str) -> Protocol:
+        try:
+            return self._protocols[name]
+        except KeyError:
+            raise ProtocolError(f"unknown protocol {name!r}") from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._protocols))
+
+    def __len__(self) -> int:
+        return len(self._protocols)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._protocols

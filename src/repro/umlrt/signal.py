@@ -1,0 +1,92 @@
+"""Signals and messages.
+
+In UML-RT all inter-capsule communication is asynchronous message passing.
+A *signal* is the static declaration (a name plus an optional payload
+contract); a *message* is a signal instance in flight, carrying payload
+data, a priority, a timestamp and the port it arrived on.
+
+Priorities follow the ROOM service library: ``PANIC`` preempts everything,
+``BACKGROUND`` runs only when nothing else is pending.  Within one priority
+messages are dispatched in FIFO order, which together with the logical
+clock of :class:`repro.umlrt.runtime.RTSystem` makes runs deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Priority(enum.IntEnum):
+    """Message dispatch priority, highest value dispatched first.
+
+    The five levels mirror the ROOM/ObjecTime service library.  Timer
+    timeout messages are delivered at ``HIGH`` by default so that timing
+    behaviour degrades gracefully under load.
+    """
+
+    BACKGROUND = 0
+    LOW = 1
+    GENERAL = 2
+    HIGH = 3
+    PANIC = 4
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A named signal declaration.
+
+    Parameters
+    ----------
+    name:
+        Signal name, unique within its protocol.
+    payload_doc:
+        Optional human-readable description of the expected payload.
+    """
+
+    name: str
+    payload_doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(f"invalid signal name: {self.name!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+_MESSAGE_SEQ = itertools.count()
+
+
+@dataclass
+class Message:
+    """A signal instance in flight.
+
+    Messages are ordered by ``(-priority, timestamp, seq)``: higher priority
+    first, then earlier logical delivery time, then send order.  ``seq`` is a
+    process-wide monotone counter that breaks all remaining ties, so message
+    ordering is a strict total order and runs are reproducible.
+    """
+
+    signal: str
+    data: Any = None
+    priority: Priority = Priority.GENERAL
+    timestamp: float = 0.0
+    port: Optional[Any] = None  # receiving Port, set on delivery
+    seq: int = field(default_factory=lambda: next(_MESSAGE_SEQ))
+
+    def sort_key(self) -> tuple:
+        return (-int(self.priority), self.timestamp, self.seq)
+
+    def is_timeout(self) -> bool:
+        """True if this message is a timing-service timeout."""
+        return self.signal == TIMEOUT_SIGNAL.name
+
+
+#: Distinguished signal delivered by the timing service.
+TIMEOUT_SIGNAL = Signal("timeout", "timing service expiry; data = TimerHandle")
+
+#: Distinguished signal delivered to a capsule when it is incarnated.
+INIT_SIGNAL = Signal("rtBound", "frame service initialisation")

@@ -1,0 +1,604 @@
+"""Hierarchical state machines with run-to-completion semantics.
+
+This module implements the behavioural formalism of UML-RT capsules:
+statecharts with composite states, entry/exit actions, guarded transitions
+triggered by ``(port, signal)`` pairs, initial transitions, shallow and deep
+history, and choice points.
+
+Execution follows UML-RT's **run-to-completion** (RTC) rule: one message is
+consumed, at most one compound transition fires, and all its actions run to
+completion before the next message is dispatched.  It is exactly this rule
+that makes time-continuous behaviour infeasible inside capsule actions and
+motivates the paper's streamer extension (see :mod:`repro.core`).
+
+The machine is defined declaratively::
+
+    sm = StateMachine("heater")
+    off = sm.add_state("off")
+    on = sm.add_state("on")
+    sm.initial("off")
+    sm.add_transition("off", "on", trigger=("ctrl", "enable"))
+    sm.add_transition("on", "off", trigger=("ctrl", "disable"))
+
+Actions and guards are callables ``(capsule, message) -> ...`` so the same
+machine class can drive many capsule instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.umlrt.signal import Message
+
+Action = Callable[[Any, Optional[Message]], None]
+Guard = Callable[[Any, Optional[Message]], bool]
+Trigger = Tuple[Optional[str], str]  # (port name or None = any port, signal)
+
+
+class StateMachineError(Exception):
+    """Raised for ill-formed machines or illegal runtime operations."""
+
+
+class State:
+    """A state, possibly composite (with substates) and/or with history.
+
+    Parameters
+    ----------
+    name:
+        State name, unique among siblings.
+    parent:
+        Enclosing composite state, or ``None`` for the implicit root.
+    entry / exit:
+        Optional actions run when the state is entered / left.
+    history:
+        ``None`` (no history), ``"shallow"`` (re-enter last direct substate)
+        or ``"deep"`` (re-enter last innermost configuration).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional["State"] = None,
+        entry: Optional[Action] = None,
+        exit: Optional[Action] = None,
+        history: Optional[str] = None,
+        defer: Sequence[str] = (),
+    ) -> None:
+        if history not in (None, "shallow", "deep"):
+            raise StateMachineError(f"invalid history mode: {history!r}")
+        self.name = name
+        self.parent = parent
+        self.entry = entry
+        self.exit = exit
+        self.history = history
+        #: signal names deferred while this state is active (ROOM
+        #: defer/recall): matching messages are parked and re-dispatched
+        #: after the next state change
+        self.defer = frozenset(defer)
+        self.substates: Dict[str, "State"] = {}
+        self.initial_target: Optional[str] = None
+        self.initial_action: Optional[Action] = None
+        self.transitions: List["Transition"] = []
+        self._last_active: Optional[str] = None  # direct substate name
+
+    # -- structure ------------------------------------------------------
+    def add_substate(self, state: "State") -> "State":
+        if state.name in self.substates:
+            raise StateMachineError(
+                f"duplicate substate {state.name!r} in {self.path()}"
+            )
+        state.parent = self
+        self.substates[state.name] = state
+        return state
+
+    @property
+    def is_composite(self) -> bool:
+        return bool(self.substates)
+
+    def path(self) -> str:
+        """Dotted path from the root, e.g. ``"running.heating"``."""
+        parts: List[str] = []
+        node: Optional[State] = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return ".".join(reversed(parts)) or "<root>"
+
+    def ancestors(self) -> List["State"]:
+        """Chain from this state up to (and excluding) the root."""
+        chain: List[State] = []
+        node = self.parent
+        while node is not None and node.parent is not None:
+            chain.append(node)
+            node = node.parent
+        return chain
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"State({self.path()})"
+
+
+class ChoicePoint:
+    """A dynamic branch point: guards are evaluated when it is reached."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.branches: List[Tuple[Optional[Guard], str, Optional[Action]]] = []
+
+    def add_branch(
+        self,
+        target: str,
+        guard: Optional[Guard] = None,
+        action: Optional[Action] = None,
+    ) -> "ChoicePoint":
+        """Add a branch; a ``None`` guard is the *else* branch."""
+        self.branches.append((guard, target, action))
+        return self
+
+    def select(self, capsule: Any, message: Optional[Message]) -> Tuple[str, Optional[Action]]:
+        else_branch: Optional[Tuple[str, Optional[Action]]] = None
+        for guard, target, action in self.branches:
+            if guard is None:
+                else_branch = (target, action)
+            elif guard(capsule, message):
+                return target, action
+        if else_branch is None:
+            raise StateMachineError(
+                f"choice point {self.name!r}: no branch enabled and no else"
+            )
+        return else_branch
+
+
+class Transition:
+    """A transition between states (or into a choice point).
+
+    ``triggers`` is a sequence of ``(port, signal)`` pairs; a ``None`` port
+    matches a signal arriving on any port.  ``internal=True`` transitions
+    execute their action without exiting/entering any state.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        target: Optional[str],
+        triggers: Sequence[Trigger] = (),
+        guard: Optional[Guard] = None,
+        action: Optional[Action] = None,
+        internal: bool = False,
+    ) -> None:
+        if internal and target is not None and target != source:
+            raise StateMachineError(
+                "internal transitions may not change state"
+            )
+        if not internal and target is None:
+            raise StateMachineError("external transitions need a target")
+        self.source = source
+        self.target = target if not internal else source
+        self.triggers = list(triggers)
+        self.guard = guard
+        self.action = action
+        self.internal = internal
+
+    def matches(self, message: Message) -> bool:
+        port_name = message.port.name if message.port is not None else None
+        for trig_port, trig_signal in self.triggers:
+            if trig_signal != message.signal:
+                continue
+            if trig_port is None or trig_port == port_name:
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "internal " if self.internal else ""
+        return f"Transition({kind}{self.source} -> {self.target})"
+
+
+class StateMachine:
+    """A hierarchical state machine executed under RTC semantics.
+
+    One machine object holds the static structure; the *current
+    configuration* (active leaf state, history slots) also lives here, so
+    create one machine per capsule instance (capsules do this via their
+    ``build_behaviour`` hook).
+    """
+
+    def __init__(self, name: str = "sm") -> None:
+        self.name = name
+        self.root = State("<root>")
+        self.choice_points: Dict[str, ChoicePoint] = {}
+        self._states: Dict[str, State] = {}
+        self.active: Optional[State] = None
+        self.started = False
+        #: ordered trace of (kind, detail) events, for tests and debugging
+        self.trace: List[Tuple[str, str]] = []
+        self.trace_enabled = False
+        self.rtc_steps = 0
+        self.dropped_messages = 0
+        self.deferred_messages = 0
+        self._deferred: List[Message] = []
+        self._recalled: List[Message] = []
+
+    # ------------------------------------------------------------------
+    # construction API
+    # ------------------------------------------------------------------
+    def add_state(
+        self,
+        path: str,
+        entry: Optional[Action] = None,
+        exit: Optional[Action] = None,
+        history: Optional[str] = None,
+        defer: Sequence[str] = (),
+    ) -> State:
+        """Add a state at dotted ``path``; parents must already exist."""
+        if path in self._states:
+            raise StateMachineError(f"duplicate state {path!r}")
+        if "." in path:
+            parent_path, name = path.rsplit(".", 1)
+            parent = self.state(parent_path)
+        else:
+            parent, name = self.root, path
+        state = State(name, entry=entry, exit=exit, history=history,
+                      defer=defer)
+        parent.add_substate(state)
+        self._states[path] = state
+        return state
+
+    def add_choice(self, name: str) -> ChoicePoint:
+        if name in self.choice_points or name in self._states:
+            raise StateMachineError(f"duplicate choice point {name!r}")
+        point = ChoicePoint(name)
+        self.choice_points[name] = point
+        return point
+
+    def state(self, path: str) -> State:
+        try:
+            return self._states[path]
+        except KeyError:
+            raise StateMachineError(f"unknown state {path!r}") from None
+
+    def initial(
+        self,
+        target: str,
+        composite: Optional[str] = None,
+        action: Optional[Action] = None,
+    ) -> None:
+        """Set the initial transition of the root (or of ``composite``)."""
+        holder = self.root if composite is None else self.state(composite)
+        self.state(target)  # validate early
+        holder.initial_target = target
+        holder.initial_action = action
+
+    def add_transition(
+        self,
+        source: str,
+        target: Optional[str] = None,
+        trigger: Optional[Union[Trigger, Sequence[Trigger]]] = None,
+        guard: Optional[Guard] = None,
+        action: Optional[Action] = None,
+        internal: bool = False,
+    ) -> Transition:
+        """Declare a transition from state ``source``.
+
+        ``trigger`` may be one ``(port, signal)`` pair, a plain signal name
+        (matching any port), or a sequence of pairs.
+        """
+        triggers: List[Trigger]
+        if trigger is None:
+            triggers = []
+        elif isinstance(trigger, str):
+            triggers = [(None, trigger)]
+        elif isinstance(trigger, tuple) and len(trigger) == 2 and all(
+            isinstance(item, (str, type(None))) for item in trigger
+        ):
+            triggers = [trigger]  # type: ignore[list-item]
+        else:
+            triggers = list(trigger)  # type: ignore[arg-type]
+        source_state = self.state(source)
+        if target is not None and target not in self._states and (
+            target not in self.choice_points
+        ):
+            raise StateMachineError(f"unknown transition target {target!r}")
+        transition = Transition(
+            source, target, triggers, guard, action, internal
+        )
+        source_state.transitions.append(transition)
+        return transition
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start(self, capsule: Any) -> None:
+        """Enter the initial configuration (runs entry actions)."""
+        if self.started:
+            raise StateMachineError("state machine already started")
+        if self.root.initial_target is None:
+            raise StateMachineError(
+                f"machine {self.name!r} has no initial transition"
+            )
+        self.started = True
+        if self.root.initial_action is not None:
+            self.root.initial_action(capsule, None)
+        self._enter_target(self.root.initial_target, capsule, None)
+
+    def dispatch(self, capsule: Any, message: Message) -> bool:
+        """One RTC step: consume ``message``, fire at most one transition.
+
+        Returns True if a transition fired; unhandled messages are counted
+        in :attr:`dropped_messages` and dropped, matching UML-RT semantics.
+        """
+        if not self.started or self.active is None:
+            raise StateMachineError("dispatch before start()")
+        self.rtc_steps += 1
+        state: Optional[State] = self.active
+        while state is not None and state.parent is not None:
+            for transition in state.transitions:
+                if not transition.matches(message):
+                    continue
+                if transition.guard is not None and not transition.guard(
+                    capsule, message
+                ):
+                    continue
+                self._fire(state, transition, capsule, message)
+                if not transition.internal and self._deferred:
+                    # state changed: recall parked messages (ROOM defer)
+                    self._recalled.extend(self._deferred)
+                    self._deferred.clear()
+                return True
+            if message.signal in state.defer:
+                # inner transitions beat deferral; outer ones do not
+                self._deferred.append(message)
+                self.deferred_messages += 1
+                self._note("defer", message.signal)
+                return False
+            state = state.parent
+        self.dropped_messages += 1
+        self._note("drop", message.signal)
+        return False
+
+    def take_recalled(self) -> List[Message]:
+        """Messages recalled by the last state change (caller re-enqueues)."""
+        recalled, self._recalled = self._recalled, []
+        return recalled
+
+    @property
+    def active_path(self) -> Optional[str]:
+        return self.active.path() if self.active is not None else None
+
+    def in_state(self, path: str) -> bool:
+        """True if ``path`` is the active leaf or one of its ancestors."""
+        if self.active is None:
+            return False
+        if self.active.path() == path:
+            return True
+        return any(anc.path() == path for anc in self.active.ancestors())
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _note(self, kind: str, detail: str) -> None:
+        if self.trace_enabled:
+            self.trace.append((kind, detail))
+
+    def _fire(
+        self,
+        source_state: State,
+        transition: Transition,
+        capsule: Any,
+        message: Optional[Message],
+    ) -> None:
+        if transition.internal:
+            self._note("internal", source_state.path())
+            if transition.action is not None:
+                transition.action(capsule, message)
+            return
+        assert transition.target is not None
+        target_name, pending_actions = self._resolve_choices(
+            transition.target, capsule, message
+        )
+        target = self.state(target_name)
+        lca = self._lowest_common_ancestor(source_state, target)
+        self._exit_until(lca, capsule, message)
+        self._note("fire", f"{source_state.path()} -> {target.path()}")
+        if transition.action is not None:
+            transition.action(capsule, message)
+        for extra in pending_actions:
+            extra(capsule, message)
+        self._enter_from(lca, target, capsule, message)
+
+    def _resolve_choices(
+        self, target: str, capsule: Any, message: Optional[Message]
+    ) -> Tuple[str, List[Action]]:
+        """Follow chained choice points to a concrete state target."""
+        actions: List[Action] = []
+        seen: List[str] = []
+        while target in self.choice_points:
+            if target in seen:
+                raise StateMachineError(
+                    f"choice point cycle through {target!r}"
+                )
+            seen.append(target)
+            target, action = self.choice_points[target].select(
+                capsule, message
+            )
+            if action is not None:
+                actions.append(action)
+        if target not in self._states:
+            raise StateMachineError(f"unknown choice target {target!r}")
+        return target, actions
+
+    @staticmethod
+    def _lowest_common_ancestor(a: State, b: State) -> State:
+        """Deepest *proper* common ancestor of ``a`` and ``b``.
+
+        For a self-transition this is the parent (so the state exits and
+        re-enters, running its exit/entry actions, per UML-RT semantics).
+        """
+
+        def chain(state: State) -> List[State]:
+            out = [state]
+            node = state.parent
+            while node is not None:
+                out.append(node)
+                node = node.parent
+            return out
+
+        a_chain = chain(a)
+        b_ids = {id(s) for s in chain(b)}
+        for candidate in a_chain:
+            if (
+                id(candidate) in b_ids
+                and candidate is not a
+                and candidate is not b
+            ):
+                return candidate
+        return a_chain[-1]  # the root
+
+    def _exit_until(
+        self, boundary: State, capsule: Any, message: Optional[Message]
+    ) -> None:
+        """Exit from the active leaf up to (excluding) ``boundary``."""
+        node = self.active
+        while node is not None and node is not boundary:
+            if node.parent is not None:
+                node.parent._last_active = node.name
+            if node.exit is not None:
+                node.exit(capsule, message)
+            self._note("exit", node.path())
+            node = node.parent
+        self.active = None
+
+    def _enter_from(
+        self,
+        boundary: State,
+        target: State,
+        capsule: Any,
+        message: Optional[Message],
+    ) -> None:
+        """Enter from ``boundary`` down into ``target``, then drill to a leaf."""
+        chain: List[State] = []
+        node: Optional[State] = target
+        while node is not None and node is not boundary:
+            chain.append(node)
+            node = node.parent
+        for state in reversed(chain):
+            if state.entry is not None:
+                state.entry(capsule, message)
+            self._note("enter", state.path())
+        self._drill_down(target, capsule, message)
+
+    def _enter_target(
+        self, target_name: str, capsule: Any, message: Optional[Message]
+    ) -> None:
+        target, actions = self._resolve_choices(target_name, capsule, message)
+        for action in actions:
+            action(capsule, message)
+        state = self.state(target)
+        chain = [state] + state.ancestors()
+        for node in reversed(chain):
+            if node.entry is not None:
+                node.entry(capsule, message)
+            self._note("enter", node.path())
+        self._drill_down(state, capsule, message)
+
+    def _drill_down(
+        self, state: State, capsule: Any, message: Optional[Message]
+    ) -> None:
+        """From a composite state, follow history/initial to a leaf."""
+        node = state
+        deep = False
+        while node.is_composite:
+            next_name: Optional[str] = None
+            if (node.history is not None or deep) and node._last_active:
+                next_name = node._last_active
+                deep = deep or node.history == "deep"
+            elif node.initial_target is not None:
+                # composite initial targets are paths relative to root
+                if node.initial_action is not None:
+                    node.initial_action(capsule, message)
+                target = self.state(node.initial_target)
+                if target.parent is not node:
+                    raise StateMachineError(
+                        f"initial target {node.initial_target!r} is not a "
+                        f"direct substate of {node.path()}"
+                    )
+                next_name = target.name
+            else:
+                raise StateMachineError(
+                    f"composite state {node.path()} entered without initial "
+                    "transition or history"
+                )
+            child = node.substates[next_name]
+            if child.entry is not None:
+                child.entry(capsule, message)
+            self._note("enter", child.path())
+            node = child
+        self.active = node
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def all_states(self) -> List[str]:
+        return sorted(self._states)
+
+    def transition_count(self) -> int:
+        return sum(len(s.transitions) for s in self._states.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StateMachine({self.name!r}, states={len(self._states)}, "
+            f"active={self.active_path})"
+        )
+
+
+def add_timeout_transition(
+    machine: StateMachine,
+    source: str,
+    delay: float,
+    target: str,
+    action: Optional[Action] = None,
+) -> Transition:
+    """Add a state-scoped timeout: ``source --(after delay)--> target``.
+
+    The classic UML-RT idiom made convenient: entering ``source`` starts
+    a one-shot timer (on the capsule's implicit ``timer`` port), leaving
+    ``source`` for any reason cancels it, and the timeout message — and
+    only *this* state's timeout, distinguished by a marker in the message
+    payload — fires the transition.  Composes with user entry/exit
+    actions already set on the state.
+    """
+    state = machine.state(source)
+    marker = f"__state_timeout__:{machine.name}:{source}"
+    handles_attr = f"_timeout_handles_{id(machine)}"
+
+    previous_entry = state.entry
+    previous_exit = state.exit
+
+    def entry(capsule: Any, message: Optional[Message]) -> None:
+        if previous_entry is not None:
+            previous_entry(capsule, message)
+        handles = getattr(capsule, handles_attr, None)
+        if handles is None:
+            handles = {}
+            setattr(capsule, handles_attr, handles)
+        handles[source] = capsule.inform_in(delay, data=marker)
+
+    def exit(capsule: Any, message: Optional[Message]) -> None:
+        handles = getattr(capsule, handles_attr, {})
+        handle = handles.pop(source, None)
+        if handle is not None:
+            handle.cancel()
+        if previous_exit is not None:
+            previous_exit(capsule, message)
+
+    def is_this_timeout(capsule: Any, message: Optional[Message]) -> bool:
+        return (
+            message is not None
+            and isinstance(message.data, tuple)
+            and message.data[0] == marker
+        )
+
+    state.entry = entry
+    state.exit = exit
+    return machine.add_transition(
+        source, target, trigger=("timer", "timeout"),
+        guard=is_this_timeout, action=action,
+    )

@@ -1,0 +1,156 @@
+"""Timing service.
+
+UML-RT capsules obtain time through a timing service that delivers
+``timeout`` messages to a timing port.  The paper points out that "timing
+in UML-RT is unpredictable": timeouts are queued like any other message,
+so their delivery jitter depends on queue load.  This implementation
+reproduces that behaviour faithfully — expiry inserts a ``timeout``
+message into the capsule's controller queue at ``HIGH`` priority, and the
+message is dispatched whenever the controller gets to it.  Benchmark C3
+measures this jitter against the extension's continuous Time service
+(:mod:`repro.core.timeservice`).
+
+Timers run on the runtime's logical clock, so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from repro.umlrt.signal import TIMEOUT_SIGNAL, Message, Priority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.umlrt.capsule import Capsule
+    from repro.umlrt.runtime import RTSystem
+
+
+class TimingError(Exception):
+    """Raised for invalid timer operations."""
+
+
+_HANDLE_SEQ = itertools.count()
+
+
+class TimerHandle:
+    """A scheduled (possibly periodic) timeout.
+
+    Attributes
+    ----------
+    capsule:
+        Destination capsule; the timeout arrives on its ``timer`` port.
+    expiry:
+        Next expiry on the logical clock.
+    period:
+        Repetition period, or ``None`` for one-shot timers.
+    data:
+        User payload echoed in the timeout message (the handle itself is
+        also reachable via ``message.data[1]``).
+    """
+
+    def __init__(
+        self,
+        capsule: "Capsule",
+        expiry: float,
+        period: Optional[float],
+        data: Any,
+    ) -> None:
+        self.capsule = capsule
+        self.expiry = expiry
+        self.period = period
+        self.data = data
+        self.cancelled = False
+        self.fired = 0
+        self.seq = next(_HANDLE_SEQ)
+
+    def cancel(self) -> None:
+        """Cancel the timer; pending expiries are discarded."""
+        self.cancelled = True
+
+    @property
+    def periodic(self) -> bool:
+        return self.period is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = f"every {self.period}" if self.periodic else "one-shot"
+        return (
+            f"TimerHandle({self.capsule.instance_name}, {kind}, "
+            f"next={self.expiry}, fired={self.fired})"
+        )
+
+
+class TimingService:
+    """Calendar of pending timers on the runtime's logical clock."""
+
+    def __init__(self, runtime: "RTSystem") -> None:
+        self._runtime = runtime
+        self._calendar: List[Tuple[float, int, TimerHandle]] = []
+        self.timeouts_delivered = 0
+
+    # ------------------------------------------------------------------
+    # scheduling API
+    # ------------------------------------------------------------------
+    def inform_in(
+        self, capsule: "Capsule", delay: float, data: Any = None
+    ) -> TimerHandle:
+        """Deliver one ``timeout`` to ``capsule`` after ``delay`` time units."""
+        if delay < 0:
+            raise TimingError(f"negative delay: {delay}")
+        handle = TimerHandle(capsule, self._runtime.now + delay, None, data)
+        heapq.heappush(self._calendar, (handle.expiry, handle.seq, handle))
+        return handle
+
+    def inform_every(
+        self, capsule: "Capsule", period: float, data: Any = None
+    ) -> TimerHandle:
+        """Deliver ``timeout`` to ``capsule`` every ``period`` time units."""
+        if period <= 0:
+            raise TimingError(f"non-positive period: {period}")
+        handle = TimerHandle(capsule, self._runtime.now + period, period, data)
+        heapq.heappush(self._calendar, (handle.expiry, handle.seq, handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # runtime integration
+    # ------------------------------------------------------------------
+    def next_expiry(self) -> Optional[float]:
+        """Earliest non-cancelled expiry, or None if the calendar is empty."""
+        self._prune()
+        if not self._calendar:
+            return None
+        return self._calendar[0][0]
+
+    def fire_due(self, now: float) -> int:
+        """Deliver timeout messages for every timer due at or before ``now``."""
+        fired = 0
+        while self._calendar and self._calendar[0][0] <= now:
+            expiry, __, handle = heapq.heappop(self._calendar)
+            if handle.cancelled:
+                continue
+            handle.fired += 1
+            fired += 1
+            self.timeouts_delivered += 1
+            port = handle.capsule.port("timer")
+            message = Message(
+                signal=TIMEOUT_SIGNAL.name,
+                data=(handle.data, handle),
+                priority=Priority.HIGH,
+                timestamp=expiry,
+                port=port,
+            )
+            self._runtime.deliver(port, message)
+            if handle.periodic and not handle.cancelled:
+                handle.expiry = expiry + handle.period  # drift-free
+                heapq.heappush(
+                    self._calendar, (handle.expiry, handle.seq, handle)
+                )
+        return fired
+
+    def pending(self) -> int:
+        self._prune()
+        return len(self._calendar)
+
+    def _prune(self) -> None:
+        while self._calendar and self._calendar[0][2].cancelled:
+            heapq.heappop(self._calendar)

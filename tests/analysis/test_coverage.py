@@ -1,0 +1,94 @@
+"""State-machine coverage analysis."""
+
+import pytest
+
+from repro.analysis import coverage_of, render_coverage
+from repro.analysis.coverage import CoverageError
+from repro.umlrt.signal import Message
+from repro.umlrt.statemachine import StateMachine
+
+
+class FakePort:
+    def __init__(self, name="p"):
+        self.name = name
+
+
+def msg(signal):
+    return Message(signal, port=FakePort())
+
+
+class Ctx:
+    pass
+
+
+def three_state_machine():
+    sm = StateMachine("traffic")
+    sm.trace_enabled = True
+    sm.add_state("red")
+    sm.add_state("green")
+    sm.add_state("amber")
+    sm.initial("red")
+    sm.add_transition("red", "green", trigger="go")
+    sm.add_transition("green", "amber", trigger="caution")
+    sm.add_transition("amber", "red", trigger="stop")
+    sm.add_transition("green", trigger="tick", internal=True)
+    return sm
+
+
+class TestCoverage:
+    def test_requires_tracing(self):
+        sm = three_state_machine()
+        sm.trace_enabled = False
+        with pytest.raises(CoverageError):
+            coverage_of(sm)
+
+    def test_initial_state_counts(self):
+        sm = three_state_machine()
+        sm.start(Ctx())
+        report = coverage_of(sm)
+        assert report.states_visited == {"red"}
+        assert report.state_coverage == pytest.approx(1.0 / 3.0)
+
+    def test_full_cycle_full_coverage(self):
+        sm = three_state_machine()
+        ctx = Ctx()
+        sm.start(ctx)
+        for signal in ("go", "tick", "caution", "stop"):
+            sm.dispatch(ctx, msg(signal))
+        report = coverage_of(sm)
+        assert report.state_coverage == 1.0
+        assert report.transition_coverage == 1.0
+        assert ("red", "green") in report.transitions_fired
+        assert "green" in report.internal_fired
+
+    def test_partial_transition_coverage(self):
+        sm = three_state_machine()
+        ctx = Ctx()
+        sm.start(ctx)
+        sm.dispatch(ctx, msg("go"))
+        report = coverage_of(sm)
+        assert report.transition_coverage == pytest.approx(0.25)
+        assert report.unvisited_states(sm) == ["amber"]
+
+    def test_render(self):
+        sm = three_state_machine()
+        sm.start(Ctx())
+        text = render_coverage(sm)
+        assert "1/3" in text
+        assert "never entered: amber, green" in text
+
+    def test_hierarchical_coverage(self):
+        sm = StateMachine("h")
+        sm.trace_enabled = True
+        sm.add_state("top")
+        sm.add_state("top.a")
+        sm.add_state("top.b")
+        sm.initial("top")
+        sm.initial("top.a", composite="top")
+        sm.add_transition("top.a", "top.b", trigger="next")
+        ctx = Ctx()
+        sm.start(ctx)
+        sm.dispatch(ctx, msg("next"))
+        report = coverage_of(sm)
+        assert report.states_visited == {"top", "top.a", "top.b"}
+        assert report.state_coverage == 1.0

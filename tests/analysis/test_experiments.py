@@ -1,0 +1,123 @@
+"""Parameter-sweep experiment runner."""
+
+import pytest
+
+from repro.analysis import best_run, grid_points, render_sweep, sweep
+from repro.analysis.experiments import ExperimentError
+from repro.analysis.metrics import step_metrics
+from repro.core.model import HybridModel
+from repro.dataflow import Diagram, FirstOrderLag, PID, Step, Sum
+
+
+def make_loop(kp: float, ki: float) -> HybridModel:
+    d = Diagram("loop")
+    d.add(Step("ref", amplitude=1.0))
+    d.add(Sum("err", signs="+-"))
+    d.add(PID("pid", kp=kp, ki=ki, tf=0.5))
+    d.add(FirstOrderLag("plant", tau=0.5))
+    d.connect("ref.out", "err.in1")
+    d.connect("plant.out", "err.in2")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "plant.in")
+    d.finalise()
+    model = HybridModel("loop")
+    model.default_thread.h = 0.005
+    model.add_streamer(d)
+    model.add_probe("y", d.port_at("plant.out"))
+    return model
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        points = grid_points({"a": [1, 2], "b": ["x", "y", "z"]})
+        assert len(points) == 6
+        assert {"a": 2, "b": "z"} in points
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ExperimentError):
+            grid_points({})
+        with pytest.raises(ExperimentError):
+            grid_points({"a": []})
+
+
+class TestSweep:
+    def metrics(self):
+        return {
+            "final": lambda m: float(m.probe("y").y_final[0]),
+            "err": lambda m: abs(1.0 - float(m.probe("y").y_final[0])),
+            "rise": lambda m: step_metrics(m.probe("y"), 1.0).rise_time,
+            "settle": lambda m: step_metrics(
+                m.probe("y"), 1.0
+            ).settling_time,
+        }
+
+    def test_all_points_run(self):
+        runs = sweep(
+            make_loop, {"kp": [1.0, 4.0], "ki": [1.0]},
+            until=8.0, metrics=self.metrics(), sync_interval=0.05,
+        )
+        assert len(runs) == 2
+        assert all(run.ok for run in runs)
+        assert all("final" in run.metrics for run in runs)
+
+    def test_higher_gain_smaller_ss_error(self):
+        """P-only control: ss error = 1/(1+kp), monotone in kp."""
+        runs = sweep(
+            make_loop, {"kp": [0.5, 4.0], "ki": [0.0]},
+            until=10.0, metrics=self.metrics(), sync_interval=0.05,
+        )
+        low = [r for r in runs if r.params["kp"] == 0.5][0]
+        high = [r for r in runs if r.params["kp"] == 4.0][0]
+        assert high.metrics["err"] < low.metrics["err"]
+        assert low.metrics["err"] == pytest.approx(1.0 / 1.5, abs=0.01)
+
+    def test_best_run_selection(self):
+        runs = sweep(
+            make_loop, {"kp": [0.5, 2.0, 4.0], "ki": [0.0]},
+            until=10.0, metrics=self.metrics(), sync_interval=0.05,
+        )
+        winner = best_run(runs, "err", minimise=True)
+        assert winner.params["kp"] == 4.0
+
+    def test_failures_recorded_not_raised(self):
+        def broken_factory(kp, ki):
+            raise RuntimeError("boom")
+
+        runs = sweep(
+            broken_factory, {"kp": [1.0], "ki": [1.0]},
+            until=1.0, metrics={},
+        )
+        assert not runs[0].ok
+        assert "boom" in runs[0].error
+
+    def test_keep_going_false_raises(self):
+        def broken_factory(kp, ki):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            sweep(
+                broken_factory, {"kp": [1.0], "ki": [1.0]},
+                until=1.0, metrics={}, keep_going=False,
+            )
+
+    def test_best_run_skips_nones(self):
+        runs = sweep(
+            make_loop, {"kp": [0.01, 19.0], "ki": [0.0]},
+            until=10.0, metrics=self.metrics(), sync_interval=0.05,
+        )
+        # kp=0.01 tops out at ~0.01: never crosses 90% -> rise is None
+        weak = [r for r in runs if r.params["kp"] == 0.01][0]
+        assert weak.metrics["rise"] is None
+        winner = best_run(runs, "rise")
+        assert winner.params["kp"] == 19.0
+
+    def test_render(self):
+        runs = sweep(
+            make_loop, {"kp": [1.0], "ki": [1.0]},
+            until=5.0, metrics=self.metrics(), sync_interval=0.05,
+        )
+        table = render_sweep(runs)
+        assert "kp" in table and "settle" in table and "ok" in table
+
+    def test_render_empty(self):
+        assert render_sweep([]) == "(empty sweep)"

@@ -1,0 +1,119 @@
+"""Control metrics: step responses, integral criteria, comparisons."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_trajectories, iae, ise, itae, step_metrics
+from repro.solvers.history import Trajectory
+
+
+def first_order_step(tau=1.0, target=1.0, t_end=8.0, dt=0.001):
+    trajectory = Trajectory(labels=["y"])
+    steps = int(t_end / dt) + 1
+    for k in range(steps):
+        t = k * dt
+        trajectory.append(t, [target * (1.0 - math.exp(-t / tau))])
+    return trajectory
+
+
+def underdamped_step(omega=2.0, zeta=0.3, t_end=15.0, dt=0.001):
+    """Analytic underdamped second-order step response."""
+    trajectory = Trajectory(labels=["y"])
+    wd = omega * math.sqrt(1 - zeta ** 2)
+    phi = math.acos(zeta)
+    steps = int(t_end / dt) + 1
+    for k in range(steps):
+        t = k * dt
+        y = 1.0 - math.exp(-zeta * omega * t) * math.sin(
+            wd * t + phi
+        ) / math.sqrt(1 - zeta ** 2)
+        trajectory.append(t, [y])
+    return trajectory
+
+
+class TestStepMetrics:
+    def test_first_order_rise_time(self):
+        metrics = step_metrics(first_order_step(tau=1.0), target=1.0)
+        # 10->90% rise of a first-order lag = tau * ln(9)
+        assert metrics.rise_time == pytest.approx(math.log(9.0), abs=0.01)
+
+    def test_first_order_settling(self):
+        metrics = step_metrics(first_order_step(tau=1.0), target=1.0)
+        assert metrics.settling_time == pytest.approx(
+            math.log(50.0), abs=0.05
+        )
+
+    def test_first_order_no_overshoot(self):
+        metrics = step_metrics(first_order_step(), target=1.0)
+        assert metrics.overshoot == 0.0
+
+    def test_underdamped_overshoot(self):
+        zeta = 0.3
+        metrics = step_metrics(underdamped_step(zeta=zeta), target=1.0)
+        expected = math.exp(-math.pi * zeta / math.sqrt(1 - zeta ** 2))
+        assert metrics.overshoot == pytest.approx(expected, abs=0.01)
+
+    def test_underdamped_peak_time(self):
+        omega, zeta = 2.0, 0.3
+        metrics = step_metrics(underdamped_step(omega, zeta), target=1.0)
+        expected = math.pi / (omega * math.sqrt(1 - zeta ** 2))
+        assert metrics.peak_time == pytest.approx(expected, abs=0.01)
+
+    def test_steady_state_error(self):
+        metrics = step_metrics(first_order_step(target=0.8), target=1.0)
+        assert metrics.steady_state_error == pytest.approx(0.2, abs=1e-3)
+
+
+class TestIntegralCriteria:
+    def test_iae_first_order(self):
+        """IAE of 1 - exp(-t) toward 1 over [0, inf) = tau."""
+        assert iae(first_order_step(tau=2.0, t_end=30.0), 1.0) == \
+            pytest.approx(2.0, abs=0.01)
+
+    def test_ise_first_order(self):
+        """ISE = tau/2 for the same response."""
+        assert ise(first_order_step(tau=2.0, t_end=30.0), 1.0) == \
+            pytest.approx(1.0, abs=0.01)
+
+    def test_itae_first_order(self):
+        """ITAE = tau^2 for the same response."""
+        assert itae(first_order_step(tau=2.0, t_end=40.0), 1.0) == \
+            pytest.approx(4.0, abs=0.05)
+
+    def test_ordering(self):
+        """Faster response -> smaller IAE."""
+        fast = iae(first_order_step(tau=0.5), 1.0)
+        slow = iae(first_order_step(tau=2.0, t_end=20.0), 1.0)
+        assert fast < slow
+
+
+class TestCompareTrajectories:
+    def test_identical(self):
+        a = first_order_step()
+        result = compare_trajectories(a, a)
+        assert result["max_diff"] == 0.0
+        assert result["rms_diff"] == 0.0
+
+    def test_known_offset(self):
+        a = first_order_step(target=1.0)
+        b = first_order_step(target=1.1)
+        result = compare_trajectories(a, b)
+        assert result["max_diff"] == pytest.approx(0.1, abs=1e-3)
+
+    def test_disjoint_ranges_rejected(self):
+        a = Trajectory()
+        a.append(0.0, [0.0])
+        a.append(1.0, [0.0])
+        b = Trajectory()
+        b.append(2.0, [0.0])
+        b.append(3.0, [0.0])
+        with pytest.raises(ValueError):
+            compare_trajectories(a, b)
+
+    def test_overlap_window(self):
+        a = first_order_step(t_end=4.0)
+        b = first_order_step(t_end=8.0)
+        result = compare_trajectories(a, b)
+        assert result["t1"] == pytest.approx(4.0)

@@ -1,0 +1,158 @@
+"""Message traces and schedulability analysis."""
+
+import pytest
+
+from tests.conftest import Echo, Pinger
+
+from repro.analysis import (
+    MessageTrace,
+    Task,
+    TaskSet,
+    liu_layland_bound,
+    response_time_analysis,
+    taskset_from_model,
+)
+from repro.analysis.schedulability import (
+    SchedulabilityError,
+    taskset_schedulable,
+    utilisation_test,
+)
+from repro.core.model import HybridModel
+from repro.umlrt.runtime import RTSystem
+
+from tests.conftest import ConstLeaf, IntegratorLeaf
+
+
+class TestMessageTrace:
+    def build(self, pings=3):
+        rts = RTSystem("t")
+        pinger = rts.add_top(Pinger("pinger", pings=pings))
+        echo = rts.add_top(Echo("echo"))
+        pinger.connect(pinger.port("p"), echo.port("p"))
+        trace = MessageTrace(rts).attach()
+        return rts, trace
+
+    def test_records_all_dispatches(self):
+        rts, trace = self.build(pings=3)
+        rts.run()
+        assert len(trace) == 6  # 3 pings + 3 pongs
+
+    def test_filters(self):
+        rts, trace = self.build()
+        rts.run()
+        assert len(trace.by_signal("ping")) == 3
+        assert len(trace.by_capsule("echo")) == 3
+        assert trace.counts_by_signal() == {"ping": 3, "pong": 3}
+
+    def test_latency_stats_under_load(self):
+        rts, trace = self.build(pings=5)
+        rts.dispatch_cost = 0.1
+        rts.run()
+        stats = trace.latency_stats()
+        assert stats["count"] == 10
+        assert stats["max"] > 0.0  # queued behind earlier dispatches
+
+    def test_zero_latency_without_cost(self):
+        rts, trace = self.build()
+        rts.run()
+        assert trace.latency_stats()["max"] == 0.0
+
+    def test_empty_stats(self):
+        rts, trace = self.build()
+        assert trace.latency_stats("nothing")["count"] == 0
+
+    def test_attach_idempotent(self):
+        rts, trace = self.build()
+        trace.attach()
+        rts.run()
+        assert len(trace) == 6  # not double-counted
+
+
+class TestTaskModel:
+    def test_task_validation(self):
+        with pytest.raises(SchedulabilityError):
+            Task("t", wcet=0.0, period=1.0)
+        with pytest.raises(SchedulabilityError):
+            Task("t", wcet=1.0, period=0.0)
+        with pytest.raises(SchedulabilityError):
+            Task("t", wcet=2.0, period=3.0, deadline=1.0)
+
+    def test_utilisation(self):
+        task = Task("t", wcet=1.0, period=4.0)
+        assert task.utilisation == 0.25
+
+    def test_rate_monotonic_order(self):
+        taskset = TaskSet()
+        taskset.add(Task("slow", wcet=1.0, period=10.0))
+        taskset.add(Task("fast", wcet=0.1, period=1.0))
+        assert [t.name for t in taskset.rate_monotonic_order()] == \
+            ["fast", "slow"]
+
+
+class TestLiuLayland:
+    def test_bound_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(0.8284, abs=1e-3)
+        assert liu_layland_bound(100) == pytest.approx(0.6964, abs=1e-3)
+
+    def test_bad_n(self):
+        with pytest.raises(SchedulabilityError):
+            liu_layland_bound(0)
+
+    def test_utilisation_test(self):
+        taskset = TaskSet([
+            Task("a", wcet=1.0, period=4.0),
+            Task("b", wcet=1.0, period=8.0),
+        ])
+        result = utilisation_test(taskset)
+        assert result["passes"] == 1.0
+
+
+class TestResponseTimeAnalysis:
+    def test_classic_example(self):
+        """Textbook example: three tasks, exact response times."""
+        taskset = TaskSet([
+            Task("t1", wcet=1.0, period=4.0),
+            Task("t2", wcet=2.0, period=6.0),
+            Task("t3", wcet=3.0, period=13.0),
+        ])
+        results = response_time_analysis(taskset)
+        assert results["t1"]["response_time"] == pytest.approx(1.0)
+        assert results["t2"]["response_time"] == pytest.approx(3.0)
+        # t3: 3 + 2*1 + 1*2 = 7; ceil(7/4)=2, ceil(7/6)=2 -> 3+2+4=9;
+        # ceil(9/4)=3, ceil(9/6)=2 -> 3+3+4=10; ceil(10/4)=3 -> 10 fixed
+        assert results["t3"]["response_time"] == pytest.approx(10.0)
+        assert taskset_schedulable(taskset)
+
+    def test_unschedulable_detected(self):
+        taskset = TaskSet([
+            Task("hog", wcet=3.0, period=4.0),
+            Task("victim", wcet=2.0, period=5.0),
+        ])
+        assert not taskset_schedulable(taskset)
+
+
+class TestTasksetFromModel:
+    def test_streamer_threads_become_tasks(self):
+        model = HybridModel("m")
+        fast = model.create_thread("fast", h=1e-3)
+        model.add_streamer(ConstLeaf("c", 1.0), fast)
+        model.add_streamer(IntegratorLeaf("i"), fast)
+        model.run(until=0.1, sync_interval=0.01)
+        taskset = taskset_from_model(model, sync_interval=0.01)
+        names = [t.name for t in taskset.tasks]
+        assert "streamer:fast" in names
+        # the empty default thread contributes no task
+        assert "streamer:streamers" not in names
+
+    def test_measured_wcet_override(self):
+        model = HybridModel("m")
+        model.add_streamer(ConstLeaf("c", 1.0))
+        model.run(until=0.05, sync_interval=0.01)
+        taskset = taskset_from_model(
+            model, sync_interval=0.01,
+            streamer_wcet={"streamers": 0.004},
+        )
+        task = [t for t in taskset.tasks
+                if t.name == "streamer:streamers"][0]
+        assert task.wcet == 0.004

@@ -1,0 +1,99 @@
+"""Bichler equations-in-states baseline (claim C2)."""
+
+import math
+
+import pytest
+
+from repro.baselines import BichlerModel
+from repro.core.model import HybridModel
+from repro.dataflow import Diagram, FirstOrderLag, PID, Step, Sum
+
+
+def lag_diagram():
+    d = Diagram("lag")
+    d.add(Step("src", amplitude=1.0))
+    d.add(FirstOrderLag("plant", tau=0.5))
+    d.connect("src.out", "plant.in")
+    return d
+
+
+class TestSemantics:
+    def test_matches_analytic_solution(self):
+        baseline = BichlerModel(lag_diagram(), h=0.001, probe="plant.out")
+        baseline.run(2.0)
+        expected = 1.0 - math.exp(-4.0)
+        assert baseline.trajectory.y_final[0] == pytest.approx(
+            expected, abs=5e-3
+        )
+
+    def test_equation_evaluations_counted(self):
+        baseline = BichlerModel(lag_diagram(), h=0.01, probe="plant.out")
+        baseline.run(1.0)
+        assert baseline.capsule.equation_evaluations == 100
+
+    def test_shares_network_with_streamer_path(self):
+        """Identical equations: at the same h/solver the trajectories of
+        Bichler and the streamer architecture coincide exactly."""
+        baseline = BichlerModel(lag_diagram(), h=0.01, probe="plant.out")
+        baseline.run(1.0)
+
+        reference = lag_diagram()
+        reference.finalise()
+        model = HybridModel("ref")
+        model.default_thread.binding.rebind("euler")
+        model.default_thread.h = 0.01
+        model.add_streamer(reference)
+        model.add_probe("y", reference.port_at("plant.out"))
+        model.run(until=1.0, sync_interval=0.01)
+
+        assert baseline.trajectory.y_final[0] == pytest.approx(
+            model.probe("y").y_final[0], abs=1e-9
+        )
+
+
+class TestArchitecturalCost:
+    def test_one_dispatch_per_minor_step(self):
+        """C2's root cause: every Euler step is a full queued message."""
+        baseline = BichlerModel(lag_diagram(), h=0.001, probe="plant.out")
+        baseline.run(1.0)
+        metrics = baseline.metrics(1.0)
+        assert metrics["messages_total"] == 1000
+        assert metrics["timeouts"] == 1000
+
+    def test_streamer_path_needs_no_messages(self):
+        reference = lag_diagram()
+        reference.finalise()
+        model = HybridModel("ref")
+        model.default_thread.h = 0.001
+        model.add_streamer(reference)
+        model.run(until=1.0, sync_interval=0.05)
+        assert model.stats()["messages_dispatched"] == 0
+
+    def test_message_rate_scales_inversely_with_h(self):
+        rates = []
+        for h in (0.01, 0.001):
+            baseline = BichlerModel(lag_diagram(), h=h, probe="plant.out")
+            baseline.run(0.5)
+            rates.append(baseline.metrics(0.5)["messages_per_second"])
+        assert rates[1] == pytest.approx(rates[0] * 10.0, rel=0.01)
+
+    def test_stuck_at_euler(self):
+        """The RTC-embedded integrator is structurally first-order: at a
+        fixed h it is an order of magnitude less accurate than the
+        streamer thread running RK4 at the same step."""
+        h = 0.05
+        baseline = BichlerModel(lag_diagram(), h=h, probe="plant.out")
+        baseline.run(1.0)
+        expected = 1.0 - math.exp(-2.0)
+        euler_error = abs(baseline.trajectory.y_final[0] - expected)
+
+        reference = lag_diagram()
+        reference.finalise()
+        model = HybridModel("ref")  # default thread: RK4
+        model.default_thread.h = h
+        model.add_streamer(reference)
+        model.add_probe("y", reference.port_at("plant.out"))
+        model.run(until=1.0, sync_interval=0.05)
+        rk4_error = abs(model.probe("y").y_final[0] - expected)
+
+        assert euler_error > 50 * rk4_error

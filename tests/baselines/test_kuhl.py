@@ -1,0 +1,125 @@
+"""Kühl translation: semantics preserved, explosion measured (claim C1)."""
+
+import math
+
+import pytest
+
+from repro.baselines import KuhlTranslation, information_loss, model_size
+from repro.baselines.metrics import diagram_features, total_information_loss
+from repro.core.model import HybridModel
+from repro.dataflow import (
+    Constant,
+    Diagram,
+    FirstOrderLag,
+    Gain,
+    Integrator,
+    PID,
+    Step,
+    Sum,
+)
+
+
+def lag_diagram():
+    d = Diagram("lag")
+    d.add(Step("src", amplitude=1.0))
+    d.add(FirstOrderLag("plant", tau=0.5))
+    d.connect("src.out", "plant.in")
+    return d
+
+
+def pid_diagram():
+    d = Diagram("pid_loop")
+    d.add(Step("ref", amplitude=1.0))
+    d.add(Sum("err", signs="+-"))
+    d.add(PID("pid", kp=4.0, ki=2.0, tf=0.5))
+    d.add(FirstOrderLag("plant", tau=0.5))
+    d.connect("ref.out", "err.in1")
+    d.connect("plant.out", "err.in2")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "plant.in")
+    return d
+
+
+class TestSemanticPreservation:
+    def test_open_loop_matches_analytic(self):
+        translation = KuhlTranslation(lag_diagram(), h=0.001,
+                                      probe="plant.out")
+        translation.run(2.0)
+        expected = 1.0 - math.exp(-4.0)
+        assert translation.trajectory.y_final[0] == pytest.approx(
+            expected, abs=5e-3
+        )
+
+    def test_closed_loop_matches_streamer_model(self):
+        translation = KuhlTranslation(pid_diagram(), h=0.005,
+                                      probe="plant.out")
+        translation.run(5.0)
+
+        reference = pid_diagram()
+        reference.finalise()
+        model = HybridModel("ref")
+        model.default_thread.binding.rebind("euler")
+        model.default_thread.h = 0.005
+        model.add_streamer(reference)
+        model.add_probe("y", reference.port_at("plant.out"))
+        model.run(until=5.0, sync_interval=0.05)
+
+        assert translation.trajectory.y_final[0] == pytest.approx(
+            model.probe("y").y_final[0], abs=0.02
+        )
+
+
+class TestExplosion:
+    def test_size_metrics(self):
+        translation = KuhlTranslation(pid_diagram(), h=0.01)
+        size = translation.size_metrics()
+        original = model_size(pid_diagram())
+        # the paper: "lots of objects and classes may be generated"
+        assert size["capsule_instances"] == size["blocks"] + 1
+        assert size["protocols"] >= len(translation.network.edges)
+        assert original["capsule_instances"] == 0
+        assert original["protocols"] == 0
+        assert size["ports"] > size["blocks"] * 2
+
+    def test_messages_scale_with_blocks_and_edges(self):
+        translation = KuhlTranslation(pid_diagram(), h=0.01)
+        translation.run(1.0)
+        metrics = translation.message_metrics(1.0)
+        blocks = len(translation.network.order)
+        edges = len(translation.network.edges)
+        ticks = 100
+        # per tick: 1 timeout + blocks tick messages + edges data messages
+        expected = ticks * (1 + blocks + edges)
+        assert metrics["messages_total"] == pytest.approx(expected, rel=0.05)
+
+    def test_streamer_model_sends_no_dataflow_messages(self):
+        reference = pid_diagram()
+        reference.finalise()
+        model = HybridModel("ref")
+        model.add_streamer(reference)
+        model.run(until=1.0, sync_interval=0.01)
+        assert model.stats()["messages_dispatched"] == 0
+
+
+class TestInformationLoss:
+    def test_features_counted(self):
+        features = diagram_features(pid_diagram())
+        assert features["blocks"] == 4
+        assert features["flows"] == 4
+        assert features["stateful_blocks"] == 2  # PID + lag
+
+    def test_loss_positive_for_typed_diagram(self):
+        loss = information_loss(pid_diagram())
+        assert loss["flow_types_lost"] >= 1
+        assert loss["solver_choice_lost"] == 1
+        assert total_information_loss(pid_diagram()) >= 2
+
+    def test_fanout_relays_counted_as_loss(self):
+        d = Diagram("fan")
+        d.add(Constant("c", 1.0))
+        d.add(Integrator("i1"))
+        d.add(Integrator("i2"))
+        d.connect("c.out", "i1.in")
+        d.connect("c.out", "i2.in")
+        loss = information_loss(d)
+        assert loss["relays_lost"] == 1

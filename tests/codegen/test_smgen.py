@@ -1,0 +1,179 @@
+"""State-machine code generation."""
+
+import pytest
+
+from repro.codegen import (
+    SMGenError,
+    flatten_machine,
+    generate_statemachine_c,
+    generate_statemachine_python,
+)
+from repro.umlrt.statemachine import StateMachine
+
+
+def toggle_machine():
+    sm = StateMachine("toggle")
+    sm.add_state("off")
+    sm.add_state("on")
+    sm.initial("off")
+    sm.add_transition("off", "on", trigger=("ctrl", "enable"))
+    sm.add_transition("on", "off", trigger=("ctrl", "disable"))
+    sm.add_transition("on", trigger="tick", internal=True)
+    return sm
+
+
+def hierarchical_machine():
+    sm = StateMachine("hier")
+    sm.add_state("idle")
+    sm.add_state("run")
+    sm.add_state("run.slow")
+    sm.add_state("run.fast")
+    sm.initial("idle")
+    sm.initial("run.slow", composite="run")
+    sm.add_transition("idle", "run", trigger="start")
+    sm.add_transition("run.slow", "run.fast", trigger="faster")
+    sm.add_transition("run", "idle", trigger="stop")  # group transition
+    return sm
+
+
+def execute(source):
+    namespace = {}
+    exec(compile(source, "<smgen>", "exec"), namespace)
+    classes = [v for k, v in namespace.items()
+               if isinstance(v, type) and k.endswith("StateMachine")]
+    return classes[0]
+
+
+class TestFlattening:
+    def test_flat_machine_rows(self):
+        rows = flatten_machine(toggle_machine())
+        keys = {(r.source, r.port, r.signal) for r in rows}
+        assert ("off", "ctrl", "enable") in keys
+        assert ("on", "ctrl", "disable") in keys
+        assert ("on", None, "tick") in keys
+
+    def test_group_transition_flattened_per_leaf(self):
+        rows = flatten_machine(hierarchical_machine())
+        stops = [r for r in rows if r.signal == "stop"]
+        assert {r.source for r in stops} == {"run.slow", "run.fast"}
+        for row in stops:
+            assert "run" in row.exits  # composite exit included
+            assert row.target == "idle"
+
+    def test_initial_drilling(self):
+        rows = flatten_machine(hierarchical_machine())
+        start = [r for r in rows if r.signal == "start"][0]
+        assert start.target == "run.slow"
+        assert start.entries == ("run", "run.slow")
+
+    def test_inner_shadows_outer(self):
+        sm = hierarchical_machine()
+        sm.add_transition("run.slow", "run.fast", trigger="stop")
+        rows = flatten_machine(sm)
+        slow_stop = [r for r in rows
+                     if r.source == "run.slow" and r.signal == "stop"]
+        assert len(slow_stop) == 1
+        assert slow_stop[0].target == "run.fast"  # inner wins
+
+    def test_guard_rejected(self):
+        sm = toggle_machine()
+        sm.add_transition("off", "on", trigger="guarded",
+                          guard=lambda c, m: True)
+        with pytest.raises(SMGenError, match="guard"):
+            flatten_machine(sm)
+
+    def test_choice_rejected(self):
+        sm = toggle_machine()
+        sm.add_choice("decide")
+        with pytest.raises(SMGenError, match="choice"):
+            flatten_machine(sm)
+
+    def test_history_rejected(self):
+        sm = StateMachine("h")
+        sm.add_state("a", history="shallow")
+        sm.add_state("a.x")
+        sm.initial("a")
+        sm.initial("a.x", composite="a")
+        with pytest.raises(SMGenError, match="history"):
+            flatten_machine(sm)
+
+
+class TestPythonBackend:
+    def test_generated_machine_runs(self):
+        cls = execute(generate_statemachine_python(toggle_machine()))
+        machine = cls()
+        machine.start()
+        assert machine.state == "off"
+        assert machine.dispatch("ctrl", "enable")
+        assert machine.state == "on"
+        assert machine.dispatch("anyport", "tick")  # any-port trigger
+        assert machine.state == "on"
+        assert machine.dispatch("ctrl", "disable")
+        assert machine.state == "off"
+
+    def test_unknown_signal_dropped(self):
+        cls = execute(generate_statemachine_python(toggle_machine()))
+        machine = cls()
+        machine.start()
+        assert not machine.dispatch("ctrl", "bogus")
+        assert machine.dropped == 1
+
+    def test_hooks_invoked(self):
+        source = generate_statemachine_python(hierarchical_machine())
+        cls = execute(source)
+
+        calls = []
+
+        class Traced(cls):
+            def on_enter_run(self, data=None):
+                calls.append("enter_run")
+
+            def on_exit_run(self, data=None):
+                calls.append("exit_run")
+
+        machine = Traced()
+        machine.start()
+        machine.dispatch(None, "start")
+        machine.dispatch(None, "stop")
+        assert calls == ["enter_run", "exit_run"]
+
+    def test_generated_matches_live_machine(self):
+        """Generated table-driven machine agrees with the interpreter."""
+        from repro.umlrt.signal import Message
+
+        class FakePort:
+            def __init__(self, name):
+                self.name = name
+
+        live = hierarchical_machine()
+        live.start(object())
+        cls = execute(generate_statemachine_python(hierarchical_machine()))
+        generated = cls()
+        generated.start()
+
+        script = [("p", "start"), ("p", "faster"), ("p", "stop"),
+                  ("p", "start"), ("p", "stop")]
+        for port, signal in script:
+            live.dispatch(object(), Message(signal, port=FakePort(port)))
+            generated.dispatch(port, signal)
+            assert generated.state == live.active_path
+
+
+class TestCBackend:
+    def test_structure(self):
+        source = generate_statemachine_c(hierarchical_machine())
+        assert "typedef enum" in source
+        assert "STATE_RUN_SLOW" in source
+        assert "SIG_START" in source
+        assert "int sm_dispatch(sm_signal_t sig, void *ctx)" in source
+        assert source.count("{") == source.count("}")
+
+    def test_extern_hooks_declared(self):
+        source = generate_statemachine_c(toggle_machine())
+        assert "extern void action_off__on(void *ctx);" in source
+
+    def test_all_states_reachable_in_switch(self):
+        source = generate_statemachine_c(hierarchical_machine())
+        for state in ("STATE_IDLE", "STATE_RUN_SLOW", "STATE_RUN_FAST"):
+            assert f"case {state}:" in source or \
+                f"sm_state = {state};" in source

@@ -1,0 +1,81 @@
+"""Independent verification of network ordering against networkx.
+
+networkx is not a runtime dependency; it serves as an oracle for the
+flattener's topological sort and cycle detection on random DAGs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+networkx = pytest.importorskip("networkx")
+
+from tests.conftest import GainLeaf  # noqa: E402
+
+from repro.core.network import FlatNetwork, NetworkError  # noqa: E402
+from repro.core.streamer import Streamer  # noqa: E402
+
+
+@st.composite
+def random_edge_sets(draw):
+    """Random directed graphs over 3-8 nodes (may contain cycles)."""
+    n = draw(st.integers(min_value=3, max_value=8))
+    n_edges = draw(st.integers(min_value=0, max_value=min(10, n * 2)))
+    edges = set()
+    for __ in range(n_edges):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a != b:
+            edges.add((a, b))
+    return n, sorted(edges)
+
+
+def build_gain_graph(n, edges):
+    """All-feedthrough graph; each node has one 'u' input per... no —
+    a node can have at most one driver (W8), so keep only the first
+    in-edge per target."""
+    top = Streamer("top")
+    nodes = [top.add_sub(GainLeaf(f"g{i}")) for i in range(n)]
+    used_targets = set()
+    kept = []
+    for a, b in edges:
+        if b in used_targets:
+            continue
+        used_targets.add(b)
+        top.add_flow(nodes[a].dport("y"), nodes[b].dport("u"))
+        kept.append((a, b))
+    return top, kept
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=60, deadline=None)
+    @given(random_edge_sets())
+    def test_cycle_detection_matches(self, spec):
+        n, edges = spec
+        top, kept = build_gain_graph(n, edges)
+        graph = networkx.DiGraph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(kept)
+        has_cycle = not networkx.is_directed_acyclic_graph(graph)
+        if has_cycle:
+            with pytest.raises(NetworkError, match="W12"):
+                FlatNetwork([top])
+        else:
+            FlatNetwork([top])  # must not raise
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_edge_sets())
+    def test_order_is_a_valid_topological_sort(self, spec):
+        n, edges = spec
+        top, kept = build_gain_graph(n, edges)
+        graph = networkx.DiGraph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(kept)
+        if not networkx.is_directed_acyclic_graph(graph):
+            return  # covered by the other test
+        network = FlatNetwork([top])
+        position = {
+            leaf.name: index for index, leaf in enumerate(network.order)
+        }
+        for a, b in kept:
+            assert position[f"g{a}"] < position[f"g{b}"], (a, b)

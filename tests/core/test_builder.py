@@ -1,0 +1,150 @@
+"""ModelBuilder: path-addressed fluent construction."""
+
+import pytest
+
+from tests.conftest import PING, ConstLeaf, Echo, GainLeaf, IntegratorLeaf
+
+from repro.core.builder import BuilderError, ModelBuilder
+from repro.core.flowtype import SCALAR
+from repro.core.streamer import Streamer
+from repro.umlrt.protocol import Protocol
+
+CMD = Protocol.define("BCmd", outgoing=("set_k",), incoming=())
+
+
+class TestPaths:
+    def build(self):
+        builder = ModelBuilder("b")
+        builder.streamer(ConstLeaf("c", 2.0))
+        builder.streamer(GainLeaf("g", 3.0))
+        return builder
+
+    def test_flow_by_path(self):
+        builder = self.build()
+        builder.flow("c.y", "g.u")
+        model = builder.build()
+        assert len(model.flows) == 1
+
+    def test_unknown_streamer(self):
+        with pytest.raises(BuilderError, match="unknown top streamer"):
+            self.build().flow("ghost.y", "g.u")
+
+    def test_unknown_port(self):
+        with pytest.raises(BuilderError, match="no DPort"):
+            self.build().flow("c.ghost", "g.u")
+
+    def test_nested_path(self):
+        builder = ModelBuilder("b")
+        top = Streamer("top")
+        inner = top.add_sub(ConstLeaf("inner", 1.0))
+        builder.streamer(top)
+        assert builder.dport("top.inner.y") is inner.dport("y")
+
+    def test_short_path_rejected(self):
+        with pytest.raises(BuilderError):
+            self.build().dport("justaname")
+
+    def test_relay_pads_addressable(self):
+        builder = self.build()
+        builder.streamer(IntegratorLeaf("i1"))
+        builder.streamer(IntegratorLeaf("i2"))
+        builder.relay("split", SCALAR)
+        builder.flow("c.y", "split.in")
+        builder.flow("split.out_a", "i1.u")
+        builder.flow("split.out_b", "i2.u")
+        builder.flow("c.y", "g.u") if False else None
+        model = builder.model
+        assert len(model.flows) == 3
+
+    def test_unknown_relay_pad(self):
+        builder = self.build()
+        builder.relay("split", SCALAR)
+        with pytest.raises(BuilderError, match="no pad"):
+            builder.dport("split.out_c")
+
+
+class TestThreadsAndControllers:
+    def test_thread_assignment(self):
+        builder = ModelBuilder("b")
+        builder.thread("fast", solver="rk4", h=1e-4)
+        builder.streamer(ConstLeaf("c", 1.0), thread="fast")
+        model = builder.model
+        fast = [t for t in model.threads if t.name == "fast"][0]
+        assert model.streamers[0].thread is fast
+
+    def test_unknown_thread(self):
+        builder = ModelBuilder("b")
+        with pytest.raises(BuilderError):
+            builder.streamer(ConstLeaf("c", 1.0), thread="ghost")
+
+    def test_controller_assignment(self):
+        builder = ModelBuilder("b")
+        builder.controller("aux")
+        builder.capsule(Echo("echo"), controller="aux")
+        echo = builder.model.rts.tops[0]
+        assert echo.controller.name == "aux"
+
+    def test_unknown_controller(self):
+        builder = ModelBuilder("b")
+        with pytest.raises(BuilderError):
+            builder.capsule(Echo("echo"), controller="ghost")
+
+
+class TestSPortLinks:
+    class Tunable(GainLeaf):
+        def __init__(self, name):
+            super().__init__(name)
+            self.add_sport("tune", CMD.conjugate())
+
+    class Commander(Echo):
+        def build_structure(self):
+            self.create_port("cmd", CMD.base())
+
+        def build_behaviour(self):
+            return None
+
+    def test_sport_link_by_path(self):
+        builder = ModelBuilder("b")
+        builder.streamer(ConstLeaf("c", 1.0))
+        builder.streamer(self.Tunable("g"))
+        builder.flow("c.y", "g.u")
+        builder.capsule(self.Commander("cmdr"))
+        builder.sport_link("cmdr.cmd", "g.tune")
+        model = builder.build()
+        assert len(model.bridges) == 1
+
+    def test_unknown_capsule(self):
+        builder = ModelBuilder("b")
+        builder.streamer(self.Tunable("g"))
+        with pytest.raises(BuilderError, match="unknown capsule"):
+            builder.sport_link("ghost.cmd", "g.tune")
+
+    def test_unknown_sport(self):
+        builder = ModelBuilder("b")
+        builder.streamer(ConstLeaf("c", 1.0))
+        builder.capsule(self.Commander("cmdr"))
+        with pytest.raises(BuilderError, match="no SPort"):
+            builder.sport_link("cmdr.cmd", "c.ghost")
+
+
+class TestBuildRuns:
+    def test_probe_and_run(self):
+        model = (
+            ModelBuilder("b")
+            .streamer(ConstLeaf("c", 2.0))
+            .streamer(IntegratorLeaf("i"))
+            .flow("c.y", "i.u")
+            .probe("out", "i.y")
+            .build()
+        )
+        model.run(until=1.0, sync_interval=0.1)
+        assert model.probe("out").y_final[0] == pytest.approx(2.0)
+
+    def test_build_validates(self):
+        builder = ModelBuilder("b")
+        builder.streamer(GainLeaf("a"))
+        builder.streamer(GainLeaf("b"))
+        builder.flow("a.y", "b.u")
+        builder.flow("b.y", "a.u")  # algebraic loop
+        with pytest.raises(Exception):
+            builder.build(strict=True)

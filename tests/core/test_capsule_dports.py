@@ -1,0 +1,77 @@
+"""Capsule relay DPorts (paper §2, rule W5): data flows *through*
+capsules without the capsule ever touching it."""
+
+import pytest
+
+from tests.conftest import ConstLeaf, Echo, IntegratorLeaf
+
+from repro.core.dport import DPortError, Direction
+from repro.core.flowtype import SCALAR
+from repro.core.model import HybridModel
+
+
+class TestCapsuleRelayDPorts:
+    def build(self, model):
+        """const -> (capsule relay DPort) -> integrator."""
+        capsule = model.add_capsule(Echo("gateway"))
+        const = model.add_streamer(ConstLeaf("src", 3.0))
+        integ = model.add_streamer(IntegratorLeaf("sink"))
+        relay_port = model.add_capsule_dport(
+            capsule, "dataTap", Direction.IN, SCALAR
+        )
+        model.add_flow(const.dport("y"), relay_port)
+        model.add_flow(relay_port, integ.dport("u"))
+        return capsule, const, integ, relay_port
+
+    def test_flow_passes_through_capsule(self, model):
+        __, ___, integ, ____ = self.build(model)
+        model.add_probe("out", integ.dport("y"))
+        model.run(until=1.0, sync_interval=0.1)
+        assert model.probe("out").y_final[0] == pytest.approx(3.0)
+
+    def test_capsule_cannot_write_its_dport(self, model):
+        __, ___, ____, relay_port = self.build(model)
+        with pytest.raises(DPortError, match="W5"):
+            relay_port.write(1.0)
+
+    def test_network_resolves_through_capsule_pad(self, model):
+        self.build(model)
+        scheduler = model.scheduler()
+        scheduler.build()
+        network = scheduler.network
+        assert len(network.edges) == 1
+        edge = network.edges[0]
+        assert len(edge.path) == 2  # two flows through the pad
+
+    def test_validation_accepts_relay_dports(self, model):
+        self.build(model)
+        violations = model.validate(strict=True)
+        assert all(v.severity == "warning" for v in violations)
+
+    def test_duplicate_capsule_dport_rejected(self, model):
+        capsule, *_ = self.build(model)
+        from repro.core.model import ModelError
+
+        with pytest.raises(ModelError):
+            model.add_capsule_dport(
+                capsule, "dataTap", Direction.IN, SCALAR
+            )
+
+    def test_builder_path_resolution(self):
+        from repro.core.builder import ModelBuilder
+
+        builder = ModelBuilder("b")
+        builder.capsule(Echo("gateway"))
+        builder.streamer(ConstLeaf("src", 2.0))
+        builder.streamer(IntegratorLeaf("sink"))
+        capsule = builder.model.rts.tops[0]
+        builder.model.add_capsule_dport(
+            capsule, "tap", Direction.IN, SCALAR
+        )
+        pad = builder.dport("gateway.tap")
+        assert pad.relay_only
+        builder.flow("src.y", "gateway.tap")
+        builder.model.add_flow(pad, builder.dport("sink.u"))
+        model = builder.build()
+        model.run(until=0.5, sync_interval=0.1)
+        assert builder.dport("sink.y").read_scalar() == pytest.approx(1.0)

@@ -1,0 +1,104 @@
+"""Channels: policies, statistics, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.core.channel import Channel, ChannelError, ChannelPolicy
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        channel = Channel("c", capacity=4)
+        for item in (1, 2, 3):
+            channel.push(item)
+        assert channel.drain() == [1, 2, 3]
+
+    def test_pop_empty(self):
+        assert Channel("c").pop() is None
+
+    def test_len_and_empty(self):
+        channel = Channel("c")
+        assert channel.empty
+        channel.push("x")
+        assert len(channel) == 1 and not channel.empty
+
+    def test_peek_latest(self):
+        channel = Channel("c")
+        assert channel.peek_latest() is None
+        channel.push(1)
+        channel.push(2)
+        assert channel.peek_latest() == 2
+        assert len(channel) == 2  # peek does not remove
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Channel("c", capacity=0)
+
+
+class TestPolicies:
+    def test_block_raises_on_overflow(self):
+        channel = Channel("c", capacity=2, policy=ChannelPolicy.BLOCK)
+        channel.push(1)
+        channel.push(2)
+        with pytest.raises(ChannelError):
+            channel.push(3)
+        assert channel.dropped == 1
+
+    def test_try_push_on_block(self):
+        channel = Channel("c", capacity=1, policy=ChannelPolicy.BLOCK)
+        assert channel.try_push(1)
+        assert not channel.try_push(2)
+        assert channel.drain() == [1]
+
+    def test_overwrite_evicts_oldest(self):
+        channel = Channel("c", capacity=2, policy=ChannelPolicy.OVERWRITE)
+        channel.push(1)
+        channel.push(2)
+        channel.push(3)
+        assert channel.drain() == [2, 3]
+        assert channel.dropped == 1
+
+    def test_latest_keeps_one(self):
+        channel = Channel("c", capacity=64, policy=ChannelPolicy.LATEST)
+        assert channel.capacity == 1  # LATEST forces depth 1
+        for item in range(5):
+            channel.push(item)
+        assert channel.drain() == [4]
+
+
+class TestStatistics:
+    def test_counters(self):
+        channel = Channel("c", capacity=2)
+        channel.push(1)
+        channel.push(2)
+        channel.pop()
+        assert channel.pushed == 2
+        assert channel.popped == 1
+        assert channel.max_depth == 2
+
+
+class TestThreadSafety:
+    def test_concurrent_push_pop(self):
+        channel = Channel("c", capacity=10_000)
+        received = []
+
+        def producer():
+            for i in range(1000):
+                channel.push(i)
+
+        def consumer():
+            while len(received) < 1000:
+                item = channel.pop()
+                if item is not None:
+                    received.append(item)
+
+        threads = [
+            threading.Thread(target=producer),
+            threading.Thread(target=consumer),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert sorted(received) == list(range(1000))

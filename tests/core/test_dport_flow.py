@@ -1,0 +1,144 @@
+"""DPorts, flows and relays (rules W1, W2, W5)."""
+
+import pytest
+
+from repro.core.dport import Direction, DPort, DPortError
+from repro.core.flow import Flow, FlowError, Relay, fan_out, fan_out_taps, wire_fan_out
+from repro.core.flowtype import SCALAR, DataKind, FlowType, FlowTypeError
+
+
+def record(name, **fields):
+    return FlowType.record(name, fields)
+
+
+class TestDPort:
+    def test_scalar_read_write(self):
+        port = DPort("p", Direction.OUT, SCALAR)
+        port.write(3.5)
+        assert port.read_scalar() == 3.5
+        assert port.writes == 1 and port.reads == 1
+
+    def test_record_read_write(self):
+        ft = record("imu", ax=DataKind.FLOAT, ok=DataKind.BOOL)
+        port = DPort("p", Direction.OUT, ft)
+        port.write({"ax": 1.0, "ok": True})
+        assert port.read() == {"ax": 1.0, "ok": True}
+
+    def test_default_value_is_zeroed(self):
+        port = DPort("p", Direction.IN, SCALAR)
+        assert port.read_scalar() == 0.0
+
+    def test_scalar_write_to_record_rejected(self):
+        ft = record("imu", ax=DataKind.FLOAT, ay=DataKind.FLOAT)
+        port = DPort("p", Direction.OUT, ft)
+        with pytest.raises(FlowTypeError):
+            port.write(1.0)
+
+    def test_nonconforming_record_rejected(self):
+        port = DPort("p", Direction.OUT, SCALAR)
+        with pytest.raises(FlowTypeError):
+            port.write({"wrong": 1.0})
+
+    def test_relay_only_write_rejected(self):
+        port = DPort("p", Direction.IN, SCALAR, relay_only=True)
+        with pytest.raises(DPortError, match="W5"):
+            port.write(1.0)
+
+    def test_relay_only_internal_store_allowed(self):
+        port = DPort("p", Direction.IN, SCALAR, relay_only=True)
+        port._store(2.0)
+        assert port.read_scalar() == 2.0
+
+    def test_read_scalar_on_record_rejected(self):
+        ft = record("r", a=DataKind.FLOAT)
+        port = DPort("p", Direction.IN, ft)
+        with pytest.raises(DPortError):
+            port.read_scalar()
+
+    def test_peek_does_not_count(self):
+        port = DPort("p", Direction.OUT, SCALAR)
+        port.peek()
+        assert port.reads == 0
+
+
+class TestFlow:
+    def test_valid_flow(self):
+        src = DPort("src", Direction.OUT, SCALAR)
+        dst = DPort("dst", Direction.IN, SCALAR)
+        flow = Flow(src, dst)
+        src.write(7.0)
+        flow.propagate()
+        assert dst.read_scalar() == 7.0
+        assert flow.transfers == 1
+
+    def test_w1_violation_rejected(self):
+        big = record("big", x=DataKind.FLOAT, y=DataKind.FLOAT)
+        small = record("small", x=DataKind.FLOAT)
+        src = DPort("src", Direction.OUT, big)
+        dst = DPort("dst", Direction.IN, small)
+        with pytest.raises(FlowError, match="W1"):
+            Flow(src, dst)
+
+    def test_subset_flow_merges_missing_fields(self):
+        small = record("small", x=DataKind.FLOAT)
+        big = record("big", x=DataKind.FLOAT, y=DataKind.FLOAT)
+        src = DPort("src", Direction.OUT, small)
+        dst = DPort("dst", Direction.IN, big)
+        flow = Flow(src, dst)
+        dst._store({"x": 0.0, "y": 9.0})
+        src.write({"x": 5.0})
+        flow.propagate()
+        assert dst.read() == {"x": 5.0, "y": 9.0}  # y retained
+
+    def test_self_flow_rejected(self):
+        port = DPort("p", Direction.OUT, SCALAR)
+        with pytest.raises(FlowError):
+            Flow(port, port)
+
+
+class TestRelay:
+    def test_two_similar_flows(self):
+        relay = Relay("split", SCALAR)
+        relay.input._store(4.0)
+        relay.propagate()
+        assert relay.out_a.read_scalar() == 4.0
+        assert relay.out_b.read_scalar() == 4.0
+
+    def test_pads(self):
+        relay = Relay("split", SCALAR)
+        assert len(relay.pads) == 3
+        assert relay.input.is_in
+        assert relay.out_a.is_out and relay.out_b.is_out
+
+    def test_record_relay(self):
+        ft = record("r", a=DataKind.FLOAT, b=DataKind.BOOL)
+        relay = Relay("split", ft)
+        relay.input._store({"a": 1.0, "b": True})
+        relay.propagate()
+        assert relay.out_a.read() == {"a": 1.0, "b": True}
+
+
+class TestFanOut:
+    def test_fan_out_counts(self):
+        relays = fan_out("fo", SCALAR, ways=4)
+        assert len(relays) == 3
+        taps = fan_out_taps(relays)
+        assert len(taps) == 4
+
+    def test_fan_out_minimum(self):
+        with pytest.raises(FlowError):
+            fan_out("fo", SCALAR, ways=1)
+
+    def test_chain_propagation(self):
+        relays = fan_out("fo", SCALAR, ways=3)
+        flows = wire_fan_out(relays)
+        relays[0].input._store(2.5)
+        for relay, flow in zip(relays, flows + [None]):
+            relay.propagate()
+            if flow is not None:
+                flow.propagate()
+        for tap in fan_out_taps(relays):
+            assert tap.read_scalar() == 2.5
+
+    def test_empty_taps(self):
+        assert fan_out_taps([]) == []

@@ -1,0 +1,117 @@
+"""Flow types and the W1 subset rule."""
+
+import pytest
+
+from repro.core.flowtype import (
+    SCALAR,
+    DataKind,
+    FlowField,
+    FlowType,
+    FlowTypeError,
+)
+
+
+def record(name, **fields):
+    return FlowType.record(name, fields)
+
+
+class TestConstruction:
+    def test_scalar(self):
+        assert SCALAR.is_scalar
+        assert SCALAR.field_names == ("value",)
+        assert SCALAR.field("value").kind is DataKind.FLOAT
+
+    def test_record(self):
+        ft = record("imu", ax=DataKind.FLOAT, gyro=(DataKind.FLOAT, "rad/s"))
+        assert set(ft.field_names) == {"ax", "gyro"}
+        assert ft.field("gyro").unit == "rad/s"
+
+    def test_empty_rejected(self):
+        with pytest.raises(FlowTypeError):
+            FlowType("empty", [])
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(FlowTypeError):
+            FlowType("dup", [FlowField("a"), FlowField("a")])
+
+    def test_bad_field_name(self):
+        with pytest.raises(FlowTypeError):
+            FlowField("not a name")
+
+    def test_unknown_field_access(self):
+        with pytest.raises(FlowTypeError):
+            SCALAR.field("ghost")
+
+
+class TestSubsetRule:
+    def test_reflexive(self):
+        ft = record("a", x=DataKind.FLOAT)
+        assert ft.subset_of(ft)
+
+    def test_proper_subset(self):
+        small = record("small", x=DataKind.FLOAT)
+        big = record("big", x=DataKind.FLOAT, y=DataKind.FLOAT)
+        assert small.subset_of(big)
+        assert not big.subset_of(small)
+
+    def test_kind_mismatch_breaks_subset(self):
+        a = record("a", x=DataKind.FLOAT)
+        b = record("b", x=DataKind.INT)
+        assert not a.subset_of(b)
+
+    def test_unit_mismatch_breaks_subset(self):
+        a = record("a", x=(DataKind.FLOAT, "m"))
+        b = record("b", x=(DataKind.FLOAT, "ft"))
+        assert not a.subset_of(b)
+
+    def test_transitivity(self):
+        a = record("a", x=DataKind.FLOAT)
+        b = record("b", x=DataKind.FLOAT, y=DataKind.INT)
+        c = record("c", x=DataKind.FLOAT, y=DataKind.INT, z=DataKind.BOOL)
+        assert a.subset_of(b) and b.subset_of(c) and a.subset_of(c)
+
+    def test_equality_ignores_type_name(self):
+        """Structural typing: same fields = same type."""
+        a = record("nameA", x=DataKind.FLOAT)
+        b = record("nameB", x=DataKind.FLOAT)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestValues:
+    def test_default_value(self):
+        ft = record("mix", f=DataKind.FLOAT, i=DataKind.INT, b=DataKind.BOOL)
+        assert ft.default_value() == {"f": 0.0, "i": 0, "b": False}
+
+    def test_validate_ok(self):
+        ft = record("mix", f=DataKind.FLOAT, b=DataKind.BOOL)
+        ft.validate_value({"f": 1.5, "b": True})
+
+    def test_validate_missing_field(self):
+        ft = record("mix", f=DataKind.FLOAT)
+        with pytest.raises(FlowTypeError, match="missing field"):
+            ft.validate_value({})
+
+    def test_validate_wrong_kind(self):
+        ft = record("mix", i=DataKind.INT)
+        with pytest.raises(FlowTypeError, match="expects int"):
+            ft.validate_value({"i": 1.5})
+
+    def test_bool_is_not_int(self):
+        ft = record("mix", i=DataKind.INT)
+        with pytest.raises(FlowTypeError):
+            ft.validate_value({"i": True})
+
+    def test_int_is_valid_float(self):
+        ft = record("mix", f=DataKind.FLOAT)
+        ft.validate_value({"f": 3})  # ints coerce to float fields
+
+    def test_project(self):
+        small = record("small", x=DataKind.FLOAT)
+        value = {"x": 1.0, "y": 2.0}
+        assert small.project(value) == {"x": 1.0}
+
+    def test_project_missing(self):
+        small = record("small", x=DataKind.FLOAT)
+        with pytest.raises(FlowTypeError):
+            small.project({"y": 2.0})

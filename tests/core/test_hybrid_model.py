@@ -1,0 +1,241 @@
+"""End-to-end hybrid model behaviour: scheduler, SPorts, events, threads."""
+
+import math
+
+import numpy as np
+import pytest
+
+from tests.conftest import ConstLeaf, DecayLeaf, GainLeaf, IntegratorLeaf
+
+from repro.core.channel import ChannelPolicy
+from repro.core.flowtype import SCALAR
+from repro.core.model import HybridModel, ModelError
+from repro.core.sport import SPortError
+from repro.core.streamer import Streamer
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.protocol import Protocol
+from repro.umlrt.statemachine import StateMachine
+
+CMD = Protocol.define("Cmd", outgoing=("set_value",), incoming=("ack",))
+
+
+class TestPureContinuous:
+    def test_integrator_ramp(self, model):
+        const = model.add_streamer(ConstLeaf("c", 2.0))
+        integ = model.add_streamer(IntegratorLeaf("i"))
+        model.add_flow(const.dport("y"), integ.dport("u"))
+        model.add_probe("y", integ.dport("y"))
+        model.run(until=1.0, sync_interval=0.1)
+        assert model.probe("y").y_final[0] == pytest.approx(2.0, rel=1e-9)
+
+    def test_exponential_decay_accuracy(self, model):
+        model.default_thread.h = 1e-3
+        model.add_streamer(DecayLeaf("d", lam=2.0, y0=1.0))
+        model.add_probe("y", model.streamers[0].dport("y"))
+        model.run(until=1.0, sync_interval=0.05)
+        assert model.probe("y").y_final[0] == pytest.approx(
+            math.exp(-2.0), rel=1e-6
+        )
+
+    def test_time_advances(self, model):
+        model.add_streamer(DecayLeaf("d"))
+        model.run(until=0.5, sync_interval=0.1)
+        assert model.time.now == pytest.approx(0.5)
+
+    def test_trajectory_sampled_each_sync(self, model):
+        model.add_streamer(DecayLeaf("d"))
+        model.add_probe("y", model.streamers[0].dport("y"))
+        model.run(until=1.0, sync_interval=0.25)
+        assert len(model.probe("y")) == 5  # t=0 + 4 majors
+
+
+class TestCapsuleStreamerInteraction:
+    class Tuner(Capsule):
+        """Sets the gain parameter at t = 1 via a timer."""
+
+        def build_structure(self):
+            self.create_port("cmd", CMD.base())
+
+        def build_behaviour(self):
+            sm = StateMachine("tuner")
+            sm.add_state("waiting")
+            sm.add_state("done")
+            sm.initial("waiting")
+            sm.add_transition(
+                "waiting", "done", trigger=("timer", "timeout"),
+                action=lambda c, m: c.send("cmd", "set_value", 5.0),
+            )
+            return sm
+
+        def on_start(self):
+            self.inform_in(1.0)
+
+    class TunableGain(GainLeaf):
+        def __init__(self, name):
+            super().__init__(name, k=1.0)
+            self.add_sport("tune", CMD.conjugate())
+
+        def handle_signal(self, sport_name, message):
+            if message.signal == "set_value":
+                self.params["k"] = float(message.data)
+                self.sport("tune").send("ack", self.params["k"])
+
+    def build(self, model):
+        tuner = model.add_capsule(self.Tuner("tuner"))
+        const = model.add_streamer(ConstLeaf("c", 1.0))
+        gain = model.add_streamer(self.TunableGain("g"))
+        model.add_flow(const.dport("y"), gain.dport("u"))
+        model.connect_sport(tuner.port("cmd"), gain.sport("tune"))
+        model.add_probe("y", gain.dport("y"))
+        return tuner, gain
+
+    def test_parameter_change_takes_effect(self, model):
+        __, gain = self.build(model)
+        model.run(until=2.0, sync_interval=0.1)
+        trajectory = model.probe("y")
+        assert trajectory.sample(0.5)[0] == pytest.approx(1.0)
+        assert trajectory.sample(1.5)[0] == pytest.approx(5.0)
+
+    def test_ack_reaches_capsule(self, model):
+        tuner, __ = self.build(model)
+        model.run(until=2.0, sync_interval=0.1)
+        scheduler = model.scheduler()
+        assert scheduler.signals_to_streamers == 1
+        assert scheduler.signals_to_capsules == 1
+
+    def test_sport_must_be_connected_to_send(self):
+        streamer = Streamer("s")
+        sport = streamer.add_sport("p", CMD.conjugate())
+        with pytest.raises(SPortError, match="not connected"):
+            sport.send("ack")
+
+    def test_sport_signal_validated(self, model):
+        __, gain = self.build(model)
+        with pytest.raises(SPortError, match="cannot send"):
+            gain.sport("tune").send("set_value")  # wrong direction
+
+    def test_double_connection_rejected(self, model):
+        tuner, gain = self.build(model)
+        other = model.add_capsule(self.Tuner("tuner2"))
+        with pytest.raises(ModelError, match="already connected"):
+            model.connect_sport(other.port("cmd"), gain.sport("tune"))
+
+
+class TestZeroCrossingIntegration:
+    class Bouncer(Streamer):
+        """Falling ball with a terminal-ish event sent to the model."""
+
+        state_size = 2
+        zero_crossing_names = ("ground",)
+
+        def __init__(self, name):
+            super().__init__(name)
+            self.add_out("h", SCALAR)
+            self.crossings = []
+
+        def initial_state(self):
+            return np.array([10.0, 0.0])
+
+        def derivatives(self, t, state):
+            return np.array([state[1], -9.81])
+
+        def compute_outputs(self, t, state):
+            self.out_scalar("h", state[0])
+
+        def zero_crossings(self, t, state):
+            return (state[0],)
+
+        def on_zero_crossing(self, name, t, direction):
+            self.crossings.append((name, t, direction))
+
+    def test_event_localised(self, model):
+        ball = model.add_streamer(self.Bouncer("ball"))
+        model.run(until=2.0, sync_interval=0.05)
+        assert len(ball.crossings) == 1
+        name, t, direction = ball.crossings[0]
+        assert name == "ground" and direction == -1
+        assert t == pytest.approx(math.sqrt(2 * 10.0 / 9.81), abs=1e-3)
+
+    def test_event_restart_truncates_major_step(self, model):
+        ball = model.add_streamer(self.Bouncer("ball"))
+        scheduler = model.run(until=2.0, sync_interval=0.05,
+                              event_restart=True)
+        assert scheduler.events_fired == 1
+
+    def test_no_restart_mode(self, model):
+        ball = model.add_streamer(self.Bouncer("ball"))
+        model.run(until=2.0, sync_interval=0.05, event_restart=False)
+        assert len(ball.crossings) == 1
+
+
+class TestMultiThread:
+    def build(self, model, real=False):
+        fast = model.create_thread("fast", solver="rk4", h=0.001)
+        slow = model.create_thread("slow", solver="euler", h=0.01)
+        const = model.add_streamer(ConstLeaf("c", 1.0), fast)
+        a = model.add_streamer(IntegratorLeaf("a"), fast)
+        b = model.add_streamer(IntegratorLeaf("b"), slow)
+        model.add_flow(const.dport("y"), a.dport("u"))
+        model.add_flow(a.dport("y"), b.dport("u"))
+        model.add_probe("a", a.dport("y"))
+        model.add_probe("b", b.dport("y"))
+        return model
+
+    def test_cross_thread_flow_sampled(self, model):
+        self.build(model)
+        model.run(until=1.0, sync_interval=0.05)
+        # a = t exactly; b = integral of sampled a ~ t^2/2 with O(sync) err
+        assert model.probe("a").y_final[0] == pytest.approx(1.0, rel=1e-9)
+        assert model.probe("b").y_final[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_real_threads_match_cooperative(self):
+        results = []
+        for real in (False, True):
+            model = HybridModel("mt")
+            self.build(model)
+            model.run(until=0.5, sync_interval=0.05, real_threads=real)
+            results.append(model.probe("b").y_final[0])
+        assert results[0] == pytest.approx(results[1], abs=1e-12)
+
+    def test_duplicate_thread_name(self, model):
+        model.create_thread("x")
+        with pytest.raises(ModelError):
+            model.create_thread("x")
+
+
+class TestModelErrors:
+    def test_nested_streamer_rejected(self, model):
+        top = Streamer("top")
+        sub = top.add_sub(Streamer("sub"))
+        with pytest.raises(ModelError):
+            model.add_streamer(sub)
+
+    def test_duplicate_top_name(self, model):
+        model.add_streamer(ConstLeaf("x", 1.0))
+        with pytest.raises(ModelError):
+            model.add_streamer(ConstLeaf("x", 2.0))
+
+    def test_duplicate_probe(self, model):
+        streamer = model.add_streamer(ConstLeaf("x", 1.0))
+        model.add_probe("p", streamer.dport("y"))
+        with pytest.raises(ModelError):
+            model.add_probe("p", streamer.dport("y"))
+
+    def test_unknown_probe(self, model):
+        with pytest.raises(ModelError):
+            model.probe("ghost")
+
+    def test_foreign_capsule_port_rejected(self, model):
+        foreign = Capsule("foreign")
+        streamer = model.add_streamer(ConstLeaf("x", 1.0))
+        sport = streamer.add_sport("s", CMD.conjugate())
+        with pytest.raises(ModelError):
+            model.connect_sport(foreign.port("timer"), sport)
+
+    def test_stats_shape(self, model):
+        model.add_streamer(DecayLeaf("d"))
+        model.run(until=0.2, sync_interval=0.1)
+        stats = model.stats()
+        for key in ("capsules", "major_steps", "minor_steps",
+                    "rhs_evaluations"):
+            assert key in stats

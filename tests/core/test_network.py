@@ -1,0 +1,197 @@
+"""Network flattening: resolution, ordering, algebraic loops (W8, W12)."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import ConstLeaf, DecayLeaf, GainLeaf, IntegratorLeaf
+
+from repro.core.dport import Direction
+from repro.core.flowtype import SCALAR
+from repro.core.network import FlatNetwork, NetworkError
+from repro.core.streamer import Streamer
+
+
+def chain_model():
+    """const(2) -> gain(3) -> integrator."""
+    top = Streamer("top")
+    const = top.add_sub(ConstLeaf("const", 2.0))
+    gain = top.add_sub(GainLeaf("gain", 3.0))
+    integ = top.add_sub(IntegratorLeaf("integ"))
+    top.add_flow(const.dport("y"), gain.dport("u"))
+    top.add_flow(gain.dport("y"), integ.dport("u"))
+    return top, const, gain, integ
+
+
+class TestResolution:
+    def test_direct_edges(self):
+        top, *_ = chain_model()
+        network = FlatNetwork([top])
+        assert len(network.edges) == 2
+        assert network.stats()["leaves"] == 3
+
+    def test_through_boundary_ports(self):
+        """Flows crossing composite boundaries resolve to leaf edges."""
+        top = Streamer("top")
+        inner = top.add_sub(Streamer("inner"))
+        source = inner.add_sub(ConstLeaf("src", 1.0))
+        inner.add_boundary("out", Direction.OUT, SCALAR)
+        inner.add_flow(source.dport("y"), inner.dport("out"))
+        sink = top.add_sub(IntegratorLeaf("sink"))
+        top.add_flow(inner.dport("out"), sink.dport("u"))
+        network = FlatNetwork([top])
+        assert len(network.edges) == 1
+        edge = network.edges[0]
+        assert edge.src_leaf is source and edge.dst_leaf is sink
+        assert len(edge.path) == 2  # two hops through the boundary
+
+    def test_through_relay(self):
+        top = Streamer("top")
+        source = top.add_sub(ConstLeaf("src", 1.0))
+        a = top.add_sub(IntegratorLeaf("a"))
+        b = top.add_sub(IntegratorLeaf("b"))
+        relay = top.add_relay("split", SCALAR)
+        top.add_flow(source.dport("y"), relay.input)
+        top.add_flow(relay.out_a, a.dport("u"))
+        top.add_flow(relay.out_b, b.dport("u"))
+        network = FlatNetwork([top])
+        assert len(network.edges) == 2
+
+    def test_double_driver_rejected(self):
+        """W8: an IN DPort cannot have two drivers."""
+        top = Streamer("top")
+        a = top.add_sub(ConstLeaf("a", 1.0))
+        b = top.add_sub(ConstLeaf("b", 2.0))
+        sink = top.add_sub(IntegratorLeaf("sink"))
+        top.add_flow(a.dport("y"), sink.dport("u"))
+        top.add_flow(b.dport("y"), sink.dport("u"))
+        with pytest.raises(NetworkError, match="W8"):
+            FlatNetwork([top])
+
+    def test_unconnected_input_reported(self):
+        top = Streamer("top")
+        top.add_sub(IntegratorLeaf("lonely"))
+        network = FlatNetwork([top])
+        assert len(network.unconnected_inputs) == 1
+
+    def test_empty_tops_rejected(self):
+        with pytest.raises(NetworkError):
+            FlatNetwork([])
+
+
+class TestOrdering:
+    def test_topological_order(self):
+        top, const, gain, integ = chain_model()
+        network = FlatNetwork([top])
+        order = [leaf.name for leaf in network.order]
+        assert order.index("const") < order.index("gain")
+        # integrator is not feedthrough: no constraint, but must appear
+        assert set(order) == {"const", "gain", "integ"}
+
+    def test_feedback_through_integrator_allowed(self):
+        """gain -> integrator -> gain loop is fine (state breaks it)."""
+        top = Streamer("top")
+        gain = top.add_sub(GainLeaf("gain", -1.0))
+        integ = top.add_sub(IntegratorLeaf("integ"))
+        top.add_flow(gain.dport("y"), integ.dport("u"))
+        top.add_flow(integ.dport("y"), gain.dport("u"))
+        network = FlatNetwork([top])  # must not raise
+        assert len(network.edges) == 2
+
+    def test_algebraic_loop_rejected(self):
+        """W12: gain -> gain cycle has no state to break it."""
+        top = Streamer("top")
+        a = top.add_sub(GainLeaf("a"))
+        b = top.add_sub(GainLeaf("b"))
+        top.add_flow(a.dport("y"), b.dport("u"))
+        top.add_flow(b.dport("y"), a.dport("u"))
+        with pytest.raises(NetworkError, match="W12"):
+            FlatNetwork([top])
+
+    def test_deterministic_order(self):
+        orders = []
+        for __ in range(2):
+            top, *_ = chain_model()
+            orders.append([l.name for l in FlatNetwork([top]).order])
+        assert orders[0] == orders[1]
+
+
+class TestStateVector:
+    def test_layout(self):
+        top, __, ___, integ = chain_model()
+        network = FlatNetwork([top])
+        assert network.state_size == 1
+        lo, hi = network.state_slice(integ)
+        assert hi - lo == 1
+
+    def test_initial_state(self):
+        top = Streamer("top")
+        top.add_sub(DecayLeaf("d1", y0=3.0))
+        top.add_sub(DecayLeaf("d2", y0=7.0))
+        network = FlatNetwork([top])
+        assert sorted(network.initial_state().tolist()) == [3.0, 7.0]
+
+    def test_bad_initial_state_shape(self):
+        class Broken(IntegratorLeaf):
+            def initial_state(self):
+                return np.zeros(3)
+
+        top = Streamer("top")
+        top.add_sub(Broken("b"))
+        with pytest.raises(NetworkError, match="initial_state"):
+            FlatNetwork([top]).initial_state()
+
+
+class TestEvaluation:
+    def test_rhs_chain(self):
+        top, *_ = chain_model()
+        network = FlatNetwork([top])
+        dstate = network.rhs(0.0, network.initial_state())
+        assert dstate.tolist() == [6.0]  # 2 * 3
+
+    def test_evaluate_refreshes_ports(self):
+        top, const, gain, integ = chain_model()
+        network = FlatNetwork([top])
+        network.evaluate(0.0, np.array([0.0]))
+        assert gain.dport("y").read_scalar() == 6.0
+
+    def test_rhs_shape_validated(self):
+        class Broken(IntegratorLeaf):
+            def derivatives(self, t, state):
+                return np.zeros(2)
+
+        top = Streamer("top")
+        top.add_sub(Broken("b"))
+        network = FlatNetwork([top])
+        with pytest.raises(NetworkError, match="derivatives"):
+            network.rhs(0.0, network.initial_state())
+
+    def test_guard_collection(self):
+        class Guarded(DecayLeaf):
+            zero_crossing_names = ("level",)
+
+            def zero_crossings(self, t, state):
+                return (state[0] - 0.5,)
+
+        top = Streamer("top")
+        leaf = top.add_sub(Guarded("g", y0=1.0))
+        network = FlatNetwork([top])
+        assert len(network.guards) == 1
+        values = network.guard_values(
+            0.0, network.initial_state(), network.guards
+        )
+        assert values == [0.5]
+
+    def test_guard_count_mismatch_detected(self):
+        class Broken(DecayLeaf):
+            zero_crossing_names = ("a", "b")
+
+            def zero_crossings(self, t, state):
+                return (1.0,)  # declares 2, returns 1
+
+        top = Streamer("top")
+        top.add_sub(Broken("b"))
+        network = FlatNetwork([top])
+        with pytest.raises(NetworkError):
+            network.guard_values(
+                0.0, network.initial_state(), network.guards
+            )

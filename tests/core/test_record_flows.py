@@ -1,0 +1,121 @@
+"""Record (multi-field) flow types end to end in a simulation.
+
+Scalar flows dominate the test suite; these tests exercise the record
+path: typed sensor bundles flowing between streamers, W1 subset wiring
+and the merge semantics of partial records during a live run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dport import Direction
+from repro.core.flowtype import DataKind, FlowType
+from repro.core.model import HybridModel
+from repro.core.streamer import Streamer
+
+IMU_FULL = FlowType.record("imu", {
+    "ax": DataKind.FLOAT,
+    "gyro": DataKind.FLOAT,
+    "valid": DataKind.BOOL,
+})
+IMU_ACCEL_ONLY = FlowType.record("accel", {"ax": DataKind.FLOAT})
+
+
+class ImuSource(Streamer):
+    """Produces the full IMU record."""
+
+    def __init__(self, name="imu"):
+        super().__init__(name)
+        self.add_out("data", IMU_FULL)
+
+    def compute_outputs(self, t, state):
+        self.dport("data").write({
+            "ax": float(np.sin(t)),
+            "gyro": 0.5 * t,
+            "valid": True,
+        })
+
+
+class AccelSource(Streamer):
+    """Produces only the acceleration field (subset record)."""
+
+    def __init__(self, name="accel"):
+        super().__init__(name)
+        self.add_out("data", IMU_ACCEL_ONLY)
+
+    def compute_outputs(self, t, state):
+        self.dport("data").write({"ax": 2.0 * t})
+
+
+class Fusion(Streamer):
+    """Consumes the full record; integrates ax."""
+
+    state_size = 1
+    direct_feedthrough = False
+
+    def __init__(self, name="fusion"):
+        super().__init__(name)
+        self.add_in("data", IMU_FULL)
+        self.add_out("vx", FlowType.scalar())
+        self.last_record = None
+
+    def derivatives(self, t, state):
+        record = self.dport("data").read()
+        self.last_record = record
+        return np.array([float(record["ax"])])
+
+    def compute_outputs(self, t, state):
+        self.out_scalar("vx", state[0])
+
+
+class TestRecordFlowsInSimulation:
+    def test_full_record_flows(self, model):
+        imu = model.add_streamer(ImuSource())
+        fusion = model.add_streamer(Fusion())
+        model.add_flow(imu.dport("data"), fusion.dport("data"))
+        model.add_probe("vx", fusion.dport("vx"))
+        model.run(until=np.pi, sync_interval=0.01)
+        # vx = integral of sin = 1 - cos(pi) = 2
+        assert model.probe("vx").y_final[0] == pytest.approx(2.0, abs=1e-3)
+        assert fusion.last_record["valid"] is True
+        assert fusion.last_record["gyro"] == pytest.approx(
+            0.5 * np.pi, abs=0.01
+        )
+
+    def test_subset_record_drives_superset_port(self, model):
+        """W1: the accel-only producer may drive the full-IMU consumer;
+        unprovided fields keep their defaults."""
+        accel = model.add_streamer(AccelSource())
+        fusion = model.add_streamer(Fusion())
+        model.add_flow(accel.dport("data"), fusion.dport("data"))
+        model.add_probe("vx", fusion.dport("vx"))
+        model.run(until=1.0, sync_interval=0.01)
+        # vx = integral of 2t = 1
+        assert model.probe("vx").y_final[0] == pytest.approx(1.0, abs=1e-3)
+        # fields the subset producer never wrote stay at defaults
+        assert fusion.last_record["valid"] is False
+        assert fusion.last_record["gyro"] == 0.0
+
+    def test_superset_cannot_drive_subset(self, model):
+        from repro.core.flow import FlowError
+
+        imu = model.add_streamer(ImuSource())
+        narrow = Streamer("narrow")
+        narrow.add_in("data", IMU_ACCEL_ONLY)
+        model.add_streamer(narrow)
+        with pytest.raises(FlowError, match="W1"):
+            model.add_flow(imu.dport("data"), narrow.dport("data"))
+
+    def test_record_relay_duplication(self, model):
+        imu = model.add_streamer(ImuSource())
+        a = model.add_streamer(Fusion("fa"))
+        b = model.add_streamer(Fusion("fb"))
+        relay = model.add_relay("split", IMU_FULL)
+        model.add_flow(imu.dport("data"), relay.input)
+        model.add_flow(relay.out_a, a.dport("data"))
+        model.add_flow(relay.out_b, b.dport("data"))
+        model.add_probe("va", a.dport("vx"))
+        model.add_probe("vb", b.dport("vx"))
+        model.run(until=1.0, sync_interval=0.01)
+        assert model.probe("va").y_final[0] == \
+            model.probe("vb").y_final[0]

@@ -1,0 +1,142 @@
+"""Streamer structure: ports, nesting, flows, hooks (rules W3, W6)."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import PING, ConstLeaf, GainLeaf, IntegratorLeaf
+
+from repro.core.dport import Direction
+from repro.core.flowtype import SCALAR
+from repro.core.streamer import Streamer, StreamerError
+from repro.umlrt.capsule import Capsule
+
+
+class TestPorts:
+    def test_add_dports(self):
+        streamer = Streamer("s")
+        streamer.add_in("u", SCALAR)
+        streamer.add_out("y", SCALAR)
+        assert streamer.dport("u").is_in
+        assert streamer.dport("y").is_out
+
+    def test_duplicate_dport(self):
+        streamer = Streamer("s")
+        streamer.add_in("u", SCALAR)
+        with pytest.raises(StreamerError):
+            streamer.add_out("u", SCALAR)
+
+    def test_unknown_dport(self):
+        with pytest.raises(StreamerError):
+            Streamer("s").dport("ghost")
+
+    def test_sport_needs_role(self):
+        streamer = Streamer("s")
+        sport = streamer.add_sport("ctl", PING.conjugate())
+        assert sport.role.receives == {"ping"}
+        with pytest.raises(StreamerError):
+            streamer.add_sport("ctl", PING.conjugate())
+
+    def test_boundary_is_relay_only(self):
+        streamer = Streamer("s")
+        boundary = streamer.add_boundary("b", Direction.IN, SCALAR)
+        assert boundary.relay_only
+
+
+class TestNesting:
+    def test_sub_streamers(self):
+        top = Streamer("top")
+        sub = top.add_sub(Streamer("sub"))
+        subsub = sub.add_sub(Streamer("subsub"))
+        assert top.sub("sub") is sub
+        assert subsub.path() == "top.sub.subsub"
+        assert top.is_composite and not subsub.is_composite
+
+    def test_leaves(self):
+        top = Streamer("top")
+        a = top.add_sub(ConstLeaf("a"))
+        mid = top.add_sub(Streamer("mid"))
+        b = mid.add_sub(ConstLeaf("b"))
+        assert top.leaves() == [a, b]
+
+    def test_leaf_of_itself(self):
+        leaf = ConstLeaf("x")
+        assert leaf.leaves() == [leaf]
+
+    def test_duplicate_sub(self):
+        top = Streamer("top")
+        top.add_sub(Streamer("sub"))
+        with pytest.raises(StreamerError):
+            top.add_sub(Streamer("sub"))
+
+    def test_reparenting_rejected(self):
+        a, b = Streamer("a"), Streamer("b")
+        child = Streamer("child")
+        a.add_sub(child)
+        with pytest.raises(StreamerError):
+            b.add_sub(child)
+
+    def test_capsule_containment_rejected(self):
+        """W6: streamers never contain capsules."""
+        top = Streamer("top")
+        with pytest.raises(StreamerError, match="W6"):
+            top.add_sub(Capsule("nope"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(StreamerError):
+            Streamer("")
+
+
+class TestFlowsAndRelays:
+    def test_internal_flow(self):
+        top = Streamer("top")
+        a = top.add_sub(ConstLeaf("a", 2.0))
+        b = top.add_sub(GainLeaf("b"))
+        flow = top.add_flow(a.dport("y"), b.dport("u"))
+        assert top.all_flows() == [flow]
+
+    def test_flows_collected_recursively(self):
+        top = Streamer("top")
+        mid = top.add_sub(Streamer("mid"))
+        a = mid.add_sub(ConstLeaf("a"))
+        b = mid.add_sub(GainLeaf("b"))
+        mid.add_flow(a.dport("y"), b.dport("u"))
+        assert len(top.all_flows()) == 1
+
+    def test_relay_registry(self):
+        top = Streamer("top")
+        relay = top.add_relay("split", SCALAR)
+        assert top.all_relays() == [relay]
+        with pytest.raises(StreamerError):
+            top.add_relay("split", SCALAR)
+
+
+class TestNumericHooks:
+    def test_default_hooks(self):
+        streamer = Streamer("s")
+        assert streamer.initial_state().shape == (0,)
+        assert streamer.derivatives(0.0, np.empty(0)).shape == (0,)
+        assert streamer.zero_crossings(0.0, np.empty(0)) == ()
+
+    def test_stateful_without_derivatives_raises(self):
+        class Broken(Streamer):
+            state_size = 2
+
+        with pytest.raises(StreamerError, match="derivatives"):
+            Broken("b").derivatives(0.0, np.zeros(2))
+
+    def test_scalar_helpers(self):
+        leaf = GainLeaf("g", k=3.0)
+        leaf.dport("u")._store(2.0)
+        leaf.compute_outputs(0.0, np.empty(0))
+        assert leaf.dport("y").read_scalar() == 6.0
+
+    def test_state_reset_request(self):
+        leaf = IntegratorLeaf("i")
+        leaf.request_state_reset([5.0])
+        assert leaf.consume_state_reset().tolist() == [5.0]
+        assert leaf.consume_state_reset() is None
+
+    def test_state_reset_shape_checked(self):
+        leaf = IntegratorLeaf("i")
+        with pytest.raises(StreamerError):
+            leaf.request_state_reset([1.0, 2.0])

@@ -1,0 +1,94 @@
+"""The Time stereotype (W11) and the solver Strategy binding (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.solverbinding import SolverBinding
+from repro.core.timeservice import ContinuousTime, TimeError
+from repro.solvers import RK4, Euler
+
+
+class TestContinuousTime:
+    def test_monotone_advance(self):
+        time = ContinuousTime()
+        time.advance_to(1.0)
+        time.advance_by(0.5)
+        assert time.now == 1.5
+        assert time.elapsed == 1.5
+
+    def test_backwards_rejected(self):
+        time = ContinuousTime()
+        time.advance_to(2.0)
+        with pytest.raises(TimeError, match="W11"):
+            time.advance_to(1.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(TimeError):
+            ContinuousTime().advance_by(-0.1)
+
+    def test_scaled_time(self):
+        time = ContinuousTime(scale=60.0)  # minutes
+        time.advance_to(2.0)
+        assert time.now == 120.0
+        assert time.raw == 2.0
+
+    def test_bad_scale(self):
+        with pytest.raises(TimeError):
+            ContinuousTime(scale=0.0)
+
+    def test_nonzero_origin(self):
+        time = ContinuousTime(t0=10.0)
+        time.advance_to(12.0)
+        assert time.elapsed == 2.0
+
+    def test_audit_trail(self):
+        time = ContinuousTime()
+        time.audit_enabled = True
+        time.advance_to(1.0)
+        time.advance_to(2.0)
+        assert time.audit_trail() == [(0.0, 1.0), (1.0, 2.0)]
+        assert time.is_monotone()
+        assert time.advancements == 2
+
+    def test_zero_advance_allowed(self):
+        time = ContinuousTime()
+        time.advance_to(0.0)  # staying put is monotone
+
+
+class TestSolverBinding:
+    def test_bind_by_name(self):
+        binding = SolverBinding("euler")
+        assert binding.strategy_name == "euler"
+
+    def test_bind_by_instance(self):
+        binding = SolverBinding(RK4())
+        assert binding.strategy_name == "rk4"
+
+    def test_kwargs_with_instance_rejected(self):
+        with pytest.raises(ValueError):
+            SolverBinding(RK4(), rtol=1e-3)
+
+    def test_hot_swap(self):
+        """The Figure-1 Strategy pattern: concrete solvers interchange."""
+        binding = SolverBinding("euler")
+        previous = binding.rebind("rk4")
+        assert isinstance(previous, Euler)
+        assert binding.strategy_name == "rk4"
+        assert binding.swaps == 1
+
+    def test_swap_preserves_external_state(self):
+        """Continuous state lives outside the strategy, so swapping
+        mid-integration continues seamlessly."""
+        f = lambda t, y: -y  # noqa: E731
+        binding = SolverBinding("euler")
+        y = np.array([1.0])
+        result = binding.step(f, 0.0, y, 0.1)
+        binding.rebind("rk4")
+        result = binding.step(f, result.t, result.y, 0.1)
+        assert 0.0 < result.y[0] < 1.0
+        assert binding.steps_taken == 2
+        assert binding.time_integrated == pytest.approx(0.2)
+
+    def test_solver_kwargs_forwarded(self):
+        binding = SolverBinding("rk45", rtol=1e-3)
+        assert binding.solver.rtol == 1e-3

@@ -1,0 +1,203 @@
+"""Discrete blocks, sinks and the Diagram wiring helper."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import HybridModel
+from repro.dataflow import (
+    Constant,
+    Diagram,
+    DiscretePID,
+    DiscreteTransferFunction,
+    FirstOrderLag,
+    Gain,
+    MovingAverage,
+    Scope,
+    Step,
+    Sum,
+    Terminator,
+    TimeSource,
+    UnitDelay,
+    ZeroOrderHold,
+)
+from repro.dataflow.block import BlockError
+from repro.dataflow.diagram import DiagramError
+
+
+def run(diagram, until=1.0, sync=0.1, h=0.01):
+    diagram.finalise()
+    model = HybridModel("t")
+    model.default_thread.h = h
+    model.add_streamer(diagram)
+    model.run(until=until, sync_interval=sync)
+    return model
+
+
+class TestZeroOrderHold:
+    def test_holds_between_samples(self):
+        d = Diagram("d")
+        d.add(TimeSource("t"))
+        d.add(ZeroOrderHold("zoh", ts=0.5))
+        d.add(Scope("scope"))
+        d.connect("t.out", "zoh.in")
+        d.connect("zoh.out", "scope.in1")
+        run(d, until=1.0, sync=0.1)
+        samples = d.sub("scope").trajectory
+        # at t in [0, 0.5): holds sample taken at 0; then at 0.5 etc.
+        assert samples.sample(0.3)[0] == pytest.approx(0.0)
+        assert samples.sample(0.7)[0] == pytest.approx(0.5)
+
+    def test_sample_count(self):
+        d = Diagram("d")
+        d.add(TimeSource("t"))
+        d.add(ZeroOrderHold("zoh", ts=0.25))
+        d.connect("t.out", "zoh.in")
+        run(d, until=1.0, sync=0.05)
+        assert d.sub("zoh").samples_taken == 5  # t = 0, .25, .5, .75, 1.0
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            ZeroOrderHold("z", ts=0.0)
+
+
+class TestUnitDelay:
+    def test_delays_one_sample(self):
+        d = Diagram("d")
+        d.add(TimeSource("t"))
+        d.add(UnitDelay("z", ts=0.25, y0=-1.0))
+        d.add(Scope("scope"))
+        d.connect("t.out", "z.in")
+        d.connect("z.out", "scope.in1")
+        run(d, until=1.0, sync=0.05)
+        samples = d.sub("scope").trajectory
+        # after the sample at t=0.5 the delayed output is t=0.25's input
+        assert samples.sample(0.6)[0] == pytest.approx(0.25)
+
+
+class TestMovingAverage:
+    def test_averages_window(self):
+        d = Diagram("d")
+        d.add(Step("s", t_step=0.0, amplitude=1.0))
+        d.add(MovingAverage("ma", ts=0.1, window=4))
+        d.connect("s.out", "ma.in")
+        run(d, until=1.0, sync=0.05)
+        # all samples equal 1 -> mean 1
+        d.sub("ma").compute_outputs(1.0, np.empty(0))
+        assert d.sub("ma").dport("out").read_scalar() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            MovingAverage("m", ts=0.1, window=0)
+
+
+class TestDiscreteTransferFunction:
+    def test_accumulator(self):
+        """H(z) = 1/(1 - z^-1): a discrete accumulator of its input."""
+        d = Diagram("d")
+        d.add(Constant("c", 1.0))
+        d.add(DiscreteTransferFunction("acc", num=[1.0], den=[1.0, -1.0],
+                                       ts=0.1))
+        d.connect("c.out", "acc.in")
+        run(d, until=1.0, sync=0.1)
+        block = d.sub("acc")
+        # 11 samples (t = 0..1.0 step 0.1) each adding 1
+        assert block.samples_taken == 11
+        block.compute_outputs(1.0, np.empty(0))
+        assert block.dport("out").read_scalar() == pytest.approx(11.0)
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            DiscreteTransferFunction("d", num=[1.0], den=[0.0, 1.0])
+
+
+class TestDiscretePID:
+    def test_regulates_lag(self):
+        d = Diagram("d")
+        d.add(Step("ref", amplitude=1.0))
+        d.add(Sum("err", signs="+-"))
+        d.add(DiscretePID("pid", kp=1.0, ki=2.0, ts=0.05))
+        d.add(FirstOrderLag("plant", tau=0.5))
+        d.connect("ref.out", "err.in1")
+        d.connect("plant.out", "err.in2")
+        d.connect("err.out", "pid.in")
+        d.connect("pid.out", "plant.in")
+        d.expose("y", "plant.out")
+        model = HybridModel("t")
+        model.default_thread.h = 0.005
+        model.add_streamer(d)
+        model.add_probe("y", d.dport("y"))
+        model.run(until=8.0, sync_interval=0.05)
+        assert model.probe("y").y_final[0] == pytest.approx(1.0, abs=0.02)
+
+    def test_output_clamped(self):
+        pid = DiscretePID("p", kp=100.0, ts=0.1, u_max=1.0, u_min=-1.0)
+        assert pid.sample(0.0, 10.0) == 1.0
+        assert pid.sample(0.1, -10.0) == -1.0
+
+
+class TestScopeAndTerminator:
+    def test_scope_multichannel(self):
+        d = Diagram("d")
+        d.add(Constant("a", 1.0))
+        d.add(Constant("b", 2.0))
+        d.add(Scope("scope", channels=2, labels=["a", "b"]))
+        d.connect("a.out", "scope.in1")
+        d.connect("b.out", "scope.in2")
+        run(d, until=0.5, sync=0.1)
+        trajectory = d.sub("scope").trajectory
+        assert trajectory.labels == ["a", "b"]
+        assert trajectory.y_final.tolist() == [1.0, 2.0]
+
+    def test_terminator_absorbs(self):
+        d = Diagram("d")
+        d.add(Constant("c", 1.0))
+        d.add(Terminator("t"))
+        d.connect("c.out", "t.in")
+        model = run(d)
+        assert model.validate(strict=True) == []  # no W8 warning... almost
+        # terminator consumed the flow; only warnings may remain
+        assert all(v.severity == "warning" for v in model.validate(False))
+
+
+class TestDiagramWiring:
+    def test_automatic_fanout_relays(self):
+        d = Diagram("d")
+        d.add(Constant("c", 1.0))
+        d.add(Gain("g1"))
+        d.add(Gain("g2"))
+        d.add(Gain("g3"))
+        d.connect("c.out", "g1.in")
+        d.connect("c.out", "g2.in")
+        d.connect("c.out", "g3.in")
+        d.finalise()
+        assert len(d.all_relays()) == 2  # 3-way fan-out = 2 relays
+
+    def test_fanout_values(self):
+        d = Diagram("d")
+        d.add(Constant("c", 5.0))
+        d.add(Gain("g1", k=1.0))
+        d.add(Gain("g2", k=2.0))
+        d.connect("c.out", "g1.in")
+        d.connect("c.out", "g2.in")
+        model = run(d)
+        assert d.sub("g1").dport("out").read_scalar() == 5.0
+        assert d.sub("g2").dport("out").read_scalar() == 10.0
+
+    def test_unknown_block_path(self):
+        d = Diagram("d")
+        with pytest.raises(DiagramError):
+            d.connect("ghost.out", "also.in")
+
+    def test_connect_after_finalise_rejected(self):
+        d = Diagram("d")
+        d.add(Constant("c", 1.0))
+        d.finalise()
+        with pytest.raises(DiagramError):
+            d.connect("c.out", "c.out")
+
+    def test_expose_in_direction(self):
+        d = Diagram("d")
+        d.add(Gain("g"))
+        boundary = d.expose("u", "g.in")
+        assert boundary.relay_only
+        assert boundary.is_in

@@ -1,0 +1,197 @@
+"""Continuous dynamic blocks: analytic-solution checks in full models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import HybridModel
+from repro.dataflow import (
+    Constant,
+    FirstOrderLag,
+    Integrator,
+    PID,
+    SecondOrderSystem,
+    StateSpace,
+    Step,
+    Sum,
+    TransferFunction,
+)
+from repro.dataflow.block import BlockError
+from repro.dataflow.diagram import Diagram
+
+
+def run_diagram(diagram, probe_path, until=5.0, h=1e-3, sync=0.05):
+    diagram.finalise()
+    model = HybridModel("t")
+    model.default_thread.h = h
+    model.add_streamer(diagram)
+    model.add_probe("y", diagram.port_at(probe_path))
+    model.run(until=until, sync_interval=sync)
+    return model.probe("y")
+
+
+class TestIntegrator:
+    def test_ramp(self):
+        d = Diagram("d")
+        d.add(Constant("c", 3.0))
+        d.add(Integrator("i", y0=1.0))
+        d.connect("c.out", "i.in")
+        trajectory = run_diagram(d, "i.out", until=2.0)
+        assert trajectory.y_final[0] == pytest.approx(7.0, rel=1e-9)
+
+    def test_saturation_limits(self):
+        d = Diagram("d")
+        d.add(Constant("c", 1.0))
+        d.add(Integrator("i", upper=0.5))
+        d.connect("c.out", "i.in")
+        trajectory = run_diagram(d, "i.out", until=2.0)
+        assert trajectory.y_final[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_limit_validation(self):
+        with pytest.raises(BlockError):
+            Integrator("i", lower=1.0, upper=0.0)
+
+
+class TestFirstOrderLag:
+    def test_step_response(self):
+        d = Diagram("d")
+        d.add(Step("s", amplitude=2.0))
+        d.add(FirstOrderLag("lag", tau=0.5, k=3.0))
+        d.connect("s.out", "lag.in")
+        trajectory = run_diagram(d, "lag.out", until=3.0)
+        # y(t) = k*A*(1 - exp(-t/tau))
+        expected = 6.0 * (1.0 - math.exp(-3.0 / 0.5))
+        assert trajectory.y_final[0] == pytest.approx(expected, rel=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            FirstOrderLag("lag", tau=0.0)
+
+
+class TestSecondOrder:
+    def test_dc_gain(self):
+        d = Diagram("d")
+        d.add(Step("s", amplitude=1.0))
+        d.add(SecondOrderSystem("pt2", omega=5.0, zeta=0.8, k=2.0))
+        d.connect("s.out", "pt2.in")
+        trajectory = run_diagram(d, "pt2.out", until=8.0)
+        assert trajectory.y_final[0] == pytest.approx(2.0, rel=1e-4)
+
+    def test_undamped_oscillation(self):
+        d = Diagram("d")
+        d.add(Constant("c", 0.0))
+        d.add(SecondOrderSystem("osc", omega=2.0, zeta=0.0, y0=1.0))
+        d.connect("c.out", "osc.in")
+        trajectory = run_diagram(d, "osc.out", until=math.pi)
+        # y = cos(omega t); at t = pi, cos(2 pi) = 1
+        assert trajectory.y_final[0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            SecondOrderSystem("o", omega=0.0)
+        with pytest.raises(BlockError):
+            SecondOrderSystem("o", zeta=-0.1)
+
+
+class TestTransferFunction:
+    def test_first_order_matches_lag(self):
+        """1/(0.5 s + 1) must equal FirstOrderLag(tau=0.5)."""
+        d = Diagram("d")
+        d.add(Step("s", amplitude=1.0))
+        d.add(TransferFunction("tf", num=[1.0], den=[0.5, 1.0]))
+        d.connect("s.out", "tf.in")
+        trajectory = run_diagram(d, "tf.out", until=2.0)
+        expected = 1.0 - math.exp(-4.0)
+        assert trajectory.y_final[0] == pytest.approx(expected, rel=1e-5)
+
+    def test_second_order(self):
+        """1/(s^2 + 2s + 1): critically damped, DC gain 1."""
+        d = Diagram("d")
+        d.add(Step("s", amplitude=1.0))
+        d.add(TransferFunction("tf", num=[1.0], den=[1.0, 2.0, 1.0]))
+        d.connect("s.out", "tf.in")
+        trajectory = run_diagram(d, "tf.out", until=15.0)
+        assert trajectory.y_final[0] == pytest.approx(1.0, rel=1e-3)
+
+    def test_feedthrough_detection(self):
+        proper = TransferFunction("a", num=[1.0], den=[1.0, 1.0])
+        biproper = TransferFunction("b", num=[2.0, 1.0], den=[1.0, 1.0])
+        assert not proper.direct_feedthrough
+        assert biproper.direct_feedthrough
+
+    def test_improper_rejected(self):
+        with pytest.raises(BlockError):
+            TransferFunction("tf", num=[1.0, 0.0, 0.0], den=[1.0, 1.0])
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(BlockError):
+            TransferFunction("tf", num=[1.0], den=[0.0])
+
+
+class TestStateSpace:
+    def test_matches_transfer_function(self):
+        """ss realisation of 1/(s+1) must match the tf block."""
+        d = Diagram("d")
+        d.add(Step("s", amplitude=1.0))
+        d.add(StateSpace("ss", a=[[-1.0]], b=[1.0], c=[1.0], d=0.0))
+        d.connect("s.out", "ss.in")
+        trajectory = run_diagram(d, "ss.out", until=2.0)
+        assert trajectory.y_final[0] == pytest.approx(
+            1.0 - math.exp(-2.0), rel=1e-5
+        )
+
+    def test_initial_condition(self):
+        block = StateSpace("ss", a=[[-1.0]], b=[1.0], c=[1.0], x0=[5.0])
+        assert block.initial_state().tolist() == [5.0]
+
+    def test_dimension_validation(self):
+        with pytest.raises(BlockError):
+            StateSpace("ss", a=[[1.0, 0.0]], b=[1.0], c=[1.0])
+        with pytest.raises(BlockError):
+            StateSpace("ss", a=[[-1.0]], b=[1.0, 2.0], c=[1.0])
+        with pytest.raises(BlockError):
+            StateSpace("ss", a=[[-1.0]], b=[1.0], c=[1.0], x0=[1.0, 2.0])
+
+    def test_feedthrough_flag(self):
+        assert StateSpace("ss", a=[[-1.0]], b=[1.0], c=[1.0],
+                          d=2.0).direct_feedthrough
+
+
+class TestPID:
+    def closed_loop(self, **pid_kwargs):
+        d = Diagram("d")
+        d.add(Step("ref", amplitude=1.0))
+        d.add(Sum("err", signs="+-"))
+        d.add(PID("pid", **pid_kwargs))
+        d.add(FirstOrderLag("plant", tau=1.0))
+        d.connect("ref.out", "err.in1")
+        d.connect("plant.out", "err.in2")
+        d.connect("err.out", "pid.in")
+        d.connect("pid.out", "plant.in")
+        return d
+
+    def test_proportional_steady_state_error(self):
+        """P-only control of a lag leaves ss error = 1/(1+kp)."""
+        trajectory = run_diagram(
+            self.closed_loop(kp=4.0, ki=0.0), "plant.out", until=10.0
+        )
+        assert trajectory.y_final[0] == pytest.approx(0.8, abs=1e-3)
+
+    def test_integral_removes_error(self):
+        trajectory = run_diagram(
+            self.closed_loop(kp=2.0, ki=2.0), "plant.out", until=15.0
+        )
+        assert trajectory.y_final[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_output_saturation(self):
+        d = Diagram("d")
+        d.add(Step("ref", amplitude=100.0))
+        d.add(PID("pid", kp=10.0, u_max=5.0, u_min=-5.0))
+        d.connect("ref.out", "pid.in")
+        trajectory = run_diagram(d, "pid.out", until=1.0)
+        assert trajectory.y_final[0] == pytest.approx(5.0)
+
+    def test_filter_validation(self):
+        with pytest.raises(BlockError):
+            PID("p", tf=0.0)

@@ -1,0 +1,143 @@
+"""Arithmetic and nonlinear blocks."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import (
+    Abs,
+    Bias,
+    DeadZone,
+    Gain,
+    LookupTable1D,
+    Product,
+    Quantizer,
+    RelayHysteresis,
+    Saturation,
+    Sum,
+)
+from repro.dataflow.block import BlockError
+
+
+def feed(block, **inputs):
+    for name, value in inputs.items():
+        block.dport(name)._store(float(value))
+    block.compute_outputs(0.0, np.empty(0))
+    return block.dport("out").read_scalar()
+
+
+class TestArithmetic:
+    def test_gain(self):
+        assert feed(Gain("g", k=-2.5), **{"in": 4.0}) == -10.0
+
+    def test_bias(self):
+        assert feed(Bias("b", bias=1.5), **{"in": 1.0}) == 2.5
+
+    def test_abs(self):
+        assert feed(Abs("a"), **{"in": -3.0}) == 3.0
+
+    def test_sum_signs(self):
+        block = Sum("s", signs="+-+")
+        assert feed(block, in1=5.0, in2=2.0, in3=1.0) == 4.0
+
+    def test_sum_port_names(self):
+        assert Sum("s", signs="+-").in_names == ["in1", "in2"]
+
+    def test_sum_bad_signs(self):
+        with pytest.raises(BlockError):
+            Sum("s", signs="+x")
+        with pytest.raises(BlockError):
+            Sum("s", signs="")
+
+    def test_product(self):
+        assert feed(Product("p", n=3), in1=2.0, in2=3.0, in3=4.0) == 24.0
+
+    def test_product_validation(self):
+        with pytest.raises(BlockError):
+            Product("p", n=0)
+
+    def test_all_direct_feedthrough(self):
+        for block in (Gain("g"), Bias("b"), Abs("a"), Sum("s"),
+                      Product("p")):
+            assert block.direct_feedthrough
+
+
+class TestSaturation:
+    def test_clamping(self):
+        sat = Saturation("s", lower=-1.0, upper=2.0)
+        assert feed(sat, **{"in": 5.0}) == 2.0
+        assert feed(sat, **{"in": -5.0}) == -1.0
+        assert feed(sat, **{"in": 0.5}) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            Saturation("s", lower=1.0, upper=1.0)
+
+
+class TestDeadZone:
+    @pytest.mark.parametrize("u,expected", [
+        (0.3, 0.0), (-0.3, 0.0), (1.0, 0.5), (-1.0, -0.5), (0.5, 0.0),
+    ])
+    def test_zone(self, u, expected):
+        assert feed(DeadZone("d", width=0.5), **{"in": u}) == pytest.approx(
+            expected
+        )
+
+    def test_negative_width(self):
+        with pytest.raises(BlockError):
+            DeadZone("d", width=-1.0)
+
+
+class TestQuantizer:
+    def test_rounding(self):
+        q = Quantizer("q", step=0.25)
+        assert feed(q, **{"in": 0.3}) == 0.25
+        assert feed(q, **{"in": 0.38}) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            Quantizer("q", step=0.0)
+
+
+class TestRelayHysteresis:
+    def test_switching_cycle(self):
+        relay = RelayHysteresis("r", lower=-0.5, upper=0.5,
+                                on_value=1.0, off_value=0.0)
+        assert feed(relay, **{"in": 0.0}) == 0.0  # starts off
+        assert feed(relay, **{"in": 0.6}) == 1.0  # crosses upper
+        assert feed(relay, **{"in": 0.0}) == 1.0  # hysteresis holds
+        assert feed(relay, **{"in": -0.6}) == 0.0  # crosses lower
+
+    def test_initially_on(self):
+        relay = RelayHysteresis("r", initially_on=True)
+        assert feed(relay, **{"in": 0.0}) == 1.0
+
+    def test_guards_published(self):
+        relay = RelayHysteresis("r", lower=-0.5, upper=0.5)
+        relay.dport("in")._store(0.7)
+        up, down = relay.zero_crossings(0.0, np.empty(0))
+        assert up == pytest.approx(0.2)
+        assert down == pytest.approx(-1.2)
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            RelayHysteresis("r", lower=1.0, upper=0.0)
+
+
+class TestLookupTable:
+    def test_interpolation(self):
+        table = LookupTable1D("t", xs=[0.0, 1.0, 2.0], ys=[0.0, 10.0, 0.0])
+        assert feed(table, **{"in": 0.5}) == 5.0
+        assert feed(table, **{"in": 1.5}) == 5.0
+
+    def test_extrapolation(self):
+        table = LookupTable1D("t", xs=[0.0, 1.0], ys=[0.0, 2.0])
+        assert feed(table, **{"in": 2.0}) == 4.0
+        assert feed(table, **{"in": -1.0}) == -2.0
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            LookupTable1D("t", xs=[0.0], ys=[1.0])
+        with pytest.raises(BlockError):
+            LookupTable1D("t", xs=[0.0, 0.0], ys=[1.0, 2.0])
+        with pytest.raises(BlockError):
+            LookupTable1D("t", xs=[0.0, 1.0], ys=[1.0])

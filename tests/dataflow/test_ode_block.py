@@ -1,0 +1,149 @@
+"""OdeBlock: textual state equations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import HybridModel
+from repro.dataflow import Constant, Diagram, OdeBlock, Sine
+from repro.dataflow.block import BlockError
+
+
+def run(diagram, probe, until=1.0, h=0.001, sync=0.05):
+    diagram.finalise()
+    model = HybridModel("t")
+    model.default_thread.h = h
+    model.add_streamer(diagram)
+    model.add_probe("y", diagram.port_at(probe))
+    model.run(until=until, sync_interval=sync)
+    return model.probe("y")
+
+
+class TestConstruction:
+    def test_equations_must_cover_states(self):
+        with pytest.raises(BlockError, match="cover exactly"):
+            OdeBlock("o", states={"x": 0.0}, equations={},
+                     outputs={"y": "x"})
+
+    def test_needs_output(self):
+        with pytest.raises(BlockError, match="output"):
+            OdeBlock("o", states={"x": 0.0}, equations={"x": "1"},
+                     outputs={})
+
+    def test_bad_expression_rejected_at_build(self):
+        with pytest.raises(BlockError, match="bad expression"):
+            OdeBlock("o", states={"x": 0.0},
+                     equations={"x": "1 +* 2"}, outputs={"y": "x"})
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(BlockError, match="shadows"):
+            OdeBlock("o", states={"sin": 0.0},
+                     equations={"sin": "1"}, outputs={"y": "sin"})
+
+    def test_duplicate_identifier_rejected(self):
+        with pytest.raises(BlockError, match="duplicate"):
+            OdeBlock("o", states={"x": 0.0}, equations={"x": "1"},
+                     outputs={"y": "x"}, inputs=("x",))
+
+    def test_builtins_not_reachable(self):
+        block = OdeBlock(
+            "o", states={"x": 1.0},
+            equations={"x": "__import__('os').getpid()"},
+            outputs={"y": "x"},
+        )
+        with pytest.raises(Exception):
+            block.derivatives(0.0, np.array([1.0]))
+
+    def test_feedthrough_detection(self):
+        pure = OdeBlock("a", states={"x": 0.0}, equations={"x": "u"},
+                        outputs={"y": "x"}, inputs=("u",))
+        direct = OdeBlock("b", states={"x": 0.0}, equations={"x": "u"},
+                          outputs={"y": "x + u"}, inputs=("u",))
+        assert not pure.direct_feedthrough
+        assert direct.direct_feedthrough
+
+
+class TestDynamics:
+    def test_exponential_decay(self):
+        d = Diagram("d")
+        d.add(OdeBlock(
+            "decay", states={"x": 1.0},
+            equations={"x": "-lam * x"}, outputs={"y": "x"},
+            params={"lam": 2.0},
+        ))
+        trajectory = run(d, "decay.y", until=1.0)
+        assert trajectory.y_final[0] == pytest.approx(
+            math.exp(-2.0), rel=1e-6
+        )
+
+    def test_driven_integrator(self):
+        d = Diagram("d")
+        d.add(Constant("c", 3.0))
+        d.add(OdeBlock(
+            "integ", states={"x": 0.5}, equations={"x": "u"},
+            outputs={"y": "x"}, inputs=("u",),
+        ))
+        d.connect("c.out", "integ.u")
+        trajectory = run(d, "integ.y", until=2.0)
+        assert trajectory.y_final[0] == pytest.approx(6.5, rel=1e-9)
+
+    def test_nonlinear_pendulum(self):
+        """Damped pendulum from strings settles to hanging position."""
+        d = Diagram("d")
+        d.add(Constant("torque", 0.0))
+        d.add(OdeBlock(
+            "pendulum",
+            states={"theta": 2.5, "omega": 0.0},
+            equations={
+                "theta": "omega",
+                "omega": "-(g / L) * sin(theta) - c * omega + torque",
+            },
+            outputs={"angle": "theta"},
+            inputs=("torque",),
+            params={"g": 9.81, "L": 0.5, "c": 2.0},
+        ))
+        d.connect("torque.out", "pendulum.torque")
+        trajectory = run(d, "pendulum.angle", until=15.0, h=0.002)
+        assert trajectory.y_final[0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_time_in_expressions(self):
+        d = Diagram("d")
+        d.add(OdeBlock(
+            "chirp", states={"x": 0.0},
+            equations={"x": "cos(t)"}, outputs={"y": "x"},
+        ))
+        trajectory = run(d, "chirp.y", until=math.pi / 2.0)
+        assert trajectory.y_final[0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_parameter_tuning_via_signal(self):
+        """OdeBlock inherits the set_<param> protocol from Block."""
+        from repro.umlrt.protocol import Protocol
+
+        proto = Protocol.define("Tune", outgoing=("set_lam",), incoming=())
+        block = OdeBlock(
+            "decay", states={"x": 1.0},
+            equations={"x": "-lam * x"}, outputs={"y": "x"},
+            params={"lam": 1.0},
+        )
+        block.add_sport("tune", proto.conjugate())
+        from repro.umlrt.signal import Message
+
+        block.handle_signal("tune", Message("set_lam", data=5.0))
+        assert block.params["lam"] == 5.0
+
+    def test_multiple_outputs(self):
+        d = Diagram("d")
+        d.add(OdeBlock(
+            "osc", states={"x": 1.0, "v": 0.0},
+            equations={"x": "v", "v": "-x"},
+            outputs={"pos": "x", "energy": "0.5 * (x * x + v * v)"},
+        ))
+        d.finalise()
+        model = HybridModel("t")
+        model.default_thread.h = 0.001
+        model.add_streamer(d)
+        model.add_probe("e", d.port_at("osc.energy"))
+        model.run(until=5.0, sync_interval=0.1)
+        energies = model.probe("e").component(0)
+        assert np.allclose(energies, 0.5, atol=1e-6)  # conserved

@@ -1,0 +1,148 @@
+"""Routing and rate-shaping blocks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import HybridModel
+from repro.dataflow import (
+    Constant,
+    Diagram,
+    FilteredDerivative,
+    Gain,
+    RateLimiter,
+    Sine,
+    Step,
+    Switch,
+    TimeSource,
+    TransportDelay,
+)
+from repro.dataflow.block import BlockError
+
+
+def feed(block, **inputs):
+    for name, value in inputs.items():
+        block.dport(name)._store(float(value))
+    block.compute_outputs(0.0, np.zeros(block.state_size))
+    return block.dport("out").read_scalar()
+
+
+def run_diagram(diagram, probe_path, until=2.0, sync=0.01, h=0.001):
+    diagram.finalise()
+    model = HybridModel("t")
+    model.default_thread.h = h
+    model.add_streamer(diagram)
+    model.add_probe("y", diagram.port_at(probe_path))
+    model.run(until=until, sync_interval=sync)
+    return model.probe("y")
+
+
+class TestSwitch:
+    def test_selects_on_threshold(self):
+        switch = Switch("sw", threshold=0.5)
+        assert feed(switch, in1=10.0, in2=20.0, ctrl=1.0) == 10.0
+        assert feed(switch, in1=10.0, in2=20.0, ctrl=0.0) == 20.0
+        assert feed(switch, in1=10.0, in2=20.0, ctrl=0.5) == 10.0  # >=
+
+    def test_guard_published(self):
+        switch = Switch("sw", threshold=0.5)
+        switch.dport("ctrl")._store(0.8)
+        assert switch.zero_crossings(0.0, np.empty(0))[0] == \
+            pytest.approx(0.3)
+
+    def test_in_model_switching(self):
+        d = Diagram("d")
+        d.add(Constant("a", 1.0))
+        d.add(Constant("b", -1.0))
+        d.add(Step("trigger", t_step=1.0))
+        d.add(Switch("sw", threshold=0.5))
+        d.connect("a.out", "sw.in1")
+        d.connect("b.out", "sw.in2")
+        d.connect("trigger.out", "sw.ctrl")
+        trajectory = run_diagram(d, "sw.out", until=2.0)
+        assert trajectory.sample(0.5)[0] == -1.0
+        assert trajectory.sample(1.5)[0] == 1.0
+
+
+class TestRateLimiter:
+    def test_limits_rise(self):
+        d = Diagram("d")
+        d.add(Step("s", amplitude=10.0))
+        d.add(RateLimiter("rl", rising=2.0, falling=-2.0, ts=0.01))
+        d.connect("s.out", "rl.in")
+        trajectory = run_diagram(d, "rl.out", until=2.0)
+        # output ramps at 2/s: reaches ~4 at t=2
+        assert trajectory.y_final[0] == pytest.approx(4.0, abs=0.1)
+        # never exceeds the allowed slope between probe samples
+        values = trajectory.component(0)
+        times = trajectory.times
+        slopes = np.diff(values) / np.maximum(np.diff(times), 1e-12)
+        assert slopes.max() <= 2.0 + 1e-6
+
+    def test_passes_slow_signals(self):
+        d = Diagram("d")
+        d.add(Sine("s", amplitude=0.1, freq=0.2))
+        d.add(RateLimiter("rl", rising=10.0, falling=-10.0, ts=0.01))
+        d.connect("s.out", "rl.in")
+        trajectory = run_diagram(d, "rl.out", until=2.0)
+        expected = 0.1 * math.sin(2 * math.pi * 0.2 * 2.0)
+        assert trajectory.y_final[0] == pytest.approx(expected, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            RateLimiter("rl", rising=-1.0)
+        with pytest.raises(BlockError):
+            RateLimiter("rl", falling=1.0)
+
+
+class TestTransportDelay:
+    def test_delays_ramp(self):
+        d = Diagram("d")
+        d.add(TimeSource("t"))
+        d.add(TransportDelay("td", delay=0.5))
+        d.connect("t.out", "td.in")
+        trajectory = run_diagram(d, "td.out", until=2.0, sync=0.01)
+        # out(t) = t - 0.5 for t > 0.5
+        assert trajectory.sample(1.5)[0] == pytest.approx(1.0, abs=0.02)
+        assert trajectory.sample(2.0)[0] == pytest.approx(1.5, abs=0.02)
+
+    def test_initial_value_before_delay(self):
+        d = Diagram("d")
+        d.add(Constant("c", 7.0))
+        d.add(TransportDelay("td", delay=1.0, initial=-3.0))
+        d.connect("c.out", "td.in")
+        trajectory = run_diagram(d, "td.out", until=2.0, sync=0.01)
+        assert trajectory.sample(0.5)[0] == pytest.approx(-3.0)
+        assert trajectory.sample(1.6)[0] == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            TransportDelay("td", delay=0.0)
+
+
+class TestFilteredDerivative:
+    def test_differentiates_ramp(self):
+        d = Diagram("d")
+        d.add(TimeSource("t"))
+        d.add(Gain("g", k=3.0))
+        d.add(FilteredDerivative("dd", tf=0.01))
+        d.connect("t.out", "g.in")
+        d.connect("g.out", "dd.in")
+        trajectory = run_diagram(d, "dd.out", until=1.0, h=0.0005)
+        # derivative of 3t is 3 once the filter settles
+        assert trajectory.y_final[0] == pytest.approx(3.0, abs=0.01)
+
+    def test_differentiates_sine(self):
+        d = Diagram("d")
+        d.add(Sine("s", amplitude=1.0, freq=0.5))
+        d.add(FilteredDerivative("dd", tf=0.005))
+        d.connect("s.out", "dd.in")
+        trajectory = run_diagram(d, "dd.out", until=1.0, h=0.0005)
+        omega = 2 * math.pi * 0.5
+        expected = omega * math.cos(omega * 1.0)
+        assert trajectory.y_final[0] == pytest.approx(expected, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            FilteredDerivative("dd", tf=0.0)

@@ -1,0 +1,118 @@
+"""Source blocks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.network import FlatNetwork
+from repro.dataflow import (
+    Constant,
+    Pulse,
+    Ramp,
+    Sine,
+    Step,
+    TimeSource,
+    WhiteNoise,
+)
+from repro.dataflow.block import BlockError
+
+
+def out_of(block, t=0.0):
+    block.compute_outputs(t, np.empty(0))
+    return block.dport("out").read_scalar()
+
+
+class TestConstant:
+    def test_value(self):
+        assert out_of(Constant("c", 3.5)) == 3.5
+
+    def test_no_inputs(self):
+        assert Constant("c").in_names == []
+
+
+class TestStep:
+    def test_before_and_after(self):
+        step = Step("s", t_step=1.0, amplitude=2.0, offset=0.5)
+        assert out_of(step, 0.5) == 0.5
+        assert out_of(step, 1.0) == 2.5
+        assert out_of(step, 5.0) == 2.5
+
+
+class TestRamp:
+    def test_slope(self):
+        ramp = Ramp("r", slope=2.0, t_start=1.0)
+        assert out_of(ramp, 0.5) == 0.0
+        assert out_of(ramp, 2.0) == 2.0
+
+
+class TestSine:
+    def test_waveform(self):
+        sine = Sine("s", amplitude=2.0, freq=1.0, offset=1.0)
+        assert out_of(sine, 0.0) == pytest.approx(1.0)
+        assert out_of(sine, 0.25) == pytest.approx(3.0)
+
+    def test_phase(self):
+        sine = Sine("s", phase=math.pi / 2.0)
+        assert out_of(sine, 0.0) == pytest.approx(1.0)
+
+
+class TestPulse:
+    def test_duty_cycle(self):
+        pulse = Pulse("p", period=1.0, duty=0.25, amplitude=3.0)
+        assert out_of(pulse, 0.1) == 3.0
+        assert out_of(pulse, 0.5) == 0.0
+        assert out_of(pulse, 1.1) == 3.0  # periodic
+
+    def test_validation(self):
+        with pytest.raises(BlockError):
+            Pulse("p", period=0.0)
+        with pytest.raises(BlockError):
+            Pulse("p", duty=1.5)
+
+
+class TestWhiteNoise:
+    def test_deterministic_given_seed(self):
+        a, b = WhiteNoise("n", seed=42), WhiteNoise("n2", seed=42)
+        seq_a, seq_b = [], []
+        for k in range(20):
+            a.on_sync(k * 0.1)
+            b.on_sync(k * 0.1)
+            seq_a.append(out_of(a))
+            seq_b.append(out_of(b))
+        assert seq_a == seq_b
+
+    def test_different_seeds_differ(self):
+        a, b = WhiteNoise("n", seed=1), WhiteNoise("n2", seed=2)
+        a.on_sync(0.0)
+        b.on_sync(0.0)
+        assert out_of(a) != out_of(b)
+
+    def test_amplitude_bound(self):
+        noise = WhiteNoise("n", amplitude=0.5, seed=7)
+        for k in range(200):
+            noise.on_sync(k * 0.1)
+            assert abs(out_of(noise)) <= 0.5
+
+    def test_roughly_zero_mean(self):
+        noise = WhiteNoise("n", amplitude=1.0, seed=3)
+        values = []
+        for k in range(2000):
+            noise.on_sync(k * 0.1)
+            values.append(out_of(noise))
+        assert abs(np.mean(values)) < 0.05
+
+
+class TestTimeSource:
+    def test_exposes_time(self):
+        ts = TimeSource("t", scale=2.0)
+        assert out_of(ts, 1.5) == 3.0
+
+    def test_in_network(self):
+        from repro.core.streamer import Streamer
+
+        top = Streamer("top")
+        top.add_sub(TimeSource("t"))
+        network = FlatNetwork([top])
+        network.evaluate(4.0, network.initial_state())
+        assert top.sub("t").dport("out").read_scalar() == 4.0

@@ -1,0 +1,214 @@
+"""Whole-system integration tests crossing every package boundary."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Capsule, HybridModel, Protocol, StateMachine, Streamer
+from repro.analysis import MessageTrace, step_metrics
+from repro.baselines import BichlerModel, KuhlTranslation
+from repro.codegen import generate_python
+from repro.core.flowtype import SCALAR
+from repro.dataflow import (
+    Diagram,
+    FirstOrderLag,
+    PID,
+    Step,
+    Sum,
+)
+
+SUPER = Protocol.define(
+    "Super", outgoing=("enable", "disable"), incoming=("limit",)
+)
+
+
+class GuardedPlant(Streamer):
+    """First-order plant that reports a limit crossing and can be gated."""
+
+    state_size = 1
+    zero_crossing_names = ("limit",)
+
+    def __init__(self, name, tau=0.5, limit=0.9):
+        super().__init__(name)
+        self.add_in("u", SCALAR)
+        self.add_out("y", SCALAR)
+        self.add_sport("sup", SUPER.conjugate())
+        self.params.update(tau=tau, limit=limit, enabled=1.0)
+
+    def derivatives(self, t, state):
+        u = self.in_scalar("u") * self.params["enabled"]
+        return np.array([(u - state[0]) / self.params["tau"]])
+
+    def compute_outputs(self, t, state):
+        self.out_scalar("y", state[0])
+
+    def zero_crossings(self, t, state):
+        return (state[0] - self.params["limit"],)
+
+    def on_zero_crossing(self, name, t, direction):
+        if direction > 0:
+            self.sport("sup").send("limit", t)
+
+    def handle_signal(self, sport_name, message):
+        self.params["enabled"] = (
+            1.0 if message.signal == "enable" else 0.0
+        )
+
+
+class Supervisor(Capsule):
+    def __init__(self, instance_name="sup"):
+        self.limit_events = []
+        super().__init__(instance_name)
+
+    def build_structure(self):
+        self.create_port("plant", SUPER.base())
+
+    def build_behaviour(self):
+        sm = StateMachine("sup")
+        sm.add_state("active")
+        sm.add_state("tripped",
+                     entry=lambda c, m: c.send("plant", "disable"))
+        sm.initial("active")
+        sm.add_transition(
+            "active", "tripped", trigger=("plant", "limit"),
+            action=lambda c, m: c.limit_events.append(m.data),
+        )
+        return sm
+
+
+class TestFullStack:
+    def build(self):
+        model = HybridModel("guarded")
+        supervisor = model.add_capsule(Supervisor("sup"))
+        plant = model.add_streamer(GuardedPlant("plant"))
+        # drive the plant with a constant via a leaf streamer
+        from tests.conftest import ConstLeaf
+
+        source = model.add_streamer(ConstLeaf("drive", 2.0))
+        model.add_flow(source.dport("y"), plant.dport("u"))
+        model.connect_sport(supervisor.port("plant"), plant.sport("sup"))
+        model.add_probe("y", plant.dport("y"))
+        return model, supervisor, plant
+
+    def test_trip_sequence(self):
+        model, supervisor, plant = self.build()
+        model.run(until=3.0, sync_interval=0.01)
+        # the plant heads to 2.0, crosses 0.9, the supervisor trips and
+        # disables the drive; the state machine locks in 'tripped'
+        assert supervisor.behaviour.active_path == "tripped"
+        assert len(supervisor.limit_events) == 1
+        assert supervisor.limit_events[0] == pytest.approx(
+            0.5 * math.log(2.0 / 1.1), abs=0.02
+        )
+        # after the trip the plant decays back below the limit
+        assert model.probe("y").y_final[0] < 0.9
+
+    def test_trip_time_is_event_localised(self):
+        """The limit signal carries the localised crossing time, far more
+        precise than the sync interval."""
+        model, supervisor, __ = self.build()
+        model.run(until=2.0, sync_interval=0.05)  # coarse sync
+        expected = 0.5 * math.log(2.0 / 1.1)
+        assert supervisor.limit_events[0] == pytest.approx(
+            expected, abs=5e-3
+        )
+
+    def test_message_trace_records_boundary_traffic(self):
+        model, supervisor, plant = self.build()
+        trace = MessageTrace(model.rts).attach()
+        model.run(until=3.0, sync_interval=0.01)
+        signals = trace.counts_by_signal()
+        assert signals.get("limit") == 1
+        assert signals.get("disable") == 1
+
+    def test_validation_passes(self):
+        model, *_ = self.build()
+        assert all(
+            v.severity == "warning" for v in model.validate(strict=True)
+        )
+
+
+class TestThreeWayAgreement:
+    """Streamer architecture, Kühl translation, Bichler baseline and
+    generated code must agree on the same diagram at the same order/step."""
+
+    def diagram(self):
+        d = Diagram("loop")
+        d.add(Step("ref", amplitude=1.0))
+        d.add(Sum("err", signs="+-"))
+        d.add(PID("pid", kp=3.0, ki=1.5, tf=0.5))
+        d.add(FirstOrderLag("plant", tau=0.4))
+        d.connect("ref.out", "err.in1")
+        d.connect("plant.out", "err.in2")
+        d.connect("err.out", "pid.in")
+        d.connect("pid.out", "plant.in")
+        return d
+
+    def test_agreement(self):
+        h = 0.005
+        finals = {}
+
+        diagram = self.diagram()
+        diagram.finalise()
+        model = HybridModel("streamer")
+        model.default_thread.binding.rebind("euler")
+        model.default_thread.h = h
+        model.add_streamer(diagram)
+        model.add_probe("y", diagram.port_at("plant.out"))
+        model.run(until=4.0, sync_interval=0.05)
+        finals["streamer"] = model.probe("y").y_final[0]
+
+        kuhl = KuhlTranslation(self.diagram(), h=h, probe="plant.out")
+        kuhl.run(4.0)
+        finals["kuhl"] = kuhl.trajectory.y_final[0]
+
+        bichler = BichlerModel(self.diagram(), h=h, probe="plant.out")
+        bichler.run(4.0)
+        finals["bichler"] = bichler.trajectory.y_final[0]
+
+        namespace = {}
+        exec(compile(
+            generate_python(self.diagram(), records=["plant.out"]),
+            "<gen>", "exec",
+        ), namespace)
+        finals["generated"] = namespace["simulate"](4.0, h=h)["plant.out"][-1]
+
+        reference = finals["streamer"]
+        for name, value in finals.items():
+            assert value == pytest.approx(reference, abs=0.02), name
+
+    def test_step_metrics_of_loop(self):
+        diagram = self.diagram()
+        diagram.finalise()
+        model = HybridModel("m")
+        model.default_thread.h = 0.002
+        model.add_streamer(diagram)
+        model.add_probe("y", diagram.port_at("plant.out"))
+        model.run(until=10.0, sync_interval=0.02)
+        metrics = step_metrics(model.probe("y"), target=1.0)
+        assert abs(metrics.steady_state_error) < 0.01
+        assert metrics.settling_time is not None
+
+
+class TestDeterminism:
+    def test_identical_runs_bitwise_equal(self):
+        finals = []
+        for __ in range(2):
+            model = HybridModel("det")
+            supervisor = model.add_capsule(Supervisor("sup"))
+            plant = model.add_streamer(GuardedPlant("plant"))
+            from tests.conftest import ConstLeaf
+
+            source = model.add_streamer(ConstLeaf("drive", 2.0))
+            model.add_flow(source.dport("y"), plant.dport("u"))
+            model.connect_sport(supervisor.port("plant"),
+                                plant.sport("sup"))
+            model.add_probe("y", plant.dport("y"))
+            model.run(until=2.0, sync_interval=0.01)
+            finals.append((
+                model.probe("y").y_final[0],
+                model.stats()["messages_dispatched"],
+                model.stats()["events_fired"],
+            ))
+        assert finals[0] == finals[1]

@@ -1,0 +1,28 @@
+"""The shipped examples must run clean end to end (they self-assert)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "inverted_pendulum.py",
+    "cruise_control.py",
+    "multirate_threads.py",
+    "unified_workflow.py",
+    "networked_control.py",
+])
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "OK" in result.stdout

@@ -1,0 +1,126 @@
+"""Metamodel elements, multiplicities and profile application."""
+
+import pytest
+
+from repro.metamodel.elements import (
+    Association,
+    AssociationEnd,
+    Attribute,
+    Classifier,
+    MetamodelError,
+    Multiplicity,
+    Operation,
+    Package,
+)
+from repro.metamodel.profile import Profile, ProfileError, extension_profile, umlrt_profile
+
+
+class TestMultiplicity:
+    @pytest.mark.parametrize("text,lower,upper", [
+        ("1", 1, 1), ("*", 0, None), ("0..1", 0, 1),
+        ("1..*", 1, None), ("2..5", 2, 5),
+    ])
+    def test_parse(self, text, lower, upper):
+        m = Multiplicity.parse(text)
+        assert (m.lower, m.upper) == (lower, upper)
+
+    @pytest.mark.parametrize("text", ["1", "*", "0..1", "1..*", "2..5"])
+    def test_str_round_trip(self, text):
+        assert str(Multiplicity.parse(text)) == text
+
+    def test_invalid_bounds(self):
+        with pytest.raises(MetamodelError):
+            Multiplicity(2, 1)
+        with pytest.raises(MetamodelError):
+            Multiplicity(-1, 1)
+
+
+class TestRendering:
+    def test_attribute_render(self):
+        attr = Attribute("state", "State", "-", Multiplicity.parse("*"))
+        assert attr.render() == "-state: State [*]"
+
+    def test_plain_attribute(self):
+        assert Attribute("x").render() == "-x"
+
+    def test_operation_render(self):
+        op = Operation("AlgorithmInterface")
+        assert op.render() == "+AlgorithmInterface()"
+
+    def test_operation_with_params(self):
+        op = Operation("step", parameters=("t", "y"), return_type="float")
+        assert op.render() == "+step(t, y): float"
+
+
+class TestPackage:
+    def test_add_and_get(self):
+        pkg = Package("p")
+        cls = pkg.add_class(Classifier("A"))
+        assert pkg.classifier("A") is cls
+
+    def test_duplicate_class(self):
+        pkg = Package("p")
+        pkg.add_class(Classifier("A"))
+        with pytest.raises(MetamodelError):
+            pkg.add_class(Classifier("A"))
+
+    def test_association_references_checked(self):
+        pkg = Package("p")
+        pkg.add_class(Classifier("A"))
+        with pytest.raises(MetamodelError):
+            pkg.add_association(Association(
+                "x", AssociationEnd("A"), AssociationEnd("Ghost")
+            ))
+
+    def test_generalization_and_children(self):
+        pkg = Package("p")
+        pkg.add_class(Classifier("Base"))
+        pkg.add_class(Classifier("D1"))
+        pkg.add_class(Classifier("D2"))
+        pkg.add_generalization("D1", "Base")
+        pkg.add_generalization("D2", "Base")
+        assert pkg.children_of("Base") == ["D1", "D2"]
+
+    def test_generalization_unknown_class(self):
+        pkg = Package("p")
+        pkg.add_class(Classifier("A"))
+        with pytest.raises(MetamodelError):
+            pkg.add_generalization("A", "Ghost")
+
+
+class TestProfile:
+    def test_builtin_profiles(self):
+        assert len(umlrt_profile().names()) == 6
+        assert len(extension_profile().names()) == 9
+
+    def test_apply_class_stereotype(self):
+        profile = extension_profile()
+        cls = Classifier("MyStreamer")
+        profile.apply(cls, "streamer")
+        assert "streamer" in cls.stereotypes
+        # idempotent
+        profile.apply(cls, "streamer")
+        assert cls.stereotypes.count("streamer") == 1
+
+    def test_port_stereotype_not_class_applicable(self):
+        profile = extension_profile()
+        with pytest.raises(ProfileError):
+            profile.apply(Classifier("X"), "DPort")
+
+    def test_unknown_stereotype(self):
+        with pytest.raises(ProfileError):
+            extension_profile().get("ghost")
+
+    def test_applied_to(self):
+        profile = extension_profile()
+        cls = Classifier("X")
+        profile.apply(cls, "streamer")
+        applied = profile.applied_to(cls)
+        assert [s.name for s in applied] == ["streamer"]
+
+    def test_duplicate_stereotype_in_profile(self):
+        from repro.metamodel.stereotypes import StereotypeDef
+
+        dup = StereotypeDef("x", "Class", "p")
+        with pytest.raises(ProfileError):
+            Profile("p", [dup, dup])

@@ -1,0 +1,85 @@
+"""HybridModel -> UML package export."""
+
+import pytest
+
+from tests.conftest import ConstLeaf, IntegratorLeaf
+
+from repro.core.model import HybridModel
+from repro.metamodel import (
+    figure3_capsule_model,
+    from_xmi,
+    model_stereotype_census,
+    model_to_package,
+    to_xmi,
+)
+
+
+def simple_model():
+    model = HybridModel("exported")
+    const = model.add_streamer(ConstLeaf("src", 1.0))
+    integ = model.add_streamer(IntegratorLeaf("integ"))
+    model.add_flow(const.dport("y"), integ.dport("u"))
+    return model
+
+
+class TestExport:
+    def test_streamers_become_stereotyped_classes(self):
+        package = model_to_package(simple_model())
+        assert package.classifier("src").stereotypes == ["streamer"]
+        assert package.classifier("integ").stereotypes == ["streamer"]
+
+    def test_dports_become_attributes(self):
+        package = model_to_package(simple_model())
+        attrs = {a.name: a for a in package.classifier("integ").attributes}
+        assert "u" in attrs and "y" in attrs
+        assert attrs["u"].type_name.startswith("DPort<")
+
+    def test_flows_become_associations(self):
+        package = model_to_package(simple_model())
+        names = [a.name for a in package.associations]
+        assert any("flow_src_integ" in n for n in names)
+
+    def test_solver_tagged_value(self):
+        model = simple_model()
+        model.scheduler().build()
+        package = model_to_package(model)
+        assert package.classifier("integ").tagged_values["solver"] == "rk4"
+        assert package.classifier("integ").tagged_values["states"] == "1"
+
+    def test_figure3_model_exports_fully(self):
+        model, top = figure3_capsule_model()
+        model.scheduler().build()
+        package = model_to_package(model)
+        census = model_stereotype_census(package)
+        assert census["streamer"] == 2
+        # top capsule + sub capsule + 2 hidden bridges
+        assert census["capsule"] == 4
+        # capsule containment is a composite association
+        composites = [
+            a for a in package.associations
+            if a.end1.aggregation == "composite"
+        ]
+        assert composites
+        # sport bridges appear as capsule<->streamer associations
+        sports = [a for a in package.associations
+                  if a.name.startswith("sport_")]
+        assert len(sports) == 2
+
+    def test_export_round_trips_through_xmi(self):
+        model, __ = figure3_capsule_model()
+        model.scheduler().build()
+        package = model_to_package(model)
+        restored = from_xmi(to_xmi(package))
+        assert set(restored.classifiers) == set(package.classifiers)
+        assert len(restored.associations) == len(package.associations)
+
+    def test_nested_streamers_export_containment(self):
+        from repro.metamodel import figure2_streamer
+
+        model = HybridModel("fig2")
+        model.add_streamer(figure2_streamer())
+        package = model_to_package(model)
+        assert "top_sub1" in package.classifiers
+        contains = [a for a in package.associations
+                    if "contains" in a.name]
+        assert len(contains) == 3

@@ -1,0 +1,164 @@
+"""The paper's artefacts: Table 1, Figures 1, 2 and 3 — machine-checked."""
+
+import pytest
+
+from repro.metamodel import (
+    EXTENSION_PROFILE,
+    TABLE1,
+    UMLRT_PROFILE,
+    figure1_package,
+    figure2_streamer,
+    figure3_capsule_model,
+    implementation_of,
+    render_capsule_structure,
+    render_class_diagram,
+    render_streamer_structure,
+    render_table1,
+    table1_rows,
+)
+from repro.metamodel.classdiagram import (
+    FIGURE1_IMPLEMENTATIONS,
+    check_figure1_against_library,
+)
+from repro.metamodel.stereotypes import new_stereotype_count
+
+
+class TestTable1:
+    def test_row_structure_matches_paper(self):
+        assert table1_rows() == [
+            ("capsule", "streamer"),
+            ("port", "DPort, SPort"),
+            ("connect", "flow, relay"),
+            ("protocol", "flow type"),
+            ("state machine", "solver, strategy"),
+            ("Time service", "Time"),
+        ]
+
+    def test_eight_new_stereotypes(self):
+        """The paper: 'This paper introduces eight new stereotypes'."""
+        assert new_stereotype_count() == 8
+
+    def test_every_stereotype_implemented(self):
+        for profile in (UMLRT_PROFILE, EXTENSION_PROFILE):
+            for stereotype in profile:
+                impl = implementation_of(stereotype.name)
+                assert isinstance(impl, type), stereotype.name
+
+    def test_table_maps_to_real_classes(self):
+        """Each Table-1 pairing maps a UML-RT class to extension classes."""
+        for umlrt_name, extension_names in TABLE1:
+            implementation_of(umlrt_name)
+            for name in extension_names:
+                implementation_of(name)
+
+    def test_unknown_stereotype(self):
+        with pytest.raises(KeyError):
+            implementation_of("ghost")
+
+    def test_render_contains_all_rows(self):
+        text = render_table1()
+        for left, right in table1_rows():
+            assert left in text and right in text
+        assert "Table 1" in text
+
+    def test_port_notations(self):
+        by_name = {s.name: s for s in EXTENSION_PROFILE}
+        assert by_name["DPort"].notation == "circle"
+        assert by_name["SPort"].notation == "square"
+
+
+class TestFigure1:
+    def test_classifiers_present(self):
+        pkg = figure1_package()
+        assert set(pkg.classifiers) == {
+            "State", "Strategy", "ConcreteStrategyA", "ConcreteStrategyB",
+            "ConcreteStrategyC", "Capsule", "Streamer",
+        }
+
+    def test_strategy_hierarchy(self):
+        pkg = figure1_package()
+        assert pkg.children_of("Strategy") == [
+            "ConcreteStrategyA", "ConcreteStrategyB", "ConcreteStrategyC"
+        ]
+        assert pkg.classifier("Strategy").abstract
+
+    def test_multiplicities(self):
+        pkg = figure1_package()
+        by_name = {a.name: a for a in pkg.associations}
+        states = by_name["capsuleStates"]
+        assert str(states.end1.multiplicity) == "1"
+        assert str(states.end2.multiplicity) == "*"
+        assert states.end2.role == "state"
+        strategies = by_name["streamerStrategies"]
+        assert strategies.end2.role == "strategy"
+
+    def test_capsule_streamer_composition(self):
+        pkg = figure1_package()
+        assoc = {a.name: a for a in pkg.associations}["capsuleStreamers"]
+        assert assoc.end1.aggregation == "composite"
+        assert str(assoc.end2.multiplicity) == "*"
+
+    def test_algorithm_interface_operations(self):
+        pkg = figure1_package()
+        for name in ("State", "Strategy", "ConcreteStrategyA"):
+            ops = [o.name for o in pkg.classifier(name).operations]
+            assert "AlgorithmInterface" in ops
+
+    def test_live_library_check(self):
+        assert check_figure1_against_library() == []
+
+    def test_every_classifier_has_implementation(self):
+        pkg = figure1_package()
+        assert set(FIGURE1_IMPLEMENTATIONS) == set(pkg.classifiers)
+
+    def test_render(self):
+        text = render_class_diagram(figure1_package())
+        assert "ConcreteStrategyA --|> Strategy" in text
+        assert "+AlgorithmInterface()" in text
+
+
+class TestFigure2:
+    def test_structure(self):
+        top = figure2_streamer()
+        assert set(top.subs) == {"sub1", "sub2", "sub3"}
+        assert "split" in top.relays
+        assert len(top.flows) == 4
+        assert "sctrl" in top.sports
+        assert top.dport("din").relay_only  # boundary
+
+    def test_simulates(self, model):
+        top = figure2_streamer()
+        model.add_streamer(top)
+        model.add_probe("out", top.dport("dout"))
+        model.run(until=3.14159, sync_interval=0.01)
+        # integral of sin from 0..pi ~ handled by sub3; dout carries
+        # sub2's (gain 1) output = sin(t), which at pi is ~0
+        assert abs(model.probe("out").y_final[0]) < 1e-2
+
+    def test_render_notation(self):
+        text = render_streamer_structure(figure2_streamer())
+        assert "(o" in text      # circle DPorts
+        assert "[# sctrl]" in text  # square SPort
+        assert "relay split" in text
+        assert "sub-streamer sub1" in text
+
+
+class TestFigure3:
+    def test_structure(self):
+        model, top = figure3_capsule_model()
+        assert "sub" in top.parts
+        assert len(model.streamers) == 2
+        assert len(model.bridges) == 2
+
+    def test_runs_and_interacts(self):
+        model, top = figure3_capsule_model()
+        model.run(until=2.0, sync_interval=0.05)
+        assert top.acks == {"s1": True, "s2": True}
+        assert model.probe("y1").y_final[0] > 0.5
+
+    def test_render(self):
+        model, top = figure3_capsule_model()
+        model.scheduler().build()
+        text = render_capsule_structure(top)
+        assert "capsule topCapsule" in text
+        assert "topCapsule.sub" in text

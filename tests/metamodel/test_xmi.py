@@ -1,0 +1,84 @@
+"""XMI serialisation round trips."""
+
+import pytest
+
+from repro.metamodel import figure1_package, from_xmi, to_xmi
+from repro.metamodel.elements import (
+    Association,
+    AssociationEnd,
+    Attribute,
+    Classifier,
+    Multiplicity,
+    Operation,
+    Package,
+)
+from repro.metamodel.xmi import XMIError
+
+
+def sample_package():
+    pkg = Package("sample")
+    cls = Classifier("Controller", stereotypes=("capsule",))
+    cls.add_attribute(Attribute("gain", "float", "-", Multiplicity(1, 1)))
+    cls.add_operation(Operation("step", parameters=("dt",),
+                                return_type="void"))
+    pkg.add_class(cls)
+    pkg.add_class(Classifier("Base", abstract=True))
+    pkg.add_generalization("Controller", "Base")
+    pkg.add_association(Association(
+        "owns",
+        AssociationEnd("Base", multiplicity=Multiplicity(1, 1)),
+        AssociationEnd("Controller", role="ctl",
+                       multiplicity=Multiplicity.parse("*"),
+                       aggregation="composite"),
+    ))
+    return pkg
+
+
+class TestRoundTrip:
+    def test_classifiers(self):
+        restored = from_xmi(to_xmi(sample_package()))
+        assert set(restored.classifiers) == {"Controller", "Base"}
+        assert restored.classifier("Base").abstract
+        assert restored.classifier("Controller").stereotypes == ["capsule"]
+
+    def test_attributes_and_operations(self):
+        restored = from_xmi(to_xmi(sample_package()))
+        ctl = restored.classifier("Controller")
+        assert ctl.attributes[0].name == "gain"
+        assert ctl.attributes[0].type_name == "float"
+        assert ctl.operations[0].name == "step"
+        assert ctl.operations[0].parameters == ("dt",)
+
+    def test_generalizations(self):
+        restored = from_xmi(to_xmi(sample_package()))
+        assert restored.children_of("Base") == ["Controller"]
+
+    def test_associations(self):
+        restored = from_xmi(to_xmi(sample_package()))
+        assoc = restored.associations[0]
+        assert assoc.name == "owns"
+        assert assoc.end2.role == "ctl"
+        assert str(assoc.end2.multiplicity) == "*"
+        assert assoc.end2.aggregation == "composite"
+
+    def test_figure1_round_trip(self):
+        pkg = figure1_package()
+        restored = from_xmi(to_xmi(pkg))
+        assert set(restored.classifiers) == set(pkg.classifiers)
+        assert len(restored.associations) == len(pkg.associations)
+        assert restored.generalizations == pkg.generalizations
+
+    def test_double_round_trip_stable(self):
+        once = to_xmi(sample_package())
+        twice = to_xmi(from_xmi(once))
+        assert once == twice
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(XMIError):
+            from_xmi("<not xml")
+
+    def test_missing_package(self):
+        with pytest.raises(XMIError):
+            from_xmi("<root/>")

@@ -1,0 +1,82 @@
+"""Dormand-Prince RK45: accuracy, adaptivity, tolerance response."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solvers import DormandPrince45, SolverError, integrate
+
+
+def decay(t, y):
+    return -y
+
+
+def test_meets_tolerance_on_decay():
+    solver = DormandPrince45(rtol=1e-8, atol=1e-10)
+    result = integrate(decay, [1.0], 0.0, 3.0, solver, h=0.1)
+    assert result.y_final[0] == pytest.approx(math.exp(-3.0), rel=1e-6)
+
+
+def test_step_grows_on_smooth_problem():
+    solver = DormandPrince45(rtol=1e-6, atol=1e-9)
+    outcome = solver.step(decay, 0.0, np.array([1.0]), 0.001)
+    assert outcome.h_next > 0.001  # smooth: controller wants more
+
+
+def test_step_shrinks_until_accepted():
+    """A violently nonlinear RHS forces rejections, which are counted."""
+    def stiffish(t, y):
+        return np.array([-5000.0 * (y[0] - math.sin(t))])
+
+    solver = DormandPrince45(rtol=1e-6, atol=1e-9)
+    solver.step(stiffish, 0.0, np.array([2.0]), 0.5)
+    assert solver.rejected_steps > 0
+
+
+def test_tighter_tolerance_means_more_steps():
+    counts = []
+    for rtol in (1e-4, 1e-8):
+        solver = DormandPrince45(rtol=rtol, atol=rtol * 1e-3)
+        result = integrate(
+            lambda t, y: np.array([math.cos(3.0 * t)]), [0.0],
+            0.0, 10.0, solver, h=0.1,
+        )
+        counts.append(result.steps)
+    assert counts[1] > counts[0]
+
+
+def test_error_estimate_reported():
+    solver = DormandPrince45()
+    outcome = solver.step(decay, 0.0, np.array([1.0]), 0.01)
+    assert outcome.error_estimate is not None
+    assert outcome.error_estimate <= 1.0  # accepted
+
+
+def test_oscillator_long_run_accuracy():
+    def osc(t, y):
+        return np.array([y[1], -y[0]])
+
+    solver = DormandPrince45(rtol=1e-9, atol=1e-12)
+    result = integrate(osc, [1.0, 0.0], 0.0, 20 * math.pi, solver, h=0.1)
+    assert result.y_final[0] == pytest.approx(1.0, abs=1e-5)
+
+
+def test_invalid_tolerances_rejected():
+    with pytest.raises(SolverError):
+        DormandPrince45(rtol=0.0)
+    with pytest.raises(SolverError):
+        DormandPrince45(atol=-1.0)
+
+
+def test_reset_clears_controller_state():
+    solver = DormandPrince45()
+    solver.step(decay, 0.0, np.array([1.0]), 0.01)
+    assert solver._fsal is not None
+    solver.reset()
+    assert solver._fsal is None and solver._prev_err is None
+
+
+def test_adaptive_flag():
+    assert DormandPrince45().adaptive
+    assert DormandPrince45.order == 5

@@ -1,0 +1,107 @@
+"""Independent verification of the solver suite against SciPy.
+
+SciPy is not a runtime dependency of the library; these tests use it as
+an *oracle*: our integrators must agree with ``scipy.integrate`` on
+nonlinear, oscillatory and event-bearing problems.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+scipy_integrate = pytest.importorskip("scipy.integrate")
+
+from repro.solvers import (  # noqa: E402
+    BackwardEuler,
+    DormandPrince45,
+    EventSpec,
+    RK4,
+    integrate,
+)
+
+
+def van_der_pol(mu):
+    def rhs(t, y):
+        return np.array([
+            y[1],
+            mu * (1.0 - y[0] ** 2) * y[1] - y[0],
+        ])
+
+    return rhs
+
+
+class TestAgainstScipy:
+    def test_van_der_pol_nonstiff(self):
+        """mu = 1 Van der Pol oscillator over one pseudo-period."""
+        rhs = van_der_pol(1.0)
+        ours = integrate(
+            rhs, [2.0, 0.0], 0.0, 10.0,
+            DormandPrince45(rtol=1e-9, atol=1e-12), h=0.01,
+        )
+        reference = scipy_integrate.solve_ivp(
+            rhs, (0.0, 10.0), [2.0, 0.0], rtol=1e-10, atol=1e-13,
+            dense_output=True,
+        )
+        assert ours.y_final[0] == pytest.approx(
+            reference.y[0, -1], abs=1e-6
+        )
+        assert ours.y_final[1] == pytest.approx(
+            reference.y[1, -1], abs=1e-6
+        )
+
+    def test_rk4_fixed_step_vs_scipy(self):
+        rhs = van_der_pol(0.5)
+        ours = integrate(rhs, [1.0, 1.0], 0.0, 5.0, RK4(), h=0.001)
+        reference = scipy_integrate.solve_ivp(
+            rhs, (0.0, 5.0), [1.0, 1.0], rtol=1e-11, atol=1e-13,
+        )
+        assert ours.y_final[0] == pytest.approx(
+            reference.y[0, -1], abs=1e-7
+        )
+
+    def test_stiff_problem_vs_bdf(self):
+        """Robertson-like stiffness: BE agrees with scipy BDF."""
+        a = np.array([[-500.0, 499.0], [499.0, -500.0]])
+
+        def rhs(t, y):
+            return a @ y
+
+        ours = integrate(rhs, [2.0, 0.0], 0.0, 1.0, BackwardEuler(),
+                         h=0.001)
+        reference = scipy_integrate.solve_ivp(
+            rhs, (0.0, 1.0), [2.0, 0.0], method="BDF",
+            rtol=1e-10, atol=1e-13,
+        )
+        assert ours.y_final[0] == pytest.approx(
+            reference.y[0, -1], abs=1e-3
+        )
+        assert ours.y_final[1] == pytest.approx(
+            reference.y[1, -1], abs=1e-3
+        )
+
+    def test_event_time_vs_scipy_events(self):
+        """Falling ball impact localisation vs scipy's event finder."""
+        g = 9.81
+
+        def rhs(t, y):
+            return np.array([y[1], -g])
+
+        def ground(t, y):
+            return y[0]
+
+        ground.terminal = True
+        ground.direction = -1
+
+        ours = integrate(
+            rhs, [10.0, 0.0], 0.0, 5.0, RK4(), h=0.01,
+            events=[EventSpec("ground", lambda t, y: y[0],
+                              direction=-1, terminal=True)],
+        )
+        reference = scipy_integrate.solve_ivp(
+            rhs, (0.0, 5.0), [10.0, 0.0], events=ground,
+            rtol=1e-10, atol=1e-12,
+        )
+        assert ours.t_final == pytest.approx(
+            float(reference.t_events[0][0]), abs=1e-4
+        )

@@ -1,0 +1,117 @@
+"""Zero-crossing detection and localisation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solvers import EventSpec, RK4, ZeroCrossingDetector, integrate
+
+
+def falling_ball():
+    """y'' = -g from y0 = 10: hits y = 0 at t = sqrt(2*10/9.81)."""
+    g = 9.81
+
+    def rhs(t, y):
+        return np.array([y[1], -g])
+
+    t_hit = math.sqrt(2.0 * 10.0 / g)
+    return rhs, t_hit
+
+
+class TestEventSpec:
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            EventSpec("e", lambda t, y: 0.0, direction=2)
+
+    def test_defaults(self):
+        spec = EventSpec("e", lambda t, y: y[0])
+        assert spec.direction == 0 and not spec.terminal
+
+
+class TestDetector:
+    def test_detects_crossing_in_step(self):
+        spec = EventSpec("zero", lambda t, y: y[0])
+        detector = ZeroCrossingDetector([spec])
+        detector.reset(0.0, np.array([-1.0]))
+        events = detector.check_step(
+            0.0, np.array([-1.0]), 1.0, np.array([1.0])
+        )
+        assert len(events) == 1
+        assert events[0].direction == 1
+        assert events[0].t == pytest.approx(0.5, abs=1e-6)
+
+    def test_no_crossing_no_event(self):
+        spec = EventSpec("zero", lambda t, y: y[0])
+        detector = ZeroCrossingDetector([spec])
+        detector.reset(0.0, np.array([1.0]))
+        assert detector.check_step(
+            0.0, np.array([1.0]), 1.0, np.array([2.0])
+        ) == []
+
+    def test_direction_filtering(self):
+        rising_only = EventSpec("r", lambda t, y: y[0], direction=1)
+        falling_only = EventSpec("f", lambda t, y: y[0], direction=-1)
+        detector = ZeroCrossingDetector([rising_only, falling_only])
+        detector.reset(0.0, np.array([1.0]))
+        events = detector.check_step(
+            0.0, np.array([1.0]), 1.0, np.array([-1.0])
+        )
+        assert [e.spec.name for e in events] == ["f"]
+
+    def test_multiple_guards_ordered_by_time(self):
+        early = EventSpec("early", lambda t, y: t - 0.2)
+        late = EventSpec("late", lambda t, y: t - 0.8)
+        detector = ZeroCrossingDetector([late, early])
+        detector.reset(0.0, np.array([0.0]))
+        events = detector.check_step(
+            0.0, np.array([0.0]), 1.0, np.array([0.0])
+        )
+        assert [e.spec.name for e in events] == ["early", "late"]
+
+    def test_localisation_tolerance(self):
+        spec = EventSpec("zero", lambda t, y: t - 1.0 / 3.0)
+        detector = ZeroCrossingDetector([spec], t_tol=1e-10)
+        detector.reset(0.0, np.array([0.0]))
+        events = detector.check_step(
+            0.0, np.array([0.0]), 1.0, np.array([1.0])
+        )
+        assert events[0].t == pytest.approx(1.0 / 3.0, abs=1e-9)
+
+
+class TestIntegrationWithEvents:
+    def test_terminal_event_stops_integration(self):
+        rhs, t_hit = falling_ball()
+        ground = EventSpec("ground", lambda t, y: y[0], direction=-1,
+                           terminal=True)
+        result = integrate(rhs, [10.0, 0.0], 0.0, 10.0, RK4(), h=0.01,
+                           events=[ground])
+        assert result.terminated_by_event
+        assert result.t_final == pytest.approx(t_hit, abs=1e-3)
+        assert result.y_final[0] == pytest.approx(0.0, abs=1e-2)
+
+    def test_non_terminal_events_recorded(self):
+        spec = EventSpec("period", lambda t, y: y[0])
+        result = integrate(
+            lambda t, y: np.array([math.cos(t)]),  # y = sin(t)
+            [0.0], 0.01, 4.0 * math.pi, RK4(), h=0.01, events=[spec],
+        )
+        assert not result.terminated_by_event
+        # sin crosses zero at pi, 2pi, 3pi in (0, 4pi)
+        times = [e.t for e in result.events]
+        assert len(times) >= 3
+        # starting at t0=0.01 shifts y by -sin(0.01), so the first
+        # crossing sits at pi - arcsin(sin(0.01))
+        assert times[0] == pytest.approx(
+            math.pi - math.asin(math.sin(0.01)), abs=1e-3
+        )
+
+    def test_event_state_recorded(self):
+        rhs, __ = falling_ball()
+        ground = EventSpec("ground", lambda t, y: y[0], terminal=True)
+        result = integrate(rhs, [10.0, 0.0], 0.0, 10.0, RK4(), h=0.01,
+                           events=[ground])
+        # velocity at impact: v = -g*t
+        assert result.trajectory.y_final[1] == pytest.approx(
+            -9.81 * result.t_final, rel=1e-2
+        )

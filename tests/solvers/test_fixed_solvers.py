@@ -1,0 +1,82 @@
+"""Fixed-step solvers: exactness classes and convergence order."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solvers import Euler, Heun, RK4, SolverError, integrate
+
+
+def decay(lam=1.0):
+    return lambda t, y: -lam * y
+
+
+def test_euler_linear_exact():
+    """Euler integrates y' = c exactly."""
+    result = integrate(lambda t, y: np.array([3.0]), [0.0], 0.0, 2.0,
+                       Euler(), h=0.1)
+    assert result.y_final[0] == pytest.approx(6.0, abs=1e-12)
+
+
+def test_heun_quadratic_exact():
+    """Heun (order 2) integrates y' = t exactly."""
+    result = integrate(lambda t, y: np.array([t]), [0.0], 0.0, 2.0,
+                       Heun(), h=0.1)
+    assert result.y_final[0] == pytest.approx(2.0, abs=1e-12)
+
+
+def test_rk4_quartic_exact():
+    """RK4 (order 4) integrates y' = t^3 exactly."""
+    result = integrate(lambda t, y: np.array([t ** 3]), [0.0], 0.0, 2.0,
+                       RK4(), h=0.1)
+    assert result.y_final[0] == pytest.approx(4.0, rel=1e-12)
+
+
+@pytest.mark.parametrize("solver_cls,order", [
+    (Euler, 1), (Heun, 2), (RK4, 4),
+])
+def test_convergence_order(solver_cls, order):
+    """Halving h must reduce the error by ~2^order on exp decay."""
+    errors = []
+    for h in (0.1, 0.05):
+        result = integrate(decay(), [1.0], 0.0, 1.0, solver_cls(), h=h)
+        errors.append(abs(result.y_final[0] - math.exp(-1.0)))
+    ratio = errors[0] / errors[1]
+    assert 2 ** order * 0.7 < ratio < 2 ** order * 1.4
+
+
+def test_final_step_lands_exactly_on_t1():
+    result = integrate(decay(), [1.0], 0.0, 1.0, RK4(), h=0.3)
+    assert result.t_final == pytest.approx(1.0, abs=1e-12)
+
+
+def test_vector_state():
+    """Harmonic oscillator keeps energy approximately with RK4."""
+    def osc(t, y):
+        return np.array([y[1], -y[0]])
+
+    result = integrate(osc, [1.0, 0.0], 0.0, 2 * math.pi, RK4(), h=0.01)
+    assert result.y_final[0] == pytest.approx(1.0, abs=1e-6)
+    assert result.y_final[1] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_divergence_detected():
+    solver = Euler()
+    with np.errstate(over="ignore"), pytest.raises(
+        SolverError, match="non-finite"
+    ):
+        # gain 1e10 per unit step overflows double within ~31 steps
+        integrate(lambda t, y: y * 1e10, [1.0], 0.0, 40.0, solver, h=1.0)
+
+
+def test_non_positive_step_rejected():
+    with pytest.raises(SolverError):
+        Euler().step(decay(), 0.0, np.array([1.0]), 0.0)
+
+
+def test_solver_orders_declared():
+    assert Euler.order == 1
+    assert Heun.order == 2
+    assert RK4.order == 4
+    assert not Euler().adaptive and not Euler().implicit

@@ -1,0 +1,129 @@
+"""Trajectory recording, interpolation and metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solvers.history import Trajectory, TrajectoryError
+
+
+def ramp_trajectory():
+    trajectory = Trajectory(labels=["y"])
+    for k in range(11):
+        trajectory.append(k * 0.1, [k * 0.1])
+    return trajectory
+
+
+class TestAppend:
+    def test_basic(self):
+        trajectory = ramp_trajectory()
+        assert len(trajectory) == 11
+        assert trajectory.t_final == pytest.approx(1.0)
+        assert trajectory.y_final[0] == pytest.approx(1.0)
+
+    def test_scalar_append(self):
+        trajectory = Trajectory()
+        trajectory.append(0.0, 5.0)
+        assert trajectory.states.shape == (1, 1)
+
+    def test_non_monotone_time_rejected(self):
+        trajectory = Trajectory()
+        trajectory.append(1.0, [0.0])
+        with pytest.raises(TrajectoryError):
+            trajectory.append(0.5, [0.0])
+
+    def test_equal_times_allowed(self):
+        """Discrete jumps at one instant are legal (hybrid resets)."""
+        trajectory = Trajectory()
+        trajectory.append(1.0, [0.0])
+        trajectory.append(1.0, [5.0])
+        assert len(trajectory) == 2
+
+    def test_dimension_change_rejected(self):
+        trajectory = Trajectory()
+        trajectory.append(0.0, [1.0, 2.0])
+        with pytest.raises(TrajectoryError):
+            trajectory.append(1.0, [1.0])
+
+    def test_empty_access_raises(self):
+        trajectory = Trajectory()
+        with pytest.raises(TrajectoryError):
+            __ = trajectory.t_final
+        with pytest.raises(TrajectoryError):
+            trajectory.sample(0.0)
+
+
+class TestSampling:
+    def test_interpolation(self):
+        trajectory = ramp_trajectory()
+        assert trajectory.sample(0.55)[0] == pytest.approx(0.55)
+
+    def test_clamping(self):
+        trajectory = ramp_trajectory()
+        assert trajectory.sample(-5.0)[0] == pytest.approx(0.0)
+        assert trajectory.sample(99.0)[0] == pytest.approx(1.0)
+
+    def test_resample(self):
+        trajectory = ramp_trajectory()
+        resampled = trajectory.resample([0.0, 0.25, 0.5, 1.0])
+        assert len(resampled) == 4
+        assert resampled.component("y")[1] == pytest.approx(0.25)
+
+    def test_component_by_label_and_index(self):
+        trajectory = ramp_trajectory()
+        assert np.allclose(
+            trajectory.component("y"), trajectory.component(0)
+        )
+
+    def test_unknown_label(self):
+        with pytest.raises(TrajectoryError):
+            ramp_trajectory().component("nope")
+
+
+class TestErrorMetrics:
+    def test_exact_reference_zero_error(self):
+        trajectory = ramp_trajectory()
+        assert trajectory.max_error_against(lambda t: t) == pytest.approx(0.0)
+        assert trajectory.rms_error_against(lambda t: t) == pytest.approx(0.0)
+
+    def test_constant_offset(self):
+        trajectory = ramp_trajectory()
+        assert trajectory.max_error_against(
+            lambda t: t + 0.5
+        ) == pytest.approx(0.5)
+
+    def test_final_error(self):
+        trajectory = ramp_trajectory()
+        assert trajectory.final_error_against(
+            lambda t: 0.0
+        ) == pytest.approx(1.0)
+
+
+class TestControlMetrics:
+    def step_response(self):
+        """First-order step response toward 1 with tau=1."""
+        trajectory = Trajectory()
+        for k in range(500):
+            t = k * 0.01
+            trajectory.append(t, [1.0 - math.exp(-t)])
+        return trajectory
+
+    def test_settling_time(self):
+        trajectory = self.step_response()
+        settle = trajectory.settling_time(0, 1.0, 0.02)
+        # 2% band of exp response: t = ln(50) ~ 3.91
+        assert settle == pytest.approx(math.log(50.0), abs=0.05)
+
+    def test_never_settles(self):
+        trajectory = ramp_trajectory()
+        assert trajectory.settling_time(0, 5.0, 0.01) is None
+
+    def test_overshoot_zero_for_monotone(self):
+        assert self.step_response().overshoot(0, 1.0) == 0.0
+
+    def test_overshoot_positive(self):
+        trajectory = Trajectory()
+        for t, y in [(0.0, 0.0), (1.0, 1.3), (2.0, 1.0)]:
+            trajectory.append(t, [y])
+        assert trajectory.overshoot(0, 1.0) == pytest.approx(0.3)

@@ -1,0 +1,81 @@
+"""Implicit solvers: stiff stability, Newton behaviour, order."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solvers import BackwardEuler, Euler, SolverError, Trapezoidal, integrate
+
+
+def stiff_decay(t, y):
+    return -1000.0 * y
+
+
+def test_backward_euler_stable_on_stiff_problem():
+    """h = 0.1 with lambda = -1000: explicit Euler explodes, BE decays."""
+    result = integrate(stiff_decay, [1.0], 0.0, 1.0, BackwardEuler(), h=0.1)
+    assert abs(result.y_final[0]) < 1e-3
+
+
+def test_explicit_euler_unstable_on_same_problem():
+    result = integrate(stiff_decay, [1.0], 0.0, 1.0, Euler(), h=0.1)
+    # |1 + h*lambda| = 99 per step: the solution explodes instead of
+    # decaying (true solution ~ 0 after t = 1)
+    assert abs(result.y_final[0]) > 1e10
+
+
+def test_trapezoidal_stable_on_stiff_problem():
+    result = integrate(stiff_decay, [1.0], 0.0, 1.0, Trapezoidal(), h=0.1)
+    assert abs(result.y_final[0]) < 1.0  # A-stable: bounded
+
+
+def test_backward_euler_order_one():
+    errors = []
+    for h in (0.02, 0.01):
+        result = integrate(lambda t, y: -y, [1.0], 0.0, 1.0,
+                           BackwardEuler(), h=h)
+        errors.append(abs(result.y_final[0] - math.exp(-1.0)))
+    ratio = errors[0] / errors[1]
+    assert 1.5 < ratio < 2.5
+
+
+def test_trapezoidal_order_two():
+    errors = []
+    for h in (0.04, 0.02):
+        result = integrate(lambda t, y: -y, [1.0], 0.0, 1.0,
+                           Trapezoidal(), h=h)
+        errors.append(abs(result.y_final[0] - math.exp(-1.0)))
+    ratio = errors[0] / errors[1]
+    assert 3.0 < ratio < 5.0
+
+
+def test_nonlinear_newton_convergence():
+    """Riccati-type nonlinearity: y' = -y^2, y(0)=1 -> y(t) = 1/(1+t)."""
+    result = integrate(lambda t, y: -y * y, [1.0], 0.0, 2.0,
+                       Trapezoidal(), h=0.01)
+    assert result.y_final[0] == pytest.approx(1.0 / 3.0, rel=1e-4)
+    assert isinstance(result.steps, int)
+
+
+def test_newton_iteration_count_tracked():
+    solver = BackwardEuler()
+    integrate(lambda t, y: -y * y, [1.0], 0.0, 0.5, solver, h=0.05)
+    assert solver.newton_iterations > 0
+
+
+def test_vector_stiff_system():
+    """Two-timescale linear system integrates stably at coarse h."""
+    a = np.array([[-1000.0, 0.0], [1.0, -0.5]])
+
+    def rhs(t, y):
+        return a @ y
+
+    result = integrate(rhs, [1.0, 0.0], 0.0, 2.0, BackwardEuler(), h=0.05)
+    assert abs(result.y_final[0]) < 1e-6
+    assert np.all(np.isfinite(result.y_final))
+
+
+def test_implicit_flags():
+    assert BackwardEuler().implicit and Trapezoidal().implicit
+    assert BackwardEuler.order == 1 and Trapezoidal.order == 2

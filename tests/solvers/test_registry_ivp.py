@@ -1,0 +1,79 @@
+"""Solver registry and the integrate() driver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import SolverError, available_solvers, integrate, make_solver
+from repro.solvers.base import SolverBase
+from repro.solvers.registry import register_solver
+
+
+class TestRegistry:
+    def test_all_solvers_listed(self):
+        names = available_solvers()
+        assert names == (
+            "backward_euler", "euler", "heun", "rk4", "rk45", "trapezoidal"
+        )
+
+    def test_make_solver(self):
+        solver = make_solver("rk4")
+        assert solver.name == "rk4"
+
+    def test_make_solver_with_kwargs(self):
+        solver = make_solver("rk45", rtol=1e-3)
+        assert solver.rtol == 1e-3
+
+    def test_unknown_solver(self):
+        with pytest.raises(SolverError, match="unknown solver"):
+            make_solver("magic")
+
+    def test_register_custom(self):
+        class Custom(SolverBase):
+            name = "custom_test_solver"
+
+        register_solver("custom_test_solver", Custom)
+        assert make_solver("custom_test_solver").name == "custom_test_solver"
+        with pytest.raises(SolverError):
+            register_solver("custom_test_solver", Custom)
+
+
+class TestIntegrateDriver:
+    def test_records_trajectory(self):
+        result = integrate(
+            lambda t, y: -y, [1.0], 0.0, 1.0, make_solver("euler"), h=0.25
+        )
+        assert len(result.trajectory) == 5  # t0 + 4 steps
+        assert result.steps == 4
+
+    def test_labels_passed_through(self):
+        result = integrate(
+            lambda t, y: -y, [1.0], 0.0, 0.5, make_solver("euler"),
+            h=0.25, labels=["temp"],
+        )
+        assert result.trajectory.labels == ["temp"]
+
+    def test_t1_before_t0_rejected(self):
+        with pytest.raises(SolverError):
+            integrate(lambda t, y: y, [1.0], 1.0, 0.0,
+                      make_solver("euler"), h=0.1)
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(SolverError):
+            integrate(lambda t, y: y, [1.0], 0.0, 1.0,
+                      make_solver("euler"), h=-0.1)
+
+    def test_max_steps_guard(self):
+        with pytest.raises(SolverError, match="exceeded"):
+            integrate(lambda t, y: -y, [1.0], 0.0, 1.0,
+                      make_solver("euler"), h=1e-6, max_steps=10)
+
+    def test_scalar_y0_promoted(self):
+        result = integrate(lambda t, y: -y, 1.0, 0.0, 0.1,
+                           make_solver("euler"), h=0.1)
+        assert result.y_final.shape == (1,)
+
+    def test_zero_span_integration(self):
+        result = integrate(lambda t, y: -y, [1.0], 0.0, 0.0,
+                           make_solver("euler"), h=0.1)
+        assert result.steps == 0
+        assert result.y_final[0] == 1.0

@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.channel import Channel, ChannelPolicy
+from repro.core.flowtype import DataKind, FlowField, FlowType
+from repro.core.timeservice import ContinuousTime, TimeError
+from repro.metamodel.elements import Multiplicity
+from repro.solvers import RK4, Euler, Heun, integrate
+from repro.solvers.events import EventSpec, ZeroCrossingDetector
+from repro.solvers.history import Trajectory
+from repro.umlrt.signal import Message, Priority
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+field_names = st.lists(
+    st.sampled_from("abcdefghij"), min_size=1, max_size=6, unique=True
+)
+kinds = st.sampled_from(list(DataKind))
+
+
+@st.composite
+def flow_types(draw):
+    names = draw(field_names)
+    return FlowType("ft", [
+        FlowField(name, draw(kinds)) for name in names
+    ])
+
+
+@st.composite
+def subtype_pairs(draw):
+    """(small, big) where small's fields are a subset of big's."""
+    big = draw(flow_types())
+    fields = list(big.fields)
+    count = draw(st.integers(min_value=1, max_value=len(fields)))
+    small = FlowType("small", fields[:count])
+    return small, big
+
+
+# ----------------------------------------------------------------------
+# flow types: the W1 relation is a preorder
+# ----------------------------------------------------------------------
+class TestFlowTypeProperties:
+    @given(flow_types())
+    def test_subset_reflexive(self, ft):
+        assert ft.subset_of(ft)
+
+    @given(subtype_pairs())
+    def test_constructed_subsets_validate(self, pair):
+        small, big = pair
+        assert small.subset_of(big)
+
+    @given(subtype_pairs())
+    def test_projection_of_conforming_value(self, pair):
+        small, big = pair
+        value = big.default_value()
+        projected = small.project(value)
+        small.validate_value(projected)
+
+    @given(flow_types())
+    def test_default_value_conforms(self, ft):
+        ft.validate_value(ft.default_value())
+
+    @given(subtype_pairs(), subtype_pairs())
+    def test_antisymmetry_on_equal_fields(self, pair_a, pair_b):
+        a, __ = pair_a
+        b, __ = pair_b
+        if a.subset_of(b) and b.subset_of(a):
+            assert a == b
+
+
+# ----------------------------------------------------------------------
+# channels: conservation and bounds
+# ----------------------------------------------------------------------
+class TestChannelProperties:
+    @given(
+        st.lists(st.integers(), max_size=60),
+        st.integers(min_value=1, max_value=8),
+        st.sampled_from([ChannelPolicy.OVERWRITE, ChannelPolicy.LATEST]),
+    )
+    def test_depth_never_exceeds_capacity(self, items, capacity, policy):
+        channel = Channel("c", capacity=capacity, policy=policy)
+        for item in items:
+            channel.push(item)
+            assert len(channel) <= channel.capacity
+
+    @given(st.lists(st.integers(), max_size=60),
+           st.integers(min_value=1, max_value=8))
+    def test_overwrite_keeps_newest_suffix(self, items, capacity):
+        channel = Channel("c", capacity=capacity,
+                          policy=ChannelPolicy.OVERWRITE)
+        for item in items:
+            channel.push(item)
+        assert channel.drain() == items[-capacity:]
+
+    @given(st.lists(st.integers(), max_size=60))
+    def test_conservation(self, items):
+        channel = Channel("c", capacity=1000)
+        for item in items:
+            channel.push(item)
+        drained = channel.drain()
+        assert channel.pushed == len(items)
+        assert channel.popped == len(drained)
+        assert channel.dropped == len(items) - len(drained)
+
+
+# ----------------------------------------------------------------------
+# messages: total order
+# ----------------------------------------------------------------------
+class TestMessageProperties:
+    @given(st.lists(
+        st.tuples(st.sampled_from(list(Priority)),
+                  st.floats(min_value=0, max_value=100)),
+        min_size=2, max_size=30,
+    ))
+    def test_sort_respects_priority_then_time(self, specs):
+        messages = [Message("m", priority=p, timestamp=t)
+                    for p, t in specs]
+        ordered = sorted(messages, key=lambda m: m.sort_key())
+        for first, second in zip(ordered, ordered[1:]):
+            assert first.priority >= second.priority
+            if first.priority == second.priority:
+                assert first.timestamp <= second.timestamp
+
+
+# ----------------------------------------------------------------------
+# Time stereotype: monotonicity (W11)
+# ----------------------------------------------------------------------
+class TestTimeProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=10,
+                              allow_nan=False), max_size=30))
+    def test_cumulative_advance_is_monotone(self, deltas):
+        time = ContinuousTime()
+        time.audit_enabled = True
+        for delta in deltas:
+            time.advance_by(delta)
+        assert time.is_monotone()
+        assert time.now == pytest.approx(sum(deltas), rel=1e-9, abs=1e-9)
+
+    @given(st.floats(min_value=0.001, max_value=100),
+           st.floats(min_value=0.001, max_value=100))
+    def test_any_backwards_move_rejected(self, start, decrement):
+        time = ContinuousTime()
+        time.advance_to(start)
+        with pytest.raises(TimeError):
+            time.advance_to(start - decrement)
+
+
+# ----------------------------------------------------------------------
+# multiplicity parse/print round trip
+# ----------------------------------------------------------------------
+class TestMultiplicityProperties:
+    @given(st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=50))
+    def test_round_trip(self, lower, extra):
+        m = Multiplicity(lower, lower + extra)
+        assert Multiplicity.parse(str(m)) == m
+
+    @given(st.integers(min_value=0, max_value=50))
+    def test_unbounded_round_trip(self, lower):
+        m = Multiplicity(lower, None)
+        assert Multiplicity.parse(str(m)) == m
+
+
+# ----------------------------------------------------------------------
+# solvers: linear exactness and contraction invariants
+# ----------------------------------------------------------------------
+class TestSolverProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=-5, max_value=5),
+           st.floats(min_value=-3, max_value=3))
+    def test_constant_rhs_exact_for_all_solvers(self, rate, y0):
+        for solver in (Euler(), Heun(), RK4()):
+            result = integrate(
+                lambda t, y: np.array([rate]), [y0], 0.0, 1.0, solver,
+                h=0.125,
+            )
+            assert result.y_final[0] == pytest.approx(
+                y0 + rate, rel=1e-9, abs=1e-9
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=3.0),
+           st.floats(min_value=0.1, max_value=2.0))
+    def test_decay_is_contractive(self, lam, y0):
+        """|y| never grows along stable decay with a stable step."""
+        h = min(0.1, 1.0 / lam)  # h*lam <= 1: RK4 region
+        result = integrate(
+            lambda t, y: -lam * y, [y0], 0.0, 2.0, RK4(), h=h
+        )
+        values = result.trajectory.states[:, 0]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_zero_crossing_localisation(self, crossing_point):
+        """A linear guard crossing anywhere in (0,1) is localised there."""
+        spec = EventSpec("x", lambda t, y: t - crossing_point)
+        detector = ZeroCrossingDetector([spec], t_tol=1e-10)
+        detector.reset(0.0, np.zeros(1))
+        events = detector.check_step(0.0, np.zeros(1), 1.0, np.zeros(1))
+        assert len(events) == 1
+        assert events[0].t == pytest.approx(crossing_point, abs=1e-8)
+
+
+# ----------------------------------------------------------------------
+# trajectories: interpolation stays within the convex hull
+# ----------------------------------------------------------------------
+class TestTrajectoryProperties:
+    @given(st.lists(
+        st.floats(min_value=-100, max_value=100), min_size=2, max_size=30,
+    ), st.floats(min_value=0.0, max_value=1.0))
+    def test_sample_within_bounds(self, values, alpha):
+        trajectory = Trajectory()
+        for index, value in enumerate(values):
+            trajectory.append(float(index), [value])
+        t = alpha * (len(values) - 1)
+        sampled = trajectory.sample(t)[0]
+        assert min(values) - 1e-9 <= sampled <= max(values) + 1e-9
+
+    @given(st.lists(
+        st.floats(min_value=-100, max_value=100), min_size=2, max_size=30,
+    ))
+    def test_sample_hits_knots_exactly(self, values):
+        trajectory = Trajectory()
+        for index, value in enumerate(values):
+            trajectory.append(float(index), [value])
+        for index, value in enumerate(values):
+            assert trajectory.sample(float(index))[0] == pytest.approx(
+                value, rel=1e-12, abs=1e-12
+            )

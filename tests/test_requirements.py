@@ -1,0 +1,139 @@
+"""Requirements capture and traceability."""
+
+import pytest
+
+from tests.conftest import ConstLeaf, IntegratorLeaf
+
+from repro.core.model import HybridModel
+from repro.requirements import (
+    Requirement,
+    RequirementError,
+    RequirementSet,
+    trace_report,
+)
+from repro.requirements.core import Kind, render_trace
+
+
+def build_model():
+    model = HybridModel("plant")
+    const = model.add_streamer(ConstLeaf("drive", 2.0))
+    integ = model.add_streamer(IntegratorLeaf("position"))
+    model.add_flow(const.dport("y"), integ.dport("u"))
+    model.add_probe("x", integ.dport("y"))
+    return model
+
+
+class TestRequirementSet:
+    def test_add_and_get(self):
+        reqs = RequirementSet()
+        reqs.add("R1", "The position shall increase monotonically.")
+        assert reqs.get("R1").text.startswith("The position")
+        assert len(reqs) == 1
+
+    def test_duplicate_id_rejected(self):
+        reqs = RequirementSet()
+        reqs.add("R1", "x")
+        with pytest.raises(RequirementError):
+            reqs.add("R1", "y")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(RequirementError):
+            Requirement("", "text")
+
+    def test_unknown_requirement(self):
+        with pytest.raises(RequirementError):
+            RequirementSet().get("ghost")
+
+    def test_by_kind(self):
+        reqs = RequirementSet()
+        reqs.add("F1", "functional", kind=Kind.FUNCTIONAL)
+        reqs.add("T1", "timing", kind=Kind.TIMING)
+        reqs.add("S1", "safety", kind=Kind.SAFETY)
+        assert [r.rid for r in reqs.by_kind(Kind.TIMING)] == ["T1"]
+
+
+class TestTraceability:
+    def test_linked_elements_resolved(self):
+        model = build_model()
+        reqs = RequirementSet()
+        reqs.add("R1", "position tracked")
+        reqs.link("R1", "position")   # streamer path
+        reqs.link("R1", "x")          # probe name
+        entries = trace_report(reqs, model)
+        assert entries[0].linked
+        assert entries[0].missing_elements == []
+        assert entries[0].satisfied
+
+    def test_missing_element_detected(self):
+        model = build_model()
+        reqs = RequirementSet()
+        reqs.add("R1", "refers to a ghost")
+        reqs.link("R1", "no_such_element")
+        entries = trace_report(reqs, model)
+        assert entries[0].missing_elements == ["no_such_element"]
+        assert not entries[0].satisfied
+
+    def test_unlinked_requirement_flagged(self):
+        model = build_model()
+        reqs = RequirementSet()
+        reqs.add("R1", "floating requirement")
+        entries = trace_report(reqs, model)
+        assert not entries[0].linked
+        assert not entries[0].satisfied
+
+    def test_acceptance_check_runs_after_simulation(self):
+        model = build_model()
+        reqs = RequirementSet()
+        reqs.add(
+            "R2", "position reaches 2.0 within 1 s (drive = 2 units/s)",
+            kind=Kind.TIMING,
+            check=lambda m: abs(m.probe("x").y_final[0] - 2.0) < 1e-6,
+        )
+        reqs.link("R2", "x")
+        model.run(until=1.0, sync_interval=0.1)
+        entries = trace_report(reqs, model)
+        assert entries[0].check_result is True
+        assert entries[0].satisfied
+
+    def test_failing_check_reported(self):
+        model = build_model()
+        reqs = RequirementSet()
+        reqs.add("R3", "impossible bound",
+                 check=lambda m: m.probe("x").y_final[0] > 1e9)
+        reqs.link("R3", "x")
+        model.run(until=1.0, sync_interval=0.1)
+        entries = trace_report(reqs, model)
+        assert entries[0].check_result is False
+        assert not entries[0].satisfied
+
+    def test_checks_can_be_skipped(self):
+        model = build_model()
+        reqs = RequirementSet()
+        reqs.add("R4", "check skipped", check=lambda m: False)
+        reqs.link("R4", "x")
+        entries = trace_report(reqs, model, run_checks=False)
+        assert entries[0].check_result is None
+        assert entries[0].satisfied  # None check does not fail tracing
+
+    def test_render_trace(self):
+        model = build_model()
+        reqs = RequirementSet()
+        reqs.add("R1", "a")
+        reqs.link("R1", "x")
+        reqs.add("R2", "b")
+        text = render_trace(trace_report(reqs, model))
+        assert "R1" in text and "R2" in text
+        assert "NO" in text  # R2 unlinked
+
+    def test_capsule_and_thread_names_resolvable(self):
+        from tests.conftest import Echo
+
+        model = build_model()
+        model.add_capsule(Echo("echo"))
+        reqs = RequirementSet()
+        reqs.add("R5", "echo exists")
+        reqs.link("R5", "echo")
+        reqs.link("R5", "streamers")  # default thread name
+        reqs.link("R5", "main")       # default controller name
+        entries = trace_report(reqs, model)
+        assert entries[0].missing_elements == []

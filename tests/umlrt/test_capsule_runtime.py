@@ -1,0 +1,168 @@
+"""Capsules, controllers and the deterministic runtime together."""
+
+import pytest
+
+from tests.conftest import PING, Echo, Pinger
+
+from repro.umlrt.capsule import Capsule, CapsuleError, PartKind
+from repro.umlrt.runtime import RTSystem
+from repro.umlrt.signal import Priority
+from repro.umlrt.statemachine import StateMachine
+
+
+def wire(rts):
+    pinger = rts.add_top(Pinger("pinger"))
+    echo = rts.add_top(Echo("echo"))
+    pinger.connect(pinger.port("p"), echo.port("p"))
+    return pinger, echo
+
+
+class TestBasicMessaging:
+    def test_ping_pong(self, rts):
+        pinger, __ = wire(rts)
+        rts.run()
+        assert pinger.pongs == 1
+
+    def test_multiple_pings(self, rts):
+        pinger = rts.add_top(Pinger("pinger", pings=5))
+        echo = rts.add_top(Echo("echo"))
+        pinger.connect(pinger.port("p"), echo.port("p"))
+        rts.run()
+        assert pinger.pongs == 5
+
+    def test_message_counting(self, rts):
+        wire(rts)
+        dispatched = rts.run()
+        assert dispatched == 2  # ping + pong
+        assert rts.total_dispatched == 2
+
+    def test_quiescence(self, rts):
+        wire(rts)
+        rts.run()
+        assert rts.quiescent()
+
+    def test_determinism(self):
+        """Two identical systems produce identical dispatch counts."""
+        counts = []
+        for __ in range(2):
+            rts = RTSystem("t")
+            pinger = rts.add_top(Pinger("pinger", pings=7))
+            echo = rts.add_top(Echo("echo"))
+            pinger.connect(pinger.port("p"), echo.port("p"))
+            rts.run()
+            counts.append((rts.total_dispatched, pinger.pongs))
+        assert counts[0] == counts[1]
+
+
+class TestControllers:
+    def test_capsules_on_separate_controllers(self, rts):
+        worker = rts.create_controller("worker")
+        pinger = rts.add_top(Pinger("pinger"))
+        echo = rts.add_top(Echo("echo"), controller=worker)
+        pinger.connect(pinger.port("p"), echo.port("p"))
+        rts.run()
+        assert pinger.pongs == 1
+        assert worker.dispatched == 1  # echo's ping
+        assert rts.default_controller.dispatched == 1  # pinger's pong
+
+    def test_duplicate_controller_name(self, rts):
+        rts.create_controller("x")
+        with pytest.raises(Exception):
+            rts.create_controller("x")
+
+    def test_priority_order_across_controllers(self, rts):
+        """The globally most urgent message dispatches first."""
+        order = []
+
+        class Sink(Capsule):
+            def build_structure(self):
+                self.create_port("in_", PING.conjugate())
+
+            def build_behaviour(self):
+                sm = StateMachine("sink")
+                sm.add_state("s")
+                sm.initial("s")
+                sm.add_transition(
+                    "s", trigger=("in_", "ping"), internal=True,
+                    action=lambda c, m: order.append(
+                        (c.instance_name, m.priority)
+                    ),
+                )
+                return sm
+
+        fast_ctrl = rts.create_controller("fast")
+        a = rts.add_top(Sink("a"))
+        b = rts.add_top(Sink("b"), controller=fast_ctrl)
+        rts.start()
+        rts.inject(a.port("in_"), "ping", priority=Priority.LOW)
+        rts.inject(b.port("in_"), "ping", priority=Priority.HIGH)
+        rts.run()
+        assert order[0][0] == "b"  # HIGH before LOW despite send order
+
+
+class TestCapsuleStructure:
+    def test_duplicate_port_rejected(self):
+        class Dup(Capsule):
+            def build_structure(self):
+                self.create_port("x", PING.base())
+                self.create_port("x", PING.base())
+
+        rts = RTSystem("t")
+        with pytest.raises(CapsuleError):
+            rts.add_top(Dup("dup"))
+
+    def test_implicit_timer_port(self):
+        capsule = Capsule("c")
+        assert "timer" in capsule.ports
+
+    def test_unknown_port_access(self):
+        capsule = Capsule("c")
+        with pytest.raises(CapsuleError):
+            capsule.port("nope")
+
+    def test_fixed_parts_built_recursively(self, rts):
+        class Leaf(Capsule):
+            pass
+
+        class Mid(Capsule):
+            def build_structure(self):
+                self.create_part("leaf", Leaf)
+
+        class Top(Capsule):
+            def build_structure(self):
+                self.create_part("mid", Mid)
+
+        top = rts.add_top(Top("top"))
+        assert top.part_instance("mid").part_instance("leaf")
+        names = [c.instance_name for c in top.descendants()]
+        assert names == ["top.mid", "top.mid.leaf"]
+        assert rts.capsule_count() == 3
+
+    def test_part_kinds(self):
+        class Opt(Capsule):
+            def build_structure(self):
+                self.create_part("opt", Capsule, kind=PartKind.OPTIONAL)
+
+        rts = RTSystem("t")
+        top = rts.add_top(Opt("top"))
+        assert not top.part("opt").occupied  # optional: not auto-built
+
+    def test_unknown_part(self):
+        capsule = Capsule("c")
+        with pytest.raises(CapsuleError):
+            capsule.part("ghost")
+
+
+class TestInjection:
+    def test_inject_validates_receive_set(self, rts):
+        echo = rts.add_top(Echo("echo"))
+        rts.start()
+        with pytest.raises(Exception):
+            rts.inject(echo.port("p"), "pong")  # echo's side sends pong
+
+    def test_messages_to_destroyed_capsule_counted(self, rts):
+        echo = rts.add_top(Echo("echo"))
+        rts.start()
+        rts.abandon(echo)
+        rts.inject(echo.port("p"), "ping")
+        assert rts.messages_to_dead == 1

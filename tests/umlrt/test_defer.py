@@ -1,0 +1,139 @@
+"""Message deferral (ROOM defer/recall)."""
+
+import pytest
+
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.protocol import Protocol
+from repro.umlrt.runtime import RTSystem
+from repro.umlrt.signal import Message
+from repro.umlrt.statemachine import StateMachine
+
+
+class FakePort:
+    def __init__(self, name="p"):
+        self.name = name
+
+
+def msg(signal, port="p"):
+    return Message(signal, port=FakePort(port))
+
+
+class Ctx:
+    def __init__(self):
+        self.handled = []
+
+
+def busy_machine():
+    """'busy' defers 'request'; 'idle' handles it."""
+    sm = StateMachine("server")
+    sm.add_state("busy", defer=("request",))
+    sm.add_state("idle")
+    sm.initial("busy")
+    sm.add_transition("busy", "idle", trigger="done")
+    sm.add_transition(
+        "idle", trigger="request", internal=True,
+        action=lambda c, m: c.handled.append(m.signal),
+    )
+    return sm
+
+
+class TestDeferral:
+    def test_deferred_not_dropped(self):
+        sm = busy_machine()
+        ctx = Ctx()
+        sm.start(ctx)
+        assert not sm.dispatch(ctx, msg("request"))
+        assert sm.deferred_messages == 1
+        assert sm.dropped_messages == 0
+
+    def test_recalled_after_state_change(self):
+        sm = busy_machine()
+        ctx = Ctx()
+        sm.start(ctx)
+        sm.dispatch(ctx, msg("request"))
+        sm.dispatch(ctx, msg("done"))
+        recalled = sm.take_recalled()
+        assert [m.signal for m in recalled] == ["request"]
+        # re-dispatch in the new state now succeeds
+        assert sm.dispatch(ctx, recalled[0])
+        assert ctx.handled == ["request"]
+
+    def test_multiple_deferred_recalled_in_order(self):
+        sm = busy_machine()
+        ctx = Ctx()
+        sm.start(ctx)
+        first, second = msg("request"), msg("request")
+        sm.dispatch(ctx, first)
+        sm.dispatch(ctx, second)
+        sm.dispatch(ctx, msg("done"))
+        assert sm.take_recalled() == [first, second]
+
+    def test_internal_transition_does_not_recall(self):
+        sm = busy_machine()
+        sm.add_transition("busy", trigger="ping", internal=True)
+        ctx = Ctx()
+        sm.start(ctx)
+        sm.dispatch(ctx, msg("request"))
+        sm.dispatch(ctx, msg("ping"))  # internal: no state change
+        assert sm.take_recalled() == []
+
+    def test_inner_transition_beats_outer_defer(self):
+        sm = StateMachine("m")
+        sm.add_state("outer", defer=("work",))
+        sm.add_state("outer.inner")
+        sm.add_state("outer.other")
+        sm.initial("outer")
+        sm.initial("outer.inner", composite="outer")
+        sm.add_transition("outer.inner", "outer.other", trigger="work")
+        ctx = Ctx()
+        sm.start(ctx)
+        assert sm.dispatch(ctx, msg("work"))  # fires, not deferred
+        assert sm.deferred_messages == 0
+
+    def test_outer_defer_catches_when_inner_silent(self):
+        sm = StateMachine("m")
+        sm.add_state("outer", defer=("work",))
+        sm.add_state("outer.inner")
+        sm.initial("outer")
+        sm.initial("outer.inner", composite="outer")
+        ctx = Ctx()
+        sm.start(ctx)
+        assert not sm.dispatch(ctx, msg("work"))
+        assert sm.deferred_messages == 1
+
+
+PROTO = Protocol.define("Work", outgoing=("request", "done"), incoming=())
+
+
+class Server(Capsule):
+    def __init__(self, name="server"):
+        self.handled = []
+        super().__init__(name)
+
+    def build_structure(self):
+        self.create_port("in_", PROTO.conjugate())
+
+    def build_behaviour(self):
+        sm = StateMachine("server")
+        sm.add_state("busy", defer=("request",))
+        sm.add_state("idle")
+        sm.initial("busy")
+        sm.add_transition("busy", "idle", trigger=("in_", "done"))
+        sm.add_transition(
+            "idle", trigger=("in_", "request"), internal=True,
+            action=lambda c, m: c.handled.append(m.signal),
+        )
+        return sm
+
+
+class TestDeferralInRuntime:
+    def test_full_defer_recall_cycle(self):
+        rts = RTSystem("t")
+        server = rts.add_top(Server())
+        rts.start()
+        rts.inject(server.port("in_"), "request")
+        rts.inject(server.port("in_"), "request")
+        rts.inject(server.port("in_"), "done")
+        rts.run()
+        # both requests parked while busy, recalled and handled in idle
+        assert server.handled == ["request", "request"]

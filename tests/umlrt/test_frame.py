@@ -1,0 +1,116 @@
+"""Frame service: incarnate, plug-in, destroy."""
+
+import pytest
+
+from tests.conftest import PING, Echo, Pinger
+
+from repro.umlrt.capsule import Capsule, PartKind
+from repro.umlrt.frame import FrameError
+from repro.umlrt.runtime import RTSystem
+
+
+class Host(Capsule):
+    def build_structure(self):
+        self.create_part("opt", Echo, kind=PartKind.OPTIONAL)
+        self.create_part("plug", Echo, kind=PartKind.PLUGIN)
+        self.create_part("fixed", Echo, kind=PartKind.FIXED)
+
+
+class TestIncarnate:
+    def test_incarnate_optional(self, rts):
+        host = rts.add_top(Host("host"))
+        rts.start()
+        instance = rts.frame.incarnate(host, "opt")
+        assert instance.instance_name == "host.opt"
+        assert host.part("opt").occupied
+        assert rts.frame.incarnated == 1
+        assert instance.behaviour.started
+
+    def test_incarnated_capsule_communicates(self, rts):
+        host = rts.add_top(Host("host"))
+        pinger = rts.add_top(Pinger("pinger", pings=0))
+        rts.start()
+        echo = rts.frame.incarnate(host, "opt")
+        pinger.connect(pinger.port("p"), echo.port("p"))
+        pinger.send("p", "ping")
+        rts.run()
+        assert pinger.pongs == 1
+
+    def test_cannot_incarnate_fixed(self, rts):
+        host = rts.add_top(Host("host"))
+        rts.start()
+        with pytest.raises(FrameError):
+            rts.frame.incarnate(host, "fixed")
+
+    def test_cannot_incarnate_occupied(self, rts):
+        host = rts.add_top(Host("host"))
+        rts.start()
+        rts.frame.incarnate(host, "opt")
+        with pytest.raises(FrameError):
+            rts.frame.incarnate(host, "opt")
+
+
+class TestPlugIn:
+    def test_plug_in(self, rts):
+        host = rts.add_top(Host("host"))
+        rts.start()
+        external = Echo("external")
+        rts.frame.plug_in(host, "plug", external)
+        assert host.part_instance("plug") is external
+        assert external.runtime is rts
+
+    def test_plug_in_wrong_type(self, rts):
+        host = rts.add_top(Host("host"))
+        rts.start()
+        with pytest.raises(FrameError):
+            rts.frame.plug_in(host, "plug", Pinger("wrong"))
+
+    def test_plug_in_wrong_kind(self, rts):
+        host = rts.add_top(Host("host"))
+        rts.start()
+        with pytest.raises(FrameError):
+            rts.frame.plug_in(host, "opt", Echo("x"))
+
+
+class TestDestroy:
+    def test_destroy_frees_part(self, rts):
+        host = rts.add_top(Host("host"))
+        rts.start()
+        rts.frame.incarnate(host, "opt")
+        rts.frame.destroy(host, "opt")
+        assert not host.part("opt").occupied
+        assert rts.frame.destroyed == 1
+
+    def test_destroy_unlinks_ports(self, rts):
+        host = rts.add_top(Host("host"))
+        pinger = rts.add_top(Pinger("pinger", pings=0))
+        rts.start()
+        echo = rts.frame.incarnate(host, "opt")
+        pinger.connect(pinger.port("p"), echo.port("p"))
+        rts.frame.destroy(host, "opt")
+        assert not pinger.port("p").wired
+
+    def test_messages_after_destroy_are_dropped(self, rts):
+        host = rts.add_top(Host("host"))
+        rts.start()
+        echo = rts.frame.incarnate(host, "opt")
+        port = echo.port("p")
+        rts.frame.destroy(host, "opt")
+        rts.deliver(port, __import__(
+            "repro.umlrt.signal", fromlist=["Message"]
+        ).Message("ping"))
+        assert rts.messages_to_dead == 1
+
+    def test_destroy_empty_part(self, rts):
+        host = rts.add_top(Host("host"))
+        rts.start()
+        with pytest.raises(FrameError):
+            rts.frame.destroy(host, "opt")
+
+    def test_reincarnation_after_destroy(self, rts):
+        host = rts.add_top(Host("host"))
+        rts.start()
+        rts.frame.incarnate(host, "opt")
+        rts.frame.destroy(host, "opt")
+        fresh = rts.frame.incarnate(host, "opt")
+        assert fresh.behaviour.started

@@ -1,0 +1,134 @@
+"""Ports: wiring rules, relay resolution and send checks."""
+
+import pytest
+
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.connector import Connector, ConnectorError
+from repro.umlrt.port import Port, PortError, PortKind
+from repro.umlrt.protocol import Protocol
+
+PROTO = Protocol.define("P", outgoing=("msg",), incoming=("reply",))
+
+
+def end_port(name="e"):
+    return Port(name, PROTO.base())
+
+
+def conj_port(name="c"):
+    return Port(name, PROTO.conjugate())
+
+
+def relay_port(name="r", conjugated=False):
+    role = PROTO.conjugate() if conjugated else PROTO.base()
+    return Port(name, role, kind=PortKind.RELAY)
+
+
+class TestLinking:
+    def test_link_and_unlink(self):
+        a, b = end_port("a"), conj_port("b")
+        a.link(b)
+        assert a.wired and b.wired
+        a.unlink(b)
+        assert not a.wired and not b.wired
+
+    def test_self_link_rejected(self):
+        a = end_port()
+        with pytest.raises(PortError):
+            a.link(a)
+
+    def test_double_link_rejected(self):
+        a, b = end_port("a"), conj_port("b")
+        a.link(b)
+        with pytest.raises(PortError):
+            a.link(b)
+
+    def test_end_port_single_link(self):
+        a = end_port("a")
+        a.link(conj_port("b"))
+        with pytest.raises(PortError):
+            a.link(conj_port("c"))
+
+    def test_relay_port_two_links(self):
+        relay = relay_port()
+        relay.link(conj_port("x"))
+        relay.link(conj_port("y"))
+        with pytest.raises(PortError):
+            relay.link(conj_port("z"))
+
+    def test_unlink_not_linked(self):
+        a, b = end_port("a"), conj_port("b")
+        with pytest.raises(PortError):
+            a.unlink(b)
+
+
+class TestRelayResolution:
+    def test_direct_endpoint(self):
+        a, b = end_port("a"), conj_port("b")
+        a.link(b)
+        assert a.resolve_endpoints() == [b]
+
+    def test_through_one_relay(self):
+        a = end_port("a")
+        relay = relay_port("r", conjugated=True)
+        b = conj_port("b")
+        a.link(relay)
+        relay.link(b)
+        assert a.resolve_endpoints() == [b]
+
+    def test_through_relay_chain(self):
+        a = end_port("a")
+        relays = [relay_port(f"r{i}") for i in range(4)]
+        b = conj_port("b")
+        a.link(relays[0])
+        for r1, r2 in zip(relays, relays[1:]):
+            r1.link(r2)
+        relays[-1].link(b)
+        assert a.resolve_endpoints() == [b]
+
+    def test_unwired_has_no_endpoints(self):
+        assert end_port().resolve_endpoints() == []
+
+    def test_dangling_relay_has_no_endpoints(self):
+        a = end_port("a")
+        relay = relay_port("r")
+        a.link(relay)
+        assert a.resolve_endpoints() == []
+
+
+class TestConnector:
+    def test_compatible_roles_connect(self):
+        connector = Connector(end_port("a"), conj_port("b"))
+        assert connector.connected
+
+    def test_incompatible_roles_rejected(self):
+        with pytest.raises(ConnectorError):
+            Connector(end_port("a"), end_port("b"))
+
+    def test_disconnect(self):
+        a, b = end_port("a"), conj_port("b")
+        connector = Connector(a, b)
+        connector.disconnect()
+        assert not a.wired
+        with pytest.raises(ConnectorError):
+            connector.disconnect()
+
+    def test_involves(self):
+        a, b = end_port("a"), conj_port("b")
+        connector = Connector(a, b)
+        assert connector.involves(a) and connector.involves(b)
+        assert not connector.involves(end_port("other"))
+
+
+class TestSendChecks:
+    def test_unknown_signal_rejected(self):
+        port = end_port()
+        with pytest.raises(PortError, match="cannot send"):
+            port.send("not_in_protocol")
+
+    def test_unattached_send_rejected(self):
+        port = end_port()
+        with pytest.raises(PortError, match="not attached"):
+            port.send("msg")
+
+    def test_qualified_name_without_owner(self):
+        assert "<unowned>" in end_port().qualified_name

@@ -1,0 +1,105 @@
+"""Protocols, roles, conjugation and compatibility."""
+
+import pytest
+
+from repro.umlrt.protocol import Protocol, ProtocolError, ProtocolRegistry
+
+
+@pytest.fixture
+def ctrl():
+    return Protocol.define(
+        "Ctrl", outgoing=("start", "stop"), incoming=("done", "failed")
+    )
+
+
+class TestProtocol:
+    def test_define(self, ctrl):
+        assert ctrl.outgoing_names == {"start", "stop"}
+        assert ctrl.incoming_names == {"done", "failed"}
+
+    def test_duplicate_signals_rejected(self):
+        with pytest.raises(ProtocolError):
+            Protocol.define("Bad", outgoing=("a", "a"))
+        with pytest.raises(ProtocolError):
+            Protocol.define("Bad", incoming=("b", "b"))
+
+    def test_symmetric(self):
+        sym = Protocol.define("Sym", outgoing=("msg",), incoming=("msg",))
+        assert sym.is_symmetric()
+
+    def test_asymmetric(self, ctrl):
+        assert not ctrl.is_symmetric()
+
+
+class TestProtocolRole:
+    def test_base_sends_outgoing(self, ctrl):
+        base = ctrl.base()
+        assert base.sends == {"start", "stop"}
+        assert base.receives == {"done", "failed"}
+
+    def test_conjugate_swaps(self, ctrl):
+        conj = ctrl.conjugate()
+        assert conj.sends == {"done", "failed"}
+        assert conj.receives == {"start", "stop"}
+
+    def test_double_conjugation_is_identity(self, ctrl):
+        assert ctrl.base().conjugate().conjugate() == ctrl.base()
+
+    def test_role_names(self, ctrl):
+        assert ctrl.base().name == "Ctrl"
+        assert ctrl.conjugate().name == "Ctrl~"
+
+    def test_base_compatible_with_conjugate(self, ctrl):
+        assert ctrl.base().compatible_with(ctrl.conjugate())
+        assert ctrl.conjugate().compatible_with(ctrl.base())
+
+    def test_base_incompatible_with_base(self, ctrl):
+        assert not ctrl.base().compatible_with(ctrl.base())
+
+    def test_symmetric_self_compatible(self):
+        sym = Protocol.define("Sym", outgoing=("m",), incoming=("m",))
+        assert sym.base().compatible_with(sym.base())
+
+    def test_subset_compatibility(self):
+        """A sender of fewer signals may drive a richer receiver."""
+        small = Protocol.define("Small", outgoing=("a",))
+        big = Protocol.define("Big", incoming=("a", "b"))
+        assert small.base().compatible_with(big.base())
+
+    def test_superset_incompatible(self):
+        big = Protocol.define("Big2", outgoing=("a", "b"))
+        small = Protocol.define("Small2", incoming=("a",))
+        assert not big.base().compatible_with(small.base())
+
+
+class TestProtocolRegistry:
+    def test_register_and_get(self, ctrl):
+        registry = ProtocolRegistry()
+        registry.register(ctrl)
+        assert registry.get("Ctrl") is ctrl
+        assert "Ctrl" in registry
+        assert len(registry) == 1
+
+    def test_idempotent_reregistration(self, ctrl):
+        registry = ProtocolRegistry()
+        registry.register(ctrl)
+        registry.register(ctrl)
+        assert len(registry) == 1
+
+    def test_conflicting_registration_rejected(self, ctrl):
+        registry = ProtocolRegistry()
+        registry.register(ctrl)
+        other = Protocol.define("Ctrl", outgoing=("other",))
+        with pytest.raises(ProtocolError):
+            registry.register(other)
+
+    def test_unknown_protocol(self):
+        registry = ProtocolRegistry()
+        with pytest.raises(ProtocolError):
+            registry.get("nope")
+
+    def test_names_sorted(self, ctrl):
+        registry = ProtocolRegistry()
+        registry.register(ctrl)
+        registry.register(Protocol.define("Abc"))
+        assert registry.names() == ("Abc", "Ctrl")

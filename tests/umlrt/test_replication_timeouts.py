@@ -1,0 +1,160 @@
+"""Replicated ports and state-timeout transitions."""
+
+import pytest
+
+from tests.conftest import PING, Echo
+
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.port import PortError
+from repro.umlrt.runtime import RTSystem
+from repro.umlrt.statemachine import StateMachine, add_timeout_transition
+
+
+class Server(Capsule):
+    """One replicated port serving N echo clients."""
+
+    def __init__(self, name="server", clients=3):
+        self.pongs = []
+        self._clients = clients
+        super().__init__(name)
+
+    def build_structure(self):
+        self.create_port("svc", PING.base(), replication=self._clients)
+
+    def build_behaviour(self):
+        sm = StateMachine("server")
+        sm.add_state("s")
+        sm.initial("s")
+        sm.add_transition(
+            "s", trigger=("svc", "pong"), internal=True,
+            action=lambda c, m: c.pongs.append(m.signal),
+        )
+        return sm
+
+
+class TestReplicatedPorts:
+    def build(self, clients=3):
+        rts = RTSystem("t")
+        server = rts.add_top(Server("server", clients=clients))
+        echoes = [rts.add_top(Echo(f"echo{i}")) for i in range(clients)]
+        for echo in echoes:
+            server.connect(server.port("svc"), echo.port("p"))
+        rts.start()
+        return rts, server, echoes
+
+    def test_broadcast_reaches_all_peers(self):
+        rts, server, echoes = self.build(3)
+        delivered = server.send("svc", "ping")
+        assert delivered == 3
+        rts.run()
+        assert len(server.pongs) == 3
+
+    def test_indexed_send_targets_one_peer(self):
+        rts, server, echoes = self.build(3)
+        delivered = server.send("svc", "ping", index=1)
+        assert delivered == 1
+        rts.run()
+        assert len(server.pongs) == 1
+
+    def test_index_out_of_range(self):
+        rts, server, __ = self.build(2)
+        with pytest.raises(PortError, match="out of range"):
+            server.send("svc", "ping", index=5)
+
+    def test_over_wiring_rejected(self):
+        rts = RTSystem("t")
+        server = rts.add_top(Server("server", clients=2))
+        echoes = [rts.add_top(Echo(f"echo{i}")) for i in range(3)]
+        server.connect(server.port("svc"), echoes[0].port("p"))
+        server.connect(server.port("svc"), echoes[1].port("p"))
+        with pytest.raises(Exception, match="fully wired"):
+            server.connect(server.port("svc"), echoes[2].port("p"))
+
+    def test_invalid_replication(self):
+        from repro.umlrt.port import Port
+
+        with pytest.raises(PortError):
+            Port("p", PING.base(), replication=0)
+
+
+class Watchdog(Capsule):
+    """waiting --(after 2 s)--> expired unless kicked back to idle."""
+
+    def __init__(self, name="dog"):
+        self.expired_at = None
+        super().__init__(name)
+
+    def build_structure(self):
+        self.create_port("kick", PING.conjugate())
+
+    def build_behaviour(self):
+        sm = StateMachine("dog")
+        sm.add_state("waiting")
+        sm.add_state("expired")
+        sm.initial("waiting")
+        add_timeout_transition(
+            sm, "waiting", 2.0, "expired",
+            action=lambda c, m: setattr(
+                c, "expired_at", c.runtime.now
+            ),
+        )
+        sm.add_transition("waiting", "waiting", trigger=("kick", "ping"))
+        return sm
+
+
+class TestStateTimeouts:
+    def test_timeout_fires_after_delay(self):
+        rts = RTSystem("t")
+        dog = rts.add_top(Watchdog())
+        rts.start()
+        rts.run(until=5.0)
+        assert dog.behaviour.active_path == "expired"
+        assert dog.expired_at == pytest.approx(2.0)
+
+    def test_reentry_restarts_the_clock(self):
+        """Each kick re-enters 'waiting', cancelling and restarting the
+        timer: the watchdog never expires while kicked."""
+        rts = RTSystem("t")
+        dog = rts.add_top(Watchdog())
+        rts.start()
+        # kicks injected at the right logical times restart the timer
+        rts.run(until=1.4)
+        rts.inject(dog.port("kick"), "ping")
+        rts.run(until=2.9)
+        assert dog.behaviour.active_path == "waiting"  # not yet expired
+        rts.inject(dog.port("kick"), "ping")
+        rts.run(until=4.8)
+        assert dog.behaviour.active_path == "waiting"
+        rts.run(until=5.0)
+        assert dog.behaviour.active_path == "expired"
+        assert dog.expired_at == pytest.approx(4.9, abs=0.01)
+
+    def test_unrelated_timers_do_not_trip_the_guard(self):
+        rts = RTSystem("t")
+        dog = rts.add_top(Watchdog())
+        rts.start()
+        dog.inform_in(0.5, data="user timer")  # unrelated timeout
+        rts.run(until=1.0)
+        assert dog.behaviour.active_path == "waiting"
+        rts.run(until=3.0)
+        assert dog.behaviour.active_path == "expired"
+
+    def test_composes_with_existing_entry_actions(self):
+        log = []
+        sm = StateMachine("m")
+        sm.add_state("a", entry=lambda c, m: log.append("user_entry"))
+        sm.add_state("b")
+        sm.initial("a")
+        add_timeout_transition(sm, "a", 1.0, "b")
+
+        rts = RTSystem("t")
+
+        class Holder(Capsule):
+            def build_behaviour(self):
+                return sm
+
+        rts.add_top(Holder("h"))
+        rts.start()
+        assert log == ["user_entry"]
+        rts.run(until=2.0)
+        assert sm.active_path == "b"

@@ -1,0 +1,73 @@
+"""Signals, messages and their total ordering."""
+
+import pytest
+
+from repro.umlrt.signal import (
+    INIT_SIGNAL,
+    TIMEOUT_SIGNAL,
+    Message,
+    Priority,
+    Signal,
+)
+
+
+class TestSignal:
+    def test_valid_names(self):
+        assert Signal("start").name == "start"
+        assert Signal("too_hot").name == "too_hot"
+        assert Signal("x1").name == "x1"
+
+    @pytest.mark.parametrize("bad", ["", "has space", "semi;colon", "a-b"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Signal(bad)
+
+    def test_signals_are_value_objects(self):
+        assert Signal("a") == Signal("a")
+        assert Signal("a") != Signal("b")
+        assert hash(Signal("a")) == hash(Signal("a"))
+
+    def test_builtin_signals(self):
+        assert TIMEOUT_SIGNAL.name == "timeout"
+        assert INIT_SIGNAL.name == "rtBound"
+
+
+class TestPriority:
+    def test_ordering(self):
+        assert Priority.PANIC > Priority.HIGH > Priority.GENERAL
+        assert Priority.GENERAL > Priority.LOW > Priority.BACKGROUND
+
+    def test_five_levels(self):
+        assert len(Priority) == 5
+
+
+class TestMessage:
+    def test_defaults(self):
+        message = Message("go")
+        assert message.priority is Priority.GENERAL
+        assert message.data is None
+        assert message.timestamp == 0.0
+
+    def test_sort_key_priority_dominates(self):
+        low = Message("a", priority=Priority.LOW, timestamp=0.0)
+        high = Message("b", priority=Priority.HIGH, timestamp=5.0)
+        assert high.sort_key() < low.sort_key()
+
+    def test_sort_key_time_within_priority(self):
+        early = Message("a", timestamp=1.0)
+        late = Message("b", timestamp=2.0)
+        assert early.sort_key() < late.sort_key()
+
+    def test_sort_key_fifo_tiebreak(self):
+        first = Message("a", timestamp=1.0)
+        second = Message("b", timestamp=1.0)
+        assert first.sort_key() < second.sort_key()
+
+    def test_sort_keys_are_unique(self):
+        messages = [Message("x") for __ in range(100)]
+        keys = {m.sort_key() for m in messages}
+        assert len(keys) == 100
+
+    def test_is_timeout(self):
+        assert Message("timeout").is_timeout()
+        assert not Message("tick").is_timeout()

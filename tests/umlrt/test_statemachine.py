@@ -1,0 +1,324 @@
+"""Hierarchical state machines: RTC semantics, hierarchy, history, choice."""
+
+import pytest
+
+from repro.umlrt.signal import Message
+from repro.umlrt.statemachine import (
+    ChoicePoint,
+    State,
+    StateMachine,
+    StateMachineError,
+)
+
+
+class FakePort:
+    def __init__(self, name):
+        self.name = name
+
+
+def msg(signal, port="p", data=None):
+    return Message(signal, data=data, port=FakePort(port))
+
+
+class Recorder:
+    """Capsule stand-in that records action invocations."""
+
+    def __init__(self):
+        self.log = []
+
+    def note(self, tag):
+        def action(capsule, message):
+            capsule.log.append(tag)
+
+        return action
+
+
+@pytest.fixture
+def recorder():
+    return Recorder()
+
+
+def simple_machine():
+    sm = StateMachine("m")
+    sm.add_state("off")
+    sm.add_state("on")
+    sm.initial("off")
+    sm.add_transition("off", "on", trigger=("p", "go"))
+    sm.add_transition("on", "off", trigger=("p", "halt"))
+    return sm
+
+
+class TestFlatMachine:
+    def test_start_enters_initial(self, recorder):
+        sm = simple_machine()
+        sm.start(recorder)
+        assert sm.active_path == "off"
+
+    def test_dispatch_fires_transition(self, recorder):
+        sm = simple_machine()
+        sm.start(recorder)
+        assert sm.dispatch(recorder, msg("go"))
+        assert sm.active_path == "on"
+
+    def test_unmatched_message_dropped(self, recorder):
+        sm = simple_machine()
+        sm.start(recorder)
+        assert not sm.dispatch(recorder, msg("halt"))  # not valid in off
+        assert sm.active_path == "off"
+        assert sm.dropped_messages == 1
+
+    def test_port_specific_trigger(self, recorder):
+        sm = StateMachine("m")
+        sm.add_state("a")
+        sm.add_state("b")
+        sm.initial("a")
+        sm.add_transition("a", "b", trigger=("left", "go"))
+        sm.start(recorder)
+        assert not sm.dispatch(recorder, msg("go", port="right"))
+        assert sm.dispatch(recorder, msg("go", port="left"))
+
+    def test_any_port_trigger(self, recorder):
+        sm = StateMachine("m")
+        sm.add_state("a")
+        sm.add_state("b")
+        sm.initial("a")
+        sm.add_transition("a", "b", trigger="go")
+        sm.start(recorder)
+        assert sm.dispatch(recorder, msg("go", port="whatever"))
+
+    def test_guard_blocks(self, recorder):
+        sm = StateMachine("m")
+        sm.add_state("a")
+        sm.add_state("b")
+        sm.initial("a")
+        enabled = {"flag": False}
+        sm.add_transition(
+            "a", "b", trigger="go", guard=lambda c, m: enabled["flag"]
+        )
+        sm.start(recorder)
+        assert not sm.dispatch(recorder, msg("go"))
+        enabled["flag"] = True
+        assert sm.dispatch(recorder, msg("go"))
+
+    def test_cannot_dispatch_before_start(self, recorder):
+        sm = simple_machine()
+        with pytest.raises(StateMachineError):
+            sm.dispatch(recorder, msg("go"))
+
+    def test_cannot_start_twice(self, recorder):
+        sm = simple_machine()
+        sm.start(recorder)
+        with pytest.raises(StateMachineError):
+            sm.start(recorder)
+
+    def test_requires_initial(self, recorder):
+        sm = StateMachine("m")
+        sm.add_state("only")
+        with pytest.raises(StateMachineError):
+            sm.start(recorder)
+
+
+class TestActions:
+    def test_entry_exit_action_order(self, recorder):
+        sm = StateMachine("m")
+        sm.add_state("a", entry=recorder.note("enter_a"),
+                     exit=recorder.note("exit_a"))
+        sm.add_state("b", entry=recorder.note("enter_b"))
+        sm.initial("a")
+        sm.add_transition("a", "b", trigger="go",
+                          action=recorder.note("t_action"))
+        sm.start(recorder)
+        sm.dispatch(recorder, msg("go"))
+        assert recorder.log == ["enter_a", "exit_a", "t_action", "enter_b"]
+
+    def test_internal_transition_no_exit_entry(self, recorder):
+        sm = StateMachine("m")
+        sm.add_state("a", entry=recorder.note("enter"),
+                     exit=recorder.note("exit"))
+        sm.initial("a")
+        sm.add_transition("a", trigger="tick", internal=True,
+                          action=recorder.note("work"))
+        sm.start(recorder)
+        sm.dispatch(recorder, msg("tick"))
+        sm.dispatch(recorder, msg("tick"))
+        assert recorder.log == ["enter", "work", "work"]
+
+    def test_self_transition_exits_and_reenters(self, recorder):
+        sm = StateMachine("m")
+        sm.add_state("a", entry=recorder.note("enter"),
+                     exit=recorder.note("exit"))
+        sm.initial("a")
+        sm.add_transition("a", "a", trigger="reset")
+        sm.start(recorder)
+        sm.dispatch(recorder, msg("reset"))
+        assert recorder.log == ["enter", "exit", "enter"]
+
+
+class TestHierarchy:
+    def make_composite(self, recorder):
+        sm = StateMachine("m")
+        sm.add_state("top", entry=recorder.note("enter_top"),
+                     exit=recorder.note("exit_top"))
+        sm.add_state("top.inner1", entry=recorder.note("enter_i1"),
+                     exit=recorder.note("exit_i1"))
+        sm.add_state("top.inner2", entry=recorder.note("enter_i2"))
+        sm.add_state("outside")
+        sm.initial("top")
+        sm.initial("top.inner1", composite="top")
+        sm.add_transition("top.inner1", "top.inner2", trigger="next")
+        sm.add_transition("top", "outside", trigger="leave")
+        return sm
+
+    def test_entering_composite_drills_to_leaf(self, recorder):
+        sm = self.make_composite(recorder)
+        sm.start(recorder)
+        assert sm.active_path == "top.inner1"
+        assert recorder.log == ["enter_top", "enter_i1"]
+
+    def test_in_state_includes_ancestors(self, recorder):
+        sm = self.make_composite(recorder)
+        sm.start(recorder)
+        assert sm.in_state("top")
+        assert sm.in_state("top.inner1")
+        assert not sm.in_state("top.inner2")
+
+    def test_group_transition_from_parent(self, recorder):
+        """A transition on the composite fires from any inner state."""
+        sm = self.make_composite(recorder)
+        sm.start(recorder)
+        sm.dispatch(recorder, msg("next"))
+        assert sm.active_path == "top.inner2"
+        assert sm.dispatch(recorder, msg("leave"))
+        assert sm.active_path == "outside"
+        assert "exit_top" in recorder.log
+
+    def test_inner_transition_shadows_outer(self, recorder):
+        sm = self.make_composite(recorder)
+        sm.add_transition("top.inner1", "top.inner2", trigger="leave")
+        sm.start(recorder)
+        sm.dispatch(recorder, msg("leave"))
+        # inner wins over the group transition to outside
+        assert sm.active_path == "top.inner2"
+
+    def test_exit_runs_innermost_first(self, recorder):
+        sm = self.make_composite(recorder)
+        sm.start(recorder)
+        recorder.log.clear()
+        sm.dispatch(recorder, msg("leave"))
+        assert recorder.log.index("exit_i1") < recorder.log.index("exit_top")
+
+
+class TestHistory:
+    def make_history_machine(self, mode):
+        sm = StateMachine("m")
+        sm.add_state("work", history=mode)
+        sm.add_state("work.phase1")
+        sm.add_state("work.phase2")
+        sm.add_state("paused")
+        sm.initial("work")
+        sm.initial("work.phase1", composite="work")
+        sm.add_transition("work.phase1", "work.phase2", trigger="advance")
+        sm.add_transition("work", "paused", trigger="pause")
+        sm.add_transition("paused", "work", trigger="resume")
+        return sm
+
+    def test_shallow_history_restores_substate(self, recorder):
+        sm = self.make_history_machine("shallow")
+        sm.start(recorder)
+        sm.dispatch(recorder, msg("advance"))
+        assert sm.active_path == "work.phase2"
+        sm.dispatch(recorder, msg("pause"))
+        assert sm.active_path == "paused"
+        sm.dispatch(recorder, msg("resume"))
+        assert sm.active_path == "work.phase2"  # restored, not phase1
+
+    def test_no_history_reenters_initial(self, recorder):
+        sm = self.make_history_machine(None)
+        sm.start(recorder)
+        sm.dispatch(recorder, msg("advance"))
+        sm.dispatch(recorder, msg("pause"))
+        sm.dispatch(recorder, msg("resume"))
+        assert sm.active_path == "work.phase1"
+
+    def test_invalid_history_mode(self):
+        with pytest.raises(StateMachineError):
+            State("s", history="weird")
+
+
+class TestChoicePoints:
+    def test_choice_branches_on_guard(self, recorder):
+        sm = StateMachine("m")
+        sm.add_state("start")
+        sm.add_state("high")
+        sm.add_state("low")
+        sm.initial("start")
+        choice = sm.add_choice("decide")
+        choice.add_branch("high", guard=lambda c, m: m.data > 10)
+        choice.add_branch("low")  # else
+        sm.add_transition("start", "decide", trigger="value")
+        sm.start(recorder)
+        sm.dispatch(recorder, msg("value", data=42))
+        assert sm.active_path == "high"
+
+    def test_choice_else_branch(self, recorder):
+        sm = StateMachine("m")
+        sm.add_state("start")
+        sm.add_state("high")
+        sm.add_state("low")
+        sm.initial("start")
+        choice = sm.add_choice("decide")
+        choice.add_branch("high", guard=lambda c, m: m.data > 10)
+        choice.add_branch("low")
+        sm.add_transition("start", "decide", trigger="value")
+        sm.start(recorder)
+        sm.dispatch(recorder, msg("value", data=3))
+        assert sm.active_path == "low"
+
+    def test_choice_without_else_raises(self, recorder):
+        point = ChoicePoint("c")
+        point.add_branch("x", guard=lambda c, m: False)
+        with pytest.raises(StateMachineError):
+            point.select(recorder, None)
+
+    def test_choice_branch_action_runs(self, recorder):
+        sm = StateMachine("m")
+        sm.add_state("start")
+        sm.add_state("end")
+        sm.initial("start")
+        choice = sm.add_choice("c")
+        choice.add_branch("end", action=recorder.note("branch"))
+        sm.add_transition("start", "c", trigger="go",
+                          action=recorder.note("trans"))
+        sm.start(recorder)
+        sm.dispatch(recorder, msg("go"))
+        assert recorder.log == ["trans", "branch"]
+
+
+class TestStructureValidation:
+    def test_duplicate_state_rejected(self):
+        sm = StateMachine("m")
+        sm.add_state("a")
+        with pytest.raises(StateMachineError):
+            sm.add_state("a")
+
+    def test_unknown_parent_rejected(self):
+        sm = StateMachine("m")
+        with pytest.raises(StateMachineError):
+            sm.add_state("ghost.child")
+
+    def test_unknown_transition_target(self):
+        sm = StateMachine("m")
+        sm.add_state("a")
+        with pytest.raises(StateMachineError):
+            sm.add_transition("a", "nowhere", trigger="x")
+
+    def test_transition_counts(self):
+        sm = simple_machine()
+        assert sm.transition_count() == 2
+        assert sm.all_states() == ["off", "on"]
+
+    def test_internal_with_different_target_rejected(self):
+        from repro.umlrt.statemachine import Transition
+
+        with pytest.raises(StateMachineError):
+            Transition("a", "b", internal=True)

@@ -1,0 +1,160 @@
+"""Advanced state-machine semantics: deep history, chained choices,
+nested self-transitions and trace bookkeeping."""
+
+import pytest
+
+from repro.umlrt.signal import Message
+from repro.umlrt.statemachine import StateMachine, StateMachineError
+
+
+class FakePort:
+    def __init__(self, name="p"):
+        self.name = name
+
+
+def msg(signal, data=None):
+    return Message(signal, data=data, port=FakePort())
+
+
+class Recorder:
+    def __init__(self):
+        self.log = []
+
+    def note(self, tag):
+        def action(capsule, message):
+            capsule.log.append(tag)
+
+        return action
+
+
+def deep_machine(mode="deep"):
+    sm = StateMachine("m")
+    sm.add_state("work", history=mode)
+    sm.add_state("work.phase1")
+    sm.add_state("work.phase2")
+    sm.add_state("work.phase2.a")
+    sm.add_state("work.phase2.b")
+    sm.add_state("paused")
+    sm.initial("work")
+    sm.initial("work.phase1", composite="work")
+    sm.initial("work.phase2.a", composite="work.phase2")
+    sm.add_transition("work.phase1", "work.phase2", trigger="advance")
+    sm.add_transition("work.phase2.a", "work.phase2.b", trigger="inner")
+    sm.add_transition("work", "paused", trigger="pause")
+    sm.add_transition("paused", "work", trigger="resume")
+    return sm
+
+
+class TestDeepHistory:
+    def test_deep_history_restores_innermost(self):
+        sm = deep_machine("deep")
+        ctx = Recorder()
+        sm.start(ctx)
+        sm.dispatch(ctx, msg("advance"))
+        sm.dispatch(ctx, msg("inner"))
+        assert sm.active_path == "work.phase2.b"
+        sm.dispatch(ctx, msg("pause"))
+        sm.dispatch(ctx, msg("resume"))
+        assert sm.active_path == "work.phase2.b"  # innermost restored
+
+    def test_shallow_history_restores_one_level(self):
+        sm = deep_machine("shallow")
+        ctx = Recorder()
+        sm.start(ctx)
+        sm.dispatch(ctx, msg("advance"))
+        sm.dispatch(ctx, msg("inner"))
+        sm.dispatch(ctx, msg("pause"))
+        sm.dispatch(ctx, msg("resume"))
+        # phase2 restored, but inner config re-drilled through initial
+        assert sm.active_path == "work.phase2.a"
+
+    def test_first_entry_uses_initial(self):
+        sm = deep_machine("deep")
+        ctx = Recorder()
+        sm.start(ctx)
+        assert sm.active_path == "work.phase1"
+
+
+class TestChainedChoicePoints:
+    def build(self):
+        sm = StateMachine("m")
+        sm.add_state("start")
+        sm.add_state("low")
+        sm.add_state("mid")
+        sm.add_state("high")
+        sm.initial("start")
+        first = sm.add_choice("c1")
+        first.add_branch("high", guard=lambda c, m: m.data > 100)
+        first.add_branch("c2")  # chain to a second choice
+        second = sm.add_choice("c2")
+        second.add_branch("mid", guard=lambda c, m: m.data > 10)
+        second.add_branch("low")
+        sm.add_transition("start", "c1", trigger="value")
+        return sm
+
+    @pytest.mark.parametrize("value,expected", [
+        (500, "high"), (50, "mid"), (5, "low"),
+    ])
+    def test_chained_resolution(self, value, expected):
+        sm = self.build()
+        ctx = Recorder()
+        sm.start(ctx)
+        sm.dispatch(ctx, msg("value", data=value))
+        assert sm.active_path == expected
+
+    def test_choice_cycle_detected(self):
+        sm = StateMachine("m")
+        sm.add_state("a")
+        sm.initial("a")
+        c1 = sm.add_choice("c1")
+        c2 = sm.add_choice("c2")
+        c1.add_branch("c2")
+        c2.add_branch("c1")
+        sm.add_transition("a", "c1", trigger="go")
+        ctx = Recorder()
+        sm.start(ctx)
+        with pytest.raises(StateMachineError, match="cycle"):
+            sm.dispatch(ctx, msg("go"))
+
+
+class TestNestedSelfTransitions:
+    def test_composite_self_transition_resets_children(self):
+        sm = StateMachine("m")
+        log = Recorder()
+        sm.add_state("comp", entry=log.note("enter_comp"),
+                     exit=log.note("exit_comp"))
+        sm.add_state("comp.a")
+        sm.add_state("comp.b")
+        sm.initial("comp")
+        sm.initial("comp.a", composite="comp")
+        sm.add_transition("comp.a", "comp.b", trigger="next")
+        sm.add_transition("comp", "comp", trigger="reset")
+        sm.start(log)
+        sm.dispatch(log, msg("next"))
+        assert sm.active_path == "comp.b"
+        sm.dispatch(log, msg("reset"))
+        assert sm.active_path == "comp.a"  # re-drilled via initial
+        assert log.log == ["enter_comp", "exit_comp", "enter_comp"]
+
+
+class TestTraceBookkeeping:
+    def test_trace_records_lifecycle(self):
+        sm = StateMachine("m")
+        sm.trace_enabled = True
+        sm.add_state("a")
+        sm.add_state("b")
+        sm.initial("a")
+        sm.add_transition("a", "b", trigger="go")
+        ctx = Recorder()
+        sm.start(ctx)
+        sm.dispatch(ctx, msg("go"))
+        sm.dispatch(ctx, msg("bogus"))
+        kinds = [kind for kind, __ in sm.trace]
+        assert kinds == ["enter", "exit", "fire", "enter", "drop"]
+
+    def test_trace_disabled_by_default(self):
+        sm = StateMachine("m")
+        sm.add_state("a")
+        sm.initial("a")
+        sm.start(Recorder())
+        assert sm.trace == []

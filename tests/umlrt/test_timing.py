@@ -1,0 +1,151 @@
+"""Timing service: one-shot, periodic, cancellation, jitter under load."""
+
+import pytest
+
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.runtime import RTSystem
+from repro.umlrt.statemachine import StateMachine
+from repro.umlrt.timing import TimingError
+
+
+class TimerUser(Capsule):
+    def __init__(self, instance_name="tu"):
+        self.timeouts = []
+        super().__init__(instance_name)
+
+    def build_behaviour(self):
+        sm = StateMachine("tu")
+        sm.add_state("s")
+        sm.initial("s")
+        sm.add_transition(
+            "s", trigger=("timer", "timeout"), internal=True,
+            action=lambda c, m: c.timeouts.append(c.runtime.now),
+        )
+        return sm
+
+
+class TestOneShot:
+    def test_fires_at_expiry(self, rts):
+        user = rts.add_top(TimerUser())
+        rts.start()
+        user.inform_in(2.5)
+        rts.run()
+        assert user.timeouts == [2.5]
+        assert rts.now == 2.5
+
+    def test_zero_delay(self, rts):
+        user = rts.add_top(TimerUser())
+        rts.start()
+        user.inform_in(0.0)
+        rts.run()
+        assert user.timeouts == [0.0]
+
+    def test_negative_delay_rejected(self, rts):
+        user = rts.add_top(TimerUser())
+        rts.start()
+        with pytest.raises(TimingError):
+            user.inform_in(-1.0)
+
+    def test_cancel_before_expiry(self, rts):
+        user = rts.add_top(TimerUser())
+        rts.start()
+        handle = user.inform_in(1.0)
+        handle.cancel()
+        rts.run()
+        assert user.timeouts == []
+
+    def test_multiple_timers_fire_in_order(self, rts):
+        user = rts.add_top(TimerUser())
+        rts.start()
+        user.inform_in(3.0)
+        user.inform_in(1.0)
+        user.inform_in(2.0)
+        rts.run()
+        assert user.timeouts == [1.0, 2.0, 3.0]
+
+
+class TestPeriodic:
+    def test_fires_repeatedly(self, rts):
+        user = rts.add_top(TimerUser())
+        rts.start()
+        user.inform_every(1.0)
+        rts.run(until=5.5)
+        assert user.timeouts == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_drift_free_schedule(self, rts):
+        """Periods accumulate from expiry, not from dispatch."""
+        user = rts.add_top(TimerUser())
+        rts.start()
+        user.inform_every(0.1)
+        rts.run(until=1.05)
+        expected = [round(0.1 * k, 10) for k in range(1, 11)]
+        assert [round(t, 10) for t in user.timeouts] == expected
+
+    def test_non_positive_period_rejected(self, rts):
+        user = rts.add_top(TimerUser())
+        rts.start()
+        with pytest.raises(TimingError):
+            user.inform_every(0.0)
+
+    def test_cancel_periodic(self, rts):
+        user = rts.add_top(TimerUser())
+        rts.start()
+        handle = user.inform_every(1.0)
+        rts.run(until=2.5)
+        handle.cancel()
+        rts.run(until=10.0)
+        assert len(user.timeouts) == 2
+
+    def test_handle_fired_count(self, rts):
+        user = rts.add_top(TimerUser())
+        rts.start()
+        handle = user.inform_every(1.0)
+        rts.run(until=3.5)
+        assert handle.fired == 3
+        assert handle.periodic
+
+
+class TestTimerJitter:
+    def test_dispatch_cost_delays_timeouts(self):
+        """With synthetic CPU cost and queue contention, some timeouts are
+        observed late — the paper's 'timing in UML-RT is unpredictable'."""
+        rts = RTSystem("loaded")
+        rts.dispatch_cost = 0.7
+        first = rts.add_top(TimerUser("first"))
+        second = rts.add_top(TimerUser("second"))
+        rts.start()
+        first.inform_every(1.0)
+        second.inform_every(1.0)
+        rts.run(until=4.0)
+        # both expire together; the one dispatched second observes the
+        # first one's processing cost as latency
+        lags = [
+            observed - (k + 1) * 1.0
+            for user in (first, second)
+            for k, observed in enumerate(user.timeouts)
+        ]
+        assert all(lag >= -1e-12 for lag in lags)
+        assert max(lags) >= 0.7  # contention-induced jitter visible
+
+    def test_zero_cost_is_exact(self, rts):
+        user = rts.add_top(TimerUser())
+        rts.start()
+        user.inform_every(1.0)
+        rts.run(until=4.0)
+        assert user.timeouts == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestCalendar:
+    def test_pending_and_prune(self, rts):
+        user = rts.add_top(TimerUser())
+        rts.start()
+        h1 = user.inform_in(1.0)
+        user.inform_in(2.0)
+        assert rts.timing.pending() == 2
+        h1.cancel()
+        assert rts.timing.pending() == 1
+        assert rts.timing.next_expiry() == 2.0
+
+    def test_empty_calendar(self, rts):
+        assert rts.timing.next_expiry() is None
+        assert rts.timing.pending() == 0
