@@ -1,0 +1,91 @@
+"""Experiment S4 — batched multi-instance simulation.
+
+Parameter sweeps and Monte-Carlo studies re-run the same model N times.
+The batch backend compiles the ExecutionPlan into one vectorised NumPy
+program over an ``(N, n_state)`` state matrix, so the N instances cost
+one Python interpreter pass per minor step instead of N.  This bench
+measures the throughput ratio against the honest baseline — N sequential
+interpreter runs of the identical fixed-step loop — and re-asserts the
+bitwise equivalence that makes the comparison fair.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import pid_plant_diagram
+from repro.core.batch import BatchSimulator, simulate_sequential
+
+N = 100
+T_END = 1.0
+H = 2e-3
+RECORDS = ["plant.out"]
+
+
+def _sweeps(n=N):
+    return {"pid.kp": np.linspace(0.5, 6.0, n)}
+
+
+def test_s4_batch_run_cost(benchmark):
+    sim = BatchSimulator(
+        pid_plant_diagram(0), N, solver="rk4", h=H,
+        records=RECORDS, sweeps=_sweeps(),
+    )
+    result = benchmark(lambda: sim.run(T_END, record_every=50))
+    assert result.final_states.shape[0] == N
+
+
+def test_s4_batch_vs_sequential_speedup(benchmark, report):
+    """The acceptance bar: >= 5x throughput at N=100 instances."""
+    sim = BatchSimulator(
+        pid_plant_diagram(0), N, solver="rk4", h=H,
+        records=RECORDS, sweeps=_sweeps(),
+    )
+    benchmark(lambda: sim.run(T_END, record_every=50))
+
+    start = time.perf_counter()
+    batch = sim.run(T_END, record_every=50)
+    batch_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reference = simulate_sequential(
+        lambda: pid_plant_diagram(0), N, T_END, solver="rk4", h=H,
+        records=RECORDS, sweeps=_sweeps(), record_every=50,
+    )
+    sequential_wall = time.perf_counter() - start
+
+    assert np.array_equal(
+        batch.series["plant.out"], reference.series["plant.out"]
+    )
+    assert np.array_equal(batch.final_states, reference.final_states)
+
+    speedup = sequential_wall / batch_wall
+    report(f"S4: batched vs {N} sequential runs (PID loop, rk4, "
+           f"{T_END} sim-s, h={H})", [
+        f"sequential (N python loops): {sequential_wall * 1e3:8.1f} ms",
+        f"batched (one (N,S) matrix) : {batch_wall * 1e3:8.1f} ms",
+        f"throughput ratio           : {speedup:8.1f}x",
+        "trajectories               : bitwise identical",
+    ])
+    assert speedup >= 5.0, (
+        f"batch backend only {speedup:.1f}x faster than {N} "
+        "sequential runs; acceptance bar is 5x"
+    )
+
+
+@pytest.mark.parametrize("n", [10, 100, 1000])
+def test_s4_scaling_in_instances(n, report):
+    """Batch cost grows sub-linearly in N (vector width is nearly free)."""
+    sim = BatchSimulator(
+        pid_plant_diagram(0), n, solver="rk4", h=H,
+        records=RECORDS, sweeps=_sweeps(n),
+    )
+    sim.run(0.05, record_every=50)  # warm the compiled program
+    start = time.perf_counter()
+    sim.run(T_END, record_every=50)
+    wall = time.perf_counter() - start
+    report(f"S4: batch scaling N={n}", [
+        f"wall: {wall * 1e3:8.1f} ms "
+        f"({wall / n * 1e6:8.1f} us per instance)",
+    ])

@@ -1,0 +1,85 @@
+"""Batch parameter sweep: 200 closed-loop variants in one NumPy program.
+
+Controller tuning is a many-runs problem: the same block diagram, re-run
+for every candidate gain.  The batch backend compiles the diagram's
+ExecutionPlan into a single vectorised program over an ``(N, n_state)``
+state matrix, so sweeping ``N`` parameter sets costs one Python loop
+instead of ``N`` — here we grid-sweep a PID's ``kp``/``ki`` over a
+first-order plant, pick the gains with the best settling error, and
+cross-check one instance bit-for-bit against the interpreter-based
+sequential reference.
+
+Run:  python examples/batch_sweep.py
+"""
+
+import time as wallclock
+
+import numpy as np
+
+from repro import BatchSimulator, simulate_sequential
+from repro.dataflow import Diagram, FirstOrderLag, PID, Step, Sum
+
+
+def make_loop() -> Diagram:
+    """Step -> Sum(+-) -> PID -> plant, with unity feedback."""
+    d = Diagram("loop")
+    d.add(Step("ref", amplitude=1.0))
+    d.add(Sum("err", signs="+-"))
+    d.add(PID("pid", kp=1.0, ki=0.5, tf=0.5))
+    d.add(FirstOrderLag("plant", tau=0.4))
+    d.connect("ref.out", "err.in1")
+    d.connect("plant.out", "err.in2")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "plant.in")
+    return d
+
+
+def main() -> None:
+    # a 20 x 10 grid of (kp, ki) candidates = 200 instances
+    kp_axis = np.linspace(0.5, 8.0, 20)
+    ki_axis = np.linspace(0.1, 4.0, 10)
+    kp_grid, ki_grid = np.meshgrid(kp_axis, ki_axis, indexing="ij")
+    sweeps = {
+        "pid.kp": kp_grid.ravel(),
+        "pid.ki": ki_grid.ravel(),
+    }
+    n = kp_grid.size
+
+    sim = BatchSimulator(
+        make_loop(), n, solver="rk4", h=2e-3,
+        records=["plant.out"], sweeps=sweeps,
+    )
+    start = wallclock.perf_counter()
+    batch = sim.run(2.0, record_every=10)
+    wall = wallclock.perf_counter() - start
+
+    # score: worst tracking error over the last 25% of the run
+    y = batch.series["plant.out"]
+    tail = y[3 * len(batch.t) // 4:, :]
+    score = np.max(np.abs(tail - 1.0), axis=0)
+    best = int(np.argmin(score))
+    print(f"swept {n} gain pairs in {wall * 1e3:.1f} ms "
+          f"({wall / n * 1e6:.0f} us per variant)")
+    print(f"best gains: kp={sweeps['pid.kp'][best]:.2f} "
+          f"ki={sweeps['pid.ki'][best]:.2f} "
+          f"(tail error {score[best]:.4f})")
+
+    # cross-check: the best instance, re-run through the interpreter
+    # path one at a time, must match the batched trajectory exactly
+    single = {path: values[best:best + 1] for path, values in sweeps.items()}
+    reference = simulate_sequential(
+        make_loop, 1, 2.0, solver="rk4", h=2e-3,
+        records=["plant.out"], sweeps=single, record_every=10,
+    )
+    assert np.array_equal(
+        batch.series["plant.out"][:, best],
+        reference.series["plant.out"][:, 0],
+    ), "batched trajectory diverged from the sequential reference"
+    print("batched trajectory is bitwise identical to the sequential run")
+
+    assert score[best] < 0.05, "sweep failed to find a settling controller"
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,12 +31,15 @@ Quick start
 """
 
 from repro.core import (
+    BatchResult,
+    BatchSimulator,
     Channel,
     ChannelPolicy,
     ContinuousTime,
     DPort,
     DataKind,
     Direction,
+    ExecutionPlan,
     Flow,
     FlowType,
     HybridModel,
@@ -47,6 +50,7 @@ from repro.core import (
     SolverBinding,
     Streamer,
     StreamerThread,
+    simulate_sequential,
     validate_model,
 )
 from repro.umlrt import (
@@ -68,6 +72,8 @@ from repro.solvers import available_solvers, integrate, make_solver
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
+    "BatchSimulator",
     "Capsule",
     "Channel",
     "ChannelPolicy",
@@ -76,6 +82,7 @@ __all__ = [
     "DPort",
     "DataKind",
     "Direction",
+    "ExecutionPlan",
     "Flow",
     "FlowType",
     "HybridModel",
@@ -99,6 +106,7 @@ __all__ = [
     "available_solvers",
     "integrate",
     "make_solver",
+    "simulate_sequential",
     "validate_model",
     "__version__",
 ]

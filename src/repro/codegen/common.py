@@ -1,15 +1,17 @@
 """Shared lowering and per-block emitters for code generation.
 
-``lower(diagram)`` flattens a dataflow diagram (reusing the exact network
-resolution the simulator uses, so generated code and simulation agree on
-evaluation order) and produces a :class:`LoweredModel`: named signals,
-state layout, and per-block emitted code.
+``lower(diagram)`` compiles a dataflow diagram down to the shared
+:class:`~repro.core.plan.ExecutionPlan` IR (the *same* plan the
+interpreter executes, so generated code and simulation agree on
+evaluation order by construction) and produces a :class:`LoweredModel`:
+the plan plus named signals, state layout, and per-node emitted code.
 
 Emitters build *portable expressions* through a :class:`Lang` object, so
-one emitter serves both the Python and the C backend.  Every block type of
-:mod:`repro.dataflow` that can be expressed without dynamic containers is
-supported; anything else raises :class:`UnsupportedBlockError` naming the
-block, which is the documented extension point.
+one emitter serves the Python, C and vectorised-NumPy backends.  Every
+block type of :mod:`repro.dataflow` that can be expressed without dynamic
+containers is supported; anything else raises
+:class:`UnsupportedBlockError` naming the block, which is the documented
+extension point.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.network import FlatNetwork
+from repro.core.plan import ExecutionPlan
 from repro.core.streamer import Streamer
 from repro.dataflow.diagram import Diagram
 
@@ -59,6 +62,9 @@ class Lang:
     def fmod(self, a: str, b: str) -> str:
         raise NotImplementedError
 
+    def logical_and(self, a: str, b: str) -> str:
+        raise NotImplementedError
+
     def if_expr(self, cond: str, then: str, otherwise: str) -> str:
         raise NotImplementedError
 
@@ -83,6 +89,9 @@ class PyLang(Lang):
 
     def fmod(self, a, b):
         return f"math.fmod({a}, {b})"
+
+    def logical_and(self, a, b):
+        return f"({a}) and ({b})"
 
     def if_expr(self, cond, then, otherwise):
         return f"(({then}) if ({cond}) else ({otherwise}))"
@@ -109,8 +118,54 @@ class CLang(Lang):
     def fmod(self, a, b):
         return f"fmod({a}, {b})"
 
+    def logical_and(self, a, b):
+        return f"({a}) && ({b})"
+
     def if_expr(self, cond, then, otherwise):
         return f"(({cond}) ? ({then}) : ({otherwise}))"
+
+
+class NumpyLang(Lang):
+    """Vectorised expressions over ``(n,)`` instance axes.
+
+    Used by the batch backend (:mod:`repro.core.batch`): every signal is
+    an array over instances, so selections become :func:`numpy.where`
+    and comparisons element-wise masks.  ``num`` preserves *symbolic*
+    parameters (objects carrying a ``symbol`` attribute, e.g. the batch
+    backend's swept parameters) instead of folding them to literals.
+    """
+
+    name = "numpy"
+
+    def num(self, value):
+        symbol = getattr(value, "symbol", None)
+        if symbol is not None:
+            return symbol
+        return repr(float(value))
+
+    def min(self, a, b):
+        return f"np.minimum({a}, {b})"
+
+    def max(self, a, b):
+        return f"np.maximum({a}, {b})"
+
+    def abs(self, a):
+        return f"np.abs({a})"
+
+    def sin(self, a):
+        return f"np.sin({a})"
+
+    def floor(self, a):
+        return f"np.floor({a})"
+
+    def fmod(self, a, b):
+        return f"np.fmod({a}, {b})"
+
+    def logical_and(self, a, b):
+        return f"np.logical_and({a}, {b})"
+
+    def if_expr(self, cond, then, otherwise):
+        return f"np.where({cond}, {then}, {otherwise})"
 
 
 # ----------------------------------------------------------------------
@@ -135,13 +190,19 @@ class LoweredModel:
     """Everything a backend needs to emit a complete program."""
 
     name: str
-    order: List[Streamer]
+    #: the compiled IR backends iterate (node order == evaluation order)
+    plan: ExecutionPlan
     state_names: List[str]
     initial_state: List[float]
     signal_names: List[str]
+    #: per-node emitted code, keyed by :attr:`PlanNode.index`
     code: Dict[int, BlockCode]
     records: List[Tuple[str, str]]  # (label, signal var)
-    state_slice: Dict[int, Tuple[int, int]]
+
+    @property
+    def order(self) -> List[Streamer]:
+        """The leaves in evaluation order (derived from the plan)."""
+        return [node.leaf for node in self.plan.nodes]
 
 
 def _san(name: str) -> str:
@@ -150,16 +211,19 @@ def _san(name: str) -> str:
 
 
 class _Ctx:
-    """Naming context handed to emitters."""
+    """Naming context handed to emitters (driven by the plan's tables)."""
 
-    def __init__(self, network: FlatNetwork, lang: Lang) -> None:
-        self.network = network
+    def __init__(self, plan: ExecutionPlan, lang: Lang) -> None:
+        self.plan = plan
         self.lang = lang
         self._input_of: Dict[Tuple[int, str], str] = {}
-        for edge in network.edges:
-            self._input_of[(id(edge.dst_leaf), edge.dst_port.name)] = (
-                self.signal(edge.src_leaf, edge.src_port.name)
-            )
+        for edge in plan.edges:
+            if edge.is_observer:
+                continue
+            resolved = edge.resolved
+            self._input_of[
+                (id(resolved.dst_leaf), resolved.dst_port.name)
+            ] = self.signal(resolved.src_leaf, resolved.src_port.name)
 
     @staticmethod
     def signal(leaf: Streamer, port: str) -> str:
@@ -170,12 +234,12 @@ class _Ctx:
         return self._input_of.get((id(leaf), port), "0.0")
 
     def state(self, leaf: Streamer, index: int) -> str:
-        lo, hi = self.network.state_slice(leaf)
-        if index >= hi - lo:
+        node = self.plan.node_of(leaf)
+        if index >= node.hi - node.lo:
             raise CodegenError(
                 f"{leaf.path()}: state index {index} out of range"
             )
-        return f"x[{lo + index}]"
+        return f"x[{node.lo + index}]"
 
     def held(self, leaf: Streamer, suffix: str = "held") -> str:
         return f"h_{_san(leaf.name)}_{suffix}"
@@ -363,17 +427,17 @@ def _emit_integrator(block, ctx):
     if block.upper is not None:
         y = lang.min(lang.num(block.upper), y)
         deriv = lang.if_expr(
-            f"{x} >= {lang.num(block.upper)} and {u} > 0.0"
-            if lang.name == "python"
-            else f"{x} >= {lang.num(block.upper)} && {u} > 0.0",
+            lang.logical_and(
+                f"{x} >= {lang.num(block.upper)}", f"{u} > 0.0"
+            ),
             "0.0", deriv,
         )
     if block.lower is not None:
         y = lang.max(lang.num(block.lower), y)
         deriv = lang.if_expr(
-            f"{x} <= {lang.num(block.lower)} and {u} < 0.0"
-            if lang.name == "python"
-            else f"{x} <= {lang.num(block.lower)} && {u} < 0.0",
+            lang.logical_and(
+                f"{x} <= {lang.num(block.lower)}", f"{u} < 0.0"
+            ),
             "0.0", deriv,
         )
     return BlockCode(
@@ -433,9 +497,10 @@ def _emit_pid(block, ctx):
         saturated = lang.max(lang.num(block.u_min), saturated)
     d_integral = e
     if block.u_max is not None or block.u_min is not None:
-        cond_and = " and " if lang.name == "python" else " && "
         d_integral = lang.if_expr(
-            f"({raw}) != ({saturated}){cond_and}({raw}) * ({e}) > 0.0",
+            lang.logical_and(
+                f"({raw}) != ({saturated})", f"({raw}) * ({e}) > 0.0"
+            ),
             "0.0", e,
         )
     return BlockCode(
@@ -566,37 +631,35 @@ def lower(
     lang: Lang,
     records: Optional[List[str]] = None,
 ) -> LoweredModel:
-    """Flatten ``diagram`` and emit per-block code for ``lang``.
+    """Compile ``diagram`` to its ExecutionPlan and emit code for ``lang``.
 
     ``records`` is a list of ``"block.port"`` paths to record each step;
     defaults to every Scope input and every dangling leaf OUT port.
     """
     diagram.finalise()
     network = FlatNetwork([diagram])
-    ctx = _Ctx(network, lang)
+    plan = network.plan()
+    ctx = _Ctx(plan, lang)
     code: Dict[int, BlockCode] = {}
-    for leaf in network.order:
-        emitter = _EMITTERS.get(type(leaf).__name__)
+    for node in plan.nodes:
+        emitter = _EMITTERS.get(type(node.leaf).__name__)
         if emitter is None:
             raise UnsupportedBlockError(
                 f"no code emitter for block type "
-                f"{type(leaf).__name__!r} ({leaf.path()}); supported: "
-                f"{sorted(_EMITTERS)}"
+                f"{type(node.leaf).__name__!r} ({node.leaf.path()}); "
+                f"supported: {sorted(_EMITTERS)}"
             )
-        code[id(leaf)] = emitter(leaf, ctx)
+        code[node.index] = emitter(node.leaf, ctx)
 
     state_names: List[str] = []
-    slice_of: Dict[int, Tuple[int, int]] = {}
-    for leaf in network.order:
-        lo, hi = network.state_slice(leaf)
-        slice_of[id(leaf)] = (lo, hi)
-        for i in range(hi - lo):
-            state_names.append(f"{_san(leaf.name)}_{i}")
+    for node in plan.nodes:
+        for i in range(node.hi - node.lo):
+            state_names.append(f"{_san(node.leaf.name)}_{i}")
 
     signal_names = sorted({
-        ctx.signal(leaf, port.name)
-        for leaf in network.order
-        for port in leaf.dports.values()
+        ctx.signal(node.leaf, port.name)
+        for node in plan.nodes
+        for port in node.leaf.dports.values()
         if port.is_out
     })
 
@@ -609,21 +672,20 @@ def lower(
             else:
                 record_pairs.append((path, ctx.input(port.owner, port.name)))
     else:
-        for leaf in network.order:
-            if type(leaf).__name__ == "Scope":
-                for port in leaf.dports.values():
+        for node in plan.nodes:
+            if type(node.leaf).__name__ == "Scope":
+                for port in node.leaf.dports.values():
                     record_pairs.append((
-                        f"{leaf.name}.{port.name}",
-                        ctx.input(leaf, port.name),
+                        f"{node.leaf.name}.{port.name}",
+                        ctx.input(node.leaf, port.name),
                     ))
 
     return LoweredModel(
         name=diagram.name,
-        order=list(network.order),
+        plan=plan,
         state_names=state_names,
         initial_state=[float(v) for v in network.initial_state()],
         signal_names=signal_names,
         code=code,
         records=record_pairs,
-        state_slice=slice_of,
     )

@@ -35,6 +35,12 @@ from repro.core.channel import Channel, ChannelError, ChannelPolicy
 from repro.core.timeservice import ContinuousTime, TimeError
 from repro.core.streamer import Streamer, StreamerError
 from repro.core.solverbinding import SolverBinding
+from repro.core.plan import (
+    ExecutionPlan, PlanCounters, PlanEdge, PlanGuard, PlanNode,
+)
+from repro.core.batch import (
+    BatchError, BatchResult, BatchSimulator, SweepVar, simulate_sequential,
+)
 from repro.core.thread import StreamerThread
 from repro.core.hybrid import HybridScheduler
 from repro.core.model import HybridModel
@@ -42,6 +48,9 @@ from repro.core.builder import ModelBuilder
 from repro.core.validation import ValidationError, Violation, validate_model
 
 __all__ = [
+    "BatchError",
+    "BatchResult",
+    "BatchSimulator",
     "Channel",
     "ChannelError",
     "ChannelPolicy",
@@ -50,6 +59,7 @@ __all__ = [
     "DPortError",
     "DataKind",
     "Direction",
+    "ExecutionPlan",
     "Flow",
     "FlowError",
     "FlowType",
@@ -57,6 +67,10 @@ __all__ = [
     "HybridModel",
     "HybridScheduler",
     "ModelBuilder",
+    "PlanCounters",
+    "PlanEdge",
+    "PlanGuard",
+    "PlanNode",
     "Relay",
     "SPort",
     "SPortError",
@@ -64,8 +78,10 @@ __all__ = [
     "Streamer",
     "StreamerError",
     "StreamerThread",
+    "SweepVar",
     "TimeError",
     "ValidationError",
     "Violation",
+    "simulate_sequential",
     "validate_model",
 ]

@@ -1,0 +1,466 @@
+"""Vectorised batch simulation: N instances of one plan, one state matrix.
+
+The ROADMAP's scaling target for simulation workloads is running *many
+model instances at once* — parameter sweeps, Monte-Carlo studies,
+per-user scenario fan-out.  Looping N interpreters is O(N) Python
+dispatch per solver stage; this backend instead compiles the shared
+:class:`~repro.core.plan.ExecutionPlan` (via the codegen emitters with
+:class:`~repro.codegen.common.NumpyLang`) into ONE vectorised program
+over a stacked ``(n, n_state)`` NumPy matrix, so each solver stage is a
+single sweep of array expressions regardless of N.
+
+Determinism: fixed-step solvers (``supports_batch = True``) perform only
+element-wise state arithmetic, and every emitted NumPy expression applies
+the same IEEE-754 double operations per row that the scalar interpreter
+applies per instance — so batched trajectories are *bitwise identical* to
+N sequential runs (for blocks whose interpreter and emitter share the
+expression structure; transcendental-heavy blocks may differ in the last
+ulp due to SIMD libm variants).
+
+Swept parameters become per-instance vectors: ``sweeps={"pid.kp":
+values}`` replaces the block parameter with a :class:`SweepVar` whose
+``symbol`` survives lowering (``NumpyLang.num`` emits the symbol instead
+of folding a literal), ending up as one row of the parameter matrix
+``P``.  If an emitter does arithmetic on the parameter *before* calling
+``num`` (e.g. a Sine's ``2*pi*f``), the symbol is folded away — the
+backend detects this and raises :class:`BatchError` rather than silently
+running every instance with the base value.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.network import FlatNetwork
+from repro.core.solverbinding import SolverBinding
+from repro.core.streamer import Streamer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.diagram import Diagram
+
+
+class BatchError(Exception):
+    """Raised on unbatchable models or bad sweep specifications."""
+
+
+class SweepVar(float):
+    """A float parameter that lowers to a per-instance symbol.
+
+    Behaves as its base value everywhere (it *is* a float), but carries
+    the swept ``values`` and the ``symbol`` the NumPy backend emits, so
+    the generated program reads ``P[j]`` — a row of per-instance values —
+    where a literal would otherwise be folded.
+    """
+
+    def __new__(cls, base: float, values: np.ndarray, symbol: str):
+        obj = super().__new__(cls, base)
+        obj.values = np.asarray(values, dtype=float)
+        obj.symbol = symbol
+        return obj
+
+
+@dataclass
+class BatchResult:
+    """Recorded trajectories of one batch run."""
+
+    #: recorded times, shape ``(T,)``
+    t: np.ndarray
+    #: label -> ``(T, n)`` series (row = record instant, column = instance)
+    series: Dict[str, np.ndarray]
+    #: final state matrix, shape ``(n, n_state)``
+    final_states: np.ndarray
+    n: int
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def instance(self, i: int) -> Dict[str, np.ndarray]:
+        """The per-instance view: label -> ``(T,)`` trajectory."""
+        out = {"t": self.t}
+        for label, matrix in self.series.items():
+            out[label] = matrix[:, i]
+        return out
+
+
+_STATE_REF = re.compile(r"\bx\[(\d+)\]")
+
+
+def _vectorise(expr: str) -> str:
+    """Rewrite scalar state refs ``x[i]`` to column refs ``x[:, i]``."""
+    return _STATE_REF.sub(r"x[:, \1]", expr)
+
+
+def _resolve_param(diagram: Diagram, path: str) -> Tuple[Streamer, str]:
+    parts = path.split(".")
+    if len(parts) < 2:
+        raise BatchError(
+            f"sweep path needs at least 'block.param': {path!r}"
+        )
+    node: Streamer = diagram
+    for name in parts[:-1]:
+        try:
+            node = node.sub(name)
+        except Exception:
+            raise BatchError(
+                f"sweep {path!r}: no block {name!r} under {node.path()}"
+            ) from None
+    key = parts[-1]
+    if key not in node.params:
+        raise BatchError(
+            f"sweep {path!r}: block {node.path()} has no parameter "
+            f"{key!r} (has: {sorted(node.params)})"
+        )
+    return node, key
+
+
+class BatchSimulator:
+    """Integrate N instances of one diagram as a single state matrix.
+
+    Parameters
+    ----------
+    diagram:
+        The dataflow diagram (codegen-supported blocks only).
+    n:
+        Number of instances.
+    solver:
+        A fixed-step solver name/instance (``supports_batch`` required).
+    h:
+        Default minor step.
+    records:
+        ``"block.port"`` paths to record (default: Scope inputs).
+    sweeps:
+        ``{"block.param": values}`` — per-instance parameter vectors,
+        each of length ``n``.
+    x0:
+        Optional ``(n, n_state)`` initial-state override (for sweeping
+        initial conditions, which live outside the RHS expressions).
+    """
+
+    def __init__(
+        self,
+        diagram: Diagram,
+        n: int,
+        solver: Any = "rk4",
+        h: float = 1e-3,
+        records: Optional[List[str]] = None,
+        sweeps: Optional[Mapping[str, Sequence[float]]] = None,
+        x0: Optional[np.ndarray] = None,
+    ) -> None:
+        if n < 1:
+            raise BatchError(f"need at least one instance, got {n}")
+        if h <= 0:
+            raise BatchError(f"non-positive step {h}")
+        self.n = int(n)
+        self.h = float(h)
+        self.binding = SolverBinding(solver)
+        if not self.binding.solver.supports_batch:
+            raise BatchError(
+                f"solver {self.binding.strategy_name!r} does not support "
+                "batched state matrices (adaptive/implicit solvers make "
+                "scalar accept/reject decisions that would couple "
+                "instances); use a fixed-step solver"
+            )
+
+        # install sweep symbols, lower, then restore the base parameters
+        sweep_items: List[Tuple[Streamer, str, float, SweepVar]] = []
+        symbols: List[str] = []
+        for j, (path, values) in enumerate(sorted((sweeps or {}).items())):
+            values = np.asarray(values, dtype=float)
+            if values.shape != (self.n,):
+                raise BatchError(
+                    f"sweep {path!r}: expected {self.n} values, got "
+                    f"shape {values.shape}"
+                )
+            block, key = _resolve_param(diagram, path)
+            base = float(block.params[key])
+            var = SweepVar(base, values, f"P[{j}]")
+            sweep_items.append((block, key, base, var))
+            symbols.append(var.symbol)
+            block.params[key] = var
+        try:
+            from repro.codegen.common import NumpyLang, lower
+
+            self.model = lower(diagram, NumpyLang(), records)
+        finally:
+            for block, key, base, __ in sweep_items:
+                block.params[key] = base
+
+        self.plan = self.model.plan
+        self.sweep_paths = [path for path in sorted(sweeps or {})]
+        self._P = (
+            np.stack([var.values for __, __, __, var in sweep_items])
+            if sweep_items else np.zeros((0, self.n))
+        )
+        source = self._render()
+        for (block, key, __, var), path in zip(
+            sweep_items, self.sweep_paths
+        ):
+            if var.symbol not in source:
+                raise BatchError(
+                    f"sweep {path!r}: the emitter for "
+                    f"{type(block).__name__} folds {key!r} into a "
+                    "derived literal, so the sweep would be silently "
+                    "ignored; sweep a parameter the emitter passes "
+                    "through verbatim"
+                )
+        self.source = source
+        namespace: Dict[str, Any] = {"np": np}
+        exec(compile(source, "<batch-program>", "exec"), namespace)
+        self._outputs, self._rhs, self._sync = namespace["_build"](
+            self.n, self._P
+        )
+
+        n_state = len(self.model.initial_state)
+        if x0 is None:
+            row = np.asarray(self.model.initial_state, dtype=float)
+            self.x0 = np.tile(row, (self.n, 1))
+        else:
+            self.x0 = np.asarray(x0, dtype=float)
+            if self.x0.shape != (self.n, n_state):
+                raise BatchError(
+                    f"x0 must have shape ({self.n}, {n_state}), got "
+                    f"{self.x0.shape}"
+                )
+
+    # ------------------------------------------------------------------
+    def _render(self) -> str:
+        """Render the vectorised program source (a ``_build`` factory)."""
+        model = self.model
+        output_lines: List[str] = []
+        deriv_lines: List[str] = []
+        held_inits: List[Tuple[str, float]] = []
+        held_names: List[str] = []
+        sync_lines: List[str] = []
+        deriv_index = 0
+        for node in model.plan.nodes:
+            block_code = model.code[node.index]
+            output_lines.extend(
+                _vectorise(line) for line in block_code.output_lines
+            )
+            for name, value in block_code.held_vars:
+                held_inits.append((name, float(value)))
+                held_names.append(name)
+            sync_lines.extend(
+                _vectorise(line) for line in block_code.sync_lines
+            )
+            for expr in block_code.deriv_exprs:
+                deriv_lines.append(
+                    f"dx[:, {deriv_index}] = {_vectorise(expr)}"
+                )
+                deriv_index += 1
+
+        signals = sorted({line.split(" = ")[0] for line in output_lines})
+        sig_dict = ", ".join(f"{s!r}: {s}" for s in signals)
+        unpack = [f"{s} = sig[{s!r}]" for s in signals]
+
+        lines: List[str] = [
+            '"""Auto-generated by repro.core.batch -- do not edit."""',
+            "",
+            "",
+            "def _build(n, P):",
+        ]
+        for name, value in held_inits:
+            lines.append(f"    {name} = np.full(n, {value!r})")
+        lines.append("")
+        lines.append("    def outputs(t, x):")
+        for line in output_lines:
+            lines.append(f"        {line}")
+        lines.append(f"        return {{{sig_dict}}}")
+        lines.append("")
+        lines.append("    def rhs(t, x):")
+        lines.append("        sig = outputs(t, x)")
+        for line in unpack:
+            lines.append(f"        {line}")
+        lines.append("        dx = np.zeros_like(x)")
+        for line in deriv_lines:
+            lines.append(f"        {line}")
+        lines.append("        return dx")
+        lines.append("")
+        lines.append("    def sync(t, x):")
+        if held_names:
+            lines.append(f"        nonlocal {', '.join(held_names)}")
+        if sync_lines:
+            lines.append("        sig = outputs(t, x)")
+            for line in unpack:
+                lines.append(f"        {line}")
+            for line in sync_lines:
+                lines.append(f"        {line}")
+        if not held_names and not sync_lines:
+            lines.append("        pass")
+        lines.append("")
+        lines.append("    return outputs, rhs, sync")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        t_end: float,
+        h: Optional[float] = None,
+        record_every: int = 1,
+    ) -> BatchResult:
+        """Integrate all instances to ``t_end`` with fixed step ``h``."""
+        h = self.h if h is None else float(h)
+        if h <= 0:
+            raise BatchError(f"non-positive step {h}")
+        x = self.x0.copy()
+        t = 0.0
+        times: List[float] = []
+        recorded: Dict[str, List[np.ndarray]] = {
+            label: [] for label, __ in self.model.records
+        }
+
+        def snapshot(t: float, x: np.ndarray) -> None:
+            sig = self._outputs(t, x)
+            times.append(t)
+            for label, signal in self.model.records:
+                value = np.asarray(sig[signal], dtype=float)
+                if value.ndim == 0:
+                    value = np.full(self.n, float(value))
+                recorded[label].append(value.copy())
+
+        step = 0
+        minor_steps = 0
+        self._sync(t, x)
+        while t < t_end - 1e-12:
+            hh = min(h, t_end - t)
+            if step % record_every == 0:
+                snapshot(t, x)
+            result = self.binding.step(self._rhs, t, x, hh)
+            x = result.y
+            t = result.t
+            minor_steps += 1
+            step += 1
+            self._sync(t, x)
+        snapshot(t, x)
+
+        return BatchResult(
+            t=np.asarray(times, dtype=float),
+            series={
+                label: np.stack(values) if values
+                else np.zeros((0, self.n))
+                for label, values in recorded.items()
+            },
+            final_states=x,
+            n=self.n,
+            stats={
+                "instances": self.n,
+                "minor_steps": minor_steps,
+                "states_per_instance": x.shape[1],
+                "solver": self.binding.strategy_name,
+                "sweeps": list(self.sweep_paths),
+            },
+        )
+
+
+def simulate_sequential(
+    diagram_factory: Callable[[], Diagram],
+    n: int,
+    t_end: float,
+    solver: Any = "rk4",
+    h: float = 1e-3,
+    records: Optional[List[str]] = None,
+    sweeps: Optional[Mapping[str, Sequence[float]]] = None,
+    record_every: int = 1,
+) -> BatchResult:
+    """Reference implementation: N independent interpreter runs.
+
+    Each instance gets a fresh diagram from ``diagram_factory`` (with its
+    swept parameter values applied as plain floats), its own
+    :class:`FlatNetwork`, and the same fixed-step loop the batch backend
+    uses — the bitwise baseline the batched backend is checked against,
+    and the N-Python-loops baseline bench S4 measures against.
+    """
+    if n < 1:
+        raise BatchError(f"need at least one instance, got {n}")
+    sweep_arrays = {
+        path: np.asarray(values, dtype=float)
+        for path, values in (sweeps or {}).items()
+    }
+    for path, values in sweep_arrays.items():
+        if values.shape != (n,):
+            raise BatchError(
+                f"sweep {path!r}: expected {n} values, got shape "
+                f"{values.shape}"
+            )
+
+    times: List[float] = []
+    series: Dict[str, List[List[float]]] = {}
+    finals: List[np.ndarray] = []
+    minor_steps = 0
+    for i in range(n):
+        diagram = diagram_factory()
+        for path, values in sweep_arrays.items():
+            block, key = _resolve_param(diagram, path)
+            block.params[key] = float(values[i])
+        diagram.finalise()
+        network = FlatNetwork([diagram])
+        record_paths = list(records or [])
+        if not record_paths:
+            for leaf in network.order:
+                if type(leaf).__name__ == "Scope":
+                    for port in leaf.dports.values():
+                        record_paths.append(f"{leaf.name}.{port.name}")
+        ports = {
+            path: diagram.port_at(path) for path in record_paths
+        }
+        if i == 0:
+            series = {path: [] for path in record_paths}
+        binding = SolverBinding(solver)
+        if not binding.solver.supports_batch:
+            raise BatchError(
+                f"solver {binding.strategy_name!r} is not a fixed-step "
+                "solver; the sequential reference mirrors the batch loop"
+            )
+        x = network.initial_state()
+        t = 0.0
+        rows: Dict[str, List[float]] = {path: [] for path in record_paths}
+        instance_times: List[float] = []
+
+        def snapshot(t: float, x: np.ndarray) -> None:
+            network.evaluate(t, x)
+            instance_times.append(t)
+            for path, port in ports.items():
+                rows[path].append(port.read_scalar())
+
+        step = 0
+        for leaf in network.order:
+            leaf.on_sync(t)
+        while t < t_end - 1e-12:
+            hh = min(h, t_end - t)
+            if step % record_every == 0:
+                snapshot(t, x)
+            result = binding.step(network.rhs, t, x, hh)
+            x = result.y
+            t = result.t
+            minor_steps += 1
+            step += 1
+            for leaf in network.order:
+                leaf.on_sync(t)
+        snapshot(t, x)
+
+        if i == 0:
+            times = instance_times
+        for path in record_paths:
+            series[path].append(rows[path])
+        finals.append(x)
+
+    return BatchResult(
+        t=np.asarray(times, dtype=float),
+        series={
+            path: np.asarray(columns, dtype=float).T
+            for path, columns in series.items()
+        },
+        final_states=np.stack(finals) if finals else np.zeros((0, 0)),
+        n=n,
+        stats={
+            "instances": n,
+            "minor_steps": minor_steps,
+            "solver": str(solver),
+            "sweeps": sorted(sweep_arrays),
+        },
+    )

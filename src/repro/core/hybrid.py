@@ -33,12 +33,13 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.network import FlatNetwork, NetworkGuard, ResolvedEdge
+from repro.core.network import FlatNetwork
 from repro.core.thread import RealThreadPool, StreamerThread
 from repro.solvers.events import EventSpec, ZeroCrossingDetector
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.model import HybridModel
+    from repro.core.plan import ExecutionPlan, PlanGuard
 
 
 class HybridError(Exception):
@@ -68,12 +69,12 @@ class HybridScheduler:
         #: RHS evaluations per event-bearing slice) instead of a secant
         self.dense_events = dense_events
         self.network: Optional[FlatNetwork] = None
+        #: the compiled, thread-partitioned execution plan (set by build)
+        self.plan: Optional["ExecutionPlan"] = None
         self.state: Optional[np.ndarray] = None
         self._detector: Optional[ZeroCrossingDetector] = None
-        self._guards: List[NetworkGuard] = []
+        self._guards: List["PlanGuard"] = []
         self._pool: Optional[RealThreadPool] = None
-        self._leaf_thread: Dict[int, StreamerThread] = {}
-        self._thread_plans: Dict[int, object] = {}
         self.major_steps = 0
         self.events_fired = 0
         self.signals_to_streamers = 0
@@ -93,22 +94,27 @@ class HybridScheduler:
             self.network = FlatNetwork(model.streamers, model.flows)
             for thread in model.threads:
                 thread.leaves = []
+            thread_index = {
+                id(thread): i for i, thread in enumerate(model.threads)
+            }
+            leaf_threads: Dict[int, int] = {}
             for leaf in self.network.leaves:
                 thread = self._thread_of(leaf)
                 thread.leaves.append(leaf)
-                self._leaf_thread[id(leaf)] = thread
+                leaf_threads[id(leaf)] = thread_index[id(thread)]
+            # compile the thread-partitioned execution plan and hand each
+            # thread its view (own nodes, in-thread edges only)
+            self.plan = self.network.bind_threads(leaf_threads)
+            for i, thread in enumerate(model.threads):
+                thread.plan = self.plan.thread_plan(i)
             self.state = self.network.initial_state()
-            self._guards = list(self.network.guards)
+            self._guards = list(self.plan.guards)
             if self._guards:
                 specs = [
                     EventSpec(guard.qualified_name, self._guard_fn(guard))
                     for guard in self._guards
                 ]
                 self._detector = ZeroCrossingDetector(specs)
-            for thread in model.threads:
-                self._thread_plans[id(thread)] = self.network.make_plan(
-                    thread.leaves, self._edge_in_thread
-                )
             if self.real_threads:
                 self._pool = RealThreadPool(model.threads)
         if not model.rts.started:
@@ -122,23 +128,18 @@ class HybridScheduler:
             self.model.default_thread.assign(node)
         return node.thread
 
-    def _guard_fn(self, guard: NetworkGuard) -> Callable:
-        network = self.network
+    def _guard_fn(self, guard: "PlanGuard") -> Callable:
+        plan = self.plan
 
         def fn(t: float, y: np.ndarray) -> float:
             # guards may read DPorts fed by time-varying sources, so the
             # network must be evaluated at the probe point — otherwise
             # bisection sees port values frozen at the slice end and
             # mislocalises input-driven crossings to the slice start
-            network.evaluate_plan(t, y, network.full_plan())
-            return network.guard_values(t, y, [guard])[0]
+            plan.evaluate(t, y)
+            return plan.guard_values(t, y, [guard])[0]
 
         return fn
-
-    def _edge_in_thread(self, edge: ResolvedEdge) -> bool:
-        src = self._leaf_thread.get(id(edge.src_leaf))
-        dst = self._leaf_thread.get(id(edge.dst_leaf))
-        return src is dst
 
     # ------------------------------------------------------------------
     # execution
@@ -176,15 +177,10 @@ class HybridScheduler:
             return t1
         y0 = self.state.copy()
         if self._pool is not None:
-            self._pool.run_slices(
-                self.network, self.state, t0, t1, self._thread_plans
-            )
+            self._pool.run_slices(self.state, t0, t1)
         else:
             for thread in self.model.threads:
-                thread.integrate_slice(
-                    self.network, self.state, t0, t1,
-                    self._thread_plans[id(thread)],
-                )
+                thread.integrate_slice(self.state, t0, t1)
         self.network.evaluate(t1, self.state)
         if self._detector is None:
             return t1
@@ -197,10 +193,10 @@ class HybridScheduler:
             if "interp" not in interp_box:
                 from repro.solvers.interpolate import CubicHermite
 
-                plan = self.network.full_plan()
-                f0 = self.network.rhs_plan(t0, y0, plan)
+                plan = self.plan
+                f0 = plan.rhs(t0, y0)
                 y1 = self.state.copy()
-                f1 = self.network.rhs_plan(t1, y1, plan)
+                f1 = plan.rhs(t1, y1)
                 try:
                     interp_box["interp"] = CubicHermite(
                         t0, y0, f0, t1, y1, f1

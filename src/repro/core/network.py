@@ -26,13 +26,18 @@ which reproduces the paper's threads-plus-channels architecture for data.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple,
+)
 
 import numpy as np
 
 from repro.core.dport import DPort
 from repro.core.flow import Flow, Relay
 from repro.core.streamer import Streamer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.plan import ExecutionPlan
 
 
 class NetworkError(Exception):
@@ -82,19 +87,6 @@ class NetworkGuard:
         return f"{self.leaf.path()}:{self.name}"
 
 
-class EvalPlan:
-    """A precomputed propagation/evaluation schedule (see make_plan)."""
-
-    __slots__ = ("steps", "feedback", "observers", "stateful", "state_size")
-
-    def __init__(self, steps, feedback, observers, stateful, state_size):
-        self.steps = steps          # [(leaf, in_edges, lo, hi)] in order
-        self.feedback = feedback    # edges needing a second pass
-        self.observers = observers  # edges ending at observer pads
-        self.stateful = stateful    # [(leaf, lo, hi)] with states
-        self.state_size = state_size
-
-
 class FlatNetwork:
     """The flattened, executable form of a set of top-level streamers."""
 
@@ -121,12 +113,11 @@ class FlatNetwork:
         self.guards: List[NetworkGuard] = []
         self._offsets: Dict[int, Tuple[int, int]] = {}
         self.state_size = 0
-        self._full_plan: Optional["EvalPlan"] = None
+        self._plan: Optional["ExecutionPlan"] = None
         self._resolve_edges()
         self._topological_order()
         self._assign_state_slices()
         self._collect_guards()
-        self.rhs_evaluations = 0
 
     # ------------------------------------------------------------------
     # flattening
@@ -297,125 +288,55 @@ class FlatNetwork:
         return y0
 
     # ------------------------------------------------------------------
-    # evaluation plans
+    # the execution plan (compiled IR)
     # ------------------------------------------------------------------
-    def make_plan(
-        self,
-        leaves: Optional[Sequence[Streamer]] = None,
-        edges_filter: Optional[Callable[[ResolvedEdge], bool]] = None,
-    ) -> "EvalPlan":
-        """Precompute the propagation/evaluation schedule for a subset.
+    def in_edges(self, leaf: Streamer) -> List[ResolvedEdge]:
+        """The resolved edges feeding ``leaf`` (empty if none)."""
+        return list(self._in_edges.get(id(leaf), []))
 
-        The hot loop (one call per solver stage) then only walks flat
-        lists.  Forward edges (producer evaluated before consumer) are
-        fresh after the in-order pass; only *feedback* edges (producer at
-        or after the consumer in evaluation order) need the second pass.
+    def plan(self) -> "ExecutionPlan":
+        """The cached :class:`~repro.core.plan.ExecutionPlan` for this
+        network (compiled on first use, single-partition)."""
+        if self._plan is None:
+            from repro.core.plan import ExecutionPlan
+
+            self._plan = ExecutionPlan.compile(self)
+        return self._plan
+
+    def bind_threads(
+        self, leaf_threads: Mapping[int, int]
+    ) -> "ExecutionPlan":
+        """Recompile the plan with a thread partition.
+
+        ``leaf_threads`` maps ``id(leaf)`` to a thread index; the new
+        plan replaces the cached one (carrying the analysis counters
+        over) and is returned.  The scheduler calls this once at build
+        time, then derives per-thread views with
+        :meth:`~repro.core.plan.ExecutionPlan.thread_plan`.
         """
-        chosen = self.order if leaves is None else [
-            leaf for leaf in self.order
-            if any(leaf is candidate for candidate in leaves)
-        ]
-        chosen_ids = {id(leaf) for leaf in chosen}
-        order_index = {id(leaf): i for i, leaf in enumerate(chosen)}
+        from repro.core.plan import ExecutionPlan
 
-        steps: List[Tuple[Streamer, List[ResolvedEdge], int, int]] = []
-        feedback: List[ResolvedEdge] = []
-        for leaf in chosen:
-            edges: List[ResolvedEdge] = []
-            for edge in self._in_edges.get(id(leaf), []):
-                if edges_filter is not None and not edges_filter(edge):
-                    continue
-                if id(edge.src_leaf) not in chosen_ids:
-                    continue
-                edges.append(edge)
-                if order_index[id(edge.src_leaf)] >= order_index[id(leaf)]:
-                    feedback.append(edge)
-            lo, hi = self._offsets[id(leaf)]
-            steps.append((leaf, edges, lo, hi))
-        observers = [
-            edge for edge in self.observer_edges
-            if id(edge.src_leaf) in chosen_ids
-        ]
-        stateful = [
-            (leaf, lo, hi) for leaf, __, lo, hi in steps if hi > lo
-        ]
-        return EvalPlan(steps, feedback, observers, stateful,
-                        self.state_size)
+        counters = self._plan.counters if self._plan is not None else None
+        self._plan = ExecutionPlan.compile(
+            self, leaf_threads, counters=counters
+        )
+        return self._plan
 
-    def full_plan(self) -> "EvalPlan":
-        """The cached whole-network plan."""
-        if self._full_plan is None:
-            self._full_plan = self.make_plan()
-        return self._full_plan
-
-    def evaluate_plan(
-        self, t: float, state: np.ndarray, plan: "EvalPlan"
-    ) -> None:
-        """Refresh all DPort values covered by ``plan`` at ``(t, state)``."""
-        self.rhs_evaluations += 1
-        for leaf, edges, lo, hi in plan.steps:
-            for edge in edges:
-                edge.propagate()
-            leaf.compute_outputs(t, state[lo:hi])
-        for edge in plan.feedback:
-            edge.propagate()
-        for edge in plan.observers:
-            edge.propagate()
-
-    def rhs_plan(
-        self, t: float, state: np.ndarray, plan: "EvalPlan"
-    ) -> np.ndarray:
-        """Combined ODE right-hand side for the plan's leaves."""
-        self.evaluate_plan(t, state, plan)
-        dstate = np.zeros(self.state_size, dtype=float)
-        for leaf, lo, hi in plan.stateful:
-            deriv = np.asarray(
-                leaf.derivatives(t, state[lo:hi]), dtype=float
-            )
-            if deriv.shape != (hi - lo,):
-                raise NetworkError(
-                    f"{leaf.path()}.derivatives() returned shape "
-                    f"{deriv.shape}, expected ({hi - lo},)"
-                )
-            dstate[lo:hi] = deriv
-        return dstate
+    @property
+    def rhs_evaluations(self) -> int:
+        """Network evaluations so far (aggregated across thread views)."""
+        return self.plan().counters.evaluations
 
     # ------------------------------------------------------------------
-    # evaluation (compatibility wrappers over plans)
+    # evaluation (thin wrappers over the plan)
     # ------------------------------------------------------------------
-    def evaluate(
-        self,
-        t: float,
-        state: np.ndarray,
-        leaves: Optional[Sequence[Streamer]] = None,
-        edges_filter: Optional[Callable[[ResolvedEdge], bool]] = None,
-    ) -> None:
-        """Refresh all DPort values for the given global state vector.
+    def evaluate(self, t: float, state: np.ndarray) -> None:
+        """Refresh all DPort values for the given global state vector."""
+        self.plan().evaluate(t, state)
 
-        ``leaves`` restricts evaluation to a subset (a thread's leaves) in
-        network order; ``edges_filter`` restricts which edges propagate
-        (used to hold cross-thread edges between sync points).  Callers on
-        the hot path should build a plan once via :meth:`make_plan` and
-        use :meth:`evaluate_plan` instead.
-        """
-        if leaves is None and edges_filter is None:
-            self.evaluate_plan(t, state, self.full_plan())
-        else:
-            self.evaluate_plan(
-                t, state, self.make_plan(leaves, edges_filter)
-            )
-
-    def rhs(
-        self,
-        t: float,
-        state: np.ndarray,
-        leaves: Optional[Sequence[Streamer]] = None,
-        edges_filter: Optional[Callable[[ResolvedEdge], bool]] = None,
-    ) -> np.ndarray:
+    def rhs(self, t: float, state: np.ndarray) -> np.ndarray:
         """The combined ODE right-hand side over the global state vector."""
-        if leaves is None and edges_filter is None:
-            return self.rhs_plan(t, state, self.full_plan())
-        return self.rhs_plan(t, state, self.make_plan(leaves, edges_filter))
+        return self.plan().rhs(t, state)
 
     def guard_values(
         self, t: float, state: np.ndarray, guards: Sequence[NetworkGuard]

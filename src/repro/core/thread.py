@@ -20,7 +20,7 @@ Two backends exist:
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.core.solverbinding import SolverBinding
 from repro.core.streamer import Streamer, StreamerError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.network import FlatNetwork, ResolvedEdge
+    from repro.core.plan import ExecutionPlan
 
 
 class StreamerThread:
@@ -59,6 +59,9 @@ class StreamerThread:
         self.streamers: List[Streamer] = []
         #: filled by the hybrid scheduler at build time
         self.leaves: List[Streamer] = []
+        #: this thread's :class:`~repro.core.plan.ExecutionPlan` view
+        #: (own nodes, in-thread edges only) — set by the scheduler
+        self.plan: Optional["ExecutionPlan"] = None
         self.minor_steps = 0
 
     def assign(self, streamer: Streamer) -> Streamer:
@@ -83,29 +86,27 @@ class StreamerThread:
     # ------------------------------------------------------------------
     def integrate_slice(
         self,
-        network: "FlatNetwork",
         state: np.ndarray,
         t0: float,
         t1: float,
-        plan,
     ) -> np.ndarray:
         """Advance this thread's leaves from ``t0`` to ``t1`` in-place.
 
-        ``plan`` is this thread's precomputed
-        :class:`~repro.core.network.EvalPlan` (own leaves, in-thread
+        ``self.plan`` is this thread's view of the shared
+        :class:`~repro.core.plan.ExecutionPlan` (own nodes, in-thread
         edges only — cross-thread pads stay frozen during the slice).
         The global ``state`` vector is shared, but this thread only
-        writes its own leaves' slices, so slices may run on real threads
+        writes its own nodes' slices, so slices may run on real threads
         safely.
         """
-        if not self.leaves:
+        plan = self.plan
+        if plan is None or not plan.nodes:
             return state
 
-        def rhs(t: float, y: np.ndarray) -> np.ndarray:
-            return network.rhs_plan(t, y, plan)
+        rhs = plan.rhs
 
         # Work on a private copy: the RHS only reads this thread's slices
-        # (other leaves are filtered out and cross-thread pads are frozen),
+        # (other nodes are filtered out and cross-thread pads are frozen),
         # so concurrent threads never observe each other's intermediates.
         y = state.copy()
         t = t0
@@ -118,9 +119,9 @@ class StreamerThread:
             if self.binding.solver.adaptive:
                 self.h = min(result.h_next, self.h * 5.0)
         # publish only this thread's slices back into the shared vector
-        for leaf in self.leaves:
-            lo, hi = network.state_slice(leaf)
-            state[lo:hi] = y[lo:hi]
+        for node in plan.nodes:
+            if node.hi > node.lo:
+                state[node.lo:node.hi] = y[node.lo:node.hi]
         return state
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -146,20 +147,16 @@ class RealThreadPool:
 
     def run_slices(
         self,
-        network: "FlatNetwork",
         state: np.ndarray,
         t0: float,
         t1: float,
-        plans,
     ) -> None:
-        """``plans`` maps ``id(thread)`` to the thread's EvalPlan."""
+        """Integrate every thread's plan view over ``[t0, t1]``."""
         errors: List[BaseException] = []
 
         def work(thread: StreamerThread) -> None:
             try:
-                thread.integrate_slice(
-                    network, state, t0, t1, plans[id(thread)]
-                )
+                thread.integrate_slice(state, t0, t1)
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors.append(exc)
 

@@ -54,6 +54,10 @@ class SolverBase:
     implicit: bool = False
     #: True if the step size adapts to a local error estimate.
     adaptive: bool = False
+    #: True if :meth:`step` accepts a stacked ``(n_instances, n_state)``
+    #: state matrix (all state arithmetic element-wise, no norms or
+    #: scalar accept/reject decisions coupling instances).
+    supports_batch: bool = False
 
     def step(self, f: RHS, t: float, y: np.ndarray, h: float) -> StepResult:
         raise NotImplementedError
@@ -74,7 +78,15 @@ class SolverBase:
 
 
 class FixedStepSolver(SolverBase):
-    """Base for methods that take exactly the step they are given."""
+    """Base for methods that take exactly the step they are given.
+
+    Every fixed-step ``_advance`` is shape-agnostic element-wise
+    arithmetic, so these methods integrate a stacked ``(n, n_state)``
+    batch exactly as they integrate one ``(n_state,)`` vector — each row
+    sees bit-identical operations.
+    """
+
+    supports_batch = True
 
     def step(self, f: RHS, t: float, y: np.ndarray, h: float) -> StepResult:
         if h <= 0:

@@ -31,8 +31,12 @@ from repro.umlrt.signal import Message, Priority
 from repro.umlrt.timing import TimingService
 
 
-class RuntimeError_(Exception):
+class RTRuntimeError(Exception):
     """Raised on illegal runtime operations (name avoids the builtin)."""
+
+
+#: Deprecated alias; use :class:`RTRuntimeError`.
+RuntimeError_ = RTRuntimeError
 
 
 class RTSystem:
@@ -61,7 +65,7 @@ class RTSystem:
     # ------------------------------------------------------------------
     def create_controller(self, name: str) -> Controller:
         if any(c.name == name for c in self.controllers):
-            raise RuntimeError_(f"duplicate controller name {name!r}")
+            raise RTRuntimeError(f"duplicate controller name {name!r}")
         controller = Controller(name)
         self.controllers.append(controller)
         return controller
@@ -71,7 +75,7 @@ class RTSystem:
     ) -> Capsule:
         """Register a top-level capsule (builds its fixed structure)."""
         if self.started:
-            raise RuntimeError_("cannot add top capsules after start()")
+            raise RTRuntimeError("cannot add top capsules after start()")
         self.tops.append(capsule)
         capsule._build()
         self.adopt(capsule, controller or self.default_controller)
@@ -114,7 +118,7 @@ class RTSystem:
             self.messages_to_dead += 1
             return
         if owner.controller is None:
-            raise RuntimeError_(
+            raise RTRuntimeError(
                 f"capsule {owner.instance_name} has no controller"
             )
         message.port = endpoint
@@ -155,7 +159,7 @@ class RTSystem:
     def start(self) -> None:
         """Start every top capsule (enters initial states, runs on_start)."""
         if self.started:
-            raise RuntimeError_("system already started")
+            raise RTRuntimeError("system already started")
         self.started = True
         for top in self.tops:
             top._start()

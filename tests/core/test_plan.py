@@ -1,0 +1,274 @@
+"""ExecutionPlan IR: structure, thread views, and the two trickiest
+flattening paths (cross-thread sampling, deep relay chains)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.network import FlatNetwork, NetworkError
+from repro.core.plan import ExecutionPlan
+from repro.dataflow.diagram import Diagram
+from repro.dataflow.sources import Constant
+from repro.dataflow.math_blocks import Gain
+
+from tests.conftest import ConstLeaf, DecayLeaf, GainLeaf, IntegratorLeaf
+
+
+def chain_network():
+    """const -> gain -> integrator (one forward chain, one state)."""
+    from repro.core.flow import Flow
+
+    const = ConstLeaf("c", 2.0)
+    gain = GainLeaf("g", k=3.0)
+    integ = IntegratorLeaf("i")
+    flows = [
+        Flow(const.dport("y"), gain.dport("u")),
+        Flow(gain.dport("y"), integ.dport("u")),
+    ]
+    return FlatNetwork([const, gain, integ], flows), (const, gain, integ)
+
+
+class TestPlanTables:
+    def test_nodes_follow_network_order(self):
+        network, __ = chain_network()
+        plan = network.plan()
+        assert [node.leaf for node in plan.nodes] == list(network.order)
+        assert [node.index for node in plan.nodes] == [0, 1, 2]
+
+    def test_state_slices_match_network(self):
+        network, (c, g, i) = chain_network()
+        plan = network.plan()
+        node = plan.node_of(i)
+        assert (node.lo, node.hi) == network.state_slice(i)
+        assert node.n_states == 1
+        assert plan.state_size == network.state_size == 1
+
+    def test_stages_are_dataflow_depths(self):
+        network, (c, g, i) = chain_network()
+        plan = network.plan()
+        # only feedthrough consumers constrain the order, so the
+        # integrator schedules at depth 0 (its input arrives via the
+        # feedback pass) while the gain sits one stage below the const
+        assert plan.node_of(c).stage == 0
+        assert plan.node_of(g).stage == 1
+        assert plan.node_of(i).stage == 0
+        assert len(plan.stages) == 2
+        # every node appears in exactly one stage
+        flat = [idx for stage in plan.stages for idx in stage]
+        assert sorted(flat) == [0, 1, 2]
+
+    def test_edge_flags_in_chain(self):
+        network, (c, g, i) = chain_network()
+        plan = network.plan()
+        real = [e for e in plan.edges if not e.is_observer]
+        assert len(real) == 2
+        by_dst = {e.resolved.dst_leaf.name: e for e in real}
+        # const -> gain: gain is feedthrough, scheduled after const
+        assert not by_dst["g"].is_feedback
+        # gain -> integrator: the integrator is NOT feedthrough, so it
+        # schedules before the gain and reads through the feedback pass
+        assert by_dst["i"].is_feedback
+        assert all(not e.crosses_thread for e in real)
+
+    def test_feedback_edge_flagged(self):
+        """A non-feedthrough consumer ahead of its producer in schedule
+        order yields an is_feedback edge (second propagation pass)."""
+        from repro.core.flow import Flow
+
+        integ = IntegratorLeaf("i")      # constructed first -> first in order
+        const = ConstLeaf("c", 1.0)
+        flows = [Flow(const.dport("y"), integ.dport("u"))]
+        network = FlatNetwork([integ, const], flows)
+        plan = network.plan()
+        edge = next(e for e in plan.edges if not e.is_observer)
+        assert edge.is_feedback  # const is scheduled after integ
+
+    def test_guard_table_matches_network_guards(self):
+        class Guarded(DecayLeaf):
+            zero_crossing_names = ("low", "high")
+
+            def zero_crossings(self, t, state):
+                return [state[0] - 0.1, 0.9 - state[0]]
+
+        leaf = Guarded("d")
+        network = FlatNetwork([leaf])
+        plan = network.plan()
+        assert [g.qualified_name for g in plan.guards] == [
+            g.qualified_name for g in network.guards
+        ]
+        assert [g.slot for g in plan.guards] == [0, 1]
+        network.evaluate(0.0, network.initial_state())
+        values = plan.guard_values(0.0, network.initial_state())
+        assert values == pytest.approx([0.9, -0.1])
+
+    def test_node_of_foreign_leaf_raises(self):
+        network, __ = chain_network()
+        with pytest.raises(NetworkError, match="not part of"):
+            network.plan().node_of(ConstLeaf("other", 1.0))
+
+    def test_stats_and_describe(self):
+        network, __ = chain_network()
+        plan = network.plan()
+        stats = plan.stats()
+        assert stats["nodes"] == 3
+        assert stats["edges"] == 2
+        assert stats["states"] == 1
+        assert stats["stages"] == 2
+        assert stats["feedback_edges"] == 1
+        assert "stage 0" in plan.describe()
+
+
+class TestPlanExecution:
+    def test_rhs_matches_network_rhs(self):
+        network, __ = chain_network()
+        y0 = network.initial_state()
+        assert network.plan().rhs(0.0, y0) == pytest.approx(
+            np.array([6.0])  # d(i)/dt = 3 * 2
+        )
+
+    def test_evaluation_counter_shared(self):
+        network, __ = chain_network()
+        before = network.rhs_evaluations
+        network.evaluate(0.0, network.initial_state())
+        network.rhs(0.0, network.initial_state())
+        assert network.rhs_evaluations == before + 2
+
+    def test_bad_derivative_shape_is_network_error(self):
+        class Broken(IntegratorLeaf):
+            def derivatives(self, t, state):
+                return np.array([1.0, 2.0])
+
+        network = FlatNetwork([Broken("b")])
+        with pytest.raises(NetworkError, match="derivatives"):
+            network.rhs(0.0, network.initial_state())
+
+
+class TestThreadViews:
+    def build(self, model):
+        fast = model.create_thread("fast", solver="rk4", h=0.001)
+        slow = model.create_thread("slow", solver="euler", h=0.01)
+        const = model.add_streamer(ConstLeaf("c", 1.0), fast)
+        a = model.add_streamer(IntegratorLeaf("a"), fast)
+        b = model.add_streamer(IntegratorLeaf("b"), slow)
+        model.add_flow(const.dport("y"), a.dport("u"))
+        model.add_flow(a.dport("y"), b.dport("u"))
+        model.add_probe("a", a.dport("y"))
+        model.add_probe("b", b.dport("y"))
+        return const, a, b
+
+    def test_cross_thread_edges_flagged(self, model):
+        const, a, b = self.build(model)
+        scheduler = model.scheduler(sync_interval=0.1)
+        scheduler.build()
+        plan = scheduler.plan
+        by_dst = {
+            edge.resolved.dst_leaf.name: edge
+            for edge in plan.edges if not edge.is_observer
+        }
+        assert not by_dst["a"].crosses_thread   # const -> a, both fast
+        assert by_dst["b"].crosses_thread       # a -> b, fast -> slow
+        assert plan.stats()["cross_thread_edges"] == 1
+
+    def test_thread_views_partition_nodes_and_edges(self, model):
+        const, a, b = self.build(model)
+        scheduler = model.scheduler(sync_interval=0.1)
+        scheduler.build()
+        plan = scheduler.plan
+        fast_view = next(
+            t for t in model.threads if t.name == "fast"
+        ).plan
+        slow_view = next(
+            t for t in model.threads if t.name == "slow"
+        ).plan
+        assert {n.leaf.name for n in fast_view.nodes} == {"c", "a"}
+        assert {n.leaf.name for n in slow_view.nodes} == {"b"}
+        # the cross-thread a->b edge is absent from BOTH views: during a
+        # slice the receiving pad must stay frozen
+        assert all(
+            not e.crosses_thread for e in fast_view.edges
+        )
+        assert len(slow_view.edges) == 0
+        # views share the analysis counters with the full plan
+        assert fast_view.counters is plan.counters
+        assert slow_view.counters is plan.counters
+
+    def test_cross_thread_pad_frozen_during_slice(self, model):
+        """Regression: b integrates the *sampled* value of a.
+
+        a(t) = t exactly.  With sync=0.1 the pad feeding b refreshes only
+        at sync points, so b(0.5) = 0.1*(0 + 0.1 + 0.2 + 0.3 + 0.4) = 0.10
+        exactly (Euler is exact on slice-constant inputs).  If cross-thread
+        edges ever leaked into a thread view, b would track the true
+        integral 0.125 instead.
+        """
+        self.build(model)
+        model.run(until=0.5, sync_interval=0.1)
+        b_final = model.probe("b").y_final[0]
+        assert b_final == pytest.approx(0.10, abs=1e-9)
+        assert abs(b_final - 0.125) > 0.02
+
+
+class TestDeepRelayChains:
+    N_CONSUMERS = 9  # forces a chain of 8 relays inside the diagram
+
+    def build(self):
+        inner = Diagram("inner")
+        inner.add(Constant("src", 2.0))
+        inner.expose("out", "src.out")
+        outer = Diagram("outer")
+        outer.add(inner)
+        for i in range(self.N_CONSUMERS):
+            outer.add(Gain(f"g{i}", k=float(i + 1)))
+            outer.connect("inner.out", f"g{i}.in")
+        outer.finalise()
+        return outer
+
+    def test_every_consumer_resolved_through_the_chain(self):
+        outer = self.build()
+        network = FlatNetwork([outer])
+        real_edges = [
+            e for e in network.plan().edges if not e.is_observer
+        ]
+        assert len(real_edges) == self.N_CONSUMERS
+        # all edges originate at the single source leaf
+        assert {e.resolved.src_leaf.name for e in real_edges} == {"src"}
+        # the deepest consumer's path walks the boundary plus the whole
+        # relay chain: N-1 relays and N+1 flows
+        depths = sorted(len(e.resolved.path) for e in real_edges)
+        assert depths[0] >= 2          # boundary hop + one relay at least
+        assert depths[-1] >= 2 * (self.N_CONSUMERS - 1)
+
+    def test_consumers_share_one_stage(self):
+        outer = self.build()
+        plan = FlatNetwork([outer]).plan()
+        gains = [
+            node for node in plan.nodes if node.leaf.name.startswith("g")
+        ]
+        assert len(gains) == self.N_CONSUMERS
+        assert {node.stage for node in gains} == {1}
+
+    def test_values_propagate_down_the_chain(self):
+        outer = self.build()
+        network = FlatNetwork([outer])
+        network.evaluate(0.0, network.initial_state())
+        for i in range(self.N_CONSUMERS):
+            port = outer.port_at(f"g{i}.out")
+            assert port.read_scalar() == pytest.approx(2.0 * (i + 1))
+
+
+class TestRecompile:
+    def test_bind_threads_carries_counters(self):
+        network, __ = chain_network()
+        network.evaluate(0.0, network.initial_state())
+        count = network.rhs_evaluations
+        leaf_threads = {id(leaf): 0 for leaf in network.leaves}
+        plan = network.bind_threads(leaf_threads)
+        assert network.rhs_evaluations == count
+        assert network.plan() is plan
+
+    def test_compile_classmethod_direct(self):
+        network, __ = chain_network()
+        plan = ExecutionPlan.compile(network)
+        assert plan.n_threads == 1
+        assert len(plan.nodes) == 3

@@ -16,6 +16,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
     "multirate_threads.py",
     "unified_workflow.py",
     "networked_control.py",
+    "batch_sweep.py",
 ])
 def test_example_runs(script):
     result = subprocess.run(
