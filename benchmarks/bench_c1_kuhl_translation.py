@@ -62,7 +62,7 @@ def test_c1_model_size_explosion(benchmark, report):
         assert kuhl["ports"] > kuhl["capsule_instances"]
 
 
-def test_c1_message_volume(benchmark, report):
+def test_c1_message_volume(benchmark, report, bench_json):
     """Messages per simulated second: translation vs streamer original."""
     results = {}
 
@@ -94,6 +94,11 @@ def test_c1_message_volume(benchmark, report):
     ])
     assert streamer_msgs == 0
     assert kuhl_msgs > 1000
+    bench_json("c1", {
+        "kuhl_messages": kuhl_msgs,
+        "streamer_messages": streamer_msgs,
+        "message_ratio": kuhl_msgs / max(1, streamer_msgs),
+    })
 
 
 def test_c1_information_loss(benchmark, report):

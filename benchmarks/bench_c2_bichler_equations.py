@@ -87,7 +87,7 @@ def test_c2_message_overhead(benchmark, report):
     )
 
 
-def test_c2_accuracy_ceiling(benchmark, report):
+def test_c2_accuracy_ceiling(benchmark, report, bench_json):
     """At the same (coarse) step the streamer thread's RK4 strategy beats
     the RTC-locked Euler by orders of magnitude — the efficiency claim in
     its accuracy-per-cost form."""
@@ -129,3 +129,10 @@ def test_c2_accuracy_ceiling(benchmark, report):
         f"accuracy ratio: {ratio:.0f}x",
     ])
     assert ratio > 100
+    bench_json("c2", {
+        "euler_error": results["euler_err"],
+        "rk4_error": results["rk4_err"],
+        "accuracy_ratio": ratio,
+        "bichler_messages_per_minor_step": 1,
+        "streamer_messages_per_minor_step": 0,
+    })

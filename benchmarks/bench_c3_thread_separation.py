@@ -75,7 +75,7 @@ class _TimerUser:
     pass
 
 
-def test_c3_timer_jitter_vs_time_service(benchmark, report):
+def test_c3_timer_jitter_vs_time_service(benchmark, report, bench_json):
     """UML-RT timeout observation jitter under load vs continuous Time."""
     from tests.conftest import Echo, Pinger
 
@@ -137,6 +137,11 @@ def test_c3_timer_jitter_vs_time_service(benchmark, report):
     ])
     assert results["umlrt_max_jitter"] > 0.0
     assert results["time_monotone"] and results["time_error"] < 1e-12
+    bench_json("c3", {
+        "umlrt_mean_jitter_s": results["umlrt_mean_jitter"],
+        "umlrt_max_jitter_s": results["umlrt_max_jitter"],
+        "time_service_error": results["time_error"],
+    })
 
 
 def _two_thread_model():
@@ -164,7 +169,7 @@ def test_c3_cooperative_backend(benchmark):
     assert value == pytest.approx(0.5, abs=0.05)
 
 
-def test_c3_real_thread_backend(benchmark, report):
+def test_c3_real_thread_backend(benchmark, report, bench_json):
     def run():
         model = _two_thread_model()
         model.run(until=1.0, sync_interval=0.02, real_threads=True)
@@ -183,3 +188,6 @@ def test_c3_real_thread_backend(benchmark, report):
         "(slices are data-disjoint -> direct mapping onto OS threads)",
     ])
     assert real_value == cooperative_value
+    bench_json("c3", {
+        "real_threads_bit_identical": real_value == cooperative_value,
+    })

@@ -36,7 +36,7 @@ def _toggle_machine():
     return sm
 
 
-def test_figure1_structure(benchmark, report):
+def test_figure1_structure(benchmark, report, bench_json):
     def build():
         pkg = figure1_package()
         problems = check_figure1_against_library()
@@ -53,6 +53,10 @@ def test_figure1_structure(benchmark, report):
         f"XMI serialisation: {len(xmi)} bytes",
         "library check: all classifiers map to implemented classes",
     ])
+    bench_json("f1", {
+        "library_check_problems": len(problems),
+        "xmi_bytes": len(xmi),
+    })
 
 
 def test_figure1_state_pattern_dispatch_cost(benchmark):

@@ -13,7 +13,7 @@ from repro.core.network import FlatNetwork
 from repro.metamodel import figure2_streamer, render_streamer_structure
 
 
-def test_figure2_structure_and_flattening(benchmark, report):
+def test_figure2_structure_and_flattening(benchmark, report, bench_json):
     def build():
         top = figure2_streamer()
         network = FlatNetwork([top])
@@ -32,6 +32,11 @@ def test_figure2_structure_and_flattening(benchmark, report):
         f"flattened: {stats}",
         "W-rules: relay generates exactly two similar flows (W2): ok",
     ])
+    bench_json("f2", {
+        "leaves": stats["leaves"],
+        "edges": stats["edges"],
+        "states": stats["states"],
+    })
 
 
 def test_figure2_simulation_step(benchmark):

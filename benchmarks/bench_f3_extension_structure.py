@@ -32,7 +32,7 @@ def test_figure3_assembly_and_validation(benchmark, report):
     ])
 
 
-def test_figure3_simulated_second(benchmark, report):
+def test_figure3_simulated_second(benchmark, report, bench_json):
     """Wall time for one simulated second of the Figure-3 model."""
     state = {}
 
@@ -53,3 +53,9 @@ def test_figure3_simulated_second(benchmark, report):
         f"y1(1) = {model.probe('y1').y_final[0]:.4f}, "
         f"y2(1) = {model.probe('y2').y_final[0]:.4f}",
     ])
+    bench_json("f3", {
+        "messages_dispatched": stats["messages_dispatched"],
+        "signals_to_streamers": stats["signals_to_streamers"],
+        "signals_to_capsules": stats["signals_to_capsules"],
+        "minor_steps": stats["minor_steps"],
+    })

@@ -22,7 +22,7 @@ from repro.solvers import (
 )
 
 
-def test_s1_accuracy_sweep(benchmark, report):
+def test_s1_accuracy_sweep(benchmark, report, bench_json):
     """All solvers on y' = -2y over [0, 1], h = 0.01."""
     results = {}
 
@@ -54,6 +54,9 @@ def test_s1_accuracy_sweep(benchmark, report):
     assert results["backward_euler"]["error"] > \
         results["trapezoidal"]["error"]
     assert results["rk45"]["error"] < 1e-6
+    bench_json("s1", {
+        f"{name}_error": row["error"] for name, row in results.items()
+    })
 
 
 def test_s1_convergence_orders(benchmark, report):

@@ -54,7 +54,7 @@ def test_s2_streamer_count_scaling(benchmark, n):
     assert model.scheduler().network.stats()["leaves"] == n
 
 
-def test_s2_streamer_scaling_summary(benchmark, report):
+def test_s2_streamer_scaling_summary(benchmark, report, bench_json):
     import time
 
     lines = []
@@ -76,6 +76,11 @@ def test_s2_streamer_scaling_summary(benchmark, report):
     report("S2: scaling with streamer count (h=0.01, sync=0.05)", lines)
     # shape: roughly linear; 16x more streamers << 100x slower
     assert walls[2] < walls[0] * 60
+    bench_json("s2", {
+        "wall_per_sim_s_4_streamers": walls[0],
+        "wall_per_sim_s_16_streamers": walls[1],
+        "wall_per_sim_s_64_streamers": walls[2],
+    })
 
 
 class _BigMachine(Capsule):
@@ -197,7 +202,7 @@ def test_s2_event_restart_ablation(benchmark, report):
     assert rows[False] < 1e-6  # localisation itself is interpolation-exact
 
 
-def test_s2_dense_events_ablation(benchmark, report):
+def test_s2_dense_events_ablation(benchmark, report, bench_json):
     """Secant vs cubic-Hermite event localisation on a curved trajectory
     (falling ball, coarse 0.25 s sync interval)."""
     import math
@@ -244,3 +249,7 @@ def test_s2_dense_events_ablation(benchmark, report):
         f"improvement: {errors[False] / max(errors[True], 1e-16):.0f}x",
     ])
     assert errors[True] < errors[False]
+    bench_json("s2", {
+        "secant_impact_error": errors[False],
+        "hermite_impact_error": errors[True],
+    })

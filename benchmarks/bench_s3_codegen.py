@@ -31,7 +31,7 @@ def test_s3_c_generation_cost(benchmark):
     assert source.count("{") == source.count("}")
 
 
-def test_s3_round_trip_fidelity(benchmark, report):
+def test_s3_round_trip_fidelity(benchmark, report, bench_json):
     h = 0.002
     results = {}
 
@@ -65,9 +65,13 @@ def test_s3_round_trip_fidelity(benchmark, report):
         "stdlib-only",
     ])
     assert diff < 1e-6
+    bench_json("s3", {
+        "round_trip_difference": diff,
+        "generated_python_loc": results["loc"],
+    })
 
 
-def test_s3_generated_code_speed(benchmark, report):
+def test_s3_generated_code_speed(benchmark, report, bench_json):
     """The generated flat loop outruns the reflective simulator — the
     reason code generation is the deployment path."""
     import time
@@ -100,3 +104,8 @@ def test_s3_generated_code_speed(benchmark, report):
         f"speedup         : {library_wall / generated_wall:8.1f}x",
     ])
     assert generated_wall < library_wall
+    bench_json("s3", {
+        "generated_wall_ms": generated_wall * 1e3,
+        "library_wall_ms": library_wall * 1e3,
+        "speedup": library_wall / generated_wall,
+    })

@@ -36,7 +36,7 @@ def test_s4_batch_run_cost(benchmark):
     assert result.final_states.shape[0] == N
 
 
-def test_s4_batch_vs_sequential_speedup(benchmark, report):
+def test_s4_batch_vs_sequential_speedup(benchmark, report, bench_json):
     """The acceptance bar: >= 5x throughput at N=100 instances."""
     sim = BatchSimulator(
         pid_plant_diagram(0), N, solver="rk4", h=H,
@@ -72,6 +72,13 @@ def test_s4_batch_vs_sequential_speedup(benchmark, report):
         f"batch backend only {speedup:.1f}x faster than {N} "
         "sequential runs; acceptance bar is 5x"
     )
+    bench_json("s4", {
+        "n_instances": N,
+        "sequential_wall_ms": sequential_wall * 1e3,
+        "batch_wall_ms": batch_wall * 1e3,
+        "speedup": speedup,
+        "bitwise_identical": True,
+    })
 
 
 @pytest.mark.parametrize("n", [10, 100, 1000])

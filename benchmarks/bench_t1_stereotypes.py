@@ -28,7 +28,7 @@ PAPER_TABLE1 = [
 ]
 
 
-def test_table1_reproduction(benchmark, report):
+def test_table1_reproduction(benchmark, report, bench_json):
     def build():
         rows = table1_rows()
         rendered = render_table1()
@@ -53,6 +53,11 @@ def test_table1_reproduction(benchmark, report):
         "implementation classes:",
         *(f"  {name:<14} -> {cls}" for name, cls in sorted(impls.items())),
     ])
+    bench_json("t1", {
+        "table1_rows_match_paper": rows == PAPER_TABLE1,
+        "new_stereotypes": new_stereotype_count(),
+        "implemented_stereotypes": len(impls),
+    })
 
 
 def test_table1_profile_application_cost(benchmark):

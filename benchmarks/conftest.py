@@ -3,15 +3,22 @@
 Every benchmark prints the table/series it reproduces (run with ``-s`` to
 see them inline); the same summaries are appended to
 ``benchmarks/results.txt`` so EXPERIMENTS.md can cite a stable artefact.
+Machine-readable headline metrics additionally land in ``BENCH_<id>.json``
+at the repo root (one file per bench id, schema
+``{"bench": ..., "metrics": {...}, "timestamp": ...}``) so CI can archive
+them without scraping text.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import pathlib
 
 import pytest
 
 RESULTS = pathlib.Path(__file__).resolve().parent / "results.txt"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -33,6 +40,55 @@ def report():
             handle.write(text + "\n\n")
 
     return emit
+
+
+def _plain(value):
+    """NumPy scalars/arrays are not JSON serializable; coerce to
+    built-ins so benches can pass metric values straight through."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if hasattr(value, "tolist"):  # np scalar or array
+        return _plain(value.tolist())
+    if hasattr(value, "item") and not isinstance(
+        value, (bool, int, float, str)
+    ):
+        return value.item()
+    return value
+
+
+def write_bench_json(bench_id: str, metrics: dict) -> pathlib.Path:
+    """Write/merge headline metrics into ``BENCH_<id>.json`` at the repo
+    root.  Merging (rather than overwriting) lets one bench file report
+    from several test functions; the file is rewritten whole each call so
+    a crash mid-run never leaves truncated JSON."""
+    metrics = _plain(metrics)
+    path = REPO_ROOT / f"BENCH_{bench_id.upper()}.json"
+    merged = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if existing.get("bench") == bench_id.upper():
+                merged = existing.get("metrics", {})
+        except (ValueError, OSError):
+            merged = {}
+    merged.update(metrics)
+    payload = {
+        "bench": bench_id.upper(),
+        "metrics": merged,
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture
+def bench_json():
+    """Emit machine-readable metrics: ``bench_json("s4", {...})``."""
+    return write_bench_json
 
 
 def pid_plant_diagram(blocks: int = 0):

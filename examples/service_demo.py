@@ -1,0 +1,160 @@
+"""The simulation service: a mixed workload through one facade.
+
+A :class:`repro.SimulationService` owns a worker pool, a
+content-addressed plan cache and a metrics registry.  This demo pushes
+a mixed workload through it, the way a tuning/CI rig would:
+
+* three cruise-control **single runs** (different set speeds), executed
+  concurrently, with one of them streamed live (PROGRESS telemetry);
+* a 60-instance **pendulum gain sweep** (vectorised batch job), with
+  partial trajectories streamed chunk by chunk (CHUNK telemetry);
+* the same sweep **resubmitted**, to show the warm plan cache skipping
+  compilation entirely;
+* a final **metrics snapshot**: job counters, wall-time percentiles,
+  cache hit rate, queue state.
+
+Run:  python examples/service_demo.py
+"""
+
+import numpy as np
+
+from repro import HybridModel, SimulationService
+from repro.dataflow import (
+    Constant,
+    Diagram,
+    FirstOrderLag,
+    PID,
+    SecondOrderSystem,
+    Step,
+    Sum,
+)
+from repro.service import BatchJob, SingleRunJob
+from repro.service.telemetry import CHUNK, PROGRESS
+
+
+# ----------------------------------------------------------------------
+# workload 1: cruise control (hybrid single runs)
+# ----------------------------------------------------------------------
+def cruise_model(setpoint: float) -> HybridModel:
+    """PID speed loop: err = setpoint - v; force = PID(err); v = lag."""
+    d = Diagram("cruise")
+    d.add(Constant("setpoint", value=setpoint))
+    d.add(Sum("err", signs="+-"))
+    d.add(PID("pid", kp=800.0, ki=120.0, kd=0.0, tf=0.5,
+              u_min=-2000.0, u_max=4000.0))
+    d.add(FirstOrderLag("car", tau=1000.0 / 50.0, k=1.0 / 50.0))
+    d.connect("setpoint.out", "err.in1")
+    d.connect("car.out", "err.in2")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "car.in")
+    d.finalise()
+    model = HybridModel(f"cruise{setpoint:g}")
+    model.default_thread.h = 0.01
+    model.add_streamer(d)
+    model.add_probe("v", d.port_at("car.out"))
+    return model
+
+
+# ----------------------------------------------------------------------
+# workload 2: pendulum gain sweep (vectorised batch job)
+# ----------------------------------------------------------------------
+def pendulum_loop() -> Diagram:
+    """PID against a lightly damped linearised pendulum (PT2)."""
+    d = Diagram("pend")
+    d.add(Step("ref", amplitude=0.2))     # 0.2 rad step command
+    d.add(Sum("err", signs="+-"))
+    d.add(PID("pid", kp=40.0, ki=20.0, kd=8.0, tf=0.05))
+    d.add(SecondOrderSystem("pend", omega=3.13, zeta=0.05, k=1.0))
+    d.connect("ref.out", "err.in1")
+    d.connect("pend.out", "err.in2")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "pend.in")
+    return d
+
+
+KP_AXIS = np.linspace(5.0, 120.0, 60)
+
+
+def pendulum_sweep_job() -> BatchJob:
+    return BatchJob(
+        diagram_factory=pendulum_loop, n=len(KP_AXIS), t_end=3.0,
+        solver="rk4", h=1e-3, records=["pend.out"],
+        sweeps={"pid.kp": KP_AXIS}, record_every=20,
+    )
+
+
+def main() -> None:
+    with SimulationService(workers=4, cache_capacity=32) as svc:
+        # -- submit everything up front (concurrent execution) ----------
+        setpoints = (15.0, 20.0, 25.0)
+        cruise_handles = [
+            svc.submit(SingleRunJob(
+                model_factory=lambda sp=sp: cruise_model(sp),
+                t_end=40.0, sync_interval=0.05, stream_slices=4,
+            ))
+            for sp in setpoints
+        ]
+        sweep_spec = pendulum_sweep_job()
+        sweep_handle = svc.submit(sweep_spec)
+
+        # -- stream the sweep's partial trajectories --------------------
+        print("pendulum sweep, streamed:")
+        for event in sweep_handle.stream():
+            if event.kind == CHUNK:
+                print(f"  t={event.t:5.2f}s  chunk of "
+                      f"{event.payload['rows']} recorded rows x "
+                      f"{len(KP_AXIS)} instances"
+                      f"{'  (final)' if event.payload['final'] else ''}")
+
+        # -- stream one cruise run's progress ---------------------------
+        print("cruise run (set speed 25 m/s), streamed:")
+        for event in cruise_handles[2].stream():
+            if event.kind == PROGRESS:
+                v = event.payload["probes"].get("v", float("nan"))
+                print(f"  t={event.t:5.1f}s  v={v:6.2f} m/s  "
+                      f"({event.payload['fraction']:4.0%})")
+
+        # -- collect results --------------------------------------------
+        for sp, handle in zip(setpoints, cruise_handles):
+            run = handle.result(timeout=120.0)
+            v_final = float(run.probes["v"].y_final[0])
+            print(f"cruise set={sp:5.1f} m/s -> final v={v_final:6.2f} "
+                  f"({run.stats['major_steps']} major steps)")
+            assert abs(v_final - sp) < 0.5
+
+        sweep = sweep_handle.result(timeout=120.0)
+        y = sweep.series["pend.out"]
+        tail = y[3 * len(sweep.t) // 4:, :]
+        score = np.max(np.abs(tail - 0.2), axis=0)
+        best = int(np.argmin(score))
+        print(f"sweep: best kp={KP_AXIS[best]:.1f} "
+              f"(tail error {score[best]:.4f})")
+        assert score[best] < 0.01
+
+        # -- warm-cache resubmission ------------------------------------
+        before = svc.cache.stats()
+        resubmit = svc.submit(sweep_spec).result(timeout=120.0)
+        after = svc.cache.stats()
+        assert np.array_equal(resubmit.series["pend.out"], y)
+        assert after["compiles"] == before["compiles"], \
+            "resubmission must not recompile"
+        assert after["hits"] == before["hits"] + 1
+        print(f"resubmitted sweep: cache hit (compiles still "
+              f"{after['compiles']}, hits {after['hits']})")
+
+        # -- metrics snapshot -------------------------------------------
+        snap = svc.metrics_snapshot()
+        done = snap["counters"].get("jobs.done", 0)
+        wall = snap["histograms"].get("job.wall_time", {})
+        print("metrics snapshot:")
+        print(f"  jobs done       : {done}")
+        print(f"  job wall time   : p50={wall.get('p50', 0):.3f}s "
+              f"p95={wall.get('p95', 0):.3f}s")
+        print(f"  cache           : {snap['cache']}")
+        print(f"  queue           : {snap['queue']}")
+        assert done == len(setpoints) + 2
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,10 @@ Package map
   equations-in-states.
 - :mod:`repro.codegen` — Python and C code generation from hybrid models.
 - :mod:`repro.analysis` — trace metrics and schedulability analysis.
+- :mod:`repro.service` — the concurrent job service above the simulator:
+  a content-addressed plan cache (compile once, serve many), a bounded
+  worker-pool job engine with deadlines/cancellation/retry/shedding, and
+  streaming telemetry with service-wide metrics.
 
 Quick start
 -----------
@@ -68,13 +72,26 @@ from repro.umlrt import (
     Transition,
 )
 from repro.solvers import available_solvers, integrate, make_solver
+from repro.service import (
+    BatchJob,
+    CodegenJob,
+    JobHandle,
+    JobState,
+    MetricsRegistry,
+    PlanCache,
+    ServiceOverloaded,
+    SimulationService,
+    SingleRunJob,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchJob",
     "BatchResult",
     "BatchSimulator",
     "Capsule",
+    "CodegenJob",
     "Channel",
     "ChannelPolicy",
     "ContinuousTime",
@@ -87,8 +104,12 @@ __all__ = [
     "FlowType",
     "HybridModel",
     "HybridScheduler",
+    "JobHandle",
+    "JobState",
     "Message",
+    "MetricsRegistry",
     "ModelBuilder",
+    "PlanCache",
     "Port",
     "PortKind",
     "Priority",
@@ -96,7 +117,10 @@ __all__ = [
     "RTSystem",
     "Relay",
     "SPort",
+    "ServiceOverloaded",
     "Signal",
+    "SimulationService",
+    "SingleRunJob",
     "SolverBinding",
     "State",
     "StateMachine",

@@ -15,6 +15,7 @@ from repro.analysis.metrics import (
     iae,
     ise,
     itae,
+    percentiles,
     step_metrics,
 )
 from repro.analysis.coverage import (
@@ -57,6 +58,7 @@ __all__ = [
     "ise",
     "itae",
     "liu_layland_bound",
+    "percentiles",
     "response_time_analysis",
     "step_metrics",
     "taskset_from_model",

@@ -136,6 +136,41 @@ def itae(trajectory: Trajectory, target: float,
 
 
 # ----------------------------------------------------------------------
+# distribution summaries
+# ----------------------------------------------------------------------
+def percentiles(
+    values, levels=(50.0, 95.0),
+) -> dict:
+    """Summarise a sample: count, mean, min/max and the given percentile
+    levels (keys ``p50``, ``p95``, ... — ``p99_9`` for fractional levels).
+
+    The shared vocabulary for latency/wall-time distributions: service
+    telemetry histograms (:mod:`repro.service.telemetry`) and benchmark
+    JSON artefacts both report through this, so "p95" means the same
+    linear-interpolated quantile everywhere.  Empty samples summarise to
+    zeros rather than raising, since a metrics snapshot may race a
+    service that has not completed a job yet.
+    """
+    def key_of(level: float) -> str:
+        return "p" + f"{float(level):g}".replace(".", "_")
+
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        out = {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        out.update({key_of(level): 0.0 for level in levels})
+        return out
+    out = {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+    for level in levels:
+        out[key_of(level)] = float(np.percentile(arr, level))
+    return out
+
+
+# ----------------------------------------------------------------------
 # trajectory comparison
 # ----------------------------------------------------------------------
 def compare_trajectories(

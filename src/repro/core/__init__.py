@@ -39,7 +39,8 @@ from repro.core.plan import (
     ExecutionPlan, PlanCounters, PlanEdge, PlanGuard, PlanNode,
 )
 from repro.core.batch import (
-    BatchError, BatchResult, BatchSimulator, SweepVar, simulate_sequential,
+    BatchChunk, BatchError, BatchProgram, BatchResult, BatchSimulator,
+    SweepVar, compile_batch_program, merge_chunks, simulate_sequential,
 )
 from repro.core.thread import StreamerThread
 from repro.core.hybrid import HybridScheduler
@@ -48,7 +49,9 @@ from repro.core.builder import ModelBuilder
 from repro.core.validation import ValidationError, Violation, validate_model
 
 __all__ = [
+    "BatchChunk",
     "BatchError",
+    "BatchProgram",
     "BatchResult",
     "BatchSimulator",
     "Channel",
@@ -82,6 +85,8 @@ __all__ = [
     "TimeError",
     "ValidationError",
     "Violation",
+    "compile_batch_program",
+    "merge_chunks",
     "simulate_sequential",
     "validate_model",
 ]

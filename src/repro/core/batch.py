@@ -66,6 +66,71 @@ class SweepVar(float):
         return obj
 
 
+@dataclass(frozen=True)
+class BatchProgram:
+    """The reusable compile artefact of the batch backend.
+
+    Everything derived from the *diagram structure* alone — the lowered
+    model (plan + per-block code), the rendered vectorised source and
+    the sorted sweep-path order that fixes the parameter-matrix row
+    layout.  Instance count, sweep *values*, solver and step size are
+    all run-time inputs, so one program serves any number of
+    :class:`BatchSimulator` instantiations; the service layer's
+    :class:`~repro.service.cache.PlanCache` stores these keyed by
+    :meth:`ExecutionPlan.fingerprint` to make re-submission skip the
+    whole lower/render/exec pipeline.
+    """
+
+    model: Any  # LoweredModel (kept Any to avoid a codegen import cycle)
+    source: str
+    sweep_paths: Tuple[str, ...]
+
+    @property
+    def plan(self):
+        return self.model.plan
+
+    @property
+    def code(self):
+        """Compiled code object for :attr:`source`, cached so repeated
+        instantiations (the warm-cache path) skip Python compilation."""
+        cached = self.__dict__.get("_code")
+        if cached is None:
+            cached = compile(self.source, "<batch-program>", "exec")
+            object.__setattr__(self, "_code", cached)
+        return cached
+
+    def fingerprint(self, extra: Optional[Mapping[str, Any]] = None) -> str:
+        """Content hash delegating to the underlying plan (plus sweep
+        paths and record labels, which also shaped the source)."""
+        merged: Dict[str, Any] = {
+            "batch.sweep_paths": self.sweep_paths,
+            "batch.records": tuple(
+                label for label, __ in self.model.records
+            ),
+        }
+        merged.update(extra or {})
+        return self.plan.fingerprint(extra=merged)
+
+
+@dataclass
+class BatchChunk:
+    """One streamed slice of a chunked batch run."""
+
+    #: recorded times in this chunk, shape ``(T_chunk,)``
+    t: np.ndarray
+    #: label -> ``(T_chunk, n)`` series
+    series: Dict[str, np.ndarray]
+    #: simulation time reached at the end of the chunk
+    t_now: float
+    #: cumulative minor steps taken so far
+    steps: int
+    #: True for the last chunk of the run
+    final: bool
+    #: final ``(n, n_state)`` state matrix (last chunk only, else None)
+    final_states: Optional[np.ndarray] = None
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+
 @dataclass
 class BatchResult:
     """Recorded trajectories of one batch run."""
@@ -93,6 +158,140 @@ _STATE_REF = re.compile(r"\bx\[(\d+)\]")
 def _vectorise(expr: str) -> str:
     """Rewrite scalar state refs ``x[i]`` to column refs ``x[:, i]``."""
     return _STATE_REF.sub(r"x[:, \1]", expr)
+
+
+def _render_program(model: Any) -> str:
+    """Render the vectorised program source (a ``_build`` factory)."""
+    output_lines: List[str] = []
+    deriv_lines: List[str] = []
+    held_inits: List[Tuple[str, float]] = []
+    held_names: List[str] = []
+    sync_lines: List[str] = []
+    deriv_index = 0
+    for node in model.plan.nodes:
+        block_code = model.code[node.index]
+        output_lines.extend(
+            _vectorise(line) for line in block_code.output_lines
+        )
+        for name, value in block_code.held_vars:
+            held_inits.append((name, float(value)))
+            held_names.append(name)
+        sync_lines.extend(
+            _vectorise(line) for line in block_code.sync_lines
+        )
+        for expr in block_code.deriv_exprs:
+            deriv_lines.append(
+                f"dx[:, {deriv_index}] = {_vectorise(expr)}"
+            )
+            deriv_index += 1
+
+    signals = sorted({line.split(" = ")[0] for line in output_lines})
+    sig_dict = ", ".join(f"{s!r}: {s}" for s in signals)
+    unpack = [f"{s} = sig[{s!r}]" for s in signals]
+
+    lines: List[str] = [
+        '"""Auto-generated by repro.core.batch -- do not edit."""',
+        "",
+        "",
+        "def _build(n, P):",
+    ]
+    for name, value in held_inits:
+        lines.append(f"    {name} = np.full(n, {value!r})")
+    lines.append("")
+    lines.append("    def outputs(t, x):")
+    for line in output_lines:
+        lines.append(f"        {line}")
+    lines.append(f"        return {{{sig_dict}}}")
+    lines.append("")
+    lines.append("    def rhs(t, x):")
+    lines.append("        sig = outputs(t, x)")
+    for line in unpack:
+        lines.append(f"        {line}")
+    lines.append("        dx = np.zeros_like(x)")
+    for line in deriv_lines:
+        lines.append(f"        {line}")
+    lines.append("        return dx")
+    lines.append("")
+    lines.append("    def sync(t, x):")
+    if held_names:
+        lines.append(f"        nonlocal {', '.join(held_names)}")
+    if sync_lines:
+        lines.append("        sig = outputs(t, x)")
+        for line in unpack:
+            lines.append(f"        {line}")
+        for line in sync_lines:
+            lines.append(f"        {line}")
+    if not held_names and not sync_lines:
+        lines.append("        pass")
+    lines.append("")
+    lines.append("    return outputs, rhs, sync")
+    return "\n".join(lines) + "\n"
+
+
+def compile_batch_program(
+    diagram: Diagram,
+    records: Optional[List[str]] = None,
+    sweep_paths: Sequence[str] = (),
+) -> BatchProgram:
+    """Lower ``diagram`` into a reusable :class:`BatchProgram`.
+
+    This is the expensive half of :class:`BatchSimulator` — flatten,
+    plan, emit NumPy expressions, render the vectorised source — pulled
+    out so callers (notably the service layer's plan cache) can compile
+    once and instantiate many simulators.  ``sweep_paths`` fixes which
+    block parameters become per-instance matrix rows; their *values*
+    arrive later, at simulator construction.
+    """
+    ordered = tuple(sorted(sweep_paths))
+    items: List[Tuple[Streamer, str, float, SweepVar]] = []
+    for j, path in enumerate(ordered):
+        block, key = _resolve_param(diagram, path)
+        base = float(block.params[key])
+        var = SweepVar(base, np.asarray([base]), f"P[{j}]")
+        items.append((block, key, base, var))
+        block.params[key] = var
+    try:
+        from repro.codegen.common import NumpyLang, lower
+
+        model = lower(diagram, NumpyLang(), records)
+    finally:
+        for block, key, base, __ in items:
+            block.params[key] = base
+    source = _render_program(model)
+    for (block, key, __, var), path in zip(items, ordered):
+        if var.symbol not in source:
+            raise BatchError(
+                f"sweep {path!r}: the emitter for "
+                f"{type(block).__name__} folds {key!r} into a "
+                "derived literal, so the sweep would be silently "
+                "ignored; sweep a parameter the emitter passes "
+                "through verbatim"
+            )
+    return BatchProgram(model=model, source=source, sweep_paths=ordered)
+
+
+def merge_chunks(chunks: Sequence[BatchChunk], n: int) -> BatchResult:
+    """Stitch streamed :class:`BatchChunk` slices back into one
+    :class:`BatchResult` (the last chunk must be the final one)."""
+    if not chunks or not chunks[-1].final:
+        raise BatchError("chunk stream ended without a final chunk")
+    last = chunks[-1]
+    labels = list(last.series)
+    times = np.concatenate([c.t for c in chunks]) if chunks else np.zeros(0)
+    series = {
+        label: (
+            np.concatenate([c.series[label] for c in chunks])
+            if any(len(c.t) for c in chunks) else np.zeros((0, n))
+        )
+        for label in labels
+    }
+    return BatchResult(
+        t=times,
+        series=series,
+        final_states=last.final_states,
+        n=n,
+        stats=dict(last.stats),
+    )
 
 
 def _resolve_param(diagram: Diagram, path: str) -> Tuple[Streamer, str]:
@@ -139,17 +338,25 @@ class BatchSimulator:
     x0:
         Optional ``(n, n_state)`` initial-state override (for sweeping
         initial conditions, which live outside the RHS expressions).
+    program:
+        Optional precompiled :class:`BatchProgram` (e.g. from a warm
+        :class:`~repro.service.cache.PlanCache` entry).  When given, the
+        whole lower/render pipeline is skipped — only the cheap
+        per-instantiation ``exec`` of the rendered ``_build`` factory
+        runs — and ``diagram``/``records`` are ignored.  The ``sweeps``
+        keys must match the paths the program was compiled for.
     """
 
     def __init__(
         self,
-        diagram: Diagram,
-        n: int,
+        diagram: Optional[Diagram] = None,
+        n: int = 1,
         solver: Any = "rk4",
         h: float = 1e-3,
         records: Optional[List[str]] = None,
         sweeps: Optional[Mapping[str, Sequence[float]]] = None,
         x0: Optional[np.ndarray] = None,
+        program: Optional[BatchProgram] = None,
     ) -> None:
         if n < 1:
             raise BatchError(f"need at least one instance, got {n}")
@@ -166,51 +373,41 @@ class BatchSimulator:
                 "instances); use a fixed-step solver"
             )
 
-        # install sweep symbols, lower, then restore the base parameters
-        sweep_items: List[Tuple[Streamer, str, float, SweepVar]] = []
-        symbols: List[str] = []
-        for j, (path, values) in enumerate(sorted((sweeps or {}).items())):
+        sweep_values: Dict[str, np.ndarray] = {}
+        for path, values in sorted((sweeps or {}).items()):
             values = np.asarray(values, dtype=float)
             if values.shape != (self.n,):
                 raise BatchError(
                     f"sweep {path!r}: expected {self.n} values, got "
                     f"shape {values.shape}"
                 )
-            block, key = _resolve_param(diagram, path)
-            base = float(block.params[key])
-            var = SweepVar(base, values, f"P[{j}]")
-            sweep_items.append((block, key, base, var))
-            symbols.append(var.symbol)
-            block.params[key] = var
-        try:
-            from repro.codegen.common import NumpyLang, lower
+            sweep_values[path] = values
 
-            self.model = lower(diagram, NumpyLang(), records)
-        finally:
-            for block, key, base, __ in sweep_items:
-                block.params[key] = base
-
-        self.plan = self.model.plan
-        self.sweep_paths = [path for path in sorted(sweeps or {})]
-        self._P = (
-            np.stack([var.values for __, __, __, var in sweep_items])
-            if sweep_items else np.zeros((0, self.n))
-        )
-        source = self._render()
-        for (block, key, __, var), path in zip(
-            sweep_items, self.sweep_paths
-        ):
-            if var.symbol not in source:
+        if program is None:
+            if diagram is None:
                 raise BatchError(
-                    f"sweep {path!r}: the emitter for "
-                    f"{type(block).__name__} folds {key!r} into a "
-                    "derived literal, so the sweep would be silently "
-                    "ignored; sweep a parameter the emitter passes "
-                    "through verbatim"
+                    "need either a diagram or a precompiled program"
                 )
-        self.source = source
+            program = compile_batch_program(
+                diagram, records=records, sweep_paths=tuple(sweep_values),
+            )
+        elif tuple(sorted(sweep_values)) != program.sweep_paths:
+            raise BatchError(
+                f"sweep paths {tuple(sorted(sweep_values))} do not match "
+                f"the precompiled program's {program.sweep_paths}"
+            )
+
+        self.program = program
+        self.model = program.model
+        self.plan = program.model.plan
+        self.source = program.source
+        self.sweep_paths = list(program.sweep_paths)
+        self._P = (
+            np.stack([sweep_values[path] for path in program.sweep_paths])
+            if program.sweep_paths else np.zeros((0, self.n))
+        )
         namespace: Dict[str, Any] = {"np": np}
-        exec(compile(source, "<batch-program>", "exec"), namespace)
+        exec(program.code, namespace)
         self._outputs, self._rhs, self._sync = namespace["_build"](
             self.n, self._P
         )
@@ -228,85 +425,28 @@ class BatchSimulator:
                 )
 
     # ------------------------------------------------------------------
-    def _render(self) -> str:
-        """Render the vectorised program source (a ``_build`` factory)."""
-        model = self.model
-        output_lines: List[str] = []
-        deriv_lines: List[str] = []
-        held_inits: List[Tuple[str, float]] = []
-        held_names: List[str] = []
-        sync_lines: List[str] = []
-        deriv_index = 0
-        for node in model.plan.nodes:
-            block_code = model.code[node.index]
-            output_lines.extend(
-                _vectorise(line) for line in block_code.output_lines
-            )
-            for name, value in block_code.held_vars:
-                held_inits.append((name, float(value)))
-                held_names.append(name)
-            sync_lines.extend(
-                _vectorise(line) for line in block_code.sync_lines
-            )
-            for expr in block_code.deriv_exprs:
-                deriv_lines.append(
-                    f"dx[:, {deriv_index}] = {_vectorise(expr)}"
-                )
-                deriv_index += 1
-
-        signals = sorted({line.split(" = ")[0] for line in output_lines})
-        sig_dict = ", ".join(f"{s!r}: {s}" for s in signals)
-        unpack = [f"{s} = sig[{s!r}]" for s in signals]
-
-        lines: List[str] = [
-            '"""Auto-generated by repro.core.batch -- do not edit."""',
-            "",
-            "",
-            "def _build(n, P):",
-        ]
-        for name, value in held_inits:
-            lines.append(f"    {name} = np.full(n, {value!r})")
-        lines.append("")
-        lines.append("    def outputs(t, x):")
-        for line in output_lines:
-            lines.append(f"        {line}")
-        lines.append(f"        return {{{sig_dict}}}")
-        lines.append("")
-        lines.append("    def rhs(t, x):")
-        lines.append("        sig = outputs(t, x)")
-        for line in unpack:
-            lines.append(f"        {line}")
-        lines.append("        dx = np.zeros_like(x)")
-        for line in deriv_lines:
-            lines.append(f"        {line}")
-        lines.append("        return dx")
-        lines.append("")
-        lines.append("    def sync(t, x):")
-        if held_names:
-            lines.append(f"        nonlocal {', '.join(held_names)}")
-        if sync_lines:
-            lines.append("        sig = outputs(t, x)")
-            for line in unpack:
-                lines.append(f"        {line}")
-            for line in sync_lines:
-                lines.append(f"        {line}")
-        if not held_names and not sync_lines:
-            lines.append("        pass")
-        lines.append("")
-        lines.append("    return outputs, rhs, sync")
-        return "\n".join(lines) + "\n"
-
-    # ------------------------------------------------------------------
-    def run(
+    def run_chunked(
         self,
         t_end: float,
         h: Optional[float] = None,
         record_every: int = 1,
-    ) -> BatchResult:
-        """Integrate all instances to ``t_end`` with fixed step ``h``."""
+        chunk_steps: Optional[int] = None,
+    ):
+        """Integrate to ``t_end``, yielding a :class:`BatchChunk` every
+        ``chunk_steps`` minor steps (one final chunk when omitted).
+
+        The step/record/sync sequence is exactly :meth:`run`'s — chunking
+        only decides when accumulated records are handed out — so the
+        concatenation of the chunks is bitwise identical to an unchunked
+        run.  Between chunks a caller may abort, stream partials, or
+        check deadlines; this is the cooperative cancellation point the
+        service layer's job engine relies on.
+        """
         h = self.h if h is None else float(h)
         if h <= 0:
             raise BatchError(f"non-positive step {h}")
+        if chunk_steps is not None and chunk_steps < 1:
+            raise BatchError(f"chunk_steps must be >= 1: {chunk_steps}")
         x = self.x0.copy()
         t = 0.0
         times: List[float] = []
@@ -323,6 +463,23 @@ class BatchSimulator:
                     value = np.full(self.n, float(value))
                 recorded[label].append(value.copy())
 
+        def flush(t_now: float, steps: int, final: bool) -> BatchChunk:
+            chunk = BatchChunk(
+                t=np.asarray(times, dtype=float),
+                series={
+                    label: np.stack(values) if values
+                    else np.zeros((0, self.n))
+                    for label, values in recorded.items()
+                },
+                t_now=t_now,
+                steps=steps,
+                final=final,
+            )
+            times.clear()
+            for values in recorded.values():
+                values.clear()
+            return chunk
+
         step = 0
         minor_steps = 0
         self._sync(t, x)
@@ -336,25 +493,36 @@ class BatchSimulator:
             minor_steps += 1
             step += 1
             self._sync(t, x)
+            if (
+                chunk_steps is not None
+                and minor_steps % chunk_steps == 0
+                and t < t_end - 1e-12
+            ):
+                yield flush(t, minor_steps, final=False)
         snapshot(t, x)
 
-        return BatchResult(
-            t=np.asarray(times, dtype=float),
-            series={
-                label: np.stack(values) if values
-                else np.zeros((0, self.n))
-                for label, values in recorded.items()
-            },
-            final_states=x,
-            n=self.n,
-            stats={
-                "instances": self.n,
-                "minor_steps": minor_steps,
-                "states_per_instance": x.shape[1],
-                "solver": self.binding.strategy_name,
-                "sweeps": list(self.sweep_paths),
-            },
+        chunk = flush(t, minor_steps, final=True)
+        chunk.final_states = x
+        chunk.stats = {
+            "instances": self.n,
+            "minor_steps": minor_steps,
+            "states_per_instance": x.shape[1],
+            "solver": self.binding.strategy_name,
+            "sweeps": list(self.sweep_paths),
+        }
+        yield chunk
+
+    def run(
+        self,
+        t_end: float,
+        h: Optional[float] = None,
+        record_every: int = 1,
+    ) -> BatchResult:
+        """Integrate all instances to ``t_end`` with fixed step ``h``."""
+        chunks = list(
+            self.run_chunked(t_end, h=h, record_every=record_every)
         )
+        return merge_chunks(chunks, self.n)
 
 
 def simulate_sequential(

@@ -14,6 +14,12 @@ space ablated in bench C3:
 
 Channels are lock-protected so the optional real-thread backend
 (:mod:`repro.core.thread`) can share them safely.
+
+Streaming consumers: the service layer (:mod:`repro.service`) uses
+channels as job telemetry streams, so a channel can be *closed* by the
+producer to signal end-of-stream, ``pop(block=True)`` waits for the next
+item (or the close) instead of busy-polling, and iterating a channel
+yields items until it is both closed and drained.
 """
 
 from __future__ import annotations
@@ -21,11 +27,12 @@ from __future__ import annotations
 import enum
 import threading
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, Iterator, List, Optional
 
 
 class ChannelError(Exception):
-    """Raised when a BLOCK-policy channel overflows."""
+    """Raised when a BLOCK-policy channel overflows or a closed channel
+    is pushed to."""
 
 
 class ChannelPolicy(enum.Enum):
@@ -50,6 +57,8 @@ class Channel:
         self.policy = policy
         self._items: Deque[Any] = deque()
         self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
         self.pushed = 0
         self.dropped = 0
         self.popped = 0
@@ -59,6 +68,8 @@ class Channel:
     def push(self, item: Any) -> bool:
         """Push an item; returns False only if a BLOCK channel was full."""
         with self._lock:
+            if self._closed:
+                raise ChannelError(f"channel {self.name!r} is closed")
             self.pushed += 1
             if len(self._items) >= self.capacity:
                 if self.policy is ChannelPolicy.BLOCK:
@@ -72,6 +83,7 @@ class Channel:
                 self.dropped += 1
             self._items.append(item)
             self.max_depth = max(self.max_depth, len(self._items))
+            self._not_empty.notify()
             return True
 
     def try_push(self, item: Any) -> bool:
@@ -81,9 +93,20 @@ class Channel:
         except ChannelError:
             return False
 
-    def pop(self) -> Optional[Any]:
-        """Pop the oldest item, or None if empty."""
+    def pop(
+        self, block: bool = False, timeout: Optional[float] = None
+    ) -> Optional[Any]:
+        """Pop the oldest item, or None if empty.
+
+        With ``block=True`` the call waits until an item arrives, the
+        channel is closed (returns None immediately once drained), or
+        ``timeout`` seconds elapse (returns None).
+        """
         with self._lock:
+            if block:
+                self._not_empty.wait_for(
+                    lambda: self._items or self._closed, timeout,
+                )
             if not self._items:
                 return None
             self.popped += 1
@@ -101,6 +124,33 @@ class Channel:
         """The newest item without removing it, or None."""
         with self._lock:
             return self._items[-1] if self._items else None
+
+    def close(self) -> None:
+        """Mark end-of-stream: no further pushes; waiters wake up.
+
+        Items already queued stay poppable; :meth:`pop` and iteration
+        drain them before reporting exhaustion.  Closing twice is a
+        no-op.
+        """
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __iter__(self) -> Iterator[Any]:
+        """Yield items (blocking) until the channel is closed and drained."""
+        while True:
+            item = self.pop(block=True)
+            if item is None:
+                with self._lock:
+                    if self._closed and not self._items:
+                        return
+                continue
+            yield item
 
     def __len__(self) -> int:
         with self._lock:

@@ -80,6 +80,13 @@ class HybridScheduler:
         self.signals_to_streamers = 0
         self.signals_to_capsules = 0
         self._built = False
+        #: optional observer called with the reached time after every
+        #: major step.  Purely passive — it cannot change stepping — so
+        #: an observed run is numerically identical to an unobserved
+        #: one; the service layer uses it to stream progress and to
+        #: honour cancellation/deadlines mid-run (an exception raised
+        #: here aborts :meth:`run` cleanly between major steps).
+        self.on_major_step: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     # build
@@ -170,6 +177,8 @@ class HybridScheduler:
             self._sync_hooks(t_reached)
             self.model.record(time.now)
             self.major_steps += 1
+            if self.on_major_step is not None:
+                self.on_major_step(time.raw)
 
     # -- phase 1: continuous -------------------------------------------
     def _continuous_phase(self, t0: float, t1: float) -> float:

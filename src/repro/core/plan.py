@@ -41,9 +41,10 @@ one :class:`PlanCounters`, so analysis counters aggregate across threads.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import (
-    TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple,
+    TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Tuple,
 )
 
 import numpy as np
@@ -431,6 +432,63 @@ class ExecutionPlan:
                 )
             values.append(float(leaf_values[guard.slot]))
         return values
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def fingerprint(self, extra: Optional[Mapping[str, Any]] = None) -> str:
+        """A stable content hash of the compiled plan.
+
+        Two plans fingerprint identically iff they describe the same
+        computation: same leaves (by path, type and parameter values, in
+        the same evaluation order with the same state slices, stages and
+        thread partitions), same edges (by pad path endpoints and
+        cross-thread/feedback/observer classification) and same lifted
+        guards.  Object identities and memory addresses never enter the
+        hash, so two independently built but structurally identical
+        diagrams collide — which is exactly what a content-addressed
+        plan cache (:mod:`repro.service.cache`) wants.
+
+        ``extra`` folds caller context that lives outside the plan into
+        the key — solver binding, step size, record lists, sweep paths —
+        so one structural plan can key several compiled artefacts.
+
+        The hash is recomputed on every call (never memoised): block
+        parameters are mutable, and a parameter edit *must* change the
+        fingerprint so stale cache entries die by key mismatch rather
+        than by explicit invalidation.
+        """
+        digest = hashlib.sha256()
+
+        def feed(*parts: Any) -> None:
+            digest.update(
+                "\x1f".join(str(part) for part in parts).encode("utf-8")
+            )
+            digest.update(b"\x1e")
+
+        feed("plan", self.state_size, self.n_threads)
+        for node in self.nodes:
+            feed(
+                "node", node.index, node.leaf.path(),
+                type(node.leaf).__name__, node.lo, node.hi, node.stage,
+                node.thread_index, int(node.direct_feedthrough),
+            )
+            for key in sorted(node.leaf.params):
+                feed("param", key, repr(node.leaf.params[key]))
+        for edge in self.edges:
+            feed(
+                "edge", edge.src, edge.dst,
+                edge.resolved.src_port.qualified_name,
+                edge.resolved.dst_port.qualified_name,
+                len(edge.resolved.path),
+                int(edge.crosses_thread), int(edge.is_feedback),
+                int(edge.is_observer),
+            )
+        for guard in self.guards:
+            feed("guard", guard.node, guard.slot, guard.qualified_name)
+        for key in sorted(extra or {}):
+            feed("extra", key, repr(extra[key]))
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:

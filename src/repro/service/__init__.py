@@ -1,0 +1,174 @@
+"""The simulation service layer: the runtime between library and system.
+
+:mod:`repro.core` gives one process a compiled
+:class:`~repro.core.plan.ExecutionPlan` and backends to run it; this
+package turns that into a *concurrent, cache-backed job service* — the
+substrate the ROADMAP's "heavy traffic" north star builds on:
+
+* :mod:`repro.service.cache` — a thread-safe, LRU-bounded,
+  content-addressed :class:`PlanCache` keyed by plan fingerprints:
+  structurally identical requests compile once and share the artefact.
+* :mod:`repro.service.jobs` — job specs (single hybrid runs, vectorised
+  batch sweeps, codegen), handles with blocking results and telemetry
+  streams, and the cooperative cancellation/deadline protocol.
+* :mod:`repro.service.engine` — the bounded worker pool: per-job
+  deadlines, cancellation, retry-with-backoff for transient failures,
+  and queue shedding (:class:`ServiceOverloaded`) under overload.
+* :mod:`repro.service.telemetry` — per-job event streams over the
+  paper's :class:`~repro.core.channel.Channel` plus a
+  :class:`MetricsRegistry` of counters/gauges/latency histograms.
+
+:class:`SimulationService` is the facade gluing them together::
+
+    from repro import BatchJob, SimulationService
+
+    with SimulationService(workers=4) as svc:
+        handle = svc.submit(BatchJob(
+            diagram_factory=make_loop, n=200, t_end=2.0,
+            sweeps={"pid.kp": gains},
+        ))
+        for event in handle.stream():      # partial trajectories
+            ...
+        result = handle.result()           # merged BatchResult
+        print(svc.metrics_snapshot())      # cache hit-rate, p95, ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.service.cache import CacheError, PlanCache
+from repro.service.engine import JobEngine
+from repro.service.jobs import (
+    BatchJob,
+    CodegenJob,
+    JobCancelledError,
+    JobContext,
+    JobError,
+    JobHandle,
+    JobSpec,
+    JobState,
+    JobTimeoutError,
+    ServiceOverloaded,
+    SingleRunJob,
+    SingleRunResult,
+    TransientJobError,
+)
+from repro.service.telemetry import (
+    Counter,
+    EventEmitter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryEvent,
+)
+
+
+class SimulationService:
+    """One-stop facade: a plan cache, a job engine and shared metrics.
+
+    Construction wires the three together (the engine hands itself to
+    job contexts as ``service`` so jobs reach the cache); ``close`` —
+    or leaving the ``with`` block — shuts the workers down.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_limit: int = 64,
+        cache_capacity: int = 128,
+        executor: str = "thread",
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.cache = PlanCache(
+            capacity=cache_capacity, metrics=self.metrics,
+        )
+        self.engine = JobEngine(
+            workers=workers,
+            queue_limit=queue_limit,
+            metrics=self.metrics,
+            service=self,
+            executor=executor,
+        )
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Enqueue any job spec; sheds with ServiceOverloaded when full."""
+        return self.engine.submit(spec)
+
+    def submit_single_run(self, model_factory, t_end, **options) -> JobHandle:
+        """Convenience: submit a :class:`SingleRunJob`."""
+        return self.submit(SingleRunJob(
+            model_factory=model_factory, t_end=t_end, **options,
+        ))
+
+    def submit_batch(self, diagram_factory, n, t_end, **options) -> JobHandle:
+        """Convenience: submit a :class:`BatchJob`."""
+        return self.submit(BatchJob(
+            diagram_factory=diagram_factory, n=n, t_end=t_end, **options,
+        ))
+
+    def submit_codegen(self, diagram_factory, **options) -> JobHandle:
+        """Convenience: submit a :class:`CodegenJob`."""
+        return self.submit(CodegenJob(
+            diagram_factory=diagram_factory, **options,
+        ))
+
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Everything observable in one nested dict: the registry's
+        counters/gauges/histograms plus cache stats and live queue
+        depth."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.stats()
+        snapshot["queue"] = {
+            "depth": self.engine.queue_depth,
+            "limit": self.engine.queue_limit,
+            "workers": self.engine.workers,
+        }
+        return snapshot
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every queued job to finish."""
+        return self.engine.drain(timeout)
+
+    def close(self, wait: bool = True) -> None:
+        self.engine.shutdown(wait=wait)
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationService({self.engine!r}, cache={self.cache!r})"
+        )
+
+
+__all__ = [
+    "BatchJob",
+    "CacheError",
+    "CodegenJob",
+    "Counter",
+    "EventEmitter",
+    "Gauge",
+    "Histogram",
+    "JobCancelledError",
+    "JobContext",
+    "JobEngine",
+    "JobError",
+    "JobHandle",
+    "JobSpec",
+    "JobState",
+    "JobTimeoutError",
+    "MetricsRegistry",
+    "PlanCache",
+    "ServiceOverloaded",
+    "SimulationService",
+    "SingleRunJob",
+    "SingleRunResult",
+    "TelemetryEvent",
+    "TransientJobError",
+]

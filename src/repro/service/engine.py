@@ -1,0 +1,313 @@
+"""The job engine: bounded workers, deadlines, retries, shedding.
+
+The runtime heart of the service layer — an actor-ish pool in the spirit
+of the paper's thread separation: submission is an O(1) enqueue onto a
+*bounded* queue (overflow is shed with :class:`~repro.service.jobs.
+ServiceOverloaded`, never buffered without limit), and a fixed set of
+worker threads drains it.  Threads are the right default because batch
+jobs spend their time inside NumPy (which releases the GIL) and share
+the in-process plan cache; ``executor="process"`` trades both away for
+hard isolation via a :class:`concurrent.futures.ProcessPoolExecutor`
+(picklable specs only, telemetry reduced to start/end events).
+
+Per-job guarantees:
+
+* **Deadline** — wall-clock from submission.  A job that expires while
+  queued is failed without touching a worker; a running job observes the
+  deadline at its next checkpoint.  Either way the slot is released.
+* **Cancellation** — :meth:`~repro.service.jobs.JobHandle.cancel` drops
+  queued jobs on dequeue and stops running jobs at their next
+  checkpoint.
+* **Bounded retry** — :class:`~repro.service.jobs.TransientJobError`
+  triggers an exponential-backoff retry, up to ``spec.retries`` times,
+  on the same worker; the backoff sleep itself honours cancellation and
+  the deadline.
+
+Every transition feeds the :class:`~repro.service.telemetry.
+MetricsRegistry`: queue depth gauge, per-terminal-state counters, and a
+wall-time histogram summarised as p50/p95.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Any, List, Optional
+
+from repro.service.jobs import (
+    JobCancelledError, JobContext, JobError, JobHandle, JobSpec, JobState,
+    JobTimeoutError, ServiceOverloaded, TransientJobError,
+)
+from repro.service.telemetry import (
+    EventEmitter, MetricsRegistry, STATE,
+)
+
+_SHUTDOWN = object()
+
+
+def _execute_isolated(spec: JobSpec) -> Any:
+    """Run a spec in a worker process: no service, no shared cache, no
+    streaming — just the result (module-level so it pickles)."""
+    handle = JobHandle("isolated", spec)
+    handle.state = JobState.RUNNING
+    return spec.execute(JobContext(handle, service=None, emitter=None))
+
+
+class JobEngine:
+    """Executes submitted jobs on a bounded worker pool."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_limit: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+        service: Optional[Any] = None,
+        executor: str = "thread",
+    ) -> None:
+        if workers < 1:
+            raise JobError(f"need at least one worker, got {workers}")
+        if queue_limit < 1:
+            raise JobError(f"queue limit must be >= 1: {queue_limit}")
+        if executor not in ("thread", "process"):
+            raise JobError(
+                f"unknown executor {executor!r}; use 'thread' or 'process'"
+            )
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.executor = executor
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.service = service
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_limit)
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._pool = None  # lazy ProcessPoolExecutor
+        self._threads: List[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-job-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Enqueue a job; O(1), sheds with ServiceOverloaded when full."""
+        with self._lock:
+            if self._closed:
+                raise JobError("engine is shut down")
+            job_id = f"{spec.kind}-{next(self._ids)}"
+        handle = JobHandle(job_id, spec)
+        self.metrics.counter("jobs.submitted").inc()
+        try:
+            self._queue.put_nowait(handle)
+        except queue.Full:
+            self.metrics.counter("jobs.rejected").inc()
+            handle._finish(
+                JobState.FAILED,
+                error=ServiceOverloaded(
+                    f"queue full ({self.queue_limit} pending); "
+                    f"job {job_id} shed"
+                ),
+            )
+            handle.channel.close()
+            raise ServiceOverloaded(
+                f"service overloaded: {self.queue_limit} jobs already "
+                "queued"
+            )
+        self.metrics.gauge("queue.depth").set(self._queue.qsize())
+        return handle
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            handle = self._queue.get()
+            if handle is _SHUTDOWN:
+                self._queue.task_done()
+                return
+            try:
+                self._run_job(handle)
+            finally:
+                self._queue.task_done()
+                self.metrics.gauge("queue.depth").set(self._queue.qsize())
+
+    def _run_job(self, handle: JobHandle) -> None:
+        emitter = EventEmitter(handle.id, handle.channel)
+        if handle.cancel_requested:
+            self._finalise(handle, emitter, JobState.CANCELLED)
+            return
+        deadline_at = handle.deadline_at
+        if deadline_at is not None and time.monotonic() > deadline_at:
+            # dead on arrival: expired while queued
+            self._finalise(handle, emitter, JobState.TIMEOUT)
+            return
+
+        handle.state = JobState.RUNNING
+        handle.started_at = time.monotonic()
+        emitter.emit(STATE, state=JobState.RUNNING.value)
+        ctx = JobContext(handle, service=self.service, emitter=emitter)
+        spec = handle.spec
+        attempt = 0
+        while True:
+            handle.attempts = attempt + 1
+            try:
+                if self.executor == "process":
+                    result = self._run_isolated(handle)
+                else:
+                    result = spec.execute(ctx)
+            except JobCancelledError:
+                self._finalise(handle, emitter, JobState.CANCELLED)
+                return
+            except JobTimeoutError:
+                self._finalise(handle, emitter, JobState.TIMEOUT)
+                return
+            except TransientJobError as exc:
+                if attempt >= spec.retries:
+                    self._finalise(
+                        handle, emitter, JobState.FAILED, error=exc,
+                    )
+                    return
+                self.metrics.counter("jobs.retries").inc()
+                emitter.emit(
+                    STATE, state="retrying", attempt=attempt + 1,
+                    error=str(exc),
+                )
+                if not self._backoff_wait(handle, attempt):
+                    # cancelled or deadline-expired during backoff
+                    state = (
+                        JobState.CANCELLED if handle.cancel_requested
+                        else JobState.TIMEOUT
+                    )
+                    self._finalise(handle, emitter, state)
+                    return
+                attempt += 1
+                continue
+            except BaseException as exc:
+                self._finalise(handle, emitter, JobState.FAILED, error=exc)
+                return
+            self._finalise(handle, emitter, JobState.DONE, result=result)
+            return
+
+    def _backoff_wait(self, handle: JobHandle, attempt: int) -> bool:
+        """Sleep ``backoff * 2**attempt``, honouring cancel/deadline.
+        Returns False if the job should stop instead of retrying."""
+        delay = handle.spec.backoff * (2 ** attempt)
+        deadline_at = handle.deadline_at
+        wake_at = time.monotonic() + delay
+        while True:
+            now = time.monotonic()
+            if handle.cancel_requested:
+                return False
+            if deadline_at is not None and now > deadline_at:
+                return False
+            if now >= wake_at:
+                return True
+            time.sleep(min(0.01, wake_at - now))
+
+    def _run_isolated(self, handle: JobHandle) -> Any:
+        """Execute in a process pool (hard isolation, picklable specs)."""
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            pool = self._pool
+        try:
+            future = pool.submit(_execute_isolated, handle.spec)
+        except Exception as exc:  # unpicklable spec, broken pool
+            raise JobError(
+                f"could not dispatch job {handle.id} to the process "
+                f"pool: {exc}"
+            ) from exc
+        deadline_at = handle.deadline_at
+        timeout = (
+            None if deadline_at is None
+            else max(0.0, deadline_at - time.monotonic())
+        )
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeout:
+            future.cancel()
+            raise JobTimeoutError(
+                f"job {handle.id} exceeded its deadline in the process "
+                "pool"
+            ) from None
+
+    def _finalise(
+        self,
+        handle: JobHandle,
+        emitter: EventEmitter,
+        state: JobState,
+        result: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        if handle.started_at is None:
+            handle.started_at = time.monotonic()
+        handle._finish(state, result=result, error=error)
+        self.metrics.counter(f"jobs.{state.value}").inc()
+        if handle.wall_time is not None and state is JobState.DONE:
+            self.metrics.histogram("job.wall_time").observe(
+                handle.wall_time
+            )
+        emitter.emit(
+            STATE, state=state.value,
+            error=None if error is None else str(error),
+        )
+        handle.channel.close()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every queued job has been processed."""
+        if timeout is None:
+            self._queue.join()
+            return True
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._queue.unfinished_tasks == 0:
+                return True
+            time.sleep(0.005)
+        return self._queue.unfinished_tasks == 0
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for __ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30.0)
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobEngine(workers={self.workers}, "
+            f"queued={self._queue.qsize()}/{self.queue_limit}, "
+            f"executor={self.executor!r})"
+        )

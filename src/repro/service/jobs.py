@@ -1,0 +1,512 @@
+"""Job specifications, handles and results for the simulation service.
+
+A *job* is one unit of simulation work submitted to the
+:class:`~repro.service.engine.JobEngine`: a single hybrid-model run, a
+vectorised batch sweep, or a code-generation request.  Specs are plain
+descriptions (factories + parameters, no live runtime objects) so they
+can be queued, retried, and — when picklable — shipped to a worker
+process for isolation.
+
+Execution protocol: the engine calls :meth:`JobSpec.execute` with a
+:class:`JobContext`.  Long-running jobs call :meth:`JobContext.checkpoint`
+at natural pause points (between batch chunks, between major-step slices);
+that is where cancellation and deadlines take effect — cooperatively, so
+a worker slot is always released in a well-defined state rather than
+killed mid-NumPy-call.  Progress and partial trajectories go out through
+:meth:`JobContext.emit` onto the job's telemetry channel.
+
+Failure vocabulary: raise :class:`TransientJobError` for failures worth a
+bounded retry-with-backoff (the engine re-runs the spec); any other
+exception fails the job permanently.  :class:`ServiceOverloaded` is
+raised at *submit* time when the bounded queue sheds load.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Mapping, Optional,
+    Sequence,
+)
+
+import numpy as np
+
+from repro.core.batch import (
+    BatchResult, BatchSimulator, compile_batch_program, merge_chunks,
+)
+from repro.core.channel import Channel, ChannelPolicy
+from repro.core.network import FlatNetwork
+from repro.service.telemetry import (
+    CHUNK, EventEmitter, PROGRESS, TelemetryEvent,
+)
+from repro.solvers.registry import solver_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.model import HybridModel
+    from repro.dataflow.diagram import Diagram
+    from repro.solvers.history import Trajectory
+
+
+# ----------------------------------------------------------------------
+# errors and states
+# ----------------------------------------------------------------------
+class JobError(Exception):
+    """Base class for job-level failures."""
+
+
+class TransientJobError(JobError):
+    """A failure the engine may retry (with backoff, up to the spec's
+    retry budget): resource contention, a flaky external dependency."""
+
+
+class ServiceOverloaded(JobError):
+    """The bounded submission queue is full; the request was shed.
+
+    Deliberate graceful degradation: a loaded service answers "try
+    later" in O(1) instead of growing an unbounded backlog that takes
+    every request down with it.
+    """
+
+
+class JobCancelledError(JobError):
+    """Raised by :meth:`JobHandle.result` for a cancelled job, and
+    inside workers at the checkpoint that observes the cancellation."""
+
+
+class JobTimeoutError(JobError):
+    """Raised by :meth:`JobHandle.result` for a deadline-exceeded job,
+    and inside workers at the checkpoint that observes the deadline."""
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self not in (JobState.PENDING, JobState.RUNNING)
+
+
+# ----------------------------------------------------------------------
+# context and handle
+# ----------------------------------------------------------------------
+class JobContext:
+    """What a running job sees of the service: telemetry, cancellation,
+    deadline, and the shared plan cache."""
+
+    def __init__(
+        self,
+        handle: "JobHandle",
+        service: Optional[Any] = None,
+        emitter: Optional[EventEmitter] = None,
+    ) -> None:
+        self.handle = handle
+        self.service = service
+        self._emitter = emitter
+
+    @property
+    def cache(self):
+        return getattr(self.service, "cache", None)
+
+    def checkpoint(self) -> None:
+        """Honour cancellation and the deadline; no-op otherwise."""
+        if self.handle.cancel_requested:
+            raise JobCancelledError(f"job {self.handle.id} cancelled")
+        deadline_at = self.handle.deadline_at
+        if deadline_at is not None and time.monotonic() > deadline_at:
+            raise JobTimeoutError(
+                f"job {self.handle.id} exceeded its "
+                f"{self.handle.spec.deadline:g}s deadline"
+            )
+
+    def emit(
+        self, kind: str, t: float = float("nan"), **payload: Any
+    ) -> None:
+        if self._emitter is not None:
+            self._emitter.emit(kind, t=t, **payload)
+
+
+class JobHandle:
+    """The caller's view of one submitted job."""
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: "JobSpec",
+        channel: Optional[Channel] = None,
+    ) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.channel = channel if channel is not None else Channel(
+            f"job:{job_id}", capacity=1024, policy=ChannelPolicy.OVERWRITE,
+        )
+        self.state = JobState.PENDING
+        self.result_value: Any = None
+        self.error: Optional[BaseException] = None
+        self.attempts = 0
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._done = threading.Event()
+        self._cancel = threading.Event()
+
+    # -- lifecycle (engine side) ---------------------------------------
+    @property
+    def deadline_at(self) -> Optional[float]:
+        if self.spec.deadline is None:
+            return None
+        return self.submitted_at + self.spec.deadline
+
+    def _finish(
+        self,
+        state: JobState,
+        result: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        self.state = state
+        self.result_value = result
+        self.error = error
+        self.finished_at = time.monotonic()
+        self._done.set()
+
+    # -- caller side ----------------------------------------------------
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def cancel(self) -> bool:
+        """Request cancellation; True unless the job already finished.
+
+        A pending job is dropped when it reaches a worker; a running job
+        stops at its next checkpoint.  Either way the worker slot is
+        released and the handle reaches ``CANCELLED``.
+        """
+        if self.state.terminal:
+            return False
+        self._cancel.set()
+        return True
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The job's result; raises the matching error for non-DONE ends."""
+        if not self._done.wait(timeout):
+            raise JobTimeoutError(
+                f"timed out waiting for job {self.id} "
+                f"({self.state.value})"
+            )
+        if self.state is JobState.DONE:
+            return self.result_value
+        if self.state is JobState.CANCELLED:
+            raise JobCancelledError(f"job {self.id} was cancelled")
+        if self.state is JobState.TIMEOUT:
+            raise JobTimeoutError(
+                f"job {self.id} exceeded its deadline"
+            )
+        error = self.error
+        if error is not None:
+            raise error
+        raise JobError(f"job {self.id} failed in state {self.state.value}")
+
+    def stream(self) -> Iterator[TelemetryEvent]:
+        """Yield telemetry events until the job's channel closes.
+
+        Safe to call before, during or after execution: the channel is
+        closed by the engine when the job reaches a terminal state, so
+        the iterator always terminates after draining what was kept
+        (under consumer lag the OVERWRITE policy drops oldest events).
+        """
+        return iter(self.channel)
+
+    @property
+    def wall_time(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobHandle({self.id}, {self.spec.kind}, "
+            f"{self.state.value})"
+        )
+
+
+# ----------------------------------------------------------------------
+# specs
+# ----------------------------------------------------------------------
+@dataclass
+class JobSpec:
+    """Common submission parameters; subclasses define the work."""
+
+    name: str = "job"
+    #: wall-clock budget in seconds, measured from submission (queue
+    #: wait counts — a request that waited past its deadline is dead on
+    #: arrival and reports TIMEOUT without occupying a worker)
+    deadline: Optional[float] = None
+    #: how many times a TransientJobError is retried
+    retries: int = 0
+    #: base backoff in seconds; attempt k sleeps ``backoff * 2**k``
+    backoff: float = 0.05
+    #: content-address of this spec's compile artefact, memoised after
+    #: the first execution.  Resubmitting the *same spec object* then
+    #: skips straight to the cache lookup — no diagram rebuild, no
+    #: flatten, no fingerprint — which is what makes a warm-cache
+    #: resubmission an order of magnitude cheaper than a cold one.
+    #: Sound because specs are immutable descriptions and factories are
+    #: assumed deterministic (retries already rely on exactly that).
+    _memo_key: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False,
+    )
+
+    kind = "abstract"
+
+    def execute(self, ctx: JobContext) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class SingleRunResult:
+    """Outcome of a :class:`SingleRunJob`."""
+
+    probes: Dict[str, "Trajectory"]
+    stats: Dict[str, Any]
+    t_final: float
+
+
+@dataclass
+class SingleRunJob(JobSpec):
+    """Run one :class:`~repro.core.model.HybridModel` to ``t_end``.
+
+    ``model_factory`` builds a fresh model per attempt (jobs never share
+    live runtime objects).  The run is a single uninterrupted
+    ``model.run`` — numerically identical to a direct call, even with
+    event-restart truncating major steps off-grid — observed through
+    the scheduler's passive ``on_major_step`` hook: roughly every
+    ``t_end / stream_slices`` of simulated time a PROGRESS event goes
+    out with the latest probe values, and every major step passes a
+    cancellation/deadline checkpoint.
+    """
+
+    model_factory: Optional[Callable[[], "HybridModel"]] = None
+    t_end: float = 1.0
+    sync_interval: float = 0.01
+    #: target number of PROGRESS events over the whole run
+    stream_slices: int = 10
+    validate: bool = True
+    #: extra keyword arguments for ``HybridModel.scheduler``
+    run_options: Dict[str, Any] = field(default_factory=dict)
+
+    kind = "single_run"
+
+    def execute(self, ctx: JobContext) -> SingleRunResult:
+        if self.model_factory is None:
+            raise JobError("SingleRunJob needs a model_factory")
+        if self.t_end <= 0:
+            raise JobError(f"non-positive t_end: {self.t_end}")
+        ctx.checkpoint()
+        model = self.model_factory()
+        if self.validate:
+            model.validate(strict=True)
+        scheduler = model.scheduler(
+            sync_interval=self.sync_interval, **self.run_options,
+        )
+        emit_dt = self.t_end / max(1, self.stream_slices)
+        last_emit = [0.0]
+
+        def observe(t_now: float) -> None:
+            if t_now - last_emit[0] >= emit_dt - 1e-12:
+                last_emit[0] = t_now
+                ctx.emit(
+                    PROGRESS, t=t_now,
+                    fraction=min(1.0, t_now / self.t_end),
+                    probes={
+                        name: float(probe.trajectory.y_final[0])
+                        for name, probe in model.probes.items()
+                        if len(probe.trajectory)
+                    },
+                )
+            ctx.checkpoint()
+
+        scheduler.on_major_step = observe
+        scheduler.run(self.t_end)
+        return SingleRunResult(
+            probes={
+                name: probe.trajectory
+                for name, probe in model.probes.items()
+            },
+            stats=model.stats(),
+            t_final=model.time.raw,
+        )
+
+
+@dataclass
+class BatchJob(JobSpec):
+    """Run a vectorised N-instance batch sweep of one diagram.
+
+    The expensive compile (flatten → plan → emit → render → exec) is
+    content-addressed through the service's :class:`~repro.service.
+    cache.PlanCache`: the plan fingerprint plus records/sweep-paths/
+    solver extras keys a reusable :class:`~repro.core.batch.
+    BatchProgram`, so resubmitting a structurally identical diagram
+    skips straight to the cheap per-job instantiation.  The run itself
+    is chunked; every chunk streams out as a CHUNK telemetry event and
+    passes a cancellation/deadline checkpoint.
+    """
+
+    diagram_factory: Optional[Callable[[], "Diagram"]] = None
+    n: int = 1
+    t_end: float = 1.0
+    solver: str = "rk4"
+    h: float = 1e-3
+    records: Optional[List[str]] = None
+    sweeps: Optional[Mapping[str, Sequence[float]]] = None
+    record_every: int = 1
+    #: minor steps per streamed chunk (None: ~8 chunks per run)
+    chunk_steps: Optional[int] = None
+    x0: Optional[np.ndarray] = None
+
+    kind = "batch"
+
+    def _cache_key(self, plan) -> str:
+        return plan.fingerprint(extra={
+            "backend": "batch",
+            "records": tuple(self.records) if self.records else "<default>",
+            "sweep_paths": tuple(sorted(self.sweeps or {})),
+            "solver": solver_key(self.solver),
+        })
+
+    def _fresh_diagram(self, diagram):
+        """The diagram for a cache-miss compile: the one already built
+        for fingerprinting, or (on a memoised-key miss, e.g. after
+        eviction) a fresh one from the factory."""
+        if diagram is not None:
+            return diagram
+        rebuilt = self.diagram_factory()
+        rebuilt.finalise()
+        return rebuilt
+
+    def execute(self, ctx: JobContext) -> BatchResult:
+        if self.diagram_factory is None:
+            raise JobError("BatchJob needs a diagram_factory")
+        ctx.checkpoint()
+        sweeps = dict(self.sweeps or {})
+        sweep_paths = tuple(sorted(sweeps))
+        cache = ctx.cache
+        if cache is not None:
+            key = self._memo_key
+            if key is None:
+                diagram = self.diagram_factory()
+                diagram.finalise()
+                plan = FlatNetwork([diagram]).plan()
+                key = self._cache_key(plan)
+                self._memo_key = key
+            else:
+                diagram = None
+            program = cache.get_or_compile(
+                key,
+                lambda: compile_batch_program(
+                    self._fresh_diagram(diagram),
+                    records=self.records, sweep_paths=sweep_paths,
+                ),
+            )
+            sim = BatchSimulator(
+                n=self.n, solver=self.solver, h=self.h, sweeps=sweeps,
+                x0=self.x0, program=program,
+            )
+        else:
+            sim = BatchSimulator(
+                self.diagram_factory(), self.n, solver=self.solver,
+                h=self.h, records=self.records, sweeps=sweeps, x0=self.x0,
+            )
+        total_steps = max(1, math.ceil(self.t_end / self.h - 1e-12))
+        chunk_steps = self.chunk_steps
+        if chunk_steps is None:
+            chunk_steps = max(1, total_steps // 8)
+        chunks = []
+        for chunk in sim.run_chunked(
+            self.t_end, record_every=self.record_every,
+            chunk_steps=chunk_steps,
+        ):
+            chunks.append(chunk)
+            ctx.emit(
+                CHUNK, t=chunk.t_now,
+                rows=int(len(chunk.t)),
+                steps=int(chunk.steps),
+                final=bool(chunk.final),
+                t_values=chunk.t,
+                series=chunk.series,
+            )
+            if not chunk.final:
+                ctx.checkpoint()
+        return merge_chunks(chunks, sim.n)
+
+
+@dataclass
+class CodegenJob(JobSpec):
+    """Generate standalone source for a diagram (Python or C).
+
+    Generated source is pure content — same diagram, same text — so it
+    caches under the plan fingerprint plus the target language.
+    """
+
+    diagram_factory: Optional[Callable[[], "Diagram"]] = None
+    lang: str = "python"
+    records: Optional[List[str]] = None
+    t_end: float = 10.0
+    h: float = 1e-3
+
+    kind = "codegen"
+
+    def execute(self, ctx: JobContext) -> str:
+        if self.diagram_factory is None:
+            raise JobError("CodegenJob needs a diagram_factory")
+        if self.lang not in ("python", "c"):
+            raise JobError(
+                f"unknown codegen target {self.lang!r}; use 'python' or 'c'"
+            )
+        ctx.checkpoint()
+        from repro.codegen import generate_c, generate_python
+
+        def compile_source(diagram=None) -> str:
+            if diagram is None:
+                diagram = self.diagram_factory()
+            if self.lang == "python":
+                return generate_python(
+                    diagram, records=self.records, default_h=self.h,
+                )
+            return generate_c(
+                diagram, records=self.records, default_h=self.h,
+                t_end=self.t_end,
+            )
+
+        cache = ctx.cache
+        if cache is None:
+            return compile_source()
+        key = self._memo_key
+        if key is None:
+            diagram = self.diagram_factory()
+            diagram.finalise()
+            plan = FlatNetwork([diagram]).plan()
+            key = plan.fingerprint(extra={
+                "backend": f"codegen:{self.lang}",
+                "records": (
+                    tuple(self.records) if self.records else "<default>"
+                ),
+                "t_end": self.t_end,
+                "h": self.h,
+            })
+            self._memo_key = key
+            return cache.get_or_compile(
+                key, lambda: compile_source(diagram),
+            )
+        return cache.get_or_compile(key, compile_source)

@@ -26,7 +26,7 @@ from repro.solvers.implicit import BackwardEuler, Trapezoidal
 from repro.solvers.events import EventSpec, ZeroCrossingDetector
 from repro.solvers.history import Trajectory
 from repro.solvers.ivp import IntegrationResult, integrate
-from repro.solvers.registry import available_solvers, make_solver
+from repro.solvers.registry import available_solvers, make_solver, solver_key
 
 __all__ = [
     "BackwardEuler",
@@ -45,4 +45,5 @@ __all__ = [
     "available_solvers",
     "integrate",
     "make_solver",
+    "solver_key",
 ]

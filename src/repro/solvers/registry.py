@@ -45,3 +45,26 @@ def register_solver(name: str, factory: Callable[..., SolverBase]) -> None:
     if name in _REGISTRY:
         raise SolverError(f"solver {name!r} already registered")
     _REGISTRY[name] = factory
+
+
+def solver_key(solver: Any, **solver_kwargs: Any) -> str:
+    """A stable identity string for a solver specification.
+
+    Used wherever a solver choice enters a content-addressed key (the
+    plan cache folds it into :meth:`repro.core.plan.ExecutionPlan.
+    fingerprint` extras): registry names pass through unchanged, solver
+    *instances* reduce to their registered ``name``, and keyword
+    configuration is appended in sorted order so ``solver_key("rk45",
+    rtol=1e-6)`` and ``solver_key("rk45", rtol=1e-9)`` key distinct
+    compiled artefacts.
+    """
+    if isinstance(solver, SolverBase):
+        base = solver.name
+    else:
+        base = str(solver)
+    if not solver_kwargs:
+        return base
+    args = ",".join(
+        f"{key}={solver_kwargs[key]!r}" for key in sorted(solver_kwargs)
+    )
+    return f"{base}({args})"

@@ -43,7 +43,25 @@ from repro.umlrt.connector import Connector
 from repro.umlrt.controller import Controller
 from repro.umlrt.timing import TimerHandle, TimingService
 from repro.umlrt.frame import FrameService
-from repro.umlrt.runtime import RTSystem
+from repro.umlrt.runtime import RTRuntimeError, RTSystem
+
+
+def __getattr__(name: str):
+    # deprecated alias for RTRuntimeError; warns on use, not import
+    if name == "RuntimeError_":
+        import warnings
+
+        warnings.warn(
+            "repro.umlrt.RuntimeError_ is deprecated; use "
+            "RTRuntimeError instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return RTRuntimeError
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
 
 __all__ = [
     "Capsule",
@@ -59,6 +77,7 @@ __all__ = [
     "Priority",
     "Protocol",
     "ProtocolRole",
+    "RTRuntimeError",
     "RTSystem",
     "Signal",
     "State",

@@ -17,6 +17,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
     "unified_workflow.py",
     "networked_control.py",
     "batch_sweep.py",
+    "service_demo.py",
 ])
 def test_example_runs(script):
     result = subprocess.run(

@@ -1,0 +1,177 @@
+"""PlanCache: thread-safe, content-addressed, LRU-bounded, compile-once."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.cache import CacheError, PlanCache
+from repro.service.telemetry import MetricsRegistry
+
+
+class TestBasics:
+    def test_get_or_compile_compiles_then_hits(self):
+        cache = PlanCache(capacity=4)
+        calls = []
+        factory = lambda: calls.append(1) or "artefact"  # noqa: E731
+        assert cache.get_or_compile("k", factory) == "artefact"
+        assert cache.get_or_compile("k", factory) == "artefact"
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["compiles"] == 1
+
+    def test_get_put_invalidate(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert "k" in cache
+        assert cache.invalidate("k") is True
+        assert cache.invalidate("k") is False
+        assert cache.get("k") is None
+
+    def test_clear(self):
+        cache = PlanCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(CacheError):
+            PlanCache(capacity=0)
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1   # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_size_never_exceeds_capacity(self):
+        cache = PlanCache(capacity=3)
+        for index in range(10):
+            cache.put(f"k{index}", index)
+            assert len(cache) <= 3
+
+
+class TestCompileOnce:
+    def test_eight_threads_compile_exactly_once(self):
+        cache = PlanCache(capacity=4)
+        compiles = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def factory():
+            compiles.append(threading.get_ident())
+            time.sleep(0.05)  # widen the race window
+            return "artefact"
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_compile("k", factory))
+
+        threads = [threading.Thread(target=worker) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(compiles) == 1
+        assert results == ["artefact"] * 8
+        stats = cache.stats()
+        assert stats["compiles"] == 1
+        assert stats["hits"] + stats["misses"] == 8
+
+    def test_distinct_keys_compile_concurrently(self):
+        cache = PlanCache(capacity=8)
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_factory():
+            started.set()
+            assert release.wait(5.0)
+            return "slow"
+
+        def fast_factory():
+            return "fast"
+
+        slow_result = []
+        slow = threading.Thread(
+            target=lambda: slow_result.append(
+                cache.get_or_compile("slow", slow_factory)
+            )
+        )
+        slow.start()
+        assert started.wait(5.0)
+        # while 'slow' is mid-compile, another key must not block
+        assert cache.get_or_compile("fast", fast_factory) == "fast"
+        release.set()
+        slow.join(5.0)
+        assert slow_result == ["slow"]
+
+    def test_factory_failure_propagates_and_caches_nothing(self):
+        cache = PlanCache(capacity=4)
+
+        def bad_factory():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            cache.get_or_compile("k", bad_factory)
+        assert "k" not in cache
+        # a later compile of the same key succeeds
+        assert cache.get_or_compile("k", lambda: "ok") == "ok"
+
+    def test_failure_propagates_to_concurrent_waiters(self):
+        cache = PlanCache(capacity=4)
+        barrier = threading.Barrier(4)
+        outcomes = []
+
+        def bad_factory():
+            time.sleep(0.05)
+            raise ValueError("boom")
+
+        def worker():
+            barrier.wait()
+            try:
+                cache.get_or_compile("k", bad_factory)
+                outcomes.append("ok")
+            except ValueError:
+                outcomes.append("boom")
+
+        threads = [threading.Thread(target=worker) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes == ["boom"] * 4
+        assert "k" not in cache
+
+
+class TestMetricsIntegration:
+    def test_counters_flow_into_registry(self):
+        registry = MetricsRegistry()
+        cache = PlanCache(capacity=2, metrics=registry)
+        cache.get_or_compile("k", lambda: 1)
+        cache.get_or_compile("k", lambda: 1)
+        snapshot = registry.snapshot()["counters"]
+        assert snapshot["cache.hits"] == 1
+        assert snapshot["cache.misses"] == 1
+        assert snapshot["cache.compiles"] == 1
+
+    def test_hit_rate(self):
+        cache = PlanCache(capacity=2)
+        cache.get_or_compile("k", lambda: 1)
+        for __ in range(3):
+            cache.get_or_compile("k", lambda: 1)
+        assert cache.stats()["hit_rate"] == pytest.approx(0.75)

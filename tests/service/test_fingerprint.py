@@ -1,0 +1,105 @@
+"""ExecutionPlan.fingerprint: the service cache's content address.
+
+Two structurally identical diagrams must hash identically (so separate
+submissions share one compiled artefact), and *every* structural edit —
+parameter, edge, guard-bearing block, or the extra solver/step-size
+inputs — must change the hash (so nothing stale is ever served).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import FlatNetwork
+from repro.dataflow.diagram import Diagram
+from repro.dataflow.dynamics import PID, FirstOrderLag
+from repro.dataflow.math_blocks import Sum
+from repro.dataflow.nonlinear import RelayHysteresis
+from repro.dataflow.sources import Step
+
+
+def pid_loop(kp: float = 3.0, tau: float = 0.4,
+             feedback: bool = True) -> Diagram:
+    d = Diagram("loop")
+    d.add(Step("ref", amplitude=1.0))
+    d.add(Sum("err", "+-"))
+    d.add(PID("pid", kp=kp, ki=1.5, tf=0.5))
+    d.add(FirstOrderLag("plant", tau=tau))
+    d.connect("ref.out", "err.in1")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "plant.in")
+    if feedback:
+        d.connect("plant.out", "err.in2")
+    else:
+        d.connect("ref.out", "err.in2")
+    return d
+
+
+def plan_of(diagram: Diagram):
+    diagram.finalise()
+    return FlatNetwork([diagram]).plan()
+
+
+class TestIdentity:
+    def test_identical_diagrams_identical_fingerprints(self):
+        assert plan_of(pid_loop()).fingerprint() == \
+            plan_of(pid_loop()).fingerprint()
+
+    def test_fingerprint_is_stable_across_calls(self):
+        plan = plan_of(pid_loop())
+        assert plan.fingerprint() == plan.fingerprint()
+
+    def test_fingerprint_is_hex_sha256(self):
+        fp = plan_of(pid_loop()).fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # raises if not hex
+
+
+class TestSensitivity:
+    def test_parameter_edit_changes_fingerprint(self):
+        assert plan_of(pid_loop(kp=3.0)).fingerprint() != \
+            plan_of(pid_loop(kp=3.5)).fingerprint()
+
+    def test_plant_parameter_edit_changes_fingerprint(self):
+        assert plan_of(pid_loop(tau=0.4)).fingerprint() != \
+            plan_of(pid_loop(tau=0.5)).fingerprint()
+
+    def test_edge_rewire_changes_fingerprint(self):
+        assert plan_of(pid_loop(feedback=True)).fingerprint() != \
+            plan_of(pid_loop(feedback=False)).fingerprint()
+
+    def test_live_parameter_mutation_changes_fingerprint(self):
+        """Params are hashed fresh on every call — mutating a block
+        after planning must be visible (this is what invalidates a
+        cached artefact for a mutated diagram)."""
+        diagram = pid_loop()
+        plan = plan_of(diagram)
+        before = plan.fingerprint()
+        diagram.sub("pid").params["kp"] = 9.9
+        assert plan.fingerprint() != before
+
+    def test_guard_bearing_block_changes_fingerprint(self):
+        plain = pid_loop()
+
+        guarded = pid_loop()
+        guarded.add(RelayHysteresis("relay", lower=-0.5, upper=0.5))
+        guarded.connect("plant.out", "relay.in")
+
+        plan = plan_of(guarded)
+        assert len(plan.guards) > 0
+        assert plan.fingerprint() != plan_of(plain).fingerprint()
+
+    def test_extra_solver_binding_changes_fingerprint(self):
+        plan = plan_of(pid_loop())
+        assert plan.fingerprint(extra={"solver": "rk4"}) != \
+            plan.fingerprint(extra={"solver": "euler"})
+
+    def test_extra_step_size_changes_fingerprint(self):
+        plan = plan_of(pid_loop())
+        assert plan.fingerprint(extra={"h": 1e-3}) != \
+            plan.fingerprint(extra={"h": 2e-3})
+
+    def test_extra_key_order_is_irrelevant(self):
+        plan = plan_of(pid_loop())
+        assert plan.fingerprint(extra={"a": 1, "b": 2}) == \
+            plan.fingerprint(extra={"b": 2, "a": 1})

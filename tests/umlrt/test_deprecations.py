@@ -1,0 +1,38 @@
+"""Deprecated public names must warn on use and map to canonical ones."""
+
+import warnings
+
+import pytest
+
+import repro.umlrt
+import repro.umlrt.runtime
+from repro.umlrt import RTRuntimeError
+
+
+class TestRuntimeErrorAlias:
+    def test_package_alias_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="RTRuntimeError"):
+            alias = repro.umlrt.RuntimeError_
+        assert alias is RTRuntimeError
+
+    def test_module_alias_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="RTRuntimeError"):
+            alias = repro.umlrt.runtime.RuntimeError_
+        assert alias is RTRuntimeError
+
+    def test_canonical_name_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert repro.umlrt.RTRuntimeError is RTRuntimeError
+            assert (
+                repro.umlrt.runtime.RTRuntimeError is RTRuntimeError
+            )
+
+    def test_canonical_name_exported(self):
+        assert "RTRuntimeError" in repro.umlrt.__all__
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.umlrt.NoSuchName_
+        with pytest.raises(AttributeError):
+            repro.umlrt.runtime.NoSuchName_
