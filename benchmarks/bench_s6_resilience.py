@@ -1,0 +1,147 @@
+"""Experiment S6 — the resilience layer.
+
+Two headline measurements for checkpointing and crash recovery:
+
+1. **Checkpoint overhead** — the same hybrid run (oscillator + damper +
+   watchdog capsule, 500 major steps) with a
+   :class:`~repro.resilience.CheckpointManager` spooling at several
+   step intervals, against an unobserved baseline.  The acceptance bar
+   is < 5% wall-time slowdown at the default interval of 100 steps
+   (checkpointing rides the passive ``on_major_step`` hook, so the cost
+   is capture + atomic write, amortised over the interval).
+2. **Cold restart vs resume** — a run killed at 80% of the way through,
+   then finished either from scratch (cold) or from the newest
+   checkpoint (resume).  Recovered simulated time is time not re-paid:
+   resume must beat the cold restart by well over the 20%-of-work it
+   actually has left.
+
+Timings use ``perf_counter`` minima over repeats (the usual bench
+convention here: the minimum is the least-noise estimate of the true
+cost).  Identity of the resumed trajectories is asserted, not assumed —
+the speedup would be meaningless if resume changed the answer.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from tests.resilience.conftest import (
+    assert_probes_bitwise, build_control_model, run_until_crash,
+)
+
+from repro.resilience import CheckpointManager, SnapshotCodec
+
+T_END = 5.0
+SYNC = 0.01          # 500 major steps
+INTERVALS = (25, 100, 400)
+REPEATS = 5
+OVERHEAD_BAR = 5.0   # percent, at interval=100
+CRASH_STEP = 400     # 80% of the run
+
+
+def timed_run(spool=None, every=100):
+    model = build_control_model()
+    scheduler = model.scheduler(sync_interval=SYNC)
+    manager = None
+    if spool is not None:
+        manager = CheckpointManager(spool, every_steps=every, keep=3)
+        manager.attach(scheduler)
+    started = time.perf_counter()
+    scheduler.run(T_END)
+    elapsed = time.perf_counter() - started
+    return elapsed, model, manager
+
+
+def test_checkpoint_overhead(tmp_path, report, bench_json):
+    base = min(timed_run()[0] for __ in range(REPEATS))
+    rows = [f"{'interval':>10} {'time':>9} {'saves':>6} {'overhead':>9}"]
+    metrics = {"baseline_seconds": base}
+    overhead_at_100 = None
+    for every in INTERVALS:
+        spool = tmp_path / f"every{every}"
+        best, saves = None, None
+        for __ in range(REPEATS):
+            elapsed, __model, manager = timed_run(spool, every)
+            if best is None or elapsed < best:
+                best, saves = elapsed, manager.saves
+        overhead = 100.0 * (best - base) / base
+        if every == 100:
+            overhead_at_100 = overhead
+        rows.append(
+            f"{every:>10} {best * 1e3:>7.2f}ms {saves:>6} {overhead:>8.2f}%"
+        )
+        metrics[f"overhead_pct_interval_{every}"] = overhead
+    report("S6 checkpoint overhead (500 major steps)", rows)
+    bench_json("s6", metrics)
+    assert overhead_at_100 < OVERHEAD_BAR, (
+        f"checkpointing at interval=100 cost {overhead_at_100:.2f}% "
+        f"(bar: {OVERHEAD_BAR}%)"
+    )
+
+
+def test_cold_restart_vs_resume(tmp_path, report, bench_json):
+    # reference for identity checks
+    reference = build_control_model()
+    reference.run(until=T_END, sync_interval=SYNC)
+
+    # the crashed attempt leaves a spool behind
+    crashed = build_control_model()
+    scheduler = crashed.scheduler(sync_interval=SYNC)
+    manager = CheckpointManager(tmp_path, every_steps=50, keep=2)
+    manager.attach(scheduler)
+    inner = scheduler.on_major_step
+
+    class Killed(Exception):
+        pass
+
+    def crash(t_now):
+        inner(t_now)
+        if scheduler.major_steps >= CRASH_STEP:
+            raise Killed
+
+    scheduler.on_major_step = crash
+    with pytest.raises(Killed):
+        scheduler.run(T_END)
+    __, snapshot = manager.load_latest()
+
+    def cold():
+        model = build_control_model()
+        started = time.perf_counter()
+        model.run(until=T_END, sync_interval=SYNC)
+        return time.perf_counter() - started, model
+
+    def resume():
+        model = build_control_model()
+        fresh = model.scheduler(sync_interval=SYNC)
+        started = time.perf_counter()
+        SnapshotCodec().restore(fresh, snapshot)
+        fresh.run(T_END)
+        return time.perf_counter() - started, model
+
+    cold_best, __ = min((cold() for __ in range(REPEATS)),
+                        key=lambda pair: pair[0])
+    resume_best, resumed_model = min((resume() for __ in range(REPEATS)),
+                                     key=lambda pair: pair[0])
+    assert_probes_bitwise(reference, resumed_model)
+
+    speedup = cold_best / resume_best
+    recovered_fraction = snapshot.t / T_END
+    report("S6 cold restart vs checkpoint resume", [
+        f"crash at step {CRASH_STEP}/500, newest checkpoint at "
+        f"t={snapshot.t:g} ({100 * recovered_fraction:.0f}% recovered)",
+        f"cold restart : {cold_best * 1e3:8.2f} ms",
+        f"resume       : {resume_best * 1e3:8.2f} ms",
+        f"speedup      : {speedup:8.2f}x",
+    ])
+    bench_json("s6", {
+        "cold_restart_seconds": cold_best,
+        "resume_seconds": resume_best,
+        "resume_speedup": speedup,
+        "recovered_sim_time_fraction": recovered_fraction,
+    })
+    # 80% of the work is recovered; resume must show a clear win even
+    # after paying decode + restore
+    assert speedup > 2.0, f"resume speedup only {speedup:.2f}x"

@@ -134,6 +134,15 @@ class BalanceController(Streamer):
         elif message.signal == "disengage":
             self.params["enabled"] = 0.0
 
+    # checkpointing: expose the backward-difference cache so a resumed
+    # run reproduces the same derivative estimates bit for bit
+    def extra_state(self):
+        return {"prev": dict(self._prev), "prev_t": self._prev_t}
+
+    def restore_extra_state(self, state):
+        self._prev = dict(state.get("prev", {"x": 0.0, "theta": 0.0}))
+        self._prev_t = state.get("prev_t")
+
 
 class Supervisor(Capsule):
     """balancing -> safe on cone exit; safe -> balancing on cone entry."""

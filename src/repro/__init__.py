@@ -83,6 +83,14 @@ from repro.service import (
     SimulationService,
     SingleRunJob,
 )
+from repro.resilience import (
+    CheckpointManager,
+    FaultInjector,
+    FingerprintMismatchError,
+    Snapshot,
+    SnapshotCodec,
+    SnapshotError,
+)
 
 __version__ = "1.0.0"
 
@@ -91,6 +99,7 @@ __all__ = [
     "BatchResult",
     "BatchSimulator",
     "Capsule",
+    "CheckpointManager",
     "CodegenJob",
     "Channel",
     "ChannelPolicy",
@@ -100,6 +109,8 @@ __all__ = [
     "DataKind",
     "Direction",
     "ExecutionPlan",
+    "FaultInjector",
+    "FingerprintMismatchError",
     "Flow",
     "FlowType",
     "HybridModel",
@@ -121,6 +132,9 @@ __all__ = [
     "Signal",
     "SimulationService",
     "SingleRunJob",
+    "Snapshot",
+    "SnapshotCodec",
+    "SnapshotError",
     "SolverBinding",
     "State",
     "StateMachine",

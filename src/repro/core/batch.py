@@ -129,6 +129,10 @@ class BatchChunk:
     #: final ``(n, n_state)`` state matrix (last chunk only, else None)
     final_states: Optional[np.ndarray] = None
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: :meth:`BatchSimulator.resume_point` cut at this chunk's boundary
+    #: (non-final chunks only) — feed back as ``run_chunked(resume=...)``
+    #: to continue the run bitwise from here (resilience layer)
+    resume: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -224,7 +228,31 @@ def _render_program(model: Any) -> str:
     if not held_names and not sync_lines:
         lines.append("        pass")
     lines.append("")
-    lines.append("    return outputs, rhs, sync")
+    # held-state accessors: the sample-and-hold registers live in this
+    # closure, so checkpoint/resume (repro.resilience) needs explicit
+    # get/set hooks to carry them across a process boundary
+    lines.append("    def get_held():")
+    if held_names:
+        lines.append(
+            "        return {"
+            + ", ".join(f"{n!r}: np.array({n})" for n in held_names)
+            + "}"
+        )
+    else:
+        lines.append("        return {}")
+    lines.append("")
+    lines.append("    def set_held(values):")
+    if held_names:
+        lines.append(f"        nonlocal {', '.join(held_names)}")
+        for name in held_names:
+            lines.append(
+                f"        {name} = np.asarray("
+                f"values[{name!r}], dtype=float).copy()"
+            )
+    else:
+        lines.append("        pass")
+    lines.append("")
+    lines.append("    return outputs, rhs, sync, get_held, set_held")
     return "\n".join(lines) + "\n"
 
 
@@ -408,9 +436,10 @@ class BatchSimulator:
         )
         namespace: Dict[str, Any] = {"np": np}
         exec(program.code, namespace)
-        self._outputs, self._rhs, self._sync = namespace["_build"](
-            self.n, self._P
-        )
+        (
+            self._outputs, self._rhs, self._sync,
+            self._get_held, self._set_held,
+        ) = namespace["_build"](self.n, self._P)
 
         n_state = len(self.model.initial_state)
         if x0 is None:
@@ -425,12 +454,36 @@ class BatchSimulator:
                 )
 
     # ------------------------------------------------------------------
+    # checkpointing hooks (resilience layer)
+    # ------------------------------------------------------------------
+    def held_state(self) -> Dict[str, np.ndarray]:
+        """The generated program's sample-and-hold registers, by name."""
+        return self._get_held()
+
+    def restore_held_state(self, values: Mapping[str, Any]) -> None:
+        """Re-inject registers captured by :meth:`held_state`."""
+        self._set_held(values)
+
+    def resume_point(
+        self, t: float, x: np.ndarray, step: int, minor_steps: int
+    ) -> Dict[str, Any]:
+        """Package a chunk boundary as a :meth:`run_chunked` ``resume``
+        argument (plain data: safe for the snapshot codec)."""
+        return {
+            "t": float(t),
+            "x": np.asarray(x, dtype=float).copy(),
+            "step": int(step),
+            "minor_steps": int(minor_steps),
+            "held": self.held_state(),
+        }
+
     def run_chunked(
         self,
         t_end: float,
         h: Optional[float] = None,
         record_every: int = 1,
         chunk_steps: Optional[int] = None,
+        resume: Optional[Mapping[str, Any]] = None,
     ):
         """Integrate to ``t_end``, yielding a :class:`BatchChunk` every
         ``chunk_steps`` minor steps (one final chunk when omitted).
@@ -441,14 +494,31 @@ class BatchSimulator:
         run.  Between chunks a caller may abort, stream partials, or
         check deadlines; this is the cooperative cancellation point the
         service layer's job engine relies on.
+
+        ``resume`` (from :meth:`resume_point`, captured at a chunk
+        boundary) continues a previous run mid-stream: the state matrix,
+        clock, step counters and held registers are re-injected and the
+        already-run ``sync`` is *not* repeated, so the chunks yielded
+        after a resume are bitwise the chunks the uninterrupted run
+        would have yielded.
         """
         h = self.h if h is None else float(h)
         if h <= 0:
             raise BatchError(f"non-positive step {h}")
         if chunk_steps is not None and chunk_steps < 1:
             raise BatchError(f"chunk_steps must be >= 1: {chunk_steps}")
-        x = self.x0.copy()
-        t = 0.0
+        if resume is not None:
+            x = np.asarray(resume["x"], dtype=float).copy()
+            if x.shape != self.x0.shape:
+                raise BatchError(
+                    f"resume state shape {x.shape} != {self.x0.shape}"
+                )
+            t = float(resume["t"])
+            if resume.get("held") is not None:
+                self.restore_held_state(resume["held"])
+        else:
+            x = self.x0.copy()
+            t = 0.0
         times: List[float] = []
         recorded: Dict[str, List[np.ndarray]] = {
             label: [] for label, __ in self.model.records
@@ -480,9 +550,16 @@ class BatchSimulator:
                 values.clear()
             return chunk
 
-        step = 0
-        minor_steps = 0
-        self._sync(t, x)
+        if resume is not None:
+            step = int(resume["step"])
+            minor_steps = int(resume["minor_steps"])
+            # the sync at this point in time already ran before the
+            # resume point was cut; repeating it would double-advance
+            # sample-and-hold registers
+        else:
+            step = 0
+            minor_steps = 0
+            self._sync(t, x)
         while t < t_end - 1e-12:
             hh = min(h, t_end - t)
             if step % record_every == 0:
@@ -498,7 +575,9 @@ class BatchSimulator:
                 and minor_steps % chunk_steps == 0
                 and t < t_end - 1e-12
             ):
-                yield flush(t, minor_steps, final=False)
+                partial = flush(t, minor_steps, final=False)
+                partial.resume = self.resume_point(t, x, step, minor_steps)
+                yield partial
         snapshot(t, x)
 
         chunk = flush(t, minor_steps, final=True)

@@ -100,17 +100,30 @@ class Channel:
 
         With ``block=True`` the call waits until an item arrives, the
         channel is closed (returns None immediately once drained), or
-        ``timeout`` seconds elapse (returns None).
+        ``timeout`` seconds elapse (returns None).  :meth:`close` wakes
+        *every* blocked popper, so a consumer can never hang on a
+        channel whose producer has finished — the guarantee resumed
+        jobs rely on when they re-attach to a drained stream.
         """
+        item, __ = self.pop_item(block=block, timeout=timeout)
+        return item
+
+    def pop_item(
+        self, block: bool = False, timeout: Optional[float] = None
+    ) -> "tuple[Optional[Any], bool]":
+        """Like :meth:`pop`, but unambiguous: returns ``(item, True)``
+        when an item was popped and ``(None, False)`` when the channel
+        was empty — so a legitimately queued ``None`` is distinguishable
+        from exhaustion."""
         with self._lock:
             if block:
                 self._not_empty.wait_for(
                     lambda: self._items or self._closed, timeout,
                 )
             if not self._items:
-                return None
+                return None, False
             self.popped += 1
-            return self._items.popleft()
+            return self._items.popleft(), True
 
     def drain(self) -> List[Any]:
         """Pop everything, oldest first."""
@@ -141,11 +154,40 @@ class Channel:
         with self._lock:
             return self._closed
 
+    # -- checkpointing hooks (resilience layer) -------------------------
+    def snapshot_state(self) -> dict:
+        """Extract queued items and statistics for the snapshot codec.
+
+        Items are returned as-is (the codec encodes them); the queue
+        order is preserved oldest-first.
+        """
+        with self._lock:
+            return {
+                "items": list(self._items),
+                "closed": self._closed,
+                "pushed": self.pushed,
+                "dropped": self.dropped,
+                "popped": self.popped,
+                "max_depth": self.max_depth,
+            }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace queue contents and statistics from a snapshot."""
+        with self._lock:
+            self._items.clear()
+            self._items.extend(state.get("items", ()))
+            self._closed = bool(state.get("closed", False))
+            self.pushed = int(state.get("pushed", 0))
+            self.dropped = int(state.get("dropped", 0))
+            self.popped = int(state.get("popped", 0))
+            self.max_depth = int(state.get("max_depth", len(self._items)))
+            self._not_empty.notify_all()
+
     def __iter__(self) -> Iterator[Any]:
         """Yield items (blocking) until the channel is closed and drained."""
         while True:
-            item = self.pop(block=True)
-            if item is None:
+            item, popped = self.pop_item(block=True)
+            if not popped:
                 with self._lock:
                     if self._closed and not self._items:
                         return

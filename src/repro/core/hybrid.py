@@ -285,6 +285,58 @@ class HybridScheduler:
             self._detector.reset(t, self.state)
 
     # ------------------------------------------------------------------
+    # checkpointing hooks (resilience layer)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Scheduler-owned state for the snapshot codec: the clock, the
+        flat state vector and the step/event counters.  Only meaningful
+        at a major-step boundary (the codec enforces quiescence)."""
+        return {
+            "t": self.model.time.raw,
+            "state": None if self.state is None else self.state.copy(),
+            "major_steps": self.major_steps,
+            "events_fired": self.events_fired,
+            "signals_to_streamers": self.signals_to_streamers,
+            "signals_to_capsules": self.signals_to_capsules,
+        }
+
+    def restore_state(self, snapshot: Dict[str, object]) -> None:
+        """Overlay state captured by :meth:`snapshot_state`.
+
+        :meth:`build` must have run first (the codec drives this).  The
+        network is re-evaluated and the zero-crossing detector re-armed
+        at the restored point — exactly what ``_sync_hooks`` does every
+        major step, so the detector state after restore is bitwise what
+        it was when the snapshot was taken.
+        """
+        if not self._built:
+            raise HybridError("restore_state requires build() first")
+        t = float(snapshot["t"])
+        vec = snapshot.get("state")
+        if vec is not None:
+            if self.state is None or self.state.shape != np.shape(vec):
+                raise HybridError(
+                    "snapshot state vector shape "
+                    f"{np.shape(vec)} does not match the built network "
+                    f"({None if self.state is None else self.state.shape})"
+                )
+            self.state[:] = np.asarray(vec, dtype=float)
+        self.major_steps = int(snapshot.get("major_steps", 0))
+        self.events_fired = int(snapshot.get("events_fired", 0))
+        self.signals_to_streamers = int(
+            snapshot.get("signals_to_streamers", 0)
+        )
+        self.signals_to_capsules = int(
+            snapshot.get("signals_to_capsules", 0)
+        )
+        self.model.time.advance_to(t)
+        self.model.rts.now = max(self.model.rts.now, t)
+        if self.network is not None:
+            self.network.evaluate(t, self.state)
+            if self._detector is not None:
+                self._detector.reset(t, self.state)
+
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
         out: Dict[str, float] = {
             "major_steps": self.major_steps,

@@ -436,7 +436,11 @@ class ExecutionPlan:
     # ------------------------------------------------------------------
     # identity
     # ------------------------------------------------------------------
-    def fingerprint(self, extra: Optional[Mapping[str, Any]] = None) -> str:
+    def fingerprint(
+        self,
+        extra: Optional[Mapping[str, Any]] = None,
+        include_param_values: bool = True,
+    ) -> str:
         """A stable content hash of the compiled plan.
 
         Two plans fingerprint identically iff they describe the same
@@ -457,6 +461,14 @@ class ExecutionPlan:
         parameters are mutable, and a parameter edit *must* change the
         fingerprint so stale cache entries die by key mismatch rather
         than by explicit invalidation.
+
+        ``include_param_values=False`` hashes parameter *keys* but not
+        their values.  The snapshot codec (:mod:`repro.resilience`) uses
+        this form: parameters are runtime state that legitimately
+        changes mid-run (and is restored from the snapshot), so only the
+        structural identity of the plan may gate a restore.  Compiled-
+        artefact caches must keep the default — for them a parameter
+        value *is* part of the artefact.
         """
         digest = hashlib.sha256()
 
@@ -474,7 +486,10 @@ class ExecutionPlan:
                 node.thread_index, int(node.direct_feedthrough),
             )
             for key in sorted(node.leaf.params):
-                feed("param", key, repr(node.leaf.params[key]))
+                if include_param_values:
+                    feed("param", key, repr(node.leaf.params[key]))
+                else:
+                    feed("param", key)
         for edge in self.edges:
             feed(
                 "edge", edge.src, edge.dst,

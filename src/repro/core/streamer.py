@@ -269,6 +269,29 @@ class Streamer:
         reset, self._state_reset = self._state_reset, None
         return reset
 
+    # -- checkpointing hooks (resilience layer) --------------------------
+    def extra_state(self) -> Dict[str, Any]:
+        """Discrete-time internal state beyond ``params`` and the ODE
+        state vector (sample-and-hold registers, difference histories).
+
+        The snapshot codec captures ``params``, any pending state reset
+        and this mapping for every leaf; a leaf whose hooks keep private
+        attributes (backward-difference caches, delay lines) must expose
+        them here — and accept them back in :meth:`restore_extra_state`
+        — for a checkpointed run to resume bitwise identically.  Values
+        must be plain data (numbers, strings, lists, dicts, ndarrays).
+        """
+        return {}
+
+    def restore_extra_state(self, state: Dict[str, Any]) -> None:
+        """Re-inject state captured by :meth:`extra_state`."""
+        if state:
+            raise StreamerError(
+                f"streamer {self.path()} received snapshot extra state "
+                f"{sorted(state)} but does not implement "
+                "restore_extra_state()"
+            )
+
     # convenience for hooks ------------------------------------------------
     def in_scalar(self, name: str) -> float:
         """Read a scalar IN DPort value."""

@@ -61,6 +61,18 @@ class SampledBlock(Block):
     def compute_outputs(self, t: float, state: np.ndarray) -> None:
         self.out_scalar("out", self._held)
 
+    def extra_state(self) -> dict:
+        return {
+            "next_sample": self._next_sample,
+            "held": self._held,
+            "samples_taken": self.samples_taken,
+        }
+
+    def restore_extra_state(self, state: dict) -> None:
+        self._next_sample = float(state.get("next_sample", 0.0))
+        self._held = float(state.get("held", 0.0))
+        self.samples_taken = int(state.get("samples_taken", 0))
+
 
 class ZeroOrderHold(SampledBlock):
     """Sample the input every ``ts`` and hold it."""
@@ -80,6 +92,15 @@ class UnitDelay(SampledBlock):
         out, self._store = self._store, u
         return out
 
+    def extra_state(self) -> dict:
+        state = super().extra_state()
+        state["store"] = self._store
+        return state
+
+    def restore_extra_state(self, state: dict) -> None:
+        self._store = float(state.pop("store", 0.0))
+        super().restore_extra_state(state)
+
 
 class MovingAverage(SampledBlock):
     """Mean of the last ``window`` samples."""
@@ -95,6 +116,17 @@ class MovingAverage(SampledBlock):
     def sample(self, t: float, u: float) -> float:
         self._buffer.append(u)
         return sum(self._buffer) / len(self._buffer)
+
+    def extra_state(self) -> dict:
+        state = super().extra_state()
+        state["buffer"] = list(self._buffer)
+        return state
+
+    def restore_extra_state(self, state: dict) -> None:
+        buffer = state.pop("buffer", ())
+        self._buffer.clear()
+        self._buffer.extend(float(v) for v in buffer)
+        super().restore_extra_state(state)
 
 
 class DiscreteTransferFunction(SampledBlock):
@@ -134,6 +166,20 @@ class DiscreteTransferFunction(SampledBlock):
         if len(self.den) > 1:
             self._y_hist.appendleft(y)
         return y
+
+    def extra_state(self) -> dict:
+        state = super().extra_state()
+        state["u_hist"] = list(self._u_hist)
+        state["y_hist"] = list(self._y_hist)
+        return state
+
+    def restore_extra_state(self, state: dict) -> None:
+        for attr, key in (("_u_hist", "u_hist"), ("_y_hist", "y_hist")):
+            hist = getattr(self, attr)
+            values = state.pop(key, ())
+            hist.clear()
+            hist.extend(float(v) for v in values)
+        super().restore_extra_state(state)
 
 
 class DiscretePID(SampledBlock):
@@ -179,3 +225,14 @@ class DiscretePID(SampledBlock):
             u = max(u, self.u_min)
         self._e2, self._e1, self._u = self._e1, e, u
         return u
+
+    def extra_state(self) -> dict:
+        state = super().extra_state()
+        state.update(e1=self._e1, e2=self._e2, u=self._u)
+        return state
+
+    def restore_extra_state(self, state: dict) -> None:
+        self._e1 = float(state.pop("e1", 0.0))
+        self._e2 = float(state.pop("e2", 0.0))
+        self._u = float(state.pop("u", 0.0))
+        super().restore_extra_state(state)

@@ -47,11 +47,14 @@ from repro.service.telemetry import (
 _SHUTDOWN = object()
 
 
-def _execute_isolated(spec: JobSpec) -> Any:
+def _execute_isolated(spec: JobSpec, attempts: int = 1) -> Any:
     """Run a spec in a worker process: no service, no shared cache, no
-    streaming — just the result (module-level so it pickles)."""
+    streaming — just the result (module-level so it pickles).  The
+    parent's attempt count rides along so resilience-aware specs can
+    tell a retry (restore from the spool) from a first attempt."""
     handle = JobHandle("isolated", spec)
     handle.state = JobState.RUNNING
+    handle.attempts = attempts
     return spec.execute(JobContext(handle, service=None, emitter=None))
 
 
@@ -222,7 +225,9 @@ class JobEngine:
                 self._pool = ProcessPoolExecutor(max_workers=self.workers)
             pool = self._pool
         try:
-            future = pool.submit(_execute_isolated, handle.spec)
+            future = pool.submit(
+                _execute_isolated, handle.spec, handle.attempts,
+            )
         except Exception as exc:  # unpicklable spec, broken pool
             raise JobError(
                 f"could not dispatch job {handle.id} to the process "

@@ -28,6 +28,7 @@ import math
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Mapping, Optional,
     Sequence,
@@ -36,14 +37,18 @@ from typing import (
 import numpy as np
 
 from repro.core.batch import (
-    BatchResult, BatchSimulator, compile_batch_program, merge_chunks,
+    BatchChunk, BatchResult, BatchSimulator, compile_batch_program,
+    merge_chunks,
 )
 from repro.core.channel import Channel, ChannelPolicy
 from repro.core.network import FlatNetwork
 from repro.service.telemetry import (
-    CHUNK, EventEmitter, PROGRESS, TelemetryEvent,
+    CHUNK, EventEmitter, PROGRESS, RESUMED, TelemetryEvent,
 )
 from repro.solvers.registry import solver_key
+
+# NOTE: repro.resilience imports TransientJobError from this module, so
+# everything resilience-side is imported lazily inside the execute paths.
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.model import HybridModel
@@ -295,6 +300,18 @@ class SingleRunJob(JobSpec):
     ``t_end / stream_slices`` of simulated time a PROGRESS event goes
     out with the latest probe values, and every major step passes a
     cancellation/deadline checkpoint.
+
+    Resilience (all optional): with ``checkpoint_dir`` set, a
+    :class:`~repro.resilience.CheckpointManager` spools periodic
+    snapshots, and a *retried* attempt (``handle.attempts > 1``, i.e.
+    the previous attempt died with a :class:`TransientJobError`)
+    restores the newest valid checkpoint instead of cold-restarting —
+    emitting a RESUMED telemetry event with the recovered sim-time.
+    For fixed-step plans the resumed trajectory is bitwise the
+    uninterrupted one.  ``resume_from`` restores one explicit snapshot
+    file on the *first* attempt (warm-starting from a previous job's
+    spool).  ``fault_injector`` arms a deterministic fault plan each
+    attempt — the test/chaos hook that exercises exactly this path.
     """
 
     model_factory: Optional[Callable[[], "HybridModel"]] = None
@@ -305,6 +322,17 @@ class SingleRunJob(JobSpec):
     validate: bool = True
     #: extra keyword arguments for ``HybridModel.scheduler``
     run_options: Dict[str, Any] = field(default_factory=dict)
+    #: spool directory for periodic checkpoints (None: checkpointing off)
+    checkpoint_dir: Optional[str] = None
+    #: checkpoint every N major steps
+    checkpoint_every_steps: int = 100
+    #: newest checkpoints retained in the spool
+    checkpoint_keep: int = 3
+    #: explicit snapshot file to restore before the first attempt
+    #: (retried attempts prefer the spool's newest valid checkpoint)
+    resume_from: Optional[str] = None
+    #: a :class:`~repro.resilience.FaultInjector` armed on every attempt
+    fault_injector: Optional[Any] = None
 
     kind = "single_run"
 
@@ -337,8 +365,25 @@ class SingleRunJob(JobSpec):
                 )
             ctx.checkpoint()
 
+        # hook chain order matters: job observer first, then the
+        # checkpoint manager, then the fault injector — so a checkpoint
+        # due at the crash step is written before the fault fires
         scheduler.on_major_step = observe
-        scheduler.run(self.t_end)
+        manager = self._checkpoint_manager(ctx)
+        if manager is not None:
+            manager.attach(scheduler)
+        self._maybe_resume(ctx, scheduler, manager)
+        if self.fault_injector is not None:
+            self.fault_injector.arm(
+                scheduler, attempt=max(1, ctx.handle.attempts),
+            )
+        try:
+            scheduler.run(self.t_end)
+        except Exception as exc:
+            injected = self._reclassify(exc)
+            if injected is not None:
+                raise injected from exc
+            raise
         return SingleRunResult(
             probes={
                 name: probe.trajectory
@@ -347,6 +392,67 @@ class SingleRunJob(JobSpec):
             stats=model.stats(),
             t_final=model.time.raw,
         )
+
+    # -- resilience plumbing -------------------------------------------
+    def _checkpoint_manager(self, ctx: JobContext):
+        if self.checkpoint_dir is None:
+            return None
+        from repro.resilience import CheckpointManager
+
+        return CheckpointManager(
+            self.checkpoint_dir,
+            every_steps=self.checkpoint_every_steps,
+            keep=self.checkpoint_keep,
+            metrics=getattr(ctx.service, "metrics", None),
+        )
+
+    def _maybe_resume(self, ctx: JobContext, scheduler, manager) -> None:
+        from repro.resilience import SnapshotCodec, decode_snapshot
+
+        source: Optional[Path] = None
+        snapshot = None
+        if manager is not None and ctx.handle.attempts > 1:
+            latest = manager.load_latest()
+            if latest is not None:
+                source, snapshot = latest
+        if snapshot is None and self.resume_from is not None \
+                and ctx.handle.attempts <= 1:
+            source = Path(self.resume_from)
+            snapshot = decode_snapshot(source.read_bytes())
+        if snapshot is None:
+            return
+        codec = manager.codec if manager is not None else SnapshotCodec()
+        codec.restore(scheduler, snapshot)
+        if manager is not None:
+            manager.note_restore(scheduler)
+        ctx.emit(
+            RESUMED, t=snapshot.t,
+            step=snapshot.step,
+            attempt=ctx.handle.attempts,
+            path=str(source),
+        )
+        metrics = getattr(ctx.service, "metrics", None)
+        if metrics is not None:
+            metrics.counter("jobs.resumed").inc()
+            metrics.histogram("jobs.recovered_sim_time").observe(snapshot.t)
+
+    def _reclassify(self, exc: BaseException) -> Optional[Exception]:
+        """An injected-divergence fault surfaces as a genuine
+        :class:`~repro.solvers.base.SolverError`; reclassify it as the
+        (retryable) injected fault so the engine's retry path — and
+        therefore checkpoint resume — is what handles it."""
+        injector = self.fault_injector
+        if injector is None:
+            return None
+        from repro.solvers.base import SolverError
+
+        if not isinstance(exc, SolverError):
+            return None
+        if not injector.consume_divergence():
+            return None
+        from repro.resilience import InjectedDivergence
+
+        return InjectedDivergence(f"injected divergence: {exc}")
 
 
 @dataclass
@@ -361,6 +467,14 @@ class BatchJob(JobSpec):
     skips straight to the cheap per-job instantiation.  The run itself
     is chunked; every chunk streams out as a CHUNK telemetry event and
     passes a cancellation/deadline checkpoint.
+
+    Resilience: with ``checkpoint_dir`` set, every non-final chunk
+    boundary spools a ``kind="batch"`` snapshot — the chunks recorded so
+    far plus the simulator's :meth:`~repro.core.batch.BatchSimulator.
+    resume_point` — fingerprinted with the same content-address the plan
+    cache uses.  A retried attempt reloads the newest valid one,
+    replays nothing, and continues mid-run bitwise (the concatenated
+    chunks equal an uninterrupted run's).
     """
 
     diagram_factory: Optional[Callable[[], "Diagram"]] = None
@@ -374,6 +488,12 @@ class BatchJob(JobSpec):
     #: minor steps per streamed chunk (None: ~8 chunks per run)
     chunk_steps: Optional[int] = None
     x0: Optional[np.ndarray] = None
+    #: spool directory for per-chunk checkpoints (None: off)
+    checkpoint_dir: Optional[str] = None
+    #: newest checkpoints retained in the spool
+    checkpoint_keep: int = 3
+    #: explicit snapshot file to restore before the first attempt
+    resume_from: Optional[str] = None
 
     kind = "batch"
 
@@ -402,16 +522,20 @@ class BatchJob(JobSpec):
         sweeps = dict(self.sweeps or {})
         sweep_paths = tuple(sorted(sweeps))
         cache = ctx.cache
+        # checkpoint blobs are fingerprinted with the plan-cache key, so
+        # a spool enabled without a service cache still needs the key
+        need_key = (
+            self.checkpoint_dir is not None or self.resume_from is not None
+        )
+        key = self._memo_key
+        diagram = None
+        if (cache is not None or need_key) and key is None:
+            diagram = self.diagram_factory()
+            diagram.finalise()
+            plan = FlatNetwork([diagram]).plan()
+            key = self._cache_key(plan)
+            self._memo_key = key
         if cache is not None:
-            key = self._memo_key
-            if key is None:
-                diagram = self.diagram_factory()
-                diagram.finalise()
-                plan = FlatNetwork([diagram]).plan()
-                key = self._cache_key(plan)
-                self._memo_key = key
-            else:
-                diagram = None
             program = cache.get_or_compile(
                 key,
                 lambda: compile_batch_program(
@@ -425,17 +549,20 @@ class BatchJob(JobSpec):
             )
         else:
             sim = BatchSimulator(
-                self.diagram_factory(), self.n, solver=self.solver,
+                self._fresh_diagram(diagram), self.n, solver=self.solver,
                 h=self.h, records=self.records, sweeps=sweeps, x0=self.x0,
             )
         total_steps = max(1, math.ceil(self.t_end / self.h - 1e-12))
         chunk_steps = self.chunk_steps
         if chunk_steps is None:
             chunk_steps = max(1, total_steps // 8)
-        chunks = []
+        manager = self._checkpoint_manager(ctx)
+        chunks, resume_point = self._maybe_resume(
+            ctx, manager, key, chunk_steps,
+        )
         for chunk in sim.run_chunked(
             self.t_end, record_every=self.record_every,
-            chunk_steps=chunk_steps,
+            chunk_steps=chunk_steps, resume=resume_point,
         ):
             chunks.append(chunk)
             ctx.emit(
@@ -448,7 +575,123 @@ class BatchJob(JobSpec):
             )
             if not chunk.final:
                 ctx.checkpoint()
+                if manager is not None:
+                    manager.write(
+                        self._pack_snapshot(key, chunks, chunk, chunk_steps)
+                    )
         return merge_chunks(chunks, sim.n)
+
+    # -- resilience plumbing -------------------------------------------
+    def _checkpoint_manager(self, ctx: JobContext):
+        if self.checkpoint_dir is None:
+            return None
+        from repro.resilience import CheckpointManager
+
+        # interval is "every chunk": writes happen explicitly at chunk
+        # boundaries, the manager provides the atomic spool + retention
+        return CheckpointManager(
+            self.checkpoint_dir, every_steps=1, keep=self.checkpoint_keep,
+            metrics=getattr(ctx.service, "metrics", None),
+        )
+
+    def _pack_snapshot(self, key, chunks, chunk, chunk_steps):
+        from repro.resilience import SNAPSHOT_VERSION, Snapshot
+
+        return Snapshot(
+            version=SNAPSHOT_VERSION,
+            fingerprint=key,
+            t=float(chunk.t_now),
+            step=int(chunk.steps),
+            kind="batch",
+            payload={
+                "h": float(self.h),
+                "t_end": float(self.t_end),
+                "n": int(self.n),
+                "record_every": int(self.record_every),
+                "chunk_steps": int(chunk_steps),
+                "chunks": [
+                    {
+                        "t": c.t,
+                        "series": dict(c.series),
+                        "t_now": float(c.t_now),
+                        "steps": int(c.steps),
+                    }
+                    for c in chunks
+                ],
+                "resume": dict(chunk.resume),
+            },
+        )
+
+    def _maybe_resume(self, ctx: JobContext, manager, key, chunk_steps):
+        from repro.resilience import decode_snapshot
+
+        source = None
+        snapshot = None
+        if manager is not None and ctx.handle.attempts > 1:
+            latest = manager.load_latest()
+            if latest is not None:
+                source, snapshot = latest
+        if snapshot is None and self.resume_from is not None \
+                and ctx.handle.attempts <= 1:
+            source = Path(self.resume_from)
+            snapshot = decode_snapshot(source.read_bytes())
+        if snapshot is None:
+            return [], None
+        chunks, resume_point = self._unpack_snapshot(
+            snapshot, key, chunk_steps,
+        )
+        ctx.emit(
+            RESUMED, t=snapshot.t,
+            step=snapshot.step,
+            attempt=ctx.handle.attempts,
+            chunks=len(chunks),
+            path=str(source),
+        )
+        metrics = getattr(ctx.service, "metrics", None)
+        if metrics is not None:
+            metrics.counter("jobs.resumed").inc()
+            metrics.histogram("jobs.recovered_sim_time").observe(snapshot.t)
+        return chunks, resume_point
+
+    def _unpack_snapshot(self, snapshot, key, chunk_steps):
+        from repro.resilience import FingerprintMismatchError, SnapshotError
+
+        if snapshot.kind != "batch":
+            raise SnapshotError(
+                f"snapshot kind {snapshot.kind!r} is not a batch checkpoint"
+            )
+        if key is not None and snapshot.fingerprint != key:
+            raise FingerprintMismatchError(
+                "batch checkpoint belongs to a different compiled plan: "
+                f"{snapshot.fingerprint[:16]}… != {key[:16]}…"
+            )
+        payload = snapshot.payload
+        for name, want in (
+            ("h", float(self.h)),
+            ("t_end", float(self.t_end)),
+            ("n", int(self.n)),
+            ("record_every", int(self.record_every)),
+            ("chunk_steps", int(chunk_steps)),
+        ):
+            if payload.get(name) != want:
+                raise SnapshotError(
+                    f"batch checkpoint {name} mismatch: "
+                    f"{payload.get(name)!r} != {want!r}"
+                )
+        chunks = [
+            BatchChunk(
+                t=np.asarray(c["t"], dtype=float),
+                series={
+                    label: np.asarray(values)
+                    for label, values in c["series"].items()
+                },
+                t_now=float(c["t_now"]),
+                steps=int(c["steps"]),
+                final=False,
+            )
+            for c in payload["chunks"]
+        ]
+        return chunks, payload["resume"]
 
 
 @dataclass

@@ -32,6 +32,9 @@ PROGRESS = "progress"
 CHUNK = "chunk"
 STATE = "state"
 LOG = "log"
+#: a retried attempt restored from a checkpoint instead of cold-starting;
+#: payload carries the recovered sim-time/steps (resilience layer)
+RESUMED = "resumed"
 
 
 @dataclass(frozen=True)

@@ -86,6 +86,26 @@ class DormandPrince45(SolverBase):
         self._fsal = None
         self._fsal_t = None
 
+    def snapshot_state(self):
+        # the PI controller history and the FSAL slot are the only
+        # inputs to future steps; counters ride along so resumed stats
+        # match an uninterrupted run
+        return {
+            "prev_err": self._prev_err,
+            "fsal": None if self._fsal is None else self._fsal.copy(),
+            "fsal_t": self._fsal_t,
+            "rejected_steps": self.rejected_steps,
+            "accepted_steps": self.accepted_steps,
+        }
+
+    def restore_state(self, state):
+        self._prev_err = state.get("prev_err")
+        fsal = state.get("fsal")
+        self._fsal = None if fsal is None else np.asarray(fsal, dtype=float)
+        self._fsal_t = state.get("fsal_t")
+        self.rejected_steps = int(state.get("rejected_steps", 0))
+        self.accepted_steps = int(state.get("accepted_steps", 0))
+
     def step(self, f: RHS, t: float, y: np.ndarray, h: float) -> StepResult:
         """Attempt a step of at most ``h``; shrink until the error passes."""
         if h <= 0:

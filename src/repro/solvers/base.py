@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
@@ -64,6 +64,29 @@ class SolverBase:
 
     def reset(self) -> None:
         """Clear any per-integration internal state (step controller etc.)."""
+
+    # -- checkpointing hooks (resilience layer) -------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Extract the solver's in-flight integration state.
+
+        The contract is *bitwise resumability*: feeding the returned
+        mapping to :meth:`restore_state` on a fresh instance of the same
+        solver class must make subsequent :meth:`step` calls produce
+        exactly the values an uninterrupted instance would have produced.
+        Stateless methods return ``{}``; methods with controllers or
+        caches (FSAL slots, PI error history, iteration counters)
+        override both hooks.  Values must be plain data (floats, ints,
+        ndarrays) — the snapshot codec refuses live objects.
+        """
+        return {}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Re-inject state captured by :meth:`snapshot_state`."""
+        if state:
+            raise SolverError(
+                f"{self.name}: unexpected snapshot state keys "
+                f"{sorted(state)} (solver is stateless)"
+            )
 
     @staticmethod
     def _check_finite(y: np.ndarray, t: float, name: str) -> None:

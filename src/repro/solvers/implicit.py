@@ -42,6 +42,14 @@ class _NewtonImplicitSolver(FixedStepSolver):
         self.max_newton = max_newton
         self.newton_iterations = 0
 
+    def snapshot_state(self):
+        # Newton iterates are recomputed from scratch each step, so only
+        # the cumulative counter needs to survive a restore
+        return {"newton_iterations": self.newton_iterations}
+
+    def restore_state(self, state):
+        self.newton_iterations = int(state.get("newton_iterations", 0))
+
     def _advance(self, f: RHS, t: float, y: np.ndarray, h: float) -> np.ndarray:
         # Predictor: explicit Euler gives a decent starting point.
         y_new = y + h * np.asarray(f(t, y), dtype=float)

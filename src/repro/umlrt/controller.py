@@ -75,6 +75,17 @@ class Controller:
         capsule._dispatch(message)
         return True
 
+    def clear_queue(self) -> int:
+        """Drop every pending message; returns how many were dropped.
+
+        Used by the resilience layer to erase start-up transients before
+        overlaying a checkpoint (the dropped messages' effects are part
+        of the snapshot, so replaying them would double-apply).
+        """
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped
+
     @property
     def pending(self) -> int:
         return len(self._queue)

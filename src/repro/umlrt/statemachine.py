@@ -363,6 +363,59 @@ class StateMachine:
     def active_path(self) -> Optional[str]:
         return self.active.path() if self.active is not None else None
 
+    # ------------------------------------------------------------------
+    # checkpointing hooks (resilience layer)
+    # ------------------------------------------------------------------
+    def snapshot_config(self) -> dict:
+        """Extract the runtime configuration (not the static structure).
+
+        Captures the active leaf path, every history slot, the RTC
+        counters and the deferred/recalled message queues (messages are
+        returned live; the snapshot codec encodes them).  Entry/exit
+        actions are *not* replayed on restore — the configuration is
+        overlaid directly, which is exactly right for resuming a
+        checkpoint: those actions' side effects are restored from the
+        same snapshot elsewhere.
+        """
+        history = {
+            path: state._last_active
+            for path, state in self._states.items()
+            if state._last_active is not None
+        }
+        if self.root._last_active is not None:
+            history["<root>"] = self.root._last_active
+        return {
+            "active": self.active_path,
+            "started": self.started,
+            "history": history,
+            "rtc_steps": self.rtc_steps,
+            "dropped_messages": self.dropped_messages,
+            "deferred_messages": self.deferred_messages,
+            "deferred": list(self._deferred),
+            "recalled": list(self._recalled),
+        }
+
+    def restore_config(self, config: dict) -> None:
+        """Overlay a configuration captured by :meth:`snapshot_config`.
+
+        The machine must have the same static structure (states by
+        path); unknown paths raise :class:`StateMachineError`.
+        """
+        active = config.get("active")
+        self.active = None if active is None else self.state(active)
+        self.started = bool(config.get("started", False))
+        for path, state in self._states.items():
+            state._last_active = None
+        self.root._last_active = None
+        for path, last in (config.get("history") or {}).items():
+            holder = self.root if path == "<root>" else self.state(path)
+            holder._last_active = last
+        self.rtc_steps = int(config.get("rtc_steps", 0))
+        self.dropped_messages = int(config.get("dropped_messages", 0))
+        self.deferred_messages = int(config.get("deferred_messages", 0))
+        self._deferred = list(config.get("deferred", ()))
+        self._recalled = list(config.get("recalled", ()))
+
     def in_state(self, path: str) -> bool:
         """True if ``path`` is the active leaf or one of its ancestors."""
         if self.active is None:

@@ -151,6 +151,59 @@ class TimingService:
         self._prune()
         return len(self._calendar)
 
+    # ------------------------------------------------------------------
+    # checkpointing hooks (resilience layer)
+    # ------------------------------------------------------------------
+    def snapshot_pending(self) -> dict:
+        """Extract live timers for the snapshot codec.
+
+        Handles are captured by value (destination capsule name, expiry,
+        period, payload, fire count); the live :class:`TimerHandle`
+        objects are never serialized.  Cancelled timers are dropped —
+        they can no longer be observed.
+        """
+        self._prune()
+        timers = []
+        for __, __, handle in sorted(self._calendar):
+            if handle.cancelled:
+                continue
+            timers.append({
+                "capsule": handle.capsule.instance_name,
+                "expiry": handle.expiry,
+                "period": handle.period,
+                "data": handle.data,
+                "fired": handle.fired,
+            })
+        return {
+            "timeouts_delivered": self.timeouts_delivered,
+            "timers": timers,
+        }
+
+    def restore_pending(self, snapshot: dict, resolve_capsule) -> None:
+        """Replace the calendar with timers captured by
+        :meth:`snapshot_pending`.
+
+        ``resolve_capsule`` maps an instance name back to a live capsule
+        in the rebuilt model.  Restored handles are fresh objects: any
+        handle reference a capsule kept from before the checkpoint is
+        dead, so capsules that cancel timers must stash the payload, not
+        the handle (the timeout message's ``data[1]`` carries the new
+        handle).
+        """
+        self.timeouts_delivered = int(snapshot.get("timeouts_delivered", 0))
+        self._calendar.clear()
+        for entry in snapshot.get("timers", ()):
+            handle = TimerHandle(
+                resolve_capsule(entry["capsule"]),
+                float(entry["expiry"]),
+                entry.get("period"),
+                entry.get("data"),
+            )
+            handle.fired = int(entry.get("fired", 0))
+            heapq.heappush(
+                self._calendar, (handle.expiry, handle.seq, handle)
+            )
+
     def _prune(self) -> None:
         while self._calendar and self._calendar[0][2].cancelled:
             heapq.heappop(self._calendar)

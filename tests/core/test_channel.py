@@ -78,6 +78,82 @@ class TestStatistics:
         assert channel.max_depth == 2
 
 
+class TestCloseAndStreaming:
+    """Regression tests for the end-of-stream contract the service and
+    resilience layers rely on."""
+
+    def test_close_wakes_every_blocked_waiter(self):
+        channel = Channel("c")
+        woke = []
+        barrier = threading.Barrier(4)
+
+        def waiter():
+            barrier.wait()
+            # blocks until close(); must return (None, False), not hang
+            woke.append(channel.pop_item(block=True, timeout=10))
+
+        threads = [threading.Thread(target=waiter) for __ in range(3)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()  # all three are about to block
+        channel.close()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not any(thread.is_alive() for thread in threads), \
+            "close() left a blocked popper hanging"
+        assert woke == [(None, False)] * 3
+
+    def test_iteration_delivers_queued_none_item(self):
+        # a legitimately queued None must reach the consumer, not be
+        # mistaken for exhaustion
+        channel = Channel("c")
+        channel.push(1)
+        channel.push(None)
+        channel.push(2)
+        channel.close()
+        assert list(channel) == [1, None, 2]
+
+    def test_pop_item_disambiguates_none(self):
+        channel = Channel("c")
+        assert channel.pop_item() == (None, False)
+        channel.push(None)
+        assert channel.pop_item() == (None, True)
+        assert channel.pop_item() == (None, False)
+
+    def test_items_queued_before_close_stay_poppable(self):
+        channel = Channel("c")
+        channel.push("x")
+        channel.close()
+        assert channel.pop() == "x"
+        with pytest.raises(ChannelError):
+            channel.push("y")
+
+    def test_iteration_terminates_with_concurrent_producer(self):
+        channel = Channel("c", capacity=128)
+
+        def producer():
+            for i in range(50):
+                channel.push(i)
+            channel.close()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        received = list(channel)
+        thread.join(timeout=10)
+        assert received == list(range(50))
+
+    def test_snapshot_restore_round_trip(self):
+        channel = Channel("c", capacity=8)
+        for item in (1, None, "x"):
+            channel.push(item)
+        channel.pop()
+        state = channel.snapshot_state()
+        fresh = Channel("c", capacity=8)
+        fresh.restore_state(state)
+        assert fresh.drain() == [None, "x"]
+        assert fresh.pushed == 3 and fresh.popped == 3
+
+
 class TestThreadSafety:
     def test_concurrent_push_pop(self):
         channel = Channel("c", capacity=10_000)

@@ -18,6 +18,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
     "networked_control.py",
     "batch_sweep.py",
     "service_demo.py",
+    "checkpoint_resume.py",
 ])
 def test_example_runs(script):
     result = subprocess.run(

@@ -1,0 +1,170 @@
+"""Shared fixtures for the resilience suite: a compact hybrid model
+exercising every snapshot surface — continuous state, zero crossings,
+SPort signals, a state machine, a pending timer and private streamer
+state — plus crash-style interruption helpers.
+
+Interruption style matters: tests interrupt runs by *raising out of the
+``on_major_step`` hook* (how a real crash looks), never by running to an
+intermediate ``t_mid`` and continuing — the latter truncates the sync
+grid at exactly ``t_mid`` while an uninterrupted run passes through the
+accumulated floating-point sum, so it is not bitwise comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.flowtype import SCALAR
+from repro.core.model import HybridModel
+from repro.core.streamer import Streamer
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.protocol import Protocol
+from repro.umlrt.statemachine import StateMachine
+
+GUARD = Protocol.define(
+    "Guard", outgoing=("boost", "coast"), incoming=("dip",),
+)
+
+
+class Oscillator(Streamer):
+    """2-state oscillator with a zero crossing each time y dips below 0."""
+
+    state_size = 2
+    zero_crossing_names = ("dip",)
+
+    def __init__(self, name: str = "osc") -> None:
+        super().__init__(name)
+        self.add_in("u", SCALAR)
+        self.add_out("y", SCALAR)
+        self.add_sport("guard", GUARD.conjugate())
+        self.params.update(k=9.0)
+
+    def initial_state(self) -> np.ndarray:
+        return np.array([1.0, 0.0])
+
+    def derivatives(self, t, state):
+        return np.array(
+            [state[1], -self.params["k"] * state[0] + self.in_scalar("u")]
+        )
+
+    def compute_outputs(self, t, state):
+        self.out_scalar("y", state[0])
+
+    def zero_crossings(self, t, state):
+        return (state[0],)
+
+    def on_zero_crossing(self, name, t, direction):
+        if direction < 0:
+            self.sport("guard").send("dip")
+
+
+class Damper(Streamer):
+    """Feedback damper whose mode is flipped by the watchdog capsule,
+    with private backward-difference state (a snapshot hazard unless the
+    ``extra_state`` hooks carry it)."""
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str = "damper") -> None:
+        super().__init__(name)
+        self.add_in("y", SCALAR)
+        self.add_out("u", SCALAR)
+        self.add_sport("mode", GUARD.conjugate())
+        self.params.update(gain=-1.2, enabled=1.0)
+        self._prev_y = 0.0
+
+    def compute_outputs(self, t, state):
+        if self.params["enabled"]:
+            u = self.params["gain"] * (self.in_scalar("y") + self._prev_y)
+        else:
+            u = 0.0
+        self.out_scalar("u", u)
+
+    def on_sync(self, t):
+        self._prev_y = self.in_scalar("y")
+
+    def handle_signal(self, sport_name, message):
+        if message.signal == "boost":
+            self.params["enabled"] = 1.0
+        elif message.signal == "coast":
+            self.params["enabled"] = 0.0
+
+    def extra_state(self):
+        return {"prev_y": self._prev_y}
+
+    def restore_extra_state(self, state):
+        self._prev_y = float(state.get("prev_y", 0.0))
+
+
+class Watchdog(Capsule):
+    """Alternates the damper's mode on every dip; keeps a timer pending
+    so the timing-service calendar is non-trivial in every snapshot."""
+
+    def build_structure(self):
+        self.create_port("guard", GUARD.base())
+        self.create_port("mode", GUARD.base())
+
+    def build_behaviour(self):
+        sm = StateMachine("watchdog")
+        sm.add_state(
+            "damping", entry=lambda c, m: c.send("mode", "boost")
+        )
+        sm.add_state(
+            "coasting", entry=lambda c, m: c.send("mode", "coast")
+        )
+        sm.initial("damping")
+        sm.add_transition("damping", "coasting", trigger=("guard", "dip"))
+        sm.add_transition("coasting", "damping", trigger=("guard", "dip"))
+        return sm
+
+    def on_start(self):
+        self.inform_in(100.0)  # pending for the whole run
+
+
+def build_control_model() -> HybridModel:
+    model = HybridModel("resilience-rig")
+    watchdog = model.add_capsule(Watchdog("dog"))
+    plant = model.add_streamer(Oscillator("osc"))
+    damper = model.add_streamer(Damper("damper"))
+    model.add_flow(plant.dport("y"), damper.dport("y"))
+    model.add_flow(damper.dport("u"), plant.dport("u"))
+    model.connect_sport(watchdog.port("guard"), plant.sport("guard"))
+    model.connect_sport(watchdog.port("mode"), damper.sport("mode"))
+    model.add_probe("y", plant.dport("y"))
+    model.add_probe("u", damper.dport("u"))
+    return model
+
+
+class CrashAt(Exception):
+    """Test-local crash signal raised out of ``on_major_step``."""
+
+
+def run_until_crash(model, t_end, crash_step, sync_interval=0.01):
+    """Run, crashing (exception out of the major-step hook) at
+    ``crash_step``; returns the live scheduler at the crash point."""
+    scheduler = model.scheduler(sync_interval=sync_interval)
+
+    def observe(t_now):
+        if scheduler.major_steps >= crash_step:
+            raise CrashAt(crash_step)
+
+    scheduler.on_major_step = observe
+    with pytest.raises(CrashAt):
+        scheduler.run(t_end)
+    return scheduler
+
+
+def reference_run(t_end=2.0, sync_interval=0.01):
+    model = build_control_model()
+    model.run(until=t_end, sync_interval=sync_interval)
+    return model
+
+
+def assert_probes_bitwise(model_a, model_b):
+    assert set(model_a.probes) == set(model_b.probes)
+    for name in model_a.probes:
+        a = model_a.probe(name)
+        b = model_b.probe(name)
+        assert np.array_equal(a.times, b.times), f"probe {name}: times"
+        assert np.array_equal(a.states, b.states), f"probe {name}: states"

@@ -1,0 +1,158 @@
+"""Checkpoint manager: intervals, atomicity, retention, corrupt fallback."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from tests.resilience.conftest import (
+    assert_probes_bitwise, build_control_model, reference_run,
+    run_until_crash,
+)
+
+from repro.resilience import (
+    CheckpointError, CheckpointManager, FaultInjector, SnapshotCodec,
+)
+from repro.resilience.checkpoint import SUFFIX
+from repro.service.telemetry import MetricsRegistry
+
+
+class TestConfiguration:
+    def test_rejects_bad_intervals(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, every_steps=0)
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, every_steps=None)
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, every_steps=None, every_sim_time=-1)
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_creates_spool_dir(self, tmp_path):
+        spool = tmp_path / "a" / "b"
+        CheckpointManager(spool)
+        assert spool.is_dir()
+
+
+class TestPeriodicSaves:
+    def test_step_interval_and_retention(self, tmp_path):
+        model = build_control_model()
+        scheduler = model.scheduler(sync_interval=0.01)
+        manager = CheckpointManager(tmp_path, every_steps=25, keep=3)
+        manager.attach(scheduler)
+        scheduler.run(2.0)  # 200 major steps -> 8 saves, 3 kept
+        assert manager.saves == 8
+        files = manager.checkpoints()
+        assert len(files) == 3
+        steps = [int(p.stem.split("-")[1]) for p in files]
+        assert steps == [150, 175, 200]
+        # no tmp litter: every write was atomically published
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_sim_time_interval(self, tmp_path):
+        model = build_control_model()
+        scheduler = model.scheduler(sync_interval=0.01)
+        manager = CheckpointManager(
+            tmp_path, every_steps=None, every_sim_time=0.5, keep=10,
+        )
+        manager.attach(scheduler)
+        scheduler.run(2.0)
+        # saves near t = 0.5, 1.0, 1.5; the final major step is clamped
+        # to exactly t_end so the last elapsed window is a hair short
+        assert manager.saves == 3
+
+    def test_observed_run_is_unperturbed(self, tmp_path):
+        reference = reference_run(2.0)
+        observed = build_control_model()
+        scheduler = observed.scheduler(sync_interval=0.01)
+        CheckpointManager(tmp_path, every_steps=20).attach(scheduler)
+        scheduler.run(2.0)
+        assert_probes_bitwise(reference, observed)
+
+    def test_metrics_recorded(self, tmp_path):
+        metrics = MetricsRegistry()
+        model = build_control_model()
+        scheduler = model.scheduler(sync_interval=0.01)
+        CheckpointManager(
+            tmp_path, every_steps=50, metrics=metrics,
+        ).attach(scheduler)
+        scheduler.run(1.0)
+        snap = metrics.snapshot()
+        assert snap["counters"]["checkpoint.saves"] == 2
+        assert snap["histograms"]["checkpoint.bytes"]["count"] == 2
+
+
+class TestLoad:
+    def make_spool(self, tmp_path, every=30, t_end=2.0):
+        model = build_control_model()
+        scheduler = run_until_crash(model, 10.0, crash_step=100)
+        manager = CheckpointManager(tmp_path, every_steps=every, keep=3)
+        # simulate the periodic saves having happened by saving now
+        manager.save(scheduler)
+        return manager, scheduler
+
+    def test_load_latest_round_trips(self, tmp_path):
+        manager, scheduler = self.make_spool(tmp_path)
+        loaded = manager.load_latest()
+        assert loaded is not None
+        path, snapshot = loaded
+        assert snapshot.step == scheduler.major_steps
+        assert snapshot.fingerprint == SnapshotCodec().fingerprint(scheduler)
+
+    def test_corrupt_newest_falls_back_to_previous(self, tmp_path):
+        model = build_control_model()
+        scheduler = model.scheduler(sync_interval=0.01)
+        manager = CheckpointManager(tmp_path, every_steps=40, keep=3)
+        manager.attach(scheduler)
+        scheduler.run(1.6)  # saves at 40, 80, 120, 160 -> keep 80..160
+        newest = manager.checkpoints()[-1]
+        FaultInjector(seed=3).corrupt_checkpoint(tmp_path)
+        path, snapshot = manager.load_latest()
+        assert path != newest
+        assert snapshot.step == 120
+        assert manager.corrupt_skipped == 1
+
+    def test_empty_spool_returns_none(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        assert manager.load_latest() is None
+
+    def test_foreign_file_skipped(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        (tmp_path / f"ckpt-000000000001{SUFFIX}").write_bytes(b"junk")
+        assert manager.load_latest() is None
+        assert manager.corrupt_skipped == 1
+
+    def test_resume_from_periodic_checkpoint_is_bitwise(self, tmp_path):
+        reference = reference_run(2.0)
+        crashed = build_control_model()
+        scheduler = crashed.scheduler(sync_interval=0.01)
+        manager = CheckpointManager(tmp_path, every_steps=30, keep=2)
+        manager.attach(scheduler)
+
+        inner = scheduler.on_major_step
+
+        def crash(t_now):
+            inner(t_now)
+            if scheduler.major_steps >= 130:
+                raise RuntimeError("boom")
+
+        scheduler.on_major_step = crash
+        with pytest.raises(RuntimeError):
+            scheduler.run(2.0)
+        del crashed, scheduler
+
+        __, snapshot = manager.load_latest()
+        assert snapshot.step == 120  # newest interval before the crash
+        resumed = build_control_model()
+        fresh = resumed.scheduler(sync_interval=0.01)
+        manager.codec.restore(fresh, snapshot)
+        fresh.run(2.0)
+        assert_probes_bitwise(reference, resumed)
+
+    def test_note_restore_delays_next_save(self, tmp_path):
+        model = build_control_model()
+        scheduler = run_until_crash(model, 10.0, crash_step=100)
+        manager = CheckpointManager(tmp_path, every_steps=50)
+        manager.note_restore(scheduler)
+        assert not manager.due(scheduler)

@@ -1,0 +1,189 @@
+"""Snapshot codec: wire format, typed failures, capture/restore identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.resilience.conftest import (
+    assert_probes_bitwise, build_control_model, reference_run,
+    run_until_crash,
+)
+
+from repro.resilience import (
+    FingerprintMismatchError, SNAPSHOT_VERSION, Snapshot, SnapshotCodec,
+    SnapshotCorruptError, SnapshotError, SnapshotVersionError,
+    corrupt_bytes, decode_blob, decode_snapshot, encode_blob,
+    encode_snapshot,
+)
+from repro.umlrt.signal import Message, Priority
+
+
+class TestBlobFormat:
+    def test_round_trip_preserves_types(self):
+        doc = {
+            "f": 0.1 + 0.2,
+            "i": 42,
+            "none": None,
+            "flag": True,
+            "s": "text",
+            "arr": np.linspace(0.0, 1.0, 7),
+            "ints": np.arange(4, dtype=np.int64),
+            "tup": (1.0, "two", (3,)),
+            "nested": {"list": [1.0, None, {"x": 2}]},
+        }
+        out = decode_blob(encode_blob(doc))
+        assert out["f"] == doc["f"]  # shortest-repr float round trip
+        assert out["i"] == 42 and out["none"] is None and out["flag"] is True
+        assert np.array_equal(out["arr"], doc["arr"])
+        assert out["arr"].dtype == doc["arr"].dtype
+        assert out["ints"].dtype == np.int64
+        assert out["tup"] == (1.0, "two", (3,))
+        assert out["nested"]["list"][2]["x"] == 2
+
+    def test_float_bitwise_round_trip(self):
+        values = np.random.default_rng(0).standard_normal(64)
+        out = decode_blob(encode_blob({"v": [float(x) for x in values]}))
+        assert all(a == b for a, b in zip(out["v"], values))
+
+    def test_message_round_trip(self):
+        msg = Message(
+            signal="dip", data=(1.0, "x"), priority=Priority.HIGH,
+            timestamp=0.25,
+        )
+        out = decode_blob(encode_blob({"m": msg}))["m"]
+        assert out.signal == "dip" and out.data == (1.0, "x")
+        assert out.priority is Priority.HIGH and out.timestamp == 0.25
+
+    def test_live_object_rejected_with_path(self):
+        class Alive:
+            pass
+
+        with pytest.raises(SnapshotError, match=r"\$\.x\.y"):
+            encode_blob({"x": {"y": Alive()}})
+
+    def test_reserved_keys_rejected(self):
+        with pytest.raises(SnapshotError):
+            encode_blob({"__nd__": 1})
+
+    def test_corruption_detected(self):
+        data = encode_blob({"x": 1.0})
+        header_end = data.find(b"\n") + 1
+        with pytest.raises(SnapshotCorruptError):
+            decode_blob(corrupt_bytes(data, header_end + 2))
+
+    def test_truncation_detected(self):
+        data = encode_blob({"x": list(range(100))})
+        with pytest.raises(SnapshotCorruptError):
+            decode_blob(data[:-10])
+
+    def test_bad_magic_detected(self):
+        with pytest.raises(SnapshotCorruptError):
+            decode_blob(b"NOTASNAP 1 0 2\n{}")
+
+    def test_future_version_refused(self):
+        snapshot = Snapshot(
+            version=SNAPSHOT_VERSION, fingerprint="f", t=0.0, step=0,
+            payload={},
+        )
+        data = encode_snapshot(snapshot)
+        bumped = data.replace(
+            b"REPROSNAP %d" % SNAPSHOT_VERSION,
+            b"REPROSNAP %d" % (SNAPSHOT_VERSION + 1), 1,
+        )
+        with pytest.raises(SnapshotVersionError):
+            decode_blob(bumped)
+
+
+class TestCaptureRestore:
+    T_END = 2.0
+
+    def test_crash_resume_is_bitwise(self):
+        reference = reference_run(self.T_END)
+        codec = SnapshotCodec()
+
+        crashed = build_control_model()
+        scheduler = run_until_crash(crashed, self.T_END, crash_step=60)
+        blob = encode_snapshot(codec.capture(scheduler))
+        del crashed, scheduler
+
+        resumed = build_control_model()
+        fresh = resumed.scheduler(sync_interval=0.01)
+        codec.restore(fresh, decode_snapshot(blob))
+        fresh.run(self.T_END)
+        assert_probes_bitwise(reference, resumed)
+
+    def test_crash_resume_across_discrete_events(self):
+        # crash after the dip transition flipped the damper off
+        reference = reference_run(self.T_END)
+        codec = SnapshotCodec()
+        crashed = build_control_model()
+        scheduler = run_until_crash(crashed, self.T_END, crash_step=120)
+        snapshot = codec.capture(scheduler)
+        assert snapshot.payload["machines"]  # state machine captured
+
+        resumed = build_control_model()
+        fresh = resumed.scheduler(sync_interval=0.01)
+        codec.restore(fresh, snapshot)
+        # restored machine is in the post-transition state
+        assert (
+            resumed.rts.tops[0].behaviour.active_path
+            == crashed.rts.tops[0].behaviour.active_path
+        )
+        fresh.run(self.T_END)
+        assert_probes_bitwise(reference, resumed)
+
+    def test_capture_requires_built_scheduler(self):
+        model = build_control_model()
+        scheduler = model.scheduler(sync_interval=0.01)
+        with pytest.raises(SnapshotError):
+            SnapshotCodec().capture(scheduler)
+
+    def test_fingerprint_mismatch_is_typed_and_restores_nothing(self):
+        codec = SnapshotCodec()
+        model = build_control_model()
+        scheduler = run_until_crash(model, self.T_END, crash_step=50)
+        snapshot = codec.capture(scheduler)
+
+        # a structurally different run configuration: other sync grid
+        other = build_control_model()
+        target = other.scheduler(sync_interval=0.02)
+        target.build()
+        before = target.state.copy()
+        t_before = other.time.raw
+        with pytest.raises(FingerprintMismatchError):
+            codec.restore(target, snapshot)
+        # nothing was mutated before the check fired
+        assert np.array_equal(target.state, before)
+        assert other.time.raw == t_before
+        assert target.major_steps == 0
+
+    def test_fingerprint_ignores_runtime_param_values(self):
+        # params are runtime state (capsules flip them mid-run); two
+        # models differing only in a param value share a fingerprint
+        codec = SnapshotCodec()
+        a = build_control_model()
+        b = build_control_model()
+        b.streamers[1].params["enabled"] = 0.0
+        sa = a.scheduler(sync_interval=0.01)
+        sb = b.scheduler(sync_interval=0.01)
+        sa.build()
+        sb.build()
+        assert codec.fingerprint(sa) == codec.fingerprint(sb)
+
+    def test_restored_stats_match(self):
+        reference = reference_run(self.T_END)
+        codec = SnapshotCodec()
+        crashed = build_control_model()
+        scheduler = run_until_crash(crashed, self.T_END, crash_step=77)
+        snapshot = codec.capture(scheduler)
+        resumed = build_control_model()
+        fresh = resumed.scheduler(sync_interval=0.01)
+        codec.restore(fresh, snapshot)
+        fresh.run(self.T_END)
+        ref_stats = reference.stats()
+        res_stats = resumed.stats()
+        # rhs_evaluations is a network-level counter that only counts
+        # post-restore work; everything else must match exactly
+        for key in ("major_steps", "events_fired"):
+            assert res_stats[key] == ref_stats[key], key

@@ -1,0 +1,101 @@
+"""Fault injector: determinism, fault kinds, retry classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.resilience.conftest import build_control_model
+
+from repro.resilience import (
+    FaultInjector, InjectedCrash, InjectedDivergence, InjectedFault,
+    InjectedPreemption,
+)
+from repro.service.jobs import TransientJobError
+from repro.solvers.base import SolverError
+
+
+class TestPlanning:
+    def test_seeded_crash_window_is_reproducible(self):
+        steps = [
+            FaultInjector(seed=11).crash_between(10, 500).plan[0].step
+            for __ in range(3)
+        ]
+        assert steps[0] == steps[1] == steps[2]
+        assert 10 <= steps[0] <= 500
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(seed=1).crash_between(0, 10_000).plan[0].step
+        b = FaultInjector(seed=2).crash_between(0, 10_000).plan[0].step
+        assert a != b
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().crash_between(5, 4)
+
+    def test_plans_chain(self):
+        injector = (
+            FaultInjector(seed=0)
+            .crash_at_step(10)
+            .diverge_at_step(20)
+            .preempt_at_step(30)
+        )
+        assert [f.kind for f in injector.plan] == [
+            "crash", "diverge", "preempt",
+        ]
+
+
+class TestFiring:
+    def run_armed(self, injector, t_end=2.0):
+        model = build_control_model()
+        scheduler = model.scheduler(sync_interval=0.01)
+        injector.arm(scheduler)
+        scheduler.run(t_end)
+        return model, scheduler
+
+    def test_crash_fires_once_at_step(self):
+        injector = FaultInjector(seed=0).crash_at_step(42)
+        with pytest.raises(InjectedCrash):
+            self.run_armed(injector)
+        assert [r.kind for r in injector.fired] == ["crash"]
+        assert injector.fired[0].step == 42
+
+    def test_faults_are_transient_errors(self):
+        # the whole recovery story rides the engine's retry path
+        assert issubclass(InjectedFault, TransientJobError)
+        for cls in (InjectedCrash, InjectedDivergence, InjectedPreemption):
+            assert issubclass(cls, InjectedFault)
+
+    def test_preemption_fires(self):
+        injector = FaultInjector(seed=0).preempt_at_step(30)
+        with pytest.raises(InjectedPreemption):
+            self.run_armed(injector)
+
+    def test_fired_fault_does_not_refire(self):
+        injector = FaultInjector(seed=0).crash_at_step(42)
+        with pytest.raises(InjectedCrash):
+            self.run_armed(injector)
+        # second attempt with the same injector sails past step 42
+        model, scheduler = self.run_armed(injector)
+        assert model.time.raw == 2.0  # ran to completion
+        assert len(injector.fired) == 1
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_divergence_surfaces_as_solver_error(self):
+        injector = FaultInjector(seed=0).diverge_at_step(25)
+        with pytest.raises(SolverError):
+            self.run_armed(injector)
+        assert injector.consume_divergence() is True
+        assert injector.consume_divergence() is False  # fetch-and-clear
+
+    def test_unfired_injector_changes_nothing(self):
+        import numpy as np
+
+        reference = build_control_model()
+        reference.run(until=1.0, sync_interval=0.01)
+        observed, __ = self.run_armed(
+            FaultInjector(seed=0).crash_at_step(10_000), t_end=1.0,
+        )
+        for name in reference.probes:
+            assert np.array_equal(
+                reference.probe(name).states, observed.probe(name).states,
+            )
