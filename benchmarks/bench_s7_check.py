@@ -1,0 +1,122 @@
+"""Experiment S7 — the static diagnostics engine.
+
+Two headline measurements for the checker subsystem:
+
+1. **Lint wall-time** — ``run_checks`` over the largest shipped example
+   model (``examples/networked_control.py``) and over a padded 200-block
+   dataflow diagram.  The whole analysis must stay interactive
+   (sub-second on the example), since the CLI runs it on every file and
+   CI runs it on every push.
+2. **Service-gate overhead** — warm-cache submit latency with the lint
+   gate off vs ``warn``.  The gate memoises its :class:`CheckResult` on
+   the spec, so resubmitting the same spec must cost < 5% extra (or
+   < 50ms absolute slack for timer noise on tiny baselines) — the
+   acceptance bar for leaving the gate on in a serving loop.
+"""
+
+import importlib.util
+import pathlib
+import time
+
+import numpy as np
+
+from benchmarks.conftest import pid_plant_diagram
+from repro.check import run_checks
+from repro.service import BatchJob, SimulationService
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+BIG_BLOCKS = 200
+LINT_REPEATS = 5
+WARM_SUBMITS = 40
+N = 8
+T_END = 0.05
+OVERHEAD_BAR = 0.05
+ABSOLUTE_SLACK = 0.05  # seconds across all warm submits
+
+
+def _load_example_builder():
+    path = EXAMPLES / "networked_control.py"
+    spec = importlib.util.spec_from_file_location(
+        "bench_s7_networked_control", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.build_model
+
+
+def _time_lint(target_factory, repeats=LINT_REPEATS):
+    samples = []
+    for __ in range(repeats):
+        target = target_factory()
+        start = time.perf_counter()
+        result = run_checks(target)
+        samples.append(time.perf_counter() - start)
+    return min(samples), result
+
+
+def test_lint_wall_time(report, bench_json):
+    build_model = _load_example_builder()
+    example_s, example_result = _time_lint(build_model)
+    big_s, big_result = _time_lint(
+        lambda: pid_plant_diagram(BIG_BLOCKS).finalise()
+    )
+
+    assert example_result.ok("warning"), example_result.format_text()
+    assert big_result.ok("error"), big_result.format_text()
+    assert example_s < 1.0, f"example lint took {example_s:.3f}s"
+
+    report("S7 lint wall-time", [
+        f"networked_control.build_model: {example_s * 1e3:8.2f} ms",
+        f"{BIG_BLOCKS}-block padded diagram:   {big_s * 1e3:8.2f} ms",
+    ])
+    bench_json("s7", {
+        "lint_example_ms": example_s * 1e3,
+        "lint_big_diagram_ms": big_s * 1e3,
+        "lint_big_diagram_blocks": BIG_BLOCKS + 4,
+    })
+
+
+def _warm_submit_wall(policy):
+    """Total wall time of WARM_SUBMITS submits of one memoised spec."""
+    spec = BatchJob(
+        diagram_factory=lambda: pid_plant_diagram(0),
+        n=N, t_end=T_END, solver="rk4", h=1e-3,
+        records=["plant.out"],
+        sweeps={"pid.kp": np.linspace(0.5, 6.0, N)},
+    )
+    with SimulationService(workers=2, check_policy=policy) as svc:
+        svc.submit(spec).result(timeout=60.0)  # prime caches + memo
+        start = time.perf_counter()
+        handles = [
+            svc.submit(spec) for __ in range(WARM_SUBMITS)
+        ]
+        for handle in handles:
+            handle.result(timeout=60.0)
+        return time.perf_counter() - start
+
+
+def test_gate_overhead_on_warm_submit(report, bench_json):
+    wall_off = _warm_submit_wall("off")
+    wall_warn = _warm_submit_wall("warn")
+    overhead = (wall_warn - wall_off) / wall_off
+
+    assert (
+        overhead < OVERHEAD_BAR
+        or (wall_warn - wall_off) < ABSOLUTE_SLACK
+    ), (
+        f"gate overhead {overhead * 100:.1f}% "
+        f"({wall_off:.3f}s -> {wall_warn:.3f}s)"
+    )
+
+    report("S7 service-gate overhead (warm submit)", [
+        f"policy=off:  {wall_off:7.3f} s / {WARM_SUBMITS} submits",
+        f"policy=warn: {wall_warn:7.3f} s / {WARM_SUBMITS} submits",
+        f"overhead:    {overhead * 100:+7.1f} %  (bar < 5% or "
+        f"< {ABSOLUTE_SLACK * 1e3:.0f}ms slack)",
+    ])
+    bench_json("s7", {
+        "warm_submit_off_s": wall_off,
+        "warm_submit_warn_s": wall_warn,
+        "gate_overhead_frac": overhead,
+        "warm_submits": WARM_SUBMITS,
+    })

@@ -27,6 +27,10 @@ Package map
   a content-addressed plan cache (compile once, serve many), a bounded
   worker-pool job engine with deadlines/cancellation/retry/shedding, and
   streaming telemetry with service-wide metrics.
+- :mod:`repro.check` — the static diagnostics engine: a pluggable rule
+  registry linting models, plans and state machines without executing
+  them (``python -m repro.check``, :func:`run_checks`), with
+  machine-applicable fix-its and a service-layer lint gate.
 
 Quick start
 -----------
@@ -74,6 +78,7 @@ from repro.umlrt import (
 from repro.solvers import available_solvers, integrate, make_solver
 from repro.service import (
     BatchJob,
+    ChecksFailedError,
     CodegenJob,
     JobHandle,
     JobState,
@@ -82,6 +87,14 @@ from repro.service import (
     ServiceOverloaded,
     SimulationService,
     SingleRunJob,
+)
+from repro.check import (
+    CheckConfig,
+    CheckResult,
+    Diagnostic,
+    FixIt,
+    autofix,
+    run_checks,
 )
 from repro.resilience import (
     CheckpointManager,
@@ -99,7 +112,10 @@ __all__ = [
     "BatchResult",
     "BatchSimulator",
     "Capsule",
+    "CheckConfig",
+    "CheckResult",
     "CheckpointManager",
+    "ChecksFailedError",
     "CodegenJob",
     "Channel",
     "ChannelPolicy",
@@ -107,10 +123,12 @@ __all__ = [
     "Controller",
     "DPort",
     "DataKind",
+    "Diagnostic",
     "Direction",
     "ExecutionPlan",
     "FaultInjector",
     "FingerprintMismatchError",
+    "FixIt",
     "Flow",
     "FlowType",
     "HybridModel",
@@ -141,9 +159,11 @@ __all__ = [
     "Streamer",
     "StreamerThread",
     "Transition",
+    "autofix",
     "available_solvers",
     "integrate",
     "make_solver",
+    "run_checks",
     "simulate_sequential",
     "validate_model",
     "__version__",

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.check``."""
+
+from repro.check.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,268 @@
+"""``python -m repro.check`` — lint model files from the command line.
+
+Each argument is a Python file (an example, a model module).  The file
+is imported, its zero-argument model builders are discovered by naming
+convention — module-level callables named ``build_*``, ``make_*`` or
+``design_*`` whose parameters all have defaults — and every model,
+diagram, plan or state machine they return is run through
+:func:`repro.check.run_checks`.  Files that define no builder are
+skipped with a note (demo scripts whose work happens in ``main()``).
+
+Exit status: 0 when no finding reaches the ``--fail-on`` threshold,
+1 when one does (including files that fail to import or build, reported
+as ``CHK000`` errors), 2 for usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import inspect
+import json
+import os
+import sys
+from typing import Any, List, Optional, Tuple
+
+from repro.check.diagnostics import Diagnostic, severity_rank
+from repro.check.registry import CheckConfig, meets_threshold
+from repro.check.runner import CheckResult, run_checks
+
+#: module-level callables with these prefixes are treated as builders
+BUILDER_PREFIXES = ("build_", "make_", "design_")
+
+#: pseudo-code for files that could not be imported or built
+LOAD_ERROR_CODE = "CHK000"
+
+
+def _load_module(path: str, index: int):
+    name = f"_repro_check_target_{index}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    # let the file import siblings (examples import each other's builders)
+    directory = os.path.dirname(os.path.abspath(path))
+    added = directory not in sys.path
+    if added:
+        sys.path.insert(0, directory)
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(name, None)
+        raise
+    finally:
+        if added and directory in sys.path:
+            sys.path.remove(directory)
+    return module
+
+
+def _is_builder(name: str, obj: Any, module_name: str) -> bool:
+    if not callable(obj) or not name.startswith(BUILDER_PREFIXES):
+        return False
+    if getattr(obj, "__module__", None) != module_name:
+        return False  # imported helper, not this file's builder
+    try:
+        signature = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        if parameter.default is inspect.Parameter.empty:
+            return False
+    return True
+
+
+def _checkable(obj: Any) -> bool:
+    from repro.core.model import HybridModel
+    from repro.core.plan import ExecutionPlan
+    from repro.core.streamer import Streamer
+    from repro.umlrt.statemachine import StateMachine
+
+    return isinstance(
+        obj, (HybridModel, Streamer, ExecutionPlan, StateMachine)
+    )
+
+
+def check_file(
+    path: str, config: CheckConfig, index: int = 0
+) -> List[Tuple[str, CheckResult]]:
+    """Lint every builder of one file; returns (builder, result) pairs.
+
+    Import or build failures come back as a single synthetic
+    ``CHK000`` error result so the CLI can keep going and still exit
+    non-zero.
+    """
+    try:
+        module = _load_module(path, index)
+    except BaseException as exc:
+        return [(
+            "<import>",
+            CheckResult([Diagnostic(
+                LOAD_ERROR_CODE, "error", path,
+                f"failed to import: {type(exc).__name__}: {exc}",
+            )], subject=path),
+        )]
+
+    results: List[Tuple[str, CheckResult]] = []
+    for name, obj in vars(module).items():
+        if not _is_builder(name, obj, module.__name__):
+            continue
+        try:
+            target = obj()
+        except BaseException as exc:
+            results.append((name, CheckResult([Diagnostic(
+                LOAD_ERROR_CODE, "error", f"{path}:{name}",
+                f"builder raised: {type(exc).__name__}: {exc}",
+            )], subject=f"{path}:{name}")))
+            continue
+        if not _checkable(target):
+            continue
+        results.append((name, run_checks(target, config=config)))
+    return results
+
+
+def _list_rules() -> str:
+    from repro.check import default_registry
+
+    lines = []
+    for rule in default_registry().rules():
+        lines.append(
+            f"{rule.code:<9} {rule.severity:<8} [{rule.category}] "
+            f"{rule.title}"
+        )
+        if rule.rationale:
+            lines.append(f"          {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Statically check model files without executing them.",
+    )
+    parser.add_argument(
+        "files", nargs="*", help="Python files defining model builders",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout rendering (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on", choices=("info", "warning", "error"),
+        default="error", dest="fail_on",
+        help="lowest severity that causes a non-zero exit "
+             "(default: error)",
+    )
+    parser.add_argument(
+        "--json-output", metavar="PATH",
+        help="also write the JSON report to PATH (CI artefact)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run exclusively",
+    )
+    parser.add_argument(
+        "--disable", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--suppress", action="append", default=[], metavar="CODE[:GLOB]",
+        help="suppress a code, optionally only on subjects matching "
+             "a glob (repeatable)",
+    )
+    parser.add_argument(
+        "--sync-interval", type=float, default=0.01, dest="sync_interval",
+        help="sync interval assumed by the schedulability lint "
+             "(default: 0.01)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="print only the per-file summary lines",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", dest="list_rules",
+        help="list every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.files:
+        print("error: no files to check", file=sys.stderr)
+        return 2
+
+    config = CheckConfig(
+        select=(
+            set(args.select.split(",")) if args.select else None
+        ),
+        disable=set(args.disable.split(",")) if args.disable else set(),
+        suppress=set(args.suppress),
+        sync_interval=args.sync_interval,
+    )
+
+    report: dict = {"version": 1, "fail_on": args.fail_on, "targets": []}
+    totals = {"errors": 0, "warnings": 0, "infos": 0}
+    failed = False
+    for index, path in enumerate(args.files):
+        results = check_file(path, config, index)
+        if not results:
+            if args.format == "text" and not args.quiet:
+                print(f"{path}: no model builders found, skipped")
+            continue
+        for builder, result in results:
+            entry = result.to_json()
+            entry["file"] = path
+            entry["builder"] = builder
+            report["targets"].append(entry)
+            totals["errors"] += len(result.errors)
+            totals["warnings"] += len(result.warnings)
+            totals["infos"] += len(result.infos)
+            if not result.ok(args.fail_on):
+                failed = True
+            if args.format == "text":
+                _print_text(path, builder, result, args)
+    report["summary"] = dict(totals, targets=len(report["targets"]))
+
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    if args.json_output:
+        with open(args.json_output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 1 if failed else 0
+
+
+def _print_text(
+    path: str, builder: str, result: CheckResult, args
+) -> None:
+    label = f"{path}:{builder}"
+    if not result.diagnostics:
+        print(f"{label}: clean")
+        return
+    if not args.quiet:
+        for diagnostic in sorted(
+            result.diagnostics,
+            key=lambda d: (-severity_rank(d.severity), d.code, d.subject),
+        ):
+            marker = (
+                "!" if meets_threshold(diagnostic.severity, args.fail_on)
+                else " "
+            )
+            print(f"{marker} {label}: {diagnostic}")
+    print(
+        f"{label}: {len(result.errors)} error(s), "
+        f"{len(result.warnings)} warning(s), {len(result.infos)} info(s)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,263 @@
+"""Plan/dataflow analyses over the flattened network / ExecutionPlan IR.
+
+These rules read the normalised graph tables on the
+:class:`~repro.check.context.CheckContext` — leaves, resolved edges,
+observer edges, recorded algebraic cycles — so the same code serves a
+:class:`~repro.core.model.HybridModel`, a dataflow diagram and a
+compiled :class:`~repro.core.plan.ExecutionPlan`.
+
+* **STR001** — delay-free algebraic cycles, with the full cycle path
+  (the static, non-fatal face of W12).
+* **STR002** — dead blocks: a block whose outputs nothing consumes,
+  observes or probes, and that has no discrete side channel either.
+* **STR003** — never-read outputs on otherwise-live blocks.
+* **STR004** — constant-foldable subgraphs: chains of time-invariant,
+  stateless blocks fed only by constants, recomputed every minor step.
+* **STR005** — flow-type narrowing: a consumer declaring fields its
+  driver never provides (legal under W1, but those fields silently hold
+  their defaults forever).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.flow import Relay
+from repro.core.streamer import Streamer
+
+from repro.check.context import CheckContext
+from repro.check.diagnostics import FixIt
+from repro.check.registry import DEFAULT_REGISTRY as REG
+
+rule = REG.rule
+
+
+def _data_ports(leaf: Streamer, direction_in: bool):
+    return [
+        port for port in leaf.dports.values()
+        if port.is_in == direction_in and not port.relay_only
+    ]
+
+
+@rule("STR001", "delay-free algebraic cycle", "plan", "error",
+      "W12 / paper §2: feedthrough cycles are unsolvable by forward "
+      "propagation; the scheduler rejects them at build time")
+def check_algebraic_cycles(ctx: CheckContext) -> None:
+    for cycle in ctx.cycles:
+        paths = [leaf.path() for leaf in cycle]
+        segments: List[str] = []
+        for index, leaf in enumerate(cycle):
+            nxt = cycle[(index + 1) % len(cycle)]
+            for edge in ctx.edges:
+                if edge.src_leaf is leaf and edge.dst_leaf is nxt:
+                    segments.append(
+                        f"{edge.src_port.qualified_name} -> "
+                        f"{edge.dst_port.qualified_name}"
+                    )
+                    break
+        loop = " -> ".join(paths + [paths[0]])
+        ctx.emit(
+            paths[0],
+            f"delay-free algebraic cycle: {loop}; insert a "
+            "non-feedthrough block (unit delay, integrator) to break it",
+            obj=cycle[0],
+            details={"cycle": paths, "edges": segments},
+        )
+
+
+def _is_pure(leaf: Streamer) -> bool:
+    """No state, no events, no signal side channel."""
+    return (
+        int(leaf.state_size) == 0
+        and not leaf.sports
+        and not tuple(leaf.zero_crossing_names)
+    )
+
+
+def _dead_leaves(ctx: CheckContext) -> List[Streamer]:
+    dead: List[Streamer] = []
+    for leaf in ctx.leaves:
+        outs = _data_ports(leaf, direction_in=False)
+        if not outs:
+            continue  # a sink (Scope, Terminator): alive by side effect
+        if leaf.sports or tuple(leaf.zero_crossing_names):
+            continue  # signals or events escape through a side channel
+        if any(ctx.port_is_read(port) for port in outs):
+            continue
+        dead.append(leaf)
+    return dead
+
+
+def _removal_fixit(ctx: CheckContext, leaf: Streamer):
+    """A fix-it deleting ``leaf`` and its feeding flows, when safe.
+
+    Only offered when every in-edge is a plain flow chain (no relay
+    fan-out to unpick) and we know the containers to edit.
+    """
+    in_edges = ctx.in_edges_of(leaf)
+    if any(
+        isinstance(hop, Relay) for edge in in_edges for hop in edge.path
+    ):
+        return None
+    model = ctx.model
+    if leaf.parent is None and model is None:
+        return None
+
+    def remove() -> None:
+        pads = {id(port) for port in leaf.dports.values()}
+
+        def keeps(flow) -> bool:
+            return (
+                id(flow.source) not in pads and id(flow.target) not in pads
+            )
+
+        containers = []
+        if model is not None:
+            containers.append(model.flows)
+            tops = model.streamers
+        elif ctx.network is not None:
+            containers.append(ctx.network.extra_flows)
+            tops = ctx.network.tops
+        else:  # pragma: no cover - guarded by the constructor checks
+            tops = []
+
+        def walk(streamer: Streamer) -> None:
+            containers.append(streamer.flows)
+            for sub in streamer.subs.values():
+                if isinstance(sub, Streamer):
+                    walk(sub)
+
+        for top in tops:
+            walk(top)
+        for container in containers:
+            container[:] = [flow for flow in container if keeps(flow)]
+        if leaf.parent is not None:
+            leaf.parent.subs.pop(leaf.name, None)
+        elif model is not None:
+            if leaf in model.streamers:
+                model.streamers.remove(leaf)
+            for thread in model.threads:
+                if leaf in thread.streamers:
+                    thread.streamers.remove(leaf)
+
+    return FixIt(f"remove dead block {leaf.path()!r} and its flows", remove)
+
+
+@rule("STR002", "dead block", "plan", "warning",
+      "ROADMAP: bad plans rejected at submission — a block nothing "
+      "reads burns solver time every minor step for no observable "
+      "effect")
+def check_dead_blocks(ctx: CheckContext) -> None:
+    for leaf in _dead_leaves(ctx):
+        ctx.emit(
+            leaf.path(),
+            "block output is never consumed, observed or probed; the "
+            "block has no effect on the simulation",
+            obj=leaf,
+            fixit=_removal_fixit(ctx, leaf),
+        )
+
+
+@rule("STR003", "never-read output", "plan", "warning",
+      "paper §2: flows exist to move data; an OUT DPort no flow, probe "
+      "or observer reads is a wiring gap")
+def check_never_read_outputs(ctx: CheckContext) -> None:
+    dead = {id(leaf) for leaf in _dead_leaves(ctx)}
+    for leaf in ctx.leaves:
+        if id(leaf) in dead:
+            continue  # STR002 already covers the whole block
+        for port in _data_ports(leaf, direction_in=False):
+            if not ctx.port_is_read(port):
+                ctx.emit(
+                    port.qualified_name,
+                    "OUT DPort is computed every step but never read "
+                    "(no flow, probe or observer)",
+                    obj=leaf,
+                )
+
+
+@rule("STR004", "constant-foldable subgraph", "plan", "info",
+      "perf: a time-invariant subgraph fed only by constants re-derives "
+      "the same values every minor step; fold it into one Constant")
+def check_constant_foldable(ctx: CheckContext) -> None:
+    candidates: Dict[int, Streamer] = {
+        id(leaf): leaf
+        for leaf in ctx.leaves
+        if _is_pure(leaf) and getattr(leaf, "time_invariant", False)
+    }
+    if not candidates:
+        return
+    in_edges: Dict[int, list] = {key: [] for key in candidates}
+    for edge in ctx.edges:
+        if id(edge.dst_leaf) in candidates:
+            in_edges[id(edge.dst_leaf)].append(edge)
+
+    foldable: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for key, leaf in candidates.items():
+            if key in foldable:
+                continue
+            ports = _data_ports(leaf, direction_in=True)
+            edges = in_edges[key]
+            if len(edges) < len(ports):
+                continue  # an undriven input: value unknown statically
+            if all(id(edge.src_leaf) in foldable for edge in edges):
+                foldable.add(key)
+                changed = True
+
+    # group foldable leaves into connected components along their edges
+    parent: Dict[int, int] = {key: key for key in foldable}
+
+    def find(key: int) -> int:
+        while parent[key] != key:
+            parent[key] = parent[parent[key]]
+            key = parent[key]
+        return key
+
+    for edge in ctx.edges:
+        a, b = id(edge.src_leaf), id(edge.dst_leaf)
+        if a in foldable and b in foldable:
+            parent[find(a)] = find(b)
+
+    groups: Dict[int, List[Streamer]] = {}
+    for leaf in ctx.leaves:  # deterministic member order
+        if id(leaf) in foldable:
+            groups.setdefault(find(id(leaf)), []).append(leaf)
+    for members in groups.values():
+        if len(members) < ctx.config.min_fold_size:
+            continue
+        paths = [leaf.path() for leaf in members]
+        ctx.emit(
+            paths[0],
+            f"{len(members)} time-invariant blocks fed only by "
+            f"constants ({', '.join(paths)}); the subgraph evaluates to "
+            "a constant and could be folded",
+            obj=members[0],
+            details={"members": paths},
+        )
+
+
+@rule("STR005", "flow-type narrowing", "plan", "warning",
+      "W1 corollary: a subset connection is legal, but target fields "
+      "the source never provides silently keep their defaults")
+def check_flow_type_narrowing(ctx: CheckContext) -> None:
+    for edge in ctx.edges:
+        src_type = edge.src_port.flow_type
+        dst_type = edge.dst_port.flow_type
+        if src_type == dst_type or not src_type.subset_of(dst_type):
+            continue
+        missing = [
+            name for name in dst_type.field_names
+            if name not in src_type.field_names
+        ]
+        ctx.emit(
+            edge.dst_port.qualified_name,
+            f"driver {edge.src_port.qualified_name} provides flow type "
+            f"{src_type.name!r}, a strict subset of {dst_type.name!r}; "
+            f"field(s) {', '.join(missing)} will always hold their "
+            "default values",
+            obj=edge.dst_leaf,
+            details={"missing_fields": missing},
+        )

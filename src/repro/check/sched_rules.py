@@ -1,0 +1,82 @@
+"""Deadline-feasibility lint over :mod:`repro.analysis.schedulability`.
+
+"During implementation, capsules and streamers are assigned to different
+threads" (paper §2) — so a model carries an implied rate-monotonic task
+set: one periodic task per streamer thread (period = sync interval) and
+one per capsule controller.  **SCHED001** derives that task set with
+:func:`~repro.analysis.schedulability.taskset_from_model` and flags
+configurations that are statically infeasible: utilisation above 1 (or a
+WCET exceeding its own deadline) is an error — no scheduler can save it
+— while tasks failing exact response-time analysis are a warning.
+
+The assumed sync interval comes from :attr:`~repro.check.registry.
+CheckConfig.sync_interval` (CLI ``--sync-interval``), since a model does
+not fix it until run time.
+"""
+
+from __future__ import annotations
+
+from repro.check.context import CheckContext
+from repro.check.registry import DEFAULT_REGISTRY as REG
+
+rule = REG.rule
+
+
+@rule("SCHED001", "statically infeasible rates/deadlines", "sched",
+      "warning",
+      "paper §2 + Gao/Brown/Capretz: schedulability is decidable from "
+      "the model; reject infeasible thread configurations before "
+      "running")
+def check_deadline_feasibility(ctx: CheckContext) -> None:
+    if ctx.model is None:
+        return
+    from repro.analysis.schedulability import (
+        SchedulabilityError, response_time_analysis, taskset_from_model,
+    )
+
+    sync_interval = ctx.config.sync_interval
+    try:
+        taskset = taskset_from_model(ctx.model, sync_interval)
+    except SchedulabilityError as exc:
+        # a task's estimated WCET already exceeds its period/deadline
+        ctx.emit(
+            ctx.subject,
+            f"infeasible thread configuration at sync interval "
+            f"{sync_interval:g}s: {exc}",
+            severity="error",
+            details={"sync_interval": sync_interval},
+        )
+        return
+    if not taskset.tasks:
+        return
+    utilisation = taskset.utilisation
+    if utilisation > 1.0:
+        ctx.emit(
+            ctx.subject,
+            f"estimated utilisation {utilisation:.2f} exceeds 1.0 at "
+            f"sync interval {sync_interval:g}s; the thread set cannot "
+            "be scheduled on one processor",
+            severity="error",
+            details={
+                "utilisation": utilisation,
+                "sync_interval": sync_interval,
+            },
+        )
+        return
+    analysis = response_time_analysis(taskset)
+    failing = sorted(
+        name for name, entry in analysis.items()
+        if entry["schedulable"] != 1.0
+    )
+    if failing:
+        ctx.emit(
+            ctx.subject,
+            f"response-time analysis fails for {', '.join(failing)} at "
+            f"sync interval {sync_interval:g}s (utilisation "
+            f"{utilisation:.2f})",
+            details={
+                "failing": failing,
+                "utilisation": utilisation,
+                "sync_interval": sync_interval,
+            },
+        )

@@ -1,0 +1,315 @@
+"""State-machine analyses over :mod:`repro.umlrt.statemachine`.
+
+Static counterparts of defects that otherwise surface only when a
+capsule runs (or never surface, silently dropping messages):
+
+* **SM001** — unreachable states (and machines with no initial
+  transition at all).
+* **SM002** — nondeterministic triggers: two transitions of one state
+  that can match the same message.  Dispatch is first-match-wins, so an
+  unguarded earlier transition *provably* shadows a later one (error,
+  fixable); two guarded transitions merely *may* overlap (warning).
+  A guarded transition followed by an unguarded fallback is the
+  intentional if/else idiom and is not reported.
+* **SM003** — triggers referencing ports the owning capsule does not
+  have, or signals the port's protocol role cannot receive.
+* **SM004** — a state entry arms a timer (``inform_in``/
+  ``inform_every``) but the exit never cancels one: leaving the state
+  leaks a pending timeout into whatever state comes next.
+* **SM005** — choice points whose branches are all guarded: if no guard
+  is enabled at runtime, :class:`~repro.umlrt.statemachine.
+  StateMachineError` is raised mid-transition.
+
+Reachability walks exactly what the dispatcher can do: the initial
+configuration (through choice points, drilling into composite initial
+targets) plus, from any reachable state, every transition target.
+History re-entry can only revisit states that were entered before, so
+it never extends the reachable set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.umlrt.statemachine import State, StateMachine, Transition
+
+from repro.check.context import CheckContext
+from repro.check.diagnostics import FixIt
+from repro.check.registry import DEFAULT_REGISTRY as REG
+
+rule = REG.rule
+
+
+def _resolve_targets(sm: StateMachine, name: str, out: Set[str]) -> None:
+    """Concrete state paths a transition target can land on."""
+    seen: Set[str] = set()
+    stack = [name]
+    while stack:
+        target = stack.pop()
+        if target in seen:
+            continue
+        seen.add(target)
+        if target in sm.choice_points:
+            for __, branch_target, __action in sm.choice_points[
+                target
+            ].branches:
+                stack.append(branch_target)
+        elif target in sm._states:
+            out.add(target)
+
+
+def _reachable_states(sm: StateMachine) -> Set[str]:
+    reach: Set[str] = set()
+    work: List[State] = []
+
+    def enter(path: str) -> None:
+        stack = [path]
+        while stack:
+            current = stack.pop()
+            state = sm._states.get(current)
+            if state is None or state.path() in reach:
+                continue
+            reach.add(state.path())
+            work.append(state)
+            for ancestor in state.ancestors():
+                if ancestor.path() not in reach:
+                    reach.add(ancestor.path())
+                    work.append(ancestor)
+            if state.is_composite and state.initial_target is not None:
+                stack.append(state.initial_target)
+
+    initial: Set[str] = set()
+    if sm.root.initial_target is not None:
+        _resolve_targets(sm, sm.root.initial_target, initial)
+    for path in initial:
+        enter(path)
+    while work:
+        state = work.pop()
+        for transition in state.transitions:
+            if transition.internal or transition.target is None:
+                continue
+            targets: Set[str] = set()
+            _resolve_targets(sm, transition.target, targets)
+            for path in targets:
+                enter(path)
+    return reach
+
+
+def _remove_state_fixit(sm: StateMachine, path: str) -> FixIt:
+    def remove() -> None:
+        state = sm._states.pop(path, None)
+        if state is None:
+            return
+        prefix = path + "."
+        for sub_path in [p for p in sm._states if p.startswith(prefix)]:
+            sm._states.pop(sub_path, None)
+        if state.parent is not None:
+            state.parent.substates.pop(state.name, None)
+
+    return FixIt(f"remove unreachable state {path!r}", remove)
+
+
+@rule("SM001", "unreachable state", "sm", "warning",
+      "UML-RT RTC semantics: a state no transition chain can enter is "
+      "dead model surface")
+def check_unreachable_states(ctx: CheckContext) -> None:
+    for prefix, sm, __ in ctx.machines:
+        if not sm._states:
+            continue
+        if sm.root.initial_target is None:
+            ctx.emit(
+                prefix,
+                f"machine {sm.name!r} has no initial transition; "
+                "start() will fail and every state is unreachable",
+                severity="error",
+                obj=sm,
+            )
+            continue
+        reachable = _reachable_states(sm)
+        for path in sm.all_states():
+            if path not in reachable:
+                ctx.emit(
+                    f"{prefix}.{path}",
+                    "state is unreachable from the initial "
+                    "configuration",
+                    obj=sm,
+                    fixit=_remove_state_fixit(sm, path),
+                )
+
+
+def _triggers_overlap(a: Transition, b: Transition) -> Optional[str]:
+    """A signal both transitions can match on the same port, if any."""
+    for port_a, signal_a in a.triggers:
+        for port_b, signal_b in b.triggers:
+            if signal_a != signal_b:
+                continue
+            if port_a is None or port_b is None or port_a == port_b:
+                return signal_a
+    return None
+
+
+@rule("SM002", "nondeterministic triggers", "sm", "error",
+      "UML-RT RTC: dispatch fires the first matching transition; "
+      "overlapping triggers make declaration order load-bearing")
+def check_overlapping_triggers(ctx: CheckContext) -> None:
+    for prefix, sm, __ in ctx.machines:
+        for path in sm.all_states():
+            state = sm._states[path]
+            transitions = state.transitions
+            for i, earlier in enumerate(transitions):
+                for later in transitions[i + 1:]:
+                    signal = _triggers_overlap(earlier, later)
+                    if signal is None:
+                        continue
+                    subject = f"{prefix}.{path}"
+                    definite = earlier.guard is None or (
+                        earlier.guard is later.guard
+                    )
+                    if definite:
+                        def remove(
+                            state: State = state,
+                            later: Transition = later,
+                        ) -> None:
+                            if later in state.transitions:
+                                state.transitions.remove(later)
+
+                        ctx.emit(
+                            subject,
+                            f"transition to {later.target!r} on trigger "
+                            f"{signal!r} is shadowed by an earlier "
+                            f"transition to {earlier.target!r} that "
+                            "always matches; it can never fire",
+                            obj=sm,
+                            fixit=FixIt(
+                                "remove the shadowed transition to "
+                                f"{later.target!r}",
+                                remove,
+                            ),
+                            details={
+                                "signal": signal,
+                                "shadowed_target": later.target,
+                                "winning_target": earlier.target,
+                            },
+                        )
+                    elif later.guard is not None:
+                        ctx.emit(
+                            subject,
+                            f"transitions to {earlier.target!r} and "
+                            f"{later.target!r} both trigger on "
+                            f"{signal!r} with guards; if both guards "
+                            "hold, declaration order silently decides",
+                            severity="warning",
+                            obj=sm,
+                            details={
+                                "signal": signal,
+                                "targets": [
+                                    earlier.target, later.target,
+                                ],
+                            },
+                        )
+                    # guarded earlier + unguarded later is the if/else
+                    # fallback idiom: deterministic, not reported
+
+
+@rule("SM003", "undefined trigger signal", "sm", "error",
+      "paper §1/UML-RT: protocols type capsule connectors; a trigger "
+      "naming a signal the port cannot receive never fires")
+def check_undefined_signals(ctx: CheckContext) -> None:
+    for prefix, sm, capsule in ctx.machines:
+        if capsule is None:
+            continue  # a bare machine has no port table to check against
+        receivable: Set[str] = set()
+        for port in capsule.ports.values():
+            receivable.update(port.role.receives)
+        for path in sm.all_states():
+            for transition in sm._states[path].transitions:
+                for port_name, signal in transition.triggers:
+                    subject = f"{prefix}.{path}"
+                    if port_name is not None:
+                        port = capsule.ports.get(port_name)
+                        if port is None:
+                            ctx.emit(
+                                subject,
+                                f"trigger ({port_name!r}, {signal!r}) "
+                                "references a port the capsule does "
+                                "not have",
+                                obj=sm,
+                                details={
+                                    "port": port_name, "signal": signal,
+                                },
+                            )
+                        elif signal not in port.role.receives:
+                            ctx.emit(
+                                subject,
+                                f"signal {signal!r} is not receivable "
+                                f"on port {port_name!r} (protocol role "
+                                f"{port.role.name} receives "
+                                f"{sorted(port.role.receives)})",
+                                obj=sm,
+                                details={
+                                    "port": port_name, "signal": signal,
+                                },
+                            )
+                    elif signal not in receivable:
+                        ctx.emit(
+                            subject,
+                            f"signal {signal!r} is not receivable on "
+                            "any port of the capsule",
+                            obj=sm,
+                            details={"signal": signal},
+                        )
+
+
+def _code_names(func) -> Tuple[str, ...]:
+    code = getattr(func, "__code__", None)
+    return tuple(code.co_names) if code is not None else ()
+
+
+@rule("SM004", "timer armed but never cancelled", "sm", "warning",
+      "timing service discipline: a state that arms a timer on entry "
+      "must cancel it on exit, or the timeout leaks into the next "
+      "state")
+def check_timer_leaks(ctx: CheckContext) -> None:
+    for prefix, sm, __ in ctx.machines:
+        for path in sm.all_states():
+            state = sm._states[path]
+            if state.entry is None:
+                continue
+            entry_names = _code_names(state.entry)
+            arms = (
+                "inform_in" in entry_names
+                or "inform_every" in entry_names
+            )
+            if not arms:
+                continue
+            cancels = (
+                state.exit is not None
+                and "cancel" in _code_names(state.exit)
+            )
+            if not cancels:
+                ctx.emit(
+                    f"{prefix}.{path}",
+                    "entry action arms a timer (inform_in/inform_every) "
+                    "but the exit action never cancels one; leaving the "
+                    "state leaks a pending timeout",
+                    obj=sm,
+                )
+
+
+@rule("SM005", "choice point without else", "sm", "warning",
+      "RTC semantics: a choice point with every branch guarded raises "
+      "StateMachineError mid-transition when no guard is enabled")
+def check_choice_else(ctx: CheckContext) -> None:
+    for prefix, sm, __ in ctx.machines:
+        for name, choice in sm.choice_points.items():
+            if not choice.branches:
+                continue
+            if any(guard is None for guard, __t, __a in choice.branches):
+                continue
+            ctx.emit(
+                f"{prefix}.{name}",
+                "every branch of the choice point is guarded; add an "
+                "else branch or the machine raises at runtime when no "
+                "guard is enabled",
+                obj=sm,
+            )

@@ -1,0 +1,110 @@
+"""Thread-partition race analyses (the paper's Figure-1 boundary).
+
+The paper's architecture runs capsules and streamers — and streamer
+groups of different rates — on separate threads, with Channels as the
+only sanctioned crossing.  Two things slip through that discipline
+statically:
+
+* **THR001** — a dataflow edge that crosses streamer threads into a
+  *direct-feedthrough* consumer.  Cross-thread pads are sampled only at
+  sync points, so the consumer computes its whole slice from a stale
+  sample; with feedthrough that staleness propagates downstream within
+  the same minor step.  Legal, sometimes intended (that is what sampling
+  means), but worth flagging.
+* **THR002** — the same mutable Python object (a params dict, an array,
+  a list) reachable from leaves on *different* threads without any
+  Channel between them: a data race under real threading, invisible
+  under the cooperative scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.streamer import Streamer
+
+from repro.check.context import CheckContext
+from repro.check.registry import DEFAULT_REGISTRY as REG
+
+rule = REG.rule
+
+#: streamer infrastructure attributes; everything else in ``vars(leaf)``
+#: is model payload and participates in the sharing scan
+_INFRA_ATTRS = frozenset(
+    ("name", "parent", "dports", "sports", "subs", "relays", "flows",
+     "thread")
+)
+
+_MUTABLE_TYPES = (dict, list, set, bytearray, np.ndarray)
+
+
+@rule("THR001", "cross-thread feedthrough sampling", "thread", "warning",
+      "paper §2: edges crossing threads are sampled at sync points; a "
+      "feedthrough consumer spreads the stale sample through its whole "
+      "slice")
+def check_cross_thread_feedthrough(ctx: CheckContext) -> None:
+    for edge in ctx.edges:
+        src_thread = ctx.thread_name.get(id(edge.src_leaf), "")
+        dst_thread = ctx.thread_name.get(id(edge.dst_leaf), "")
+        if not src_thread or not dst_thread or src_thread == dst_thread:
+            continue
+        if not edge.dst_leaf.direct_feedthrough:
+            continue
+        ctx.emit(
+            edge.dst_port.qualified_name,
+            f"direct-feedthrough input fed across threads "
+            f"({src_thread} -> {dst_thread}): the value is sampled only "
+            "at sync points and held stale through each slice",
+            obj=edge.dst_leaf,
+            details={
+                "src": edge.src_port.qualified_name,
+                "src_thread": src_thread,
+                "dst_thread": dst_thread,
+            },
+        )
+
+
+@rule("THR002", "mutable state shared across threads", "thread",
+      "warning",
+      "paper §2/Figure 1: threads communicate through Channels; a "
+      "shared dict/array is an unsynchronised back door")
+def check_shared_mutable_state(ctx: CheckContext) -> None:
+    holders: Dict[int, List[Tuple[Streamer, str, object]]] = {}
+    for leaf in ctx.leaves:
+        for attr, value in vars(leaf).items():
+            if attr.startswith("_") or attr in _INFRA_ATTRS:
+                continue
+            if not isinstance(value, _MUTABLE_TYPES):
+                continue
+            if isinstance(value, (dict, list, set)) and not value:
+                continue  # distinct empties carry no shared state
+            holders.setdefault(id(value), []).append((leaf, attr, value))
+
+    for sharers in holders.values():
+        if len(sharers) < 2:
+            continue
+        threads = {
+            ctx.thread_name.get(id(leaf), "") for leaf, __, __v in sharers
+        }
+        threads.discard("")
+        if len(threads) < 2:
+            continue
+        first_leaf, first_attr, value = sharers[0]
+        names = ", ".join(
+            f"{leaf.path()}.{attr}" for leaf, attr, __ in sharers
+        )
+        ctx.emit(
+            f"{first_leaf.path()}.{first_attr}",
+            f"{type(value).__name__} object shared by leaves on "
+            f"different threads ({names}) with no Channel between "
+            "them; this races under real threading",
+            obj=first_leaf,
+            details={
+                "sharers": [
+                    f"{leaf.path()}.{attr}" for leaf, attr, __ in sharers
+                ],
+                "threads": sorted(threads),
+            },
+        )

@@ -21,12 +21,9 @@ inner flow), exactly like UML-RT relay ports but for data.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.flowtype import FlowType, FlowTypeError
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.streamer import Streamer
 
 
 class DPortError(Exception):

@@ -51,6 +51,9 @@ class Probe:
 
     def __init__(self, name: str, source: Union[DPort, Callable[[], float]]):
         self.name = name
+        #: the probed DPort or callable; the static checker reads this
+        #: to treat probed pads as live (STR002/STR003)
+        self.source = source
         if isinstance(source, DPort):
             self._read = source.read_scalar
         elif callable(source):

@@ -94,11 +94,20 @@ class FlatNetwork:
         self,
         tops: Sequence[Streamer],
         extra_flows: Sequence[Flow] = (),
+        *,
+        strict: bool = True,
     ) -> None:
         if not tops:
             raise NetworkError("no streamers to flatten")
         self.tops = list(tops)
         self.extra_flows = list(extra_flows)
+        #: strict (the scheduler path) rejects algebraic loops outright;
+        #: non-strict (the static checker) records each delay-free cycle
+        #: in :attr:`algebraic_cycles` and keeps the network analysable —
+        #: stuck leaves are appended to the order, which is fine for
+        #: inspection but must never be integrated.
+        self.strict = strict
+        self.algebraic_cycles: List[List[Streamer]] = []
         self.leaves: List[Streamer] = []
         for top in self.tops:
             self.leaves.extend(top.leaves())
@@ -213,16 +222,22 @@ class FlatNetwork:
             id(leaf): [] for leaf in self.leaves
         }
         constrained = set()
+        self_looped = set()
         for edge in self.edges:
             if not edge.dst_leaf.direct_feedthrough:
                 continue
-            key = (id(edge.src_leaf), id(edge.dst_leaf))
-            if key in constrained or edge.src_leaf is edge.dst_leaf:
-                if edge.src_leaf is edge.dst_leaf:
+            if edge.src_leaf is edge.dst_leaf:
+                if self.strict:
                     raise NetworkError(
                         f"algebraic self-loop (W12) at "
                         f"{edge.dst_leaf.path()}"
                     )
+                if id(edge.dst_leaf) not in self_looped:
+                    self_looped.add(id(edge.dst_leaf))
+                    self.algebraic_cycles.append([edge.dst_leaf])
+                continue
+            key = (id(edge.src_leaf), id(edge.dst_leaf))
+            if key in constrained:
                 continue
             constrained.add(key)
             indegree[id(edge.dst_leaf)] += 1
@@ -239,16 +254,106 @@ class FlatNetwork:
                 if indegree[id(nxt)] == 0:
                     ready.append(nxt)
         if len(order) != len(self.leaves):
-            stuck = sorted(
-                leaf.path()
-                for leaf in self.leaves
-                if indegree[id(leaf)] > 0
+            stuck_leaves = [
+                leaf for leaf in self.leaves if indegree[id(leaf)] > 0
+            ]
+            if self.strict:
+                stuck = sorted(leaf.path() for leaf in stuck_leaves)
+                raise NetworkError(
+                    f"algebraic loop (W12) among direct-feedthrough "
+                    f"streamers: {', '.join(stuck)}"
+                )
+            self.algebraic_cycles.extend(
+                self._find_cycles(stuck_leaves, successors)
             )
-            raise NetworkError(
-                f"algebraic loop (W12) among direct-feedthrough streamers: "
-                f"{', '.join(stuck)}"
-            )
+            order.extend(stuck_leaves)
         self.order = order
+
+    @staticmethod
+    def _find_cycles(
+        stuck: List[Streamer],
+        successors: Dict[int, List[Streamer]],
+    ) -> List[List[Streamer]]:
+        """One representative cycle per strongly connected component of
+        the feedthrough-constraint subgraph spanned by ``stuck``.
+
+        Static: the checker reuses it to recover cycles from an
+        :class:`~repro.core.plan.ExecutionPlan` edge table.
+        """
+        stuck_ids = {id(leaf) for leaf in stuck}
+        index_of: Dict[int, int] = {}
+        lowlink: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        stack: List[Streamer] = []
+        sccs: List[List[Streamer]] = []
+        counter = [0]
+
+        def strongconnect(leaf: Streamer) -> None:
+            # iterative Tarjan (explicit stack; models can be deep)
+            work = [(leaf, iter(successors[id(leaf)]))]
+            index_of[id(leaf)] = lowlink[id(leaf)] = counter[0]
+            counter[0] += 1
+            stack.append(leaf)
+            on_stack.add(id(leaf))
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if id(child) not in stuck_ids:
+                        continue
+                    if id(child) not in index_of:
+                        index_of[id(child)] = lowlink[id(child)] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(id(child))
+                        work.append((child, iter(successors[id(child)])))
+                        advanced = True
+                        break
+                    if id(child) in on_stack:
+                        lowlink[id(node)] = min(
+                            lowlink[id(node)], index_of[id(child)]
+                        )
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[id(parent)] = min(
+                        lowlink[id(parent)], lowlink[id(node)]
+                    )
+                if lowlink[id(node)] == index_of[id(node)]:
+                    component: List[Streamer] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(id(member))
+                        component.append(member)
+                        if member is node:
+                            break
+                    if len(component) > 1:
+                        sccs.append(component)
+
+        for leaf in stuck:
+            if id(leaf) not in index_of:
+                strongconnect(leaf)
+
+        cycles: List[List[Streamer]] = []
+        for component in sccs:
+            member_ids = {id(member) for member in component}
+            # walk successors inside the component until a node repeats:
+            # that suffix is one concrete cycle through the SCC
+            path = [component[0]]
+            seen = {id(component[0]): 0}
+            while True:
+                nxt = next(
+                    child for child in successors[id(path[-1])]
+                    if id(child) in member_ids
+                )
+                if id(nxt) in seen:
+                    cycles.append(path[seen[id(nxt)]:])
+                    break
+                seen[id(nxt)] = len(path)
+                path.append(nxt)
+        return cycles
 
     # ------------------------------------------------------------------
     # state vector layout

@@ -70,6 +70,10 @@ class Streamer:
     direct_feedthrough: bool = False
     #: names for the zero-crossing guards, in order
     zero_crossing_names: Sequence[str] = ()
+    #: True if outputs depend only on current inputs (not on t): a pure
+    #: static map.  The static checker uses this to find
+    #: constant-foldable subgraphs (STR004); it has no runtime effect.
+    time_invariant: bool = False
 
     def __init__(self, name: str) -> None:
         if not name:

@@ -1,41 +1,40 @@
-"""Model well-formedness validation: the W-rules.
+"""Model well-formedness validation: the W-rules (compatibility shim).
 
 DESIGN.md §5 extracts twelve well-formedness rules (W1..W12) from §2 of
-the paper.  Most are enforced *at construction time* by the classes
-involved (a mis-typed flow can never be created, a streamer cannot contain
-a capsule); this module re-checks them over a finished model and adds the
-whole-model rules that no single constructor can see: relay usage (W2),
-single drivers and algebraic loops (W8/W12 via trial flattening), thread
-partitioning (W10) and connectivity warnings.
+the paper.  The rule implementations now live in the static diagnostics
+engine (:mod:`repro.check.model_rules`, category ``"model"``) alongside
+the deeper plan/state-machine/thread analyses; this module keeps the
+original surface — ``validate_model`` returning :class:`Violation`
+records, ``ValidationError`` in strict mode — as a thin wrapper over
+:func:`repro.check.run_checks` so existing callers and tests are
+untouched.
 
-``validate_model(model)`` returns a list of :class:`Violation`; with
-``strict=True`` any error-severity violation raises
-:class:`ValidationError`.
+:class:`Violation` is now a :class:`~repro.check.diagnostics.Diagnostic`
+subclass: same field order, same ``__str__`` rendering, plus the legacy
+``rule`` alias for ``code``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, List
 
-from repro.core.streamer import Streamer
-from repro.umlrt.capsule import Capsule
+from repro.check.diagnostics import Diagnostic
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.model import HybridModel
 
 
-@dataclass(frozen=True)
-class Violation:
-    """One rule violation found during validation."""
+class Violation(Diagnostic):
+    """One rule violation found during validation.
 
-    rule: str       # "W1".."W12"
-    severity: str   # "error" | "warning"
-    subject: str    # qualified name of the offending element
-    message: str
+    A frozen record ``(rule, severity, subject, message)`` — the first
+    field is named ``code`` on the base class; ``rule`` is the
+    historical alias.
+    """
 
-    def __str__(self) -> str:
-        return f"[{self.rule}/{self.severity}] {self.subject}: {self.message}"
+    @property
+    def rule(self) -> str:
+        return self.code
 
 
 class ValidationError(Exception):
@@ -49,202 +48,16 @@ class ValidationError(Exception):
 
 def validate_model(model: "HybridModel", strict: bool = True) -> List[Violation]:
     """Run every whole-model W-rule check.  See module docstring."""
-    violations: List[Violation] = []
-    violations.extend(_check_flow_types(model))          # W1
-    violations.extend(_check_relays(model))              # W2
-    violations.extend(_check_port_bindings(model))       # W3
-    violations.extend(_check_behaviour_kinds(model))     # W4
-    violations.extend(_check_capsule_dports(model))      # W5
-    containment = _check_containment(model)              # W6
-    violations.extend(containment)
-    violations.extend(_check_sport_bridges(model))       # W7
-    if not containment:
-        # flattening assumes a well-formed tree; skip if W6 is violated
-        violations.extend(_check_network(model))         # W8, W12
-    violations.extend(_check_threads(model))             # W10
+    from repro.check import CheckConfig, run_checks
 
+    result = run_checks(model, config=CheckConfig(
+        categories={"model"}, w12_compat=True,
+    ))
+    violations = [
+        Violation(d.code, d.severity, d.subject, d.message)
+        for d in result.diagnostics
+    ]
     errors = [v for v in violations if v.severity == "error"]
     if strict and errors:
         raise ValidationError(errors)
     return violations
-
-
-# ----------------------------------------------------------------------
-# individual rules
-# ----------------------------------------------------------------------
-def _all_streamers(model: "HybridModel") -> List[Streamer]:
-    """All streamers in the tree.
-
-    Tolerates non-streamer children (a W6 violation smuggled past the API
-    guards): the walkers must survive an invalid model so the validator
-    can report it rather than crash.
-    """
-    out: List[Streamer] = []
-
-    def walk(streamer: Streamer) -> None:
-        out.append(streamer)
-        for sub in streamer.subs.values():
-            if isinstance(sub, Streamer):
-                walk(sub)
-
-    for top in model.streamers:
-        walk(top)
-    return out
-
-
-def _all_flows(model: "HybridModel"):
-    flows = list(model.flows)
-    for streamer in _all_streamers(model):
-        flows.extend(streamer.flows)
-    return flows
-
-
-def _all_relays(model: "HybridModel"):
-    relays = list(model.relays.values())
-    for streamer in _all_streamers(model):
-        relays.extend(streamer.relays.values())
-    return relays
-
-
-def _check_flow_types(model) -> List[Violation]:
-    out = []
-    for flow in _all_flows(model):
-        if not flow.source.flow_type.subset_of(flow.target.flow_type):
-            out.append(Violation(
-                "W1", "error", repr(flow),
-                f"source flow type {flow.source.flow_type.name!r} is not "
-                f"a subset of target {flow.target.flow_type.name!r}",
-            ))
-    return out
-
-
-def _check_relays(model) -> List[Violation]:
-    out = []
-    flows = _all_flows(model)
-    for relay in _all_relays(model):
-        incoming = sum(1 for f in flows if f.target is relay.input)
-        out_a = sum(1 for f in flows if f.source is relay.out_a)
-        out_b = sum(1 for f in flows if f.source is relay.out_b)
-        if incoming != 1:
-            out.append(Violation(
-                "W2", "error", relay.name,
-                f"relay needs exactly one incoming flow, found {incoming}",
-            ))
-        if out_a != 1 or out_b != 1:
-            out.append(Violation(
-                "W2", "error", relay.name,
-                "relay must generate exactly two flows "
-                f"(out_a: {out_a}, out_b: {out_b})",
-            ))
-    return out
-
-
-def _check_port_bindings(model) -> List[Violation]:
-    out = []
-    for streamer in _all_streamers(model):
-        for dport in streamer.dports.values():
-            if dport.flow_type is None:  # defensive; ctor already rejects
-                out.append(Violation(
-                    "W3", "error", dport.qualified_name,
-                    "DPort without flow type",
-                ))
-        for sport in streamer.sports.values():
-            if sport.role is None:
-                out.append(Violation(
-                    "W3", "error", sport.qualified_name,
-                    "SPort without protocol role",
-                ))
-    return out
-
-
-def _check_behaviour_kinds(model) -> List[Violation]:
-    out = []
-    for streamer in _all_streamers(model):
-        if hasattr(streamer, "behaviour") and getattr(
-            streamer, "behaviour"
-        ) is not None:
-            out.append(Violation(
-                "W4", "error", streamer.path(),
-                "streamer carries a state machine; streamer behaviour "
-                "must be a solver computing equations",
-            ))
-    return out
-
-
-def _check_capsule_dports(model) -> List[Violation]:
-    out = []
-    for (capsule_name, port_name), dport in model.capsule_dports.items():
-        if not dport.relay_only:
-            out.append(Violation(
-                "W5", "error", f"{capsule_name}.{port_name}",
-                "capsule DPorts must be relay-only; capsules process no "
-                "data",
-            ))
-    return out
-
-
-def _check_containment(model) -> List[Violation]:
-    out = []
-    for streamer in _all_streamers(model):
-        for sub in streamer.subs.values():
-            if isinstance(sub, Capsule):
-                out.append(Violation(
-                    "W6", "error", streamer.path(),
-                    f"streamer contains capsule {sub.instance_name!r}; "
-                    "streamers never contain capsules",
-                ))
-    return out
-
-
-def _check_sport_bridges(model) -> List[Violation]:
-    out = []
-    for streamer, sport in model.all_sports():
-        if not sport.connected:
-            out.append(Violation(
-                "W7", "warning", sport.qualified_name,
-                "SPort is not connected to any capsule port",
-            ))
-    return out
-
-
-def _check_network(model) -> List[Violation]:
-    """W8 (single driver) and W12 (algebraic loops) via trial flattening."""
-    from repro.core.network import FlatNetwork, NetworkError
-
-    out: List[Violation] = []
-    if not model.streamers:
-        return out
-    try:
-        network = FlatNetwork(model.streamers, model.flows)
-    except NetworkError as exc:
-        rule = "W12" if "algebraic" in str(exc) else "W8"
-        out.append(Violation(rule, "error", model.name, str(exc)))
-        return out
-    for port in network.unconnected_inputs:
-        out.append(Violation(
-            "W8", "warning", port.qualified_name,
-            "IN DPort has no driver; it will hold its initial value",
-        ))
-    return out
-
-
-def _check_threads(model) -> List[Violation]:
-    out = []
-    for top in model.streamers:
-        if top.thread is None:
-            out.append(Violation(
-                "W10", "warning", top.path(),
-                "top streamer not yet assigned to a thread; the default "
-                "thread will adopt it at build time",
-            ))
-    seen = {}
-    for thread in model.threads:
-        for streamer in thread.streamers:
-            if id(streamer) in seen:
-                out.append(Violation(
-                    "W10", "error", streamer.path(),
-                    f"streamer on two threads: {seen[id(streamer)]} and "
-                    f"{thread.name}",
-                ))
-            seen[id(streamer)] = thread.name
-    return out

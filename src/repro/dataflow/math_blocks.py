@@ -17,6 +17,7 @@ class Gain(Block):
 
     default_inputs = ("in",)
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(self, name: str, k: float = 1.0) -> None:
         super().__init__(name, k=float(k))
@@ -30,6 +31,7 @@ class Bias(Block):
 
     default_inputs = ("in",)
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(self, name: str, bias: float = 0.0) -> None:
         super().__init__(name, bias=float(bias))
@@ -48,6 +50,7 @@ class Sum(Block):
     """
 
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(self, name: str, signs: str = "++") -> None:
         if not signs or any(c not in "+-" for c in signs):
@@ -70,6 +73,7 @@ class Product(Block):
     """Product of N inputs (ports ``in1..inN``)."""
 
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(self, name: str, n: int = 2) -> None:
         if n < 1:
@@ -89,6 +93,7 @@ class Abs(Block):
 
     default_inputs = ("in",)
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(self, name: str) -> None:
         super().__init__(name)

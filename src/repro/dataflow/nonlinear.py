@@ -20,6 +20,7 @@ class Saturation(Block):
 
     default_inputs = ("in",)
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(
         self, name: str, lower: float = -1.0, upper: float = 1.0
@@ -42,6 +43,7 @@ class DeadZone(Block):
 
     default_inputs = ("in",)
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(self, name: str, width: float = 0.5) -> None:
         if width < 0:
@@ -115,6 +117,7 @@ class Quantizer(Block):
 
     default_inputs = ("in",)
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(self, name: str, step: float = 0.1) -> None:
         if step <= 0:
@@ -137,6 +140,7 @@ class LookupTable1D(Block):
 
     default_inputs = ("in",)
     direct_feedthrough = True
+    time_invariant = True
 
     def __init__(
         self, name: str, xs: Sequence[float], ys: Sequence[float]

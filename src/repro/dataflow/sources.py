@@ -21,6 +21,7 @@ class Constant(Block):
 
     default_inputs = ()
     default_outputs = ("out",)
+    time_invariant = True
 
     def __init__(self, name: str, value: float = 0.0) -> None:
         super().__init__(name, value=float(value))

@@ -47,7 +47,7 @@ import hashlib
 import json
 import zlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict
 
 import numpy as np
 

@@ -22,7 +22,7 @@ resumed run is bitwise identical to an uninterrupted one.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, List, Optional
 

@@ -41,6 +41,7 @@ from repro.service.cache import CacheError, PlanCache
 from repro.service.engine import JobEngine
 from repro.service.jobs import (
     BatchJob,
+    ChecksFailedError,
     CodegenJob,
     JobCancelledError,
     JobContext,
@@ -55,6 +56,7 @@ from repro.service.jobs import (
     TransientJobError,
 )
 from repro.service.telemetry import (
+    CHECKS,
     Counter,
     EventEmitter,
     Gauge,
@@ -62,6 +64,11 @@ from repro.service.telemetry import (
     MetricsRegistry,
     TelemetryEvent,
 )
+
+#: lint-gate policies: "off" skips the gate entirely, "warn" admits
+#: every job but streams findings as a ``checks`` telemetry event,
+#: "enforce" rejects specs with error-severity findings at submission
+CHECK_POLICIES = ("off", "warn", "enforce")
 
 
 class SimulationService:
@@ -78,7 +85,16 @@ class SimulationService:
         queue_limit: int = 64,
         cache_capacity: int = 128,
         executor: str = "thread",
+        check_policy: str = "off",
+        check_config: Optional[Any] = None,
     ) -> None:
+        if check_policy not in CHECK_POLICIES:
+            raise ValueError(
+                f"check_policy must be one of {CHECK_POLICIES}: "
+                f"{check_policy!r}"
+            )
+        self.check_policy = check_policy
+        self.check_config = check_config
         self.metrics = MetricsRegistry()
         self.cache = PlanCache(
             capacity=cache_capacity, metrics=self.metrics,
@@ -92,9 +108,72 @@ class SimulationService:
         )
 
     # ------------------------------------------------------------------
+    # the lint gate
+    # ------------------------------------------------------------------
+    def _gate_result(self, spec: JobSpec):
+        """Lint the spec's model/diagram once; memoised on the spec.
+
+        Returns the :class:`repro.check.CheckResult`, or ``None`` when
+        the spec exposes no factory to build a checkable target from.
+        """
+        if spec._check_memo is not None:
+            return spec._check_memo
+        factory = getattr(spec, "model_factory", None)
+        diagram = getattr(spec, "diagram_factory", None)
+        if factory is not None:
+            target = factory()
+        elif diagram is not None:
+            target = diagram()
+            finalise = getattr(target, "finalise", None)
+            if callable(finalise) and not getattr(
+                target, "_finalised", True
+            ):
+                target = finalise()
+        else:
+            return None
+        from repro.check import run_checks
+
+        result = run_checks(target, config=self.check_config)
+        spec._check_memo = result
+        return result
+
+    def _gate(self, spec: JobSpec):
+        """Apply the check policy before admission; returns the result
+        (or None) so :meth:`submit` can stream findings on warn."""
+        result = self._gate_result(spec)
+        if result is None:
+            return None
+        if result.errors:
+            self.metrics.counter("checks.failed").inc()
+            if self.check_policy == "enforce":
+                raise ChecksFailedError(spec.name, result.errors)
+        else:
+            self.metrics.counter("checks.passed").inc()
+        return result
+
+    # ------------------------------------------------------------------
     def submit(self, spec: JobSpec) -> JobHandle:
-        """Enqueue any job spec; sheds with ServiceOverloaded when full."""
-        return self.engine.submit(spec)
+        """Enqueue any job spec; sheds with ServiceOverloaded when full.
+
+        With ``check_policy="warn"`` or ``"enforce"`` the spec's model is
+        statically linted first (memoised per spec): enforce rejects
+        error-level findings with :class:`ChecksFailedError` before the
+        job ever reaches the queue; warn admits the job but emits a
+        ``checks`` telemetry event carrying the findings.
+        """
+        result = (
+            self._gate(spec) if self.check_policy != "off" else None
+        )
+        handle = self.engine.submit(spec)
+        if result is not None and result.diagnostics:
+            EventEmitter(handle.id, handle.channel).emit(
+                CHECKS,
+                errors=len(result.errors),
+                warnings=len(result.warnings),
+                infos=len(result.infos),
+                diagnostics=[d.to_json() for d in result.diagnostics],
+            )
+        return handle
 
     def submit_single_run(self, model_factory, t_end, **options) -> JobHandle:
         """Convenience: submit a :class:`SingleRunJob`."""
@@ -149,7 +228,9 @@ class SimulationService:
 
 __all__ = [
     "BatchJob",
+    "CHECK_POLICIES",
     "CacheError",
+    "ChecksFailedError",
     "CodegenJob",
     "Counter",
     "EventEmitter",

@@ -35,6 +35,9 @@ LOG = "log"
 #: a retried attempt restored from a checkpoint instead of cold-starting;
 #: payload carries the recovered sim-time/steps (resilience layer)
 RESUMED = "resumed"
+#: static-check findings for a submitted job (lint gate, warn policy);
+#: payload carries per-severity counts and the diagnostic records
+CHECKS = "checks"
 
 
 @dataclass(frozen=True)

@@ -10,8 +10,6 @@ localising.
 
 from __future__ import annotations
 
-from typing import Union
-
 import numpy as np
 
 

@@ -1,0 +1,321 @@
+"""Builders for the static-checker tests.
+
+Each builder returns a target seeded with exactly the defect one rule
+exists to catch (or its repaired twin), so the tests can assert precise
+codes, subjects and details rather than just "something fired".
+"""
+
+from __future__ import annotations
+
+from repro.core.flowtype import SCALAR, DataKind, FlowType
+from repro.core.model import HybridModel
+from repro.core.streamer import Streamer
+from repro.dataflow import Bias, Constant, Gain, Integrator, Step
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.protocol import Protocol
+from repro.umlrt.statemachine import StateMachine
+
+#: record flow types for the STR005 narrowing tests
+POS = FlowType.record("pos", {"x": DataKind.FLOAT})
+POSVEL = FlowType.record(
+    "posvel", {"x": DataKind.FLOAT, "v": DataKind.FLOAT}
+)
+
+#: protocol for the SM003 trigger tests; the conjugate role receives
+#: exactly {"cmd"}
+CHK = Protocol.define("Chk", outgoing=("cmd",), incoming=("ack",))
+
+
+class RecordSource(Streamer):
+    """Emits a record flow type on OUT ``out``."""
+
+    def __init__(self, name: str, flow_type: FlowType) -> None:
+        super().__init__(name)
+        self.add_out("out", flow_type)
+
+
+class RecordSink(Streamer):
+    """Absorbs a record flow type on IN ``in`` (no outputs: a sink)."""
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str, flow_type: FlowType) -> None:
+        super().__init__(name)
+        self.add_in("in", flow_type)
+
+
+class TwoOut(Streamer):
+    """One IN, two OUTs — for never-read-output (STR003) tests."""
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.add_in("u", SCALAR)
+        self.add_out("a", SCALAR)
+        self.add_out("b", SCALAR)
+
+    def compute_outputs(self, t, state):
+        value = self.in_scalar("u")
+        self.out_scalar("a", value)
+        self.out_scalar("b", -value)
+
+
+# ----------------------------------------------------------------------
+# plan-rule builders
+# ----------------------------------------------------------------------
+def loop_model() -> HybridModel:
+    """Gain <-> Bias: a delay-free algebraic loop (STR001 positive)."""
+    model = HybridModel("loop")
+    a = model.add_streamer(Gain("a", k=0.5))
+    b = model.add_streamer(Bias("b", bias=1.0))
+    model.add_flow(a.dport("out"), b.dport("in"))
+    model.add_flow(b.dport("out"), a.dport("in"))
+    return model
+
+
+def feedback_model() -> HybridModel:
+    """The same loop broken by an integrator (STR001 negative)."""
+    model = HybridModel("feedback")
+    gain = model.add_streamer(Gain("a", k=0.5))
+    integ = model.add_streamer(Integrator("i"))
+    model.add_flow(gain.dport("out"), integ.dport("in"))
+    model.add_flow(integ.dport("out"), gain.dport("in"))
+    model.add_probe("y", integ.dport("out"))
+    return model
+
+
+def dead_chain_model(n: int = 3) -> HybridModel:
+    """Constant -> Gain -> ... -> Gain with an unread tail, plus a live
+    probed branch (STR002 positive; autofix must cascade the removal)."""
+    model = HybridModel("dead")
+    prev = model.add_streamer(Constant("c0", value=1.0))
+    for index in range(n):
+        gain = model.add_streamer(Gain(f"g{index}", k=2.0))
+        model.add_flow(prev.dport("out"), gain.dport("in"))
+        prev = gain
+    live = model.add_streamer(Step("live"))
+    model.add_probe("y", live.dport("out"))
+    return model
+
+
+def never_read_model(probe_b: bool = False) -> HybridModel:
+    """A TwoOut block whose ``b`` output dangles (STR003 positive);
+    ``probe_b=True`` probes it instead (negative)."""
+    model = HybridModel("tails")
+    src = model.add_streamer(Step("src"))
+    split = model.add_streamer(TwoOut("split"))
+    model.add_flow(src.dport("out"), split.dport("u"))
+    model.add_probe("a", split.dport("a"))
+    if probe_b:
+        model.add_probe("b", split.dport("b"))
+    return model
+
+
+def foldable_model(constant_fed: bool = True) -> HybridModel:
+    """Constant -> Gain -> Bias, probed at the end (STR004 positive);
+    ``constant_fed=False`` drives it from a Step instead (negative)."""
+    model = HybridModel("fold")
+    source = Constant("src", value=2.0) if constant_fed else Step("src")
+    model.add_streamer(source)
+    gain = model.add_streamer(Gain("g", k=3.0))
+    bias = model.add_streamer(Bias("b", bias=1.0))
+    model.add_flow(source.dport("out"), gain.dport("in"))
+    model.add_flow(gain.dport("out"), bias.dport("in"))
+    model.add_probe("y", bias.dport("out"))
+    return model
+
+
+def narrowing_model(narrow: bool = True) -> HybridModel:
+    """A POS source driving a POSVEL sink (STR005 positive); with
+    ``narrow=False`` both ends use POSVEL (negative)."""
+    model = HybridModel("narrow")
+    source = model.add_streamer(
+        RecordSource("src", POS if narrow else POSVEL)
+    )
+    sink = model.add_streamer(RecordSink("sink", POSVEL))
+    model.add_flow(source.dport("out"), sink.dport("in"))
+    return model
+
+
+# ----------------------------------------------------------------------
+# state-machine builders
+# ----------------------------------------------------------------------
+def sm_with_orphan() -> StateMachine:
+    sm = StateMachine("m")
+    sm.add_state("a")
+    sm.add_state("b")
+    sm.add_state("orphan")
+    sm.add_state("orphan.child")
+    sm.initial("a")
+    sm.add_transition("a", "b", trigger="go")
+    sm.add_transition("b", "a", trigger="back")
+    return sm
+
+
+def sm_shadowed() -> StateMachine:
+    """Two unguarded transitions on the same trigger: the second can
+    never fire (SM002 definite, fixable)."""
+    sm = StateMachine("m")
+    for name in ("idle", "x", "y"):
+        sm.add_state(name)
+    sm.initial("idle")
+    sm.add_transition("idle", "x", trigger=("p", "go"))
+    sm.add_transition("idle", "y", trigger=("p", "go"))
+    sm.add_transition("x", "idle", trigger="reset")
+    sm.add_transition("y", "idle", trigger="reset")
+    return sm
+
+
+def sm_both_guarded() -> StateMachine:
+    sm = StateMachine("m")
+    for name in ("idle", "x", "y"):
+        sm.add_state(name)
+    sm.initial("idle")
+    sm.add_transition(
+        "idle", "x", trigger="go", guard=lambda c, m: True
+    )
+    sm.add_transition(
+        "idle", "y", trigger="go", guard=lambda c, m: False
+    )
+    sm.add_transition("x", "idle", trigger="reset")
+    sm.add_transition("y", "idle", trigger="reset")
+    return sm
+
+
+def sm_fallback() -> StateMachine:
+    """Guarded transition then unguarded else-branch: deterministic,
+    must NOT be reported by SM002."""
+    sm = StateMachine("m")
+    for name in ("idle", "x", "y"):
+        sm.add_state(name)
+    sm.initial("idle")
+    sm.add_transition(
+        "idle", "x", trigger="go", guard=lambda c, m: True
+    )
+    sm.add_transition("idle", "y", trigger="go")
+    sm.add_transition("x", "idle", trigger="reset")
+    sm.add_transition("y", "idle", trigger="reset")
+    return sm
+
+
+def sm_guarded_choice() -> StateMachine:
+    """A choice point with every branch guarded (SM005 positive)."""
+    sm = StateMachine("m")
+    sm.add_state("a")
+    sm.add_state("b")
+    sm.initial("a")
+    choice = sm.add_choice("pick")
+    choice.add_branch("b", guard=lambda c, m: False)
+    sm.add_transition("a", "pick", trigger="go")
+    sm.add_transition("b", "a", trigger="back")
+    return sm
+
+
+class TriggerCapsule(Capsule):
+    """Capsule whose machine references a signal/port per constructor."""
+
+    def __init__(
+        self, instance_name: str = "ctl",
+        port: str = "p", signal: str = "cmd",
+    ) -> None:
+        self._trigger = (port, signal)
+        super().__init__(instance_name)
+
+    def build_structure(self):
+        self.create_port("p", CHK.conjugate())
+
+    def build_behaviour(self):
+        sm = StateMachine("ctl_sm")
+        sm.add_state("idle")
+        sm.add_state("busy")
+        sm.initial("idle")
+        sm.add_transition("idle", "busy", trigger=self._trigger)
+        sm.add_transition("busy", "idle", trigger=self._trigger)
+        return sm
+
+
+class TimerCapsule(Capsule):
+    """State arms a timer on entry; cancels on exit iff ``cancels``."""
+
+    def __init__(
+        self, instance_name: str = "tmr", cancels: bool = False
+    ) -> None:
+        self._cancels = cancels
+        super().__init__(instance_name)
+
+    def build_structure(self):
+        self.create_port("p", CHK.conjugate())
+
+    def build_behaviour(self):
+        def arm(capsule, message):
+            capsule._pending = capsule.inform_in(1.0)
+
+        def cancel(capsule, message):
+            handle = getattr(capsule, "_pending", None)
+            if handle is not None:
+                handle.cancel()
+
+        sm = StateMachine("tmr_sm")
+        sm.add_state(
+            "wait", entry=arm, exit=cancel if self._cancels else None,
+        )
+        sm.add_state("done")
+        sm.initial("wait")
+        sm.add_transition("wait", "done", trigger=("p", "cmd"))
+        sm.add_transition("done", "wait", trigger=("p", "cmd"))
+        return sm
+
+
+def capsule_model(capsule: Capsule) -> HybridModel:
+    model = HybridModel("cap")
+    model.add_capsule(capsule)
+    return model
+
+
+# ----------------------------------------------------------------------
+# thread / sched builders
+# ----------------------------------------------------------------------
+def cross_thread_model(same_thread: bool = False) -> HybridModel:
+    """A Step on one thread feeding a feedthrough Gain on another
+    (THR001 positive); ``same_thread=True`` is the negative twin."""
+    model = HybridModel("xt")
+    fast = model.create_thread("fast", h=1e-3)
+    src = model.add_streamer(Step("src"))
+    gain = model.add_streamer(
+        Gain("g", k=2.0), thread=None if same_thread else fast,
+    )
+    model.add_flow(src.dport("out"), gain.dport("in"))
+    model.add_probe("y", gain.dport("out"))
+    return model
+
+
+def shared_state_model(share: bool = True) -> HybridModel:
+    """Two leaves on different threads sharing one params dict
+    (THR002 positive); ``share=False`` gives each its own (negative)."""
+    model = HybridModel("shared")
+    fast = model.create_thread("fast", h=1e-3)
+    a = Gain("a", k=2.0)
+    b = Gain("b", k=2.0)
+    if share:
+        b.params = a.params
+    model.add_streamer(a)
+    model.add_streamer(b, thread=fast)
+    src = model.add_streamer(Step("src"))
+    model.add_flow(src.dport("out"), a.dport("in"))
+    model.add_flow(src.dport("out"), b.dport("in"))
+    model.add_probe("ya", a.dport("out"))
+    model.add_probe("yb", b.dport("out"))
+    return model
+
+
+def infeasible_model() -> HybridModel:
+    """A thread stepped at h=1e-7: its estimated WCET dwarfs the sync
+    period, so no schedule exists (SCHED001 error)."""
+    model = HybridModel("sched")
+    fast = model.create_thread("fast", h=1e-7)
+    src = model.add_streamer(Step("src"))
+    integ = model.add_streamer(Integrator("i"), thread=fast)
+    model.add_flow(src.dport("out"), integ.dport("in"))
+    model.add_probe("y", integ.dport("out"))
+    return model

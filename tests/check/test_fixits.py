@@ -1,0 +1,121 @@
+"""Fix-its: applying every repair and re-linting must converge clean.
+
+``autofix`` applies machine-applicable fix-its to a fixpoint.  The
+property tests generate models seeded with arbitrary mixes of fixable
+defects — dead-block chains, shadowed transitions, unreachable states —
+and assert that the final result carries no fixable diagnostic and no
+diagnostic of the repaired codes at all.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import CheckConfig, autofix, run_checks
+from repro.core.model import HybridModel
+from repro.dataflow import Constant, Gain, Step
+from repro.umlrt.statemachine import StateMachine
+
+from tests.check.builders import dead_chain_model, sm_shadowed
+
+
+class TestAutofixUnits:
+    def test_dead_chain_cascades_to_clean(self):
+        model = dead_chain_model(n=4)
+        result = autofix(model)
+        assert not result.by_code("STR002")
+        assert not result.by_code("STR003")
+        # the whole dead chain is gone; the live probed branch stays
+        assert [s.name for s in model.streamers] == ["live"]
+        assert not model.flows
+
+    def test_shadowed_transition_removed(self):
+        sm = sm_shadowed()
+        result = autofix(sm)
+        assert not result.by_code("SM002")
+        # the unreachable leftover target state was removed too
+        assert "y" not in sm.all_states()
+
+    def test_autofix_is_idempotent(self):
+        model = dead_chain_model(n=2)
+        autofix(model)
+        again = autofix(model)
+        assert not any(d.fixit for d in again.diagnostics)
+
+
+@st.composite
+def chain_models(draw):
+    """A model with one live probed chain and N dead chains."""
+    model = HybridModel("gen")
+    live_src = model.add_streamer(Step("live_src"))
+    live_gain = model.add_streamer(Gain("live_gain", k=2.0))
+    model.add_flow(live_src.dport("out"), live_gain.dport("in"))
+    model.add_probe("y", live_gain.dport("out"))
+    n_chains = draw(st.integers(min_value=1, max_value=3))
+    for chain in range(n_chains):
+        length = draw(st.integers(min_value=1, max_value=4))
+        prev = model.add_streamer(Constant(f"c{chain}", value=1.0))
+        for index in range(length):
+            gain = model.add_streamer(
+                Gain(f"d{chain}_{index}", k=2.0)
+            )
+            model.add_flow(prev.dport("out"), gain.dport("in"))
+            prev = gain
+    return model
+
+
+@st.composite
+def shadowed_machines(draw):
+    """A machine with reachable states plus shadowed transitions and
+    orphans."""
+    sm = StateMachine("gen")
+    n_live = draw(st.integers(min_value=2, max_value=4))
+    live = [f"s{i}" for i in range(n_live)]
+    for name in live:
+        sm.add_state(name)
+    sm.initial(live[0])
+    # a reachable ring
+    for i, name in enumerate(live):
+        sm.add_transition(name, live[(i + 1) % n_live], trigger="step")
+    # shadowed duplicates of the ring transitions
+    n_shadow = draw(st.integers(min_value=0, max_value=3))
+    for i in range(n_shadow):
+        source = live[i % n_live]
+        target = live[(i + 2) % n_live]
+        sm.add_transition(source, target, trigger="step")
+    # orphan states, possibly nested
+    n_orphan = draw(st.integers(min_value=0, max_value=2))
+    for i in range(n_orphan):
+        sm.add_state(f"orphan{i}")
+        if draw(st.booleans()):
+            sm.add_state(f"orphan{i}.sub")
+    return sm
+
+
+FIXABLE_PLAN = CheckConfig(select={"STR002", "STR003", "STR004"})
+FIXABLE_SM = CheckConfig(select={"SM001", "SM002"})
+
+
+class TestAutofixProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(chain_models())
+    def test_dead_chains_always_converge_clean(self, model):
+        result = autofix(model, config=FIXABLE_PLAN)
+        assert not result.diagnostics
+        # the live chain survives every repair
+        names = {s.name for s in model.streamers}
+        assert {"live_src", "live_gain"} <= names
+        assert run_checks(model, config=FIXABLE_PLAN).ok("warning")
+
+    @settings(max_examples=25, deadline=None)
+    @given(shadowed_machines())
+    def test_machines_always_converge_clean(self, sm):
+        result = autofix(sm, config=FIXABLE_SM)
+        assert not any(d.fixit for d in result.diagnostics)
+        assert not result.by_code("SM001")
+        # definite shadows all repaired; only may-overlap warnings
+        # (no fixit by design) could remain
+        assert not [
+            d for d in result.by_code("SM002") if d.severity == "error"
+        ]
+        # the reachable ring is intact
+        assert "s0" in sm.all_states()

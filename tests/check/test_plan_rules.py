@@ -1,0 +1,162 @@
+"""Positive and negative cases for every STR rule."""
+
+from repro.check import CheckConfig, run_checks
+from repro.core.network import FlatNetwork
+from repro.core.plan import ExecutionPlan
+from repro.dataflow import Constant, Diagram, Gain, Integrator, Scope
+
+from tests.check.builders import (
+    dead_chain_model,
+    feedback_model,
+    foldable_model,
+    loop_model,
+    narrowing_model,
+    never_read_model,
+)
+
+
+def codes(result):
+    return {d.code for d in result.diagnostics}
+
+
+class TestSTR001:
+    def test_reports_cycle_with_full_path(self):
+        result = run_checks(loop_model())
+        findings = result.by_code("STR001")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.severity == "error"
+        # the details carry the full cycle: both members, no more
+        assert sorted(finding.details["cycle"]) == ["a", "b"]
+        assert finding.subject in ("a", "b")
+        assert "->" in finding.message
+        assert not result.ok("error")
+
+    def test_self_loop_is_a_one_element_cycle(self):
+        diagram = Diagram("d")
+        diagram.add(Gain("g", k=0.5))
+        diagram.connect("g.out", "g.in")
+        result = run_checks(diagram)
+        findings = result.by_code("STR001")
+        assert len(findings) == 1
+        assert findings[0].details["cycle"] == ["d.g"]
+
+    def test_integrator_breaks_the_loop(self):
+        result = run_checks(feedback_model())
+        assert not result.by_code("STR001")
+        assert result.ok("error")
+
+    def test_fires_on_a_compiled_plan(self):
+        model = loop_model()
+        network = FlatNetwork(model.streamers, model.flows, strict=False)
+        plan = ExecutionPlan.compile(network)
+        result = run_checks(plan)
+        assert result.by_code("STR001")
+        assert result.subject.startswith("plan:")
+
+    def test_clean_plan_has_no_cycle(self):
+        model = feedback_model()
+        network = FlatNetwork(model.streamers, model.flows)
+        plan = ExecutionPlan.compile(network)
+        assert not run_checks(plan).by_code("STR001")
+
+
+class TestSTR002:
+    def test_unread_tail_is_dead(self):
+        result = run_checks(dead_chain_model(n=2))
+        findings = result.by_code("STR002")
+        assert [d.subject for d in findings] == ["g1"]
+        assert findings[0].severity == "warning"
+        assert findings[0].fixit is not None
+
+    def test_probed_block_is_alive(self):
+        result = run_checks(feedback_model())
+        assert not result.by_code("STR002")
+
+    def test_sink_block_is_alive_by_side_effect(self):
+        diagram = Diagram("d")
+        diagram.add(Constant("c", value=1.0))
+        diagram.add(Scope("scope"))
+        diagram.connect("c.out", "scope.in1")
+        assert not run_checks(diagram).by_code("STR002")
+
+    def test_fixit_removes_block_and_flows(self):
+        model = dead_chain_model(n=1)
+        result = run_checks(model)
+        [finding] = result.by_code("STR002")
+        finding.fixit()
+        names = [s.name for s in model.streamers]
+        assert "g0" not in names
+        assert all(
+            "g0" not in (f.source.owner.name, f.target.owner.name)
+            for f in model.flows
+        )
+
+
+class TestSTR003:
+    def test_dangling_output_reported_by_port(self):
+        result = run_checks(never_read_model())
+        findings = result.by_code("STR003")
+        assert len(findings) == 1
+        assert findings[0].subject.endswith(".b") or (
+            findings[0].subject == "split.b"
+        )
+
+    def test_probe_counts_as_read(self):
+        result = run_checks(never_read_model(probe_b=True))
+        assert not result.by_code("STR003")
+
+    def test_dead_block_not_double_reported(self):
+        # the dead tail's output is unread, but STR002 subsumes it
+        result = run_checks(dead_chain_model(n=1))
+        dead_subjects = {d.subject for d in result.by_code("STR002")}
+        for finding in result.by_code("STR003"):
+            owner = finding.subject.rsplit(".", 1)[0]
+            assert owner not in dead_subjects
+
+
+class TestSTR004:
+    def test_constant_fed_chain_reported_once(self):
+        result = run_checks(foldable_model(constant_fed=True))
+        findings = result.by_code("STR004")
+        assert len(findings) == 1
+        assert findings[0].severity == "info"
+        assert sorted(findings[0].details["members"]) == ["b", "g", "src"]
+
+    def test_time_varying_source_blocks_folding(self):
+        result = run_checks(foldable_model(constant_fed=False))
+        assert not result.by_code("STR004")
+
+    def test_min_fold_size_gate(self):
+        result = run_checks(
+            foldable_model(constant_fed=True),
+            config=CheckConfig(min_fold_size=4),
+        )
+        assert not result.by_code("STR004")
+
+
+class TestSTR005:
+    def test_subset_connection_reports_missing_fields(self):
+        result = run_checks(narrowing_model(narrow=True))
+        findings = result.by_code("STR005")
+        assert len(findings) == 1
+        assert findings[0].details["missing_fields"] == ["v"]
+        assert "v" in findings[0].message
+
+    def test_equal_types_clean(self):
+        assert not run_checks(
+            narrowing_model(narrow=False)
+        ).by_code("STR005")
+
+
+class TestDiagramSurface:
+    def test_unfinalised_diagram_is_finalised_in_place(self):
+        diagram = Diagram("d")
+        diagram.add(Constant("c", value=1.0))
+        diagram.add(Gain("g", k=2.0))
+        diagram.add(Scope("s"))
+        diagram.connect("c.out", "g.in")
+        diagram.connect("g.out", "s.in1")
+        result = run_checks(diagram)
+        assert diagram._finalised
+        assert not result.by_code("STR002")

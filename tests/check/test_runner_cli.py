@@ -1,0 +1,185 @@
+"""run_checks dispatch, CheckResult surfaces and the CLI."""
+
+import glob
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.check import CheckResult, Diagnostic, run_checks
+from repro.check.cli import main
+from repro.check.context import CheckTargetError
+
+from tests.check.builders import (
+    feedback_model,
+    loop_model,
+    sm_shadowed,
+)
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    "examples",
+)
+
+BAD_FILE = textwrap.dedent(
+    """
+    from repro.core.model import HybridModel
+    from repro.dataflow import Bias, Gain
+
+
+    def build_bad():
+        model = HybridModel("bad")
+        a = model.add_streamer(Gain("a", k=0.5))
+        b = model.add_streamer(Bias("b", bias=1.0))
+        model.add_flow(a.dport("out"), b.dport("in"))
+        model.add_flow(b.dport("out"), a.dport("in"))
+        return model
+    """
+)
+
+CLEAN_FILE = textwrap.dedent(
+    """
+    from repro.core.model import HybridModel
+    from repro.dataflow import Gain, Integrator
+
+
+    def build_clean():
+        model = HybridModel("clean")
+        gain = model.add_streamer(Gain("a", k=0.5))
+        integ = model.add_streamer(Integrator("i"))
+        model.add_flow(gain.dport("out"), integ.dport("in"))
+        model.add_flow(integ.dport("out"), gain.dport("in"))
+        model.add_probe("y", integ.dport("out"))
+        return model
+    """
+)
+
+
+class TestDispatch:
+    def test_unsupported_target_raises(self):
+        with pytest.raises(CheckTargetError):
+            run_checks(42)
+
+    def test_model_and_machine_surfaces_agree_on_codes(self):
+        assert run_checks(loop_model()).by_code("STR001")
+        assert run_checks(sm_shadowed()).by_code("SM002")
+
+
+class TestCheckResult:
+    def test_ok_thresholds(self):
+        result = run_checks(loop_model())
+        assert not result.ok("error")
+        assert not result.ok("warning")
+        clean = run_checks(feedback_model())
+        assert clean.ok("error")
+
+    def test_worst_and_len_and_iter(self):
+        result = run_checks(loop_model())
+        assert result.worst == "error"
+        assert len(result) == len(list(result))
+
+    def test_format_text_mentions_code_and_summary(self):
+        text = run_checks(loop_model()).format_text()
+        assert "[STR001/error]" in text
+        assert "error(s)" in text
+
+    def test_empty_result_formats_clean(self):
+        assert CheckResult([], subject="x").format_text() == "x: clean"
+
+    def test_to_json_summary_counts(self):
+        out = run_checks(loop_model()).to_json()
+        assert out["summary"]["errors"] >= 1
+        assert isinstance(out["diagnostics"], list)
+
+
+class TestCli:
+    def test_bad_file_exits_nonzero_with_code(self, tmp_path, capsys):
+        path = tmp_path / "bad_model.py"
+        path.write_text(BAD_FILE)
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "STR001" in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean_model.py"
+        path.write_text(CLEAN_FILE)
+        assert main([str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_report_structure(self, tmp_path, capsys):
+        path = tmp_path / "bad_model.py"
+        path.write_text(BAD_FILE)
+        artefact = tmp_path / "diag.json"
+        code = main([
+            str(path), "--format", "json",
+            "--json-output", str(artefact),
+        ])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        [target] = report["targets"]
+        assert target["builder"] == "build_bad"
+        assert any(
+            d["code"] == "STR001" for d in target["diagnostics"]
+        )
+        assert json.loads(artefact.read_text()) == report
+
+    def test_import_failure_reported_as_chk000(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("import nonexistent_module_xyz\n")
+        assert main([str(path)]) == 1
+
+    def test_builder_crash_reported_as_chk000(self, tmp_path, capsys):
+        path = tmp_path / "crash.py"
+        path.write_text("def build_boom():\n    raise RuntimeError('x')\n")
+        assert main([str(path)]) == 1
+        assert "CHK000" in capsys.readouterr().out
+
+    def test_no_builders_is_skipped_not_failed(self, tmp_path, capsys):
+        path = tmp_path / "script.py"
+        path.write_text("def main():\n    pass\n")
+        assert main([str(path)]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_fail_on_threshold(self, tmp_path):
+        path = tmp_path / "warny.py"
+        path.write_text(textwrap.dedent(
+            """
+            from repro.core.model import HybridModel
+            from repro.dataflow import Gain, Step
+
+
+            def build_warny():
+                model = HybridModel("warny")
+                src = model.add_streamer(Step("src"))
+                gain = model.add_streamer(Gain("g", k=2.0))
+                model.add_flow(src.dport("out"), gain.dport("in"))
+                return model
+            """
+        ))
+        # dead block: a warning — clean at the default error threshold
+        assert main([str(path)]) == 0
+        assert main([str(path), "--fail-on", "warning"]) == 1
+
+    def test_disable_and_suppress_flags(self, tmp_path):
+        path = tmp_path / "bad_model.py"
+        path.write_text(BAD_FILE)
+        assert main([str(path), "--disable", "STR001"]) == 0
+        assert main([str(path), "--suppress", "STR001"]) == 0
+
+    def test_no_files_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "no files" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "STR001" in out and "SM002" in out
+
+
+class TestExamples:
+    def test_every_shipped_example_lints_clean(self, capsys):
+        files = sorted(glob.glob(os.path.join(EXAMPLES, "*.py")))
+        assert files, "examples directory not found"
+        assert main(files + ["--fail-on", "warning"]) == 0

@@ -1,0 +1,42 @@
+"""Deadline-feasibility lint (SCHED001)."""
+
+from repro.check import CheckConfig, run_checks
+
+from tests.check.builders import feedback_model, infeasible_model
+
+
+class TestSCHED001:
+    def test_infeasible_thread_rate_is_an_error(self):
+        result = run_checks(infeasible_model())
+        findings = result.by_code("SCHED001")
+        assert findings
+        assert findings[0].severity == "error"
+        assert findings[0].details["sync_interval"] == 0.01
+
+    def test_default_rates_feasible(self):
+        result = run_checks(feedback_model())
+        assert not result.by_code("SCHED001")
+
+    def test_sync_interval_knob_changes_the_verdict(self):
+        # the model that is clean at the default interval becomes
+        # infeasible when the deadline shrinks to 100ns
+        result = run_checks(
+            feedback_model(),
+            config=CheckConfig(sync_interval=1e-7),
+        )
+        errors = [
+            d for d in result.by_code("SCHED001")
+            if d.severity == "error"
+        ]
+        assert errors
+
+    def test_plan_target_skipped(self):
+        from repro.check.registry import CheckConfig as Cfg
+        from repro.core.network import FlatNetwork
+        from repro.core.plan import ExecutionPlan
+
+        model = feedback_model()
+        network = FlatNetwork(model.streamers, model.flows)
+        plan = ExecutionPlan.compile(network)
+        result = run_checks(plan, config=Cfg(select={"SCHED001"}))
+        assert not result.diagnostics

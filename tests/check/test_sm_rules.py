@@ -1,0 +1,160 @@
+"""Positive and negative cases for every SM rule."""
+
+from repro.check import run_checks
+from repro.umlrt.statemachine import (
+    StateMachine,
+    add_timeout_transition,
+)
+
+from tests.check.builders import (
+    TimerCapsule,
+    TriggerCapsule,
+    capsule_model,
+    sm_both_guarded,
+    sm_fallback,
+    sm_guarded_choice,
+    sm_shadowed,
+    sm_with_orphan,
+)
+
+
+class TestSM001:
+    def test_orphan_state_and_children_reported(self):
+        result = run_checks(sm_with_orphan())
+        subjects = {d.subject for d in result.by_code("SM001")}
+        assert subjects == {"m.orphan", "m.orphan.child"}
+        assert all(
+            d.severity == "warning" for d in result.by_code("SM001")
+        )
+
+    def test_missing_initial_is_an_error(self):
+        sm = StateMachine("noinit")
+        sm.add_state("a")
+        result = run_checks(sm)
+        [finding] = result.by_code("SM001")
+        assert finding.severity == "error"
+        assert "initial" in finding.message
+
+    def test_states_reached_through_choice_are_live(self):
+        result = run_checks(sm_guarded_choice())
+        assert not result.by_code("SM001")
+
+    def test_composite_initial_drills_down(self):
+        sm = StateMachine("deep")
+        sm.add_state("outer")
+        sm.add_state("outer.inner")
+        sm.initial("outer")
+        sm.initial("outer.inner", composite="outer")
+        assert not run_checks(sm).by_code("SM001")
+
+    def test_fixit_removes_the_state(self):
+        sm = sm_with_orphan()
+        result = run_checks(sm)
+        for finding in result.by_code("SM001"):
+            if finding.fixit is not None:
+                finding.fixit()
+        assert "orphan" not in sm.all_states()
+        assert "orphan.child" not in sm.all_states()
+        assert not run_checks(sm).by_code("SM001")
+
+
+class TestSM002:
+    def test_definite_shadow_is_an_error_with_details(self):
+        result = run_checks(sm_shadowed())
+        [finding] = result.by_code("SM002")
+        assert finding.severity == "error"
+        assert finding.subject == "m.idle"
+        assert finding.details["signal"] == "go"
+        assert finding.details["shadowed_target"] == "y"
+        assert finding.details["winning_target"] == "x"
+        assert finding.fixit is not None
+
+    def test_fixit_removes_shadowed_transition(self):
+        sm = sm_shadowed()
+        [finding] = run_checks(sm).by_code("SM002")
+        finding.fixit()
+        targets = [t.target for t in sm.state("idle").transitions]
+        assert targets == ["x"]
+        assert not run_checks(sm).by_code("SM002")
+
+    def test_two_guarded_transitions_warn(self):
+        result = run_checks(sm_both_guarded())
+        [finding] = result.by_code("SM002")
+        assert finding.severity == "warning"
+        assert finding.fixit is None
+
+    def test_guarded_then_unguarded_fallback_not_reported(self):
+        assert not run_checks(sm_fallback()).by_code("SM002")
+
+    def test_wildcard_port_overlaps_named_port(self):
+        sm = StateMachine("m")
+        for name in ("idle", "x", "y"):
+            sm.add_state(name)
+        sm.initial("idle")
+        sm.add_transition("idle", "x", trigger="go")  # any port
+        sm.add_transition("idle", "y", trigger=("p", "go"))
+        assert run_checks(sm).by_code("SM002")
+
+    def test_different_signals_do_not_overlap(self):
+        sm = StateMachine("m")
+        for name in ("idle", "x", "y"):
+            sm.add_state(name)
+        sm.initial("idle")
+        sm.add_transition("idle", "x", trigger=("p", "go"))
+        sm.add_transition("idle", "y", trigger=("p", "stop"))
+        assert not run_checks(sm).by_code("SM002")
+
+
+class TestSM003:
+    def test_unknown_port_reported(self):
+        model = capsule_model(TriggerCapsule(port="q", signal="cmd"))
+        findings = run_checks(model).by_code("SM003")
+        assert findings
+        assert all(d.severity == "error" for d in findings)
+        assert "port" in findings[0].message
+
+    def test_unreceivable_signal_reported(self):
+        model = capsule_model(TriggerCapsule(port="p", signal="bogus"))
+        findings = run_checks(model).by_code("SM003")
+        assert findings
+        assert findings[0].details["signal"] == "bogus"
+
+    def test_valid_trigger_clean(self):
+        model = capsule_model(TriggerCapsule(port="p", signal="cmd"))
+        assert not run_checks(model).by_code("SM003")
+
+    def test_bare_machine_skipped(self):
+        # without a capsule there is no port table to check against
+        assert not run_checks(sm_shadowed()).by_code("SM003")
+
+
+class TestSM004:
+    def test_timer_without_cancel_reported(self):
+        model = capsule_model(TimerCapsule(cancels=False))
+        findings = run_checks(model).by_code("SM004")
+        assert [d.subject for d in findings] == ["tmr.wait"]
+
+    def test_cancel_on_exit_clean(self):
+        model = capsule_model(TimerCapsule(cancels=True))
+        assert not run_checks(model).by_code("SM004")
+
+    def test_add_timeout_transition_helper_clean(self):
+        sm = StateMachine("m")
+        sm.add_state("wait")
+        sm.add_state("done")
+        sm.initial("wait")
+        add_timeout_transition(sm, "wait", 1.0, "done")
+        sm.add_transition("done", "wait", trigger="again")
+        assert not run_checks(sm).by_code("SM004")
+
+
+class TestSM005:
+    def test_all_guarded_choice_reported(self):
+        result = run_checks(sm_guarded_choice())
+        [finding] = result.by_code("SM005")
+        assert finding.subject == "m.pick"
+
+    def test_else_branch_clean(self):
+        sm = sm_guarded_choice()
+        sm.choice_points["pick"].add_branch("a")
+        assert not run_checks(sm).by_code("SM005")

@@ -1,0 +1,60 @@
+"""Thread-partition race rules (THR001/THR002)."""
+
+from repro.check import run_checks
+
+from tests.check.builders import cross_thread_model, shared_state_model
+
+
+class TestTHR001:
+    def test_cross_thread_feedthrough_reported(self):
+        result = run_checks(cross_thread_model())
+        [finding] = result.by_code("THR001")
+        assert finding.severity == "warning"
+        assert finding.details["src_thread"] == "streamers"
+        assert finding.details["dst_thread"] == "fast"
+
+    def test_same_thread_clean(self):
+        result = run_checks(cross_thread_model(same_thread=True))
+        assert not result.by_code("THR001")
+
+    def test_non_feedthrough_consumer_clean(self):
+        from tests.check.builders import infeasible_model
+
+        # the integrator consumer has no direct feedthrough: sampling
+        # at sync points is exactly how it is meant to be driven
+        result = run_checks(infeasible_model())
+        assert not result.by_code("THR001")
+
+
+class TestTHR002:
+    def test_shared_params_dict_reported(self):
+        result = run_checks(shared_state_model(share=True))
+        [finding] = result.by_code("THR002")
+        assert finding.severity == "warning"
+        assert sorted(finding.details["threads"]) == [
+            "fast", "streamers",
+        ]
+        assert sorted(finding.details["sharers"]) == [
+            "a.params", "b.params",
+        ]
+
+    def test_private_state_clean(self):
+        result = run_checks(shared_state_model(share=False))
+        assert not result.by_code("THR002")
+
+    def test_sharing_on_one_thread_clean(self):
+        from repro.core.model import HybridModel
+        from repro.dataflow import Gain, Step
+
+        model = HybridModel("onethread")
+        a = Gain("a", k=2.0)
+        b = Gain("b", k=2.0)
+        b.params = a.params
+        model.add_streamer(a)
+        model.add_streamer(b)
+        src = model.add_streamer(Step("src"))
+        model.add_flow(src.dport("out"), a.dport("in"))
+        model.add_flow(src.dport("out"), b.dport("in"))
+        model.add_probe("ya", a.dport("out"))
+        model.add_probe("yb", b.dport("out"))
+        assert not run_checks(model).by_code("THR002")
