@@ -1,0 +1,169 @@
+"""Experiment S8 — plan-optimizer speedup across backends.
+
+The 204-block closed loop (`pid_plant_diagram(200)`: PID rig plus a
+200-block unity-gain pad chain) is the stress shape the optimizer
+exists for: at O1 the chain fuses into one node and at O2 it collapses
+further into a single affine op, so the interpreter walks ~5 nodes per
+minor step instead of ~204.  This bench measures interpreter and batch
+step-rate at O0/O1/O2, re-asserts the O1 bitwise-identity contract that
+makes the comparison honest, and records the headline ratios in
+``BENCH_S8.json``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import pid_plant_diagram
+from repro.core.batch import BatchSimulator
+from repro.core.network import FlatNetwork
+
+PAD = 200          # 4 rig blocks + 200 pad gains = the 204-block loop
+H = 2e-3
+T_END = 0.5
+N = 32
+RECORDS = ["plant.out"]
+INTERP_STEPS = 300
+
+
+def loop_network():
+    diagram = pid_plant_diagram(PAD)
+    diagram.finalise()
+    return FlatNetwork([diagram])
+
+
+def interp_step_rate(network, level):
+    """Minor-step rate (rhs evaluations/s) of the plan interpreter."""
+    plan = network.plan(opt_level=level)
+    state = network.initial_state()
+    plan.rhs(0.0, state)  # warm caches
+    start = time.perf_counter()
+    for index in range(INTERP_STEPS):
+        plan.rhs(index * H, state)
+    wall = time.perf_counter() - start
+    return INTERP_STEPS / wall, plan
+
+
+def batch_step_rate(level):
+    """Major-step rate of the vectorised batch backend at N instances."""
+    sim = BatchSimulator(
+        pid_plant_diagram(PAD), N, solver="rk4", h=H, records=RECORDS,
+        opt_level=level, cache=False,
+    )
+    sim.run(0.02, record_every=50)  # warm the compiled program
+    start = time.perf_counter()
+    result = sim.run(T_END, record_every=50)
+    wall = time.perf_counter() - start
+    return (T_END / H) / wall, result
+
+
+def test_s8_o1_is_bitwise_identical():
+    """The contract the speedup rests on: O1 rewrites are invisible."""
+    network = loop_network()
+    reference = network.plan()
+    optimized = network.plan(opt_level=1)
+    assert len(optimized.nodes) < len(reference.nodes)
+    rng = np.random.default_rng(8)
+    for __ in range(20):
+        state = rng.normal(size=reference.state_size)
+        t = float(rng.uniform(0.0, 2.0))
+        assert np.array_equal(
+            reference.rhs(t, state), optimized.rhs(t, state),
+        )
+    plain = BatchSimulator(
+        pid_plant_diagram(PAD), N, solver="rk4", h=H, records=RECORDS,
+        cache=False,
+    ).run(T_END, record_every=50)
+    fused = BatchSimulator(
+        pid_plant_diagram(PAD), N, solver="rk4", h=H, records=RECORDS,
+        opt_level=1, cache=False,
+    ).run(T_END, record_every=50)
+    assert np.array_equal(
+        plain.series["plant.out"], fused.series["plant.out"],
+    )
+    assert np.array_equal(plain.final_states, fused.final_states)
+
+
+def test_s8_opt_speedup(report, bench_json):
+    """Acceptance bar: >= 1.25x interpreter step-rate at O2."""
+    network = loop_network()
+    rates = {}
+    plans = {}
+    for level in (0, 1, 2):
+        rates[level], plans[level] = interp_step_rate(network, level)
+    batch_rates = {}
+    results = {}
+    for level in (0, 1, 2):
+        batch_rates[level], results[level] = batch_step_rate(level)
+
+    # O2 must stay within re-association tolerance of O0
+    np.testing.assert_allclose(
+        results[0].series["plant.out"], results[2].series["plant.out"],
+        rtol=1e-9,
+    )
+    o1_bitwise = np.array_equal(
+        results[0].series["plant.out"], results[1].series["plant.out"],
+    )
+    assert o1_bitwise
+
+    interp_ratio_o1 = rates[1] / rates[0]
+    interp_ratio_o2 = rates[2] / rates[0]
+    batch_ratio_o2 = batch_rates[2] / batch_rates[0]
+    counts = plans[1].opt_report.counts()
+
+    report(
+        f"S8: plan optimizer on the {PAD + 4}-block loop "
+        f"(rk4, h={H}, {T_END} sim-s)",
+        [
+            f"plan nodes O0 -> O1        : "
+            f"{len(plans[0].nodes)} -> {len(plans[1].nodes)}",
+            f"interpreter steps/s O0     : {rates[0]:10.0f}",
+            f"interpreter steps/s O1     : {rates[1]:10.0f} "
+            f"({interp_ratio_o1:.2f}x)",
+            f"interpreter steps/s O2     : {rates[2]:10.0f} "
+            f"({interp_ratio_o2:.2f}x)",
+            f"batch (N={N}) steps/s O0    : {batch_rates[0]:10.0f}",
+            f"batch (N={N}) steps/s O2    : {batch_rates[2]:10.0f} "
+            f"({batch_ratio_o2:.2f}x)",
+            "O1 trajectories            : bitwise identical",
+        ],
+    )
+    assert interp_ratio_o2 >= 1.25, (
+        f"O2 interpreter step-rate only {interp_ratio_o2:.2f}x over O0; "
+        "acceptance bar is 1.25x"
+    )
+    bench_json("s8", {
+        "blocks": PAD + 4,
+        "plan_nodes_o0": len(plans[0].nodes),
+        "plan_nodes_o1": len(plans[1].nodes),
+        "interp_steps_per_s_o0": rates[0],
+        "interp_steps_per_s_o1": rates[1],
+        "interp_steps_per_s_o2": rates[2],
+        "interp_speedup_o1": interp_ratio_o1,
+        "interp_speedup_o2": interp_ratio_o2,
+        "batch_steps_per_s_o0": batch_rates[0],
+        "batch_steps_per_s_o2": batch_rates[2],
+        "batch_speedup_o2": batch_ratio_o2,
+        "ops_fused_o1": counts["fuse.ops_fused"],
+        "bitwise_identical": bool(o1_bitwise),
+    })
+
+
+@pytest.mark.parametrize("disabled", ["dce", "fold", "cse", "fuse"])
+def test_s8_pass_ablation(disabled, report):
+    """Per-pass ablation at O1: which pass carries the win here."""
+    from repro.core.opt import OptConfig
+
+    network = loop_network()
+    full = network.plan(opt_level=1)
+    ablated = network.plan(
+        opt_config=OptConfig(level=1, **{disabled: False}),
+    )
+    report(f"S8: ablation without {disabled}", [
+        f"nodes: full O1 {len(full.nodes)}, "
+        f"without {disabled} {len(ablated.nodes)}",
+    ])
+    # fusion carries the chain collapse; the others are no worse
+    if disabled == "fuse":
+        assert len(ablated.nodes) >= len(full.nodes)

@@ -53,6 +53,9 @@ from repro.core import (
     HybridModel,
     HybridScheduler,
     ModelBuilder,
+    OptConfig,
+    OptReport,
+    PlanOptimizer,
     Relay,
     SPort,
     SolverBinding,
@@ -138,7 +141,10 @@ __all__ = [
     "Message",
     "MetricsRegistry",
     "ModelBuilder",
+    "OptConfig",
+    "OptReport",
     "PlanCache",
+    "PlanOptimizer",
     "Port",
     "PortKind",
     "Priority",

@@ -90,8 +90,9 @@ def _checkable(obj: Any) -> bool:
 
 def check_file(
     path: str, config: CheckConfig, index: int = 0
-) -> List[Tuple[str, CheckResult]]:
-    """Lint every builder of one file; returns (builder, result) pairs.
+) -> List[Tuple[str, CheckResult, Any]]:
+    """Lint every builder of one file; returns (builder, result, target)
+    triples (``target`` is ``None`` for import/build failures).
 
     Import or build failures come back as a single synthetic
     ``CHK000`` error result so the CLI can keep going and still exit
@@ -106,9 +107,10 @@ def check_file(
                 LOAD_ERROR_CODE, "error", path,
                 f"failed to import: {type(exc).__name__}: {exc}",
             )], subject=path),
+            None,
         )]
 
-    results: List[Tuple[str, CheckResult]] = []
+    results: List[Tuple[str, CheckResult, Any]] = []
     for name, obj in vars(module).items():
         if not _is_builder(name, obj, module.__name__):
             continue
@@ -118,12 +120,71 @@ def check_file(
             results.append((name, CheckResult([Diagnostic(
                 LOAD_ERROR_CODE, "error", f"{path}:{name}",
                 f"builder raised: {type(exc).__name__}: {exc}",
-            )], subject=f"{path}:{name}")))
+            )], subject=f"{path}:{name}"), None))
             continue
         if not _checkable(target):
             continue
-        results.append((name, run_checks(target, config=config)))
+        results.append((name, run_checks(target, config=config), target))
     return results
+
+
+def _opt_report(target: Any, level: int):
+    """Run the plan-optimizer pipeline over the target's plan for
+    ``--explain``; ``None`` when the target has no compilable plan (or
+    optimization is off)."""
+    if level <= 0 or target is None:
+        return None
+    from repro.core.dport import DPort
+    from repro.core.model import HybridModel
+    from repro.core.network import FlatNetwork
+    from repro.core.opt import OptConfig, PlanOptimizer
+    from repro.core.plan import ExecutionPlan
+    from repro.core.streamer import Streamer
+
+    config = OptConfig.from_level(level)
+    protect: List[Any] = []
+    try:
+        if isinstance(target, ExecutionPlan):
+            plan = target
+        elif isinstance(target, HybridModel):
+            if not target.streamers:
+                return None
+            protect = [
+                probe.source for probe in target.probes.values()
+                if isinstance(getattr(probe, "source", None), DPort)
+            ]
+            plan = FlatNetwork(
+                target.streamers, target.flows, strict=False,
+            ).plan()
+        elif isinstance(target, Streamer):
+            if hasattr(target, "finalise") and not getattr(
+                target, "_finalised", True
+            ):
+                target.finalise()
+            plan = FlatNetwork([target], strict=False).plan()
+        else:
+            return None
+        return PlanOptimizer(config).run(plan, protect=protect).opt_report
+    except Exception:
+        return None  # --explain is advisory; never fail the lint over it
+
+
+def _opt_note(diagnostic: Diagnostic, report) -> Optional[str]:
+    """What the optimizer would do about one finding, if anything."""
+    if report is None:
+        return None
+    level = f"O{report.config.level}"
+    if diagnostic.code == "STR002":
+        if diagnostic.subject in set(report.dce_removed):
+            return f"optimizer: eliminated at {level} (dce pass)"
+    if diagnostic.code == "STR004":
+        members = list((diagnostic.details or {}).get("members", []))
+        folded = set(report.folded)
+        if members and all(member in folded for member in members):
+            return (
+                f"optimizer: folded to constant(s) at {level} (fold pass)"
+            )
+    return None
 
 
 def _list_rules() -> str:
@@ -185,6 +246,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print only the per-file summary lines",
     )
     parser.add_argument(
+        "--explain", action="store_true",
+        help="annotate findings the plan optimizer would auto-resolve "
+             "(dead blocks eliminated, constant subgraphs folded) and "
+             "print its rewrite report per target",
+    )
+    parser.add_argument(
+        "--opt-level", type=int, default=1, dest="opt_level",
+        help="optimizer level --explain simulates (default: 1)",
+    )
+    parser.add_argument(
+        "--no-opt", action="store_true", dest="no_opt",
+        help="disable optimizer annotations (forces level 0)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", dest="list_rules",
         help="list every registered rule and exit",
     )
@@ -209,6 +284,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sync_interval=args.sync_interval,
     )
 
+    explain_level = 0 if args.no_opt else args.opt_level
     report: dict = {"version": 1, "fail_on": args.fail_on, "targets": []}
     totals = {"errors": 0, "warnings": 0, "infos": 0}
     failed = False
@@ -218,10 +294,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.format == "text" and not args.quiet:
                 print(f"{path}: no model builders found, skipped")
             continue
-        for builder, result in results:
+        for builder, result, target in results:
+            opt_report = (
+                _opt_report(target, explain_level) if args.explain else None
+            )
             entry = result.to_json()
             entry["file"] = path
             entry["builder"] = builder
+            if opt_report is not None:
+                entry["opt"] = opt_report.as_dict()
             report["targets"].append(entry)
             totals["errors"] += len(result.errors)
             totals["warnings"] += len(result.warnings)
@@ -229,7 +310,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if not result.ok(args.fail_on):
                 failed = True
             if args.format == "text":
-                _print_text(path, builder, result, args)
+                _print_text(path, builder, result, args, opt_report)
     report["summary"] = dict(totals, targets=len(report["targets"]))
 
     if args.format == "json":
@@ -242,26 +323,36 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _print_text(
-    path: str, builder: str, result: CheckResult, args
+    path: str, builder: str, result: CheckResult, args, opt_report=None,
 ) -> None:
     label = f"{path}:{builder}"
     if not result.diagnostics:
         print(f"{label}: clean")
-        return
-    if not args.quiet:
-        for diagnostic in sorted(
-            result.diagnostics,
-            key=lambda d: (-severity_rank(d.severity), d.code, d.subject),
-        ):
-            marker = (
-                "!" if meets_threshold(diagnostic.severity, args.fail_on)
-                else " "
-            )
-            print(f"{marker} {label}: {diagnostic}")
-    print(
-        f"{label}: {len(result.errors)} error(s), "
-        f"{len(result.warnings)} warning(s), {len(result.infos)} info(s)"
-    )
+    else:
+        if not args.quiet:
+            for diagnostic in sorted(
+                result.diagnostics,
+                key=lambda d: (
+                    -severity_rank(d.severity), d.code, d.subject,
+                ),
+            ):
+                marker = (
+                    "!" if meets_threshold(
+                        diagnostic.severity, args.fail_on,
+                    ) else " "
+                )
+                print(f"{marker} {label}: {diagnostic}")
+                note = _opt_note(diagnostic, opt_report)
+                if note is not None:
+                    print(f"      {note}")
+        print(
+            f"{label}: {len(result.errors)} error(s), "
+            f"{len(result.warnings)} warning(s), "
+            f"{len(result.infos)} info(s)"
+        )
+    if opt_report is not None and not args.quiet:
+        for line in opt_report.describe().splitlines():
+            print(f"  {line}")
 
 
 if __name__ == "__main__":  # pragma: no cover

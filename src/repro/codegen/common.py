@@ -613,6 +613,47 @@ def _emit_unit_delay(block, ctx):
     )
 
 
+# ----------------------------------------------------------------------
+# emitters: optimizer-synthesised leaves (repro.core.opt)
+# ----------------------------------------------------------------------
+@register_emitter("FoldedBlock")
+def _emit_folded(block, ctx):
+    # the folded boundary keeps the original block's name, so its frozen
+    # outputs land in exactly the signal vars consumers already reference
+    return BlockCode(output_lines=[
+        f"{ctx.signal(block, name)} = {ctx.lang.num(value)}"
+        for name, value in block.scalar_values()
+    ])
+
+
+@register_emitter("FusedChain")
+def _emit_fused(block, ctx):
+    lang = ctx.lang
+    # the incoming edge still names the original head leaf, so the input
+    # lookup must key on it rather than on the fused node
+    expr = ctx.input(block.head_leaf, block.in_pad.name)
+    if block.affine is not None:  # O2: composed a*v + b
+        a, b = block.affine
+        expr = f"{lang.num(a)} * ({expr}) + {lang.num(b)}"
+    else:  # O1: replay each member's op in order
+        for spec in block.specs:
+            kind = spec[0]
+            if kind == "gain":
+                expr = f"{lang.num(spec[1])} * ({expr})"
+            elif kind == "bias":
+                expr = f"({expr}) + {lang.num(spec[1])}"
+            else:  # sum over the driven slot plus frozen slots
+                terms = []
+                for sign, frozen in spec[1]:
+                    term = (
+                        f"({expr})" if frozen is None else lang.num(frozen)
+                    )
+                    terms.append(f"{'+' if sign == '+' else '-'} {term}")
+                expr = f"({' '.join(terms)})"
+    out = ctx.signal(block, block.out_pad.name)
+    return BlockCode(output_lines=[f"{out} = {expr}"])
+
+
 @register_emitter("Scope")
 def _emit_scope(block, ctx):
     return BlockCode()  # recording handled by the backend
@@ -630,15 +671,27 @@ def lower(
     diagram: Diagram,
     lang: Lang,
     records: Optional[List[str]] = None,
+    opt_level: int = 0,
+    opt_config=None,
 ) -> LoweredModel:
     """Compile ``diagram`` to its ExecutionPlan and emit code for ``lang``.
 
     ``records`` is a list of ``"block.port"`` paths to record each step;
     defaults to every Scope input and every dangling leaf OUT port.
+
+    ``opt_level`` / ``opt_config`` run the :mod:`repro.core.opt` pass
+    pipeline over the plan before emission; explicitly recorded ports are
+    protected so their signals survive rewriting.
     """
     diagram.finalise()
     network = FlatNetwork([diagram])
-    plan = network.plan()
+    from repro.core.opt import resolve_config
+
+    config = resolve_config(opt_level, opt_config)
+    protect = []
+    if config.is_active and records:
+        protect = [diagram.port_at(path) for path in records]
+    plan = network.plan(opt_config=config, protect=protect)
     ctx = _Ctx(plan, lang)
     code: Dict[int, BlockCode] = {}
     for node in plan.nodes:

@@ -42,6 +42,7 @@ from repro.core.batch import (
     BatchChunk, BatchError, BatchProgram, BatchResult, BatchSimulator,
     SweepVar, compile_batch_program, merge_chunks, simulate_sequential,
 )
+from repro.core.opt import OptConfig, OptReport, PlanOptimizer
 from repro.core.thread import StreamerThread
 from repro.core.hybrid import HybridScheduler
 from repro.core.model import HybridModel
@@ -70,10 +71,13 @@ __all__ = [
     "HybridModel",
     "HybridScheduler",
     "ModelBuilder",
+    "OptConfig",
+    "OptReport",
     "PlanCounters",
     "PlanEdge",
     "PlanGuard",
     "PlanNode",
+    "PlanOptimizer",
     "Relay",
     "SPort",
     "SPortError",

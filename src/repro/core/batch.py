@@ -256,10 +256,59 @@ def _render_program(model: Any) -> str:
     return "\n".join(lines) + "\n"
 
 
+_shared_program_cache = None
+
+
+def shared_program_cache():
+    """The process-wide cache of compiled :class:`BatchProgram` artefacts.
+
+    Keyed by the O0 plan fingerprint plus records/sweeps/opt extras (see
+    :func:`batch_program_cache_key`), so two :class:`BatchSimulator`
+    instances over the same plan — even over independently built but
+    structurally identical diagrams — compile once and share the
+    program.  Lazily imports the service-layer cache to keep
+    ``repro.core`` importable without ``repro.service``.
+    """
+    global _shared_program_cache
+    if _shared_program_cache is None:
+        from repro.service.cache import PlanCache
+
+        _shared_program_cache = PlanCache(capacity=64)
+    return _shared_program_cache
+
+
+def batch_program_cache_key(
+    diagram: Diagram,
+    records: Optional[List[str]] = None,
+    sweep_paths: Sequence[str] = (),
+    opt_config=None,
+) -> str:
+    """Content key identifying one compiled batch program.
+
+    Hashes the *unoptimized* plan (parameter values included — folded
+    constants bake them into the source) plus everything else that
+    shaped the emitted program: record labels, sweep-path order and the
+    optimizer configuration.  Distinct opt levels therefore never serve
+    each other's artefacts.
+    """
+    diagram.finalise()
+    network = FlatNetwork([diagram])
+    extra: Dict[str, Any] = {
+        "backend": "batch-program",
+        "batch.records": tuple(records) if records else "<default>",
+        "batch.sweep_paths": tuple(sorted(sweep_paths)),
+    }
+    if opt_config is not None and opt_config.is_active:
+        extra["opt"] = opt_config.cache_token()
+    return network.plan().fingerprint(extra=extra)
+
+
 def compile_batch_program(
     diagram: Diagram,
     records: Optional[List[str]] = None,
     sweep_paths: Sequence[str] = (),
+    opt_level: int = 0,
+    opt_config=None,
 ) -> BatchProgram:
     """Lower ``diagram`` into a reusable :class:`BatchProgram`.
 
@@ -269,6 +318,11 @@ def compile_batch_program(
     once and instantiate many simulators.  ``sweep_paths`` fixes which
     block parameters become per-instance matrix rows; their *values*
     arrive later, at simulator construction.
+
+    ``opt_level`` / ``opt_config`` run the :mod:`repro.core.opt` pass
+    pipeline before emission.  Swept parameters are automatically
+    protected from rewriting (their ``SweepVar`` symbols must survive to
+    the emitted source).
     """
     ordered = tuple(sorted(sweep_paths))
     items: List[Tuple[Streamer, str, float, SweepVar]] = []
@@ -281,7 +335,10 @@ def compile_batch_program(
     try:
         from repro.codegen.common import NumpyLang, lower
 
-        model = lower(diagram, NumpyLang(), records)
+        model = lower(
+            diagram, NumpyLang(), records,
+            opt_level=opt_level, opt_config=opt_config,
+        )
     finally:
         for block, key, base, __ in items:
             block.params[key] = base
@@ -373,6 +430,15 @@ class BatchSimulator:
         per-instantiation ``exec`` of the rendered ``_build`` factory
         runs — and ``diagram``/``records`` are ignored.  The ``sweeps``
         keys must match the paths the program was compiled for.
+    opt_level / opt_config:
+        Plan-optimizer configuration (:mod:`repro.core.opt`) applied
+        while compiling the program.  Ignored when ``program`` is given.
+    cache:
+        Where to look up/share the compiled program when ``program`` is
+        not given: ``None`` (default) uses the process-wide
+        :func:`shared_program_cache`; a
+        :class:`~repro.service.cache.PlanCache` uses that instance;
+        ``False`` compiles privately (the pre-cache behaviour).
     """
 
     def __init__(
@@ -385,6 +451,9 @@ class BatchSimulator:
         sweeps: Optional[Mapping[str, Sequence[float]]] = None,
         x0: Optional[np.ndarray] = None,
         program: Optional[BatchProgram] = None,
+        opt_level: int = 0,
+        opt_config=None,
+        cache: Any = None,
     ) -> None:
         if n < 1:
             raise BatchError(f"need at least one instance, got {n}")
@@ -416,9 +485,26 @@ class BatchSimulator:
                 raise BatchError(
                     "need either a diagram or a precompiled program"
                 )
-            program = compile_batch_program(
-                diagram, records=records, sweep_paths=tuple(sweep_values),
-            )
+            from repro.core.opt import resolve_config
+
+            config = resolve_config(opt_level, opt_config)
+            sweep_paths = tuple(sorted(sweep_values))
+
+            def compile_program() -> BatchProgram:
+                return compile_batch_program(
+                    diagram, records=records, sweep_paths=sweep_paths,
+                    opt_config=config,
+                )
+
+            if cache is False:
+                program = compile_program()
+            else:
+                store = shared_program_cache() if cache is None else cache
+                key = batch_program_cache_key(
+                    diagram, records=records, sweep_paths=sweep_paths,
+                    opt_config=config,
+                )
+                program = store.get_or_compile(key, compile_program)
         elif tuple(sorted(sweep_values)) != program.sweep_paths:
             raise BatchError(
                 f"sweep paths {tuple(sorted(sweep_values))} do not match "

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.core.dport import DPort
 from repro.core.network import FlatNetwork
 from repro.core.thread import RealThreadPool, StreamerThread
 from repro.solvers.events import EventSpec, ZeroCrossingDetector
@@ -56,6 +57,8 @@ class HybridScheduler:
         event_restart: bool = True,
         real_threads: bool = False,
         dense_events: bool = True,
+        opt_level: int = 0,
+        opt_config=None,
     ) -> None:
         if sync_interval <= 0:
             raise HybridError(
@@ -65,6 +68,10 @@ class HybridScheduler:
         self.sync_interval = sync_interval
         self.event_restart = event_restart
         self.real_threads = real_threads
+        #: optimizer pipeline applied when compiling the plan (probed
+        #: pads are automatically protected from rewrites)
+        self.opt_level = opt_level
+        self.opt_config = opt_config
         #: localise crossings on a cubic Hermite interpolant (two extra
         #: RHS evaluations per event-bearing slice) instead of a secant
         self.dense_events = dense_events
@@ -110,8 +117,18 @@ class HybridScheduler:
                 thread.leaves.append(leaf)
                 leaf_threads[id(leaf)] = thread_index[id(thread)]
             # compile the thread-partitioned execution plan and hand each
-            # thread its view (own nodes, in-thread edges only)
-            self.plan = self.network.bind_threads(leaf_threads)
+            # thread its view (own nodes, in-thread edges only); probed
+            # pads are protected so the optimizer never rewires them
+            protect = [
+                probe.source for probe in model.probes.values()
+                if isinstance(getattr(probe, "source", None), DPort)
+            ]
+            self.plan = self.network.bind_threads(
+                leaf_threads,
+                opt_level=self.opt_level,
+                opt_config=self.opt_config,
+                protect=protect,
+            )
             for i, thread in enumerate(model.threads):
                 thread.plan = self.plan.thread_plan(i)
             self.state = self.network.initial_state()

@@ -244,8 +244,15 @@ class HybridModel:
         event_restart: bool = True,
         real_threads: bool = False,
         dense_events: bool = True,
+        opt_level: int = 0,
+        opt_config=None,
     ) -> HybridScheduler:
-        """Create (or return the existing) hybrid scheduler."""
+        """Create (or return the existing) hybrid scheduler.
+
+        ``opt_level`` / ``opt_config`` select the plan-optimizer
+        pipeline (:mod:`repro.core.opt`) the scheduler compiles under;
+        probed pads are protected automatically.
+        """
         if self._scheduler is None:
             self._scheduler = HybridScheduler(
                 self,
@@ -253,6 +260,8 @@ class HybridModel:
                 event_restart=event_restart,
                 real_threads=real_threads,
                 dense_events=dense_events,
+                opt_level=opt_level,
+                opt_config=opt_config,
             )
         return self._scheduler
 
@@ -264,6 +273,8 @@ class HybridModel:
         real_threads: bool = False,
         dense_events: bool = True,
         validate: bool = True,
+        opt_level: int = 0,
+        opt_config=None,
     ) -> HybridScheduler:
         """Validate, build and simulate to continuous time ``until``."""
         if validate and self._scheduler is None:
@@ -273,6 +284,8 @@ class HybridModel:
             event_restart=event_restart,
             real_threads=real_threads,
             dense_events=dense_events,
+            opt_level=opt_level,
+            opt_config=opt_config,
         )
         scheduler.run(until)
         return scheduler

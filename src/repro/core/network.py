@@ -123,6 +123,8 @@ class FlatNetwork:
         self._offsets: Dict[int, Tuple[int, int]] = {}
         self.state_size = 0
         self._plan: Optional["ExecutionPlan"] = None
+        #: optimized plans, keyed by (opt cache token, protected pad ids)
+        self._opt_plans: Dict[Tuple, "ExecutionPlan"] = {}
         self._resolve_edges()
         self._topological_order()
         self._assign_state_slices()
@@ -399,17 +401,54 @@ class FlatNetwork:
         """The resolved edges feeding ``leaf`` (empty if none)."""
         return list(self._in_edges.get(id(leaf), []))
 
-    def plan(self) -> "ExecutionPlan":
+    def plan(
+        self,
+        opt_level: int = 0,
+        opt_config=None,
+        protect: Sequence[DPort] = (),
+    ) -> "ExecutionPlan":
         """The cached :class:`~repro.core.plan.ExecutionPlan` for this
-        network (compiled on first use, single-partition)."""
-        if self._plan is None:
-            from repro.core.plan import ExecutionPlan
+        network (compiled on first use, single-partition).
 
-            self._plan = ExecutionPlan.compile(self)
-        return self._plan
+        ``opt_level`` / ``opt_config`` select the optimizer pipeline
+        (:mod:`repro.core.opt`); optimized plans are cached separately
+        per configuration, so requesting O2 never disturbs the O0 plan
+        the thin ``evaluate``/``rhs`` wrappers use.  ``protect`` lists
+        pads the optimizer must leave untouched (probe sources).
+        """
+        from repro.core.plan import ExecutionPlan
+
+        config = None
+        if opt_config is not None or opt_level:
+            from repro.core.opt import resolve_config
+
+            config = resolve_config(opt_level, opt_config)
+        if config is None or not config.is_active:
+            if self._plan is None:
+                self._plan = ExecutionPlan.compile(self)
+            return self._plan
+        key = (
+            config.cache_token(),
+            tuple(sorted(id(pad) for pad in protect)),
+        )
+        cached = self._opt_plans.get(key)
+        if cached is None:
+            counters = (
+                self._plan.counters if self._plan is not None else None
+            )
+            cached = ExecutionPlan.compile(
+                self, counters=counters, opt_config=config,
+                protect=protect,
+            )
+            self._opt_plans[key] = cached
+        return cached
 
     def bind_threads(
-        self, leaf_threads: Mapping[int, int]
+        self,
+        leaf_threads: Mapping[int, int],
+        opt_level: int = 0,
+        opt_config=None,
+        protect: Sequence[DPort] = (),
     ) -> "ExecutionPlan":
         """Recompile the plan with a thread partition.
 
@@ -417,13 +456,16 @@ class FlatNetwork:
         plan replaces the cached one (carrying the analysis counters
         over) and is returned.  The scheduler calls this once at build
         time, then derives per-thread views with
-        :meth:`~repro.core.plan.ExecutionPlan.thread_plan`.
+        :meth:`~repro.core.plan.ExecutionPlan.thread_plan`.  The
+        optimizer arguments mirror :meth:`plan`; the optimized plan
+        becomes *the* cached plan, so ``evaluate``/``rhs`` run it too.
         """
         from repro.core.plan import ExecutionPlan
 
         counters = self._plan.counters if self._plan is not None else None
         self._plan = ExecutionPlan.compile(
-            self, leaf_threads, counters=counters
+            self, leaf_threads, counters=counters,
+            opt_level=opt_level, opt_config=opt_config, protect=protect,
         )
         return self._plan
 

@@ -1,0 +1,178 @@
+"""Optimizer configuration (O-levels, pass toggles) and rewrite report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+#: pipeline order; also the canonical pass names for toggles and reports
+PASS_ORDER: Tuple[str, ...] = ("dce", "fold", "cse", "fuse")
+
+
+@dataclass(frozen=True)
+class OptConfig:
+    """One optimizer configuration: an O-level plus per-pass toggles.
+
+    ``level`` selects the contract (0 = off, 1 = bitwise-identity
+    passes, 2 = O1 + float re-association); the boolean toggles switch
+    individual passes off within a level.  ``reassociate`` defaults to
+    ``level >= 2`` but can be forced either way for ablations.
+    """
+
+    level: int = 0
+    dce: bool = True
+    fold: bool = True
+    cse: bool = True
+    fuse: bool = True
+    reassociate: Optional[bool] = None
+
+    @classmethod
+    def from_level(cls, level: int) -> "OptConfig":
+        return cls(level=int(level))
+
+    @property
+    def allows_reassociation(self) -> bool:
+        if self.reassociate is not None:
+            return bool(self.reassociate)
+        return self.level >= 2
+
+    def enabled_passes(self) -> Tuple[str, ...]:
+        if self.level <= 0:
+            return ()
+        return tuple(
+            name for name in PASS_ORDER if getattr(self, name)
+        )
+
+    @property
+    def is_active(self) -> bool:
+        return self.level > 0 and bool(self.enabled_passes())
+
+    def cache_token(self) -> str:
+        """A stable short string keying compiled artefacts.
+
+        Two configurations producing potentially different artefacts
+        must map to different tokens — the token enters
+        :meth:`~repro.core.plan.ExecutionPlan.fingerprint` and every
+        service cache key, so O0 and O2 artefacts never collide.
+        """
+        if not self.is_active:
+            return "O0"
+        passes = ",".join(self.enabled_passes())
+        suffix = "+reassoc" if self.allows_reassociation else ""
+        return f"O{self.level}[{passes}]{suffix}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.cache_token()
+
+
+def resolve_config(
+    opt_level: int = 0, opt_config: Optional[OptConfig] = None
+) -> OptConfig:
+    """Normalise the ``(opt_level, opt_config)`` calling convention every
+    plumbed API uses: an explicit config wins, else the level selects
+    the default pass set."""
+    if opt_config is not None:
+        return opt_config
+    return OptConfig.from_level(opt_level)
+
+
+class OptReport:
+    """Per-pass rewrite counts and subjects for one optimizer run.
+
+    Carried on the optimized plan as ``plan.opt_report`` so backends,
+    telemetry (``opt.blocks_removed`` / ``opt.ops_fused``) and the check
+    CLI's ``--explain`` output can all surface what the pipeline did.
+    Subjects are leaf *paths* (stable strings), never object references.
+    """
+
+    def __init__(self, config: OptConfig) -> None:
+        self.config = config
+        self.input_nodes = 0
+        self.output_nodes = 0
+        #: paths removed by dead-code elimination
+        self.dce_removed: List[str] = []
+        #: paths of every block evaluated away by constant folding
+        self.folded: List[str] = []
+        #: folded paths kept as literal-constant boundary blocks
+        self.constants: List[str] = []
+        #: (duplicate path, representative path) pairs merged by CSE
+        self.cse_merged: List[Tuple[str, str]] = []
+        #: member-path tuples of each fused chain
+        self.fused_chains: List[Tuple[str, ...]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def blocks_removed(self) -> int:
+        """Total node-count shrink (the ``opt.blocks_removed`` metric)."""
+        return max(0, self.input_nodes - self.output_nodes)
+
+    @property
+    def ops_fused(self) -> int:
+        """Chain members collapsed into fused nodes
+        (the ``opt.ops_fused`` metric)."""
+        return sum(len(chain) for chain in self.fused_chains)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "dce.blocks_removed": len(self.dce_removed),
+            "fold.blocks_folded": len(self.folded),
+            "fold.constants_materialized": len(self.constants),
+            "cse.blocks_merged": len(self.cse_merged),
+            "fuse.chains": len(self.fused_chains),
+            "fuse.ops_fused": self.ops_fused,
+            "opt.blocks_removed": self.blocks_removed,
+            "opt.ops_fused": self.ops_fused,
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "config": self.config.cache_token(),
+            "input_nodes": self.input_nodes,
+            "output_nodes": self.output_nodes,
+            "counts": self.counts(),
+            "dce_removed": list(self.dce_removed),
+            "folded": list(self.folded),
+            "constants": list(self.constants),
+            "cse_merged": [list(pair) for pair in self.cse_merged],
+            "fused_chains": [list(chain) for chain in self.fused_chains],
+        }
+
+    def describe(self) -> str:
+        """Human-readable per-pass summary (``--explain`` output)."""
+        lines = [
+            f"opt {self.config.cache_token()}: "
+            f"{self.input_nodes} -> {self.output_nodes} nodes"
+        ]
+        if self.dce_removed:
+            lines.append(
+                f"  dce: removed {len(self.dce_removed)} dead block(s): "
+                + ", ".join(self.dce_removed)
+            )
+        if self.folded:
+            lines.append(
+                f"  fold: folded {len(self.folded)} constant block(s) "
+                f"into {len(self.constants)} literal(s): "
+                + ", ".join(self.folded)
+            )
+        if self.cse_merged:
+            lines.append(
+                f"  cse: merged {len(self.cse_merged)} duplicate(s): "
+                + ", ".join(f"{a} -> {b}" for a, b in self.cse_merged)
+            )
+        if self.fused_chains:
+            lines.append(
+                f"  fuse: fused {self.ops_fused} op(s) in "
+                f"{len(self.fused_chains)} chain(s): "
+                + "; ".join(
+                    " -> ".join(chain) for chain in self.fused_chains
+                )
+            )
+        if len(lines) == 1:
+            lines.append("  (no rewrites applied)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OptReport({self.config.cache_token()}, "
+            f"removed={self.blocks_removed}, fused={self.ops_fused})"
+        )

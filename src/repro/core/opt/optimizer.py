@@ -1,0 +1,616 @@
+"""The PlanOptimizer: rewrites ExecutionPlan tables pass by pass.
+
+The optimizer works on a small mutable mirror of the plan's node/edge
+tables (:class:`_WNode` / :class:`_WEdge`), mutates it through the
+enabled passes and rebuilds a fresh :class:`~repro.core.plan.
+ExecutionPlan` — the plan constructor re-derives stages, schedules and
+every hot-path cache from the tables, so the rewritten plan drops into
+the interpreter, thread views, batch backend and code generators
+unchanged.
+
+Safety invariants shared by all passes:
+
+* only *rewritable* leaves are touched: stateless, no SPorts (so no
+  mid-run ``set_<param>`` retuning can invalidate frozen parameters),
+  no zero-crossing guards, no discrete extra state;
+* *protected* leaves are untouchable: anything owning or wired through
+  a probed pad, and anything carrying a symbolic (swept) parameter —
+  the batch backend's SweepVar rows must survive to the emitted source;
+* state-vector layout is preserved: only stateless nodes are ever
+  removed, and surviving nodes keep their original ``[lo, hi)`` slices,
+  so ``initial_state()``, snapshots and thread views stay compatible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.dport import DPort
+from repro.core.network import ResolvedEdge
+from repro.core.plan import ExecutionPlan, PlanEdge, PlanGuard, PlanNode
+from repro.core.streamer import Streamer
+
+from repro.core.opt.config import OptConfig, OptReport
+from repro.core.opt.synth import (
+    FoldedBlock, FusedChain, PadCopy, stage_spec,
+)
+
+_EMPTY_STATE = np.zeros(0, dtype=float)
+
+#: block types the fusion pass understands (single affine-expressible op)
+_FUSABLE_TYPES = ("Gain", "Bias", "Sum")
+
+
+class _WNode:
+    """Mutable working copy of one PlanNode row."""
+
+    __slots__ = ("leaf", "lo", "hi", "thread_index", "origin_path")
+
+    def __init__(self, node: PlanNode) -> None:
+        self.leaf = node.leaf
+        self.lo = node.lo
+        self.hi = node.hi
+        self.thread_index = node.thread_index
+        self.origin_path = node.leaf.path()
+
+
+class _WEdge:
+    """Mutable working copy of one PlanEdge row."""
+
+    __slots__ = ("src", "dst", "resolved", "is_observer")
+
+    def __init__(
+        self,
+        src: _WNode,
+        dst: _WNode,
+        resolved: ResolvedEdge,
+        is_observer: bool,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.resolved = resolved
+        self.is_observer = is_observer
+
+
+def _is_rewritable(leaf: Streamer) -> bool:
+    """No state, no events, no signal side channel, no held registers —
+    the leaf's behaviour is fully described by its dataflow ports."""
+    return (
+        int(leaf.state_size) == 0
+        and not leaf.sports
+        and not tuple(leaf.zero_crossing_names)
+        and not leaf.extra_state()
+    )
+
+
+def _in_data_ports(leaf: Streamer) -> List[DPort]:
+    return [
+        pad for pad in leaf.dports.values()
+        if pad.is_in and not pad.relay_only
+    ]
+
+
+def _out_data_ports(leaf: Streamer) -> List[DPort]:
+    return [
+        pad for pad in leaf.dports.values()
+        if pad.is_out and not pad.relay_only
+    ]
+
+
+def _edge_pads(resolved: ResolvedEdge) -> List[DPort]:
+    """Every pad an edge touches: endpoints plus all hop pads."""
+    pads = [resolved.src_port, resolved.dst_port]
+    for hop in resolved.path:
+        for attr in ("source", "target", "input", "out_a", "out_b"):
+            pad = getattr(hop, attr, None)
+            if isinstance(pad, DPort):
+                pads.append(pad)
+    return pads
+
+
+class PlanOptimizer:
+    """Runs the configured pass pipeline over one ExecutionPlan."""
+
+    def __init__(self, config: OptConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        plan: ExecutionPlan,
+        protect: Sequence[DPort] = (),
+    ) -> ExecutionPlan:
+        """Optimize ``plan``; returns a new plan (or ``plan`` itself when
+        the configuration is inactive).  ``protect`` lists pads whose
+        owners and wiring must survive untouched (probed pads)."""
+        if not self.config.is_active:
+            return plan
+        report = OptReport(self.config)
+        report.input_nodes = len(plan.nodes)
+        nodes = [_WNode(node) for node in plan.nodes]
+        edges = [
+            _WEdge(
+                nodes[edge.src], nodes[edge.dst],
+                edge.resolved, edge.is_observer,
+            )
+            for edge in plan.edges
+        ]
+        protected = self._protected(nodes, edges, protect)
+        if self.config.dce:
+            self._pass_dce(nodes, edges, protected, report)
+        if self.config.fold:
+            self._pass_fold(nodes, edges, protected, report)
+        if self.config.cse:
+            self._pass_cse(nodes, edges, protected, report)
+        if self.config.fuse:
+            self._pass_fuse(nodes, edges, protected, report)
+        report.output_nodes = len(nodes)
+        return self._rebuild(plan, nodes, edges, report)
+
+    # ------------------------------------------------------------------
+    # protection
+    # ------------------------------------------------------------------
+    def _protected(
+        self,
+        nodes: List[_WNode],
+        edges: List[_WEdge],
+        protect: Sequence[DPort],
+    ) -> Set[int]:
+        protected_pads = {id(pad) for pad in protect}
+        flagged: Set[int] = set()
+        for wn in nodes:
+            if any(
+                getattr(value, "symbol", None) is not None
+                for value in wn.leaf.params.values()
+            ):
+                flagged.add(id(wn))  # swept parameter: must stay symbolic
+            elif protected_pads and any(
+                id(pad) in protected_pads
+                for pad in wn.leaf.dports.values()
+            ):
+                flagged.add(id(wn))
+        if protected_pads:
+            for we in edges:
+                if any(
+                    id(pad) in protected_pads
+                    for pad in _edge_pads(we.resolved)
+                ):
+                    flagged.add(id(we.src))
+                    flagged.add(id(we.dst))
+        return flagged
+
+    # ------------------------------------------------------------------
+    # pass 1: dead-code elimination
+    # ------------------------------------------------------------------
+    def _pass_dce(
+        self,
+        nodes: List[_WNode],
+        edges: List[_WEdge],
+        protected: Set[int],
+        report: OptReport,
+    ) -> None:
+        observed = {id(we.src) for we in edges if we.is_observer}
+        producers: Dict[int, List[_WNode]] = {}
+        for we in edges:
+            if not we.is_observer:
+                producers.setdefault(id(we.dst), []).append(we.src)
+        live: Set[int] = set()
+        stack: List[_WNode] = []
+        for wn in nodes:
+            is_root = (
+                id(wn) in protected
+                or id(wn) in observed
+                or not _is_rewritable(wn.leaf)
+                or not _out_data_ports(wn.leaf)  # a sink: alive by effect
+            )
+            if is_root:
+                live.add(id(wn))
+                stack.append(wn)
+        while stack:
+            wn = stack.pop()
+            for src in producers.get(id(wn), ()):
+                if id(src) not in live:
+                    live.add(id(src))
+                    stack.append(src)
+        dead = [wn for wn in nodes if id(wn) not in live]
+        if not dead:
+            return
+        dead_ids = {id(wn) for wn in dead}
+        nodes[:] = [wn for wn in nodes if id(wn) not in dead_ids]
+        edges[:] = [
+            we for we in edges
+            if id(we.src) not in dead_ids and id(we.dst) not in dead_ids
+        ]
+        report.dce_removed = [wn.origin_path for wn in dead]
+
+    # ------------------------------------------------------------------
+    # pass 2: constant folding
+    # ------------------------------------------------------------------
+    def _pass_fold(
+        self,
+        nodes: List[_WNode],
+        edges: List[_WEdge],
+        protected: Set[int],
+        report: OptReport,
+    ) -> None:
+        position = {id(wn): i for i, wn in enumerate(nodes)}
+        candidates: Dict[int, _WNode] = {
+            id(wn): wn for wn in nodes
+            if id(wn) not in protected
+            and _is_rewritable(wn.leaf)
+            and getattr(wn.leaf, "time_invariant", False)
+            and not isinstance(wn.leaf, (FoldedBlock, FusedChain))
+            and _out_data_ports(wn.leaf)
+            and (wn.leaf.direct_feedthrough
+                 or not _in_data_ports(wn.leaf))
+        }
+        # a feedback in-edge delivers the *previous* step's value on the
+        # first evaluation — freezing it would change step one, so such
+        # nodes never fold
+        for we in edges:
+            if (
+                not we.is_observer
+                and id(we.dst) in candidates
+                and position[id(we.src)] >= position[id(we.dst)]
+            ):
+                del candidates[id(we.dst)]
+        if not candidates:
+            return
+        in_edges: Dict[int, List[_WEdge]] = {key: [] for key in candidates}
+        for we in edges:
+            if not we.is_observer and id(we.dst) in candidates:
+                in_edges[id(we.dst)].append(we)
+
+        # STR004's fixpoint: a candidate folds when every input is driven
+        # and every driver already folds (constants seed the iteration)
+        foldable: Set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for key, wn in candidates.items():
+                if key in foldable:
+                    continue
+                feeding = in_edges[key]
+                if len(feeding) < len(_in_data_ports(wn.leaf)):
+                    continue  # an undriven input: statically unknown
+                if all(id(we.src) in foldable for we in feeding):
+                    foldable.add(key)
+                    changed = True
+        if not foldable:
+            return
+
+        # evaluate the folded subgraph once, with the original blocks'
+        # own compute_outputs — the frozen pads are bitwise what every
+        # later step would have recomputed
+        for wn in nodes:
+            if id(wn) in foldable:
+                for we in in_edges[id(wn)]:
+                    we.resolved.propagate()
+                wn.leaf.compute_outputs(0.0, _EMPTY_STATE)
+
+        out_edges: Dict[int, List[_WEdge]] = {}
+        observed: Set[int] = set()
+        for we in edges:
+            if we.is_observer:
+                observed.add(id(we.src))
+            else:
+                out_edges.setdefault(id(we.src), []).append(we)
+        boundary = {
+            key for key in foldable
+            if key in observed
+            or any(
+                id(we.dst) not in foldable
+                for we in out_edges.get(key, ())
+            )
+        }
+        interior = foldable - boundary
+        # edges internal to the folded subgraph disappear with it
+        edges[:] = [
+            we for we in edges
+            if we.is_observer
+            or id(we.src) not in foldable
+            or id(we.dst) not in foldable
+        ]
+        nodes[:] = [wn for wn in nodes if id(wn) not in interior]
+        for wn in nodes:
+            if id(wn) in boundary:
+                report.constants.append(wn.origin_path)
+                wn.leaf = FoldedBlock(wn.leaf)
+        report.folded = [
+            wn.origin_path
+            for wn in candidates.values()
+            if id(wn) in foldable
+        ]
+
+    # ------------------------------------------------------------------
+    # pass 3: common-subexpression elimination
+    # ------------------------------------------------------------------
+    def _pass_cse(
+        self,
+        nodes: List[_WNode],
+        edges: List[_WEdge],
+        protected: Set[int],
+        report: OptReport,
+    ) -> None:
+        position = {id(wn): i for i, wn in enumerate(nodes)}
+        in_edges: Dict[int, List[_WEdge]] = {}
+        out_edges: Dict[int, List[_WEdge]] = {}
+        observed: Set[int] = set()
+        for we in edges:
+            if we.is_observer:
+                observed.add(id(we.src))
+            else:
+                in_edges.setdefault(id(we.dst), []).append(we)
+                out_edges.setdefault(id(we.src), []).append(we)
+
+        rep_of: Dict[int, _WNode] = {}
+
+        def rep(wn: _WNode) -> _WNode:
+            while id(wn) in rep_of:
+                wn = rep_of[id(wn)]
+            return wn
+
+        seen: Dict[Tuple, _WNode] = {}
+        removed: Set[int] = set()
+        for wn in nodes:
+            leaf = wn.leaf
+            if (
+                id(wn) in protected
+                or id(wn) in observed
+                or not _is_rewritable(leaf)
+                or not getattr(leaf, "time_invariant", False)
+                or isinstance(leaf, (FoldedBlock, FusedChain))
+            ):
+                continue
+            feeding = in_edges.get(id(wn), [])
+            if len(feeding) != len(_in_data_ports(leaf)):
+                continue  # undriven inputs: pad defaults are per-object
+            # two nodes fed by the same source are only equivalent when
+            # both read the *current* step's value — forward edges only
+            if any(
+                position[id(we.src)] >= position[id(wn)] for we in feeding
+            ):
+                continue
+            outs = out_edges.get(id(wn), [])
+            # merging must not turn a feedback edge into a forward one
+            # (consumers would see this step's value instead of the
+            # previous step's) — require all consumers strictly after
+            if any(
+                position[id(we.dst)] <= position[id(wn)] for we in outs
+            ):
+                continue
+            signature = (
+                type(leaf).__name__,
+                wn.thread_index,
+                tuple(sorted(
+                    (key, repr(value))
+                    for key, value in leaf.params.items()
+                )),
+                tuple(sorted(
+                    (
+                        we.resolved.dst_port.name,
+                        id(rep(we.src)),
+                        we.resolved.src_port.name,
+                    )
+                    for we in feeding
+                )),
+            )
+            keeper = seen.get(signature)
+            if keeper is None:
+                seen[signature] = wn
+                continue
+            rep_pads = {
+                pad.name: pad for pad in _out_data_ports(keeper.leaf)
+            }
+            if any(
+                we.resolved.src_port.name not in rep_pads for we in outs
+            ):
+                continue  # pragma: no cover - same type implies same pads
+            for we in outs:
+                rep_pad = rep_pads[we.resolved.src_port.name]
+                we.resolved = ResolvedEdge(
+                    keeper.leaf, rep_pad,
+                    we.resolved.dst_leaf, we.resolved.dst_port,
+                    [PadCopy(rep_pad, we.resolved.dst_port)],
+                )
+                we.src = keeper
+                out_edges.setdefault(id(keeper), []).append(we)
+            removed.add(id(wn))
+            rep_of[id(wn)] = keeper
+            report.cse_merged.append(
+                (wn.origin_path, keeper.origin_path)
+            )
+        if not removed:
+            return
+        nodes[:] = [wn for wn in nodes if id(wn) not in removed]
+        edges[:] = [
+            we for we in edges
+            if id(we.src) not in removed and id(we.dst) not in removed
+        ]
+
+    # ------------------------------------------------------------------
+    # pass 4: gain/sum/affine fusion
+    # ------------------------------------------------------------------
+    def _pass_fuse(
+        self,
+        nodes: List[_WNode],
+        edges: List[_WEdge],
+        protected: Set[int],
+        report: OptReport,
+    ) -> None:
+        position = {id(wn): i for i, wn in enumerate(nodes)}
+        in_edges: Dict[int, List[_WEdge]] = {}
+        out_edges: Dict[int, List[_WEdge]] = {}
+        observed: Set[int] = set()
+        for we in edges:
+            if we.is_observer:
+                observed.add(id(we.src))
+            else:
+                in_edges.setdefault(id(we.dst), []).append(we)
+                out_edges.setdefault(id(we.src), []).append(we)
+
+        def member_ok(wn: _WNode) -> bool:
+            leaf = wn.leaf
+            feeding = in_edges.get(id(wn), ())
+            return (
+                id(wn) not in protected
+                and type(leaf).__name__ in _FUSABLE_TYPES
+                and _is_rewritable(leaf)
+                and getattr(leaf, "time_invariant", False)
+                and len(feeding) == 1
+                # the in-edge must stay forward once retargeted at the
+                # tail's slot — a feedback feed could flip to forward and
+                # deliver this step's value instead of the previous one
+                and position[id(feeding[0].src)] < position[id(wn)]
+                and len(_out_data_ports(leaf)) == 1
+                and all(pad._is_scalar for pad in leaf.dports.values())
+            )
+
+        def links_to(a: _WNode, b: _WNode) -> bool:
+            outs = out_edges.get(id(a), ())
+            if len(outs) != 1 or id(a) in observed:
+                return False
+            edge = outs[0]
+            return (
+                edge.dst is b
+                and a.thread_index == b.thread_index
+                and position[id(a)] < position[id(b)]
+            )
+
+        consumed: Set[int] = set()
+        chains: List[List[_WNode]] = []
+        for wn in nodes:
+            if id(wn) in consumed or not member_ok(wn):
+                continue
+            chain = [wn]
+            current = wn
+            while True:
+                outs = out_edges.get(id(current), ())
+                if len(outs) != 1:
+                    break
+                follower = outs[0].dst
+                if (
+                    id(follower) in consumed
+                    or not member_ok(follower)
+                    or not links_to(current, follower)
+                ):
+                    break
+                chain.append(follower)
+                current = follower
+            if len(chain) >= 2:
+                chains.append(chain)
+                consumed.update(id(member) for member in chain)
+
+        if not chains:
+            return
+        interior_ids: Set[int] = set()
+        for chain in chains:
+            head, tail = chain[0], chain[-1]
+            specs = [
+                stage_spec(
+                    member.leaf,
+                    in_edges[id(member)][0].resolved.dst_port,
+                )
+                for member in chain
+            ]
+            head_edge = in_edges[id(head)][0]
+            fused = FusedChain(
+                [member.leaf for member in chain],
+                specs,
+                in_pad=head_edge.resolved.dst_port,
+                out_pad=_out_data_ports(tail.leaf)[0],
+                reassociate=self.config.allows_reassociation,
+            )
+            report.fused_chains.append(
+                tuple(member.origin_path for member in chain)
+            )
+            # the fused node takes the tail's table slot; the head's
+            # incoming edge now feeds it directly
+            tail.leaf = fused
+            head_edge.dst = tail
+            interior_ids.update(id(member) for member in chain[:-1])
+        nodes[:] = [wn for wn in nodes if id(wn) not in interior_ids]
+        edges[:] = [
+            we for we in edges
+            if id(we.src) not in interior_ids
+            and id(we.dst) not in interior_ids
+        ]
+
+    # ------------------------------------------------------------------
+    # rebuild
+    # ------------------------------------------------------------------
+    def _rebuild(
+        self,
+        plan: ExecutionPlan,
+        nodes: List[_WNode],
+        edges: List[_WEdge],
+        report: OptReport,
+    ) -> ExecutionPlan:
+        position = {id(wn): i for i, wn in enumerate(nodes)}
+        plan_edges: List[PlanEdge] = []
+        in_edges_of: Dict[int, List[int]] = {
+            i: [] for i in range(len(nodes))
+        }
+        for we in edges:
+            src_pos = position[id(we.src)]
+            index = len(plan_edges)
+            if we.is_observer:
+                plan_edges.append(PlanEdge(
+                    index=index, src=src_pos, dst=src_pos,
+                    resolved=we.resolved, crosses_thread=False,
+                    is_feedback=False, is_observer=True,
+                ))
+                continue
+            dst_pos = position[id(we.dst)]
+            plan_edges.append(PlanEdge(
+                index=index, src=src_pos, dst=dst_pos,
+                resolved=we.resolved,
+                crosses_thread=(
+                    we.src.thread_index != we.dst.thread_index
+                ),
+                is_feedback=src_pos >= dst_pos,
+                is_observer=False,
+            ))
+            in_edges_of[dst_pos].append(index)
+
+        plan_nodes: List[PlanNode] = []
+        stage_of: Dict[int, int] = {}
+        for pos, wn in enumerate(nodes):
+            stage = 0
+            for edge_index in in_edges_of[pos]:
+                edge = plan_edges[edge_index]
+                if edge.src < pos:
+                    stage = max(stage, stage_of[edge.src] + 1)
+            stage_of[pos] = stage
+            plan_nodes.append(PlanNode(
+                index=pos,
+                leaf=wn.leaf,
+                lo=wn.lo,
+                hi=wn.hi,
+                stage=stage,
+                thread_index=wn.thread_index,
+                direct_feedthrough=bool(wn.leaf.direct_feedthrough),
+                in_edges=tuple(in_edges_of[pos]),
+            ))
+
+        guards: List[PlanGuard] = []
+        for node in plan_nodes:
+            for slot, name in enumerate(node.leaf.zero_crossing_names):
+                guards.append(PlanGuard(
+                    index=len(guards),
+                    node=node.index,
+                    leaf=node.leaf,
+                    slot=slot,
+                    name=name,
+                    qualified_name=f"{node.leaf.path()}:{name}",
+                ))
+
+        return ExecutionPlan(
+            plan_nodes, plan_edges, guards,
+            plan.state_size, plan.n_threads,
+            counters=plan.counters,
+            opt_config=self.config,
+            opt_report=report,
+        )

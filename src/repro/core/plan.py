@@ -51,6 +51,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.network import FlatNetwork, ResolvedEdge
+    from repro.core.opt import OptConfig, OptReport
     from repro.core.streamer import Streamer
 
 
@@ -159,6 +160,8 @@ class ExecutionPlan:
         state_size: int,
         n_threads: int,
         counters: Optional[PlanCounters] = None,
+        opt_config: Optional["OptConfig"] = None,
+        opt_report: Optional["OptReport"] = None,
     ) -> None:
         self.nodes: Tuple[PlanNode, ...] = tuple(nodes)
         self.edges: Tuple[PlanEdge, ...] = tuple(edges)
@@ -166,6 +169,10 @@ class ExecutionPlan:
         self.state_size = state_size
         self.n_threads = n_threads
         self.counters = counters if counters is not None else PlanCounters()
+        #: optimizer configuration this plan was compiled under (None for
+        #: an unoptimized O0 plan) and the rewrite report, if any
+        self.opt_config = opt_config
+        self.opt_report = opt_report
         stages: Dict[int, List[int]] = {}
         for node in self.nodes:
             stages.setdefault(node.stage, []).append(node.index)
@@ -215,6 +222,9 @@ class ExecutionPlan:
         network: "FlatNetwork",
         leaf_threads: Optional[Mapping[int, int]] = None,
         counters: Optional[PlanCounters] = None,
+        opt_level: int = 0,
+        opt_config: Optional["OptConfig"] = None,
+        protect: Sequence[Any] = (),
     ) -> "ExecutionPlan":
         """Compile ``network`` into an ExecutionPlan.
 
@@ -224,6 +234,11 @@ class ExecutionPlan:
         interpreter reproduces the legacy evaluation sequence bit for
         bit.  ``counters`` lets a caller carry analysis counters across
         recompilations (e.g. re-partitioning an already-used network).
+
+        ``opt_level`` / ``opt_config`` select the optimizer pipeline
+        (:mod:`repro.core.opt`) run over the freshly compiled plan; at
+        the default O0 the plan is the literal graph.  ``protect`` lists
+        pads (probe sources) the optimizer must leave untouched.
         """
         from repro.core.network import NetworkError
 
@@ -304,8 +319,18 @@ class ExecutionPlan:
                     qualified_name=f"{node.leaf.path()}:{name}",
                 ))
 
-        return cls(nodes, edges, guards, network.state_size, n_threads,
+        plan = cls(nodes, edges, guards, network.state_size, n_threads,
                    counters=counters)
+        config = opt_config
+        if config is None and opt_level:
+            from repro.core.opt import OptConfig
+
+            config = OptConfig.from_level(opt_level)
+        if config is not None and config.is_active:
+            from repro.core.opt import PlanOptimizer
+
+            plan = PlanOptimizer(config).run(plan, protect=protect)
+        return plan
 
     # ------------------------------------------------------------------
     # views
@@ -354,6 +379,8 @@ class ExecutionPlan:
             view = ExecutionPlan(
                 nodes, edges, (), self.state_size, self.n_threads,
                 counters=self.counters,
+                opt_config=self.opt_config,
+                opt_report=self.opt_report,
             )
             self._thread_views[thread_index] = view
         return view
@@ -501,6 +528,11 @@ class ExecutionPlan:
             )
         for guard in self.guards:
             feed("guard", guard.node, guard.slot, guard.qualified_name)
+        # the optimizer configuration is part of the plan's identity: an
+        # O0 and an O2 compile of the same model must never share cache
+        # entries, even when the passes happened to rewrite nothing
+        if self.opt_config is not None and self.opt_config.is_active:
+            feed("opt", self.opt_config.cache_token())
         for key in sorted(extra or {}):
             feed("extra", key, repr(extra[key]))
         return digest.hexdigest()

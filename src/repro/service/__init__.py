@@ -87,6 +87,7 @@ class SimulationService:
         executor: str = "thread",
         check_policy: str = "off",
         check_config: Optional[Any] = None,
+        default_opt_level: int = 0,
     ) -> None:
         if check_policy not in CHECK_POLICIES:
             raise ValueError(
@@ -95,6 +96,10 @@ class SimulationService:
             )
         self.check_policy = check_policy
         self.check_config = check_config
+        #: plan-optimizer level applied to jobs that don't set their own
+        #: ``opt_level``; each level keys the cache separately, so a
+        #: service can change its default without serving stale artefacts
+        self.default_opt_level = int(default_opt_level)
         self.metrics = MetricsRegistry()
         self.cache = PlanCache(
             capacity=cache_capacity, metrics=self.metrics,

@@ -106,6 +106,33 @@ class JobTimeoutError(JobError):
     and inside workers at the checkpoint that observes the deadline."""
 
 
+def _resolve_opt(ctx: "JobContext", opt_level: Optional[int]):
+    """The effective :class:`~repro.core.opt.OptConfig` for one job:
+    the spec's own ``opt_level`` or, when unset, the service-wide
+    ``default_opt_level``."""
+    from repro.core.opt import OptConfig
+
+    level = opt_level
+    if level is None:
+        level = getattr(ctx.service, "default_opt_level", 0) or 0
+    return OptConfig.from_level(int(level))
+
+
+def _record_opt_metrics(ctx: "JobContext", report) -> None:
+    """Surface a fresh compile's per-pass rewrite counts as service
+    metrics (``opt.blocks_removed`` / ``opt.ops_fused``)."""
+    if report is None:
+        return
+    metrics = getattr(ctx.service, "metrics", None)
+    if metrics is None:
+        return
+    counts = report.counts()
+    metrics.counter("opt.blocks_removed").inc(
+        int(counts["opt.blocks_removed"])
+    )
+    metrics.counter("opt.ops_fused").inc(int(counts["opt.ops_fused"]))
+
+
 class JobState(enum.Enum):
     PENDING = "pending"
     RUNNING = "running"
@@ -358,6 +385,8 @@ class SingleRunJob(JobSpec):
     resume_from: Optional[str] = None
     #: a :class:`~repro.resilience.FaultInjector` armed on every attempt
     fault_injector: Optional[Any] = None
+    #: plan-optimizer level (None: the service's ``default_opt_level``)
+    opt_level: Optional[int] = None
 
     kind = "single_run"
 
@@ -367,11 +396,13 @@ class SingleRunJob(JobSpec):
         if self.t_end <= 0:
             raise JobError(f"non-positive t_end: {self.t_end}")
         ctx.checkpoint()
+        opt = _resolve_opt(ctx, self.opt_level)
         model = self.model_factory()
         if self.validate:
             model.validate(strict=True)
         scheduler = model.scheduler(
-            sync_interval=self.sync_interval, **self.run_options,
+            sync_interval=self.sync_interval, opt_config=opt,
+            **self.run_options,
         )
         emit_dt = self.t_end / max(1, self.stream_slices)
         last_emit = [0.0]
@@ -409,6 +440,10 @@ class SingleRunJob(JobSpec):
             if injected is not None:
                 raise injected from exc
             raise
+        _record_opt_metrics(
+            ctx, getattr(getattr(scheduler, "plan", None),
+                         "opt_report", None),
+        )
         return SingleRunResult(
             probes={
                 name: probe.trajectory
@@ -519,16 +554,22 @@ class BatchJob(JobSpec):
     checkpoint_keep: int = 3
     #: explicit snapshot file to restore before the first attempt
     resume_from: Optional[str] = None
+    #: plan-optimizer level (None: the service's ``default_opt_level``)
+    opt_level: Optional[int] = None
 
     kind = "batch"
 
-    def _cache_key(self, plan) -> str:
-        return plan.fingerprint(extra={
+    def _cache_key(self, plan, opt) -> str:
+        extra = {
             "backend": "batch",
             "records": tuple(self.records) if self.records else "<default>",
             "sweep_paths": tuple(sorted(self.sweeps or {})),
             "solver": solver_key(self.solver),
-        })
+        }
+        # distinct opt configurations must never cross-serve artefacts
+        if opt is not None and opt.is_active:
+            extra["opt"] = opt.cache_token()
+        return plan.fingerprint(extra=extra)
 
     def _fresh_diagram(self, diagram):
         """The diagram for a cache-miss compile: the one already built
@@ -544,6 +585,7 @@ class BatchJob(JobSpec):
         if self.diagram_factory is None:
             raise JobError("BatchJob needs a diagram_factory")
         ctx.checkpoint()
+        opt = _resolve_opt(ctx, self.opt_level)
         sweeps = dict(self.sweeps or {})
         sweep_paths = tuple(sorted(sweeps))
         cache = ctx.cache
@@ -558,16 +600,25 @@ class BatchJob(JobSpec):
             diagram = self.diagram_factory()
             diagram.finalise()
             plan = FlatNetwork([diagram]).plan()
-            key = self._cache_key(plan)
+            key = self._cache_key(plan, opt)
             self._memo_key = key
         if cache is not None:
-            program = cache.get_or_compile(
-                key,
-                lambda: compile_batch_program(
+            compiled: Dict[str, Any] = {}
+
+            def compile_program():
+                program = compile_batch_program(
                     self._fresh_diagram(diagram),
                     records=self.records, sweep_paths=sweep_paths,
-                ),
-            )
+                    opt_config=opt,
+                )
+                compiled["fresh"] = True
+                return program
+
+            program = cache.get_or_compile(key, compile_program)
+            if compiled:
+                _record_opt_metrics(
+                    ctx, getattr(program.plan, "opt_report", None),
+                )
             sim = BatchSimulator(
                 n=self.n, solver=self.solver, h=self.h, sweeps=sweeps,
                 x0=self.x0, program=program,
@@ -576,6 +627,10 @@ class BatchJob(JobSpec):
             sim = BatchSimulator(
                 self._fresh_diagram(diagram), self.n, solver=self.solver,
                 h=self.h, records=self.records, sweeps=sweeps, x0=self.x0,
+                opt_config=opt, cache=False,
+            )
+            _record_opt_metrics(
+                ctx, getattr(sim.plan, "opt_report", None),
             )
         total_steps = max(1, math.ceil(self.t_end / self.h - 1e-12))
         chunk_steps = self.chunk_steps
@@ -732,6 +787,8 @@ class CodegenJob(JobSpec):
     records: Optional[List[str]] = None
     t_end: float = 10.0
     h: float = 1e-3
+    #: plan-optimizer level (None: the service's ``default_opt_level``)
+    opt_level: Optional[int] = None
 
     kind = "codegen"
 
@@ -743,6 +800,7 @@ class CodegenJob(JobSpec):
                 f"unknown codegen target {self.lang!r}; use 'python' or 'c'"
             )
         ctx.checkpoint()
+        opt = _resolve_opt(ctx, self.opt_level)
         from repro.codegen import generate_c, generate_python
 
         def compile_source(diagram=None) -> str:
@@ -751,10 +809,11 @@ class CodegenJob(JobSpec):
             if self.lang == "python":
                 return generate_python(
                     diagram, records=self.records, default_h=self.h,
+                    opt_config=opt,
                 )
             return generate_c(
                 diagram, records=self.records, default_h=self.h,
-                t_end=self.t_end,
+                t_end=self.t_end, opt_config=opt,
             )
 
         cache = ctx.cache
@@ -765,14 +824,17 @@ class CodegenJob(JobSpec):
             diagram = self.diagram_factory()
             diagram.finalise()
             plan = FlatNetwork([diagram]).plan()
-            key = plan.fingerprint(extra={
+            extra = {
                 "backend": f"codegen:{self.lang}",
                 "records": (
                     tuple(self.records) if self.records else "<default>"
                 ),
                 "t_end": self.t_end,
                 "h": self.h,
-            })
+            }
+            if opt.is_active:
+                extra["opt"] = opt.cache_token()
+            key = plan.fingerprint(extra=extra)
             self._memo_key = key
             return cache.get_or_compile(
                 key, lambda: compile_source(diagram),

@@ -1,0 +1,177 @@
+"""Cross-check: optimizer rewrites against static-checker findings.
+
+The optimizer and the checker reason about the same structural facts —
+STR002 (dead blocks) is DCE's evidence, STR004 (constant-foldable
+subgraphs) is folding's.  These tests pin the two together on the
+checker's own fixture graphs:
+
+* every block STR002 flags is eliminated at O1, and DCE removes nothing
+  the checker's cascade (repeated lint + fix-it) can't justify;
+* every non-protected block STR004 flags is folded at O1, and folding
+  touches nothing outside STR004's member sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.check.builders import dead_chain_model, foldable_model
+
+from repro.check import CheckConfig, run_checks
+from repro.check.diagnostics import apply_fixits
+from repro.core.network import FlatNetwork
+from repro.core.opt import OptConfig, PlanOptimizer
+
+FOLD_ALL = CheckConfig(min_fold_size=1)
+
+
+def optimize_model(model, level=1):
+    """Mirror ``check.context.build_context``'s flattening, then run the
+    optimizer with the same probe protection the scheduler applies."""
+    network = FlatNetwork(model.streamers, model.flows, strict=False)
+    protect = [probe.source for probe in model.probes.values()]
+    plan = network.plan()
+    return PlanOptimizer(OptConfig.from_level(level)).run(
+        plan, protect=protect,
+    ).opt_report
+
+
+def codes(result, code):
+    return [d for d in result.diagnostics if d.code == code]
+
+
+class TestDeadCodeAgainstSTR002:
+    def test_every_flagged_block_is_eliminated(self):
+        model = dead_chain_model()
+        flagged = {
+            d.subject for d in codes(run_checks(model), "STR002")
+        }
+        assert flagged  # the fixture does trip the rule
+        report = optimize_model(dead_chain_model())
+        assert flagged <= set(report.dce_removed)
+
+    def test_dce_matches_checker_cascade_exactly(self):
+        """DCE's one-shot transitive removal equals the fixpoint of
+        repeatedly linting and applying STR002 fix-its — the optimizer
+        emits no removal the checker can't justify, and vice versa."""
+        report = optimize_model(dead_chain_model())
+
+        model = dead_chain_model()
+        justified = set()
+        for _ in range(16):
+            found = codes(run_checks(model), "STR002")
+            if not found:
+                break
+            justified.update(d.subject for d in found)
+            assert apply_fixits(found) > 0
+        else:  # pragma: no cover - cascade must terminate
+            pytest.fail("checker cascade did not converge")
+        assert set(report.dce_removed) == justified
+
+    def test_clean_graph_has_no_dce(self):
+        model = foldable_model(constant_fed=False)
+        assert not codes(run_checks(model), "STR002")
+        report = optimize_model(model)
+        assert report.dce_removed == []
+
+
+class TestFoldingAgainstSTR004:
+    def test_every_unprotected_flagged_block_is_folded(self):
+        model = foldable_model()
+        finding = codes(run_checks(model, config=FOLD_ALL), "STR004")
+        assert len(finding) == 1
+        members = set(finding[0].details["members"])
+        protected = {
+            probe.source.owner.path()
+            for probe in model.probes.values()
+        }
+        report = optimize_model(foldable_model())
+        assert members - protected == set(report.folded)
+
+    def test_no_fold_without_a_finding_to_justify_it(self):
+        """Everything folding touches sits inside some STR004 member
+        set: the optimizer never claims constness the checker can't
+        derive from the same graph."""
+        for build in (
+            foldable_model,
+            lambda: foldable_model(constant_fed=False),
+            dead_chain_model,
+        ):
+            model = build()
+            flagged = set()
+            for finding in codes(
+                run_checks(model, config=FOLD_ALL), "STR004",
+            ):
+                flagged.update(finding.details["members"])
+            report = optimize_model(build())
+            assert set(report.folded) <= flagged
+
+    def test_step_fed_graph_not_folded(self):
+        model = foldable_model(constant_fed=False)
+        assert not codes(run_checks(model, config=FOLD_ALL), "STR004")
+        report = optimize_model(model)
+        assert report.folded == []
+
+
+DEAD_CHAIN_FILE = """
+from repro.core.model import HybridModel
+from repro.dataflow import Constant, Gain, Step
+
+
+def build_dead():
+    model = HybridModel("dead")
+    prev = model.add_streamer(Constant("c0", value=1.0))
+    for index in range(3):
+        gain = model.add_streamer(Gain(f"g{index}", k=2.0))
+        model.add_flow(prev.dport("out"), gain.dport("in"))
+        prev = gain
+    live = model.add_streamer(Step("live"))
+    model.add_probe("y", live.dport("out"))
+    return model
+"""
+
+
+class TestExplainCLI:
+    def write(self, tmp_path):
+        path = tmp_path / "dead_chain.py"
+        path.write_text(DEAD_CHAIN_FILE)
+        return str(path)
+
+    def run_main(self, argv, capsys):
+        from repro.check.cli import main
+
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_explain_annotates_and_reports(self, tmp_path, capsys):
+        path = self.write(tmp_path)
+        code, out = self.run_main(["--explain", path], capsys)
+        assert code == 0  # STR002 is warning-level, below --fail-on
+        assert "optimizer: eliminated at O1 (dce pass)" in out
+        assert "dce: removed" in out
+
+    def test_no_opt_suppresses_annotations(self, tmp_path, capsys):
+        path = self.write(tmp_path)
+        code, out = self.run_main(
+            ["--explain", "--no-opt", path], capsys,
+        )
+        assert code == 0
+        assert "optimizer:" not in out
+
+    def test_default_output_unchanged(self, tmp_path, capsys):
+        path = self.write(tmp_path)
+        code, out = self.run_main([path], capsys)
+        assert code == 0
+        assert "optimizer:" not in out and "opt O1" not in out
+
+    def test_json_report_carries_opt_section(self, tmp_path, capsys):
+        import json
+
+        path = self.write(tmp_path)
+        code, out = self.run_main(
+            ["--explain", "--format", "json", path], capsys,
+        )
+        assert code == 0
+        report = json.loads(out)
+        (target,) = report["targets"]
+        assert target["opt"]["counts"]["dce.blocks_removed"] == 4

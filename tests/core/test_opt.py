@@ -1,0 +1,373 @@
+"""Plan optimizer: pass-by-pass behaviour, protection, O-level contract.
+
+Each pass is exercised on the smallest diagram that triggers it, then the
+pipeline is validated end-to-end: O1 must be bitwise identical to O0 on
+fixed-step runs, fingerprints must separate configurations, and
+protection (probes, sweep variables) must pin pads the outside world
+reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import HybridModel
+from repro.core.network import FlatNetwork
+from repro.core.opt import (
+    FoldedBlock, FusedChain, OptConfig, PlanOptimizer, resolve_config,
+)
+from repro.dataflow import (
+    Bias, Constant, Diagram, Gain, Integrator, Step, Sum,
+)
+
+
+def plan_of(diagram, level=0, config=None, protect=()):
+    diagram.finalise()
+    return FlatNetwork([diagram]).plan(
+        opt_level=level, opt_config=config, protect=protect,
+    )
+
+
+def leaf_names(plan):
+    return [node.leaf.name for node in plan.nodes]
+
+
+def make_live_tail(d, feed):
+    """An Integrator consuming ``feed`` so the chain stays live (the
+    integrator has state: never rewritable, a DCE root)."""
+    d.add(Integrator("keep"))
+    d.connect(feed, "keep.in")
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+class TestOptConfig:
+    def test_levels(self):
+        assert not OptConfig.from_level(0).is_active
+        o1 = OptConfig.from_level(1)
+        assert o1.is_active and not o1.allows_reassociation
+        o2 = OptConfig.from_level(2)
+        assert o2.is_active and o2.allows_reassociation
+
+    def test_cache_tokens_distinct(self):
+        tokens = {
+            OptConfig.from_level(level).cache_token()
+            for level in (0, 1, 2)
+        }
+        assert len(tokens) == 3
+
+    def test_pass_toggles(self):
+        config = OptConfig(level=1, fuse=False, cse=False)
+        assert config.enabled_passes() == ("dce", "fold")
+        assert "fuse" not in config.cache_token()
+
+    def test_resolve(self):
+        explicit = OptConfig.from_level(2)
+        assert resolve_config(0, explicit) is explicit
+        assert resolve_config(1).level == 1
+
+
+# ----------------------------------------------------------------------
+# dead-code elimination
+# ----------------------------------------------------------------------
+class TestDCE:
+    def build(self):
+        d = Diagram("m")
+        d.add(Constant("c", value=1.0))
+        d.add(Gain("dead1", k=2.0))
+        d.add(Gain("dead2", k=3.0))
+        d.add(Gain("live", k=4.0))
+        d.connect("c.out", "dead1.in")
+        d.connect("dead1.out", "dead2.in")
+        d.connect("c.out", "live.in")
+        make_live_tail(d, "live.out")
+        return d
+
+    def test_cascade_removed_in_one_run(self):
+        plan = plan_of(self.build(), level=1)
+        names = leaf_names(plan)
+        assert "dead1" not in names and "dead2" not in names
+        assert "live" in names and "keep" in names
+        assert sorted(plan.opt_report.dce_removed) == [
+            "m.dead1", "m.dead2",
+        ]
+
+    def test_probe_protects(self):
+        d = self.build()
+        d.finalise()
+        network = FlatNetwork([d])
+        pad = d.sub("dead2").dport("out")
+        plan = network.plan(opt_level=1, protect=[pad])
+        assert "dead2" in leaf_names(plan)
+
+    def test_o0_untouched(self):
+        plan = plan_of(self.build(), level=0)
+        assert plan.opt_report is None
+        assert "dead1" in leaf_names(plan)
+
+
+# ----------------------------------------------------------------------
+# constant folding
+# ----------------------------------------------------------------------
+class TestFold:
+    def build(self):
+        d = Diagram("m")
+        d.add(Constant("c", value=2.0))
+        d.add(Gain("g", k=3.0))
+        d.add(Bias("b", bias=1.0))
+        d.connect("c.out", "g.in")
+        d.connect("g.out", "b.in")
+        make_live_tail(d, "b.out")
+        return d
+
+    def test_interior_removed_boundary_frozen(self):
+        plan = plan_of(self.build(), level=1)
+        names = leaf_names(plan)
+        assert "c" not in names and "g" not in names
+        boundary = next(n.leaf for n in plan.nodes if n.leaf.name == "b")
+        assert isinstance(boundary, FoldedBlock)
+        assert boundary.scalar_values() == [("out", 7.0)]
+        assert sorted(plan.opt_report.folded) == ["m.b", "m.c", "m.g"]
+        assert plan.opt_report.constants == ["m.b"]
+
+    def test_folded_value_is_bitwise(self):
+        d = self.build()
+        reference = plan_of(d, level=0)
+        reference.evaluate(0.0, np.zeros(reference.state_size))
+        expected = d.sub("b").dport("out").read_scalar()
+        optimized = plan_of(self.build(), level=1)
+        frozen = dict(next(
+            n.leaf for n in optimized.nodes if n.leaf.name == "b"
+        ).scalar_values())
+        assert frozen["out"] == expected
+
+    def test_step_source_not_folded(self):
+        d = Diagram("m")
+        d.add(Step("s", t_step=1.0))
+        d.add(Gain("g", k=3.0))
+        d.connect("s.out", "g.in")
+        make_live_tail(d, "g.out")
+        plan = plan_of(d, level=1)
+        assert plan.opt_report.folded == []
+
+
+# ----------------------------------------------------------------------
+# common-subexpression elimination
+# ----------------------------------------------------------------------
+class TestCSE:
+    def build(self):
+        d = Diagram("m")
+        d.add(Step("s", t_step=0.5))
+        d.add(Gain("a", k=2.0))
+        d.add(Gain("dup", k=2.0))
+        d.add(Sum("mix", signs="++"))
+        d.connect("s.out", "a.in")
+        d.connect("s.out", "dup.in")
+        d.connect("a.out", "mix.in1")
+        d.connect("dup.out", "mix.in2")
+        make_live_tail(d, "mix.out")
+        return d
+
+    def test_duplicate_merged(self):
+        # fold can't fire (Step is time-varying), so CSE carries it
+        config = OptConfig(level=1, fuse=False)
+        plan = plan_of(self.build(), config=config)
+        names = leaf_names(plan)
+        assert ("a" in names) != ("dup" in names)
+        assert len(plan.opt_report.cse_merged) == 1
+
+    def test_merged_run_matches(self):
+        reference = plan_of(self.build(), level=0)
+        optimized = plan_of(self.build(), level=1)
+        x = np.array([0.0])
+        for t in (0.0, 0.25, 0.75):
+            assert np.array_equal(
+                reference.rhs(t, x), optimized.rhs(t, x),
+            )
+
+
+# ----------------------------------------------------------------------
+# gain/sum/affine fusion
+# ----------------------------------------------------------------------
+class TestFusion:
+    def build(self, n=6):
+        d = Diagram("m")
+        d.add(Step("s", t_step=0.5))
+        prev = "s.out"
+        for index in range(n):
+            d.add(Gain(f"g{index}", k=1.0 + index * 0.1))
+            d.connect(prev, f"g{index}.in")
+            prev = f"g{index}.out"
+        make_live_tail(d, prev)
+        return d
+
+    def test_chain_collapses_to_one_node(self):
+        plan = plan_of(self.build(), level=1)
+        fused = [
+            n.leaf for n in plan.nodes if isinstance(n.leaf, FusedChain)
+        ]
+        assert len(fused) == 1
+        assert len(fused[0].member_paths) == 6
+        assert plan.opt_report.counts()["fuse.ops_fused"] >= 5
+
+    def test_o1_replay_is_bitwise(self):
+        reference = plan_of(self.build(), level=0)
+        optimized = plan_of(self.build(), level=1)
+        x = np.zeros(1)
+        for t in (0.0, 0.6, 1.7):
+            assert np.array_equal(
+                reference.rhs(t, x), optimized.rhs(t, x),
+            )
+
+    def test_o2_affine_within_ulp(self):
+        reference = plan_of(self.build(), level=0)
+        optimized = plan_of(self.build(), level=2)
+        fused = next(
+            n.leaf for n in optimized.nodes
+            if isinstance(n.leaf, FusedChain)
+        )
+        assert fused.affine is not None
+        x = np.zeros(1)
+        a = reference.rhs(0.6, x)
+        b = optimized.rhs(0.6, x)
+        assert b == pytest.approx(a, rel=1e-12)
+
+
+# ----------------------------------------------------------------------
+# pipeline-level contracts
+# ----------------------------------------------------------------------
+def pid_loop_model():
+    """The closed-loop PID rig used across the suite, with a probe."""
+    model = HybridModel("pid")
+    sp = model.add_streamer(Constant("sp", value=1.0))
+    err = model.add_streamer(Sum("err", signs="+-"))
+    kp = model.add_streamer(Gain("kp", k=4.0))
+    plant = model.add_streamer(Integrator("plant"))
+    fb = model.add_streamer(Gain("fb", k=1.0))
+    model.add_flow(sp.dport("out"), err.dport("in1"))
+    model.add_flow(fb.dport("out"), err.dport("in2"))
+    model.add_flow(err.dport("out"), kp.dport("in"))
+    model.add_flow(kp.dport("out"), plant.dport("in"))
+    model.add_flow(plant.dport("out"), fb.dport("in"))
+    model.add_probe("y", plant.dport("out"))
+    return model
+
+
+class TestEndToEnd:
+    def test_o1_scheduler_run_is_bitwise(self):
+        reference = pid_loop_model()
+        reference.run(until=1.0, sync_interval=0.01)
+        optimized = pid_loop_model()
+        optimized.run(until=1.0, sync_interval=0.01, opt_level=1)
+        assert np.array_equal(
+            reference.probe("y").states, optimized.probe("y").states,
+        )
+
+    def test_o2_scheduler_run_close(self):
+        reference = pid_loop_model()
+        reference.run(until=1.0, sync_interval=0.01)
+        optimized = pid_loop_model()
+        optimized.run(until=1.0, sync_interval=0.01, opt_level=2)
+        np.testing.assert_allclose(
+            reference.probe("y").states,
+            optimized.probe("y").states,
+            rtol=1e-9,
+        )
+
+    def test_fingerprints_distinct_per_level(self):
+        prints = set()
+        for level in (0, 1, 2):
+            model = pid_loop_model()
+            scheduler = model.scheduler(
+                sync_interval=0.01, opt_level=level,
+            )
+            scheduler.run(0.01)
+            prints.add(scheduler.plan.fingerprint())
+        assert len(prints) == 3
+
+    def test_report_carried_on_plan(self):
+        model = pid_loop_model()
+        scheduler = model.scheduler(sync_interval=0.01, opt_level=1)
+        scheduler.run(0.01)
+        report = scheduler.plan.opt_report
+        assert report is not None
+        counts = report.counts()
+        assert counts["opt.blocks_removed"] >= 0
+        assert set(counts) >= {
+            "dce.blocks_removed", "fold.blocks_folded",
+            "cse.blocks_merged", "fuse.ops_fused",
+            "opt.blocks_removed", "opt.ops_fused",
+        }
+
+    def test_thread_views_of_optimized_plan(self):
+        model = pid_loop_model()
+        scheduler = model.scheduler(sync_interval=0.01, opt_level=1)
+        scheduler.run(0.01)
+        plan = scheduler.plan
+        for thread_index in {n.thread_index for n in plan.nodes}:
+            view = plan.thread_plan(thread_index)
+            assert view.opt_config is plan.opt_config
+
+    def test_optimizer_direct_api(self):
+        d = Diagram("m")
+        d.add(Constant("c", value=1.0))
+        d.add(Gain("g", k=2.0))
+        d.connect("c.out", "g.in")
+        make_live_tail(d, "g.out")
+        plan = plan_of(d, level=0)
+        optimized = PlanOptimizer(OptConfig.from_level(1)).run(plan)
+        assert len(optimized.nodes) < len(plan.nodes)
+        assert optimized.opt_report.input_nodes == len(plan.nodes)
+        assert optimized.opt_report.output_nodes == len(optimized.nodes)
+
+
+class TestSnapshotResume:
+    def test_snapshot_round_trip_on_optimized_plan(self):
+        from repro.resilience import SnapshotCodec
+        from repro.resilience.codec import (
+            decode_snapshot, encode_snapshot,
+        )
+
+        reference = pid_loop_model()
+        reference.run(until=1.0, sync_interval=0.01, opt_level=1)
+
+        crashed = pid_loop_model()
+        scheduler = crashed.scheduler(sync_interval=0.01, opt_level=1)
+
+        class Crash(Exception):
+            pass
+
+        def observe(t_now):
+            if scheduler.major_steps >= 40:
+                raise Crash()
+
+        scheduler.on_major_step = observe
+        with pytest.raises(Crash):
+            scheduler.run(1.0)
+
+        codec = SnapshotCodec()
+        blob = encode_snapshot(codec.capture(scheduler))
+
+        resumed = pid_loop_model()
+        fresh = resumed.scheduler(sync_interval=0.01, opt_level=1)
+        codec.restore(fresh, decode_snapshot(blob))
+        fresh.run(1.0)
+        assert np.array_equal(
+            reference.probe("y").states, resumed.probe("y").states,
+        )
+
+    def test_snapshot_fingerprint_separates_levels(self):
+        from repro.resilience import SnapshotCodec
+
+        codec = SnapshotCodec()
+        prints = set()
+        for level in (0, 1):
+            model = pid_loop_model()
+            scheduler = model.scheduler(
+                sync_interval=0.01, opt_level=level,
+            )
+            scheduler.run(0.01)
+            prints.add(codec.fingerprint(scheduler))
+        assert len(prints) == 2

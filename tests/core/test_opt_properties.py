@@ -1,0 +1,164 @@
+"""Property-based optimizer validation on random DAGs.
+
+Reuses the random Gain/Sum/Constant DAG generator from the network
+property suite: for every generated diagram, the O1 pipeline must be a
+bitwise-identity rewrite of the O0 plan at every read-out, and O2 must
+stay within float re-association tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from tests.test_properties_network import build_diagram, dag_specs
+
+from repro.core.network import FlatNetwork
+from repro.core.opt import OptConfig
+from repro.dataflow import Constant, Diagram, Gain, Integrator, Sum
+
+
+def build_sunk_diagram(sources, nodes):
+    """The harness DAG plus an Integrator consuming the last node, so
+    one path stays live under DCE (matching how a real model consumes
+    its signals); everything else is fair game for the optimizer."""
+    d = Diagram("dag")
+    for name, value in sources:
+        d.add(Constant(name, value))
+    for spec in nodes:
+        if spec[0] == "gain":
+            __, name, k, ups = spec
+            d.add(Gain(name, k=k))
+            d.connect(f"{ups[0]}.out", f"{name}.in")
+        else:
+            __, name, signs, ups = spec
+            d.add(Sum(name, signs=signs))
+            for index, upstream in enumerate(ups):
+                d.connect(f"{upstream}.out", f"{name}.in{index + 1}")
+    d.add(Integrator("propsink"))
+    d.connect(f"{nodes[-1][1]}.out", "propsink.in")
+    d.finalise()
+    return d
+
+
+class TestOptimizedPlansMatchUnoptimized:
+    @settings(max_examples=40, deadline=None)
+    @given(dag_specs())
+    def test_o1_rhs_is_bitwise_identical(self, spec):
+        sources, nodes = spec
+        diagram = build_diagram(sources, nodes)
+        network = FlatNetwork([diagram])
+        protect = [
+            diagram.sub(node_spec[1]).dport("out") for node_spec in nodes
+        ]
+        reference = network.plan()
+        optimized = network.plan(opt_level=1, protect=protect)
+        state = network.initial_state()
+        for t in (0.0, 0.5):
+            assert np.array_equal(
+                reference.rhs(t, state), optimized.rhs(t, state),
+            )
+        # protected read-outs hold bitwise-equal pad values
+        reference.evaluate(0.0, state)
+        expected = {
+            node_spec[1]:
+                diagram.sub(node_spec[1]).dport("out").read_scalar()
+            for node_spec in nodes
+        }
+        optimized.evaluate(0.0, state)
+        for name, value in expected.items():
+            measured = diagram.sub(name).dport("out").read_scalar()
+            assert measured == value or (
+                np.isnan(measured) and np.isnan(value)
+            ), name
+
+    @settings(max_examples=25, deadline=None)
+    @given(dag_specs())
+    def test_o2_stays_within_reassociation_tolerance(self, spec):
+        sources, nodes = spec
+        diagram = build_diagram(sources, nodes)
+        network = FlatNetwork([diagram])
+        protect = [
+            diagram.sub(node_spec[1]).dport("out") for node_spec in nodes
+        ]
+        reference = network.plan()
+        optimized = network.plan(opt_level=2, protect=protect)
+        state = network.initial_state()
+        reference.evaluate(0.0, state)
+        expected = {
+            node_spec[1]:
+                diagram.sub(node_spec[1]).dport("out").read_scalar()
+            for node_spec in nodes
+        }
+        optimized.evaluate(0.0, state)
+        for name, value in expected.items():
+            measured = diagram.sub(name).dport("out").read_scalar()
+            assert measured == pytest.approx(
+                value, rel=1e-9, abs=1e-9,
+            ), name
+
+    @settings(max_examples=25, deadline=None)
+    @given(dag_specs())
+    def test_unprotected_o1_run_matches_through_live_sink(self, spec):
+        """With a live sink and no probes the optimizer may rewrite
+        aggressively; the surviving dynamics must still match O0."""
+        sources, nodes = spec
+        diagram = build_sunk_diagram(sources, nodes)
+        network = FlatNetwork([diagram])
+        reference = network.plan()
+        optimized = network.plan(opt_level=1)
+        assert len(optimized.nodes) <= len(reference.nodes)
+        state = network.initial_state()
+        assert np.array_equal(
+            reference.rhs(0.0, state), optimized.rhs(0.0, state),
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(dag_specs())
+    def test_fingerprints_separate_levels(self, spec):
+        sources, nodes = spec
+        diagram = build_sunk_diagram(sources, nodes)
+        network = FlatNetwork([diagram])
+        o0 = network.plan().fingerprint()
+        o1 = network.plan(opt_level=1).fingerprint()
+        o2 = network.plan(opt_level=2).fingerprint()
+        assert o0 != o1 and o1 != o2 and o0 != o2
+
+    @settings(max_examples=20, deadline=None)
+    @given(dag_specs())
+    def test_report_accounts_for_every_removed_node(self, spec):
+        """Conservation: nodes in minus nodes out equals the removals
+        the report claims (DCE + interior folds + CSE merges + fused
+        members collapsed into their chain nodes)."""
+        sources, nodes = spec
+        diagram = build_sunk_diagram(sources, nodes)
+        network = FlatNetwork([diagram])
+        reference = network.plan()
+        optimized = network.plan(opt_level=1)
+        report = optimized.opt_report
+        removed = len(reference.nodes) - len(optimized.nodes)
+        claimed = (
+            len(report.dce_removed)
+            + (len(report.folded) - len(report.constants))
+            + len(report.cse_merged)
+            + sum(len(chain) - 1 for chain in report.fused_chains)
+        )
+        assert removed == claimed
+
+    @settings(max_examples=15, deadline=None)
+    @given(dag_specs())
+    def test_toggled_pipeline_still_bitwise(self, spec):
+        """Every single-pass ablation preserves O1 bitwise identity."""
+        sources, nodes = spec
+        diagram = build_sunk_diagram(sources, nodes)
+        network = FlatNetwork([diagram])
+        reference = network.plan()
+        state = network.initial_state()
+        expected = reference.rhs(0.0, state)
+        for disabled in ("dce", "fold", "cse", "fuse"):
+            config = OptConfig(level=1, **{disabled: False})
+            optimized = network.plan(opt_config=config)
+            assert np.array_equal(
+                expected, optimized.rhs(0.0, state),
+            ), f"without {disabled}"

@@ -1,0 +1,208 @@
+"""Cache correctness across optimizer levels, and batch-program sharing.
+
+Two invariants: (1) jobs submitted at different opt levels key the plan
+cache separately and never cross-serve each other's artefacts; (2) two
+:class:`BatchSimulator` instances over structurally identical diagrams
+share one compiled program through the plan cache — compile once, serve
+many — while different opt configurations still compile separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    BatchSimulator, batch_program_cache_key, shared_program_cache,
+)
+from repro.core.opt import OptConfig
+from repro.dataflow.diagram import Diagram
+from repro.dataflow.dynamics import PID, FirstOrderLag
+from repro.dataflow.math_blocks import Sum
+from repro.dataflow.sources import Step
+from repro.service import BatchJob, CodegenJob, SimulationService
+from repro.service.cache import PlanCache
+
+N = 4
+T_END = 0.05
+H = 1e-3
+RECORDS = ["plant.out"]
+
+
+def loop_diagram() -> Diagram:
+    d = Diagram("loop")
+    d.add(Step("ref", amplitude=1.0))
+    d.add(Sum("err", "+-"))
+    d.add(PID("pid", kp=3.0, ki=1.5, tf=0.5))
+    d.add(FirstOrderLag("plant", tau=0.4))
+    d.connect("ref.out", "err.in1")
+    d.connect("plant.out", "err.in2")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "plant.in")
+    return d
+
+
+def batch_job(opt_level=None) -> BatchJob:
+    return BatchJob(
+        diagram_factory=loop_diagram, n=N, t_end=T_END, solver="rk4",
+        h=H, records=RECORDS, opt_level=opt_level,
+    )
+
+
+class TestServiceOptLevels:
+    def test_o0_and_o2_key_separately_and_never_cross_serve(self):
+        with SimulationService(workers=1) as svc:
+            r0 = svc.submit(batch_job(opt_level=0)).result()
+            r2 = svc.submit(batch_job(opt_level=2)).result()
+            r0b = svc.submit(batch_job(opt_level=0)).result()
+            r2b = svc.submit(batch_job(opt_level=2)).result()
+            stats = svc.cache.stats()
+        # one compile per level, one hit per resubmission
+        assert stats["compiles"] == 2
+        assert stats["hits"] == 2
+        # resubmissions replay their own level's artefact exactly
+        assert np.array_equal(r0.series["plant.out"], r0b.series["plant.out"])
+        assert np.array_equal(r2.series["plant.out"], r2b.series["plant.out"])
+        # O2 re-associates: close to O0, not the same object lineage
+        np.testing.assert_allclose(r0.series["plant.out"], r2.series["plant.out"], rtol=1e-9)
+
+    def test_codegen_jobs_key_separately_per_level(self):
+        from repro.dataflow.math_blocks import Gain
+
+        def chained_diagram() -> Diagram:
+            # fusable pre-gain chain: O1 collapses it, changing the source
+            d = Diagram("loop")
+            d.add(Step("ref", amplitude=1.0))
+            d.add(Sum("err", "+-"))
+            d.add(Gain("pre1", k=2.0))
+            d.add(Gain("pre2", k=0.5))
+            d.add(PID("pid", kp=3.0, ki=1.5, tf=0.5))
+            d.add(FirstOrderLag("plant", tau=0.4))
+            d.connect("ref.out", "err.in1")
+            d.connect("plant.out", "err.in2")
+            d.connect("err.out", "pre1.in")
+            d.connect("pre1.out", "pre2.in")
+            d.connect("pre2.out", "pid.in")
+            d.connect("pid.out", "plant.in")
+            return d
+
+        with SimulationService(workers=1) as svc:
+            src0 = svc.submit(CodegenJob(
+                diagram_factory=chained_diagram, records=RECORDS,
+                opt_level=0,
+            )).result()
+            src1 = svc.submit(CodegenJob(
+                diagram_factory=chained_diagram, records=RECORDS,
+                opt_level=1,
+            )).result()
+            stats = svc.cache.stats()
+        assert stats["compiles"] == 2
+        assert src0 != src1  # optimized source is actually different
+
+    def test_service_default_opt_level_applies(self):
+        with SimulationService(workers=1, default_opt_level=1) as svc:
+            svc.submit(batch_job()).result()
+            snapshot = svc.metrics_snapshot()
+        counters = snapshot["counters"]
+        assert "opt.blocks_removed" in counters
+        assert "opt.ops_fused" in counters
+
+    def test_single_run_o1_matches_o0_bitwise(self):
+        from repro.core.model import HybridModel
+        from repro.service import SingleRunJob
+
+        def loop_model() -> HybridModel:
+            diagram = loop_diagram()
+            diagram.finalise()
+            model = HybridModel("loop")
+            model.default_thread.h = H
+            model.add_streamer(diagram)
+            model.add_probe("y", diagram.port_at("plant.out"))
+            return model
+
+        with SimulationService(workers=1) as svc:
+            r0 = svc.submit(SingleRunJob(
+                model_factory=loop_model, t_end=T_END,
+                sync_interval=0.01, opt_level=0,
+            )).result()
+            r1 = svc.submit(SingleRunJob(
+                model_factory=loop_model, t_end=T_END,
+                sync_interval=0.01, opt_level=1,
+            )).result()
+        assert np.array_equal(r0.probes["y"].states, r1.probes["y"].states)
+
+
+class TestSharedBatchProgramCache:
+    def test_two_simulators_share_one_compile(self):
+        cache = PlanCache(capacity=8)
+        a = BatchSimulator(
+            loop_diagram(), N, solver="rk4", h=H, records=RECORDS,
+            cache=cache,
+        )
+        b = BatchSimulator(
+            loop_diagram(), N, solver="rk4", h=H, records=RECORDS,
+            cache=cache,
+        )
+        assert a.program is b.program
+        stats = cache.stats()
+        assert stats["compiles"] == 1 and stats["hits"] == 1
+        assert np.array_equal(a.run(T_END).series["plant.out"], b.run(T_END).series["plant.out"])
+
+    def test_opt_levels_compile_separately(self):
+        cache = PlanCache(capacity=8)
+        plain = BatchSimulator(
+            loop_diagram(), N, solver="rk4", h=H, records=RECORDS,
+            cache=cache,
+        )
+        optimized = BatchSimulator(
+            loop_diagram(), N, solver="rk4", h=H, records=RECORDS,
+            cache=cache, opt_level=2,
+        )
+        assert plain.program is not optimized.program
+        assert cache.stats()["compiles"] == 2
+        np.testing.assert_allclose(
+            plain.run(T_END).series["plant.out"],
+            optimized.run(T_END).series["plant.out"],
+            rtol=1e-9,
+        )
+
+    def test_cache_false_compiles_privately(self):
+        cache = PlanCache(capacity=8)
+        BatchSimulator(
+            loop_diagram(), N, solver="rk4", h=H, records=RECORDS,
+            cache=cache,
+        )
+        private = BatchSimulator(
+            loop_diagram(), N, solver="rk4", h=H, records=RECORDS,
+            cache=False,
+        )
+        assert cache.stats()["compiles"] == 1
+        assert private.program is not None
+
+    def test_default_shared_cache_is_module_global(self):
+        shared = shared_program_cache()
+        before = shared.stats()["compiles"]
+        a = BatchSimulator(
+            loop_diagram(), N, solver="rk4", h=H, records=RECORDS,
+        )
+        b = BatchSimulator(
+            loop_diagram(), N, solver="rk4", h=H, records=RECORDS,
+        )
+        assert a.program is b.program
+        assert shared.stats()["compiles"] >= before
+
+    def test_key_separates_records_and_opt(self):
+        base = batch_program_cache_key(loop_diagram(), records=RECORDS)
+        other_records = batch_program_cache_key(
+            loop_diagram(), records=["err.out"],
+        )
+        optimized = batch_program_cache_key(
+            loop_diagram(), records=RECORDS,
+            opt_config=OptConfig.from_level(2),
+        )
+        inactive = batch_program_cache_key(
+            loop_diagram(), records=RECORDS,
+            opt_config=OptConfig.from_level(0),
+        )
+        assert len({base, other_records, optimized}) == 3
+        assert inactive == base  # O0 config is a no-op, same artefact
