@@ -39,14 +39,17 @@ Quick start
 """
 
 from repro.core import (
+    BackendProgram,
     BatchResult,
     BatchSimulator,
     Channel,
     ChannelPolicy,
+    CompileRequest,
     ContinuousTime,
     DPort,
     DataKind,
     Direction,
+    ExecutionBackend,
     ExecutionPlan,
     Flow,
     FlowType,
@@ -61,6 +64,8 @@ from repro.core import (
     SolverBinding,
     Streamer,
     StreamerThread,
+    available_backends,
+    compile_program,
     simulate_sequential,
     validate_model,
 )
@@ -111,6 +116,7 @@ from repro.resilience import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackendProgram",
     "BatchJob",
     "BatchResult",
     "BatchSimulator",
@@ -122,12 +128,14 @@ __all__ = [
     "CodegenJob",
     "Channel",
     "ChannelPolicy",
+    "CompileRequest",
     "ContinuousTime",
     "Controller",
     "DPort",
     "DataKind",
     "Diagnostic",
     "Direction",
+    "ExecutionBackend",
     "ExecutionPlan",
     "FaultInjector",
     "FingerprintMismatchError",
@@ -166,7 +174,9 @@ __all__ = [
     "StreamerThread",
     "Transition",
     "autofix",
+    "available_backends",
     "available_solvers",
+    "compile_program",
     "integrate",
     "make_solver",
     "run_checks",

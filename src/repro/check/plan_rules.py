@@ -16,6 +16,9 @@ compiled :class:`~repro.core.plan.ExecutionPlan`.
 * **STR005** — flow-type narrowing: a consumer declaring fields its
   driver never provides (legal under W1, but those fields silently hold
   their defaults forever).
+* **STR006** — kernel-ineligible blocks: block types with no codegen
+  emitter; a plan containing them always falls back from the compiled
+  execution backends to the interpreter.
 """
 
 from __future__ import annotations
@@ -260,4 +263,25 @@ def check_flow_type_narrowing(ctx: CheckContext) -> None:
             "default values",
             obj=edge.dst_leaf,
             details={"missing_fields": missing},
+        )
+
+
+@rule("STR006", "kernel-ineligible block", "plan", "info",
+      "execution backends: compiled-python/native-c kernels are emitted "
+      "from per-block-type codegen emitters; one block without an "
+      "emitter demotes the whole plan to the interpreter")
+def check_kernel_ineligible_blocks(ctx: CheckContext) -> None:
+    from repro.codegen.common import _EMITTERS
+
+    for leaf in ctx.leaves:
+        kind = type(leaf).__name__
+        if kind in _EMITTERS:
+            continue
+        ctx.emit(
+            leaf.path(),
+            f"block type {kind!r} has no codegen emitter; requesting a "
+            "compiled execution backend (compiled-python, native-c) for "
+            "this plan will fall back to the interpreter",
+            obj=leaf,
+            details={"block_type": kind},
         )

@@ -17,7 +17,7 @@ extension point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.network import FlatNetwork
 from repro.core.plan import ExecutionPlan
@@ -183,6 +183,15 @@ class BlockCode:
     held_vars: List[Tuple[str, float]] = field(default_factory=list)
     #: statements run once per major step, after integration
     sync_lines: List[str] = field(default_factory=list)
+    #: statement-level sync replica ``(indent, line)`` rows reproducing
+    #: the live block's ``on_sync`` arithmetic exactly (scalar kernel
+    #: backends); empty for the vectorised target, which keeps the
+    #: branch-free expression form in :attr:`sync_lines`
+    sync_stmts: List[Tuple[int, str]] = field(default_factory=list)
+    #: held-variable name -> live-block attribute carrying the same
+    #: register (lets a kernel refresh its held copies from the
+    #: interpreter-owned blocks, e.g. the hybrid scheduler's rhs bridge)
+    held_attrs: List[Tuple[str, str]] = field(default_factory=list)
 
 
 @dataclass
@@ -571,6 +580,33 @@ def _next_sample_expr(lang: Lang, ts: str) -> str:
     return f"({lang.floor(ratio)} + 1.0) * {ts}"
 
 
+def _sampled_sync_stmts(
+    lang: Lang, nxt: str, ts: str, eps: str, body: List[str]
+) -> List[Tuple[int, str]]:
+    """Statement replica of :meth:`SampledBlock.on_sync` for one block.
+
+    ``body`` holds the sample assignments; the clock walk
+    (``while nxt <= t + eps: nxt += ts``) is appended.  Only the scalar
+    python/c targets get a replica — the vectorised target keeps the
+    branch-free :attr:`BlockCode.sync_lines` form.
+    """
+    if lang.name == "python":
+        stmts: List[Tuple[int, str]] = [(0, f"if t + {eps} >= {nxt}:")]
+        stmts.extend((1, line) for line in body)
+        stmts.append((1, f"while {nxt} <= t + {eps}:"))
+        stmts.append((2, f"{nxt} = {nxt} + {ts}"))
+        return stmts
+    if lang.name == "c":
+        stmts = [(0, f"if (t + {eps} >= {nxt}) {{")]
+        stmts.extend((1, f"{line};") for line in body)
+        stmts.append((1, f"while ({nxt} <= t + {eps}) {{"))
+        stmts.append((2, f"{nxt} = {nxt} + {ts};"))
+        stmts.append((1, "}"))
+        stmts.append((0, "}"))
+        return stmts
+    return []
+
+
 @register_emitter("ZeroOrderHold")
 def _emit_zoh(block, ctx):
     lang = ctx.lang
@@ -581,6 +617,7 @@ def _emit_zoh(block, ctx):
     ts = lang.num(block.params["ts"])
     cond = f"t + 1e-12 >= {nxt}"
     advance = _next_sample_expr(lang, ts)
+    eps = lang.num(1e-9 * float(block.params["ts"]))
     return BlockCode(
         output_lines=[f"{out} = {held}"],
         held_vars=[(held, 0.0), (nxt, 0.0)],
@@ -588,6 +625,10 @@ def _emit_zoh(block, ctx):
             f"{held} = {lang.if_expr(cond, u, held)}",
             f"{nxt} = {lang.if_expr(cond, advance, nxt)}",
         ],
+        sync_stmts=_sampled_sync_stmts(
+            lang, nxt, ts, eps, [f"{held} = {u}"]
+        ),
+        held_attrs=[(held, "_held"), (nxt, "_next_sample")],
     )
 
 
@@ -602,6 +643,7 @@ def _emit_unit_delay(block, ctx):
     ts = lang.num(block.params["ts"])
     cond = f"t + 1e-12 >= {nxt}"
     advance = _next_sample_expr(lang, ts)
+    eps = lang.num(1e-9 * float(block.params["ts"]))
     return BlockCode(
         output_lines=[f"{out} = {held}"],
         held_vars=[(held, 0.0), (store, block._store), (nxt, 0.0)],
@@ -609,6 +651,13 @@ def _emit_unit_delay(block, ctx):
             f"{held} = {lang.if_expr(cond, store, held)}",
             f"{store} = {lang.if_expr(cond, u, store)}",
             f"{nxt} = {lang.if_expr(cond, advance, nxt)}",
+        ],
+        sync_stmts=_sampled_sync_stmts(
+            lang, nxt, ts, eps,
+            [f"{held} = {store}", f"{store} = {u}"],
+        ),
+        held_attrs=[
+            (held, "_held"), (store, "_store"), (nxt, "_next_sample"),
         ],
     )
 
@@ -685,13 +734,59 @@ def lower(
     """
     diagram.finalise()
     network = FlatNetwork([diagram])
+    return lower_network(
+        network, lang, records=records,
+        opt_level=opt_level, opt_config=opt_config,
+        name=diagram.name, port_at=diagram.port_at,
+    )
+
+
+def lower_network(
+    network: FlatNetwork,
+    lang: Lang,
+    records: Optional[List[str]] = None,
+    opt_level: int = 0,
+    opt_config=None,
+    name: str = "network",
+    port_at: Optional[Callable[[str], Any]] = None,
+) -> LoweredModel:
+    """Lower an already-flattened network (the execution-backend path).
+
+    ``port_at`` resolves ``"block.port"`` record paths (a diagram's
+    ``port_at`` method); without it only the default Scope records are
+    available.
+    """
     from repro.core.opt import resolve_config
 
     config = resolve_config(opt_level, opt_config)
     protect = []
     if config.is_active and records:
-        protect = [diagram.port_at(path) for path in records]
+        if port_at is None:
+            raise CodegenError(
+                "explicit records on an optimized plan need a port_at "
+                "resolver to protect the recorded pads"
+            )
+        protect = [port_at(path) for path in records]
     plan = network.plan(opt_config=config, protect=protect)
+    return lower_plan(
+        plan, lang,
+        initial_state=[float(v) for v in network.initial_state()],
+        records=records, name=name, port_at=port_at,
+    )
+
+
+def lower_plan(
+    plan: ExecutionPlan,
+    lang: Lang,
+    initial_state: List[float],
+    records: Optional[List[str]] = None,
+    name: str = "plan",
+    port_at: Optional[Callable[[str], Any]] = None,
+) -> LoweredModel:
+    """Emit code for an already-compiled (possibly optimized or
+    thread-partitioned) plan.  The caller owns plan compilation and pad
+    protection; this is the entry point the execution backends and the
+    hybrid scheduler's kernel bridge use."""
     ctx = _Ctx(plan, lang)
     code: Dict[int, BlockCode] = {}
     for node in plan.nodes:
@@ -718,8 +813,12 @@ def lower(
 
     record_pairs: List[Tuple[str, str]] = []
     if records:
+        if port_at is None:
+            raise CodegenError(
+                "explicit record paths need a port_at resolver"
+            )
         for path in records:
-            port = diagram.port_at(path)
+            port = port_at(path)
             if port.is_out:
                 record_pairs.append((path, ctx.signal(port.owner, port.name)))
             else:
@@ -734,10 +833,10 @@ def lower(
                     ))
 
     return LoweredModel(
-        name=diagram.name,
+        name=name,
         plan=plan,
         state_names=state_names,
-        initial_state=[float(v) for v in network.initial_state()],
+        initial_state=list(initial_state),
         signal_names=signal_names,
         code=code,
         records=record_pairs,

@@ -43,6 +43,11 @@ from repro.core.batch import (
     SweepVar, compile_batch_program, merge_chunks, simulate_sequential,
 )
 from repro.core.opt import OptConfig, OptReport, PlanOptimizer
+from repro.core.backend import (
+    BackendError, BackendProgram, BackendUnavailable, CompileRequest,
+    ExecutionBackend, ProgramResult, available_backends, compile_program,
+    fallback_chain, get_backend, register_backend,
+)
 from repro.core.thread import StreamerThread
 from repro.core.hybrid import HybridScheduler
 from repro.core.model import HybridModel
@@ -50,6 +55,9 @@ from repro.core.builder import ModelBuilder
 from repro.core.validation import ValidationError, Violation, validate_model
 
 __all__ = [
+    "BackendError",
+    "BackendProgram",
+    "BackendUnavailable",
     "BatchChunk",
     "BatchError",
     "BatchProgram",
@@ -58,11 +66,13 @@ __all__ = [
     "Channel",
     "ChannelError",
     "ChannelPolicy",
+    "CompileRequest",
     "ContinuousTime",
     "DPort",
     "DPortError",
     "DataKind",
     "Direction",
+    "ExecutionBackend",
     "ExecutionPlan",
     "Flow",
     "FlowError",
@@ -78,6 +88,7 @@ __all__ = [
     "PlanGuard",
     "PlanNode",
     "PlanOptimizer",
+    "ProgramResult",
     "Relay",
     "SPort",
     "SPortError",
@@ -89,8 +100,13 @@ __all__ = [
     "TimeError",
     "ValidationError",
     "Violation",
+    "available_backends",
     "compile_batch_program",
+    "compile_program",
+    "fallback_chain",
+    "get_backend",
     "merge_chunks",
+    "register_backend",
     "simulate_sequential",
     "validate_model",
 ]

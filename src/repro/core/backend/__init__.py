@@ -1,0 +1,59 @@
+"""Execution backends: one registry, one uniform program surface.
+
+Importing this package registers the four built-in backends
+(``interpreter``, ``compiled-python``, ``native-c``, ``batch``).  See
+:mod:`repro.core.backend.base` for the contract and the fallback-ladder
+resolver :func:`compile_program`.
+"""
+
+from repro.core.backend.base import (
+    BackendError,
+    BackendProgram,
+    BackendUnavailable,
+    CompileRequest,
+    ExecutionBackend,
+    FALLBACKS,
+    KERNEL_SOLVERS,
+    KERNEL_VERSION,
+    ProgramResult,
+    available_backends,
+    compile_program,
+    fallback_chain,
+    get_backend,
+    register_backend,
+)
+from repro.core.backend.interpreter import (
+    InterpreterBackend, InterpreterProgram,
+)
+from repro.core.backend.pykernel import PyKernelBackend, PyKernelProgram
+from repro.core.backend.native import (
+    NativeBackend, NativeProgram, default_cache_dir, has_c_compiler,
+)
+from repro.core.backend.batchentry import BatchBackend, BatchProgramAdapter
+
+__all__ = [
+    "BackendError",
+    "BackendProgram",
+    "BackendUnavailable",
+    "BatchBackend",
+    "BatchProgramAdapter",
+    "CompileRequest",
+    "ExecutionBackend",
+    "FALLBACKS",
+    "InterpreterBackend",
+    "InterpreterProgram",
+    "KERNEL_SOLVERS",
+    "KERNEL_VERSION",
+    "NativeBackend",
+    "NativeProgram",
+    "ProgramResult",
+    "PyKernelBackend",
+    "PyKernelProgram",
+    "available_backends",
+    "compile_program",
+    "default_cache_dir",
+    "fallback_chain",
+    "get_backend",
+    "has_c_compiler",
+    "register_backend",
+]

@@ -1,0 +1,263 @@
+"""The ``interpreter`` backend: the reference execution semantics.
+
+Wraps :meth:`ExecutionPlan.evaluate`/``rhs`` plus the live blocks'
+``on_sync`` hooks in the uniform :class:`BackendProgram` surface.  This
+is the semantic ground truth every other backend is differential-tested
+against — it runs the (possibly optimized) plan *directly*, so at O1/O2
+it executes the same rewritten node table the kernels were emitted from.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.backend.base import (
+    BackendError, BackendProgram, CompileRequest, ExecutionBackend,
+    ProgramResult, register_backend,
+)
+from repro.core.solverbinding import SolverBinding
+
+
+def resolve_record_ports(plan, records, port_at) -> List[Tuple[str, Any]]:
+    """``(label, DPort)`` pairs for a record request.
+
+    Explicit ``"block.port"`` paths resolve through ``port_at``; the
+    default mirrors the codegen layer — every Scope input, labelled
+    ``"<scope>.<port>"``.
+    """
+    pairs: List[Tuple[str, Any]] = []
+    if records:
+        if port_at is None:
+            raise BackendError(
+                "explicit record paths need a diagram (port_at resolver)"
+            )
+        for path in records:
+            pairs.append((path, port_at(path)))
+        return pairs
+    for node in plan.nodes:
+        if type(node.leaf).__name__ == "Scope":
+            for port in node.leaf.dports.values():
+                pairs.append((f"{node.leaf.name}.{port.name}", port))
+    return pairs
+
+
+class InterpreterProgram(BackendProgram):
+    backend = "interpreter"
+
+    def __init__(
+        self,
+        plan,
+        initial_state: np.ndarray,
+        records: List[Tuple[str, Any]],
+        solver: Any,
+        h: float,
+    ) -> None:
+        self._plan = plan
+        self._initial = np.asarray(initial_state, dtype=float).copy()
+        self._records = records
+        self._binding = SolverBinding(solver)
+        self.h = float(h)
+        # blocks are live objects shared with the diagram; capture their
+        # pristine discrete state now so reset() can truly rewind (the
+        # restore hook mutates — pops — the dict it is given, and e.g.
+        # UnitDelay's restore default is 0.0, not its y0)
+        self._initial_extra = {
+            node.leaf.path(): copy.deepcopy(node.leaf.extra_state())
+            for node in plan.nodes
+        }
+        self._t = 0.0
+        self._x = self._initial.copy()
+        self._step = 0
+        self._cold = True
+
+    # ------------------------------------------------------------------
+    @property
+    def plan(self):
+        return self._plan
+
+    @property
+    def t(self) -> float:
+        return self._t
+
+    @property
+    def x(self) -> np.ndarray:
+        return self._x
+
+    def record_labels(self) -> List[str]:
+        return [label for label, __ in self._records]
+
+    def fingerprint(self) -> str:
+        return self._plan.fingerprint(extra={
+            "backend": self.backend,
+            "solver": self._binding.strategy_name,
+            "records": tuple(self.record_labels()),
+        })
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._t = 0.0
+        self._x = self._initial.copy()
+        self._step = 0
+        self._cold = True
+        for node in self._plan.nodes:
+            node.leaf.restore_extra_state(
+                copy.deepcopy(self._initial_extra[node.leaf.path()])
+            )
+        self._binding.reset()
+        self._rewind_observers(None)
+
+    def _rewind_observers(self, t_cursor: Optional[float]) -> None:
+        """Truncate live Scope-style trajectories to the cursor.
+
+        Scopes append at every sync and their histories are
+        monotone-checked, so rewinding the program must discard the
+        samples past the restore point (``None``: all of them) or the
+        next sync would be rejected as time going backwards.
+        """
+        from repro.solvers.history import Trajectory
+
+        for node in self._plan.nodes:
+            old = getattr(node.leaf, "trajectory", None)
+            if not isinstance(old, Trajectory):
+                continue
+            fresh = Trajectory(labels=old.labels)
+            if t_cursor is not None:
+                for t_sample, row in zip(old.times, old.states):
+                    if t_sample > t_cursor:
+                        break
+                    fresh.append(t_sample, row)
+            node.leaf.trajectory = fresh
+
+    def _sync(self, t: float) -> None:
+        # pads first (each on_sync reads its *pre-sync* input value, the
+        # same snapshot the kernels' sync replicas read), then the hooks
+        # in plan-node order
+        self._plan.evaluate(t, self._x)
+        for node in self._plan.nodes:
+            node.leaf.on_sync(t)
+
+    def _read_row(self, t: float) -> Tuple[float, ...]:
+        self._plan.evaluate(t, self._x)
+        return tuple(port.read_scalar() for __, port in self._records)
+
+    def step(self, h: Optional[float] = None) -> float:
+        hh = self.h if h is None else float(h)
+        if self._cold:
+            self._sync(self._t)
+            self._cold = False
+        result = self._binding.step(self._plan.rhs, self._t, self._x, hh)
+        self._x = result.y
+        self._t = result.t
+        self._step += 1
+        self._sync(self._t)
+        return self._t
+
+    def run(
+        self,
+        t_end: float,
+        h: Optional[float] = None,
+        record_every: int = 1,
+    ) -> ProgramResult:
+        hh = self.h if h is None else float(h)
+        plan = self._plan
+        binding = self._binding
+        if self._cold:
+            self._sync(self._t)
+            self._cold = False
+        rec_t: List[float] = []
+        rows: List[Tuple[float, ...]] = []
+        t = self._t
+        x = self._x
+        step = self._step
+        while t < t_end - 1e-12:
+            h_step = hh if hh < t_end - t else t_end - t
+            if step % record_every == 0:
+                rec_t.append(t)
+                rows.append(self._read_row(t))
+            result = binding.step(plan.rhs, t, x, h_step)
+            x = result.y
+            t = result.t
+            step += 1
+            self._t, self._x, self._step = t, x, step
+            self._sync(t)
+        rec_t.append(t)
+        rows.append(self._read_row(t))
+        return ProgramResult(
+            t=np.asarray(rec_t, dtype=float),
+            series={
+                label: np.asarray([row[i] for row in rows], dtype=float)
+                for i, (label, __) in enumerate(self._records)
+            },
+            final_state=x.copy(),
+            stats={
+                "backend": self.backend,
+                "steps": step,
+                "evaluations": plan.counters.evaluations,
+            },
+        )
+
+    def rhs(self, t: float, x: np.ndarray) -> np.ndarray:
+        return self._plan.rhs(t, np.asarray(x, dtype=float))
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {
+            "t": self._t,
+            "step": self._step,
+            "cold": self._cold,
+            "x": [float(v) for v in self._x],
+            "extras": {
+                node.leaf.path(): copy.deepcopy(node.leaf.extra_state())
+                for node in self._plan.nodes
+            },
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        # the binding's trajectory history is monotone-checked; a restore
+        # may rewind time, so the history must restart at the cursor
+        self._binding.reset()
+        self._t = float(state["t"])
+        self._step = int(state["step"])
+        self._cold = bool(state.get("cold", False))
+        self._x = np.asarray(state["x"], dtype=float)
+        extras = state.get("extras", {})
+        for node in self._plan.nodes:
+            extra = extras.get(node.leaf.path())
+            if extra is not None:
+                node.leaf.restore_extra_state(copy.deepcopy(extra))
+        self._rewind_observers(self._t)
+
+
+class InterpreterBackend(ExecutionBackend):
+    name = "interpreter"
+
+    def compile(self, request: CompileRequest) -> InterpreterProgram:
+        network = request.resolved_network()
+        plan = request.plan
+        if plan is None:
+            from repro.core.opt import resolve_config
+
+            config = resolve_config(request.opt_level, request.opt_config)
+            protect = []
+            if config.is_active and request.records:
+                port_at = request.port_at()
+                if port_at is None:
+                    raise BackendError(
+                        "explicit records on an optimized plan need a "
+                        "diagram to protect the recorded pads"
+                    )
+                protect = [port_at(path) for path in request.records]
+            plan = network.plan(opt_config=config, protect=protect)
+        records = resolve_record_ports(
+            plan, request.records, request.port_at()
+        )
+        return InterpreterProgram(
+            plan, network.initial_state(), records,
+            request.solver, request.h,
+        )
+
+
+register_backend(InterpreterBackend())

@@ -59,6 +59,7 @@ class HybridScheduler:
         dense_events: bool = True,
         opt_level: int = 0,
         opt_config=None,
+        backend: Optional[str] = None,
     ) -> None:
         if sync_interval <= 0:
             raise HybridError(
@@ -72,6 +73,21 @@ class HybridScheduler:
         #: pads are automatically protected from rewrites)
         self.opt_level = opt_level
         self.opt_config = opt_config
+        #: requested execution backend for the continuous phase
+        #: (``None``/"interpreter": the plan interpreter; "compiled-python"
+        #: or "native-c": a derivative kernel compiled through
+        #: :mod:`repro.core.backend`).  Binding is best-effort — when the
+        #: model is ineligible (multiple active threads, zero-crossing
+        #: guards, capsules, unsupported blocks) the scheduler falls back
+        #: to the interpreter and reports why in ``stats()["backend"]``.
+        self.backend = backend
+        self._backend_program = None
+        self._backend_fingerprint: Optional[str] = None
+        self._backend_info: Dict[str, Optional[str]] = {
+            "requested": backend or "interpreter",
+            "effective": "interpreter",
+            "reason": "interpreter is the default execution backend",
+        }
         #: localise crossings on a cubic Hermite interpolant (two extra
         #: RHS evaluations per event-bearing slice) instead of a secant
         self.dense_events = dense_events
@@ -141,6 +157,7 @@ class HybridScheduler:
                 self._detector = ZeroCrossingDetector(specs)
             if self.real_threads:
                 self._pool = RealThreadPool(model.threads)
+            self._bind_backend()
         if not model.rts.started:
             model.rts.start()
 
@@ -166,6 +183,126 @@ class HybridScheduler:
         return fn
 
     # ------------------------------------------------------------------
+    # execution backends (continuous-phase derivative kernel)
+    # ------------------------------------------------------------------
+    def _backend_ineligible(self) -> Optional[str]:
+        """Why this model cannot run a compiled derivative kernel, or
+        ``None`` when every gate passes.
+
+        The kernel bakes block parameters in as literals, replaces only
+        the derivative evaluation (``plan.rhs``) and reads sample/hold
+        registers back from the live blocks before every call — so it is
+        sound exactly when nothing outside the gated surface can change
+        the maths mid-slice.
+        """
+        if self.plan is None or not self.plan.nodes:
+            return "model has no continuous plan nodes"
+        active = [
+            thread for thread in self.model.threads
+            if thread.plan is not None and thread.plan.nodes
+        ]
+        if len(active) != 1:
+            return (
+                f"{len(active)} active streamer threads; the kernel "
+                "replaces one whole-plan derivative"
+            )
+        if self._guards:
+            return "zero-crossing guards require the plan interpreter"
+        if self.model.rts.capsule_count():
+            return (
+                "capsules may reconfigure streamer parameters mid-run; "
+                "kernels bake parameters in as literals"
+            )
+        return None
+
+    def _bind_backend(self) -> None:
+        """Try to compile the requested backend's derivative kernel and
+        install it as the active thread's rhs override."""
+        requested = self.backend or "interpreter"
+        self._backend_info = {
+            "requested": requested,
+            "effective": "interpreter",
+            "reason": "interpreter is the default execution backend",
+        }
+        self._backend_program = None
+        for thread in self.model.threads:
+            thread.rhs_override = None
+        if requested == "interpreter":
+            return
+        from repro.core.backend import (
+            BackendError, CompileRequest, fallback_chain, get_backend,
+        )
+        from repro.codegen.common import CodegenError
+
+        try:
+            chain = fallback_chain(requested)
+        except BackendError as exc:
+            self._backend_info["reason"] = str(exc)
+            return
+        reason = self._backend_ineligible()
+        if reason is not None:
+            self._backend_info["reason"] = reason
+            return
+        active = next(
+            thread for thread in self.model.threads
+            if thread.plan is not None and thread.plan.nodes
+        )
+        # the kernel's solver loop is unused (the thread's own
+        # SolverBinding keeps stepping); only the deriv entry point is
+        # bridged, so any solver — adaptive included — gets the fast rhs
+        request = CompileRequest(
+            network=self.network, plan=self.plan, solver="rk4",
+            h=active.h,
+        )
+        program = None
+        for name in chain:
+            if name == "interpreter":
+                break  # native interpreter path beats a wrapped one
+            try:
+                program = get_backend(name).compile(request)
+                break
+            except (BackendError, CodegenError) as exc:
+                self._backend_info["reason"] = str(exc)
+        if program is None:
+            return
+        counters = self.plan.counters
+
+        def kernel_rhs(t: float, y: np.ndarray) -> np.ndarray:
+            # live sampled blocks own the sample/hold registers (the
+            # scheduler's sync hooks advance them); mirror them into the
+            # kernel so mid-slice derivatives see the interpreter's view
+            program.refresh_held_from_blocks()
+            counters.evaluations += 1
+            return program.rhs(t, y)
+
+        active.rhs_override = kernel_rhs
+        self._backend_program = program
+        self._backend_fingerprint = self.plan.fingerprint()
+        self._backend_info["effective"] = program.backend
+        if program.backend == requested:
+            self._backend_info["reason"] = None
+        # on a demotion the reason keeps the failed rung's message
+
+    def _recheck_backend(self) -> None:
+        """Rebind the kernel if block parameters changed since compile.
+
+        Parameters enter the plan fingerprint, so any mutation between
+        ``run`` calls (a caller re-tuning a gain, a t=0 configuration
+        hook) is caught here and triggers a fresh compile; mutating
+        parameters *mid-run* is excluded by the eligibility gates.
+        """
+        if self._backend_program is None:
+            return
+        if self.plan.fingerprint() != self._backend_fingerprint:
+            self._bind_backend()
+
+    @property
+    def backend_info(self) -> Dict[str, Optional[str]]:
+        """``{"requested", "effective", "reason"}`` for the bound
+        execution backend (``reason`` is ``None`` when no fallback)."""
+        return dict(self._backend_info)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def initialise(self) -> None:
@@ -183,6 +320,7 @@ class HybridScheduler:
         """Advance the whole model to continuous time ``t_end``."""
         if not self._built:
             self.initialise()
+        self._recheck_backend()
         time = self.model.time
         guard_eps = 1e-12
         while time.raw < t_end - guard_eps:
@@ -354,14 +492,15 @@ class HybridScheduler:
                 self._detector.reset(t, self.state)
 
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, float]:
-        out: Dict[str, float] = {
+    def stats(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
             "major_steps": self.major_steps,
             "events_fired": self.events_fired,
             "signals_to_streamers": self.signals_to_streamers,
             "signals_to_capsules": self.signals_to_capsules,
             "messages_dispatched": self.model.rts.total_dispatched,
         }
+        out["backend"] = self.backend_info
         if self.network is not None:
             out["rhs_evaluations"] = self.network.rhs_evaluations
             out["minor_steps"] = sum(

@@ -246,12 +246,16 @@ class HybridModel:
         dense_events: bool = True,
         opt_level: int = 0,
         opt_config=None,
+        backend: Optional[str] = None,
     ) -> HybridScheduler:
         """Create (or return the existing) hybrid scheduler.
 
         ``opt_level`` / ``opt_config`` select the plan-optimizer
         pipeline (:mod:`repro.core.opt`) the scheduler compiles under;
-        probed pads are protected automatically.
+        probed pads are protected automatically.  ``backend`` requests
+        an execution backend (:mod:`repro.core.backend`) for the
+        continuous phase; ineligible models fall back to the plan
+        interpreter (see ``scheduler.backend_info``).
         """
         if self._scheduler is None:
             self._scheduler = HybridScheduler(
@@ -262,6 +266,7 @@ class HybridModel:
                 dense_events=dense_events,
                 opt_level=opt_level,
                 opt_config=opt_config,
+                backend=backend,
             )
         return self._scheduler
 
@@ -275,6 +280,7 @@ class HybridModel:
         validate: bool = True,
         opt_level: int = 0,
         opt_config=None,
+        backend: Optional[str] = None,
     ) -> HybridScheduler:
         """Validate, build and simulate to continuous time ``until``."""
         if validate and self._scheduler is None:
@@ -286,6 +292,7 @@ class HybridModel:
             dense_events=dense_events,
             opt_level=opt_level,
             opt_config=opt_config,
+            backend=backend,
         )
         scheduler.run(until)
         return scheduler

@@ -38,7 +38,7 @@ CLI's ``--explain`` output.
 
 from repro.core.opt.config import OptConfig, OptReport, resolve_config
 from repro.core.opt.optimizer import PlanOptimizer
-from repro.core.opt.synth import FoldedBlock, FusedChain, PadCopy
+from repro.core.opt.synth import FoldedBlock, FusedChain, PadCopy, synth_dag
 
 __all__ = [
     "OptConfig",
@@ -48,4 +48,5 @@ __all__ = [
     "FusedChain",
     "PadCopy",
     "resolve_config",
+    "synth_dag",
 ]

@@ -62,6 +62,11 @@ class StreamerThread:
         #: this thread's :class:`~repro.core.plan.ExecutionPlan` view
         #: (own nodes, in-thread edges only) — set by the scheduler
         self.plan: Optional["ExecutionPlan"] = None
+        #: optional replacement for ``plan.rhs`` inside
+        #: :meth:`integrate_slice` — the hybrid scheduler installs a
+        #: compiled-kernel derivative here when an execution backend is
+        #: bound.  Must be bitwise-equivalent to ``plan.rhs``.
+        self.rhs_override: Optional[Any] = None
         self.minor_steps = 0
 
     def assign(self, streamer: Streamer) -> Streamer:
@@ -103,7 +108,8 @@ class StreamerThread:
         if plan is None or not plan.nodes:
             return state
 
-        rhs = plan.rhs
+        rhs = self.rhs_override if self.rhs_override is not None \
+            else plan.rhs
 
         # Work on a private copy: the RHS only reads this thread's slices
         # (other nodes are filtered out and cross-thread pads are frozen),

@@ -56,6 +56,7 @@ from repro.service.jobs import (
     TransientJobError,
 )
 from repro.service.telemetry import (
+    BACKEND,
     CHECKS,
     Counter,
     EventEmitter,

@@ -43,7 +43,7 @@ from repro.core.batch import (
 from repro.core.channel import Channel, ChannelPolicy
 from repro.core.network import FlatNetwork
 from repro.service.telemetry import (
-    CHUNK, EventEmitter, PROGRESS, RESUMED, TelemetryEvent,
+    BACKEND, CHUNK, EventEmitter, PROGRESS, RESUMED, TelemetryEvent,
 )
 from repro.solvers.registry import solver_key
 
@@ -131,6 +131,27 @@ def _record_opt_metrics(ctx: "JobContext", report) -> None:
         int(counts["opt.blocks_removed"])
     )
     metrics.counter("opt.ops_fused").inc(int(counts["opt.ops_fused"]))
+
+
+def _report_backend(
+    ctx: "JobContext",
+    requested: str,
+    effective: str,
+    reason: Optional[str],
+) -> None:
+    """Surface a job's execution-backend resolution: one BACKEND
+    telemetry event always, plus the ``backend.fallback`` counters when
+    the effective backend is not the requested one."""
+    ctx.emit(
+        BACKEND, requested=requested, effective=effective, reason=reason,
+    )
+    metrics = getattr(ctx.service, "metrics", None)
+    if metrics is None:
+        return
+    metrics.counter(f"backend.used.{effective}").inc()
+    if effective != requested:
+        metrics.counter("backend.fallback").inc()
+        metrics.counter(f"backend.fallback.{requested}").inc()
 
 
 class JobState(enum.Enum):
@@ -387,6 +408,11 @@ class SingleRunJob(JobSpec):
     fault_injector: Optional[Any] = None
     #: plan-optimizer level (None: the service's ``default_opt_level``)
     opt_level: Optional[int] = None
+    #: execution backend for the continuous phase (None: interpreter).
+    #: Ineligible models fall back to the interpreter — surfaced as a
+    #: BACKEND telemetry event and the ``backend.fallback`` metric,
+    #: never a job failure.
+    backend: Optional[str] = None
 
     kind = "single_run"
 
@@ -402,7 +428,7 @@ class SingleRunJob(JobSpec):
             model.validate(strict=True)
         scheduler = model.scheduler(
             sync_interval=self.sync_interval, opt_config=opt,
-            **self.run_options,
+            backend=self.backend, **self.run_options,
         )
         emit_dt = self.t_end / max(1, self.stream_slices)
         last_emit = [0.0]
@@ -443,6 +469,10 @@ class SingleRunJob(JobSpec):
         _record_opt_metrics(
             ctx, getattr(getattr(scheduler, "plan", None),
                          "opt_report", None),
+        )
+        info = scheduler.backend_info
+        _report_backend(
+            ctx, info["requested"], info["effective"], info["reason"],
         )
         return SingleRunResult(
             probes={
@@ -556,16 +586,27 @@ class BatchJob(JobSpec):
     resume_from: Optional[str] = None
     #: plan-optimizer level (None: the service's ``default_opt_level``)
     opt_level: Optional[int] = None
+    #: requested execution backend.  Batch sweeps always run the
+    #: vectorised NumPy program; any other request degrades to it with
+    #: a BACKEND telemetry event plus the ``backend.fallback`` metric.
+    backend: Optional[str] = None
 
     kind = "batch"
 
+    def _effective_backend(self) -> str:
+        return "batch"
+
     def _cache_key(self, plan, opt) -> str:
         extra = {
-            "backend": "batch",
+            "backend": self._effective_backend(),
             "records": tuple(self.records) if self.records else "<default>",
             "sweep_paths": tuple(sorted(self.sweeps or {})),
             "solver": solver_key(self.solver),
         }
+        # the requested backend keys separately so its telemetry-bearing
+        # artefacts never masquerade as plain batch submissions
+        if self.backend is not None and self.backend != "batch":
+            extra["backend_requested"] = self.backend
         # distinct opt configurations must never cross-serve artefacts
         if opt is not None and opt.is_active:
             extra["opt"] = opt.cache_token()
@@ -585,6 +626,12 @@ class BatchJob(JobSpec):
         if self.diagram_factory is None:
             raise JobError("BatchJob needs a diagram_factory")
         ctx.checkpoint()
+        requested = self.backend or "batch"
+        _report_backend(
+            ctx, requested, self._effective_backend(),
+            None if requested == "batch" else
+            "batch sweeps run the vectorised NumPy backend",
+        )
         opt = _resolve_opt(ctx, self.opt_level)
         sweeps = dict(self.sweeps or {})
         sweep_paths = tuple(sorted(sweeps))

@@ -38,6 +38,9 @@ RESUMED = "resumed"
 #: static-check findings for a submitted job (lint gate, warn policy);
 #: payload carries per-severity counts and the diagnostic records
 CHECKS = "checks"
+#: execution-backend resolution for a job; payload carries the
+#: requested and effective backend names and, on a fallback, the reason
+BACKEND = "backend"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,259 @@
+"""Differential parity: every backend bitwise against the interpreter.
+
+All runs use a binary-exact step (``H = 1/512``) so every grid point —
+including the end time — is an exact double and split/clamped final
+steps cannot introduce last-ulp drift.  The reference is the
+``interpreter`` backend compiled from the *same* request (same opt
+level), which is itself bitwise identical to the O0 plan at O1 (the
+optimizer's exact-replay guarantee, asserted separately below).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (
+    FALLBACKS,
+    BackendError,
+    CompileRequest,
+    available_backends,
+    compile_program,
+    fallback_chain,
+    get_backend,
+    has_c_compiler,
+)
+from repro.core.opt.synth import synth_dag
+from repro.dataflow import (
+    PID,
+    DeadZone,
+    FirstOrderLag,
+    Gain,
+    Integrator,
+    Pulse,
+    Ramp,
+    Saturation,
+    Scope,
+    SecondOrderSystem,
+    Sine,
+    StateSpace,
+    Step,
+    Sum,
+    TransferFunction,
+    ZeroOrderHold,
+)
+from repro.dataflow.diagram import Diagram
+from repro.service import MetricsRegistry
+
+H = 1.0 / 512.0  # binary-exact: every multiple is an exact double
+T_END = 0.5      # 256 whole steps; the final step is never clamped
+
+needs_cc = pytest.mark.skipif(
+    not has_c_compiler(), reason="no C compiler on this host"
+)
+
+
+def feedback_diagram():
+    d = Diagram("fb")
+    d.add(Step("ref", amplitude=1.0))
+    d.add(Sum("err", signs="+-"))
+    d.add(PID("pid", kp=4.0, ki=2.0, tf=0.5, u_min=-10.0, u_max=10.0))
+    d.add(FirstOrderLag("plant", tau=0.5))
+    d.add(Scope("scope"))
+    d.connect("ref.out", "err.in1")
+    d.connect("plant.out", "err.in2")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "plant.in")
+    d.connect("plant.out", "scope.in1")
+    return d
+
+
+def everything_diagram():
+    """Most supported block types, including the sampled sync path."""
+    d = Diagram("all")
+    d.add(Sine("sine", amplitude=1.0, freq=0.5))
+    d.add(Ramp("ramp", slope=0.1))
+    d.add(Pulse("pulse", period=2.0, duty=0.5))
+    d.add(Sum("mix", signs="+++"))
+    d.add(Saturation("sat", lower=-1.5, upper=1.5))
+    d.add(DeadZone("dz", width=0.1))
+    d.add(Gain("g", k=2.0))
+    d.add(SecondOrderSystem("pt2", omega=3.0, zeta=0.7))
+    d.add(TransferFunction("tf", num=[1.0], den=[0.2, 1.0]))
+    d.add(StateSpace("ss", a=[[-2.0]], b=[1.0], c=[1.0]))
+    d.add(Integrator("integ"))
+    d.add(ZeroOrderHold("zoh", ts=0.1))
+    d.add(Scope("scope"))
+    d.connect("sine.out", "mix.in1")
+    d.connect("ramp.out", "mix.in2")
+    d.connect("pulse.out", "mix.in3")
+    d.connect("mix.out", "sat.in")
+    d.connect("sat.out", "dz.in")
+    d.connect("dz.out", "g.in")
+    d.connect("g.out", "pt2.in")
+    d.connect("pt2.out", "tf.in")
+    d.connect("tf.out", "ss.in")
+    d.connect("ss.out", "integ.in")
+    d.connect("integ.out", "zoh.in")
+    d.connect("zoh.out", "scope.in1")
+    return d
+
+
+#: name -> (diagram factory, has sampled blocks)
+DIAGRAMS = {
+    "feedback": (feedback_diagram, False),
+    "everything": (everything_diagram, True),
+    "synth0": (lambda: synth_dag(0, blocks=14), False),
+    "synth1": (lambda: synth_dag(1, blocks=18, sampled=True), True),
+    "synth2": (lambda: synth_dag(2, blocks=10), False),
+    "synth3": (lambda: synth_dag(3, blocks=16, sampled=True), True),
+}
+CONTINUOUS = [name for name, (__, sampled) in DIAGRAMS.items() if not sampled]
+OPT_LEVELS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def native_cache(tmp_path_factory):
+    """One artifact cache for the whole module: each (diagram, opt)
+    pair compiles its shared object exactly once."""
+    return tmp_path_factory.mktemp("native-cache")
+
+
+def build(name, backend, opt_level, cache_dir=None, **overrides):
+    factory, __ = DIAGRAMS[name]
+    request = CompileRequest(
+        diagram=factory(), h=H, opt_level=opt_level, cache_dir=cache_dir,
+        **overrides,
+    )
+    program = compile_program(request, backend)
+    assert program.backend == backend
+    return program
+
+
+def assert_bitwise(ref, got):
+    assert np.array_equal(ref.t, got.t)
+    assert set(ref.series) == set(got.series)
+    for label in ref.series:
+        assert np.array_equal(ref.series[label], got.series[label]), label
+    assert np.array_equal(ref.final_state, got.final_state)
+
+
+@pytest.mark.parametrize("opt_level", OPT_LEVELS)
+@pytest.mark.parametrize("name", sorted(DIAGRAMS))
+class TestCompiledPython:
+    def test_bitwise_vs_interpreter(self, name, opt_level):
+        ref = build(name, "interpreter", opt_level).run(T_END)
+        got = build(name, "compiled-python", opt_level).run(T_END)
+        assert_bitwise(ref, got)
+
+
+@needs_cc
+@pytest.mark.parametrize("opt_level", OPT_LEVELS)
+@pytest.mark.parametrize("name", sorted(DIAGRAMS))
+class TestNativeC:
+    def test_bitwise_vs_interpreter(self, name, opt_level, native_cache):
+        ref = build(name, "interpreter", opt_level).run(T_END)
+        got = build(
+            name, "native-c", opt_level, cache_dir=native_cache,
+        ).run(T_END)
+        assert_bitwise(ref, got)
+
+
+@pytest.mark.parametrize("opt_level", (0, 2))
+@pytest.mark.parametrize("name", sorted(CONTINUOUS))
+class TestBatchSingleInstance:
+    def test_bitwise_vs_interpreter(self, name, opt_level):
+        ref = build(name, "interpreter", opt_level).run(T_END)
+        got = build(name, "batch", opt_level, n=1).run(T_END)
+        assert np.array_equal(ref.t, got.t)
+        assert set(ref.series) == set(got.series)
+        for label in ref.series:
+            assert np.array_equal(
+                ref.series[label], got.series[label][:, 0],
+            ), label
+        assert np.array_equal(ref.final_state, got.final_state[0])
+
+
+@pytest.mark.parametrize("name", sorted(DIAGRAMS))
+def test_o1_replays_o0_bitwise(name):
+    """The optimizer's O1 exact-replay guarantee, through the backend
+    surface: the fused/folded plan's trace is the unoptimized trace."""
+    ref = build(name, "interpreter", 0).run(T_END)
+    got = build(name, "interpreter", 1).run(T_END)
+    assert_bitwise(ref, got)
+
+
+def test_split_run_continues_bitwise():
+    """Two runs from one cursor equal one uninterrupted run — on every
+    scalar backend, given a binary-exact grid."""
+    full = build("everything", "interpreter", 0).run(2 * T_END)
+    for backend in ("interpreter", "compiled-python"):
+        program = build("everything", backend, 0)
+        first = program.run(T_END)
+        second = program.run(2 * T_END)
+        # the second segment re-records its resume point: drop the
+        # duplicate row when splicing
+        t = np.concatenate([first.t, second.t[1:]])
+        assert np.array_equal(full.t, t)
+        for label in full.series:
+            series = np.concatenate(
+                [first.series[label], second.series[label][1:]]
+            )
+            assert np.array_equal(full.series[label], series), label
+        assert np.array_equal(full.final_state, second.final_state)
+
+
+class TestRegistryAndFallback:
+    def test_registry_lists_all_four(self):
+        assert available_backends() == [
+            "batch", "compiled-python", "interpreter", "native-c",
+        ]
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendError, match="unknown execution backend"):
+            get_backend("jit-fortran")
+
+    def test_fallback_chain_shapes(self):
+        assert fallback_chain("native-c") == (
+            "native-c", "compiled-python", "interpreter",
+        )
+        assert fallback_chain("compiled-python") == (
+            "compiled-python", "interpreter",
+        )
+        assert fallback_chain("interpreter") == ("interpreter",)
+        assert FALLBACKS["native-c"][-1] == "interpreter"
+
+    def test_native_without_compiler_falls_back(self, monkeypatch):
+        """No C compiler must never fail the job: the request lands on
+        compiled-python with a telemetry event and a fallback metric."""
+        import repro.core.backend.native as native
+
+        monkeypatch.setattr(native, "has_c_compiler", lambda: False)
+        metrics = MetricsRegistry()
+        events = []
+        program = compile_program(
+            CompileRequest(diagram=feedback_diagram(), h=H),
+            "native-c",
+            metrics=metrics,
+            emit=lambda **payload: events.append(payload),
+        )
+        assert program.backend == "compiled-python"
+        assert events and events[0]["requested"] == "native-c"
+        assert events[0]["attempted"] == "native-c"
+        assert events[0]["fell_back_to"] == "compiled-python"
+        assert "compiler" in events[0]["reason"]
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["backend.fallback"] == 1
+        got = program.run(T_END)
+        ref = build("feedback", "interpreter", 0).run(T_END)
+        assert_bitwise(ref, got)
+
+    def test_adaptive_solver_demotes_kernels(self):
+        """rk45 has no fixed-step kernel loop: compiled backends hand
+        the request to the interpreter instead of mis-stepping."""
+        events = []
+        program = compile_program(
+            CompileRequest(diagram=feedback_diagram(), solver="rk45", h=H),
+            "compiled-python",
+            emit=lambda **payload: events.append(payload),
+        )
+        assert program.backend == "interpreter"
+        assert events and "solver" in events[0]["reason"]

@@ -194,3 +194,51 @@ class TestCGeneration:
             "((a > b) ? (1.0) : (0.0))"
         assert lang.min("a", "b") == "fmin(a, b)"
         assert lang.abs("x") == "fabs(x)"
+
+
+class TestSignalSubstitution:
+    """Whole-identifier signal rewriting in the C renderer.
+
+    A held register whose identifier *embeds* a signal name (block
+    ``xv_g_out`` owns ``h_xv_g_out_held``, which contains the Gain
+    ``g``'s signal ``v_g_out``) must survive substitution intact:
+    sequential ``str.replace`` would corrupt it into ``h_xsig[i]_held``.
+    """
+
+    def overlapping_diagram(self):
+        d = Diagram("overlap")
+        d.add(Step("src", amplitude=1.0))
+        d.add(Gain("g", k=2.0))
+        d.add(ZeroOrderHold("xv_g_out", ts=0.1))
+        d.add(Scope("scope"))
+        d.connect("src.out", "g.in")
+        d.connect("g.out", "xv_g_out.in")
+        d.connect("xv_g_out.out", "scope.in1")
+        return d
+
+    def test_embedding_held_identifier_survives(self):
+        source = generate_c(self.overlapping_diagram())
+        assert "static double h_xv_g_out_held" in source
+        assert "h_xv_g_out_held = " in source  # the sync assignment
+        assert "h_xsig[" not in source         # the str.replace corruption
+        assert "sig[" in source                # substitution still ran
+
+    def test_substituter_is_word_boundary_anchored(self):
+        from repro.codegen.cgen import _signal_substituter
+
+        fix = _signal_substituter(
+            ["v_a_held", "v_a"], {"v_a_held": 0, "v_a": 1},
+        )
+        # embedded occurrences stay; whole identifiers are rewritten,
+        # longest-first so v_a never clips v_a_held
+        assert fix("h_xv_a_held + v_a_held * v_a") == \
+            "h_xv_a_held + sig[0] * sig[1]"
+        assert fix("no_signals_here") == "no_signals_here"
+
+    def test_generated_overlap_program_compiles_in_python(self):
+        """The Python backend of the same diagram still round-trips."""
+        source = generate_python(self.overlapping_diagram())
+        namespace = execute(source)
+        result = namespace["simulate"](0.5, h=1e-2)
+        assert len(result["t"]) > 10
+        assert all(math.isfinite(v) for v in result["scope.in1"])

@@ -1,0 +1,168 @@
+"""The hybrid scheduler's compiled-kernel derivative bridge.
+
+``HybridModel.run(backend=...)`` installs a compiled ``rhs`` on the
+active streamer thread when the model is kernel-eligible; the thread's
+own solver binding keeps stepping, so the probe trajectories must be
+bitwise identical to the interpreter.  Ineligible models (capsules,
+zero-crossing guards, emitter-less custom blocks) demote with a recorded
+reason and never fail.  All grids are binary-exact doubles.
+"""
+
+import numpy as np
+import pytest
+
+from tests.conftest import ConstLeaf, GainLeaf
+
+from repro.core.backend import has_c_compiler
+from repro.core.model import HybridModel
+from repro.dataflow import Gain, Integrator, Sine, UnitDelay, ZeroOrderHold
+from repro.dataflow.diagram import Diagram
+from repro.umlrt.capsule import Capsule
+from repro.umlrt.statemachine import StateMachine
+
+H = 1.0 / 512.0
+SYNC = 1.0 / 64.0
+T_END = 0.5
+
+KERNELS = ["compiled-python"] + (["native-c"] if has_c_compiler() else [])
+
+
+def sampled_diagram():
+    d = Diagram("plant")
+    d.add(Sine("sine", amplitude=1.2, freq=0.8))
+    d.add(ZeroOrderHold("zoh", ts=SYNC))
+    d.add(UnitDelay("delay", ts=SYNC, y0=0.1))
+    d.add(Gain("g", k=0.7))
+    d.add(Integrator("integ", y0=0.25))
+    d.connect("sine.out", "zoh.in")
+    d.connect("zoh.out", "delay.in")
+    d.connect("delay.out", "g.in")
+    d.connect("g.out", "integ.in")
+    return d
+
+
+def run_model(backend, opt_level=0, k=0.7):
+    d = sampled_diagram()
+    d.subs["g"].params["k"] = k
+    d.finalise()
+    model = HybridModel("m")
+    model.default_thread.h = H
+    model.add_streamer(d)
+    model.add_probe("y", d.port_at("integ.out"))
+    scheduler = model.run(
+        until=T_END, sync_interval=SYNC,
+        opt_level=opt_level, backend=backend,
+    )
+    return model.probe("y"), scheduler
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("backend", KERNELS)
+    def test_bitwise_vs_interpreter(self, backend):
+        ref, __ = run_model(None)
+        got, scheduler = run_model(backend)
+        info = scheduler.backend_info
+        assert info == {
+            "requested": backend, "effective": backend, "reason": None,
+        }
+        assert np.array_equal(ref.times, got.times)
+        assert np.array_equal(ref.states, got.states)
+
+    @pytest.mark.parametrize("opt_level", (1, 2))
+    def test_bitwise_on_optimized_plans(self, opt_level):
+        ref, __ = run_model(None, opt_level=opt_level)
+        got, scheduler = run_model("compiled-python", opt_level=opt_level)
+        assert scheduler.backend_info["effective"] == "compiled-python"
+        assert np.array_equal(ref.times, got.times)
+        assert np.array_equal(ref.states, got.states)
+
+    def test_stats_carry_backend_info(self):
+        __, scheduler = run_model("compiled-python")
+        stats = scheduler.stats()
+        assert stats["backend"]["effective"] == "compiled-python"
+        __, scheduler = run_model(None)
+        assert scheduler.stats()["backend"] == {
+            "requested": "interpreter",
+            "effective": "interpreter",
+            "reason": "interpreter is the default execution backend",
+        }
+
+
+class TestEligibilityGates:
+    class Idle(Capsule):
+        def build_structure(self):
+            pass
+
+        def build_behaviour(self):
+            sm = StateMachine("idle")
+            sm.add_state("s")
+            sm.initial("s")
+            return sm
+
+    def test_capsules_demote_to_interpreter(self, model):
+        model.add_capsule(self.Idle("idle"))
+        const = model.add_streamer(ConstLeaf("c", 2.0))
+        gain = model.add_streamer(GainLeaf("g", k=1.5))
+        model.add_flow(const.dport("y"), gain.dport("u"))
+        model.add_probe("y", gain.dport("y"))
+        scheduler = model.run(
+            until=0.25, sync_interval=SYNC, backend="compiled-python",
+        )
+        info = scheduler.backend_info
+        assert info["requested"] == "compiled-python"
+        assert info["effective"] == "interpreter"
+        assert "capsule" in info["reason"]
+        assert model.probe("y").y_final[0] == pytest.approx(3.0, rel=1e-9)
+
+    def test_emitterless_blocks_demote_to_interpreter(self, model):
+        # conftest leaves have no codegen emitters: the compile fails
+        # and the run silently lands on the interpreter
+        const = model.add_streamer(ConstLeaf("c", 1.0))
+        gain = model.add_streamer(GainLeaf("g", k=2.0))
+        model.add_flow(const.dport("y"), gain.dport("u"))
+        model.add_probe("y", gain.dport("y"))
+        scheduler = model.run(
+            until=0.25, sync_interval=SYNC, backend="compiled-python",
+        )
+        info = scheduler.backend_info
+        assert info["effective"] == "interpreter"
+        assert info["reason"]
+        assert model.probe("y").y_final[0] == pytest.approx(2.0, rel=1e-9)
+
+
+class TestFingerprintRecheck:
+    def test_param_mutation_triggers_rebind(self):
+        d = sampled_diagram()
+        d.finalise()
+        model = HybridModel("m")
+        model.default_thread.h = H
+        model.add_streamer(d)
+        model.add_probe("y", d.port_at("integ.out"))
+        scheduler = model.run(
+            until=0.25, sync_interval=SYNC, backend="compiled-python",
+        )
+        assert scheduler.backend_info["effective"] == "compiled-python"
+        first_fp = scheduler._backend_fingerprint
+
+        # re-tune between runs: params enter the plan fingerprint, so
+        # the next run() must compile a fresh kernel
+        d.subs["g"].params["k"] = 1.9
+        scheduler.run(T_END)
+        assert scheduler.backend_info["effective"] == "compiled-python"
+        assert scheduler._backend_fingerprint != first_fp
+
+        # the continued trajectory reflects the new parameter: it is
+        # bitwise the interpreter's view of the same two-phase run
+        ref_d = sampled_diagram()
+        ref_d.finalise()
+        ref_model = HybridModel("ref")
+        ref_model.default_thread.h = H
+        ref_model.add_streamer(ref_d)
+        ref_model.add_probe("y", ref_d.port_at("integ.out"))
+        ref_scheduler = ref_model.run(until=0.25, sync_interval=SYNC)
+        ref_d.subs["g"].params["k"] = 1.9
+        ref_scheduler.run(T_END)
+        ref = ref_model.probe("y")
+        got = model.probe("y")
+        assert np.array_equal(ref.times, got.times)
+        assert np.array_equal(ref.states, got.states)

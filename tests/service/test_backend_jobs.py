@@ -1,0 +1,158 @@
+"""Backend selection through the service layer.
+
+Every job resolves an execution backend; the resolution is observable —
+a ``backend`` telemetry event per job plus ``backend.used.<name>`` /
+``backend.fallback`` counters — and enters the plan-cache key, so
+artefacts compiled for different backends never cross-serve.
+"""
+
+import numpy as np
+
+from repro.core.opt import resolve_config
+from repro.dataflow import PID, FirstOrderLag, Step, Sum
+from repro.dataflow.diagram import Diagram
+from repro.service import BACKEND, BatchJob, SimulationService, SingleRunJob
+from repro.core.model import HybridModel
+
+H = 1.0 / 512.0
+T_END = 0.25
+
+
+def loop_diagram():
+    d = Diagram("loop")
+    d.add(Step("ref", amplitude=1.0))
+    d.add(Sum("err", signs="+-"))
+    d.add(PID("pid", kp=3.0, ki=1.5, tf=0.5))
+    d.add(FirstOrderLag("plant", tau=0.4))
+    d.connect("ref.out", "err.in1")
+    d.connect("plant.out", "err.in2")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "plant.in")
+    return d
+
+
+def loop_model() -> HybridModel:
+    diagram = loop_diagram()
+    diagram.finalise()
+    model = HybridModel("loop")
+    model.default_thread.h = H
+    model.add_streamer(diagram)
+    model.add_probe("y", diagram.port_at("plant.out"))
+    return model
+
+
+def backend_events(handle):
+    return [e for e in handle.stream() if e.kind == BACKEND]
+
+
+class TestSingleRunBackend:
+    def test_kernel_backend_reported_and_counted(self):
+        with SimulationService(workers=1) as svc:
+            handle = svc.submit(SingleRunJob(
+                model_factory=loop_model, t_end=T_END,
+                sync_interval=1.0 / 64.0, backend="compiled-python",
+            ))
+            events = backend_events(handle)
+            handle.result()
+            assert len(events) == 1
+            assert events[0].payload["requested"] == "compiled-python"
+            assert events[0].payload["effective"] == "compiled-python"
+            assert events[0].payload["reason"] is None
+            counters = svc.metrics_snapshot()["counters"]
+            assert counters["backend.used.compiled-python"] == 1
+            assert "backend.fallback" not in counters
+
+    def test_default_is_interpreter(self):
+        with SimulationService(workers=1) as svc:
+            handle = svc.submit(SingleRunJob(
+                model_factory=loop_model, t_end=T_END,
+                sync_interval=1.0 / 64.0,
+            ))
+            events = backend_events(handle)
+            handle.result()
+            assert events[0].payload["effective"] == "interpreter"
+            counters = svc.metrics_snapshot()["counters"]
+            assert counters["backend.used.interpreter"] == 1
+
+    def test_kernel_run_matches_interpreter_run(self):
+        with SimulationService(workers=1) as svc:
+            fast = svc.submit(SingleRunJob(
+                model_factory=loop_model, t_end=T_END,
+                sync_interval=1.0 / 64.0, backend="compiled-python",
+            )).result()
+            plain = svc.submit(SingleRunJob(
+                model_factory=loop_model, t_end=T_END,
+                sync_interval=1.0 / 64.0,
+            )).result()
+        assert np.array_equal(fast.probes["y"].times, plain.probes["y"].times)
+        assert np.array_equal(fast.probes["y"].states, plain.probes["y"].states)
+
+    def test_fallback_reported_when_kernel_impossible(self, monkeypatch):
+        # no C compiler anywhere: the native request degrades but the
+        # job still succeeds, and both the event and the metric say why
+        import repro.core.backend.native as native
+
+        monkeypatch.setattr(native, "has_c_compiler", lambda: False)
+        with SimulationService(workers=1) as svc:
+            handle = svc.submit(SingleRunJob(
+                model_factory=loop_model, t_end=T_END,
+                sync_interval=1.0 / 64.0, backend="native-c",
+            ))
+            events = backend_events(handle)
+            handle.result()
+            assert events[0].payload["requested"] == "native-c"
+            assert events[0].payload["effective"] == "compiled-python"
+            assert events[0].payload["reason"]
+            counters = svc.metrics_snapshot()["counters"]
+            assert counters["backend.fallback"] == 1
+            assert counters["backend.fallback.native-c"] == 1
+            assert counters["backend.used.compiled-python"] == 1
+
+
+class TestBatchJobBackend:
+    def test_batch_jobs_always_report_batch(self):
+        with SimulationService(workers=1) as svc:
+            handle = svc.submit(BatchJob(
+                diagram_factory=loop_diagram, n=4, t_end=T_END, h=H,
+                records=["plant.out"],
+                sweeps={"pid.kp": np.linspace(1.0, 4.0, 4)},
+            ))
+            events = backend_events(handle)
+            handle.result()
+            assert events[0].payload["requested"] == "batch"
+            assert events[0].payload["effective"] == "batch"
+            assert events[0].payload["reason"] is None
+
+    def test_scalar_backend_request_on_batch_explains_itself(self):
+        with SimulationService(workers=1) as svc:
+            handle = svc.submit(BatchJob(
+                diagram_factory=loop_diagram, n=4, t_end=T_END, h=H,
+                records=["plant.out"], backend="compiled-python",
+                sweeps={"pid.kp": np.linspace(1.0, 4.0, 4)},
+            ))
+            events = backend_events(handle)
+            handle.result()
+            assert events[0].payload["requested"] == "compiled-python"
+            assert events[0].payload["effective"] == "batch"
+            assert "batch" in events[0].payload["reason"]
+            counters = svc.metrics_snapshot()["counters"]
+            assert counters["backend.fallback"] == 1
+
+    def test_requested_backend_keys_the_cache_separately(self):
+        diagram = loop_diagram()
+        diagram.finalise()
+        plan = None
+        from repro.core.network import FlatNetwork
+
+        plan = FlatNetwork([diagram]).plan()
+        opt = resolve_config(0, None)
+
+        def key(backend):
+            job = BatchJob(
+                diagram_factory=loop_diagram, n=4, t_end=T_END, h=H,
+                records=["plant.out"], backend=backend,
+            )
+            return job._cache_key(plan, opt)
+
+        assert key(None) == key("batch")
+        assert key("compiled-python") != key(None)
