@@ -48,8 +48,23 @@ class CoverageReport:
 
 
 def coverage_of(machine: StateMachine) -> CoverageReport:
-    """Compute coverage from the machine's trace."""
+    """Compute coverage from the machine's trace.
+
+    A machine with states but no transitions has nothing a trace could
+    add: its report is empty-but-valid (no states visited, transition
+    coverage vacuously 100%) even without tracing.  Machines that *do*
+    have transitions still require ``machine.trace_enabled = True``
+    before the run.
+    """
     if not machine.trace_enabled:
+        if machine.transition_count() == 0:
+            return CoverageReport(
+                states_total=len(machine.all_states()),
+                states_visited=set(),
+                transitions_total=0,
+                transitions_fired=set(),
+                internal_fired=set(),
+            )
         raise CoverageError(
             "enable tracing before the run: machine.trace_enabled = True"
         )

@@ -263,95 +263,24 @@ def synth_dag(
     sampled: bool = False,
     scope_channels: int = 3,
 ):
-    """A deterministic random block diagram for differential testing.
+    """Deprecated alias: moved to :func:`repro.scenarios.synth.synth_dag`.
 
-    Seeded by ``random.Random(seed)`` only — the same seed always yields
-    the same diagram with the same parameters, so backend-parity suites
-    can fan structurally diverse DAGs through every registered execution
-    backend and assert bitwise-identical traces against the interpreter.
-    The generated diagram is acyclic (every consumer reads strictly
-    earlier producers), uses only emitter-supported block types, and
-    ends in one Scope recording ``scope_channels`` interior signals —
-    giving every backend identical default record labels.  With
-    ``sampled=True`` the mix includes zero-order holds and unit delays
-    (the statement-replica sync path); otherwise the DAG is purely
-    continuous and also batch-comparable.
+    The generator grew into the scenario-synthesis layer of the campaign
+    engine (:mod:`repro.scenarios`); only the optimizer's synthetic leaf
+    types stayed here.  This alias delegates (same seeds, same diagrams,
+    bit-for-bit) and will be removed once external imports migrate.
     """
-    import random
+    import warnings
 
-    from repro.dataflow import (
-        Abs, Bias, Constant, FirstOrderLag, Gain, Integrator, Saturation,
-        Scope, Sine, Step, Sum, UnitDelay, ZeroOrderHold,
+    warnings.warn(
+        "repro.core.opt.synth.synth_dag has moved to "
+        "repro.scenarios.synth.synth_dag; update the import "
+        "(this compatibility alias will be removed)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.scenarios.synth import synth_dag as _synth_dag
 
-    from repro.dataflow.diagram import Diagram
-
-    rng = random.Random(seed)
-    d = Diagram(f"synth{seed}")
-    outs: List[str] = []
-
-    def param() -> float:
-        return round(rng.uniform(-2.0, 2.0), 6)
-
-    for i in range(max(2, blocks // 4)):
-        kind = rng.choice(("const", "sine", "step"))
-        name = f"src{i}"
-        if kind == "const":
-            d.add(Constant(name, value=param()))
-        elif kind == "sine":
-            d.add(Sine(name, amplitude=abs(param()) + 0.1,
-                       freq=abs(param()) + 0.2, phase=param()))
-        else:
-            d.add(Step(name, amplitude=param(),
-                       t_step=round(abs(rng.uniform(0.0, 0.3)), 6)))
-        outs.append(f"{name}.out")
-
-    kinds = ["gain", "bias", "sum", "abs", "sat", "integ", "lag"]
-    if sampled:
-        kinds += ["zoh", "delay"]
-    for i in range(blocks):
-        kind = rng.choice(kinds)
-        name = f"n{i}"
-        src = rng.choice(outs)
-        if kind == "gain":
-            d.add(Gain(name, k=param()))
-            d.connect(src, f"{name}.in")
-        elif kind == "bias":
-            d.add(Bias(name, bias=param()))
-            d.connect(src, f"{name}.in")
-        elif kind == "sum":
-            arity = rng.choice((2, 3))
-            signs = "".join(rng.choice("+-") for __ in range(arity))
-            d.add(Sum(name, signs=signs))
-            d.connect(src, f"{name}.in1")
-            for slot in range(2, arity + 1):
-                d.connect(rng.choice(outs), f"{name}.in{slot}")
-        elif kind == "abs":
-            d.add(Abs(name))
-            d.connect(src, f"{name}.in")
-        elif kind == "sat":
-            d.add(Saturation(name, lower=min(param(), -0.1),
-                             upper=abs(param()) + 0.1))
-            d.connect(src, f"{name}.in")
-        elif kind == "integ":
-            d.add(Integrator(name, y0=param()))
-            d.connect(src, f"{name}.in")
-        elif kind == "lag":
-            d.add(FirstOrderLag(name, tau=abs(param()) + 0.2, y0=param()))
-            d.connect(src, f"{name}.in")
-        elif kind == "zoh":
-            d.add(ZeroOrderHold(name, ts=rng.choice((0.05, 0.07, 0.11))))
-            d.connect(src, f"{name}.in")
-        else:
-            d.add(UnitDelay(name, ts=rng.choice((0.05, 0.09, 0.13)),
-                            y0=param()))
-            d.connect(src, f"{name}.in")
-        outs.append(f"{name}.out")
-
-    channels = min(scope_channels, len(outs))
-    d.add(Scope("scope", channels=channels))
-    # record the newest signals — they transitively exercise the most
-    # of the DAG — and keep everything upstream live under the optimizer
-    for index, src in enumerate(outs[-channels:]):
-        d.connect(src, f"scope.in{index + 1}")
-    return d
+    return _synth_dag(
+        seed, blocks=blocks, sampled=sampled, scope_channels=scope_channels,
+    )

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.scenarios``."""
+
+from repro.scenarios.cli import main
+
+raise SystemExit(main())

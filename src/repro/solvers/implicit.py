@@ -51,6 +51,10 @@ class _NewtonImplicitSolver(FixedStepSolver):
         self.newton_iterations = int(state.get("newton_iterations", 0))
 
     def _advance(self, f: RHS, t: float, y: np.ndarray, h: float) -> np.ndarray:
+        if y.size == 0:
+            # Stateless (pure feedthrough) system: the stage equation is
+            # vacuous and np.max over the empty residual has no identity.
+            return y.copy()
         # Predictor: explicit Euler gives a decent starting point.
         y_new = y + h * np.asarray(f(t, y), dtype=float)
         scale = 1.0 + np.abs(y)

@@ -77,6 +77,49 @@ class TestCoverage:
         assert "1/3" in text
         assert "never entered: amber, green" in text
 
+    def test_transitionless_machine_needs_no_tracing(self):
+        # a machine with states but no transitions has nothing a trace
+        # could add: empty-but-valid report instead of CoverageError
+        sm = StateMachine("lone")
+        sm.add_state("only")
+        sm.initial("only")
+        assert sm.trace_enabled is False
+        report = coverage_of(sm)
+        assert report.states_total == 1
+        assert report.states_visited == set()
+        assert report.transitions_total == 0
+        assert report.transitions_fired == set()
+        assert report.internal_fired == set()
+        assert report.state_coverage == 0.0
+        assert report.transition_coverage == 1.0
+        assert report.unvisited_states(sm) == ["only"]
+
+    def test_transitionless_machine_renders(self):
+        sm = StateMachine("lone")
+        sm.add_state("only")
+        sm.initial("only")
+        text = render_coverage(sm)
+        assert "0/1" in text
+        assert "0/0 (100%)" in text
+        assert "never entered: only" in text
+
+    def test_transitionless_traced_run_still_counts_states(self):
+        sm = StateMachine("lone")
+        sm.add_state("only")
+        sm.initial("only")
+        sm.trace_enabled = True
+        sm.start(Ctx())
+        report = coverage_of(sm)
+        assert report.states_visited == {"only"}
+        assert report.state_coverage == 1.0
+        assert report.transition_coverage == 1.0
+
+    def test_machine_with_transitions_still_requires_tracing(self):
+        sm = three_state_machine()
+        sm.trace_enabled = False
+        with pytest.raises(CoverageError):
+            render_coverage(sm)
+
     def test_hierarchical_coverage(self):
         sm = StateMachine("h")
         sm.trace_enabled = True

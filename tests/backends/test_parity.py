@@ -21,7 +21,7 @@ from repro.core.backend import (
     get_backend,
     has_c_compiler,
 )
-from repro.core.opt.synth import synth_dag
+from repro.scenarios.synth import synth_dag
 from repro.dataflow import (
     PID,
     DeadZone,

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core.backend import CompileRequest, compile_program, has_c_compiler
-from repro.core.opt.synth import synth_dag
+from repro.scenarios.synth import synth_dag
 from repro.resilience import CheckpointManager, Snapshot
 from repro.resilience.codec import SNAPSHOT_VERSION
 

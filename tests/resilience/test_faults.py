@@ -28,6 +28,55 @@ class TestPlanning:
         b = FaultInjector(seed=2).crash_between(0, 10_000).plan[0].step
         assert a != b
 
+    def test_seeded_plan_identical_across_processes(self):
+        """Same seed + attempt numbers -> same PlannedFault schedule in
+        a fresh interpreter (the process-isolation contract: a pickled
+        injector rebuilt in a worker must plan the same faults)."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        def plan_rows(injector):
+            return [
+                [f.kind, f.step, f.magnitude, f.attempt]
+                for f in injector.plan
+            ]
+
+        def build(seed):
+            return (
+                FaultInjector(seed=seed)
+                .crash_between(10, 500, attempt=1)
+                .crash_between(600, 900, attempt=2)
+                .diverge_at_step(42, attempt=None)
+            )
+
+        script = (
+            "import json\n"
+            "from repro.resilience import FaultInjector\n"
+            "inj = (FaultInjector(seed=11)"
+            ".crash_between(10, 500, attempt=1)"
+            ".crash_between(600, 900, attempt=2)"
+            ".diverge_at_step(42, attempt=None))\n"
+            "print(json.dumps([[f.kind, f.step, f.magnitude, f.attempt]"
+            " for f in inj.plan]))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        # a different hash seed proves the plan never leans on hash()
+        env["PYTHONHASHSEED"] = "12345"
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__))
+            )),
+        ).stdout
+        assert json.loads(output) == plan_rows(build(11))
+        assert json.loads(output) != plan_rows(build(12))
+
     def test_empty_window_rejected(self):
         with pytest.raises(ValueError):
             FaultInjector().crash_between(5, 4)

@@ -1,0 +1,145 @@
+"""The campaign driver: oracles, steering, self-test, reports."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    CampaignRunner,
+    execute_scenario,
+    replay,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+# interpreter + compiled-python only: deterministic in CI regardless of
+# whether a C toolchain is present
+BACKENDS = ["compiled-python"]
+
+
+def small_config(**overrides):
+    base = dict(
+        count=8, seed=0, workers=2, round_size=4, t_end=0.1,
+        backends=BACKENDS,
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+class TestSeedStream:
+    def test_stable_arithmetic(self):
+        runner = CampaignRunner(small_config())
+        assert runner.seed_for(0) == 12345
+        assert [runner.seed_for(i) for i in range(4)] == [
+            CampaignRunner(small_config()).seed_for(i) for i in range(4)
+        ]
+
+    def test_master_seed_shifts_stream(self):
+        a = CampaignRunner(small_config(seed=1))
+        b = CampaignRunner(small_config(seed=2))
+        assert a.seed_for(0) != b.seed_for(0)
+
+
+class TestExecuteScenario:
+    def test_dag_scenario_passes(self):
+        spec = ScenarioSpec.from_seed(1013916571)
+        assert spec.family == "dag"
+        outcome = execute_scenario(spec, small_config())
+        assert outcome.ok, outcome.detail
+        assert "interpreter" in outcome.coverage["backends"]
+        assert outcome.coverage["opcodes"]
+
+    def test_unknown_family_is_a_divergence(self):
+        outcome = execute_scenario(
+            ScenarioSpec(seed=1, family="bogus"), small_config(),
+        )
+        assert not outcome.ok
+        assert "bogus" in outcome.detail
+
+    def test_executor_crash_is_a_divergence_not_an_exception(self):
+        # family dispatch catches oracle crashes and reports them
+        spec = ScenarioSpec(seed=1, family="dag", params={})  # no blocks
+        outcome = execute_scenario(spec, small_config())
+        assert not outcome.ok
+        assert "raised" in outcome.detail
+
+    def test_mutated_scenario_is_caught(self):
+        spec = ScenarioSpec.from_seed(1013916571)
+        config = small_config(mutate_seeds=frozenset([spec.seed]))
+        outcome = execute_scenario(spec, config)
+        assert not outcome.ok
+        assert "diverges" in outcome.detail
+
+    def test_replay_matches_campaign_execution(self):
+        seed = 1013916571
+        direct = execute_scenario(
+            ScenarioSpec.from_seed(seed), small_config(),
+        )
+        again = replay(seed, small_config())
+        assert direct.to_dict() == again.to_dict()
+
+
+class TestRunner:
+    def test_small_campaign_is_clean_and_deterministic(self):
+        first = CampaignRunner(small_config()).run()
+        second = CampaignRunner(small_config()).run()
+        assert first.ok, first.divergences
+        assert first.count == 8
+        assert first.to_dict() == second.to_dict()
+
+    def test_steering_changes_selection_but_not_meaning(self):
+        steered = CampaignRunner(small_config(count=6)).run()
+        unsteered = CampaignRunner(
+            small_config(count=6, steer=False)
+        ).run()
+        assert steered.ok and unsteered.ok
+        # whatever was selected, each seed means the same workload
+        assert steered.steered and not unsteered.steered
+
+    def test_mutation_self_test_is_selected_and_caught(self):
+        runner = CampaignRunner(small_config())
+        victim = runner.seed_for(2)  # a dag seed inside the pool
+        report = CampaignRunner(
+            small_config(mutate_seeds=frozenset([victim]))
+        ).run()
+        assert not report.ok
+        assert victim in report.failing_seeds()
+
+    def test_report_round_trip(self, tmp_path):
+        report = CampaignRunner(small_config(count=4)).run()
+        path = tmp_path / "report.json"
+        report.save(str(path))
+        loaded = CampaignReport.load(str(path))
+        assert loaded.to_dict() == report.to_dict()
+        assert "coverage" in report.to_json()
+
+    def test_render_mentions_outcome(self):
+        report = CampaignRunner(small_config(count=4)).run()
+        text = report.render()
+        assert "no divergences" in text
+        assert "master seed 0" in text
+
+
+class TestOracleSharpness:
+    def test_batch_family_is_bitwise(self):
+        for seed in range(200):
+            spec = ScenarioSpec.from_seed(seed)
+            if spec.family == "batch":
+                outcome = execute_scenario(spec, small_config())
+                assert outcome.ok, outcome.detail
+                break
+        else:
+            pytest.skip("no batch seed in the first 200")
+
+    def test_solver_family_records_demoting_solver(self):
+        for seed in range(200):
+            spec = ScenarioSpec.from_seed(seed)
+            if spec.family == "solver":
+                outcome = execute_scenario(spec, small_config())
+                assert outcome.ok, outcome.detail
+                assert spec.params["solver"] in (
+                    outcome.coverage["solvers"]
+                )
+                break
+        else:
+            pytest.skip("no solver seed in the first 200")

@@ -1,0 +1,79 @@
+"""The python -m repro.scenarios command line."""
+
+import json
+
+import pytest
+
+from repro.scenarios.cli import main
+
+
+class TestRun:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main([
+            "run", "--count", "4", "--seed", "0", "--workers", "2",
+            "--round-size", "4", "--t-end", "0.1",
+            "--backend", "compiled-python",
+            "--json-output", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "no divergences" in text
+        data = json.loads(out.read_text())
+        assert data["ok"] is True
+        assert data["count"] == 4
+
+    def test_mutated_run_exits_one(self, tmp_path, capsys):
+        # seed_for(2) of master stream 0 is a dag scenario
+        code = main([
+            "run", "--count", "4", "--seed", "0", "--workers", "2",
+            "--round-size", "4", "--t-end", "0.1",
+            "--backend", "compiled-python",
+            "--mutate-seed", "1013916571",
+        ])
+        assert code == 1
+        text = capsys.readouterr().out
+        assert "DIVERGENCES" in text
+        assert "replay" in text
+
+
+class TestReplay:
+    def test_clean_seed_exits_zero(self, capsys):
+        code = main(["replay", "--seed", "1013916571", "--t-end", "0.1"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_mutated_replay_exits_one(self, capsys):
+        code = main([
+            "replay", "--seed", "1013916571", "--t-end", "0.1",
+            "--mutate",
+        ])
+        assert code == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        code = main([
+            "replay", "--seed", "1013916571", "--t-end", "0.1", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["spec"]["seed"] == 1013916571
+        assert data["outcome"]["ok"] is True
+
+
+class TestReport:
+    def test_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main([
+            "run", "--count", "2", "--seed", "3", "--workers", "1",
+            "--round-size", "2", "--t-end", "0.1", "--no-steer",
+            "--backend", "compiled-python",
+            "--json-output", str(out),
+        ]) == 0
+        capsys.readouterr()
+        code = main(["report", str(out)])
+        assert code == 0
+        assert "campaign: 2 scenarios" in capsys.readouterr().out
+
+    def test_no_command_exits_two(self, capsys):
+        assert main([]) == 2

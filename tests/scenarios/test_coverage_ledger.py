@@ -1,0 +1,90 @@
+"""The campaign coverage ledger and its universes."""
+
+import pytest
+
+from repro.check import default_registry
+from repro.scenarios.coverage import (
+    DIMENSIONS,
+    OPCODES,
+    CampaignCoverage,
+    backend_universe,
+    pass_universe,
+    rule_universe,
+    solver_universe,
+)
+
+
+class TestUniverses:
+    def test_rule_universe_is_the_registry(self):
+        assert rule_universe() == frozenset(default_registry().codes())
+
+    def test_solver_universe_spans_kernel_and_demoting(self):
+        assert {"euler", "heun", "rk4"} <= set(solver_universe())
+        assert "backward_euler" in solver_universe()
+
+    def test_backend_universe_tracks_toolchain(self):
+        backends = backend_universe()
+        assert {"interpreter", "compiled-python", "batch"} <= set(backends)
+
+    def test_pass_universe_nonempty(self):
+        assert {"dce", "fold", "cse", "fuse"} <= set(pass_universe())
+
+    def test_opcode_universe_contains_synthetic_leaves(self):
+        assert "FoldedBlock" in OPCODES
+        assert "FusedChain" in OPCODES
+
+
+class TestLedger:
+    def test_starts_empty(self):
+        ledger = CampaignCoverage()
+        for dim in DIMENSIONS:
+            assert ledger.fraction(dim) == 0.0
+            assert not ledger.complete(dim)
+
+    def test_record_and_fraction(self):
+        ledger = CampaignCoverage()
+        ledger.record_solver("rk4")
+        assert "rk4" not in ledger.unexercised("solvers")
+        assert 0.0 < ledger.fraction("solvers") < 1.0
+
+    def test_unknown_values_do_not_pollute(self):
+        ledger = CampaignCoverage()
+        ledger.record("solvers", ["not-a-solver"])
+        assert ledger.fraction("solvers") == 0.0
+
+    def test_unknown_dimension_raises(self):
+        ledger = CampaignCoverage()
+        with pytest.raises(KeyError):
+            ledger.record("nope", ["x"])
+
+    def test_merge_outcome(self):
+        ledger = CampaignCoverage()
+        ledger.merge_outcome(
+            {"solvers": ["euler", "rk4"], "backends": ["interpreter"]}
+        )
+        assert "euler" not in ledger.unexercised("solvers")
+        assert "interpreter" not in ledger.unexercised("backends")
+
+    def test_complete_dimension(self):
+        ledger = CampaignCoverage()
+        ledger.record("solvers", solver_universe())
+        assert ledger.complete("solvers")
+        assert ledger.fraction("solvers") == 1.0
+        assert ledger.unexercised("solvers") == frozenset()
+
+    def test_as_dict_shape(self):
+        ledger = CampaignCoverage()
+        ledger.record_backend("interpreter")
+        data = ledger.as_dict()
+        assert set(data) == set(DIMENSIONS)
+        entry = data["backends"]
+        assert set(entry) == {
+            "universe", "hit", "extra", "missing", "fraction",
+        }
+        assert "interpreter" in entry["hit"]
+        assert entry["universe"] == sorted(entry["universe"])
+
+    def test_render_mentions_every_dimension(self):
+        text = CampaignCoverage().render()
+        for dim in DIMENSIONS:
+            assert dim in text

@@ -1,0 +1,41 @@
+"""Every registered defect builder fires exactly its planted codes."""
+
+import pytest
+
+from repro.check import CheckConfig, default_registry, run_checks
+from repro.scenarios.defects import COVERED_CODES, DEFECTS
+
+
+@pytest.mark.parametrize("name", sorted(DEFECTS))
+def test_defect_fires_expected_codes(name):
+    builder, expected, config = DEFECTS[name]
+    result = run_checks(builder(), config=CheckConfig(**config))
+    fired = {diag.code for diag in result.diagnostics}
+    assert expected <= fired, (
+        f"defect {name!r}: planted {sorted(expected)}, "
+        f"fired {sorted(fired)}"
+    )
+
+
+def test_registry_coverage_is_honest():
+    # COVERED_CODES is the union the defect corpus claims to reach
+    claimed = set()
+    for __, expected, __config in DEFECTS.values():
+        claimed |= expected
+    assert claimed == set(COVERED_CODES)
+
+
+def test_corpus_reaches_at_least_ninety_percent_of_registry():
+    registered = set(default_registry().codes())
+    reachable = set(COVERED_CODES) & registered
+    assert len(reachable) / len(registered) >= 0.90, (
+        f"defect corpus covers {len(reachable)}/{len(registered)} "
+        "registered codes"
+    )
+
+
+def test_builders_are_fresh_each_call():
+    # builders must not share mutable state between invocations
+    name = sorted(DEFECTS)[0]
+    builder = DEFECTS[name].builder
+    assert builder() is not builder()
