@@ -1,0 +1,163 @@
+"""Experiment S11 — cluster throughput scaling and migration latency.
+
+The cluster's value proposition is wall-clock: a farm of paced
+(software-in-the-loop) runs is clock-bound, not CPU-bound — each job
+spends most of its wall time holding sim-time level with the real-time
+clock — so a pool of workers multiplies throughput even on a small
+host, exactly like a hardware-in-the-loop rack.  S11 measures that
+scaling over worker counts 1/2/4/8 on a 50-job paced sweep, and the
+pool's recovery reflex: SIGKILL a worker mid-run and time how long the
+job takes to be re-dispatched and running on a surviving worker.
+
+Headline metrics land in ``BENCH_S11.json`` (acceptance: >2.5x
+throughput at 4 workers vs 1).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.cluster.pool import ClusterConfig, WorkerPool
+from repro.cluster.requests import ClusterJobRequest
+
+JOBS = 50
+WORKER_COUNTS = (1, 2, 4, 8)
+#: simulated seconds per job, paced at PACE sim-seconds per wall-second
+T_END = 2.0
+PACE = 5.0
+
+
+def _paced_request(i: int) -> ClusterJobRequest:
+    return ClusterJobRequest(
+        kind="single_run", model="cruise",
+        params={
+            "t_end": T_END, "sync_interval": 0.01,
+            "realtime_factor": PACE,
+        },
+        model_args={"setpoint": 20.0 + (i % 17)},
+        client=f"s11-{i % 4}", checkpoint=False, name=f"s11-{i:03d}",
+    )
+
+
+def _run_paced_sweep(workers: int, jobs: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-s11-") as root:
+        with WorkerPool(root, ClusterConfig(workers=workers)) as pool:
+            # warm every worker (spawn + import) outside the timed window
+            warm = [
+                pool.submit(ClusterJobRequest(
+                    kind="single_run", model="lag",
+                    params={"t_end": 0.05}, checkpoint=False,
+                    client=f"warm-{w}",
+                ))
+                for w in range(workers)
+            ]
+            for handle in warm:
+                handle.result(timeout=120.0)
+
+            started = time.perf_counter()
+            handles = [
+                pool.submit(_paced_request(i)) for i in range(jobs)
+            ]
+            for handle in handles:
+                handle.result(timeout=600.0)
+            wall = time.perf_counter() - started
+            status = pool.status()
+    return {
+        "workers": workers,
+        "jobs": jobs,
+        "wall_s": wall,
+        "jobs_per_s": jobs / wall,
+        "steals": status["steals"],
+    }
+
+
+def test_s11_throughput_scaling(report, bench_json):
+    """50 paced jobs over 1/2/4/8 workers; speedup 4w vs 1w > 2.5x."""
+    rows = [_run_paced_sweep(w, JOBS) for w in WORKER_COUNTS]
+    by_workers = {row["workers"]: row for row in rows}
+    base = by_workers[1]["jobs_per_s"]
+    speedups = {
+        w: by_workers[w]["jobs_per_s"] / base for w in WORKER_COUNTS
+    }
+
+    report("S11 cluster throughput (50 paced jobs)", [
+        f"workers={row['workers']:>2}  wall={row['wall_s']:7.2f}s  "
+        f"throughput={row['jobs_per_s']:6.2f} jobs/s  "
+        f"speedup={speedups[row['workers']]:.2f}x  "
+        f"steals={row['steals']}"
+        for row in rows
+    ])
+    bench_json("s11", {
+        "jobs": JOBS,
+        "paced_t_end_s": T_END,
+        "realtime_factor": PACE,
+        "throughput_jobs_per_s": {
+            str(w): by_workers[w]["jobs_per_s"] for w in WORKER_COUNTS
+        },
+        "wall_s": {
+            str(w): by_workers[w]["wall_s"] for w in WORKER_COUNTS
+        },
+        "speedup_2w_vs_1w": speedups[2],
+        "speedup_4w_vs_1w": speedups[4],
+        "speedup_8w_vs_1w": speedups[8],
+    })
+    assert speedups[4] > 2.5, (
+        f"4-worker speedup {speedups[4]:.2f}x below the 2.5x acceptance bar"
+    )
+
+
+def test_s11_migration_latency(report, bench_json):
+    """SIGKILL a worker mid-run; time kill -> retry attempt running."""
+    rounds = 3
+    latencies = []
+    recoveries = []
+    with tempfile.TemporaryDirectory(prefix="repro-s11-mig-") as root:
+        with WorkerPool(root, ClusterConfig(workers=2)) as pool:
+            for __ in range(rounds):
+                handle = pool.submit(ClusterJobRequest(
+                    kind="single_run", model="cruise",
+                    params={
+                        "t_end": 3.0, "sync_interval": 0.01,
+                        "realtime_factor": 2.0,
+                        "checkpoint_every_steps": 40,
+                    },
+                ))
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    if handle.worker is not None and \
+                            pool.store.checkpoints(handle.id):
+                        break
+                    time.sleep(0.01)
+                killed_at = time.monotonic()
+                pool.kill_worker(handle.worker)
+                while time.monotonic() < deadline:
+                    if handle.attempts >= 2:
+                        break
+                    time.sleep(0.002)
+                latencies.append(time.monotonic() - killed_at)
+                handle.result(timeout=120.0)
+                recoveries.append(time.monotonic() - killed_at)
+                # wait out the respawn so the next round has 2 workers
+                while time.monotonic() < deadline:
+                    if all(
+                        w["alive"] for w in pool.status()["workers"]
+                    ):
+                        break
+                    time.sleep(0.05)
+            counters = pool.metrics.snapshot()["counters"]
+
+    assert counters["cluster.migrations"] == rounds
+    mean = sum(latencies) / len(latencies)
+    report("S11 migration latency (SIGKILL -> retry running)", [
+        f"rounds={rounds}",
+        f"kill->redispatch  mean={mean * 1e3:7.1f} ms  "
+        f"max={max(latencies) * 1e3:7.1f} ms",
+        f"kill->job done    mean={sum(recoveries) / rounds:7.2f} s",
+    ])
+    bench_json("s11", {
+        "migration_rounds": rounds,
+        "migration_latency_s_mean": mean,
+        "migration_latency_s_max": max(latencies),
+        "kill_to_done_s_mean": sum(recoveries) / rounds,
+    })

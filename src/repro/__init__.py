@@ -31,6 +31,12 @@ Package map
   registry linting models, plans and state machines without executing
   them (``python -m repro.check``, :func:`run_checks`), with
   machine-applicable fix-its and a service-layer lint gate.
+- :mod:`repro.scenarios` — seeded scenario synthesis and
+  coverage-steered differential campaigns (``python -m repro.scenarios``).
+- :mod:`repro.cluster` — the distributed service: a multi-process
+  worker pool with work stealing, a shared content-addressed
+  checkpoint/artifact store enabling bitwise live job migration, and
+  an asyncio HTTP front-end (``python -m repro.cluster``).
 
 Quick start
 -----------
@@ -183,4 +189,18 @@ __all__ = [
     "simulate_sequential",
     "validate_model",
     "__version__",
+    "cluster",
+    "scenarios",
 ]
+
+#: subpackages served lazily — ``repro.cluster`` pulls in
+#: multiprocessing machinery nobody pays for on a plain ``import repro``
+_LAZY_SUBPACKAGES = ("cluster", "scenarios", "resilience")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBPACKAGES:
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,53 @@
+"""repro.cluster — sharded multi-worker simulation service.
+
+A :class:`WorkerPool` of OS processes executes the service's job specs
+behind work-stealing deques; a filesystem :class:`ArtifactStore` gives
+every worker the same content-addressed view of checkpoints and
+compiled artifacts (which is what makes live job migration after a
+worker SIGKILL bitwise-safe); :class:`ClusterHTTPServer` and
+:class:`ClusterClient` put the whole thing behind a stdlib HTTP API.
+
+See ``python -m repro.cluster --help`` for the CLI, and DESIGN.md §12
+for the architecture.
+"""
+
+from repro.cluster.client import ClusterClient, ClusterClientError
+from repro.cluster.http import ClusterHTTPServer, json_safe, summarise_result
+from repro.cluster.pool import ClusterConfig, ClusterJobHandle, WorkerPool
+from repro.cluster.requests import (
+    ClusterError,
+    ClusterJobRequest,
+    ClusterRejected,
+    register_model,
+    registered_models,
+    resolve_model,
+)
+from repro.cluster.store import (
+    ArtifactCorruptError,
+    ArtifactStore,
+    ArtifactStoreError,
+    decode_artifact,
+    encode_artifact,
+)
+
+__all__ = [
+    "ArtifactCorruptError",
+    "ArtifactStore",
+    "ArtifactStoreError",
+    "ClusterClient",
+    "ClusterClientError",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterHTTPServer",
+    "ClusterJobHandle",
+    "ClusterJobRequest",
+    "ClusterRejected",
+    "WorkerPool",
+    "decode_artifact",
+    "encode_artifact",
+    "json_safe",
+    "register_model",
+    "registered_models",
+    "resolve_model",
+    "summarise_result",
+]

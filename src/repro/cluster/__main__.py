@@ -1,0 +1,6 @@
+"""``python -m repro.cluster`` entry point."""
+
+from repro.cluster.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,391 @@
+"""``python -m repro.cluster`` — serve, submit, status, bench, smoke.
+
+``serve``
+    Host a worker pool behind the HTTP front-end until interrupted.
+``submit``
+    POST one job to a running cluster; optionally stream its telemetry
+    and wait for the result summary.
+``status``
+    Pool snapshot (or one job's status) from a running cluster.
+``bench``
+    A quick in-process throughput sweep over worker counts (the full
+    S11 benchmark lives in ``benchmarks/bench_s11_cluster.py``).
+``smoke``
+    The self-contained chaos harness CI runs: N workers behind HTTP,
+    a sweep of checkpointing jobs, one worker SIGKILLed mid-run; every
+    job must complete and every migrated job's result must be
+    bitwise-identical (CRC-32 over probe arrays) to an uninterrupted
+    rerun of the same request.  Writes a JSON report and exits non-zero
+    on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.http import ClusterHTTPServer
+from repro.cluster.pool import ClusterConfig, WorkerPool
+from repro.cluster.requests import ClusterJobRequest, ClusterRejected
+
+
+def _parse_json_arg(text: Optional[str], flag: str) -> Dict[str, Any]:
+    if not text:
+        return {}
+    try:
+        value = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{flag} must be JSON: {exc}")
+    if not isinstance(value, dict):
+        raise SystemExit(f"{flag} must be a JSON object")
+    return value
+
+
+def _pool_config(args) -> ClusterConfig:
+    return ClusterConfig(
+        workers=args.workers,
+        default_opt_level=getattr(args, "opt_level", 0),
+        queue_limit=getattr(args, "queue_limit", 256),
+    )
+
+
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    store_root = args.store or tempfile.mkdtemp(prefix="repro-cluster-")
+    pool = WorkerPool(store_root, _pool_config(args))
+    server = ClusterHTTPServer(pool, host=args.host, port=args.port)
+    server.start()
+    print(f"cluster: {args.workers} workers, store {store_root}")
+    print(f"listening on {server.url}")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.stop()
+        pool.shutdown()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# submit / status
+# ----------------------------------------------------------------------
+def cmd_submit(args) -> int:
+    client = ClusterClient(args.url)
+    request = ClusterJobRequest(
+        kind=args.kind,
+        model=args.model,
+        params=_parse_json_arg(args.params, "--params"),
+        model_args=_parse_json_arg(args.model_args, "--model-args"),
+        client=args.client,
+        deadline=args.deadline,
+        retries=args.retries,
+        checkpoint=not args.no_checkpoint,
+        name=args.name,
+    )
+    try:
+        job_id = client.submit(request)
+    except ClusterRejected as exc:
+        print(f"rejected ({exc.reason}): {exc}", file=sys.stderr)
+        return 2
+    print(f"submitted {job_id}")
+    if args.stream:
+        for event in client.stream(job_id):
+            print(json.dumps(event, sort_keys=True))
+    if args.wait or args.stream:
+        status = client.result(job_id, timeout=args.timeout)
+        print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_status(args) -> int:
+    client = ClusterClient(args.url)
+    snapshot = client.job(args.job) if args.job else client.status()
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# bench (quick inline sweep; full S11 is benchmarks/bench_s11_cluster.py)
+# ----------------------------------------------------------------------
+def _sweep_requests(jobs: int, client: str = "bench") -> List[ClusterJobRequest]:
+    return [
+        ClusterJobRequest(
+            kind="batch", model="pendulum",
+            params={
+                "n": 64, "t_end": 1.0, "h": 1e-3,
+                # one gain per instance, offset per job
+                "sweeps": {"pid.kp": [
+                    20.0 + i + 30.0 * k / 63.0 for k in range(64)
+                ]},
+            },
+            model_args={"zeta": 0.05 + 0.001 * (i % 10)},
+            client=client, checkpoint=False, name=f"bench-{i:03d}",
+        )
+        for i in range(jobs)
+    ]
+
+
+def _run_sweep(workers: int, jobs: int, store_root: str) -> Dict[str, Any]:
+    with WorkerPool(store_root, ClusterConfig(workers=workers)) as pool:
+        started = time.perf_counter()
+        handles = [pool.submit(r) for r in _sweep_requests(jobs)]
+        for handle in handles:
+            handle.result(timeout=600.0)
+        wall = time.perf_counter() - started
+        status = pool.status()
+    return {
+        "workers": workers,
+        "jobs": jobs,
+        "wall_s": wall,
+        "jobs_per_s": jobs / wall,
+        "steals": status["steals"],
+    }
+
+
+def cmd_bench(args) -> int:
+    rows = []
+    for workers in args.worker_counts:
+        with tempfile.TemporaryDirectory() as store_root:
+            row = _run_sweep(workers, args.jobs, store_root)
+        rows.append(row)
+        print(
+            f"workers={row['workers']:>2}  wall={row['wall_s']:7.2f}s  "
+            f"throughput={row['jobs_per_s']:6.2f} jobs/s  "
+            f"steals={row['steals']}"
+        )
+    if len(rows) > 1:
+        speedup = rows[-1]["jobs_per_s"] / rows[0]["jobs_per_s"]
+        print(f"speedup {rows[-1]['workers']}w vs {rows[0]['workers']}w: "
+              f"{speedup:.2f}x")
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps({"sweep": rows}, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report -> {args.report}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# smoke — the CI chaos harness
+# ----------------------------------------------------------------------
+def _probe_digests(result_summary: Dict[str, Any]) -> Dict[str, Any]:
+    """The bitwise-comparable core of a result summary."""
+    if result_summary.get("type") == "single_run":
+        return {
+            "t_final": result_summary["t_final"],
+            "probes": {
+                name: (p["times_crc32"], p["states_crc32"], p["rows"])
+                for name, p in result_summary["probes"].items()
+            },
+        }
+    if result_summary.get("type") == "batch":
+        return {
+            "t": result_summary["t_crc32"],
+            "final_states": result_summary["final_states_crc32"],
+            "series": {
+                label: s["crc32"]
+                for label, s in result_summary["series"].items()
+            },
+        }
+    return result_summary
+
+
+def _smoke_request(i: int) -> ClusterJobRequest:
+    # long enough to survive until the kill, cheap enough for CI
+    return ClusterJobRequest(
+        kind="single_run", model="cruise",
+        params={
+            "t_end": 2.0, "sync_interval": 0.01,
+            "checkpoint_every_steps": 40,
+        },
+        model_args={"setpoint": 20.0 + (i % 17)},
+        client=f"smoke-{i % 4}", name=f"smoke-{i:03d}",
+    )
+
+
+def cmd_smoke(args) -> int:
+    report: Dict[str, Any] = {
+        "workers": args.workers, "jobs": args.jobs, "ok": False,
+    }
+    store_root = args.store or tempfile.mkdtemp(prefix="repro-smoke-")
+    pool = WorkerPool(
+        store_root,
+        ClusterConfig(workers=args.workers, queue_limit=0),
+    )
+    server = ClusterHTTPServer(pool).start()
+    client = ClusterClient(server.url)
+    try:
+        client.wait_ready()
+        started = time.perf_counter()
+        job_ids = [
+            client.submit(_smoke_request(i)) for i in range(args.jobs)
+        ]
+        # let the pool get busy, then kill one busy worker over its knee
+        kill_info: Dict[str, Any] = {}
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            busy = [
+                w for w in client.status()["workers"] if w["current"]
+            ]
+            if busy:
+                victim = busy[0]
+                pid = pool.kill_worker(victim["id"])
+                kill_info = {
+                    "worker": victim["id"], "pid": pid,
+                    "job": victim["current"],
+                }
+                break
+            time.sleep(0.01)
+        report["kill"] = kill_info
+        if not kill_info:
+            report["error"] = "no busy worker to kill"
+            return _finish_smoke(report, args)
+
+        outcomes = {
+            job_id: client.result(job_id, timeout=args.timeout)
+            for job_id in job_ids
+        }
+        report["wall_s"] = time.perf_counter() - started
+        report["completed"] = sum(
+            1 for o in outcomes.values() if o["state"] == "done"
+        )
+        migrated = {
+            job_id: o for job_id, o in outcomes.items()
+            if o["migrations"] > 0
+        }
+        report["migrated"] = sorted(migrated)
+        if report["completed"] != args.jobs:
+            report["error"] = (
+                f"only {report['completed']}/{args.jobs} jobs completed"
+            )
+            return _finish_smoke(report, args)
+        if not migrated:
+            report["error"] = "the kill migrated no job"
+            return _finish_smoke(report, args)
+
+        # every migrated job must be bitwise-identical to an
+        # uninterrupted rerun of the same request
+        mismatches = []
+        for job_id in migrated:
+            index = job_ids.index(job_id)
+            rerun_request = _smoke_request(index)
+            rerun_request.name = f"rerun-{index:03d}"
+            rerun_id = client.submit(rerun_request)
+            rerun = client.result(rerun_id, timeout=args.timeout)
+            a = _probe_digests(outcomes[job_id]["result"])
+            b = _probe_digests(rerun["result"])
+            if a != b:
+                mismatches.append({"job": job_id, "got": a, "want": b})
+        report["bitwise_mismatches"] = mismatches
+        status = client.status()
+        report["steals"] = status["steals"]
+        report["migrations"] = status["migrations"]
+        report["worker_deaths"] = sum(
+            w["deaths"] for w in status["workers"]
+        )
+        report["ok"] = not mismatches
+        return _finish_smoke(report, args)
+    finally:
+        server.stop()
+        pool.shutdown()
+
+
+def _finish_smoke(report: Dict[str, Any], args) -> int:
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if report["ok"]:
+        print(
+            f"smoke OK: {report['completed']} jobs, "
+            f"{len(report['migrated'])} migrated bitwise-identically"
+        )
+        return 0
+    print(f"smoke FAILED: {report.get('error', 'bitwise mismatch')}",
+          file=sys.stderr)
+    return 1
+
+
+# ----------------------------------------------------------------------
+def _int_list(text: str) -> List[int]:
+    try:
+        return [int(piece) for piece in text.split(",") if piece]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an int list: {text!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="sharded multi-worker simulation cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="host a cluster over HTTP")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--store", default=None,
+                       help="shared store dir (default: a temp dir)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731)
+    serve.add_argument("--opt-level", type=int, default=0)
+    serve.add_argument("--queue-limit", type=int, default=256)
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit one job")
+    submit.add_argument("--url", default="http://127.0.0.1:8731")
+    submit.add_argument("--kind", default="single_run",
+                        choices=("single_run", "batch", "scenario"))
+    submit.add_argument("--model", default="")
+    submit.add_argument("--params", default=None, help="JSON object")
+    submit.add_argument("--model-args", default=None, help="JSON object")
+    submit.add_argument("--client", default="cli")
+    submit.add_argument("--deadline", type=float, default=None)
+    submit.add_argument("--retries", type=int, default=0)
+    submit.add_argument("--no-checkpoint", action="store_true")
+    submit.add_argument("--name", default="")
+    submit.add_argument("--wait", action="store_true")
+    submit.add_argument("--stream", action="store_true")
+    submit.add_argument("--timeout", type=float, default=300.0)
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser("status", help="pool or job status")
+    status.add_argument("--url", default="http://127.0.0.1:8731")
+    status.add_argument("--job", default=None)
+    status.set_defaults(func=cmd_status)
+
+    bench = sub.add_parser("bench", help="quick throughput sweep")
+    bench.add_argument("--worker-counts", type=_int_list, default=[1, 4])
+    bench.add_argument("--jobs", type=int, default=24)
+    bench.add_argument("--report", default=None)
+    bench.set_defaults(func=cmd_bench)
+
+    smoke = sub.add_parser(
+        "smoke", help="CI chaos harness: kill a worker, verify bitwise",
+    )
+    smoke.add_argument("--workers", type=int, default=4)
+    smoke.add_argument("--jobs", type=int, default=50)
+    smoke.add_argument("--store", default=None)
+    smoke.add_argument("--timeout", type=float, default=300.0)
+    smoke.add_argument("--report", default=None)
+    smoke.set_defaults(func=cmd_smoke)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""A synchronous stdlib HTTP client for the cluster front-end.
+
+One :class:`http.client.HTTPConnection` per call (the server closes
+connections after each response), JSON in/out, and a line iterator over
+the chunked NDJSON event stream.  This is what the CLI, the smoke
+harness and the S11 benchmark speak; anything else that can POST JSON
+works just as well.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, Optional
+from urllib.parse import urlsplit
+
+from repro.cluster.requests import ClusterError, ClusterJobRequest, ClusterRejected
+
+
+class ClusterClientError(ClusterError):
+    """An HTTP-level failure talking to the cluster."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ClusterClient:
+    """Talk to a :class:`~repro.cluster.http.ClusterHTTPServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        split = urlsplit(base_url if "//" in base_url else f"//{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ClusterError(f"only http:// is supported: {base_url}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout,
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            try:
+                decoded = json.loads(data.decode("utf-8") or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"error": data[:200].decode("latin-1")}
+            if response.status >= 400:
+                message = decoded.get("error", "unknown error")
+                if response.status == 429:
+                    raise ClusterRejected(
+                        decoded.get("reason", "rejected"), message,
+                    )
+                raise ClusterClientError(response.status, message)
+            return decoded
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (OSError, ClusterError):
+            return False
+
+    def wait_ready(self, timeout: float = 10.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.healthz():
+                return
+            time.sleep(0.05)
+        raise ClusterError(
+            f"cluster at {self.host}:{self.port} not ready "
+            f"after {timeout:g}s"
+        )
+
+    def status(self) -> Dict[str, Any]:
+        return self._request("GET", "/status")
+
+    def models(self) -> list:
+        return self._request("GET", "/models")["models"]
+
+    def submit(self, request: ClusterJobRequest) -> str:
+        """Submit; returns the job id (raises ClusterRejected on shed)."""
+        return self._request("POST", "/jobs", body=request.to_dict())["id"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(
+            self._request("POST", f"/jobs/{job_id}/cancel")["cancelled"]
+        )
+
+    def result(
+        self, job_id: str, timeout: float = 60.0
+    ) -> Dict[str, Any]:
+        """Block server-side for the result summary; raises on FAILED."""
+        status = self._request(
+            "GET", f"/jobs/{job_id}/result?timeout={timeout:g}",
+            timeout=timeout + self.timeout,
+        )
+        if status.get("state") != "done":
+            raise ClusterError(
+                f"job {job_id} finished {status.get('state')}: "
+                f"{status.get('error')}"
+            )
+        return status
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield NDJSON telemetry events until the job's stream ends."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout,
+        )
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                raise ClusterClientError(
+                    response.status, data[:200].decode("latin-1"),
+                )
+            buffer = b""
+            while True:
+                piece = response.read1(65536)
+                if not piece:
+                    break
+                buffer += piece
+                while b"\n" in buffer:
+                    line, __, buffer = buffer.partition(b"\n")
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()

@@ -1,0 +1,89 @@
+"""Built-in cluster model catalogue.
+
+A cluster request names its model; these are the factories shipped with
+the repo so demos, tests, the smoke harness and the S11 benchmark can
+submit work to a fresh cluster without registering anything.  All of
+them are deterministic fixed-step workloads — the property the
+kill-and-migrate acceptance test needs, since only fixed-step plans
+carry the bitwise resume guarantee.
+
+Custom models: either :func:`~repro.cluster.requests.register_model` a
+factory at import time on every worker host, or pass an importable
+``"package.module:callable"`` path in the request.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import HybridModel
+from repro.cluster.requests import register_model
+from repro.dataflow import (
+    Constant,
+    Diagram,
+    FirstOrderLag,
+    PID,
+    SecondOrderSystem,
+    Step,
+    Sum,
+)
+
+
+@register_model("cruise")
+def cruise(setpoint: float = 25.0, h: float = 0.01) -> HybridModel:
+    """PID speed loop: err = setpoint - v, force = PID(err), v = lag.
+
+    One continuous thread at step ``h``; ~linear cost in ``t_end / h``,
+    which makes it the workhorse for migration tests (long enough to
+    kill mid-run, bitwise on resume).
+    """
+    d = Diagram("cruise")
+    d.add(Constant("setpoint", value=setpoint))
+    d.add(Sum("err", signs="+-"))
+    d.add(PID("pid", kp=650.0, ki=90.0, kd=0.0, tf=0.4,
+              u_min=-1500.0, u_max=3500.0))
+    d.add(FirstOrderLag("car", tau=1200.0 / 60.0, k=1.0 / 60.0))
+    d.connect("setpoint.out", "err.in1")
+    d.connect("car.out", "err.in2")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "car.in")
+    d.finalise()
+    model = HybridModel(f"cruise{setpoint:g}")
+    model.default_thread.h = h
+    model.add_streamer(d)
+    model.add_probe("v", d.port_at("car.out"))
+    return model
+
+
+@register_model("pendulum")
+def pendulum(kp: float = 35.0, zeta: float = 0.06) -> Diagram:
+    """PID against a lightly damped linearised pendulum (PT2).
+
+    The batch-kind counterpart of ``cruise``: one diagram, N instances,
+    sweepable over ``pid.kp`` — the shape of the S11 throughput
+    workload.
+    """
+    d = Diagram("pendulum")
+    d.add(Step("ref", amplitude=0.25))
+    d.add(Sum("err", signs="+-"))
+    d.add(PID("pid", kp=kp, ki=18.0, kd=7.0, tf=0.04))
+    d.add(SecondOrderSystem("pend", omega=3.3, zeta=zeta, k=1.0))
+    d.connect("ref.out", "err.in1")
+    d.connect("pend.out", "err.in2")
+    d.connect("err.out", "pid.in")
+    d.connect("pid.out", "pend.in")
+    return d
+
+
+@register_model("lag")
+def lag(tau: float = 0.5, h: float = 0.01) -> HybridModel:
+    """A single first-order lag under a step — the minimal, fastest
+    single-run workload (pool smoke tests, admission probes)."""
+    d = Diagram("lag")
+    d.add(Step("u", amplitude=1.0))
+    d.add(FirstOrderLag("plant", tau=tau, k=1.0))
+    d.connect("u.out", "plant.in")
+    d.finalise()
+    model = HybridModel("lag")
+    model.default_thread.h = h
+    model.add_streamer(d)
+    model.add_probe("y", d.port_at("plant.out"))
+    return model

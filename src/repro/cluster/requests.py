@@ -1,0 +1,269 @@
+"""Cluster job requests: plain, picklable, HTTP-shippable descriptions.
+
+A cluster cannot ship closures: a remote client names a *model* — either
+a name registered with :func:`register_model` (the built-ins live in
+:mod:`repro.cluster.models`) or an importable ``"package.module:callable"``
+path — plus keyword arguments, and the worker rebuilds the factory on
+its side of the process boundary.  Everything else on a
+:class:`ClusterJobRequest` is the submission surface of the matching
+:class:`~repro.service.jobs.JobSpec` (deadline, retries, solver, sweep
+axes, opt level, …), whitelisted field-by-field so a malformed request
+fails admission with a clear error instead of a worker-side TypeError.
+
+``kind`` selects the work: ``single_run`` and ``batch`` map onto the
+service job specs (with their checkpoint spool pointed into the shared
+:class:`~repro.cluster.store.ArtifactStore`, which is what makes live
+migration possible), and ``scenario`` runs one
+:class:`~repro.scenarios.spec.ScenarioSpec` seed through its campaign
+oracle — the hook that lets a differential campaign target a cluster.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.service.jobs import BatchJob, JobError, JobSpec, SingleRunJob
+
+#: request kinds the cluster accepts
+KINDS = ("single_run", "batch", "scenario")
+
+
+class ClusterError(JobError):
+    """Base class for cluster-level failures."""
+
+
+class ClusterRejected(ClusterError):
+    """Admission control shed this request (queue full, client over
+    quota, or the deadline is infeasible given the predicted wait)."""
+
+    def __init__(self, reason: str, message: str) -> None:
+        self.reason = reason
+        super().__init__(message)
+
+
+# ----------------------------------------------------------------------
+# the model registry
+# ----------------------------------------------------------------------
+_MODELS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_model(name: str) -> Callable[[Callable], Callable]:
+    """Register a model/diagram factory under a cluster-visible name."""
+
+    def decorator(factory: Callable) -> Callable:
+        _MODELS[name] = factory
+        return factory
+
+    return decorator
+
+
+def registered_models() -> Dict[str, Callable[..., Any]]:
+    from repro.cluster import models as _builtin  # noqa: F401  (registers)
+
+    return dict(_MODELS)
+
+
+def resolve_model(ref: str) -> Callable[..., Any]:
+    """A factory for ``ref``: a registered name or ``module:callable``."""
+    from repro.cluster import models as _builtin  # noqa: F401  (registers)
+
+    factory = _MODELS.get(ref)
+    if factory is not None:
+        return factory
+    if ":" in ref:
+        module_name, __, attr = ref.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise ClusterError(
+                f"cannot import model module {module_name!r}: {exc}"
+            ) from exc
+        factory = getattr(module, attr, None)
+        if callable(factory):
+            return factory
+        raise ClusterError(
+            f"{module_name!r} has no callable {attr!r}"
+        )
+    raise ClusterError(
+        f"unknown model {ref!r}; registered: {sorted(_MODELS)} "
+        "(or use an importable 'module:callable' path)"
+    )
+
+
+# ----------------------------------------------------------------------
+# the request
+# ----------------------------------------------------------------------
+#: request params forwarded verbatim onto the matching spec
+_SINGLE_RUN_FIELDS = (
+    "t_end", "sync_interval", "stream_slices", "validate", "run_options",
+    "checkpoint_every_steps", "checkpoint_keep", "opt_level", "backend",
+    "realtime_factor",
+)
+_BATCH_FIELDS = (
+    "n", "t_end", "solver", "h", "records", "sweeps", "record_every",
+    "chunk_steps", "checkpoint_keep", "opt_level", "backend",
+)
+_SCENARIO_FIELDS = ("seed", "t_end", "h", "backends")
+
+
+@dataclass
+class ClusterJobRequest:
+    """One unit of cluster work, as it travels over the wire.
+
+    Plain data end to end: JSON over HTTP, pickle over the worker feed
+    queues.  ``params`` carries the kind-specific knobs (see the
+    ``_*_FIELDS`` whitelists); ``model_args`` is applied to the model
+    factory with :func:`functools.partial`, so a parameter sweep over
+    one registered model is fifty requests differing only there.
+    """
+
+    kind: str = "single_run"
+    #: registered model name or ``module:callable`` import path
+    #: (unused by ``kind="scenario"``, which is a pure function of seed)
+    model: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+    model_args: Dict[str, Any] = field(default_factory=dict)
+    #: admission-control identity for per-client fairness
+    client: str = "anonymous"
+    #: wall-clock budget in seconds, from cluster submission
+    deadline: Optional[float] = None
+    #: worker-local retry budget for TransientJobError (migrations on
+    #: worker death are budgeted separately by the pool)
+    retries: int = 0
+    #: spool periodic checkpoints into the shared store (enables
+    #: resume-on-migration; ``single_run``/``batch`` only)
+    checkpoint: bool = True
+    name: str = ""
+
+    def validate(self) -> None:
+        if self.kind not in KINDS:
+            raise ClusterError(
+                f"unknown job kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.kind != "scenario" and not self.model:
+            raise ClusterError(f"{self.kind} request needs a model")
+        if self.kind == "scenario" and "seed" not in self.params:
+            raise ClusterError("scenario request needs params['seed']")
+        allowed = {
+            "single_run": _SINGLE_RUN_FIELDS,
+            "batch": _BATCH_FIELDS,
+            "scenario": _SCENARIO_FIELDS,
+        }[self.kind]
+        unknown = sorted(set(self.params) - set(allowed))
+        if unknown:
+            raise ClusterError(
+                f"unknown {self.kind} params {unknown}; allowed: "
+                f"{sorted(allowed)}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "model": self.model,
+            "params": dict(self.params),
+            "model_args": dict(self.model_args),
+            "client": self.client,
+            "deadline": self.deadline,
+            "retries": self.retries,
+            "checkpoint": self.checkpoint,
+            "name": self.name,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ClusterJobRequest":
+        if not isinstance(data, dict):
+            raise ClusterError(
+                f"request body must be a JSON object, got {type(data).__name__}"
+            )
+        known = {
+            "kind", "model", "params", "model_args", "client", "deadline",
+            "retries", "checkpoint", "name",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ClusterError(f"unknown request fields {unknown}")
+        request = ClusterJobRequest(
+            kind=str(data.get("kind", "single_run")),
+            model=str(data.get("model", "")),
+            params=dict(data.get("params") or {}),
+            model_args=dict(data.get("model_args") or {}),
+            client=str(data.get("client", "anonymous")),
+            deadline=(
+                None if data.get("deadline") is None
+                else float(data["deadline"])
+            ),
+            retries=int(data.get("retries", 0)),
+            checkpoint=bool(data.get("checkpoint", True)),
+            name=str(data.get("name", "")),
+        )
+        request.validate()
+        return request
+
+
+# ----------------------------------------------------------------------
+# request -> spec (worker side)
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioClusterJob(JobSpec):
+    """Run one scenario seed through its campaign family oracle."""
+
+    seed: int = 0
+    t_end: float = 0.25
+    h: Optional[float] = None
+    backends: Optional[Any] = None
+
+    kind = "scenario"
+
+    def execute(self, ctx) -> Any:
+        ctx.checkpoint()
+        from repro.scenarios.campaign import CampaignConfig, execute_scenario
+        from repro.scenarios.spec import ScenarioSpec
+
+        config_kwargs: Dict[str, Any] = {"t_end": self.t_end}
+        if self.h is not None:
+            config_kwargs["h"] = self.h
+        if self.backends is not None:
+            config_kwargs["backends"] = list(self.backends)
+        return execute_scenario(
+            ScenarioSpec.from_seed(int(self.seed)),
+            CampaignConfig(**config_kwargs),
+        )
+
+
+def build_spec(
+    request: ClusterJobRequest,
+    job_id: str,
+    spool_dir: Optional[str] = None,
+) -> JobSpec:
+    """Materialise the worker-side job spec for one request.
+
+    ``spool_dir`` (the job's directory inside the shared store) arms the
+    spec's periodic checkpointing; it is what a migrated re-dispatch
+    resumes from on a different worker.
+    """
+    request.validate()
+    params = dict(request.params)
+    name = request.name or f"{request.kind}:{request.model or 'scenario'}"
+    common = dict(
+        name=name, deadline=request.deadline, retries=request.retries,
+    )
+    if request.kind == "scenario":
+        return ScenarioClusterJob(**common, **params)
+    factory = resolve_model(request.model)
+    if request.model_args:
+        factory = functools.partial(factory, **request.model_args)
+    checkpoint_dir = (
+        str(spool_dir) if (request.checkpoint and spool_dir) else None
+    )
+    if request.kind == "single_run":
+        return SingleRunJob(
+            model_factory=factory, checkpoint_dir=checkpoint_dir,
+            **common, **params,
+        )
+    return BatchJob(
+        diagram_factory=factory, checkpoint_dir=checkpoint_dir,
+        **common, **params,
+    )

@@ -55,6 +55,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the JSON campaign report here")
     run.add_argument("--work-dir", metavar="DIR",
                      help="spool directory for fault-family checkpoints")
+    run.add_argument("--cluster", metavar="URL",
+                     help="execute scenarios on a running repro.cluster "
+                          "HTTP endpoint instead of in-process workers")
 
     rep = sub.add_parser("replay", help="re-execute one scenario seed")
     rep.add_argument("--seed", type=int, required=True,
@@ -84,7 +87,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         work_dir=args.work_dir,
         mutate_seeds=frozenset(args.mutate_seeds),
     )
-    report = CampaignRunner(config).run()
+    runner = CampaignRunner(config)
+    if args.cluster:
+        report = runner.run_over_cluster(args.cluster)
+    else:
+        report = runner.run()
     if args.json_output:
         report.save(args.json_output)
     print(report.render())

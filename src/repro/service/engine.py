@@ -34,7 +34,8 @@ import itertools
 import queue
 import threading
 import time
-from typing import Any, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.service.jobs import (
     JobCancelledError, JobContext, JobError, JobHandle, JobSpec, JobState,
@@ -47,15 +48,75 @@ from repro.service.telemetry import (
 _SHUTDOWN = object()
 
 
-def _execute_isolated(spec: JobSpec, attempts: int = 1) -> Any:
-    """Run a spec in a worker process: no service, no shared cache, no
-    streaming — just the result (module-level so it pickles).  The
-    parent's attempt count rides along so resilience-aware specs can
-    tell a retry (restore from the spool) from a first attempt."""
-    handle = JobHandle("isolated", spec)
+class _EventTap:
+    """A Channel-shaped sink that records every pushed event.
+
+    Worker processes cannot share the parent's job channel, so the
+    isolated execution path collects events here and ships the list back
+    with the result for replay onto the real channel."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[Any] = []
+
+    def push(self, event: Any) -> bool:
+        self.events.append(event)
+        return True
+
+
+class _IsolatedServices:
+    """What a spec sees of the service inside an isolated worker: a
+    fresh metrics registry (dumped back to the parent on completion) and
+    the parent's default opt level — but no shared plan cache."""
+
+    __slots__ = ("metrics", "cache", "default_opt_level")
+
+    def __init__(self, default_opt_level: int = 0) -> None:
+        from repro.service.telemetry import MetricsRegistry as _Registry
+
+        self.metrics = _Registry()
+        self.cache = None
+        self.default_opt_level = default_opt_level
+
+
+@dataclass
+class IsolatedOutcome:
+    """What a process worker ships back: the spec's result plus the
+    telemetry events and metrics recorded while it ran (all picklable).
+    Events from a failed attempt are lost with the exception — the
+    engine's retry machinery, not telemetry, is the record of those."""
+
+    result: Any
+    events: List[Any] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+def _execute_isolated(
+    spec: JobSpec,
+    attempts: int = 1,
+    job_id: str = "isolated",
+    default_opt_level: int = 0,
+) -> IsolatedOutcome:
+    """Run a spec in a worker process (module-level so it pickles).
+
+    The parent's attempt count rides along so resilience-aware specs can
+    tell a retry (restore from the spool) from a first attempt; the
+    job id keeps forwarded events addressed like in-process ones.
+    Telemetry emitted during the run is captured and returned with the
+    result instead of being silently dropped."""
+    handle = JobHandle(job_id, spec)
     handle.state = JobState.RUNNING
     handle.attempts = attempts
-    return spec.execute(JobContext(handle, service=None, emitter=None))
+    tap = _EventTap()
+    services = _IsolatedServices(default_opt_level)
+    emitter = EventEmitter(job_id, tap)
+    result = spec.execute(
+        JobContext(handle, service=services, emitter=emitter)
+    )
+    return IsolatedOutcome(
+        result=result, events=tap.events, metrics=services.metrics.dump(),
+    )
 
 
 class JobEngine:
@@ -227,6 +288,8 @@ class JobEngine:
         try:
             future = pool.submit(
                 _execute_isolated, handle.spec, handle.attempts,
+                handle.id,
+                getattr(self.service, "default_opt_level", 0) or 0,
             )
         except Exception as exc:  # unpicklable spec, broken pool
             raise JobError(
@@ -239,13 +302,24 @@ class JobEngine:
             else max(0.0, deadline_at - time.monotonic())
         )
         try:
-            return future.result(timeout=timeout)
+            outcome = future.result(timeout=timeout)
         except FutureTimeout:
             future.cancel()
             raise JobTimeoutError(
                 f"job {handle.id} exceeded its deadline in the process "
                 "pool"
             ) from None
+        # replay the worker's telemetry onto the real channel and fold
+        # its metrics into the service registry — before this, events
+        # emitted inside a process worker were silently dropped
+        for event in outcome.events:
+            try:
+                handle.channel.push(event)
+            except Exception:
+                break
+        if outcome.metrics:
+            self.metrics.merge(outcome.metrics)
+        return outcome.result
 
     def _finalise(
         self,

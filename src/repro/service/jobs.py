@@ -413,6 +413,13 @@ class SingleRunJob(JobSpec):
     #: BACKEND telemetry event and the ``backend.fallback`` metric,
     #: never a job failure.
     backend: Optional[str] = None
+    #: pace the run against the wall clock, in simulated seconds per
+    #: wall second (1.0 = real time, 4.0 = 4x faster; None = free-run).
+    #: Software-in-the-loop pacing: the trajectory is bitwise the
+    #: free-running one — only sleeps are inserted between major steps,
+    #: and cancellation/deadline checkpoints keep firing while waiting.
+    #: A resumed attempt re-anchors the clock at the recovered sim-time.
+    realtime_factor: Optional[float] = None
 
     kind = "single_run"
 
@@ -421,6 +428,9 @@ class SingleRunJob(JobSpec):
             raise JobError("SingleRunJob needs a model_factory")
         if self.t_end <= 0:
             raise JobError(f"non-positive t_end: {self.t_end}")
+        pace = self.realtime_factor
+        if pace is not None and pace <= 0:
+            raise JobError(f"non-positive realtime_factor: {pace}")
         ctx.checkpoint()
         opt = _resolve_opt(ctx, self.opt_level)
         model = self.model_factory()
@@ -432,6 +442,7 @@ class SingleRunJob(JobSpec):
         )
         emit_dt = self.t_end / max(1, self.stream_slices)
         last_emit = [0.0]
+        pace_anchor = [0.0, 0.0]  # (wall, sim) — armed after resume
 
         def observe(t_now: float) -> None:
             if t_now - last_emit[0] >= emit_dt - 1e-12:
@@ -446,6 +457,14 @@ class SingleRunJob(JobSpec):
                     },
                 )
             ctx.checkpoint()
+            if pace is not None:
+                target = pace_anchor[0] + (t_now - pace_anchor[1]) / pace
+                while True:
+                    now = time.monotonic()
+                    if now >= target:
+                        break
+                    ctx.checkpoint()
+                    time.sleep(min(0.02, target - now))
 
         # hook chain order matters: job observer first, then the
         # checkpoint manager, then the fault injector — so a checkpoint
@@ -455,6 +474,8 @@ class SingleRunJob(JobSpec):
         if manager is not None:
             manager.attach(scheduler)
         self._maybe_resume(ctx, scheduler, manager)
+        pace_anchor[0] = time.monotonic()
+        pace_anchor[1] = model.time.raw
         if self.fault_injector is not None:
             self.fault_injector.arm(
                 scheduler, attempt=max(1, ctx.handle.attempts),

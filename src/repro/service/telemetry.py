@@ -41,6 +41,13 @@ CHECKS = "checks"
 #: execution-backend resolution for a job; payload carries the
 #: requested and effective backend names and, on a fallback, the reason
 BACKEND = "backend"
+#: a cluster job left a dead worker and was re-dispatched to a live one;
+#: payload carries the lost worker, the attempt count and what the
+#: shared checkpoint store knows about the job (cluster layer)
+MIGRATED = "migrated"
+#: cluster worker lifecycle (spawned / lost / respawned); payload
+#: carries the worker id and, for deaths, the in-flight job if any
+WORKER = "worker"
 
 
 @dataclass(frozen=True)
@@ -151,6 +158,29 @@ class Histogram:
         out["count"] = total
         return out
 
+    def dump(self) -> Dict[str, Any]:
+        """Raw transferable state: the retained window plus the lifetime
+        count (plain data, picklable — the cross-process wire form)."""
+        with self._lock:
+            return {"window": list(self._ring), "count": self._count}
+
+    def merge(self, dump: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`dump` into this one.
+
+        Window values enter the ring as fresh observations; the lifetime
+        count adds the *dumped* count (not the window length), so counts
+        stay exact even when the remote window already wrapped.
+        """
+        window = list(dump.get("window", ()))
+        with self._lock:
+            for value in window:
+                if len(self._ring) < self.capacity:
+                    self._ring.append(float(value))
+                else:
+                    self._ring[self._next] = float(value)
+                    self._next = (self._next + 1) % self.capacity
+            self._count += max(int(dump.get("count", 0)), 0)
+
 
 class MetricsRegistry:
     """A thread-safe, create-on-first-use registry of named metrics.
@@ -205,6 +235,48 @@ class MetricsRegistry:
                 for name, metric in sorted(histograms.items())
             },
         }
+
+    def dump(self) -> Dict[str, Dict[str, Any]]:
+        """Transferable raw state of every metric (plain data only).
+
+        Unlike :meth:`snapshot` — which summarises histograms into
+        percentiles — a dump keeps raw observation windows, so a
+        coordinator can :meth:`merge` worker registries without losing
+        distribution information.  This is the form worker processes
+        ship back over pickled queues.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: metric.value for name, metric in counters.items()
+            },
+            "gauges": {
+                name: metric.value for name, metric in gauges.items()
+            },
+            "histograms": {
+                name: metric.dump() for name, metric in histograms.items()
+            },
+        }
+
+    def merge(self, dump: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a remote registry's :meth:`dump` into this one.
+
+        Counters add, gauges take the remote value (last-writer-wins —
+        remote gauges describe the remote process), histograms merge
+        windows and counts.  Used by the job engine's process executor
+        and the cluster coordinator to surface worker-side metrics that
+        were previously dropped on the floor.
+        """
+        for name, value in dump.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(int(value))
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, hist_dump in dump.get("histograms", {}).items():
+            self.histogram(name).merge(hist_dump)
 
 
 class EventEmitter:

@@ -1,0 +1,22 @@
+"""Shared cluster-test fixtures: a small live pool is expensive to
+spawn (fresh interpreters), so module-scoped pools are reused."""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.pool import ClusterConfig, WorkerPool
+
+
+@pytest.fixture(scope="module")
+def pool2():
+    """A 2-worker pool over a throwaway store, shared per test module."""
+    with tempfile.TemporaryDirectory(prefix="repro-clt-") as root:
+        pool = WorkerPool(Path(root), ClusterConfig(workers=2))
+        try:
+            yield pool
+        finally:
+            pool.shutdown()

@@ -1,0 +1,99 @@
+"""Concurrent plan-cache access across OS processes.
+
+Satellite for the cluster PR: ≥4 processes hammer one shared store
+directory — get-or-compile the *same* key (single-compile semantics
+must hold across processes, not just threads) and *distinct* keys
+(no false sharing), with every published artifact CRC-verified (no
+torn writes become visible).
+
+The worker functions live at module level so the ``spawn`` start
+method can import them; results come back over a queue as plain
+tuples.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.cluster.store import ArtifactStore, decode_artifact
+
+PROCESSES = 6
+ROUNDS = 5
+
+
+def _hammer_same_key(store_root, worker_id, results):
+    """Everyone compiles the same key; report (compiles, values)."""
+    store = ArtifactStore(store_root, compile_timeout=60.0)
+    values = []
+    for __ in range(ROUNDS):
+        value = store.get_or_compile(
+            "shared-plan", lambda: {"owner": worker_id, "blob": list(range(500))},
+        )
+        values.append(value["owner"])
+    results.put((worker_id, store.compiles, values))
+
+
+def _hammer_distinct_keys(store_root, worker_id, results):
+    """Each process owns a key but also reads every other key."""
+    store = ArtifactStore(store_root, compile_timeout=60.0)
+    own = store.get_or_compile(
+        f"plan-{worker_id}", lambda: {"owner": worker_id},
+    )
+    seen = {}
+    for other in range(PROCESSES):
+        value = store.get_or_compile(
+            f"plan-{other}", lambda: {"owner": other},
+        )
+        seen[other] = value["owner"]
+    results.put((worker_id, own["owner"], seen))
+
+
+def _run_processes(target, store_root):
+    ctx = mp.get_context("spawn")
+    results = ctx.Queue()
+    processes = [
+        ctx.Process(target=target, args=(store_root, wid, results))
+        for wid in range(PROCESSES)
+    ]
+    for process in processes:
+        process.start()
+    collected = [results.get(timeout=120) for __ in processes]
+    for process in processes:
+        process.join(timeout=30)
+        assert process.exitcode == 0
+    return collected
+
+
+class TestCrossProcessSingleCompile:
+    def test_same_key_compiles_exactly_once(self, tmp_path):
+        collected = _run_processes(_hammer_same_key, str(tmp_path))
+        assert len(collected) == PROCESSES
+        total_compiles = sum(compiles for __, compiles, __ in collected)
+        assert total_compiles == 1, (
+            f"single-compile violated: {total_compiles} compiles"
+        )
+        # every process saw the one published value, every round
+        owners = {
+            owner for __, __, values in collected for owner in values
+        }
+        assert len(owners) == 1
+
+    def test_distinct_keys_no_cross_talk(self, tmp_path):
+        collected = _run_processes(_hammer_distinct_keys, str(tmp_path))
+        for worker_id, own_owner, seen in collected:
+            assert own_owner == worker_id
+            assert seen == {i: i for i in range(PROCESSES)}
+
+    def test_no_torn_artifacts_on_disk(self, tmp_path):
+        _run_processes(_hammer_same_key, str(tmp_path))
+        _run_processes(_hammer_distinct_keys, str(tmp_path))
+        store = ArtifactStore(tmp_path)
+        published = sorted(store.artifacts_dir.rglob("*.art"))
+        assert len(published) == 1 + PROCESSES
+        for path in published:
+            decode_artifact(path.read_bytes())  # raises if torn
+        # no lock or temp litter left behind
+        assert not list(store.artifacts_dir.rglob("*.lock"))
+        assert not list(store.artifacts_dir.rglob("*.tmp-*"))

@@ -1,0 +1,144 @@
+"""The HTTP front-end and client: submit/status/result/cancel/stream."""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster.client import ClusterClient, ClusterClientError
+from repro.cluster.http import ClusterHTTPServer, json_safe, summarise_result
+from repro.cluster.pool import ClusterConfig, WorkerPool
+from repro.cluster.requests import ClusterJobRequest, ClusterRejected
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """(pool, client) behind a live ephemeral-port HTTP server."""
+    with tempfile.TemporaryDirectory(prefix="repro-http-") as root:
+        pool = WorkerPool(Path(root), ClusterConfig(workers=2))
+        server = ClusterHTTPServer(pool).start()
+        client = ClusterClient(server.url)
+        client.wait_ready()
+        try:
+            yield pool, client
+        finally:
+            server.stop()
+            pool.shutdown()
+
+
+def lag_request(**overrides):
+    base = dict(
+        kind="single_run", model="lag",
+        params={"t_end": 0.4, "sync_interval": 0.05}, checkpoint=False,
+    )
+    base.update(overrides)
+    return ClusterJobRequest(**base)
+
+
+class TestEndpoints:
+    def test_healthz_and_models(self, cluster):
+        __, client = cluster
+        assert client.healthz()
+        assert {"cruise", "lag", "pendulum"} <= set(client.models())
+
+    def test_submit_result_roundtrip(self, cluster):
+        __, client = cluster
+        job_id = client.submit(lag_request())
+        status = client.result(job_id, timeout=60)
+        assert status["state"] == "done"
+        summary = status["result"]
+        assert summary["type"] == "single_run"
+        assert summary["t_final"] == pytest.approx(0.4)
+        probe = summary["probes"]["y"]
+        assert probe["rows"] > 0
+        assert len(probe["times_crc32"]) == 8
+
+    def test_stream_events_ndjson(self, cluster):
+        __, client = cluster
+        job_id = client.submit(lag_request())
+        events = list(client.stream(job_id))
+        kinds = [event["kind"] for event in events]
+        assert kinds[-1] == "end"
+        assert "progress" in kinds
+        assert events[-1]["state"] == "done"
+
+    def test_status_snapshot(self, cluster):
+        __, client = cluster
+        snapshot = client.status()
+        assert len(snapshot["workers"]) == 2
+        assert "steals" in snapshot and "migrations" in snapshot
+
+    def test_cancel_over_http(self, cluster):
+        __, client = cluster
+        job_id = client.submit(ClusterJobRequest(
+            kind="single_run", model="cruise",
+            params={"t_end": 60.0, "sync_interval": 0.01},
+            checkpoint=False,
+        ))
+        assert client.cancel(job_id)
+        deadline_status = None
+        for __ in range(600):
+            deadline_status = client.job(job_id)
+            if deadline_status["state"] in ("cancelled", "done"):
+                break
+            import time
+            time.sleep(0.05)
+        assert deadline_status["state"] == "cancelled"
+
+    def test_unknown_job_404(self, cluster):
+        __, client = cluster
+        with pytest.raises(ClusterClientError) as excinfo:
+            client.job("cj-999999")
+        assert excinfo.value.status == 404
+
+    def test_bad_request_400(self, cluster):
+        __, client = cluster
+        with pytest.raises(Exception) as excinfo:
+            client.submit(ClusterJobRequest(
+                kind="single_run", model="lag",
+                params={"bogus_param": 1},
+            ))
+        assert "unknown single_run params" in str(excinfo.value)
+
+    def test_rejection_maps_to_429(self, tmp_path):
+        with WorkerPool(
+            tmp_path, ClusterConfig(workers=1, queue_limit=1),
+        ) as pool:
+            with ClusterHTTPServer(pool) as server:
+                client = ClusterClient(server.url)
+                client.wait_ready()
+                with pytest.raises(ClusterRejected) as excinfo:
+                    for __ in range(20):
+                        client.submit(ClusterJobRequest(
+                            kind="single_run", model="cruise",
+                            params={"t_end": 30.0}, checkpoint=False,
+                        ))
+                assert excinfo.value.reason == "queue_full"
+
+
+class TestSummaries:
+    def test_json_safe_arrays(self):
+        small = np.arange(3, dtype=float)
+        big = np.arange(1000, dtype=float)
+        assert json_safe(small) == [0.0, 1.0, 2.0]
+        summary = json_safe(big)
+        assert summary["__array__"] and summary["shape"] == [1000]
+        assert json_safe(np.float64(2.5)) == 2.5
+        assert json_safe(float("nan")) is None
+        assert json_safe({"k": (1, 2)}) == {"k": [1, 2]}
+
+    def test_digest_is_bitwise(self):
+        from repro.cluster.http import _digest
+
+        a = np.linspace(0.0, 1.0, 257)
+        b = a.copy()
+        assert _digest(a) == _digest(b)
+        b[200] = np.nextafter(b[200], 2.0)  # one ulp
+        assert _digest(a) != _digest(b)
+
+    def test_summarise_unknown_type(self):
+        summary = summarise_result(object())
+        assert summary["type"] == "object"

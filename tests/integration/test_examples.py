@@ -19,6 +19,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
     "batch_sweep.py",
     "service_demo.py",
     "checkpoint_resume.py",
+    "cluster_demo.py",
 ])
 def test_example_runs(script):
     result = subprocess.run(

@@ -1,0 +1,114 @@
+"""Cross-process telemetry forwarding (``executor="process"``).
+
+Before this PR, telemetry a job emitted inside a process worker landed
+in a channel of the *worker's* copy of the handle and evaporated with
+the process; worker-side metrics never reached the service registry.
+The regression contract: events come back and replay onto the real
+channel, metrics dumps merge, and both stay picklable end to end.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.service import SimulationService
+from repro.service.jobs import BatchJob, SingleRunJob
+from repro.service.telemetry import (
+    BACKEND, CHUNK, PROGRESS, MetricsRegistry, TelemetryEvent,
+)
+from tests.resilience.conftest import build_control_model
+from tests.service.test_jobs import loop_diagram
+
+
+class TestEventPicklability:
+    def test_event_with_numpy_payload_roundtrips(self):
+        event = TelemetryEvent(
+            kind=CHUNK, job_id="j-1", seq=3, t=0.5,
+            payload={
+                "rows": 10,
+                "t_values": np.linspace(0.0, 1.0, 11),
+            },
+        )
+        clone = pickle.loads(pickle.dumps(event))
+        assert clone.kind == CHUNK and clone.seq == 3
+        assert np.array_equal(
+            clone.payload["t_values"], event.payload["t_values"],
+        )
+
+
+class TestMetricsDumpMerge:
+    def test_counters_and_gauges(self):
+        worker = MetricsRegistry()
+        worker.counter("jobs.done").inc(3)
+        worker.gauge("queue.depth").set(7)
+        parent = MetricsRegistry()
+        parent.counter("jobs.done").inc(1)
+        parent.merge(worker.dump())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["jobs.done"] == 4
+        assert snapshot["gauges"]["queue.depth"] == 7
+
+    def test_histogram_window_merges(self):
+        worker = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            worker.histogram("wall").observe(value)
+        parent = MetricsRegistry()
+        parent.histogram("wall").observe(10.0)
+        parent.merge(worker.dump())
+        stats = parent.snapshot()["histograms"]["wall"]
+        assert stats["count"] == 4
+        assert stats["max"] == 10.0
+        assert stats["min"] == 1.0
+
+    def test_dump_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1.5)
+        dump = pickle.loads(pickle.dumps(registry.dump()))
+        clone = MetricsRegistry()
+        clone.merge(dump)
+        assert clone.snapshot()["counters"]["c"] == 1
+
+
+class TestProcessExecutorForwarding:
+    def test_single_run_events_forwarded(self):
+        with SimulationService(workers=1, executor="process") as service:
+            handle = service.submit(SingleRunJob(
+                model_factory=build_control_model,
+                t_end=0.5, sync_interval=0.05,
+            ))
+            events = list(handle.stream())
+            handle.result(30.0)
+        kinds = [event.kind for event in events]
+        assert PROGRESS in kinds, (
+            "worker-process telemetry was dropped"
+        )
+        assert BACKEND in kinds
+        # events carry the parent-visible job id, not a worker alias
+        assert {event.job_id for event in events} == {handle.id}
+
+    def test_batch_chunks_and_metrics_forwarded(self):
+        with SimulationService(workers=1, executor="process") as service:
+            handle = service.submit(BatchJob(
+                diagram_factory=loop_diagram,
+                n=4, t_end=0.2, h=1e-3, chunk_steps=50,
+            ))
+            events = list(handle.stream())
+            handle.result(30.0)
+            snapshot = service.metrics_snapshot()
+        assert any(event.kind == CHUNK for event in events)
+        # worker-side counters merged into the service registry
+        assert snapshot["counters"]["backend.used.batch"] == 1
+
+    def test_thread_executor_unchanged(self):
+        with SimulationService(workers=1) as service:
+            handle = service.submit(SingleRunJob(
+                model_factory=build_control_model,
+                t_end=0.2, sync_interval=0.05,
+            ))
+            events = list(handle.stream())
+            handle.result(30.0)
+        assert any(event.kind == PROGRESS for event in events)
