@@ -133,9 +133,9 @@ def main() -> None:
           f"(Liu-Layland bound for {len(taskset.tasks)} tasks: "
           f"{liu_layland_bound(len(taskset.tasks)):.3f})")
     for name, result in response_time_analysis(taskset).items():
-        verdict = "ok" if result["schedulable"] else "MISS"
-        print(f"  {name:<24} R={result['response_time']:.4f} "
-              f"D={result['deadline']:.4f}  {verdict}")
+        verdict = "ok" if result.schedulable else "MISS"
+        print(f"  {name:<24} R={result.response_time:.4f} "
+              f"D={result.deadline:.4f}  {verdict}")
 
     # ------------------------------------------------------------------
     # the same model on real OS threads

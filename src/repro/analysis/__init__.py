@@ -4,9 +4,13 @@
   metrics used throughout EXPERIMENTS.md;
 * :mod:`repro.analysis.trace` — message-dispatch traces of the discrete
   world (who received what, when, with what latency from send);
-* :mod:`repro.analysis.schedulability` — classic fixed-priority real-time
-  analysis (Liu–Layland utilisation bound and exact response-time
-  analysis) applied to the thread sets the paper's architecture produces.
+* :mod:`repro.analysis.schedulability` — fixed-priority real-time
+  analysis (Liu–Layland bound, exact RTA with blocking/jitter/
+  self-suspension, first-fit partitioning, sensitivity searches)
+  applied to the thread sets the paper's architecture produces;
+* :mod:`repro.analysis.schedvalidate` — the empirical harness that
+  traces a live :class:`~repro.core.hybrid.HybridScheduler` run and
+  checks the static response-time bound dominates what was observed.
 """
 
 from repro.analysis.metrics import (
@@ -32,17 +36,47 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.trace import DispatchRecord, MessageTrace
 from repro.analysis.schedulability import (
+    CriticalSection,
+    PartitionResult,
+    RTAResult,
+    SensitivityResult,
     Task,
+    TaskResponse,
     TaskSet,
+    UtilisationResult,
+    first_fit_partition,
     liu_layland_bound,
+    min_feasible_sync_interval,
     response_time_analysis,
+    sched_report,
+    sensitivity,
+    shared_state_facts,
     taskset_from_model,
+    utilisation_test,
+)
+from repro.analysis.schedvalidate import (
+    ValidationReport,
+    validate_schedulability,
 )
 
 __all__ = [
     "CoverageReport",
+    "CriticalSection",
     "DispatchRecord",
     "MessageTrace",
+    "PartitionResult",
+    "RTAResult",
+    "SensitivityResult",
+    "TaskResponse",
+    "UtilisationResult",
+    "ValidationReport",
+    "first_fit_partition",
+    "min_feasible_sync_interval",
+    "sched_report",
+    "sensitivity",
+    "shared_state_facts",
+    "utilisation_test",
+    "validate_schedulability",
     "coverage_of",
     "render_coverage",
     "StepMetrics",

@@ -2,46 +2,115 @@
 
 "During implementation, capsules and streamers are assigned to different
 threads" (paper §2) — which immediately raises the real-time question: is
-that thread set schedulable?  This module provides the classic answers
-for rate-monotonic fixed-priority scheduling:
+that thread set schedulable?  This module is the static engine answering
+it, in the direction "Integrating Schedulability Analysis with UML-RT"
+(PAPERS.md) points:
 
-* :func:`liu_layland_bound` — the sufficient utilisation test
-  ``U <= n(2^(1/n) - 1)``;
-* :func:`response_time_analysis` — the exact (necessary & sufficient)
-  iterative response-time test for constrained-deadline task sets;
-* :func:`taskset_from_model` — derive a periodic task per streamer thread
-  (period = sync interval, cost = measured or estimated integration
-  slice) plus one per capsule controller.
+* :func:`liu_layland_bound` / :func:`utilisation_test` — the sufficient
+  utilisation test ``U <= n(2^(1/n) - 1)``;
+* :func:`response_time_analysis` — exact (necessary & sufficient)
+  iterative RTA for constrained-deadline task sets under
+  deadline-monotonic priorities, extended with priority-ceiling blocking
+  terms, release jitter and (suspension-oblivious) self-suspension, run
+  per processor partition;
+* :func:`first_fit_partition` — a first-fit decreasing-utilisation
+  partitioner onto N processors, each bin verified by exact RTA;
+* :func:`sensitivity` / :func:`min_feasible_sync_interval` — binary
+  searches for the maximum sustainable WCET scale and the smallest
+  feasible sync interval;
+* :func:`taskset_from_model` — derive a periodic task per streamer
+  thread (period = sync interval, cost measured or estimated) plus one
+  per capsule controller, with shared-resource facts
+  (:func:`shared_state_sharers`, the same scan THR002 lints) turned into
+  critical sections for the blocking bound.
+
+Numerical care: the RTA fixed point iterates with an epsilon-guarded
+ceiling (``ceil(3.0000000000000004) == 4`` would over-count interference
+by a whole job) and an epsilon convergence test; a non-converged
+iteration is reported explicitly (``converged=False``) instead of
+silently returning the last iterate.
+
+All results are typed dataclasses; every one carries ``as_dict()`` for
+JSON callers (the check rules, the ``--explain-sched`` report, CI
+artifacts).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+import math
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING, Dict, Iterable, Iterator, List, Mapping, Optional,
+    Sequence, Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.model import HybridModel
+    from repro.core.streamer import Streamer
+
+#: relative guard for the interference ceiling: a ratio landing a few
+#: ulps above an integer (``3.0000000000000004``) must still count as
+#: exactly that integer's worth of preemptions
+CEIL_EPS = 1e-9
+
+#: relative convergence tolerance for the RTA fixed point
+FIXPOINT_EPS = 1e-12
 
 
 class SchedulabilityError(Exception):
     """Raised on malformed task sets."""
 
 
+def _ceil_eps(ratio: float, eps: float = CEIL_EPS) -> int:
+    """``ceil`` that forgives floating-point overshoot just above an
+    integer, so ``R/T`` landing on ``3.0000000000000004`` contributes
+    3 preemptions, not 4."""
+    return max(0, math.ceil(ratio - eps * max(1.0, abs(ratio))))
+
+
+@dataclass(frozen=True)
+class CriticalSection:
+    """One lock of a named shared resource for ``duration`` time units."""
+
+    resource: str
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SchedulabilityError(
+                f"critical section on {self.resource!r}: negative "
+                f"duration {self.duration}"
+            )
+
+
 @dataclass(frozen=True)
 class Task:
     """A periodic task: worst-case cost, period, deadline (= period if
-    omitted)."""
+    omitted), release jitter, self-suspension, an optional explicit
+    priority (smaller = more urgent; deadline-monotonic otherwise), a
+    processor partition and the critical sections it holds."""
 
     name: str
     wcet: float
     period: float
     deadline: Optional[float] = None
+    jitter: float = 0.0
+    self_suspension: float = 0.0
+    priority: Optional[int] = None
+    partition: str = "cpu0"
+    critical_sections: Tuple[CriticalSection, ...] = ()
 
     def __post_init__(self) -> None:
         if self.wcet <= 0:
             raise SchedulabilityError(f"{self.name}: non-positive WCET")
         if self.period <= 0:
             raise SchedulabilityError(f"{self.name}: non-positive period")
+        if self.jitter < 0:
+            raise SchedulabilityError(f"{self.name}: negative jitter")
+        if self.self_suspension < 0:
+            raise SchedulabilityError(
+                f"{self.name}: negative self-suspension"
+            )
         if self.effective_deadline < self.wcet:
             raise SchedulabilityError(
                 f"{self.name}: deadline {self.effective_deadline} < WCET "
@@ -56,10 +125,30 @@ class Task:
     def utilisation(self) -> float:
         return self.wcet / self.period
 
+    @property
+    def resources(self) -> Tuple[str, ...]:
+        return tuple(cs.resource for cs in self.critical_sections)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "wcet": self.wcet,
+            "period": self.period,
+            "deadline": self.effective_deadline,
+            "jitter": self.jitter,
+            "self_suspension": self.self_suspension,
+            "priority": self.priority,
+            "partition": self.partition,
+            "critical_sections": [
+                {"resource": cs.resource, "duration": cs.duration}
+                for cs in self.critical_sections
+            ],
+        }
+
 
 @dataclass
 class TaskSet:
-    """A set of periodic tasks under rate-monotonic priorities."""
+    """A set of periodic tasks under fixed priorities."""
 
     tasks: List[Task] = field(default_factory=list)
 
@@ -75,6 +164,32 @@ class TaskSet:
         """Shorter period = higher priority; name breaks ties."""
         return sorted(self.tasks, key=lambda t: (t.period, t.name))
 
+    def deadline_monotonic_order(self) -> List[Task]:
+        """Explicit priority first, then shorter deadline, then period;
+        name breaks the remaining ties.  Deadline-monotonic priority
+        assignment is optimal for constrained-deadline fixed-priority
+        sets (Leung & Whitehead), so this is the engine's default."""
+        return sorted(
+            self.tasks,
+            key=lambda t: (
+                t.priority if t.priority is not None else math.inf,
+                t.effective_deadline, t.period, t.name,
+            ),
+        )
+
+    def partitions(self) -> Dict[str, "TaskSet"]:
+        """Tasks grouped by processor partition, insertion-ordered."""
+        out: Dict[str, TaskSet] = {}
+        for task in self.tasks:
+            out.setdefault(task.partition, TaskSet()).add(task)
+        return out
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
 
 def liu_layland_bound(n: int) -> float:
     """The Liu & Layland utilisation bound for ``n`` tasks."""
@@ -83,56 +198,565 @@ def liu_layland_bound(n: int) -> float:
     return n * (2.0 ** (1.0 / n) - 1.0)
 
 
-def utilisation_test(taskset: TaskSet) -> Dict[str, float]:
+@dataclass(frozen=True)
+class UtilisationResult:
+    """Outcome of the sufficient Liu–Layland test."""
+
+    tasks: int
+    utilisation: float
+    bound: float
+    passes: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tasks": self.tasks,
+            "utilisation": self.utilisation,
+            "bound": self.bound,
+            "passes": self.passes,
+        }
+
+
+def utilisation_test(taskset: TaskSet) -> UtilisationResult:
     """Sufficient test: schedulable if U <= bound(n)."""
     n = len(taskset.tasks)
-    bound = liu_layland_bound(n)
     u = taskset.utilisation
-    return {
-        "tasks": n,
-        "utilisation": u,
-        "bound": bound,
-        "passes": float(u <= bound),
-    }
+    return UtilisationResult(
+        tasks=n, utilisation=u, bound=liu_layland_bound(n),
+        passes=bool(u <= liu_layland_bound(n)),
+    )
+
+
+# ----------------------------------------------------------------------
+# blocking: priority-ceiling bound
+# ----------------------------------------------------------------------
+def blocking_terms(ordered: Sequence[Task]) -> Dict[str, float]:
+    """Per-task worst-case blocking under the priority-ceiling protocol.
+
+    A task can be blocked at most once, by the single longest critical
+    section of any *lower*-priority task locking a resource whose
+    ceiling (the highest priority among its users) is at or above the
+    task's own priority.  ``ordered`` must already be in priority order
+    (index 0 = highest).
+    """
+    rank = {task.name: index for index, task in enumerate(ordered)}
+    ceiling: Dict[str, int] = {}
+    for task in ordered:
+        for cs in task.critical_sections:
+            current = ceiling.get(cs.resource, len(ordered))
+            ceiling[cs.resource] = min(current, rank[task.name])
+    blocking: Dict[str, float] = {}
+    for index, task in enumerate(ordered):
+        worst = 0.0
+        for lower in ordered[index + 1:]:
+            for cs in lower.critical_sections:
+                if ceiling[cs.resource] <= index:
+                    worst = max(worst, cs.duration)
+        blocking[task.name] = worst
+    return blocking
+
+
+# ----------------------------------------------------------------------
+# exact RTA
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskResponse:
+    """One task's exact response-time analysis outcome."""
+
+    name: str
+    response_time: float
+    deadline: float
+    schedulable: bool
+    converged: bool
+    iterations: int
+    blocking: float
+    jitter: float
+    self_suspension: float
+    partition: str
+    #: higher-priority task -> total preemption time charged at the
+    #: fixed point (the per-task interference breakdown SCHED002 ships)
+    interference: Mapping[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "response_time": self.response_time,
+            "deadline": self.deadline,
+            "schedulable": self.schedulable,
+            "converged": self.converged,
+            "iterations": self.iterations,
+            "blocking": self.blocking,
+            "jitter": self.jitter,
+            "self_suspension": self.self_suspension,
+            "partition": self.partition,
+            "interference": dict(self.interference),
+        }
+
+
+@dataclass
+class RTAResult:
+    """Per-task responses of one analysis run, in priority order."""
+
+    responses: Tuple[TaskResponse, ...]
+    policy: str = "dm"
+
+    @property
+    def schedulable(self) -> bool:
+        """Every task converged and meets its deadline."""
+        return all(r.schedulable and r.converged for r in self.responses)
+
+    @property
+    def failing(self) -> List[TaskResponse]:
+        return [
+            r for r in self.responses
+            if not r.schedulable or not r.converged
+        ]
+
+    def __getitem__(self, name: str) -> TaskResponse:
+        for response in self.responses:
+            if response.name == name:
+                return response
+        raise KeyError(name)
+
+    def __iter__(self) -> Iterator[TaskResponse]:
+        return iter(self.responses)
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def items(self) -> List[Tuple[str, TaskResponse]]:
+        return [(r.name, r) for r in self.responses]
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        return {r.name: r.as_dict() for r in self.responses}
+
+
+def _analyse_partition(
+    ordered: Sequence[Task],
+    with_blocking: bool,
+    max_iterations: int,
+) -> List[TaskResponse]:
+    blocking = (
+        blocking_terms(ordered) if with_blocking
+        else {task.name: 0.0 for task in ordered}
+    )
+    out: List[TaskResponse] = []
+    for index, task in enumerate(ordered):
+        higher = ordered[:index]
+        base = (
+            task.wcet + blocking[task.name] + task.self_suspension
+        )
+        response = base
+        converged = False
+        iterations = 0
+        breakdown: Dict[str, float] = {}
+        for iterations in range(1, max_iterations + 1):
+            breakdown = {
+                other.name: _ceil_eps(
+                    (response + other.jitter) / other.period
+                ) * other.wcet
+                for other in higher
+            }
+            next_response = base + sum(breakdown.values())
+            if abs(next_response - response) <= FIXPOINT_EPS * max(
+                1.0, abs(next_response)
+            ):
+                response = next_response
+                converged = True
+                break
+            response = next_response
+            if response + task.jitter > task.effective_deadline:
+                # already past the deadline: the fixed point can only
+                # grow, so the verdict is settled
+                converged = True
+                break
+        out.append(TaskResponse(
+            name=task.name,
+            response_time=response,
+            deadline=task.effective_deadline,
+            schedulable=bool(
+                converged
+                and response + task.jitter <= task.effective_deadline
+            ),
+            converged=converged,
+            iterations=iterations,
+            blocking=blocking[task.name],
+            jitter=task.jitter,
+            self_suspension=task.self_suspension,
+            partition=task.partition,
+            interference=breakdown,
+        ))
+    return out
 
 
 def response_time_analysis(
-    taskset: TaskSet, max_iterations: int = 10_000
-) -> Dict[str, Dict[str, float]]:
-    """Exact RTA: fixed-point ``R = C + Σ ceil(R/T_j)·C_j`` over higher-
-    priority tasks.  Returns per-task response time and schedulability."""
-    import math
+    taskset: TaskSet,
+    max_iterations: int = 10_000,
+    with_blocking: bool = True,
+    policy: str = "dm",
+) -> RTAResult:
+    """Exact RTA per processor partition.
 
-    ordered = taskset.rate_monotonic_order()
-    results: Dict[str, Dict[str, float]] = {}
-    for index, task in enumerate(ordered):
-        higher = ordered[:index]
-        response = task.wcet
-        for __ in range(max_iterations):
-            interference = sum(
-                math.ceil(response / other.period) * other.wcet
-                for other in higher
+    The fixed point solved per task is::
+
+        R = C + B + S + sum over hp(i) of ceil((R + J_j) / T_j) * C_j
+
+    with ``B`` the priority-ceiling blocking bound, ``S`` the
+    (suspension-oblivious) self-suspension and ``J`` release jitter; the
+    task is schedulable iff ``R + J_i <= D_i``.  ``policy`` selects the
+    priority order: ``"dm"`` (deadline-monotonic, the default) or
+    ``"rm"`` (rate-monotonic); explicit :attr:`Task.priority` values
+    always win over either.
+    """
+    if policy not in ("dm", "rm"):
+        raise SchedulabilityError(
+            f"unknown priority policy {policy!r}; use 'dm' or 'rm'"
+        )
+    responses: List[TaskResponse] = []
+    for __, partition in taskset.partitions().items():
+        ordered = (
+            partition.deadline_monotonic_order() if policy == "dm"
+            else sorted(
+                partition.tasks,
+                key=lambda t: (
+                    t.priority if t.priority is not None else math.inf,
+                    t.period, t.name,
+                ),
             )
-            next_response = task.wcet + interference
-            if next_response == response:
-                break
-            response = next_response
-            if response > task.effective_deadline:
-                break
-        results[task.name] = {
-            "response_time": response,
-            "deadline": task.effective_deadline,
-            "schedulable": float(response <= task.effective_deadline),
-        }
-    return results
+        )
+        responses.extend(
+            _analyse_partition(ordered, with_blocking, max_iterations)
+        )
+    return RTAResult(responses=tuple(responses), policy=policy)
 
 
-def taskset_schedulable(taskset: TaskSet) -> bool:
+def taskset_schedulable(
+    taskset: TaskSet, with_blocking: bool = True
+) -> bool:
     """True iff every task meets its deadline under exact RTA."""
-    return all(
-        entry["schedulable"] == 1.0
-        for entry in response_time_analysis(taskset).values()
+    return response_time_analysis(
+        taskset, with_blocking=with_blocking
+    ).schedulable
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+@dataclass
+class PartitionResult:
+    """Outcome of first-fit partitioning onto N processors."""
+
+    #: task name -> assigned partition label
+    assignment: Dict[str, str]
+    #: the re-labelled task set (only placed tasks)
+    taskset: TaskSet
+    #: per-partition exact RTA of the placed tasks
+    analysis: Dict[str, RTAResult]
+    #: tasks no processor could accept
+    unassigned: Tuple[str, ...]
+
+    @property
+    def feasible(self) -> bool:
+        return not self.unassigned and all(
+            result.schedulable for result in self.analysis.values()
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "assignment": dict(self.assignment),
+            "feasible": self.feasible,
+            "unassigned": list(self.unassigned),
+            "analysis": {
+                label: result.as_dict()
+                for label, result in self.analysis.items()
+            },
+        }
+
+
+def first_fit_partition(
+    taskset: TaskSet,
+    processors: int,
+    with_blocking: bool = True,
+) -> PartitionResult:
+    """First-fit decreasing-utilisation partitioning onto N processors.
+
+    Tasks are offered to ``cpu0..cpuN-1`` in decreasing utilisation
+    order; a bin accepts a task when the bin's *exact RTA* (not just a
+    utilisation bound) stays schedulable with it included.  Critical
+    sections ride along, so blocking is re-evaluated inside each bin.
+    """
+    if processors < 1:
+        raise SchedulabilityError(
+            f"need at least one processor, got {processors}"
+        )
+    bins: Dict[str, List[Task]] = {
+        f"cpu{index}": [] for index in range(processors)
+    }
+    assignment: Dict[str, str] = {}
+    unassigned: List[str] = []
+    for task in sorted(
+        taskset.tasks, key=lambda t: (-t.utilisation, t.name)
+    ):
+        placed = False
+        for label, bin_tasks in bins.items():
+            candidate = TaskSet([
+                replace(existing, partition=label)
+                for existing in bin_tasks
+            ] + [replace(task, partition=label)])
+            if response_time_analysis(
+                candidate, with_blocking=with_blocking
+            ).schedulable:
+                bin_tasks.append(replace(task, partition=label))
+                assignment[task.name] = label
+                placed = True
+                break
+        if not placed:
+            unassigned.append(task.name)
+    placed_set = TaskSet([
+        task for bin_tasks in bins.values() for task in bin_tasks
+    ])
+    analysis = {
+        label: response_time_analysis(
+            TaskSet(list(bin_tasks)), with_blocking=with_blocking,
+        )
+        for label, bin_tasks in bins.items() if bin_tasks
+    }
+    return PartitionResult(
+        assignment=assignment,
+        taskset=placed_set,
+        analysis=analysis,
+        unassigned=tuple(unassigned),
     )
+
+
+# ----------------------------------------------------------------------
+# sensitivity
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SensitivityResult:
+    """How much headroom the task set has before infeasibility."""
+
+    #: largest uniform WCET scale that stays schedulable
+    wcet_scale_max: float
+    #: utilisation at that scale
+    utilisation_at_max: float
+    #: the unscaled utilisation
+    utilisation: float
+
+    @property
+    def headroom(self) -> float:
+        """Fraction of the current WCETs still growable (0 = critical)."""
+        return max(0.0, self.wcet_scale_max - 1.0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "wcet_scale_max": self.wcet_scale_max,
+            "utilisation_at_max": self.utilisation_at_max,
+            "utilisation": self.utilisation,
+            "headroom": self.headroom,
+        }
+
+
+def _scaled(taskset: TaskSet, scale: float) -> Optional[TaskSet]:
+    """The task set with every WCET (and critical section) scaled, or
+    ``None`` when the scale breaks a task invariant (WCET > deadline)."""
+    try:
+        return TaskSet([
+            replace(
+                task,
+                wcet=task.wcet * scale,
+                critical_sections=tuple(
+                    CriticalSection(cs.resource, cs.duration * scale)
+                    for cs in task.critical_sections
+                ),
+            )
+            for task in taskset.tasks
+        ])
+    except SchedulabilityError:
+        return None
+
+
+def sensitivity(
+    taskset: TaskSet,
+    with_blocking: bool = True,
+    iterations: int = 48,
+) -> SensitivityResult:
+    """Binary search the maximum sustainable uniform WCET scale.
+
+    Schedulability is monotone in a uniform WCET scale (every term of
+    the RTA recurrence grows with it), so bisection between the last
+    known-good and first known-bad scale converges to the critical
+    scaling factor — the classic sensitivity-analysis headroom number.
+    """
+    if not taskset.tasks:
+        raise SchedulabilityError("sensitivity of an empty task set")
+
+    def feasible(scale: float) -> bool:
+        scaled = _scaled(taskset, scale)
+        return scaled is not None and response_time_analysis(
+            scaled, with_blocking=with_blocking
+        ).schedulable
+
+    if not feasible(1.0):
+        # find how far it must *shrink* instead
+        lo, hi = 0.0, 1.0
+    else:
+        lo, hi = 1.0, 2.0
+        while feasible(hi) and hi < 2.0 ** 40:
+            lo, hi = hi, hi * 2.0
+    for __ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return SensitivityResult(
+        wcet_scale_max=lo,
+        utilisation_at_max=taskset.utilisation * lo,
+        utilisation=taskset.utilisation,
+    )
+
+
+def min_feasible_sync_interval(
+    model: "HybridModel",
+    lo: float = 1e-6,
+    hi: float = 10.0,
+    iterations: int = 48,
+    with_blocking: bool = True,
+    **taskset_kwargs: object,
+) -> Optional[float]:
+    """Smallest sync interval whose derived task set stays schedulable.
+
+    Bisects on the interval fed to :func:`taskset_from_model`.  Returns
+    ``None`` when even ``hi`` is infeasible (the model cannot be saved
+    by slowing down); returns ``lo`` when the whole range is feasible.
+    """
+
+    def feasible(interval: float) -> bool:
+        try:
+            derived = taskset_from_model(
+                model, interval, **taskset_kwargs
+            )
+        except SchedulabilityError:
+            return False
+        if not derived.tasks:
+            return True
+        return response_time_analysis(
+            derived, with_blocking=with_blocking
+        ).schedulable
+
+    if not feasible(hi):
+        return None
+    if feasible(lo):
+        return lo
+    good, bad = hi, lo
+    for __ in range(iterations):
+        mid = math.sqrt(good * bad)  # bisect in log space
+        if feasible(mid):
+            good = mid
+        else:
+            bad = mid
+    return good
+
+
+# ----------------------------------------------------------------------
+# model derivation
+# ----------------------------------------------------------------------
+#: streamer infrastructure attributes; everything else in ``vars(leaf)``
+#: is model payload and participates in the shared-state scan (the same
+#: convention THR002 uses)
+INFRA_ATTRS = frozenset(
+    ("name", "parent", "dports", "sports", "subs", "relays", "flows",
+     "thread")
+)
+
+
+def _mutable_types() -> tuple:
+    import numpy as np
+
+    return (dict, list, set, bytearray, np.ndarray)
+
+
+@dataclass(frozen=True)
+class SharedStateFact:
+    """One mutable object reachable from leaves on several threads."""
+
+    #: stable resource label, e.g. ``"shared:dict:plant.params"``
+    resource: str
+    #: ``"leaf.attr"`` sites holding the object
+    sites: Tuple[str, ...]
+    #: thread names touching it (>= 2 by construction)
+    threads: Tuple[str, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "resource": self.resource,
+            "sites": list(self.sites),
+            "threads": list(self.threads),
+        }
+
+
+def shared_state_sharers(
+    leaves: Iterable["Streamer"],
+    thread_name: Mapping[int, str],
+) -> List[SharedStateFact]:
+    """The THR002 fact table: mutable objects shared across threads.
+
+    Scans every leaf's payload attributes for the *same* mutable Python
+    object (dict, list, set, bytearray, ndarray) reachable from leaves
+    on different threads — an unsynchronised back door around Channels
+    that both the race lint (THR002) and the blocking bound (each such
+    object is a lock in any real implementation) consume.
+    """
+    mutable = _mutable_types()
+    holders: Dict[int, List[Tuple["Streamer", str, object]]] = {}
+    for leaf in leaves:
+        for attr, value in vars(leaf).items():
+            if attr.startswith("_") or attr in INFRA_ATTRS:
+                continue
+            if not isinstance(value, mutable):
+                continue
+            if isinstance(value, (dict, list, set)) and not value:
+                continue  # distinct empties carry no shared state
+            holders.setdefault(id(value), []).append((leaf, attr, value))
+
+    facts: List[SharedStateFact] = []
+    for sharers in holders.values():
+        if len(sharers) < 2:
+            continue
+        threads = {
+            thread_name.get(id(leaf), "") for leaf, __, __v in sharers
+        }
+        threads.discard("")
+        if len(threads) < 2:
+            continue
+        first_leaf, first_attr, value = sharers[0]
+        facts.append(SharedStateFact(
+            resource=(
+                f"shared:{type(value).__name__}:"
+                f"{first_leaf.path()}.{first_attr}"
+            ),
+            sites=tuple(
+                f"{leaf.path()}.{attr}" for leaf, attr, __ in sharers
+            ),
+            threads=tuple(sorted(threads)),
+        ))
+    return facts
+
+
+def shared_state_facts(model: "HybridModel") -> List[SharedStateFact]:
+    """Shared-state facts for a whole model (leaves + thread map)."""
+    thread_name: Dict[int, str] = {}
+    leaves: List["Streamer"] = []
+    for thread in model.threads:
+        for top in thread.streamers:
+            for leaf in top.leaves():
+                thread_name[id(leaf)] = thread.name
+                leaves.append(leaf)
+    return shared_state_sharers(leaves, thread_name)
+
+
+#: per-leaf per-minor-step cost estimate used when no measurement is
+#: supplied (10µs per leaf evaluation, the historic heuristic)
+LEAF_STEP_COST = 1e-5
 
 
 def taskset_from_model(
@@ -141,30 +765,96 @@ def taskset_from_model(
     streamer_wcet: Optional[Dict[str, float]] = None,
     controller_wcet: float = 1e-4,
     controller_period: Optional[float] = None,
+    controller_jitter: float = 0.0,
+    include_shared_state: bool = True,
+    granularity: str = "sync",
 ) -> TaskSet:
-    """Derive a rate-monotonic task set from a hybrid model.
+    """Derive a fixed-priority task set from a hybrid model.
 
-    Each streamer thread becomes a periodic task with period equal to the
-    sync interval and WCET either measured (``streamer_wcet[thread
-    name]``) or estimated as ``minor steps per slice × 10µs`` per leaf.
-    Each controller becomes a task at ``controller_period`` (default: the
-    sync interval) with ``controller_wcet``.
+    Two mappings, selected by ``granularity``:
+
+    * ``"sync"`` (default) — one task per streamer thread with period
+      equal to the sync interval and WCET covering the whole slice
+      (measured via ``streamer_wcet[thread name]`` or estimated as
+      ``minor steps per slice × 10µs`` per leaf).  Priorities mirror
+      the cooperative scheduler's execution order (threads in
+      declaration order, then controllers), so the static model and
+      the runtime agree on who preempts whom.  This is the "does every
+      slice fit before the sync point" question SCHED001 asks.
+    * ``"minor"`` — one task per thread with period equal to the
+      thread's *minor step* ``h`` and WCET of one minor step (``10µs``
+      per leaf).  This is the preemptive-RTOS mapping: multirate
+      threads genuinely have different periods, priorities are
+      deadline-monotonic, and priority-ceiling blocking through shared
+      state can break deadlines a blocking-oblivious analysis accepts
+      (the SCHED002 question).
+
+    Each capsule controller becomes a task at ``controller_period``
+    (default: the sync interval) with ``controller_wcet`` and
+    ``controller_jitter`` release jitter (message-dispatch latency).
+
+    With ``include_shared_state`` (the default), every mutable object
+    shared across threads (:func:`shared_state_facts`) becomes a
+    resource whose critical section on each sharing thread is that
+    thread's cost share of the holding leaves — the conservative "the
+    whole access is inside the lock" bound feeding the priority-ceiling
+    blocking term.
     """
+    if sync_interval <= 0:
+        raise SchedulabilityError(
+            f"non-positive sync interval: {sync_interval}"
+        )
+    if granularity not in ("sync", "minor"):
+        raise SchedulabilityError(
+            f"unknown granularity {granularity!r}; use 'sync' or 'minor'"
+        )
+    facts = shared_state_facts(model) if include_shared_state else []
+    #: thread name -> [(resource, duration)] from the shared-state scan
+    sections: Dict[str, List[CriticalSection]] = {}
     taskset = TaskSet()
+    priority = 0
     for thread in model.threads:
         if not thread.streamers and not thread.leaves:
             continue
+        leaves = thread.leaves or [
+            leaf for top in thread.streamers for leaf in top.leaves()
+        ]
+        if granularity == "minor":
+            period = thread.h
+            steps_per_period = 1
+        else:
+            period = sync_interval
+            steps_per_period = max(
+                1, int(round(sync_interval / thread.h))
+            )
         if streamer_wcet and thread.name in streamer_wcet:
             wcet = streamer_wcet[thread.name]
         else:
-            leaves = thread.leaves or [
-                leaf for top in thread.streamers for leaf in top.leaves()
-            ]
-            minor_steps = max(1, int(round(sync_interval / thread.h)))
-            wcet = max(1e-9, minor_steps * len(leaves) * 1e-5)
+            wcet = max(
+                1e-9, steps_per_period * len(leaves) * LEAF_STEP_COST
+            )
+        per_leaf = wcet / max(1, len(leaves))
+        leaf_paths = {leaf.path() for leaf in leaves}
+        for fact in facts:
+            if thread.name not in fact.threads:
+                continue
+            held = sum(
+                1 for site in fact.sites
+                if site.rsplit(".", 1)[0] in leaf_paths
+            )
+            if held:
+                sections.setdefault(thread.name, []).append(
+                    CriticalSection(fact.resource, per_leaf * held)
+                )
         taskset.add(Task(
-            f"streamer:{thread.name}", wcet=wcet, period=sync_interval
+            f"streamer:{thread.name}", wcet=wcet, period=period,
+            # execution-order priorities in sync mode (the cooperative
+            # runtime's truth); deadline-monotonic in minor mode (the
+            # preemptive mapping's optimal assignment)
+            priority=priority if granularity == "sync" else None,
+            critical_sections=tuple(sections.get(thread.name, ())),
         ))
+        priority += 1
     period = controller_period or sync_interval
     for controller in model.rts.controllers:
         if not controller.capsules:
@@ -173,5 +863,70 @@ def taskset_from_model(
             f"controller:{controller.name}",
             wcet=controller_wcet,
             period=period,
+            jitter=controller_jitter,
+            priority=priority if granularity == "sync" else None,
         ))
+        priority += 1
     return taskset
+
+
+# ----------------------------------------------------------------------
+# the full report (``--explain-sched``)
+# ----------------------------------------------------------------------
+def sched_report(
+    model: "HybridModel",
+    sync_interval: float,
+    streamer_wcet: Optional[Dict[str, float]] = None,
+    with_blocking: bool = True,
+) -> Dict[str, object]:
+    """Everything the engine knows about one model, JSON-shaped.
+
+    The ``--explain-sched`` CLI surface: the derived task set, the
+    utilisation test, exact RTA with and without blocking (so priority
+    inversion shows up as the delta), the shared-state facts, and both
+    sensitivity numbers (max WCET scale, min feasible sync interval).
+    """
+    taskset = taskset_from_model(
+        model, sync_interval, streamer_wcet=streamer_wcet,
+    )
+    report: Dict[str, object] = {
+        "model": model.name,
+        "sync_interval": sync_interval,
+        "tasks": [task.as_dict() for task in taskset.tasks],
+        "shared_state": [
+            fact.as_dict() for fact in shared_state_facts(model)
+        ],
+    }
+    if not taskset.tasks:
+        report["empty"] = True
+        return report
+    report["utilisation"] = utilisation_test(taskset).as_dict()
+    rta = response_time_analysis(taskset, with_blocking=with_blocking)
+    report["rta"] = rta.as_dict()
+    report["schedulable"] = rta.schedulable
+    # the minor-step (preemptive) mapping, with and without blocking:
+    # the delta is the priority-inversion cost of shared state
+    try:
+        minor = taskset_from_model(
+            model, sync_interval, granularity="minor",
+        )
+    except SchedulabilityError as exc:
+        report["rta_minor_error"] = str(exc)
+    else:
+        blocked = response_time_analysis(minor, with_blocking=True)
+        plain = response_time_analysis(minor, with_blocking=False)
+        report["rta_minor"] = blocked.as_dict()
+        report["rta_minor_no_blocking"] = plain.as_dict()
+        report["blocking_only_failure"] = bool(
+            plain.schedulable and not blocked.schedulable
+        )
+    report["sensitivity"] = sensitivity(
+        taskset, with_blocking=with_blocking
+    ).as_dict()
+    min_sync = min_feasible_sync_interval(
+        model, with_blocking=with_blocking, streamer_wcet=streamer_wcet,
+    )
+    report["min_feasible_sync_interval"] = min_sync
+    if min_sync is not None and sync_interval > 0:
+        report["sync_headroom"] = (sync_interval - min_sync) / sync_interval
+    return report

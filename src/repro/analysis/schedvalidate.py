@@ -1,0 +1,256 @@
+"""Empirical validation of the static schedulability bounds.
+
+The RTA engine (:mod:`repro.analysis.schedulability`) claims its
+response-time bound dominates anything the cooperative
+:class:`~repro.core.hybrid.HybridScheduler` actually does.  This module
+checks that claim on a live run:
+
+* :class:`SchedulerProbe` instruments a scheduler before it is run —
+  each thread's ``integrate_slice`` and the scheduler's discrete phase
+  are wrapped with ``perf_counter`` timing, and the ``on_major_step``
+  hook closes one :class:`StepRecord` per sync slice (chaining any
+  observer already installed);
+* :func:`validate_schedulability` runs an instrumented model, derives a
+  task set whose WCETs are the *observed maxima* (times a safety
+  ``headroom``), runs blocking-aware RTA on it, and compares each task's
+  static bound against its observed worst-case response.
+
+Why dominance is guaranteed (and hence worth asserting): the cooperative
+scheduler executes threads sequentially in declaration order inside each
+slice, and :func:`~repro.analysis.schedulability.taskset_from_model`
+assigns static priorities in that same order.  The observed response of
+the *k*-th task in a slice is the sum of that slice's actual costs up
+through *k*; the RTA fixed point charges every higher-priority task at
+least one full WCET (= the max observed cost), so the bound is a
+sum of per-task maxima — and a max-of-sums never exceeds the
+sum-of-maxes.  A violated assertion therefore means the engine's
+priority model has diverged from the runtime, which is exactly the
+regression this harness exists to catch.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.analysis.schedulability import (
+    RTAResult, TaskSet, response_time_analysis, taskset_from_model,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.hybrid import HybridScheduler
+    from repro.core.model import HybridModel
+
+
+@dataclass
+class StepRecord:
+    """Measured costs of one major step (one sync slice)."""
+
+    #: per-thread continuous slice cost, in execution order
+    thread_costs: Dict[str, float] = field(default_factory=dict)
+    #: discrete phase (controller dispatch) cost
+    discrete_cost: float = 0.0
+
+    @property
+    def continuous_total(self) -> float:
+        return sum(self.thread_costs.values())
+
+
+class SchedulerProbe:
+    """Wall-clock instrumentation of a hybrid scheduler.
+
+    Attach *before* :meth:`HybridScheduler.run`; read :attr:`steps`
+    after.  The probe is observer-only — it changes no scheduling
+    decision, only wraps the existing calls with timers.
+    """
+
+    def __init__(self, scheduler: "HybridScheduler") -> None:
+        self.scheduler = scheduler
+        self.steps: List[StepRecord] = []
+        self._current = StepRecord()
+        self._attached = False
+
+    def attach(self) -> "SchedulerProbe":
+        if self._attached:
+            return self
+        self._attached = True
+        for thread in self.scheduler.model.threads:
+            self._wrap_thread(thread)
+
+        scheduler = self.scheduler
+        inner_discrete = scheduler._discrete_phase
+
+        def timed_discrete(t: float) -> None:
+            start = _time.perf_counter()
+            inner_discrete(t)
+            self._current.discrete_cost += _time.perf_counter() - start
+
+        scheduler._discrete_phase = timed_discrete  # type: ignore
+
+        previous: Optional[Callable[[float], None]] = \
+            scheduler.on_major_step
+
+        def close_step(t: float) -> None:
+            self.steps.append(self._current)
+            self._current = StepRecord()
+            if previous is not None:
+                previous(t)
+
+        scheduler.on_major_step = close_step
+        return self
+
+    def _wrap_thread(self, thread) -> None:
+        inner = thread.integrate_slice
+
+        def timed_slice(state, t0, t1):
+            start = _time.perf_counter()
+            result = inner(state, t0, t1)
+            elapsed = _time.perf_counter() - start
+            costs = self._current.thread_costs
+            costs[thread.name] = costs.get(thread.name, 0.0) + elapsed
+            return result
+
+        thread.integrate_slice = timed_slice  # type: ignore
+
+    # ------------------------------------------------------------------
+    # observed response times
+    # ------------------------------------------------------------------
+    def observed_responses(self) -> Dict[str, float]:
+        """Worst observed response per task, keyed like the task set.
+
+        Inside a slice the cooperative scheduler runs threads in
+        declaration order, then the discrete phase; a task's response
+        relative to the sync point is therefore the cumulative cost up
+        to and including its own slot.
+        """
+        # only threads that own streamers become tasks; empty threads
+        # (e.g. an unused default thread) are unmodeled no-ops
+        order = [
+            t.name for t in self.scheduler.model.threads
+            if t.streamers or t.leaves
+        ]
+        worst: Dict[str, float] = {}
+        for record in self.steps:
+            cumulative = 0.0
+            for name in order:
+                cost = record.thread_costs.get(name)
+                if cost is None:
+                    continue
+                cumulative += cost
+                key = f"streamer:{name}"
+                worst[key] = max(worst.get(key, 0.0), cumulative)
+            total = sum(
+                record.thread_costs.get(name, 0.0) for name in order
+            ) + record.discrete_cost
+            for controller in self.scheduler.model.rts.controllers:
+                if not controller.capsules:
+                    continue
+                key = f"controller:{controller.name}"
+                worst[key] = max(worst.get(key, 0.0), total)
+        return worst
+
+    def max_thread_costs(self) -> Dict[str, float]:
+        """Per-thread maximum observed slice cost (the empirical WCET)."""
+        worst: Dict[str, float] = {}
+        for record in self.steps:
+            for name, cost in record.thread_costs.items():
+                worst[name] = max(worst.get(name, 0.0), cost)
+        return worst
+
+    def max_discrete_cost(self) -> float:
+        return max(
+            (record.discrete_cost for record in self.steps), default=0.0
+        )
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one static-vs-traced comparison."""
+
+    model: str
+    sync_interval: float
+    steps: int
+    taskset: TaskSet
+    rta: RTAResult
+    #: task name -> worst observed response (wall seconds)
+    observed: Dict[str, float]
+    #: task name -> static response-time bound
+    bound: Dict[str, float]
+
+    @property
+    def dominates(self) -> bool:
+        """True iff the static bound covers every observed response."""
+        return all(
+            self.bound.get(name, 0.0) >= observed
+            for name, observed in self.observed.items()
+        )
+
+    @property
+    def margins(self) -> Dict[str, float]:
+        """Per-task slack ``bound - observed`` (negative = violated)."""
+        return {
+            name: self.bound.get(name, 0.0) - observed
+            for name, observed in self.observed.items()
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "sync_interval": self.sync_interval,
+            "steps": self.steps,
+            "dominates": self.dominates,
+            "observed": dict(self.observed),
+            "bound": dict(self.bound),
+            "margins": self.margins,
+            "rta": self.rta.as_dict(),
+            "tasks": [task.as_dict() for task in self.taskset.tasks],
+        }
+
+
+def validate_schedulability(
+    model_factory: Callable[[], "HybridModel"],
+    t_end: float = 0.2,
+    sync_interval: float = 0.01,
+    headroom: float = 1.0,
+    **scheduler_kwargs: object,
+) -> ValidationReport:
+    """Run an instrumented model and compare static bound vs trace.
+
+    ``headroom`` scales the measured WCETs before they enter the static
+    model (1.0 = the observed maxima themselves; dominance holds at any
+    ``headroom >= 1.0`` by the sum-of-maxes argument above).
+    """
+    model = model_factory()
+    scheduler = model.scheduler(
+        sync_interval=sync_interval, **scheduler_kwargs
+    )
+    probe = SchedulerProbe(scheduler).attach()
+    model.run(until=t_end, sync_interval=sync_interval)
+
+    measured = probe.max_thread_costs()
+    streamer_wcet = {
+        name: max(cost * headroom, 1e-12)
+        for name, cost in measured.items() if cost > 0.0
+    }
+    controller_wcet = max(
+        probe.max_discrete_cost() * headroom, 1e-12
+    )
+    taskset = taskset_from_model(
+        model, sync_interval,
+        streamer_wcet=streamer_wcet,
+        controller_wcet=controller_wcet,
+    )
+    rta = response_time_analysis(taskset)
+    bound = {
+        response.name: response.response_time for response in rta
+    }
+    return ValidationReport(
+        model=model.name,
+        sync_interval=sync_interval,
+        steps=len(probe.steps),
+        taskset=taskset,
+        rta=rta,
+        observed=probe.observed_responses(),
+        bound=bound,
+    )

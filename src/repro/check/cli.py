@@ -169,6 +169,64 @@ def _opt_report(target: Any, level: int):
         return None  # --explain is advisory; never fail the lint over it
 
 
+def _sched_report(target: Any, config: CheckConfig):
+    """Full schedulability report for ``--explain-sched``; ``None`` for
+    targets that are not hybrid models (plans, statemachines) or whose
+    analysis fails — the flag is advisory, never fatal."""
+    from repro.core.model import HybridModel
+
+    if not isinstance(target, HybridModel):
+        return None
+    from repro.analysis.schedulability import sched_report
+
+    try:
+        return sched_report(target, config.sync_interval)
+    except Exception as exc:
+        return {"error": f"{type(exc).__name__}: {exc}"}
+
+
+def _print_sched(label: str, report: dict) -> None:
+    if "error" in report:
+        print(f"  sched: analysis failed ({report['error']})")
+        return
+    if report.get("empty"):
+        print("  sched: no derivable task set (empty model)")
+        return
+    verdict = "schedulable" if report["schedulable"] else "INFEASIBLE"
+    utilisation = report["utilisation"]["utilisation"]
+    print(
+        f"  sched: {verdict} at sync {report['sync_interval']:g}s "
+        f"(utilisation {utilisation:.3f}, "
+        f"{len(report['tasks'])} task(s))"
+    )
+    for name, entry in sorted(report["rta"].items()):
+        flag = "ok" if entry["schedulable"] else "MISS"
+        print(
+            f"    {name:<28} R={entry['response_time']:.3e} "
+            f"D={entry['deadline']:.3e} B={entry['blocking']:.3e} "
+            f"[{flag}]"
+        )
+    minimum = report.get("min_feasible_sync_interval")
+    if minimum is not None:
+        print(
+            f"    min feasible sync interval {minimum:.3g}s "
+            f"(headroom {report['sync_headroom'] * 100.0:.0f}%)"
+        )
+    sens = report.get("sensitivity") or {}
+    scale = sens.get("wcet_scale_max")
+    if scale is not None:
+        print(f"    WCET scaling margin ×{scale:.3g} before infeasibility")
+    if report.get("blocking_only_failure"):
+        print(
+            "    minor-step mapping: blocking ALONE breaks the set "
+            "(plain RTA passes)"
+        )
+    if report.get("shared_state"):
+        for fact in report["shared_state"]:
+            threads = ", ".join(fact["threads"])
+            print(f"    shared {fact['resource']} across: {threads}")
+
+
 def _opt_note(diagnostic: Diagnostic, report) -> Optional[str]:
     """What the optimizer would do about one finding, if anything."""
     if report is None:
@@ -252,6 +310,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "print its rewrite report per target",
     )
     parser.add_argument(
+        "--explain-sched", action="store_true", dest="explain_sched",
+        help="print the full schedulability report per hybrid-model "
+             "target (derived task set, exact RTA with blocking, "
+             "sensitivity) and embed it in the JSON report",
+    )
+    parser.add_argument(
         "--opt-level", type=int, default=1, dest="opt_level",
         help="optimizer level --explain simulates (default: 1)",
     )
@@ -303,6 +367,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             entry["builder"] = builder
             if opt_report is not None:
                 entry["opt"] = opt_report.as_dict()
+            sched = (
+                _sched_report(target, config) if args.explain_sched
+                else None
+            )
+            if sched is not None:
+                entry["sched"] = sched
             report["targets"].append(entry)
             totals["errors"] += len(result.errors)
             totals["warnings"] += len(result.warnings)
@@ -311,6 +381,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 failed = True
             if args.format == "text":
                 _print_text(path, builder, result, args, opt_report)
+                if sched is not None and not args.quiet:
+                    _print_sched(f"{path}:{builder}", sched)
     report["summary"] = dict(totals, targets=len(report["targets"]))
 
     if args.format == "json":

@@ -105,10 +105,17 @@ class RuleRegistry:
         return len(self._rules)
 
     def active(self, config: "CheckConfig") -> List[Rule]:
-        """The rules this config enables, in registration order."""
+        """The rules this config enables, in registration order.
+
+        A ``select`` entry matches either the exact code or a code
+        prefix, so ``--select SCHED`` enables the whole sched family.
+        """
         out: List[Rule] = []
         for rule in self._rules.values():
-            if config.select is not None and rule.code not in config.select:
+            if config.select is not None and not any(
+                rule.code == sel or rule.code.startswith(sel)
+                for sel in config.select
+            ):
                 continue
             if rule.code in config.disable:
                 continue
@@ -142,6 +149,9 @@ class CheckConfig:
     suppress: Set[str] = field(default_factory=set)
     #: sync interval assumed by the deadline-feasibility lint (SCHED001)
     sync_interval: float = 0.01
+    #: SCHED004 warns when the sync interval's headroom over the minimum
+    #: feasible interval falls below this fraction
+    sched_sensitivity_margin: float = 0.2
     #: smallest constant-foldable subgraph worth reporting (STR004)
     min_fold_size: int = 2
     #: emit the legacy W12 network diagnostic alongside STR001 (the

@@ -1,13 +1,27 @@
-"""Deadline-feasibility lint over :mod:`repro.analysis.schedulability`.
+"""Schedulability lints over :mod:`repro.analysis.schedulability`.
 
 "During implementation, capsules and streamers are assigned to different
-threads" (paper §2) — so a model carries an implied rate-monotonic task
+threads" (paper §2) — so a model carries an implied fixed-priority task
 set: one periodic task per streamer thread (period = sync interval) and
-one per capsule controller.  **SCHED001** derives that task set with
-:func:`~repro.analysis.schedulability.taskset_from_model` and flags
-configurations that are statically infeasible: utilisation above 1 (or a
-WCET exceeding its own deadline) is an error — no scheduler can save it
-— while tasks failing exact response-time analysis are a warning.
+one per capsule controller.  Four rules interrogate it:
+
+* **SCHED001** — statically infeasible rates/deadlines: utilisation
+  above 1 (or a WCET exceeding its own deadline) is an error — no
+  scheduler can save it — while tasks failing plain exact response-time
+  analysis are a warning.
+* **SCHED002** — blocking-aware RTA failure: with priority-ceiling
+  blocking terms derived from the THR002 shared-state facts the set no
+  longer meets its deadlines.  The emit carries the per-task
+  interference breakdown in ``details`` and flags sets that plain RTA
+  (no blocking) would have accepted.
+* **SCHED003** — priority-inversion hazard: a slower thread (larger
+  minor step) holds mutable state shared with a faster one, so the fast
+  thread's response time is hostage to the slow thread's critical
+  section.
+* **SCHED004** — sensitivity: the configured sync interval sits within
+  :attr:`~repro.check.registry.CheckConfig.sched_sensitivity_margin`
+  of the minimum feasible interval — feasible today, but with no
+  headroom for WCET growth.
 
 The assumed sync interval comes from :attr:`~repro.check.registry.
 CheckConfig.sync_interval` (CLI ``--sync-interval``), since a model does
@@ -63,11 +77,8 @@ def check_deadline_feasibility(ctx: CheckContext) -> None:
             },
         )
         return
-    analysis = response_time_analysis(taskset)
-    failing = sorted(
-        name for name, entry in analysis.items()
-        if entry["schedulable"] != 1.0
-    )
+    analysis = response_time_analysis(taskset, with_blocking=False)
+    failing = sorted(r.name for r in analysis.failing)
     if failing:
         ctx.emit(
             ctx.subject,
@@ -80,3 +91,143 @@ def check_deadline_feasibility(ctx: CheckContext) -> None:
                 "sync_interval": sync_interval,
             },
         )
+
+
+@rule("SCHED002", "blocking-aware response-time failure", "sched",
+      "warning",
+      "priority-ceiling blocking from shared mutable state (THR002 "
+      "facts) can break deadlines a blocking-oblivious analysis "
+      "accepts")
+def check_blocking_aware_rta(ctx: CheckContext) -> None:
+    if ctx.model is None:
+        return
+    from repro.analysis.schedulability import (
+        SchedulabilityError, response_time_analysis, taskset_from_model,
+    )
+
+    sync_interval = ctx.config.sync_interval
+    try:
+        # the minor-step (preemptive RTOS) mapping: multirate threads
+        # get genuinely different periods, which is where priority-
+        # ceiling blocking can break deadlines plain RTA accepts
+        taskset = taskset_from_model(
+            ctx.model, sync_interval, granularity="minor",
+        )
+    except SchedulabilityError:
+        return  # SCHED001 owns the infeasible-task-set diagnostic
+    if not taskset.tasks or taskset.utilisation > 1.0:
+        return
+    blocked = response_time_analysis(taskset, with_blocking=True)
+    if blocked.schedulable:
+        return
+    plain = response_time_analysis(taskset, with_blocking=False)
+    failing = sorted(r.name for r in blocked.failing)
+    breakdown = {
+        r.name: {
+            "response_time": r.response_time,
+            "deadline": r.deadline,
+            "blocking": r.blocking,
+            "converged": r.converged,
+            "interference": dict(r.interference),
+        }
+        for r in blocked.failing
+    }
+    blocking_only = bool(plain.schedulable)
+    qualifier = (
+        "blocking alone breaks the set (plain RTA passes)"
+        if blocking_only else "the set also fails without blocking"
+    )
+    ctx.emit(
+        ctx.subject,
+        f"blocking-aware response-time analysis fails for "
+        f"{', '.join(failing)} at sync interval {sync_interval:g}s; "
+        f"{qualifier}",
+        details={
+            "failing": failing,
+            "blocking_only": blocking_only,
+            "sync_interval": sync_interval,
+            "tasks": breakdown,
+        },
+    )
+
+
+@rule("SCHED003", "priority-inversion hazard via shared state", "sched",
+      "warning",
+      "a slower thread holding state shared with a faster one inverts "
+      "priorities: the fast thread's response time is bounded by the "
+      "slow thread's critical section")
+def check_priority_inversion(ctx: CheckContext) -> None:
+    if ctx.model is None:
+        return
+    from repro.analysis.schedulability import shared_state_facts
+
+    threads_by_name = {t.name: t for t in ctx.model.threads}
+    for fact in shared_state_facts(ctx.model):
+        sharers = [
+            threads_by_name[name] for name in fact.threads
+            if name in threads_by_name
+        ]
+        if len(sharers) < 2:
+            continue
+        fastest = min(sharers, key=lambda t: t.h)
+        slowest = max(sharers, key=lambda t: t.h)
+        if slowest.h <= fastest.h:
+            continue  # same rate: no inversion direction
+        ctx.emit(
+            fact.sites[0],
+            f"thread {slowest.name!r} (h={slowest.h:g}) shares "
+            f"{fact.resource} with faster thread {fastest.name!r} "
+            f"(h={fastest.h:g}); the slow thread's critical section "
+            "can block the fast one (priority inversion)",
+            details={
+                "resource": fact.resource,
+                "sites": list(fact.sites),
+                "threads": list(fact.threads),
+                "slow_thread": slowest.name,
+                "fast_thread": fastest.name,
+            },
+        )
+
+
+@rule("SCHED004", "sync interval near infeasibility", "sched",
+      "warning",
+      "sensitivity analysis: a sync interval within the configured "
+      "margin of the minimum feasible one leaves no headroom for WCET "
+      "growth")
+def check_sync_sensitivity(ctx: CheckContext) -> None:
+    if ctx.model is None:
+        return
+    from repro.analysis.schedulability import (
+        SchedulabilityError, min_feasible_sync_interval,
+        taskset_from_model,
+    )
+
+    sync_interval = ctx.config.sync_interval
+    margin = ctx.config.sched_sensitivity_margin
+    try:
+        taskset = taskset_from_model(ctx.model, sync_interval)
+    except SchedulabilityError:
+        return  # SCHED001 owns the infeasible diagnostic
+    if not taskset.tasks:
+        return
+    min_sync = min_feasible_sync_interval(
+        ctx.model, hi=max(10.0, sync_interval)
+    )
+    if min_sync is None or min_sync > sync_interval:
+        return  # infeasible outright: SCHED001/002 report that
+    headroom = (sync_interval - min_sync) / sync_interval
+    if headroom >= margin:
+        return
+    ctx.emit(
+        ctx.subject,
+        f"sync interval {sync_interval:g}s is within "
+        f"{headroom * 100.0:.0f}% of the minimum feasible interval "
+        f"{min_sync:.3g}s (margin {margin * 100.0:.0f}%); WCET growth "
+        "will break the schedule",
+        details={
+            "sync_interval": sync_interval,
+            "min_feasible_sync_interval": min_sync,
+            "headroom": headroom,
+            "margin": margin,
+        },
+    )

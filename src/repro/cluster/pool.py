@@ -55,6 +55,7 @@ from repro.cluster.worker import (
     JobEnvelope, result_from_wire, worker_main,
 )
 from repro.core.channel import Channel, ChannelPolicy
+from repro.service.admission import CostModel, DeadlineAdmission
 from repro.service.jobs import (
     JobCancelledError, JobError, JobState, JobTimeoutError,
 )
@@ -208,7 +209,13 @@ class WorkerPool:
         self._envelopes: Dict[str, JobEnvelope] = {}
         self._job_seq = itertools.count(1)
         self._epoch_seq = itertools.count(1)
-        self._ema_wall: Optional[float] = None
+        # the shared deadline-admission predicate (same code path the
+        # in-process JobEngine uses), calibrated per job kind from every
+        # worker DONE report
+        self.admission = DeadlineAdmission(
+            CostModel(alpha=self.config.ema_alpha),
+            margin=self.config.admission_margin,
+        )
         self._stop = threading.Event()
         self.steals = 0
         self.migrations_total = 0
@@ -279,7 +286,7 @@ class WorkerPool:
             raise ClusterError("pool is shut down")
         request.validate()
         with self._lock:
-            self._admit(request)
+            decision = self._admit(request)
             job_id = f"cj-{next(self._job_seq):06d}"
             handle = ClusterJobHandle(
                 job_id, request, self.config.channel_capacity,
@@ -293,11 +300,25 @@ class WorkerPool:
             self._envelopes[job_id] = envelope
             self._enqueue(envelope)
             self.metrics.counter("cluster.submitted").inc()
+            # coordinator-side admission event (seq -1, like MIGRATED)
+            # so the decision is visible on the HTTP telemetry stream
+            handle.channel.push(TelemetryEvent(
+                kind=telemetry.ADMISSION, job_id=job_id, seq=-1,
+                t=float("nan"), payload=decision.as_payload(),
+            ))
             self._feed_hungry()
         return handle
 
-    def _admit(self, request: ClusterJobRequest) -> None:
-        """Queue-shedding gates; caller holds the lock."""
+    @property
+    def _ema_wall(self) -> Optional[float]:
+        """The global wall-time EMA (kept for status()/tests; the
+        admission predicate itself is now per-kind with this as the
+        fallback)."""
+        return self.admission.cost_model.snapshot()["*"]
+
+    def _admit(self, request: ClusterJobRequest):
+        """Queue-shedding gates; caller holds the lock.  Returns the
+        :class:`~repro.service.admission.AdmissionDecision`."""
         queued = sum(len(slot.deque) for slot in self._slots)
         limit = self.config.queue_limit
         if limit and queued >= limit:
@@ -320,18 +341,21 @@ class WorkerPool:
                     f"client {request.client!r} has {in_flight} jobs in "
                     f"flight (limit {per_client})",
                 )
-        if request.deadline is not None and self._ema_wall is not None:
-            # every queued job ahead of us costs ema/workers of delay
-            predicted = self._ema_wall * (1.0 + queued / len(self._slots))
-            if predicted > request.deadline * self.config.admission_margin:
-                self.metrics.counter(
-                    "cluster.rejected.deadline_infeasible"
-                ).inc()
-                raise ClusterRejected(
-                    "deadline_infeasible",
-                    f"predicted completion {predicted:.3f}s exceeds the "
-                    f"{request.deadline:g}s deadline",
-                )
+        decision = self.admission.evaluate(
+            request.kind, request.deadline,
+            queued=queued, workers=len(self._slots),
+        )
+        if not decision.admitted:
+            self.metrics.counter(
+                "cluster.rejected.deadline_infeasible"
+            ).inc()
+            raise ClusterRejected(
+                "deadline_infeasible",
+                f"predicted completion "
+                f"{decision.predicted_completion:.3f}s exceeds the "
+                f"{request.deadline:g}s deadline",
+            )
+        return decision
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a queued or running job; False once it is terminal."""
@@ -485,11 +509,7 @@ class WorkerPool:
             handle = self._jobs.get(job_id)
             if handle is None or handle.state.terminal:
                 return  # late DONE from a worker we already gave up on
-            self._ema_wall = (
-                wall if self._ema_wall is None
-                else self.config.ema_alpha * wall
-                + (1.0 - self.config.ema_alpha) * self._ema_wall
-            )
+            self.admission.cost_model.observe(handle.request.kind, wall)
             self.metrics.histogram("cluster.job_wall").observe(wall)
             self.metrics.merge(metrics_dump)
             self._finish_job(handle, JobState(state_value), result, error)
@@ -630,6 +650,7 @@ class WorkerPool:
                 "steals": self.steals,
                 "migrations": self.migrations_total,
                 "ema_wall": self._ema_wall,
+                "cost_model": self.admission.cost_model.snapshot(),
                 "store": self.store.stats(),
             }
 

@@ -9,7 +9,7 @@ CheckConfig` keywords the rule needs (W12 only reports under
 ``w12_compat=True``).
 
 ``W3`` has no builder: the DPort constructor already rejects a missing
-flow type, so the rule is defensively unreachable — 23 of the 24
+flow type, so the rule is defensively unreachable — 26 of the 27
 registered codes are coverable, which is what the campaign's >= 90%
 rules bar is calibrated against.
 """
@@ -357,6 +357,44 @@ def sched001_infeasible() -> HybridModel:
     return model
 
 
+def sched002_blocking() -> HybridModel:
+    """A fast thread (h=2e-5) sharing a params dict with leaves on a
+    slow thread: under the minor-step mapping plain RTA accepts the set
+    but the slow thread's critical section blocks the fast one past its
+    deadline — blocking ALONE breaks the schedule (SCHED002), and the
+    rate asymmetry is a priority inversion (SCHED003)."""
+    model = HybridModel("inversion")
+    fast = model.create_thread("fast", h=2e-5)
+    slow = model.create_thread("slow", h=1e-3)
+    src = Step("src")
+    a = Gain("a", k=2.0)
+    b = Gain("b", k=3.0)
+    shared = a.params
+    shared.update(src.params)
+    b.params = shared
+    src.params = shared
+    model.add_streamer(src, thread=fast)
+    model.add_streamer(a, thread=slow)
+    model.add_streamer(b, thread=slow)
+    model.add_flow(src.dport("out"), a.dport("in"))
+    model.add_flow(a.dport("out"), b.dport("in"))
+    model.add_probe("y", b.dport("out"))
+    return model
+
+
+def sched004_no_headroom() -> HybridModel:
+    """Feasible at the default sync interval, but only just: checked
+    with a 100% sensitivity margin, the interval sits inside the
+    forbidden band above the minimum feasible one (SCHED004)."""
+    model = HybridModel("tight")
+    gain = model.add_streamer(Gain("g", k=0.5))
+    integ = model.add_streamer(Integrator("i"))
+    model.add_flow(gain.dport("out"), integ.dport("in"))
+    model.add_flow(integ.dport("out"), gain.dport("in"))
+    model.add_probe("y", integ.dport("out"))
+    return model
+
+
 class DefectSpec(NamedTuple):
     """One registered defect: builder, the codes it must fire, and any
     checker configuration the rule needs to report at all."""
@@ -404,6 +442,12 @@ DEFECTS: Dict[str, DefectSpec] = {
     "thr001-cross-thread": _spec(thr001_cross_thread, "THR001"),
     "thr002-shared-state": _spec(thr002_shared_state, "THR002"),
     "sched001-infeasible": _spec(sched001_infeasible, "SCHED001"),
+    "sched002-blocking": _spec(
+        sched002_blocking, "SCHED002", "SCHED003"
+    ),
+    "sched004-no-headroom": _spec(
+        sched004_no_headroom, "SCHED004", sched_sensitivity_margin=1.0
+    ),
 }
 
 #: every code at least one defect builder fires

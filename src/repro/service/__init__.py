@@ -37,12 +37,18 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from repro.service.admission import (
+    AdmissionDecision,
+    CostModel,
+    DeadlineAdmission,
+)
 from repro.service.cache import CacheError, PlanCache
 from repro.service.engine import JobEngine
 from repro.service.jobs import (
     BatchJob,
     ChecksFailedError,
     CodegenJob,
+    DeadlineInfeasible,
     JobCancelledError,
     JobContext,
     JobError,
@@ -89,6 +95,9 @@ class SimulationService:
         check_policy: str = "off",
         check_config: Optional[Any] = None,
         default_opt_level: int = 0,
+        dispatch: str = "fifo",
+        deadline_admission: bool = False,
+        admission_margin: float = 1.0,
     ) -> None:
         if check_policy not in CHECK_POLICIES:
             raise ValueError(
@@ -105,12 +114,23 @@ class SimulationService:
         self.cache = PlanCache(
             capacity=cache_capacity, metrics=self.metrics,
         )
+        #: deadline-aware admission (repro.service.admission): predicted
+        #: per-kind cost (EMA-calibrated from completed jobs) gates
+        #: submission, rejecting jobs whose predicted completion already
+        #: misses their deadline; ``dispatch="edf"`` additionally orders
+        #: the queue by earliest absolute deadline
+        self.admission = (
+            DeadlineAdmission(margin=admission_margin)
+            if deadline_admission else None
+        )
         self.engine = JobEngine(
             workers=workers,
             queue_limit=queue_limit,
             metrics=self.metrics,
             service=self,
             executor=executor,
+            dispatch=dispatch,
+            admission=self.admission,
         )
 
     # ------------------------------------------------------------------
@@ -233,11 +253,15 @@ class SimulationService:
 
 
 __all__ = [
+    "AdmissionDecision",
     "BatchJob",
     "CHECK_POLICIES",
     "CacheError",
     "ChecksFailedError",
     "CodegenJob",
+    "CostModel",
+    "DeadlineAdmission",
+    "DeadlineInfeasible",
     "Counter",
     "EventEmitter",
     "Gauge",

@@ -37,15 +37,21 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.service.admission import DeadlineAdmission
 from repro.service.jobs import (
-    JobCancelledError, JobContext, JobError, JobHandle, JobSpec, JobState,
-    JobTimeoutError, ServiceOverloaded, TransientJobError,
+    DeadlineInfeasible, JobCancelledError, JobContext, JobError,
+    JobHandle, JobSpec, JobState, JobTimeoutError, ServiceOverloaded,
+    TransientJobError,
 )
 from repro.service.telemetry import (
-    EventEmitter, MetricsRegistry, STATE,
+    ADMISSION, EventEmitter, MetricsRegistry, STATE, TelemetryEvent,
 )
 
 _SHUTDOWN = object()
+
+#: dispatch orders: FIFO (the classic queue) or EDF (earliest absolute
+#: deadline first; deadline-less jobs sort last, ties by submit order)
+DISPATCH_ORDERS = ("fifo", "edf")
 
 
 class _EventTap:
@@ -129,6 +135,8 @@ class JobEngine:
         metrics: Optional[MetricsRegistry] = None,
         service: Optional[Any] = None,
         executor: str = "thread",
+        dispatch: str = "fifo",
+        admission: Optional[DeadlineAdmission] = None,
     ) -> None:
         if workers < 1:
             raise JobError(f"need at least one worker, got {workers}")
@@ -138,12 +146,29 @@ class JobEngine:
             raise JobError(
                 f"unknown executor {executor!r}; use 'thread' or 'process'"
             )
+        if dispatch not in DISPATCH_ORDERS:
+            raise JobError(
+                f"unknown dispatch order {dispatch!r}; use one of "
+                f"{DISPATCH_ORDERS}"
+            )
         self.workers = workers
         self.queue_limit = queue_limit
         self.executor = executor
+        self.dispatch = dispatch
+        #: deadline-aware admission predicate (None = admit everything
+        #: the bounded queue accepts); its EMA cost model is calibrated
+        #: from every DONE job's wall time in :meth:`_finalise`
+        self.admission = admission
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.service = service
-        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_limit)
+        # EDF uses a priority queue keyed by absolute deadline; entries
+        # are (key, tier, seq, handle) so handles never get compared and
+        # shutdown sentinels (tier 1) drain only after real jobs
+        self._queue: "queue.Queue" = (
+            queue.PriorityQueue(maxsize=queue_limit) if dispatch == "edf"
+            else queue.Queue(maxsize=queue_limit)
+        )
+        self._seq = itertools.count()
         self._ids = itertools.count(1)
         self._closed = False
         self._lock = threading.Lock()
@@ -162,15 +187,35 @@ class JobEngine:
     # submission
     # ------------------------------------------------------------------
     def submit(self, spec: JobSpec) -> JobHandle:
-        """Enqueue a job; O(1), sheds with ServiceOverloaded when full."""
+        """Enqueue a job; O(1) (O(log n) under EDF), sheds with
+        ServiceOverloaded when full and, when a deadline-aware admission
+        predicate is installed, with DeadlineInfeasible when the
+        predicted completion already misses the job's deadline."""
         with self._lock:
             if self._closed:
                 raise JobError("engine is shut down")
             job_id = f"{spec.kind}-{next(self._ids)}"
         handle = JobHandle(job_id, spec)
         self.metrics.counter("jobs.submitted").inc()
+        if self.admission is not None:
+            decision = self.admission.evaluate(
+                spec.kind, spec.deadline,
+                queued=self._queue.qsize(), workers=self.workers,
+            )
+            self._emit_admission(handle, decision)
+            if not decision.admitted:
+                self.metrics.counter("sched.rejected.deadline").inc()
+                error = DeadlineInfeasible(
+                    f"job {job_id} rejected at admission: predicted "
+                    f"completion {decision.predicted_completion:.3g}s "
+                    f"exceeds deadline {decision.deadline:.3g}s"
+                )
+                handle._finish(JobState.FAILED, error=error)
+                handle.channel.close()
+                raise error
+            self.metrics.counter("sched.admitted").inc()
         try:
-            self._queue.put_nowait(handle)
+            self._queue.put_nowait(self._entry(handle))
         except queue.Full:
             self.metrics.counter("jobs.rejected").inc()
             handle._finish(
@@ -188,12 +233,37 @@ class JobEngine:
         self.metrics.gauge("queue.depth").set(self._queue.qsize())
         return handle
 
+    def _entry(self, handle: Any) -> Any:
+        """The queue item for one handle (EDF wraps in a sort key)."""
+        if self.dispatch == "fifo":
+            return handle
+        if handle is _SHUTDOWN:
+            # tier 1: sentinels sort after every real job at any key,
+            # so queued work drains before the workers exit
+            return (float("inf"), 1, next(self._seq), handle)
+        deadline_at = handle.deadline_at
+        key = float("inf") if deadline_at is None else deadline_at
+        return (key, 0, next(self._seq), handle)
+
+    def _emit_admission(self, handle: JobHandle, decision: Any) -> None:
+        """Push an ADMISSION event onto the job's channel (seq -1: a
+        submission-side event, outside the worker emitter's numbering —
+        the same convention the cluster uses for MIGRATED)."""
+        try:
+            handle.channel.push(TelemetryEvent(
+                ADMISSION, handle.id, seq=-1, t=float("nan"),
+                payload=decision.as_payload(),
+            ))
+        except Exception:
+            pass
+
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
         while True:
-            handle = self._queue.get()
+            item = self._queue.get()
+            handle = item if self.dispatch == "fifo" else item[3]
             if handle is _SHUTDOWN:
                 self._queue.task_done()
                 return
@@ -337,6 +407,19 @@ class JobEngine:
             self.metrics.histogram("job.wall_time").observe(
                 handle.wall_time
             )
+            if self.admission is not None:
+                # calibrate the per-kind cost predictor on the fact
+                self.admission.cost_model.observe(
+                    handle.spec.kind, handle.wall_time
+                )
+        deadline_at = handle.deadline_at
+        if deadline_at is not None and handle.finished_at is not None:
+            lateness = handle.finished_at - deadline_at
+            met = state is JobState.DONE and lateness <= 0.0
+            self.metrics.counter(
+                "sched.deadline_met" if met else "sched.deadline_missed"
+            ).inc()
+            self.metrics.histogram("sched.lateness").observe(lateness)
         emitter.emit(
             STATE, state=state.value,
             error=None if error is None else str(error),
@@ -369,7 +452,7 @@ class JobEngine:
                 return
             self._closed = True
         for __ in self._threads:
-            self._queue.put(_SHUTDOWN)
+            self._queue.put(self._entry(_SHUTDOWN))
         if wait:
             for thread in self._threads:
                 thread.join(timeout=30.0)

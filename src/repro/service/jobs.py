@@ -77,6 +77,15 @@ class ServiceOverloaded(JobError):
     """
 
 
+class DeadlineInfeasible(ServiceOverloaded):
+    """Deadline-aware admission rejected the job at submit time: the
+    predicted completion time (EMA cost model inflated by queue
+    pressure) already exceeds the job's deadline, so queueing it would
+    only burn a worker slot on a guaranteed timeout.  A subclass of
+    :class:`ServiceOverloaded` so existing shed-handling callers keep
+    working."""
+
+
 class ChecksFailedError(JobError):
     """The service's lint gate rejected a spec at submission.
 

@@ -48,6 +48,10 @@ MIGRATED = "migrated"
 #: cluster worker lifecycle (spawned / lost / respawned); payload
 #: carries the worker id and, for deaths, the in-flight job if any
 WORKER = "worker"
+#: deadline-aware admission decision for a submitted job; payload
+#: carries admitted/reason plus the predicted cost and completion the
+#: decision was based on (see repro.service.admission)
+ADMISSION = "admission"
 
 
 @dataclass(frozen=True)

@@ -105,7 +105,8 @@ class TestLiuLayland:
             Task("b", wcet=1.0, period=8.0),
         ])
         result = utilisation_test(taskset)
-        assert result["passes"] == 1.0
+        assert result.passes is True
+        assert result.as_dict()["passes"] is True
 
 
 class TestResponseTimeAnalysis:
@@ -117,11 +118,12 @@ class TestResponseTimeAnalysis:
             Task("t3", wcet=3.0, period=13.0),
         ])
         results = response_time_analysis(taskset)
-        assert results["t1"]["response_time"] == pytest.approx(1.0)
-        assert results["t2"]["response_time"] == pytest.approx(3.0)
+        assert results["t1"].response_time == pytest.approx(1.0)
+        assert results["t2"].response_time == pytest.approx(3.0)
         # t3: 3 + 2*1 + 1*2 = 7; ceil(7/4)=2, ceil(7/6)=2 -> 3+2+4=9;
         # ceil(9/4)=3, ceil(9/6)=2 -> 3+3+4=10; ceil(10/4)=3 -> 10 fixed
-        assert results["t3"]["response_time"] == pytest.approx(10.0)
+        assert results["t3"].response_time == pytest.approx(10.0)
+        assert all(r.converged for r in results)
         assert taskset_schedulable(taskset)
 
     def test_unschedulable_detected(self):

@@ -309,6 +309,51 @@ def shared_state_model(share: bool = True) -> HybridModel:
     return model
 
 
+def blocking_inversion_model() -> HybridModel:
+    """A fast thread (h=2e-5) sharing a params dict with two leaves on
+    a slow thread (h=1e-3): under the minor-step mapping plain RTA
+    accepts the set but the slow thread's critical section blocks the
+    fast one past its deadline (SCHED002 positive, blocking-only) and
+    the rate asymmetry is a priority-inversion hazard (SCHED003)."""
+    model = HybridModel("inversion")
+    fast = model.create_thread("fast", h=2e-5)
+    slow = model.create_thread("slow", h=1e-3)
+    src = Step("src")
+    a = Gain("a", k=2.0)
+    b = Gain("b", k=3.0)
+    shared = a.params
+    shared.update(src.params)
+    b.params = shared
+    src.params = shared
+    model.add_streamer(src, thread=fast)
+    model.add_streamer(a, thread=slow)
+    model.add_streamer(b, thread=slow)
+    model.add_flow(src.dport("out"), a.dport("in"))
+    model.add_flow(a.dport("out"), b.dport("in"))
+    model.add_probe("y", b.dport("out"))
+    return model
+
+
+def overutilised_model() -> HybridModel:
+    """Two h=1e-4 threads of six leaves each: every per-thread slice
+    still fits the default sync interval (6ms < 10ms), but together
+    they demand 12ms of work per 10ms period — estimated utilisation
+    1.2 (the SCHED001 utilisation-above-one error path)."""
+    model = HybridModel("overutil")
+    for half in ("left", "right"):
+        thread = model.create_thread(half, h=1e-4)
+        src = model.add_streamer(Step(f"{half}_src"), thread=thread)
+        chain = src
+        for index in range(5):
+            gain = model.add_streamer(
+                Gain(f"{half}_g{index}", k=1.0), thread=thread,
+            )
+            model.add_flow(chain.dport("out"), gain.dport("in"))
+            chain = gain
+        model.add_probe(f"{half}_y", chain.dport("out"))
+    return model
+
+
 def infeasible_model() -> HybridModel:
     """A thread stepped at h=1e-7: its estimated WCET dwarfs the sync
     period, so no schedule exists (SCHED001 error)."""

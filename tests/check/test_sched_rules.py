@@ -1,8 +1,14 @@
-"""Deadline-feasibility lint (SCHED001)."""
+"""Schedulability lints (SCHED001-SCHED004)."""
 
 from repro.check import CheckConfig, run_checks
 
-from tests.check.builders import feedback_model, infeasible_model
+from tests.check.builders import (
+    blocking_inversion_model,
+    feedback_model,
+    infeasible_model,
+    overutilised_model,
+    shared_state_model,
+)
 
 
 class TestSCHED001:
@@ -12,6 +18,16 @@ class TestSCHED001:
         assert findings
         assert findings[0].severity == "error"
         assert findings[0].details["sync_interval"] == 0.01
+
+    def test_overutilisation_is_an_error(self):
+        result = run_checks(overutilised_model())
+        findings = [
+            d for d in result.by_code("SCHED001")
+            if d.severity == "error"
+        ]
+        assert findings
+        assert findings[0].details["utilisation"] > 1.0
+        assert "utilisation" in findings[0].message
 
     def test_default_rates_feasible(self):
         result = run_checks(feedback_model())
@@ -40,3 +56,99 @@ class TestSCHED001:
         plan = ExecutionPlan.compile(network)
         result = run_checks(plan, config=Cfg(select={"SCHED001"}))
         assert not result.diagnostics
+
+
+class TestSCHED002:
+    def test_blocking_only_failure_fires(self):
+        """The ISSUE's acceptance case: plain RTA accepts the minor-step
+        task set, the blocking-aware analysis rejects it."""
+        result = run_checks(blocking_inversion_model())
+        findings = result.by_code("SCHED002")
+        assert findings
+        finding = findings[0]
+        assert finding.severity == "warning"
+        assert finding.details["blocking_only"] is True
+        assert "blocking alone" in finding.message
+        assert finding.details["failing"]
+        # the per-task interference breakdown rides along
+        for entry in finding.details["tasks"].values():
+            assert {"response_time", "deadline", "blocking",
+                    "interference"} <= set(entry)
+            assert entry["blocking"] > 0.0
+
+    def test_unshared_twin_is_clean(self):
+        result = run_checks(feedback_model())
+        assert not result.by_code("SCHED002")
+
+    def test_same_rate_sharing_is_clean(self):
+        # equal periods: blocking provably cannot break a feasible set
+        result = run_checks(shared_state_model(share=True))
+        assert not result.by_code("SCHED002")
+
+    def test_infeasible_model_left_to_sched001(self):
+        result = run_checks(infeasible_model())
+        assert not result.by_code("SCHED002")
+
+
+class TestSCHED003:
+    def test_cross_rate_sharing_is_a_hazard(self):
+        result = run_checks(blocking_inversion_model())
+        findings = result.by_code("SCHED003")
+        assert findings
+        details = findings[0].details
+        assert details["slow_thread"] == "slow"
+        assert details["fast_thread"] == "fast"
+        assert details["sites"]
+
+    def test_same_rate_sharing_is_not_inversion(self):
+        # THR002 still flags the race, but with equal minor steps there
+        # is no priority direction to invert
+        result = run_checks(shared_state_model(share=True))
+        assert result.by_code("THR002")
+        assert not result.by_code("SCHED003")
+
+    def test_unshared_model_clean(self):
+        result = run_checks(shared_state_model(share=False))
+        assert not result.by_code("SCHED003")
+
+
+class TestSCHED004:
+    def test_tight_margin_fires(self):
+        # the feedback model's minimum feasible interval is ~1e-4; a
+        # margin of 1.0 declares anything feasible "too close"
+        result = run_checks(
+            feedback_model(),
+            config=CheckConfig(sched_sensitivity_margin=1.0),
+        )
+        findings = result.by_code("SCHED004")
+        assert findings
+        details = findings[0].details
+        assert details["min_feasible_sync_interval"] is not None
+        assert 0.0 <= details["headroom"] < 1.0
+
+    def test_default_margin_clean(self):
+        result = run_checks(feedback_model())
+        assert not result.by_code("SCHED004")
+
+    def test_infeasible_model_left_to_sched001(self):
+        result = run_checks(infeasible_model())
+        assert not result.by_code("SCHED004")
+
+
+class TestSelection:
+    def test_prefix_select_enables_the_family(self):
+        result = run_checks(
+            blocking_inversion_model(),
+            config=CheckConfig(select={"SCHED"}),
+        )
+        codes = {d.code for d in result.diagnostics}
+        assert {"SCHED002", "SCHED003"} <= codes
+        assert all(code.startswith("SCHED") for code in codes)
+
+    def test_exact_select_still_works(self):
+        result = run_checks(
+            blocking_inversion_model(),
+            config=CheckConfig(select={"SCHED003"}),
+        )
+        codes = {d.code for d in result.diagnostics}
+        assert codes == {"SCHED003"}
