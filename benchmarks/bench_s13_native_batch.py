@@ -1,0 +1,146 @@
+"""Experiment S13 — native-batch per-instance step rate and sharding.
+
+The S4 workload shape at production scale: N=256 instances of the
+204-block loop (`pid_plant_diagram(200)`) with one swept gain, run by
+(a) the vectorised NumPy batch program and (b) the N-instance C kernel
+(``native-batch``).  The NumPy program pays one ufunc dispatch per
+array op per minor step — at 200+ ops that is pure Python-side
+overhead — while the C kernel folds the whole step into one compiled
+loop over instances, so the gap is the headline of this experiment.
+
+Acceptance bar: ``native-batch`` >= 50x the NumPy batch per-instance
+step rate at N=256, with the two trajectories bitwise identical (O0).
+The instance-axis shard curve (1/2/4 shards) is recorded alongside;
+near-linear scaling is asserted only where the host actually has the
+cores (CI's single-core runners record the curve without judging it).
+
+Headline rates land in ``BENCH_S13.json``.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import pid_plant_diagram
+from repro.core.backend import has_c_compiler
+from repro.core.batch import BatchSimulator
+
+PAD = 200          # 4 rig blocks + 200 pad gains = the 204-block loop
+N = 256
+H = 2e-3
+T_END = 0.5        # 250 minor steps x 256 instances per timed run
+T_NUMPY = 0.1      # the NumPy program is ~2 orders slower; sample it
+T_PARITY = 0.1
+RECORD_EVERY = 16
+SHARD_CURVE = (1, 2, 4)
+
+pytestmark = pytest.mark.skipif(
+    not has_c_compiler(), reason="S13 needs a C compiler"
+)
+
+
+def sweep():
+    return {"pad0.k": np.linspace(0.9, 1.1, N)}
+
+
+def build(backend, shards=None):
+    sim = BatchSimulator(
+        pid_plant_diagram(PAD), n=N, solver="rk4", h=H,
+        sweeps=sweep(), backend=backend, cache=False, shards=shards,
+    )
+    assert sim.backend_name == (backend or "batch"), \
+        sim.backend_fallback_reason
+    return sim
+
+
+def per_instance_rate(sim, t_end, repeats=1):
+    """Instance-steps per second, warmed, best of ``repeats``."""
+    sim.run(0.02)
+    best = 0.0
+    for __ in range(repeats):
+        start = time.perf_counter()
+        sim.run(t_end, record_every=RECORD_EVERY)
+        wall = time.perf_counter() - start
+        best = max(best, (t_end / H) * N / wall)
+    return best
+
+
+def test_s13_native_batch_step_rate(report, bench_json):
+    # parity gate: rates only count if the kernels agree bitwise
+    numpy_result = build(None).run(T_PARITY, record_every=RECORD_EVERY)
+    native_result = build("native-batch").run(
+        T_PARITY, record_every=RECORD_EVERY,
+    )
+    assert np.array_equal(numpy_result.t, native_result.t)
+    for label in numpy_result.series:
+        assert np.array_equal(
+            numpy_result.series[label], native_result.series[label],
+        ), label
+    assert np.array_equal(
+        numpy_result.final_states, native_result.final_states,
+    )
+
+    numpy_rate = per_instance_rate(build(None), T_NUMPY)
+    native_rate = per_instance_rate(build("native-batch"), T_END)
+    speedup = native_rate / numpy_rate
+
+    cores = os.cpu_count() or 1
+    shard_rates = {}
+    for shards in SHARD_CURVE:
+        shard_rates[shards] = per_instance_rate(
+            build("native-batch", shards=shards), T_END, repeats=3,
+        )
+
+    lines = [
+        f"numpy batch   : {numpy_rate:12.0f} inst-steps/s",
+        f"native batch  : {native_rate:12.0f} inst-steps/s "
+        f"({speedup:.1f}x)",
+    ]
+    for shards in SHARD_CURVE:
+        ratio = shard_rates[shards] / shard_rates[SHARD_CURVE[0]]
+        lines.append(
+            f"native {shards} shard{'s' if shards > 1 else ' '} "
+            f": {shard_rates[shards]:12.0f} inst-steps/s "
+            f"({ratio:.2f}x vs 1 shard)"
+        )
+    lines.append(f"host cores    : {cores}")
+    report(
+        f"S13: native-batch on the {PAD + 4}-block loop "
+        f"(N={N}, rk4, h={H})",
+        lines,
+    )
+
+    assert speedup >= 50.0, (
+        f"native-batch only {speedup:.1f}x the NumPy batch per-instance "
+        "step rate; acceptance bar is 50x"
+    )
+    # sharding must never collapse throughput (thread overhead bounded)…
+    for shards in SHARD_CURVE[1:]:
+        assert shard_rates[shards] >= 0.5 * shard_rates[1], (
+            f"{shards} shards fell below half the 1-shard rate: "
+            f"{shard_rates}"
+        )
+    # …and where the host has the cores, it must actually buy them
+    for shards in SHARD_CURVE[1:]:
+        if cores >= shards:
+            assert shard_rates[shards] >= 0.6 * shards * shard_rates[1] \
+                / max(1, SHARD_CURVE[0]), (
+                    f"{shards} shards on {cores} cores reached only "
+                    f"{shard_rates[shards] / shard_rates[1]:.2f}x; "
+                    "expected near-linear (>= 0.6x per core)"
+                )
+
+    bench_json("s13", {
+        "blocks": PAD + 4,
+        "instances": N,
+        "numpy_inst_steps_per_s": numpy_rate,
+        "native_inst_steps_per_s": native_rate,
+        "native_speedup": speedup,
+        "shard_curve": {
+            str(shards): shard_rates[shards] for shards in SHARD_CURVE
+        },
+        "cores": cores,
+        "bitwise_identical": True,
+    })

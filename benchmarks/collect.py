@@ -1,0 +1,148 @@
+"""Aggregate ``BENCH_*.json`` artefacts into one trajectory table.
+
+Every benchmark writes a machine-readable ``BENCH_<id>.json`` (see
+``benchmarks/conftest.write_bench_json``); CI lanes each produce a
+subset.  This stdlib-only CLI sweeps a directory for those files and
+renders one merged view — a Markdown (or TSV) table of every headline
+metric, plus a combined JSON blob — so a single uploaded artifact tells
+the whole story across lanes and across time.
+
+Usage::
+
+    python benchmarks/collect.py                  # repo root, Markdown
+    python benchmarks/collect.py --root out/ --format tsv
+    python benchmarks/collect.py --json-out BENCH_ALL.json
+
+Exit status is 0 even when no files are found (an empty lane is not an
+error — the table just says so); unreadable/foreign JSON files are
+reported on stderr and skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+
+def find_bench_files(root: Path) -> List[Path]:
+    return sorted(root.glob("BENCH_*.json"))
+
+
+def load_bench(path: Path) -> Dict[str, Any]:
+    """One parsed artefact: ``{"bench": ..., "metrics": {...},
+    "timestamp": ...}``.  Raises ValueError on foreign shapes."""
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or "metrics" not in data:
+        raise ValueError(f"{path.name}: not a bench artefact")
+    bench = data.get("bench") or path.stem.replace("BENCH_", "")
+    metrics = data["metrics"]
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path.name}: metrics is not a mapping")
+    return {
+        "bench": str(bench),
+        "metrics": metrics,
+        "timestamp": data.get("timestamp", ""),
+        "file": path.name,
+    }
+
+
+def _flat(metrics: Dict[str, Any], prefix: str = "") -> List[Tuple[str, Any]]:
+    """Flatten nested metric dicts into dotted rows (stable order)."""
+    rows: List[Tuple[str, Any]] = []
+    for key in sorted(metrics):
+        value = metrics[key]
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            rows.extend(_flat(value, prefix=f"{name}."))
+        else:
+            rows.append((name, value))
+    return rows
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0 or 0.01 <= abs(value) < 1e7:
+            return f"{value:,.3f}".rstrip("0").rstrip(".")
+        return f"{value:.3e}"
+    if isinstance(value, (list, tuple)):
+        return ", ".join(_fmt(v) for v in value)
+    return str(value)
+
+
+def render_markdown(benches: List[Dict[str, Any]]) -> str:
+    if not benches:
+        return "No BENCH_*.json artefacts found.\n"
+    lines = ["| bench | metric | value |", "| --- | --- | --- |"]
+    for bench in benches:
+        for name, value in _flat(bench["metrics"]):
+            lines.append(
+                f"| {bench['bench']} | {name} | {_fmt(value)} |"
+            )
+    lines.append("")
+    stamps = sorted(b["timestamp"] for b in benches if b["timestamp"])
+    if stamps:
+        lines.append(
+            f"{len(benches)} benches; newest timestamp {stamps[-1]}"
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_tsv(benches: List[Dict[str, Any]]) -> str:
+    lines = ["bench\tmetric\tvalue"]
+    for bench in benches:
+        for name, value in _flat(bench["metrics"]):
+            lines.append(f"{bench['bench']}\t{name}\t{_fmt(value)}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Aggregate BENCH_*.json into one table.",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path("."),
+        help="directory to sweep for BENCH_*.json (default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("markdown", "tsv"), default="markdown",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the table here as well as stdout",
+    )
+    parser.add_argument(
+        "--json-out", type=Path, default=None,
+        help="write the merged benches as one JSON document",
+    )
+    args = parser.parse_args(argv)
+
+    benches = []
+    for path in find_bench_files(args.root):
+        try:
+            benches.append(load_bench(path))
+        except (ValueError, OSError) as exc:
+            print(f"skipping {path.name}: {exc}", file=sys.stderr)
+    benches.sort(key=lambda b: b["bench"])
+
+    render = render_markdown if args.format == "markdown" else render_tsv
+    table = render(benches)
+    sys.stdout.write(table)
+    if args.out is not None:
+        args.out.write_text(table)
+    if args.json_out is not None:
+        args.json_out.write_text(
+            json.dumps({"benches": benches}, indent=2, sort_keys=True)
+            + "\n"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,10 +20,12 @@ from repro.dataflow import (
     Constant,
     Diagram,
     FirstOrderLag,
+    Gain,
     PID,
     SecondOrderSystem,
     Step,
     Sum,
+    ZeroOrderHold,
 )
 
 
@@ -70,6 +72,33 @@ def pendulum(kp: float = 35.0, zeta: float = 0.06) -> Diagram:
     d.connect("pend.out", "err.in2")
     d.connect("err.out", "pid.in")
     d.connect("pid.out", "pend.in")
+    return d
+
+
+@register_model("servo_farm")
+def servo_farm(kp: float = 8.0, ts: float = 0.02) -> Diagram:
+    """A sampled PID servo loop shaped for the native-batch backend.
+
+    Digital controller (PID behind a zero-order hold at period ``ts``)
+    driving a PT2 plant: the sampled sync path plus continuous states,
+    i.e. everything the N-instance C kernel has to replicate bitwise.
+    Submit as ``kind="batch"`` with ``backend="native-batch"`` and a
+    sweep over ``pid.kp`` (or ``loop.k``) to farm one compiled artifact
+    across any N.
+    """
+    d = Diagram("servo_farm")
+    d.add(Step("ref", amplitude=1.0))
+    d.add(Sum("err", signs="+-"))
+    d.add(ZeroOrderHold("adc", ts=ts))
+    d.add(PID("pid", kp=kp, ki=4.0, kd=0.5, tf=0.05))
+    d.add(Gain("loop", k=1.0))
+    d.add(SecondOrderSystem("servo", omega=6.0, zeta=0.5, k=1.0))
+    d.connect("ref.out", "err.in1")
+    d.connect("servo.out", "err.in2")
+    d.connect("err.out", "adc.in")
+    d.connect("adc.out", "pid.in")
+    d.connect("pid.out", "loop.in")
+    d.connect("loop.out", "servo.in")
     return d
 
 

@@ -104,7 +104,7 @@ _SINGLE_RUN_FIELDS = (
 )
 _BATCH_FIELDS = (
     "n", "t_end", "solver", "h", "records", "sweeps", "record_every",
-    "chunk_steps", "checkpoint_keep", "opt_level", "backend",
+    "chunk_steps", "checkpoint_keep", "opt_level", "backend", "shards",
 )
 _SCENARIO_FIELDS = ("seed", "t_end", "h", "backends")
 

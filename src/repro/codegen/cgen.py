@@ -18,7 +18,7 @@ round-trip covers the generator logic.
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.codegen.common import CLang, LoweredModel, lower
 from repro.dataflow.diagram import Diagram
@@ -62,6 +62,240 @@ def generate_c(
         opt_level=opt_level, opt_config=opt_config,
     )
     return _render(model, default_h, t_end)
+
+
+# ----------------------------------------------------------------------
+# N-instance batch kernel (the native-batch backend's translation unit)
+# ----------------------------------------------------------------------
+#: per-instance solver stages; arithmetic (order + grouping) replicates
+#: :mod:`repro.solvers.fixed` exactly, same as the scalar native kernel,
+#: so batched trajectories stay bitwise vs N sequential runs
+_BATCH_STAGES: Dict[str, Tuple[str, ...]] = {
+    "euler": (
+        "inst_deriv(t, x, P, held, k1);",
+        "for (i = 0; i < NX; i++) x[i] = x[i] + hh * k1[i];",
+    ),
+    "heun": (
+        "inst_deriv(t, x, P, held, k1);",
+        "for (i = 0; i < NX; i++) xs[i] = x[i] + hh * k1[i];",
+        "inst_deriv(t + hh, xs, P, held, k2);",
+        "for (i = 0; i < NX; i++)"
+        " x[i] = x[i] + (hh / 2.0) * (k1[i] + k2[i]);",
+    ),
+    "rk4": (
+        "inst_deriv(t, x, P, held, k1);",
+        "for (i = 0; i < NX; i++) xs[i] = x[i] + (hh / 2.0) * k1[i];",
+        "inst_deriv(t + hh / 2.0, xs, P, held, k2);",
+        "for (i = 0; i < NX; i++) xs[i] = x[i] + (hh / 2.0) * k2[i];",
+        "inst_deriv(t + hh / 2.0, xs, P, held, k3);",
+        "for (i = 0; i < NX; i++) xs[i] = x[i] + hh * k3[i];",
+        "inst_deriv(t + hh, xs, P, held, k4);",
+        "for (i = 0; i < NX; i++)",
+        "    x[i] = x[i] + (hh / 6.0)"
+        " * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);",
+    ),
+}
+
+
+def render_batch_kernel(
+    model: LoweredModel, solver_name: str, n_params: int
+) -> str:
+    """A shared-object C translation unit integrating N instances.
+
+    The data layout is one contiguous row per instance (``X[n][NXS]``,
+    ``P[n][NPS]``, ``H[n][NHS]``) so a shard is a pointer offset, not a
+    copy; the instance loop is the *inner* loop of every batch driver,
+    which is the auto-vectorizable shape.  Inside the per-instance
+    helpers the row pointers are named exactly ``x`` / ``P`` / ``held``,
+    so the emitted expressions (``x[i]``, ``P[j]``, held locals) are
+    valid verbatim — no textual rewriting.
+
+    ``model`` must be lowered with
+    :class:`~repro.codegen.common.CBatchLang`: swept parameters stay
+    ``P[j]`` symbols and sampled blocks carry the statement-level sync
+    replicas, so one instance's arithmetic is exactly the scalar native
+    kernel's — bitwise vs ``simulate_sequential``.
+
+    The batch-size ``n`` is a *runtime* argument of every exported
+    function; nothing per-N is baked into the source, so one artifact
+    serves any instance count.
+    """
+    if solver_name not in _BATCH_STAGES:
+        raise ValueError(
+            f"no batch solver stages for {solver_name!r} "
+            f"(have {sorted(_BATCH_STAGES)})"
+        )
+    from repro.core.backend.pykernel import kernel_tables
+
+    tables = kernel_tables(model)
+    held_names = [name for name, __ in tables["held"]]
+    n_states = tables["n_states"]
+    n_rec = len(tables["record_exprs"])
+    out: List[str] = [
+        "/* Auto-generated by repro.codegen.cgen (batch) -- do not edit.",
+        f" * Source model: {model.name}",
+        f" * Solver: {solver_name}",
+        " */",
+        "#include <math.h>",
+        "",
+        f"#define NX {n_states}",
+        f"#define NXS {max(1, n_states)}",
+        f"#define NP {n_params}",
+        f"#define NPS {max(1, n_params)}",
+        f"#define NH {len(held_names)}",
+        f"#define NHS {max(1, len(held_names))}",
+        f"#define NREC {n_rec}",
+        f"#define RECN {max(1, n_rec)}",
+        "",
+    ]
+
+    def emit_signals(mutable_held: bool) -> None:
+        qualifier = "double" if mutable_held else "const double"
+        for i, name in enumerate(held_names):
+            out.append(f"    {qualifier} {name} = held[{i}];")
+        for line in tables["output_lines"]:
+            var, __, expr = line.partition(" = ")
+            out.append(f"    const double {var} = {expr};")
+
+    out.append("static void inst_deriv(double t, const double* x,")
+    out.append("                       const double* P,")
+    out.append("                       const double* held, double* dx)")
+    out.append("{")
+    out.append("    int i;")
+    out.append("    (void)t; (void)x; (void)P; (void)held;")
+    emit_signals(mutable_held=False)
+    out.append("    for (i = 0; i < NX; i++) dx[i] = 0.0;")
+    for index, expr in tables["derivs"]:
+        out.append(f"    dx[{index}] = {expr};")
+    out.append("}")
+    out.append("")
+
+    out.append("static void inst_outvals(double t, const double* x,")
+    out.append("                         const double* P,")
+    out.append("                         const double* held, double* rec)")
+    out.append("{")
+    out.append("    (void)t; (void)x; (void)P; (void)held; (void)rec;")
+    emit_signals(mutable_held=False)
+    for i, expr in enumerate(tables["record_exprs"]):
+        out.append(f"    rec[{i}] = {expr};")
+    out.append("}")
+    out.append("")
+
+    out.append("static void inst_sync(double t, const double* x,")
+    out.append("                      const double* P, double* held)")
+    out.append("{")
+    out.append("    (void)t; (void)x; (void)P; (void)held;")
+    if tables["sync_rows"]:
+        emit_signals(mutable_held=True)
+        for indent, line in tables["sync_rows"]:
+            out.append(f"    {'    ' * indent}{line}")
+        for i, name in enumerate(held_names):
+            out.append(f"    held[{i}] = {name};")
+    out.append("}")
+    out.append("")
+
+    out.append("static void inst_step(double t, double hh, double* x,")
+    out.append("                      const double* P, double* held)")
+    out.append("{")
+    out.append("    double k1[NXS], k2[NXS], k3[NXS], k4[NXS], xs[NXS];")
+    out.append("    int i;")
+    out.append("    (void)k2; (void)k3; (void)k4; (void)xs; (void)held;")
+    for line in _BATCH_STAGES[solver_name]:
+        out.append(f"    {line}")
+    out.append("}")
+    out.append("")
+
+    out.append("void batch_sync(double t, long n, double* XB,")
+    out.append("                const double* PB, double* HB)")
+    out.append("{")
+    out.append("    long r;")
+    out.append("    for (r = 0; r < n; r++)")
+    out.append("        inst_sync(t, XB + r * NXS, PB + r * NPS,")
+    out.append("                  HB + r * NHS);")
+    out.append("}")
+    out.append("")
+
+    out.append("void batch_step(double t, double hh, long n, double* XB,")
+    out.append("                const double* PB, double* HB)")
+    out.append("{")
+    out.append("    long r;")
+    out.append("    for (r = 0; r < n; r++)")
+    out.append("        inst_step(t, hh, XB + r * NXS, PB + r * NPS,")
+    out.append("                  HB + r * NHS);")
+    out.append("}")
+    out.append("")
+
+    out.append("void batch_outvals(double t, long n, const double* XB,")
+    out.append("                   const double* PB, const double* HB,")
+    out.append("                   double* rec)")
+    out.append("{")
+    out.append("    long r;")
+    out.append("    for (r = 0; r < n; r++)")
+    out.append("        inst_outvals(t, XB + r * NXS, PB + r * NPS,")
+    out.append("                     HB + r * NHS, rec + r * RECN);")
+    out.append("}")
+    out.append("")
+
+    # the whole-run driver: replicates BatchSimulator.run_chunked's
+    # record-before-step / step / sync loop and its chunk-boundary cut
+    # (max_steps > 0 caps minor steps per call), so Python-side chunking
+    # and checkpoint/resume semantics carry over bitwise
+    out.append("long batch_run(double t, double t_end, double h,")
+    out.append("               long record_every, long step,")
+    out.append("               long max_steps, int cold, long n,")
+    out.append("               double* XB, const double* PB, double* HB,")
+    out.append("               double* rec_t, int write_t,")
+    out.append("               double* rec, long rec_stride, long cap,")
+    out.append("               double* t_out, long* step_out,")
+    out.append("               int* done_out)")
+    out.append("{")
+    out.append("    long nrec = 0, taken = 0, r;")
+    out.append("    if (cold)")
+    out.append("        for (r = 0; r < n; r++)")
+    out.append("            inst_sync(t, XB + r * NXS, PB + r * NPS,")
+    out.append("                      HB + r * NHS);")
+    out.append("    while (t < t_end - 1e-12) {")
+    out.append("        double hh = (h < t_end - t) ? h : (t_end - t);")
+    out.append("        if (step % record_every == 0) {")
+    out.append("            if (nrec >= cap) return -1;")
+    out.append("            if (write_t) rec_t[nrec] = t;")
+    out.append("            for (r = 0; r < n; r++)")
+    out.append("                inst_outvals(t, XB + r * NXS,")
+    out.append("                             PB + r * NPS, HB + r * NHS,")
+    out.append("                             rec + nrec * rec_stride"
+               " + r * RECN);")
+    out.append("            nrec += 1;")
+    out.append("        }")
+    out.append("        for (r = 0; r < n; r++)")
+    out.append("            inst_step(t, hh, XB + r * NXS, PB + r * NPS,")
+    out.append("                      HB + r * NHS);")
+    out.append("        t = t + hh;")
+    out.append("        step += 1;")
+    out.append("        taken += 1;")
+    out.append("        for (r = 0; r < n; r++)")
+    out.append("            inst_sync(t, XB + r * NXS, PB + r * NPS,")
+    out.append("                      HB + r * NHS);")
+    out.append("        if (max_steps > 0 && taken >= max_steps")
+    out.append("                && t < t_end - 1e-12) {")
+    out.append("            *t_out = t;")
+    out.append("            *step_out = step;")
+    out.append("            *done_out = 0;")
+    out.append("            return nrec;")
+    out.append("        }")
+    out.append("    }")
+    out.append("    if (nrec >= cap) return -1;")
+    out.append("    if (write_t) rec_t[nrec] = t;")
+    out.append("    for (r = 0; r < n; r++)")
+    out.append("        inst_outvals(t, XB + r * NXS, PB + r * NPS,")
+    out.append("                     HB + r * NHS,")
+    out.append("                     rec + nrec * rec_stride + r * RECN);")
+    out.append("    nrec += 1;")
+    out.append("    *t_out = t;")
+    out.append("    *step_out = step;")
+    out.append("    *done_out = 1;")
+    out.append("    return nrec;")
+    out.append("}")
+    return "\n".join(out) + "\n"
 
 
 def _render(model: LoweredModel, default_h: float, t_end: float) -> str:

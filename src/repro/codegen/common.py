@@ -125,6 +125,24 @@ class CLang(Lang):
         return f"(({cond}) ? ({then}) : ({otherwise}))"
 
 
+class CBatchLang(CLang):
+    """The C dialect of the batch backend's swept-parameter contract.
+
+    Identical to :class:`CLang` (``name`` stays ``"c"`` so sampled
+    blocks keep their statement-level sync replicas) except that ``num``
+    preserves *symbolic* parameters exactly like :class:`NumpyLang`:
+    a :class:`~repro.core.batch.SweepVar` lowers to its ``P[j]`` symbol,
+    which the batch kernel resolves against the per-instance parameter
+    row instead of a folded literal.
+    """
+
+    def num(self, value):
+        symbol = getattr(value, "symbol", None)
+        if symbol is not None:
+            return symbol
+        return repr(float(value))
+
+
 class NumpyLang(Lang):
     """Vectorised expressions over ``(n,)`` instance axes.
 

@@ -1,9 +1,9 @@
 """Execution backends: one registry, one uniform program surface.
 
-Importing this package registers the four built-in backends
-(``interpreter``, ``compiled-python``, ``native-c``, ``batch``).  See
-:mod:`repro.core.backend.base` for the contract and the fallback-ladder
-resolver :func:`compile_program`.
+Importing this package registers the five built-in backends
+(``interpreter``, ``compiled-python``, ``native-c``, ``batch``,
+``native-batch``).  See :mod:`repro.core.backend.base` for the contract
+and the fallback-ladder resolver :func:`compile_program`.
 """
 
 from repro.core.backend.base import (
@@ -30,6 +30,10 @@ from repro.core.backend.native import (
     NativeBackend, NativeProgram, default_cache_dir, has_c_compiler,
 )
 from repro.core.backend.batchentry import BatchBackend, BatchProgramAdapter
+from repro.core.backend.nativebatch import (
+    NativeBatchAdapter, NativeBatchBackend, NativeBatchKernel,
+    default_shards, shard_bounds,
+)
 
 __all__ = [
     "BackendError",
@@ -45,6 +49,9 @@ __all__ = [
     "KERNEL_SOLVERS",
     "KERNEL_VERSION",
     "NativeBackend",
+    "NativeBatchAdapter",
+    "NativeBatchBackend",
+    "NativeBatchKernel",
     "NativeProgram",
     "ProgramResult",
     "PyKernelBackend",
@@ -52,8 +59,10 @@ __all__ = [
     "available_backends",
     "compile_program",
     "default_cache_dir",
+    "default_shards",
     "fallback_chain",
     "get_backend",
     "has_c_compiler",
     "register_backend",
+    "shard_bounds",
 ]

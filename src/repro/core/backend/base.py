@@ -29,6 +29,11 @@ Registered backends:
 ``batch``
     The vectorised NumPy program (:mod:`repro.core.batch`) wrapped in
     the uniform surface (n instances, one state matrix).
+``native-batch``
+    The N-instance C kernel (:mod:`repro.core.backend.nativebatch`):
+    one row per instance, the instance loop inside the compiled step,
+    the instance axis sharded across a thread pool.  Demotes to the
+    NumPy ``batch`` program without a toolchain.
 
 Fallback ladder: :func:`compile_program` walks :data:`FALLBACKS` until a
 backend compiles.  Every demotion emits a ``backend.fallback`` metric
@@ -96,6 +101,9 @@ class CompileRequest:
     x0: Optional[np.ndarray] = None
     #: native-c artifact directory (None: the process default cache)
     cache_dir: Any = None
+    #: instance-axis shard count for the native-batch backend (None:
+    #: one shard per core, capped; ignored by every other backend)
+    shards: Optional[int] = None
 
     def resolved_network(self) -> "FlatNetwork":
         """The flat network (built from the diagram when not supplied)."""
@@ -209,6 +217,7 @@ FALLBACKS: Dict[str, Tuple[str, ...]] = {
     "compiled-python": ("compiled-python", "interpreter"),
     "native-c": ("native-c", "compiled-python", "interpreter"),
     "batch": ("batch",),
+    "native-batch": ("native-batch", "batch"),
 }
 
 

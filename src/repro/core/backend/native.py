@@ -79,6 +79,80 @@ def default_cache_dir() -> Path:
     return Path(tempfile.gettempdir()) / "repro-native-cache"
 
 
+def cache_limit_bytes() -> Optional[int]:
+    """The artifact-cache size cap (``$REPRO_NATIVE_CACHE_MAX_MB``), or
+    None when unbounded (the default)."""
+    raw = os.environ.get("REPRO_NATIVE_CACHE_MAX_MB", "").strip()
+    if not raw:
+        return None
+    try:
+        limit = float(raw)
+    except ValueError:
+        return None
+    if limit < 0:
+        return None
+    return int(limit * 1024 * 1024)
+
+
+def sweep_cache(
+    cache_dir: Path,
+    limit_bytes: Optional[int] = None,
+    protect: Optional[str] = None,
+) -> List[Path]:
+    """Evict least-recently-used artifacts until the cache fits.
+
+    Artifacts are grouped by fingerprint key (``<key>.so`` + ``<key>.c``
+    evict together) and ranked by the ``.so``'s mtime — loads touch it
+    (:func:`build_artifact`), so mtime order is LRU order.  ``protect``
+    exempts the key just built/loaded.  Returns the removed paths.
+    Errors (racing processes, read-only dirs) are swallowed: the sweep
+    is best-effort hygiene, never a build failure.
+    """
+    if limit_bytes is None:
+        limit_bytes = cache_limit_bytes()
+    if limit_bytes is None:
+        return []
+    groups: Dict[str, List[Path]] = {}
+    try:
+        entries = list(cache_dir.iterdir())
+    except OSError:
+        return []
+    for path in entries:
+        if path.suffix not in (".so", ".c"):
+            continue
+        groups.setdefault(path.stem, []).append(path)
+    ranked = []
+    total = 0
+    for key, paths in groups.items():
+        size = 0
+        mtime = 0.0
+        for path in paths:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            size += stat.st_size
+            if path.suffix == ".so":
+                mtime = stat.st_mtime
+        total += size
+        ranked.append((mtime, key, size, paths))
+    removed: List[Path] = []
+    ranked.sort()  # oldest .so first
+    for mtime, key, size, paths in ranked:
+        if total <= limit_bytes:
+            break
+        if protect is not None and key == protect:
+            continue
+        for path in paths:
+            try:
+                path.unlink()
+                removed.append(path)
+            except OSError:
+                pass
+        total -= size
+    return removed
+
+
 # ----------------------------------------------------------------------
 # rendering
 # ----------------------------------------------------------------------
@@ -246,6 +320,10 @@ def build_artifact(
     c_path = cache_dir / f"{key}.c"
     so_path = cache_dir / f"{key}.so"
     if so_path.exists():
+        try:
+            os.utime(so_path)  # touch: mtime is the LRU rank
+        except OSError:
+            pass
         return so_path, True
     compiler = find_c_compiler()
     if compiler is None:
@@ -263,6 +341,7 @@ def build_artifact(
             f"{proc.stderr.strip()[-500:]}"
         )
     os.replace(tmp_path, so_path)
+    sweep_cache(cache_dir, protect=key)
     return so_path, False
 
 

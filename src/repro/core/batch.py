@@ -29,6 +29,7 @@ running every instance with the base value.
 
 from __future__ import annotations
 
+import os
 import re
 from dataclasses import dataclass, field
 from typing import (
@@ -84,6 +85,11 @@ class BatchProgram:
     model: Any  # LoweredModel (kept Any to avoid a codegen import cycle)
     source: str
     sweep_paths: Tuple[str, ...]
+    #: optional second lowering with :class:`~repro.codegen.common.
+    #: CBatchLang` (``compile_batch_program(..., native=True)``) — the
+    #: native-batch backend renders its N-instance C kernel from this;
+    #: None means the program can only run on the NumPy path
+    native_model: Any = None
 
     @property
     def plan(self):
@@ -257,6 +263,22 @@ def _render_program(model: Any) -> str:
 
 
 _shared_program_cache = None
+_batch_cache_metrics = None
+
+#: default LRU capacity of :func:`shared_program_cache`
+#: (``$REPRO_BATCH_CACHE_CAP`` overrides)
+DEFAULT_PROGRAM_CACHE_CAP = 64
+
+
+def batch_cache_metrics():
+    """The metrics registry the shared program cache reports into
+    (``batch.cache_evicted`` plus the standard ``cache.*`` counters)."""
+    global _batch_cache_metrics
+    if _batch_cache_metrics is None:
+        from repro.service.telemetry import MetricsRegistry
+
+        _batch_cache_metrics = MetricsRegistry()
+    return _batch_cache_metrics
 
 
 def shared_program_cache():
@@ -268,13 +290,37 @@ def shared_program_cache():
     structurally identical diagrams — compile once and share the
     program.  Lazily imports the service-layer cache to keep
     ``repro.core`` importable without ``repro.service``.
+
+    LRU-bounded: long campaigns churn through thousands of distinct
+    scenario plans, so residency is capped
+    (``$REPRO_BATCH_CACHE_CAP``, default
+    :data:`DEFAULT_PROGRAM_CACHE_CAP`) and every eviction increments
+    the ``batch.cache_evicted`` counter on :func:`batch_cache_metrics`.
     """
     global _shared_program_cache
     if _shared_program_cache is None:
         from repro.service.cache import PlanCache
 
-        _shared_program_cache = PlanCache(capacity=64)
+        raw = os.environ.get("REPRO_BATCH_CACHE_CAP", "").strip()
+        try:
+            capacity = int(raw) if raw else DEFAULT_PROGRAM_CACHE_CAP
+        except ValueError:
+            capacity = DEFAULT_PROGRAM_CACHE_CAP
+        registry = batch_cache_metrics()
+        _shared_program_cache = PlanCache(
+            capacity=max(1, capacity),
+            metrics=registry,
+            on_evict=lambda key: registry.counter(
+                "batch.cache_evicted"
+            ).inc(),
+        )
     return _shared_program_cache
+
+
+def reset_shared_program_cache() -> None:
+    """Drop the process-wide program cache (tests / cap reconfig)."""
+    global _shared_program_cache
+    _shared_program_cache = None
 
 
 def batch_program_cache_key(
@@ -282,6 +328,7 @@ def batch_program_cache_key(
     records: Optional[List[str]] = None,
     sweep_paths: Sequence[str] = (),
     opt_config=None,
+    native: bool = False,
 ) -> str:
     """Content key identifying one compiled batch program.
 
@@ -298,6 +345,10 @@ def batch_program_cache_key(
         "batch.records": tuple(records) if records else "<default>",
         "batch.sweep_paths": tuple(sorted(sweep_paths)),
     }
+    # native-lowered programs carry an extra LoweredModel; they must
+    # never serve (or be served by) NumPy-only compilations
+    if native:
+        extra["batch.native"] = True
     if opt_config is not None and opt_config.is_active:
         extra["opt"] = opt_config.cache_token()
     return network.plan().fingerprint(extra=extra)
@@ -309,6 +360,7 @@ def compile_batch_program(
     sweep_paths: Sequence[str] = (),
     opt_level: int = 0,
     opt_config=None,
+    native: bool = False,
 ) -> BatchProgram:
     """Lower ``diagram`` into a reusable :class:`BatchProgram`.
 
@@ -323,6 +375,13 @@ def compile_batch_program(
     pipeline before emission.  Swept parameters are automatically
     protected from rewriting (their ``SweepVar`` symbols must survive to
     the emitted source).
+
+    ``native=True`` additionally lowers the diagram with
+    :class:`~repro.codegen.common.CBatchLang` and attaches the result as
+    :attr:`BatchProgram.native_model`, which is what the native-batch
+    backend renders its C kernel from.  An unlowerable model (no C
+    emitter path) leaves ``native_model`` None and the simulator falls
+    back to the NumPy program.
     """
     ordered = tuple(sorted(sweep_paths))
     items: List[Tuple[Streamer, str, float, SweepVar]] = []
@@ -332,13 +391,24 @@ def compile_batch_program(
         var = SweepVar(base, np.asarray([base]), f"P[{j}]")
         items.append((block, key, base, var))
         block.params[key] = var
+    native_model = None
     try:
-        from repro.codegen.common import NumpyLang, lower
+        from repro.codegen.common import (
+            CBatchLang, CodegenError, NumpyLang, lower,
+        )
 
         model = lower(
             diagram, NumpyLang(), records,
             opt_level=opt_level, opt_config=opt_config,
         )
+        if native:
+            try:
+                native_model = lower(
+                    diagram, CBatchLang(), records,
+                    opt_level=opt_level, opt_config=opt_config,
+                )
+            except CodegenError:
+                native_model = None  # NumPy-only program; backend demotes
     finally:
         for block, key, base, __ in items:
             block.params[key] = base
@@ -352,7 +422,10 @@ def compile_batch_program(
                 "ignored; sweep a parameter the emitter passes "
                 "through verbatim"
             )
-    return BatchProgram(model=model, source=source, sweep_paths=ordered)
+    return BatchProgram(
+        model=model, source=source, sweep_paths=ordered,
+        native_model=native_model,
+    )
 
 
 def merge_chunks(chunks: Sequence[BatchChunk], n: int) -> BatchResult:
@@ -439,6 +512,24 @@ class BatchSimulator:
         :func:`shared_program_cache`; a
         :class:`~repro.service.cache.PlanCache` uses that instance;
         ``False`` compiles privately (the pre-cache behaviour).
+    backend:
+        ``"batch"`` (default) runs the vectorised NumPy program;
+        ``"native-batch"`` builds/loads the N-instance C kernel
+        (:mod:`repro.core.backend.nativebatch`) and runs every chunk
+        through it.  When the kernel cannot be built (no compiler,
+        non-kernel solver, unlowerable model) the simulator *falls
+        back* to the NumPy program — check :attr:`backend_name` /
+        :attr:`backend_fallback_reason`; ``metrics`` (when given)
+        counts the demotion under ``backend.fallback``.
+    shards:
+        Instance-axis shard count for the native kernel (None: one per
+        core, capped).  Sharding never changes results — shards are
+        contiguous row ranges of independent instances.
+    native_cache_dir:
+        Native artifact directory override (None: the process default).
+    metrics:
+        Optional :class:`~repro.service.telemetry.MetricsRegistry`
+        receiving ``backend.fallback`` counters on native demotion.
     """
 
     def __init__(
@@ -454,11 +545,21 @@ class BatchSimulator:
         opt_level: int = 0,
         opt_config=None,
         cache: Any = None,
+        backend: Optional[str] = None,
+        shards: Optional[int] = None,
+        native_cache_dir: Any = None,
+        metrics: Any = None,
     ) -> None:
         if n < 1:
             raise BatchError(f"need at least one instance, got {n}")
         if h <= 0:
             raise BatchError(f"non-positive step {h}")
+        self.backend_requested = backend or "batch"
+        if self.backend_requested not in ("batch", "native-batch"):
+            raise BatchError(
+                f"unknown batch backend {backend!r}; "
+                "use 'batch' or 'native-batch'"
+            )
         self.n = int(n)
         self.h = float(h)
         self.binding = SolverBinding(solver)
@@ -480,6 +581,7 @@ class BatchSimulator:
                 )
             sweep_values[path] = values
 
+        native_wanted = self.backend_requested == "native-batch"
         if program is None:
             if diagram is None:
                 raise BatchError(
@@ -493,7 +595,7 @@ class BatchSimulator:
             def compile_program() -> BatchProgram:
                 return compile_batch_program(
                     diagram, records=records, sweep_paths=sweep_paths,
-                    opt_config=config,
+                    opt_config=config, native=native_wanted,
                 )
 
             if cache is False:
@@ -502,7 +604,7 @@ class BatchSimulator:
                 store = shared_program_cache() if cache is None else cache
                 key = batch_program_cache_key(
                     diagram, records=records, sweep_paths=sweep_paths,
-                    opt_config=config,
+                    opt_config=config, native=native_wanted,
                 )
                 program = store.get_or_compile(key, compile_program)
         elif tuple(sorted(sweep_values)) != program.sweep_paths:
@@ -532,12 +634,44 @@ class BatchSimulator:
             row = np.asarray(self.model.initial_state, dtype=float)
             self.x0 = np.tile(row, (self.n, 1))
         else:
-            self.x0 = np.asarray(x0, dtype=float)
+            self.x0 = np.ascontiguousarray(x0, dtype=float)
             if self.x0.shape != (self.n, n_state):
                 raise BatchError(
                     f"x0 must have shape ({self.n}, {n_state}), got "
                     f"{self.x0.shape}"
                 )
+
+        self._native = None
+        self.backend_fallback_reason: Optional[str] = None
+        if native_wanted:
+            from repro.core.backend.base import (
+                KERNEL_SOLVERS, BackendUnavailable,
+            )
+            from repro.core.backend.nativebatch import NativeBatchKernel
+
+            solver_name = self.binding.strategy_name
+            try:
+                if solver_name not in KERNEL_SOLVERS:
+                    raise BackendUnavailable(
+                        f"solver {solver_name!r} has no native batch "
+                        f"stages (kernel backends support "
+                        f"{KERNEL_SOLVERS})"
+                    )
+                self._native = NativeBatchKernel(
+                    program, solver_name, self.n, self._P,
+                    shards=shards, cache_dir=native_cache_dir,
+                )
+            except BackendUnavailable as exc:
+                self.backend_fallback_reason = str(exc)
+                if metrics is not None:
+                    metrics.counter("backend.fallback").inc()
+                    metrics.counter("backend.fallback.native-batch").inc()
+        self.backend_name = (
+            "native-batch" if self._native is not None else "batch"
+        )
+        self.shards = (
+            self._native.shards if self._native is not None else None
+        )
 
     # ------------------------------------------------------------------
     # execution-backend adapter
@@ -555,10 +689,15 @@ class BatchSimulator:
     # ------------------------------------------------------------------
     def held_state(self) -> Dict[str, np.ndarray]:
         """The generated program's sample-and-hold registers, by name."""
+        if self._native is not None:
+            return self._native.held_state()
         return self._get_held()
 
     def restore_held_state(self, values: Mapping[str, Any]) -> None:
         """Re-inject registers captured by :meth:`held_state`."""
+        if self._native is not None:
+            self._native.restore_held(values)
+            return
         self._set_held(values)
 
     def resume_point(
@@ -604,6 +743,11 @@ class BatchSimulator:
             raise BatchError(f"non-positive step {h}")
         if chunk_steps is not None and chunk_steps < 1:
             raise BatchError(f"chunk_steps must be >= 1: {chunk_steps}")
+        if self._native is not None:
+            yield from self._run_chunked_native(
+                t_end, h, record_every, chunk_steps, resume
+            )
+            return
         if resume is not None:
             x = np.asarray(resume["x"], dtype=float).copy()
             if x.shape != self.x0.shape:
@@ -687,6 +831,79 @@ class BatchSimulator:
             "sweeps": list(self.sweep_paths),
         }
         yield chunk
+
+    def _run_chunked_native(
+        self,
+        t_end: float,
+        h: float,
+        record_every: int,
+        chunk_steps: Optional[int],
+        resume: Optional[Mapping[str, Any]],
+    ):
+        """:meth:`run_chunked` on the C kernel.  The whole step/record/
+        sync loop — including the chunk-cut and resume arithmetic — runs
+        inside :func:`batch_run`; Python only sizes record buffers and
+        packages chunks, so per-chunk overhead is O(records), not
+        O(steps)."""
+        kernel = self._native
+        if resume is not None:
+            x = np.array(resume["x"], dtype=float, order="C")
+            if x.shape != self.x0.shape:
+                raise BatchError(
+                    f"resume state shape {x.shape} != {self.x0.shape}"
+                )
+            t = float(resume["t"])
+            if resume.get("held") is not None:
+                kernel.restore_held(resume["held"])
+            step = int(resume["step"])
+            minor_steps = int(resume["minor_steps"])
+            # the pre-resume sync already ran inside the kernel before
+            # the resume point was cut; cold=False skips repeating it
+            cold = False
+        else:
+            x = np.ascontiguousarray(self.x0, dtype=float).copy()
+            t = 0.0
+            step = 0
+            minor_steps = 0
+            cold = True
+        labels = [label for label, __ in self.model.records]
+        done = False
+        while not done:
+            if chunk_steps is not None:
+                max_steps = chunk_steps - (minor_steps % chunk_steps)
+            else:
+                max_steps = 0
+            t, step, done, rec_t, rec_vals, taken = kernel.run_segment(
+                t, t_end, h, record_every, step, max_steps, cold, x
+            )
+            cold = False
+            minor_steps += taken
+            chunk = BatchChunk(
+                t=rec_t.copy(),
+                series={
+                    label: np.ascontiguousarray(rec_vals[:, :, i])
+                    for i, label in enumerate(labels)
+                },
+                t_now=t,
+                steps=minor_steps,
+                final=done,
+            )
+            if done:
+                chunk.final_states = x
+                chunk.stats = {
+                    "instances": self.n,
+                    "minor_steps": minor_steps,
+                    "states_per_instance": x.shape[1],
+                    "solver": self.binding.strategy_name,
+                    "sweeps": list(self.sweep_paths),
+                    "backend": "native-batch",
+                    "shards": kernel.shards,
+                    "artifact": str(kernel.so_path),
+                    "artifact_cache_hit": kernel.cache_hit,
+                }
+            else:
+                chunk.resume = self.resume_point(t, x, step, minor_steps)
+            yield chunk
 
     def run(
         self,

@@ -297,10 +297,59 @@ def _run_differential(
     return None
 
 
+def _diff_batch(reference, candidate, label: str) -> Optional[str]:
+    """Bitwise comparison of two batch results (``(T, n)`` series plus
+    ``(n, n_state)`` final matrices)."""
+    if not np.array_equal(reference.t, candidate.t):
+        return f"{label}: time grids differ"
+    if set(reference.series) != set(candidate.series):
+        return f"{label}: record keys differ"
+    for key in sorted(reference.series):
+        if not np.array_equal(reference.series[key], candidate.series[key]):
+            return f"{label}: series {key!r} diverges"
+    if not np.array_equal(reference.final_states, candidate.final_states):
+        return f"{label}: final states differ"
+    return None
+
+
+def _diff_batch_tol(
+    reference, candidate, label: str, rtol: float
+) -> Optional[str]:
+    """:func:`_diff_batch` with value tolerance (reassociated O2 plans
+    only); grids and keys still compare exactly."""
+    if not np.array_equal(reference.t, candidate.t):
+        return f"{label}: time grids differ"
+    if set(reference.series) != set(candidate.series):
+        return f"{label}: record keys differ"
+    for key in sorted(reference.series):
+        if not np.allclose(
+            reference.series[key], candidate.series[key],
+            rtol=rtol, atol=rtol, equal_nan=True,
+        ):
+            return f"{label}: series {key!r} diverges beyond rtol={rtol:g}"
+    if not np.allclose(
+        reference.final_states, candidate.final_states,
+        rtol=rtol, atol=rtol, equal_nan=True,
+    ):
+        return f"{label}: final states differ beyond rtol={rtol:g}"
+    return None
+
+
 def _run_batch(
     spec: ScenarioSpec, config: CampaignConfig, rec: _Recorder
 ) -> Optional[str]:
-    """batch: the vectorised backend against N sequential runs."""
+    """batch: the vectorised backend — and, with a toolchain, the
+    N-instance C kernel — against N sequential runs.
+
+    The native-batch leg runs the differential matrix across the
+    campaign's opt levels: bitwise against ``simulate_sequential`` up to
+    O1 (and at O2 when the fuser left the plan alone), within
+    ``reassoc_rtol`` when the O2 plan actually reassociated arithmetic
+    (``_plan_reassociates``).  Without a compiler the leg is skipped —
+    the NumPy comparison above already covered the semantics.
+    """
+    from repro.core.backend.base import KERNEL_SOLVERS
+    from repro.core.backend.native import has_c_compiler
     from repro.core.batch import BatchSimulator, simulate_sequential
 
     params = spec.params
@@ -337,15 +386,33 @@ def _run_batch(
     rec.solver(solver)
     rec.backend("batch")
     rec.backend("interpreter")
-    if not np.array_equal(batch.t, sequential.t):
-        return "batch vs sequential: time grids differ"
-    if set(batch.series) != set(sequential.series):
-        return "batch vs sequential: record keys differ"
-    for key in sorted(batch.series):
-        if not np.array_equal(batch.series[key], sequential.series[key]):
-            return f"batch vs sequential: series {key!r} diverges"
-    if not np.array_equal(batch.final_states, sequential.final_states):
-        return "batch vs sequential: final states differ"
+    detail = _diff_batch(sequential, batch, "batch vs sequential")
+    if detail:
+        return detail
+    if not has_c_compiler() or solver not in KERNEL_SOLVERS:
+        return None
+    for level in tuple(config.opt_levels) or (0,):
+        native_sim = BatchSimulator(
+            diagram=spec.build(), n=n, solver=solver, h=config.h,
+            sweeps=sweeps, opt_level=level, backend="native-batch",
+        )
+        if native_sim.backend_name != "native-batch":
+            # an unlowerable model demoted to the NumPy program, which
+            # the comparison above already vetted at this level
+            continue
+        rec.backend("native-batch")
+        if level:
+            rec.opt_report(native_sim.plan)
+        native = native_sim.run(config.t_end)
+        label = f"native-batch O{level} vs sequential"
+        if _plan_reassociates(native_sim.plan, level):
+            detail = _diff_batch_tol(
+                sequential, native, label, config.reassoc_rtol,
+            )
+        else:
+            detail = _diff_batch(sequential, native, label)
+        if detail:
+            return detail
     return None
 
 

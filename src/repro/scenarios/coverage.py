@@ -64,6 +64,7 @@ def backend_universe() -> FrozenSet[str]:
     names = set(available_backends())
     if not has_c_compiler():
         names.discard("native-c")
+        names.discard("native-batch")
     return frozenset(names)
 
 

@@ -616,15 +616,23 @@ class BatchJob(JobSpec):
     resume_from: Optional[str] = None
     #: plan-optimizer level (None: the service's ``default_opt_level``)
     opt_level: Optional[int] = None
-    #: requested execution backend.  Batch sweeps always run the
-    #: vectorised NumPy program; any other request degrades to it with
-    #: a BACKEND telemetry event plus the ``backend.fallback`` metric.
+    #: requested execution backend.  ``"batch"`` (default) runs the
+    #: vectorised NumPy program; ``"native-batch"`` runs the N-instance
+    #: C kernel, demoting to the NumPy program when the kernel cannot
+    #: be built.  Any other request degrades to ``"batch"``.  Every
+    #: demotion emits a BACKEND telemetry event plus the
+    #: ``backend.fallback`` metric.
     backend: Optional[str] = None
+    #: instance-axis shard count for the native-batch kernel (None: one
+    #: per core, capped; ignored by the NumPy backend)
+    shards: Optional[int] = None
 
     kind = "batch"
 
     def _effective_backend(self) -> str:
-        return "batch"
+        return (
+            "native-batch" if self.backend == "native-batch" else "batch"
+        )
 
     def _cache_key(self, plan, opt) -> str:
         extra = {
@@ -657,11 +665,15 @@ class BatchJob(JobSpec):
             raise JobError("BatchJob needs a diagram_factory")
         ctx.checkpoint()
         requested = self.backend or "batch"
-        _report_backend(
-            ctx, requested, self._effective_backend(),
-            None if requested == "batch" else
-            "batch sweeps run the vectorised NumPy backend",
-        )
+        native_wanted = requested == "native-batch"
+        if not native_wanted and requested != "batch":
+            # unknown/scalar backends degrade to the NumPy program;
+            # native-batch resolution is reported after the simulator
+            # settles (it may itself demote to "batch")
+            _report_backend(
+                ctx, requested, "batch",
+                "batch sweeps run the vectorised NumPy backend",
+            )
         opt = _resolve_opt(ctx, self.opt_level)
         sweeps = dict(self.sweeps or {})
         sweep_paths = tuple(sorted(sweeps))
@@ -686,7 +698,7 @@ class BatchJob(JobSpec):
                 program = compile_batch_program(
                     self._fresh_diagram(diagram),
                     records=self.records, sweep_paths=sweep_paths,
-                    opt_config=opt,
+                    opt_config=opt, native=native_wanted,
                 )
                 compiled["fresh"] = True
                 return program
@@ -699,15 +711,24 @@ class BatchJob(JobSpec):
             sim = BatchSimulator(
                 n=self.n, solver=self.solver, h=self.h, sweeps=sweeps,
                 x0=self.x0, program=program,
+                backend="native-batch" if native_wanted else None,
+                shards=self.shards,
             )
         else:
             sim = BatchSimulator(
                 self._fresh_diagram(diagram), self.n, solver=self.solver,
                 h=self.h, records=self.records, sweeps=sweeps, x0=self.x0,
                 opt_config=opt, cache=False,
+                backend="native-batch" if native_wanted else None,
+                shards=self.shards,
             )
             _record_opt_metrics(
                 ctx, getattr(sim.plan, "opt_report", None),
+            )
+        if requested in ("batch", "native-batch"):
+            _report_backend(
+                ctx, requested, sim.backend_name,
+                sim.backend_fallback_reason,
             )
         total_steps = max(1, math.ceil(self.t_end / self.h - 1e-12))
         chunk_steps = self.chunk_steps

@@ -202,9 +202,10 @@ def test_split_run_continues_bitwise():
 
 
 class TestRegistryAndFallback:
-    def test_registry_lists_all_four(self):
+    def test_registry_lists_all_five(self):
         assert available_backends() == [
-            "batch", "compiled-python", "interpreter", "native-c",
+            "batch", "compiled-python", "interpreter", "native-batch",
+            "native-c",
         ]
 
     def test_unknown_backend_raises(self):

@@ -272,3 +272,26 @@ class TestBatchResume:
             assert np.array_equal(
                 reference.series[label], result.series[label],
             ), label
+
+    def test_native_batch_crash_retry_resumes_bitwise(self, tmp_path):
+        """The C-kernel backend spools/restores the same checkpoint
+        payload as the NumPy program: a mid-run worker death resumes
+        bitwise against the plain-batch reference trajectory."""
+        from repro.core.backend import has_c_compiler
+
+        if not has_c_compiler():
+            pytest.skip("no C compiler on this host")
+        kwargs = self.loop_kwargs()
+        reference, __, __ = run_job(BatchJob(**kwargs))
+        result, events, metrics = run_job(FlakyBatchJob(
+            retries=1, backoff=0.01, checkpoint_dir=tmp_path,
+            die_after_chunks=2, backend="native-batch", **kwargs,
+        ))
+        assert any(e.kind == RESUMED for e in events)
+        assert metrics["counters"]["backend.used.native-batch"] == 2
+        assert np.array_equal(reference.t, result.t)
+        for label in reference.series:
+            assert np.array_equal(
+                reference.series[label], result.series[label],
+            ), label
+        assert np.array_equal(reference.final_states, result.final_states)

@@ -156,3 +156,56 @@ class TestBatchJobBackend:
 
         assert key(None) == key("batch")
         assert key("compiled-python") != key(None)
+        assert key("native-batch") != key(None)
+        assert key("native-batch") != key("compiled-python")
+
+
+class TestNativeBatchJob:
+    def job(self, **overrides):
+        spec = dict(
+            diagram_factory=loop_diagram, n=6, t_end=T_END, h=H,
+            records=["plant.out", "pid.out"],
+            sweeps={"pid.kp": np.linspace(1.0, 4.0, 6)},
+            backend="native-batch",
+        )
+        spec.update(overrides)
+        return BatchJob(**spec)
+
+    def test_native_batch_reported_and_bitwise(self):
+        import pytest
+
+        from repro.core.backend import has_c_compiler
+
+        if not has_c_compiler():
+            pytest.skip("no C compiler on this host")
+        with SimulationService(workers=1) as svc:
+            handle = svc.submit(self.job())
+            events = backend_events(handle)
+            native = handle.result()
+            assert events[0].payload["requested"] == "native-batch"
+            assert events[0].payload["effective"] == "native-batch"
+            assert events[0].payload["reason"] is None
+            counters = svc.metrics_snapshot()["counters"]
+            assert counters["backend.used.native-batch"] == 1
+            assert "backend.fallback" not in counters
+            plain = svc.submit(self.job(backend=None)).result()
+        assert np.array_equal(native.t, plain.t)
+        for label in native.series:
+            assert np.array_equal(
+                native.series[label], plain.series[label]
+            ), label
+        assert np.array_equal(native.final_states, plain.final_states)
+
+    def test_no_compiler_demotes_with_metric(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        with SimulationService(workers=1) as svc:
+            handle = svc.submit(self.job())
+            events = backend_events(handle)
+            handle.result()  # the job itself must still succeed
+            assert events[0].payload["requested"] == "native-batch"
+            assert events[0].payload["effective"] == "batch"
+            assert "compiler" in events[0].payload["reason"]
+            counters = svc.metrics_snapshot()["counters"]
+            assert counters["backend.fallback"] == 1
+            assert counters["backend.fallback.native-batch"] == 1
+            assert counters["backend.used.batch"] == 1
